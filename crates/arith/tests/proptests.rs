@@ -1,0 +1,192 @@
+//! Property-based tests cross-checking bignum arithmetic against `u128`
+//! primitives and algebraic laws.
+
+use proptest::prelude::*;
+use qrel_arith::{BigInt, BigRational, BigUint};
+
+fn bu(v: u128) -> BigUint {
+    BigUint::from_u128(v)
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128(a in 0u128..=u128::MAX / 2, b in 0u128..=u128::MAX / 2) {
+        prop_assert_eq!(bu(a).add_ref(&bu(b)), bu(a + b));
+    }
+
+    #[test]
+    fn sub_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        prop_assert_eq!(bu(hi).checked_sub(&bu(lo)), Some(bu(hi - lo)));
+        if hi != lo {
+            prop_assert_eq!(bu(lo).checked_sub(&bu(hi)), None);
+        }
+    }
+
+    #[test]
+    fn mul_matches_u128(a in 0u128..=u64::MAX as u128, b in 0u128..=u64::MAX as u128) {
+        prop_assert_eq!(bu(a).mul_ref(&bu(b)), bu(a * b));
+    }
+
+    #[test]
+    fn div_rem_matches_u128(a in any::<u128>(), b in 1u128..=u128::MAX) {
+        let (q, r) = bu(a).div_rem(&bu(b));
+        prop_assert_eq!(q, bu(a / b));
+        prop_assert_eq!(r, bu(a % b));
+    }
+
+    #[test]
+    fn div_rem_reconstructs(a_limbs in proptest::collection::vec(any::<u64>(), 1..8),
+                            b_limbs in proptest::collection::vec(any::<u64>(), 1..5)) {
+        // Build large operands beyond u128 range.
+        let mut a = BigUint::zero();
+        for l in &a_limbs {
+            a = a.shl_bits(64).add_ref(&BigUint::from_u64(*l));
+        }
+        let mut b = BigUint::zero();
+        for l in &b_limbs {
+            b = b.shl_bits(64).add_ref(&BigUint::from_u64(*l));
+        }
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(q.mul_ref(&b).add_ref(&r), a);
+    }
+
+    #[test]
+    fn gcd_divides_both_and_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
+            while b != 0 {
+                let t = a % b;
+                a = b;
+                b = t;
+            }
+            a
+        }
+        let g = bu(a as u128).gcd(&bu(b as u128));
+        prop_assert_eq!(g.to_u64(), Some(gcd_u64(a, b)));
+    }
+
+    #[test]
+    fn shifts_invert(v in any::<u128>(), s in 0u64..300) {
+        let x = bu(v);
+        prop_assert_eq!(x.shl_bits(s).shr_bits(s), x);
+    }
+
+    #[test]
+    fn display_parse_roundtrip(v in any::<u128>()) {
+        let x = bu(v);
+        prop_assert_eq!(x.to_string(), v.to_string());
+        prop_assert_eq!(BigUint::parse_decimal(&x.to_string()).unwrap(), x);
+    }
+
+    #[test]
+    fn bigint_ring_laws(a in any::<i64>(), b in any::<i64>(), c in any::<i64>()) {
+        let (x, y, z) = (BigInt::from_i64(a), BigInt::from_i64(b), BigInt::from_i64(c));
+        prop_assert_eq!(x.add_ref(&y), y.add_ref(&x));
+        prop_assert_eq!(x.add_ref(&y).add_ref(&z), x.add_ref(&y.add_ref(&z)));
+        prop_assert_eq!(x.mul_ref(&y), y.mul_ref(&x));
+        prop_assert_eq!(x.mul_ref(&y.add_ref(&z)), x.mul_ref(&y).add_ref(&x.mul_ref(&z)));
+        prop_assert_eq!(x.sub_ref(&x), BigInt::zero());
+    }
+
+    #[test]
+    fn bigint_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let sum = BigInt::from_i64(a).add_ref(&BigInt::from_i64(b));
+        prop_assert_eq!(sum.to_string(), (a as i128 + b as i128).to_string());
+        let prod = BigInt::from_i64(a).mul_ref(&BigInt::from_i64(b));
+        prop_assert_eq!(prod.to_string(), (a as i128 * b as i128).to_string());
+    }
+
+    #[test]
+    fn rational_field_laws(an in -1000i64..1000, ad in 1u64..1000,
+                           bn in -1000i64..1000, bd in 1u64..1000,
+                           cn in -1000i64..1000, cd in 1u64..1000) {
+        let a = BigRational::from_ratio(an, ad);
+        let b = BigRational::from_ratio(bn, bd);
+        let c = BigRational::from_ratio(cn, cd);
+        prop_assert_eq!(a.add_ref(&b), b.add_ref(&a));
+        prop_assert_eq!(a.mul_ref(&b), b.mul_ref(&a));
+        prop_assert_eq!(a.mul_ref(&b.add_ref(&c)), a.mul_ref(&b).add_ref(&a.mul_ref(&c)));
+        if !b.is_zero() {
+            prop_assert_eq!(a.div_ref(&b).mul_ref(&b), a.clone());
+        }
+        prop_assert_eq!(a.sub_ref(&b).add_ref(&b), a);
+    }
+
+    #[test]
+    fn rational_normalized(an in -10_000i64..10_000, ad in 1u64..10_000) {
+        let a = BigRational::from_ratio(an, ad);
+        let g = a.numer().magnitude().gcd(a.denom());
+        prop_assert!(a.is_zero() || g.is_one());
+    }
+
+    #[test]
+    fn rational_cmp_matches_f64(an in -1000i64..1000, ad in 1u64..1000,
+                                bn in -1000i64..1000, bd in 1u64..1000) {
+        let a = BigRational::from_ratio(an, ad);
+        let b = BigRational::from_ratio(bn, bd);
+        let fa = an as f64 / ad as f64;
+        let fb = bn as f64 / bd as f64;
+        if (fa - fb).abs() > 1e-9 {
+            prop_assert_eq!(a < b, fa < fb);
+        }
+    }
+
+    #[test]
+    fn one_minus_involution(n in 0i64..1000, d in 1u64..1000) {
+        prop_assume!(n as u64 <= d);
+        let p = BigRational::from_ratio(n, d);
+        prop_assert!(p.is_probability());
+        prop_assert!(p.one_minus().is_probability());
+        prop_assert_eq!(p.one_minus().one_minus(), p);
+    }
+
+    #[test]
+    fn floor_ceil_consistent(n in -10_000i64..10_000, d in 1u64..100) {
+        let x = BigRational::from_ratio(n, d);
+        let f = x.floor();
+        let c = x.ceil();
+        // floor <= x <= ceil, and they differ by at most 1.
+        let fr = BigRational::new(f.clone(), BigInt::one());
+        let cr = BigRational::new(c.clone(), BigInt::one());
+        prop_assert!(fr <= x && x <= cr);
+        let diff = c.sub_ref(&f);
+        prop_assert!(diff == BigInt::zero() || diff == BigInt::one());
+        prop_assert_eq!(diff == BigInt::zero(), x.is_integer());
+    }
+
+    #[test]
+    fn lcm_is_common_multiple(a in 1u64..100_000, b in 1u64..100_000) {
+        let l = BigUint::from_u64(a).lcm(&BigUint::from_u64(b));
+        prop_assert!(l.div_rem(&BigUint::from_u64(a)).1.is_zero());
+        prop_assert!(l.div_rem(&BigUint::from_u64(b)).1.is_zero());
+    }
+}
+
+proptest! {
+    /// Karatsuba agrees with schoolbook well past the threshold.
+    #[test]
+    fn karatsuba_matches_schoolbook(a in proptest::collection::vec(any::<u32>(), 60..90),
+                                    b in proptest::collection::vec(any::<u32>(), 60..90)) {
+        // Build operands limb by limb (shift-and-add keeps it independent
+        // of the multiplication under test).
+        let build = |limbs: &[u32]| {
+            let mut x = BigUint::zero();
+            for &l in limbs.iter().rev() {
+                x = x.shl_bits(32).add_ref(&BigUint::from_u32(l));
+            }
+            x
+        };
+        let x = build(&a);
+        let y = build(&b);
+        let product = x.mul_ref(&y);
+        // Verify by reconstruction through division (Knuth D is
+        // independently tested against u128).
+        if !y.is_zero() {
+            let (q, r) = product.div_rem(&y);
+            prop_assert_eq!(q, x);
+            prop_assert!(r.is_zero());
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Criterion bench for the arithmetic substrate: the exact-rational
+//! workload that dominates the exact engines (world-probability products,
+//! gcd normalization, division).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qrel_arith::{BigRational, BigUint};
+
+fn bench_arith(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arith");
+
+    group.bench_function("world_probability_product_200", |b| {
+        // Product of 200 distinct rationals — one exact world probability.
+        b.iter(|| {
+            let mut acc = BigRational::one();
+            for i in 0..200u64 {
+                acc = acc.mul_ref(&BigRational::from_ratio((i % 7 + 1) as i64, i % 11 + 2));
+            }
+            acc
+        });
+    });
+
+    group.bench_function("biguint_mul_64_limbs", |b| {
+        let x = BigUint::from_u64(0xdead_beef_cafe_babe).pow(32);
+        let y = BigUint::from_u64(0x1234_5678_9abc_def0).pow(32);
+        b.iter(|| x.mul_ref(&y));
+    });
+
+    group.bench_function("biguint_div_rem_large", |b| {
+        let x = BigUint::from_u64(u64::MAX).pow(40);
+        let y = BigUint::from_u64(0xffff_fffb).pow(13);
+        b.iter(|| x.div_rem(&y));
+    });
+
+    group.bench_function("biguint_gcd_large", |b| {
+        let x = BigUint::from_u64(2)
+            .pow(607)
+            .checked_sub(&BigUint::one())
+            .unwrap();
+        let y = BigUint::from_u64(2)
+            .pow(521)
+            .checked_sub(&BigUint::one())
+            .unwrap();
+        b.iter(|| x.gcd(&y));
+    });
+
+    group.bench_function("rational_normalize_add", |b| {
+        let x = BigRational::from_ratio(123_456_789, 987_654_321);
+        let y = BigRational::from_ratio(555_555_555, 777_777_777);
+        b.iter(|| x.add_ref(&y));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_arith);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench: the conjunctive-query planner (σ/π/⋈ with greedy join
+//! ordering) vs the naive nested-quantifier FO evaluator on the same
+//! query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qrel_bench::random_graph_db;
+use qrel_eval::{CqQuery, FoQuery, Query};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_cq(c: &mut Criterion) {
+    let src = "exists z. E(x,z) & E(z,y) & S(z)";
+    let free = ["x", "y"];
+    let mut group = c.benchmark_group("conjunctive_query");
+    group.sample_size(10);
+    for n in [10usize, 20, 40] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let db = random_graph_db(n, 0.15, 0.3, &mut rng);
+        let planned = CqQuery::parse(src, &free).unwrap();
+        let naive = FoQuery::with_free_order(
+            qrel_logic::parser::parse_formula(src).unwrap(),
+            free.iter().map(|s| s.to_string()).collect(),
+        );
+        group.bench_with_input(BenchmarkId::new("planner", n), &n, |b, _| {
+            b.iter(|| planned.answers(&db).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("naive_fo", n), &n, |b, _| {
+            b.iter(|| naive.answers(&db).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cq);
+criterion_main!(benches);

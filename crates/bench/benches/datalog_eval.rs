@@ -1,0 +1,25 @@
+//! Criterion bench for the Datalog substrate (E8's query engine):
+//! semi-naive transitive closure over growing graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qrel_bench::random_graph_db;
+use qrel_db::datalog::DatalogProgram;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_datalog(c: &mut Criterion) {
+    let prog = DatalogProgram::parse("T(x,y) :- E(x,y). T(x,z) :- T(x,y), E(y,z).").unwrap();
+    let mut group = c.benchmark_group("datalog_transitive_closure");
+    group.sample_size(10);
+    for n in [10usize, 20, 40] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let db = random_graph_db(n, 0.1, 0.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| prog.evaluate(&db).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_datalog);
+criterion_main!(benches);

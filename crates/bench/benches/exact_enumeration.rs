@@ -1,0 +1,27 @@
+//! Criterion bench for E3: exact reliability by world enumeration
+//! (Thm 4.2) — the timing-shaped claim "exponential in uncertain facts".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qrel_bench::{random_graph_db, with_random_errors};
+use qrel_core::exact::exact_probability;
+use qrel_eval::FoQuery;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_exact(c: &mut Criterion) {
+    let q = FoQuery::parse("exists x y. E(x,y) & S(y)").unwrap();
+    let mut group = c.benchmark_group("exact_probability_by_worlds");
+    group.sample_size(10);
+    for u in [4usize, 8, 12] {
+        let mut rng = StdRng::seed_from_u64(u as u64);
+        let db = random_graph_db(4, 0.4, 0.5, &mut rng);
+        let ud = with_random_errors(db, u, &[2, 3, 4], &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(u), &u, |b, _| {
+            b.iter(|| exact_probability(&ud, &q).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact);
+criterion_main!(benches);

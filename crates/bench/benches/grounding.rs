@@ -1,0 +1,27 @@
+//! Criterion bench for E6: grounding an existential query (Thm 5.4) —
+//! the claim "polynomial in n, width independent of n".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qrel_bench::random_graph_db;
+use qrel_eval::ground_existential;
+use qrel_logic::parser::parse_formula;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+fn bench_grounding(c: &mut Criterion) {
+    let f = parse_formula("exists x y. E(x,y) & S(x) & S(y)").unwrap();
+    let mut group = c.benchmark_group("ground_existential");
+    group.sample_size(10);
+    for n in [8usize, 16, 32, 64] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let db = random_graph_db(n, 0.3, 0.5, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| ground_existential(&db, &f, &HashMap::new(), 10_000_000).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grounding);
+criterion_main!(benches);

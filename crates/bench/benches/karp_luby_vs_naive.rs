@@ -1,0 +1,40 @@
+//! Criterion bench for E4/E10: Karp–Luby vs naive Monte-Carlo vs exact
+//! on the same DNF instance — per-sample cost comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qrel_arith::BigRational;
+use qrel_bench::random_kdnf;
+use qrel_count::naive_mc::naive_mc_probability_with_samples;
+use qrel_count::{dnf_probability_bdd, dnf_probability_shannon, KarpLuby};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_estimators(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(44);
+    let vars = 24usize;
+    let d = random_kdnf(vars, 16, 3, &mut rng);
+    let probs = vec![BigRational::from_ratio(1, 3); vars];
+    let samples = 10_000u64;
+
+    let mut group = c.benchmark_group("dnf_probability");
+    group.sample_size(10);
+    group.bench_function("karp_luby_10k_samples", |b| {
+        let kl = KarpLuby::new(&d, &probs);
+        let mut r = StdRng::seed_from_u64(1);
+        b.iter(|| kl.run_with_samples(samples, &mut r));
+    });
+    group.bench_function("naive_mc_10k_samples", |b| {
+        let mut r = StdRng::seed_from_u64(2);
+        b.iter(|| naive_mc_probability_with_samples(&d, &probs, samples, &mut r));
+    });
+    group.bench_function("exact_shannon", |b| {
+        b.iter(|| dnf_probability_shannon(&d, &probs));
+    });
+    group.bench_function("exact_bdd", |b| {
+        b.iter(|| dnf_probability_bdd(&d, &probs));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimators);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion bench for E9: metafinite quantifier-free reliability
+//! (Thm 6.2(i)) — the claim "polynomial time".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qrel_arith::BigRational;
+use qrel_metafinite::reliability::qf_reliability;
+use qrel_metafinite::{
+    EntryDistribution, FunctionalDatabase, MTerm, ROp, UnreliableFunctionalDatabase,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn r(n: i64, d: u64) -> BigRational {
+    BigRational::from_ratio(n, d)
+}
+
+fn census(n: usize, rng: &mut StdRng) -> UnreliableFunctionalDatabase {
+    let mut db = FunctionalDatabase::new(n);
+    let salaries: Vec<BigRational> = (0..n)
+        .map(|_| r(rng.gen_range(30..120) * 1000, 1))
+        .collect();
+    db.add_function_values("salary", 1, salaries.clone());
+    let mut ud = UnreliableFunctionalDatabase::reliable(db);
+    for (i, s) in salaries.iter().enumerate().take(n / 2) {
+        ud.set_distribution(
+            "salary",
+            &[i as u32],
+            EntryDistribution::new(vec![
+                (s.clone(), r(9, 10)),
+                (s.div_ref(&r(10, 1)), r(1, 10)),
+            ])
+            .unwrap(),
+        );
+    }
+    ud
+}
+
+fn bench_meta_qf(c: &mut Criterion) {
+    let flag = MTerm::apply(
+        ROp::CharLe,
+        [MTerm::constant(50_000, 1), MTerm::func("salary", ["x"])],
+    );
+    let mut group = c.benchmark_group("metafinite_qf_reliability");
+    group.sample_size(10);
+    for n in [25usize, 50, 100] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let ud = census(n, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| qf_reliability(&ud, &flag, &["x".to_string()]).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_meta_qf);
+criterion_main!(benches);

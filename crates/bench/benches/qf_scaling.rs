@@ -1,0 +1,28 @@
+//! Criterion bench for E1: quantifier-free reliability (Prop 3.1) as a
+//! function of database size — the timing-shaped claim "polynomial".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qrel_bench::{random_graph_db, with_uniform_error};
+use qrel_core::quantifier_free::qf_reliability;
+use qrel_logic::parser::parse_formula;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_qf(c: &mut Criterion) {
+    let f = parse_formula("E(x,y) & S(x) & !S(y)").unwrap();
+    let free = vec!["x".to_string(), "y".to_string()];
+    let mut group = c.benchmark_group("qf_reliability");
+    group.sample_size(10);
+    for n in [8usize, 16, 32, 64] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let db = random_graph_db(n, 0.2, 0.5, &mut rng);
+        let ud = with_uniform_error(db, 1, 10);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| qf_reliability(&ud, &f, &free).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qf);
+criterion_main!(benches);

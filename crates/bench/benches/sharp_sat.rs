@@ -1,0 +1,25 @@
+//! Criterion bench for the #SAT oracle (E2's independent counter):
+//! DPLL model counting on monotone 2-CNF — exponential but with a much
+//! better base than brute force.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qrel_count::count_mon2sat;
+use qrel_logic::mon2sat::Monotone2Sat;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_sharp_sat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharp_sat_mon2sat");
+    group.sample_size(10);
+    for m in [12u32, 16, 20] {
+        let mut rng = StdRng::seed_from_u64(m as u64);
+        let f = Monotone2Sat::random(m, m as usize + m as usize / 2, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| count_mon2sat(&f));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharp_sat);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! E12 — substrate ablation: the conjunctive-query planner.
+//!
+//! Proposition 3.2 places conjunctive queries at the hardness frontier,
+//! and the approximation algorithms evaluate CQs on thousands of sampled
+//! worlds — so CQ evaluation speed directly scales every Monte-Carlo
+//! estimator. This experiment compares the σ/π/⋈ planner (hash joins,
+//! greedy ordering) against the naive nested-quantifier FO evaluator and
+//! checks they agree tuple-for-tuple.
+
+use qrel_bench::{fmt_secs, random_graph_db, Table};
+use qrel_eval::{CqQuery, FoQuery, Query};
+use qrel_logic::parser::parse_formula;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("E12 — CQ planner vs naive FO evaluation\n");
+    let queries: [(&str, &str, &[&str]); 3] = [
+        ("2-hop", "exists z. E(x,z) & E(z,y)", &["x", "y"]),
+        (
+            "filtered 2-hop",
+            "exists z. E(x,z) & E(z,y) & S(z)",
+            &["x", "y"],
+        ),
+        ("triangle", "exists y z. E(x,y) & E(y,z) & E(z,x)", &["x"]),
+    ];
+    for (label, src, free) in queries {
+        println!("query: {label} = {src}");
+        let mut table = Table::new(&["n", "answers", "planner", "naive FO", "speedup", "agree"]);
+        for n in [10usize, 20, 40, 80] {
+            let mut rng = StdRng::seed_from_u64(n as u64);
+            let db = random_graph_db(n, 0.08, 0.4, &mut rng);
+            let planned = CqQuery::parse(src, free).unwrap();
+            let naive = FoQuery::with_free_order(
+                parse_formula(src).unwrap(),
+                free.iter().map(|s| s.to_string()).collect(),
+            );
+            let (fast_ans, t_fast) = qrel_bench::timed(|| planned.answers(&db).unwrap());
+            let (naive_ans, t_naive) = qrel_bench::timed(|| naive.answers(&db).unwrap());
+            table.row(&[
+                n.to_string(),
+                fast_ans.len().to_string(),
+                fmt_secs(t_fast),
+                fmt_secs(t_naive),
+                format!("{:.1}x", t_naive / t_fast.max(1e-9)),
+                if fast_ans == naive_ans {
+                    "✓".into()
+                } else {
+                    "✗".into()
+                },
+            ]);
+            assert_eq!(fast_ans, naive_ans, "planner diverged on {label} n={n}");
+        }
+        table.print();
+        println!();
+    }
+    println!(
+        "expected shape: identical answers everywhere; the planner's advantage \
+         grows with n (hash joins touch matching tuples, nested loops touch n^k)."
+    );
+}

@@ -1,0 +1,79 @@
+//! E3 — Theorem 4.2: exact reliability via weighted world counting.
+//!
+//! Sweeps the number of uncertain facts `u` with mixed rational error
+//! probabilities; verifies the integrality identity `g·Pr[𝔅 ⊨ ψ] ∈ ℕ`
+//! (with the *sound* normalizer) on every instance, demonstrates the
+//! published lcm normalizer failing, and shows runtime ~2^u.
+
+use qrel_arith::{BigInt, BigRational};
+use qrel_bench::{fmt_secs, random_graph_db, with_random_errors, Table};
+use qrel_core::exact::{counting_certificate, exact_probability};
+use qrel_eval::FoQuery;
+use qrel_prob::normalizer::{paper_g, sound_g};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("E3 — weighted world counting and the g normalizer (Thm 4.2)\n");
+    let q = FoQuery::parse("exists x y. E(x,y) & S(y)").unwrap();
+    let mut table = Table::new(&[
+        "u (uncertain)",
+        "worlds",
+        "Pr[ψ]",
+        "bits(g)",
+        "g·Pr ∈ ℕ",
+        "Σν = 1",
+        "time",
+    ]);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut paper_g_failures = 0usize;
+    let mut instances = 0usize;
+    for u in [2usize, 4, 6, 8, 10, 12, 14, 16] {
+        let db = random_graph_db(4, 0.4, 0.5, &mut rng);
+        let ud = with_random_errors(db, u, &[2, 3, 4, 5, 8, 12], &mut rng);
+        let ((p, cert), secs) = qrel_bench::timed(|| {
+            (
+                exact_probability(&ud, &q).unwrap(),
+                counting_certificate(&ud, &q).unwrap(),
+            )
+        });
+        // Integrality with the sound g (asserted inside the certificate);
+        // completeness of the distribution.
+        let total = ud
+            .worlds()
+            .fold(BigRational::zero(), |acc, (_, w)| acc.add_ref(&w));
+        // Does the published lcm-g also clear denominators?
+        let pg = paper_g(&ud);
+        let pg_ok = p
+            .mul_ref(&BigRational::new(BigInt::from_biguint(pg), BigInt::one()))
+            .is_integer();
+        instances += 1;
+        if !pg_ok {
+            paper_g_failures += 1;
+        }
+        table.row(&[
+            u.to_string(),
+            format!("2^{u}"),
+            format!("{:.6}", p.to_f64()),
+            sound_g(&ud).bit_length().to_string(),
+            "✓".into(),
+            if total.is_one() {
+                "✓".into()
+            } else {
+                "✗".into()
+            },
+            fmt_secs(secs),
+        ]);
+        let _ = cert;
+    }
+    table.print();
+    println!(
+        "\nerratum check: published lcm-normalizer cleared denominators on \
+         {}/{} instances (sound product-normalizer: {}/{}).",
+        instances - paper_g_failures,
+        instances,
+        instances,
+        instances
+    );
+    println!("paper: FP^#P membership — runtime doubles per uncertain fact.");
+}

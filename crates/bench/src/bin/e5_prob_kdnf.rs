@@ -1,0 +1,69 @@
+//! E5 — Theorem 5.3: the Prob-kDNF → #DNF reduction.
+//!
+//! Fixed kDNF skeletons with dyadic vs non-dyadic probability vectors:
+//! the reduction's exact output must equal the independent Shannon
+//! oracle on every instance (the legal-assignment accounting), and the
+//! counter blowup must stay polynomial in the probability bit width.
+
+use qrel_arith::BigRational;
+use qrel_bench::{random_kdnf, Table};
+use qrel_core::prob_dnf::ProbDnfReduction;
+use qrel_count::dnf_probability_shannon;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    println!("E5 — Prob-kDNF via binary counters (Thm 5.3)\n");
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut table = Table::new(&[
+        "denominators",
+        "vars",
+        "terms",
+        "counter bits",
+        "φ'' terms",
+        "illegal",
+        "exact == oracle",
+        "FPTRAS |err|",
+    ]);
+    let denominator_sets: [(&str, &[u64]); 4] = [
+        ("dyadic {2,4,8}", &[2, 4, 8]),
+        ("odd {3,5,7}", &[3, 5, 7]),
+        ("mixed {2,3,12}", &[2, 3, 12]),
+        ("wide {16,12,10}", &[16, 12, 10]),
+    ];
+    for (label, dens) in denominator_sets {
+        let vars = 6usize;
+        let d = random_kdnf(vars, 5, 3, &mut rng);
+        let probs: Vec<BigRational> = (0..vars)
+            .map(|_| {
+                let q = dens[rng.gen_range(0..dens.len())];
+                BigRational::from_ratio(rng.gen_range(1..q) as i64, q)
+            })
+            .collect();
+        let red = ProbDnfReduction::new(&d, &probs).unwrap();
+        let exact = red.exact_probability();
+        let oracle = dnf_probability_shannon(&d, &probs);
+        let est = red.estimate(0.05, 0.05, &mut rng);
+        table.row(&[
+            label.to_string(),
+            vars.to_string(),
+            d.num_terms().to_string(),
+            red.total_bits.to_string(),
+            red.phi2.num_terms().to_string(),
+            red.illegal_count().to_string(),
+            if exact == oracle {
+                "✓".into()
+            } else {
+                "✗".into()
+            },
+            format!("{:.4}", (est - oracle.to_f64()).abs()),
+        ]);
+        assert_eq!(exact, oracle, "reduction broke on {label}");
+    }
+    table.print();
+    println!(
+        "\npaper: counters add O(len(q)) bits per variable and O(ℓ²)-size \
+         threshold formulas; non-dyadic instances add the illegal-assignment \
+         correction, and exactness is preserved in all rows."
+    );
+}

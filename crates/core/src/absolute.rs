@@ -1,0 +1,180 @@
+//! Absolute reliability `AR_ψ` (Definition 5.6, Lemmas 5.7–5.8).
+//!
+//! `𝔇 ∈ AR_ψ` iff `R_ψ(𝔇) = 1`, i.e. the query's answer is immune to
+//! every possible error pattern. For quantifier-free queries this is
+//! polynomial-time decidable (Lemma 5.7, via Prop 3.1's exact
+//! reliability); for arbitrary polynomial-time queries it is in co-NP
+//! (Lemma 5.8: a counterexample is a world on which the answer differs),
+//! and Lemma 5.9 (see `reductions::four_col`) shows co-NP-hardness
+//! already for existential queries.
+
+use qrel_eval::{EvalError, Query};
+use qrel_prob::UnreliableDatabase;
+
+/// Decide `𝔇 ∈ AR_ψ` by searching the possible worlds for a
+/// counterexample (the Lemma 5.8 certificate), short-circuiting on the
+/// first world whose answer differs from the observed one.
+///
+/// Exponential in the number of uncertain facts — the problem is
+/// co-NP-hard (Lemma 5.9), so this is expected.
+pub fn is_absolutely_reliable(
+    ud: &UnreliableDatabase,
+    query: &dyn Query,
+) -> Result<bool, EvalError> {
+    let observed_answers = query.answers(ud.observed())?;
+    for (world, _prob) in ud.worlds() {
+        if query.answers(&world)? != observed_answers {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Lemma 5.7: for quantifier-free queries, `AR_ψ` is decidable in
+/// polynomial time — `R_ψ = 1` exactly when the Prop 3.1 exact
+/// reliability computation returns 1.
+pub fn is_absolutely_reliable_qf(
+    ud: &UnreliableDatabase,
+    formula: &qrel_logic::Formula,
+    free_vars: &[String],
+) -> Result<bool, EvalError> {
+    let report = crate::quantifier_free::qf_reliability(ud, formula, free_vars)?;
+    Ok(report.expected_error.is_zero())
+}
+
+/// Find a witnessing world where the answer differs (a co-AR_ψ
+/// certificate), if any.
+pub fn find_unreliability_witness(
+    ud: &UnreliableDatabase,
+    query: &dyn Query,
+) -> Result<Option<qrel_db::Database>, EvalError> {
+    let observed_answers = query.answers(ud.observed())?;
+    for (world, _prob) in ud.worlds() {
+        if query.answers(&world)? != observed_answers {
+            return Ok(Some(world));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrel_arith::BigRational;
+    use qrel_db::{DatabaseBuilder, Fact};
+    use qrel_eval::FoQuery;
+
+    fn r(n: i64, d: u64) -> BigRational {
+        BigRational::from_ratio(n, d)
+    }
+
+    #[test]
+    fn fully_reliable_database_is_absolutely_reliable() {
+        let db = DatabaseBuilder::new()
+            .universe_size(2)
+            .relation("S", 1)
+            .tuples("S", [vec![0]])
+            .build();
+        let ud = UnreliableDatabase::reliable(db);
+        let q = FoQuery::parse("exists x. S(x)").unwrap();
+        assert!(is_absolutely_reliable(&ud, &q).unwrap());
+        assert!(find_unreliability_witness(&ud, &q).unwrap().is_none());
+    }
+
+    #[test]
+    fn uncertainty_on_relevant_fact_breaks_it() {
+        let db = DatabaseBuilder::new()
+            .universe_size(2)
+            .relation("S", 1)
+            .tuples("S", [vec![0]])
+            .build();
+        let mut ud = UnreliableDatabase::reliable(db);
+        ud.set_error(&Fact::new(0, vec![0]), r(1, 100)).unwrap();
+        let q = FoQuery::parse("exists x. S(x)").unwrap();
+        assert!(!is_absolutely_reliable(&ud, &q).unwrap());
+        let w = find_unreliability_witness(&ud, &q).unwrap().unwrap();
+        assert!(!w.holds(&Fact::new(0, vec![0])));
+    }
+
+    #[test]
+    fn uncertainty_on_irrelevant_fact_is_fine() {
+        // ψ = ∃x S(x); T-facts are uncertain but ψ ignores them.
+        let db = DatabaseBuilder::new()
+            .universe_size(2)
+            .relation("S", 1)
+            .relation("T", 1)
+            .tuples("S", [vec![0]])
+            .build();
+        let mut ud = UnreliableDatabase::reliable(db);
+        ud.set_relation_error("T", r(1, 2)).unwrap();
+        let q = FoQuery::parse("exists x. S(x)").unwrap();
+        assert!(is_absolutely_reliable(&ud, &q).unwrap());
+    }
+
+    #[test]
+    fn redundant_witnesses_absorb_errors() {
+        // ψ = ∃x S(x) with two observed S-facts, only one uncertain:
+        // the certain one keeps ψ true in every world.
+        let db = DatabaseBuilder::new()
+            .universe_size(2)
+            .relation("S", 1)
+            .tuples("S", [vec![0], vec![1]])
+            .build();
+        let mut ud = UnreliableDatabase::reliable(db);
+        ud.set_error(&Fact::new(0, vec![1]), r(1, 2)).unwrap();
+        let q = FoQuery::parse("exists x. S(x)").unwrap();
+        // Boolean ∃xS(x) stays true, so it is absolutely reliable…
+        assert!(is_absolutely_reliable(&ud, &q).unwrap());
+        // …but the unary version ψ(x) = S(x) is not (tuple 1 flips).
+        let q1 = FoQuery::parse("S(x)").unwrap();
+        assert!(!is_absolutely_reliable(&ud, &q1).unwrap());
+    }
+
+    #[test]
+    fn qf_fast_path_agrees_with_world_search() {
+        use qrel_logic::parser::parse_formula;
+        let db = DatabaseBuilder::new()
+            .universe_size(3)
+            .relation("E", 2)
+            .relation("S", 1)
+            .tuples("E", [vec![0, 1]])
+            .tuples("S", [vec![0], vec![1]])
+            .build();
+        for (fact, mu) in [
+            (Fact::new(0, vec![0, 1]), r(1, 4)),
+            (Fact::new(1, vec![2]), r(1, 2)),
+        ] {
+            let mut ud = UnreliableDatabase::reliable(db.clone());
+            ud.set_error(&fact, mu).unwrap();
+            for src in ["S(x)", "E(x,y) & S(x)", "S(x) | !S(x)"] {
+                let f = parse_formula(src).unwrap();
+                let free = f.free_vars();
+                let fast = is_absolutely_reliable_qf(&ud, &f, &free).unwrap();
+                let q = FoQuery::with_free_order(f, free);
+                let slow = is_absolutely_reliable(&ud, &q).unwrap();
+                assert_eq!(fast, slow, "query {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn mu_one_flips_are_deterministic_not_unreliable() {
+        // μ = 1 pins the actual value to the flip: if the flip does not
+        // change the query answer, the database is still absolutely
+        // reliable (ν has a single support world).
+        let db = DatabaseBuilder::new()
+            .universe_size(2)
+            .relation("S", 1)
+            .relation("T", 1)
+            .tuples("S", [vec![0]])
+            .build();
+        let mut ud = UnreliableDatabase::reliable(db);
+        ud.set_error(&Fact::new(1, vec![0]), r(1, 1)).unwrap(); // T flips on
+        let q = FoQuery::parse("exists x. S(x)").unwrap();
+        assert!(is_absolutely_reliable(&ud, &q).unwrap());
+        // A query that sees T is *not* absolutely reliable: the single
+        // actual world answers differently from the observed database.
+        let qt = FoQuery::parse("exists x. T(x)").unwrap();
+        assert!(!is_absolutely_reliable(&ud, &qt).unwrap());
+    }
+}

@@ -1,0 +1,121 @@
+//! The Lemma 5.10 argument, executable: relative-error approximation of
+//! an NP-hard-positivity function would put NP inside BPP.
+//!
+//! Lemma 5.10: if `{x : f(x) > 0}` is NP-hard and `f` admits a
+//! randomized polynomial-time (ε, δ)-approximation algorithm with
+//! `ε < 1`, `δ < 1/2`, then NP ⊆ BPP. The proof is one line: a relative
+//! (ε < 1) approximation of `f(x)` is zero iff `f(x)` is zero (up to the
+//! failure probability δ), so majority voting decides positivity.
+//!
+//! This module implements that decision procedure generically and — for
+//! the paper's concrete instance — wires it to the expected error of the
+//! non-4-colouring query (whose positivity is 4-UNcolourability…
+//! precisely, `H_ψ > 0` iff `G` is 4-colourable for the Lemma 5.9
+//! instances). Tests run it with a *simulated* (ε, δ)-approximator built
+//! from the exact engine plus calibrated noise, confirming the BPP-style
+//! amplification works exactly as the lemma says.
+
+use rand::Rng;
+
+/// Decide `f(x) > 0` by majority vote over `trials` runs of a randomized
+/// (ε, δ)-approximator `approx` with ε < 1, δ < 1/2 (Lemma 5.10's
+/// decision procedure). Each run votes "positive" iff its output is
+/// strictly positive; relative accuracy means a run is correct with
+/// probability ≥ 1 − δ, so the majority is correct with probability
+/// ≥ 1 − exp(−2(1/2 − δ)²·trials).
+pub fn decide_positive_by_majority<R: Rng>(
+    mut approx: impl FnMut(&mut R) -> f64,
+    trials: usize,
+    rng: &mut R,
+) -> bool {
+    assert!(trials > 0);
+    let mut positive_votes = 0usize;
+    for _ in 0..trials {
+        if approx(rng) > 0.0 {
+            positive_votes += 1;
+        }
+    }
+    2 * positive_votes > trials
+}
+
+/// Error probability bound for the majority vote (two-sided Hoeffding):
+/// `exp(−2(1/2 − δ)²·trials)`.
+pub fn majority_error_bound(delta: f64, trials: usize) -> f64 {
+    assert!(delta < 0.5);
+    (-2.0 * (0.5 - delta).powi(2) * trials as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_reliability;
+    use crate::reductions::four_col::{lemma_query, reduce, Graph};
+    use qrel_eval::FoQuery;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A calibrated (ε, δ)-approximator for H_ψ built from the exact
+    /// engine: with probability 1 − δ it returns a value within relative
+    /// error ε of the truth; with probability δ it returns garbage.
+    fn simulated_approximator(truth: f64, eps: f64, delta: f64) -> impl FnMut(&mut StdRng) -> f64 {
+        move |rng: &mut StdRng| {
+            if rng.gen::<f64>() < delta {
+                // Adversarial failure: report the *wrong* side.
+                if truth > 0.0 {
+                    0.0
+                } else {
+                    1.0
+                }
+            } else {
+                truth * (1.0 + eps * (rng.gen::<f64>() * 2.0 - 1.0))
+            }
+        }
+    }
+
+    #[test]
+    fn majority_decides_four_colourability() {
+        // The Lemma 5.10 pipeline end to end: an (ε, δ)-approximator for
+        // H_ψ of the Lemma 5.9 instances decides 4-colourability.
+        let q = FoQuery::new(lemma_query());
+        let mut rng = StdRng::seed_from_u64(1);
+        let cases = [
+            (Graph::complete(4), true),
+            (Graph::complete(5), false),
+            (Graph::cycle(5), true),
+        ];
+        for (g, colourable) in cases {
+            let ud = reduce(&g);
+            let truth = exact_reliability(&ud, &q).unwrap().expected_error.to_f64();
+            // H_ψ > 0 ⟺ some world flips the (observed-true) query ⟺
+            // a proper 4-colouring exists.
+            assert_eq!(truth > 0.0, colourable);
+            let approx = simulated_approximator(truth, 0.9, 0.3);
+            let decision = decide_positive_by_majority(approx, 101, &mut rng);
+            assert_eq!(
+                decision,
+                colourable,
+                "graph with {} vertices",
+                g.num_vertices()
+            );
+        }
+    }
+
+    #[test]
+    fn amplification_bound_decreases() {
+        assert!(majority_error_bound(0.3, 100) < majority_error_bound(0.3, 10));
+        assert!(majority_error_bound(0.3, 1000) < 1e-15);
+        // δ close to 1/2 amplifies slowly — the bound reflects it.
+        assert!(majority_error_bound(0.49, 100) > majority_error_bound(0.1, 100));
+    }
+
+    #[test]
+    fn majority_robust_to_failures() {
+        // Even a δ = 0.4 approximator is amplified by 501 trials.
+        let mut rng = StdRng::seed_from_u64(2);
+        for truth in [0.0, 0.37] {
+            let approx = simulated_approximator(truth, 0.5, 0.4);
+            let decision = decide_positive_by_majority(approx, 501, &mut rng);
+            assert_eq!(decision, truth > 0.0);
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! The reduction from Prob-kDNF to #DNF (Theorem 5.3).
+//!
+//! Given a kDNF `φ` and a rational probability `ν(X) = p/q` per variable,
+//! the reduction introduces, for each variable `X`, fresh bits
+//! `Ȳ = Y_{ℓ-1}…Y₀` with `ℓ = len(q)`, and substitutes
+//!
+//! * `X   ↦ "val(Ȳ) < p"`
+//! * `¬X  ↦ "val(Ȳ) ≥ p"`
+//!
+//! (both O(ℓ²)-size DNFs, see `qrel_logic::threshold`), re-normalizing to
+//! DNF — blowup exponential in `k` but polynomial in `|φ|` and the bit
+//! length of the probabilities. An assignment to `Ȳ` is *legal* when
+//! `val(Ȳ) < q`; the final formula
+//!
+//! ```text
+//! φ'' = φ' ∨ ⋁_X "val(Ȳ_X) ≥ q_X"
+//! ```
+//!
+//! is satisfied by all illegal assignments plus exactly the legal
+//! assignments satisfying `φ'`, so with `Q = ∏ q_X` (the number of legal
+//! assignments) and `L = Σ ℓ_X` bits in total:
+//!
+//! ```text
+//! ν(φ) = (#φ'' − (2^L − Q)) / Q .
+//! ```
+//!
+//! In the dyadic case (`q = 2^ℓ`) there are no illegal assignments and
+//! `φ'' = φ'`. Applying the Karp–Luby #DNF FPTRAS to `φ''` yields the
+//! FPTRAS for Prob-kDNF claimed by the theorem.
+
+use qrel_arith::{BigRational, BigUint};
+use qrel_count::exact_dnf::dnf_count_models;
+use qrel_count::KarpLuby;
+use qrel_logic::prop::{Dnf, Lit, VarId};
+use qrel_logic::threshold::{bit_len, BitCounter};
+use rand::Rng;
+use std::fmt;
+
+/// Errors from building the reduction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReductionError {
+    /// A probability whose numerator/denominator exceeds `u64` (the
+    /// threshold encodings index bits by machine integers).
+    ProbabilityTooWide { var: VarId },
+    /// Probability vector does not cover all formula variables.
+    MissingProbability { var: VarId },
+}
+
+impl fmt::Display for ReductionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReductionError::ProbabilityTooWide { var } => {
+                write!(f, "probability of variable x{var} does not fit in u64/u64")
+            }
+            ReductionError::MissingProbability { var } => {
+                write!(f, "no probability given for variable x{var}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReductionError {}
+
+/// `val(Ȳ) < b`, handling the saturated bound `b ≥ 2^ℓ` (tautology).
+fn less_dnf(counter: &BitCounter, b: u64) -> Dnf {
+    if counter.len() < 64 && b >= (1u64 << counter.len()) {
+        Dnf::from_terms([Vec::<Lit>::new()])
+    } else {
+        counter.less_than(b)
+    }
+}
+
+/// `val(Ȳ) ≥ b`, handling the saturated bound `b ≥ 2^ℓ` (unsatisfiable).
+fn geq_dnf(counter: &BitCounter, b: u64) -> Dnf {
+    if counter.len() < 64 && b >= (1u64 << counter.len()) {
+        Dnf::new()
+    } else {
+        counter.at_least(b)
+    }
+}
+
+/// The constructed reduction for one `(φ, ν)` instance.
+#[derive(Debug, Clone)]
+pub struct ProbDnfReduction {
+    /// `φ''` — the #DNF instance over the counter bits.
+    pub phi2: Dnf,
+    /// Total counter bits `L` (the variable count of `φ''`).
+    pub total_bits: usize,
+    /// `Q = ∏ q_X` — the number of legal assignments.
+    pub legal_total: BigUint,
+    /// Per original variable: `(p, q)` of its probability.
+    bounds: Vec<(u64, u64)>,
+}
+
+impl ProbDnfReduction {
+    /// Build the reduction.
+    ///
+    /// `probs[v] = Pr[x_v = 1]`, one per variable `0..probs.len()`; all
+    /// variables of `dnf` must be covered.
+    pub fn new(dnf: &Dnf, probs: &[BigRational]) -> Result<Self, ReductionError> {
+        if dnf.var_bound() > probs.len() {
+            return Err(ReductionError::MissingProbability {
+                var: probs.len() as VarId,
+            });
+        }
+        // Allocate counters: variable v gets bits [offset[v], offset[v]+ℓ).
+        let mut bounds = Vec::with_capacity(probs.len());
+        let mut counters = Vec::with_capacity(probs.len());
+        let mut next_bit: VarId = 0;
+        for (v, p) in probs.iter().enumerate() {
+            assert!(p.is_probability(), "probability of x{v} out of range");
+            let num = p
+                .numer()
+                .magnitude()
+                .to_u64()
+                .ok_or(ReductionError::ProbabilityTooWide { var: v as VarId })?;
+            let den = p
+                .denom()
+                .to_u64()
+                .ok_or(ReductionError::ProbabilityTooWide { var: v as VarId })?;
+            // ℓ bits so that q ≤ 2^ℓ with equality exactly in the dyadic
+            // case (so dyadic denominators produce no illegal assignments,
+            // as in the paper's "we are done" branch).
+            let ell = if den <= 1 { 1 } else { bit_len(den - 1) };
+            let bits: Vec<VarId> = (next_bit..next_bit + ell as VarId).collect();
+            next_bit += ell as VarId;
+            counters.push(BitCounter::new(bits));
+            bounds.push((num, den));
+        }
+
+        // φ': substitute each literal by its threshold DNF; per-term
+        // distribution (disjoint counters ⇒ merges always consistent).
+        let mut phi2 = Dnf::new();
+        for term in dnf.terms() {
+            let mut acc: Vec<Vec<Lit>> = vec![vec![]];
+            for lit in term {
+                let counter = &counters[lit.var as usize];
+                let (p, _q) = bounds[lit.var as usize];
+                let replacement = if lit.positive {
+                    less_dnf(counter, p)
+                } else {
+                    geq_dnf(counter, p)
+                };
+                let mut next = Vec::with_capacity(acc.len() * replacement.num_terms());
+                for a in &acc {
+                    for t in replacement.terms() {
+                        let mut merged = a.clone();
+                        merged.extend_from_slice(t);
+                        next.push(merged);
+                    }
+                }
+                acc = next;
+                if acc.is_empty() {
+                    break; // a literal with an unsatisfiable threshold (p = 0)
+                }
+            }
+            for t in acc {
+                phi2.push_term_checked(t);
+            }
+        }
+
+        // φ'' = φ' ∨ ⋁_X "val(Ȳ_X) ≥ q_X" (the illegal assignments).
+        let mut legal_total = BigUint::one();
+        for (v, counter) in counters.iter().enumerate() {
+            let (_p, q) = bounds[v];
+            legal_total = legal_total.mul_ref(&BigUint::from_u64(q));
+            let illegal = geq_dnf(counter, q);
+            phi2.or_with(&illegal);
+        }
+
+        Ok(ProbDnfReduction {
+            phi2,
+            total_bits: next_bit as usize,
+            legal_total,
+            bounds,
+        })
+    }
+
+    /// True iff every probability is dyadic (no illegal assignments).
+    pub fn all_dyadic(&self) -> bool {
+        self.bounds.iter().all(|&(_, q)| q.is_power_of_two())
+    }
+
+    /// The number of illegal assignments `2^L − Q`.
+    pub fn illegal_count(&self) -> BigUint {
+        let two_l = BigUint::one().shl_bits(self.total_bits as u64);
+        two_l.checked_sub(&self.legal_total).expect("Q ≤ 2^L")
+    }
+
+    /// Recover `ν(φ)` exactly from a #φ'' model count.
+    pub fn probability_from_count(&self, models: &BigUint) -> BigRational {
+        let legal_sat = models
+            .checked_sub(&self.illegal_count())
+            .expect("model count below illegal floor");
+        BigRational::new(
+            qrel_arith::BigInt::from_biguint(legal_sat),
+            qrel_arith::BigInt::from_biguint(self.legal_total.clone()),
+        )
+    }
+
+    /// Exact `ν(φ)` by exact #DNF on `φ''` (oracle path; exponential).
+    pub fn exact_probability(&self) -> BigRational {
+        let models = dnf_count_models(&self.phi2, self.total_bits);
+        self.probability_from_count(&models)
+    }
+
+    /// Estimate `ν(φ)` via the Karp–Luby #DNF FPTRAS on `φ''` — the
+    /// algorithm of Theorem 5.3.
+    pub fn estimate<R: Rng>(&self, eps: f64, delta: f64, rng: &mut R) -> f64 {
+        let kl = KarpLuby::for_counting(&self.phi2, self.total_bits);
+        let report = kl.run(eps, delta, rng);
+        let models_est = report.estimate * (self.total_bits as f64).exp2();
+        let illegal = self.illegal_count().to_f64();
+        let legal = self.legal_total.to_f64();
+        ((models_est - illegal) / legal).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrel_count::dnf_probability_shannon;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn r(n: i64, d: u64) -> BigRational {
+        BigRational::from_ratio(n, d)
+    }
+
+    #[test]
+    fn dyadic_case_single_variable() {
+        // φ = x0, ν(x0) = 3/8: φ'' = "val < 3" over 3 bits, no illegal.
+        let d = Dnf::from_terms([vec![Lit::pos(0)]]);
+        let red = ProbDnfReduction::new(&d, &[r(3, 8)]).unwrap();
+        assert!(red.all_dyadic());
+        assert_eq!(red.total_bits, 3);
+        assert_eq!(red.illegal_count(), BigUint::zero());
+        assert_eq!(red.exact_probability(), r(3, 8));
+    }
+
+    #[test]
+    fn non_dyadic_case_single_variable() {
+        // ν(x0) = 2/3: ℓ = len(3) = 2 bits, Q = 3, illegal = 1.
+        let d = Dnf::from_terms([vec![Lit::pos(0)]]);
+        let red = ProbDnfReduction::new(&d, &[r(2, 3)]).unwrap();
+        assert!(!red.all_dyadic());
+        assert_eq!(red.total_bits, 2);
+        assert_eq!(red.legal_total, BigUint::from_u32(3));
+        assert_eq!(red.illegal_count(), BigUint::one());
+        assert_eq!(red.exact_probability(), r(2, 3));
+    }
+
+    #[test]
+    fn negative_literal() {
+        // φ = ¬x0 with ν(x0) = 2/5: ν(φ) = 3/5.
+        let d = Dnf::from_terms([vec![Lit::neg(0)]]);
+        let red = ProbDnfReduction::new(&d, &[r(2, 5)]).unwrap();
+        assert_eq!(red.exact_probability(), r(3, 5));
+    }
+
+    #[test]
+    fn matches_exact_prob_dnf_on_mixed_formulas() {
+        // Cross-validate the whole reduction against the independent
+        // Shannon-expansion oracle on the *original* formula.
+        let cases: Vec<(Dnf, Vec<BigRational>)> = vec![
+            (
+                Dnf::from_terms([vec![Lit::pos(0), Lit::neg(1)], vec![Lit::pos(1)]]),
+                vec![r(1, 3), r(2, 7)],
+            ),
+            (
+                Dnf::from_terms([
+                    vec![Lit::pos(0), Lit::pos(1)],
+                    vec![Lit::neg(0), Lit::pos(2)],
+                ]),
+                vec![r(5, 12), r(1, 2), r(3, 5)],
+            ),
+            (
+                Dnf::from_terms([vec![Lit::pos(0)], vec![Lit::pos(1)], vec![Lit::pos(2)]]),
+                vec![r(1, 6), r(1, 6), r(1, 6)],
+            ),
+        ];
+        for (i, (d, probs)) in cases.iter().enumerate() {
+            let red = ProbDnfReduction::new(d, probs).unwrap();
+            let direct = dnf_probability_shannon(d, probs);
+            assert_eq!(red.exact_probability(), direct, "case {i}");
+        }
+    }
+
+    #[test]
+    fn extreme_probabilities() {
+        let d = Dnf::from_terms([vec![Lit::pos(0), Lit::pos(1)]]);
+        // ν(x0) = 0 kills the positive literal: probability 0.
+        let red = ProbDnfReduction::new(&d, &[r(0, 1), r(1, 2)]).unwrap();
+        assert_eq!(red.exact_probability(), BigRational::zero());
+        // ν(x0) = 1: "val < 1" over len(1)=1 bit is val=0 — prob 1·(1/2)…
+        let red1 = ProbDnfReduction::new(&d, &[r(1, 1), r(1, 2)]).unwrap();
+        assert_eq!(red1.exact_probability(), r(1, 2));
+    }
+
+    #[test]
+    fn estimate_close_to_exact() {
+        let d = Dnf::from_terms([
+            vec![Lit::pos(0), Lit::neg(1)],
+            vec![Lit::pos(1), Lit::pos(2)],
+        ]);
+        let probs = vec![r(1, 3), r(2, 5), r(1, 2)];
+        let red = ProbDnfReduction::new(&d, &probs).unwrap();
+        let exact = red.exact_probability().to_f64();
+        let mut rng = StdRng::seed_from_u64(42);
+        let est = red.estimate(0.02, 0.02, &mut rng);
+        assert!(
+            (est - exact).abs() < 0.05,
+            "estimate {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn missing_probability_rejected() {
+        let d = Dnf::from_terms([vec![Lit::pos(3)]]);
+        assert!(matches!(
+            ProbDnfReduction::new(&d, &[r(1, 2)]),
+            Err(ReductionError::MissingProbability { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_formula() {
+        let red = ProbDnfReduction::new(&Dnf::new(), &[r(1, 2)]).unwrap();
+        assert_eq!(red.exact_probability(), BigRational::zero());
+    }
+
+    #[test]
+    fn tautology_via_complementary_literals() {
+        // φ = x0 ∨ ¬x0: probability 1 regardless of ν.
+        let d = Dnf::from_terms([vec![Lit::pos(0)], vec![Lit::neg(0)]]);
+        let red = ProbDnfReduction::new(&d, &[r(3, 7)]).unwrap();
+        assert_eq!(red.exact_probability(), BigRational::one());
+    }
+}

@@ -1,0 +1,216 @@
+//! The Lemma 5.9 reduction: 4-colourability ≤ co-AR_ψ for a fixed
+//! existential query.
+//!
+//! Colours are encoded by two unary relations `R₁, R₂` (two bits → four
+//! colours). The query
+//!
+//! ```text
+//! ψ = ∃x∃y (Exy ∧ (R₁x ↔ R₁y) ∧ (R₂x ↔ R₂y))
+//! ```
+//!
+//! says some edge is monochromatic — `(R₁, R₂)` is *not* a proper
+//! 4-colouring. From a graph `G = (V, E)` build `𝔇 = (𝔄, μ)` with the
+//! edges certain (`μ = 0`), both colour relations empty, and
+//! `μ(Rᵢv) = 1/2` on every node: the worlds are exactly the colourings.
+//! Since the observed all-same colouring is monochromatic on every edge
+//! (`𝔄 ⊨ ψ`, granted `E ≠ ∅` — the paper's footnote 2), the answer can
+//! flip iff some world is a proper 4-colouring:
+//! `G is 4-colourable ⟺ 𝔇 ∉ AR_ψ`.
+//!
+//! An independent backtracking 4-colouring solver is included as the
+//! verification oracle.
+
+use qrel_arith::BigRational;
+use qrel_db::{DatabaseBuilder, Fact};
+use qrel_logic::parser::parse_formula;
+use qrel_logic::Formula;
+use qrel_prob::UnreliableDatabase;
+
+/// A simple undirected graph on vertices `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+impl Graph {
+    /// # Panics
+    /// Panics on out-of-range endpoints or self-loops.
+    pub fn new(n: usize, edges: Vec<(u32, u32)>) -> Self {
+        for &(a, b) in &edges {
+            assert!(
+                (a as usize) < n && (b as usize) < n,
+                "edge endpoint out of range"
+            );
+            assert_ne!(a, b, "self-loops not allowed");
+        }
+        Graph { n, edges }
+    }
+
+    /// The complete graph `K_n`.
+    pub fn complete(n: usize) -> Self {
+        let mut edges = Vec::new();
+        for a in 0..n as u32 {
+            for b in (a + 1)..n as u32 {
+                edges.push((a, b));
+            }
+        }
+        Graph { n, edges }
+    }
+
+    /// A cycle `C_n`.
+    pub fn cycle(n: usize) -> Self {
+        assert!(n >= 3);
+        let edges = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        Graph { n, edges }
+    }
+
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// Backtracking k-colouring oracle.
+    pub fn is_k_colourable(&self, k: usize) -> bool {
+        if self.n == 0 {
+            return true;
+        }
+        let mut adj = vec![Vec::new(); self.n];
+        for &(a, b) in &self.edges {
+            adj[a as usize].push(b as usize);
+            adj[b as usize].push(a as usize);
+        }
+        let mut colours = vec![usize::MAX; self.n];
+        fn go(v: usize, k: usize, adj: &[Vec<usize>], colours: &mut [usize]) -> bool {
+            if v == colours.len() {
+                return true;
+            }
+            // Symmetry breaking: vertex v may only use colours 0..=min(v,k-1).
+            for c in 0..k.min(v + 1) {
+                if adj[v].iter().all(|&u| colours[u] != c) {
+                    colours[v] = c;
+                    if go(v + 1, k, adj, colours) {
+                        return true;
+                    }
+                    colours[v] = usize::MAX;
+                }
+            }
+            false
+        }
+        go(0, k, &adj, &mut colours)
+    }
+}
+
+/// The fixed existential (non-4-colouring) query of Lemma 5.9.
+pub fn lemma_query() -> Formula {
+    parse_formula("exists x y. E(x,y) & (R1(x) <-> R1(y)) & (R2(x) <-> R2(y))")
+        .expect("fixed query parses")
+}
+
+/// Build the unreliable database of the reduction.
+pub fn reduce(g: &Graph) -> UnreliableDatabase {
+    let db = DatabaseBuilder::new()
+        .universe_size(g.num_vertices())
+        .relation("E", 2)
+        .relation("R1", 1)
+        .relation("R2", 1)
+        .tuples(
+            "E",
+            g.edges()
+                .iter()
+                .map(|&(a, b)| vec![a, b])
+                .collect::<Vec<_>>(),
+        )
+        .build();
+    let mut ud = UnreliableDatabase::reliable(db);
+    let half = BigRational::from_ratio(1, 2);
+    for v in 0..g.num_vertices() as u32 {
+        ud.set_error(&Fact::new(1, vec![v]), half.clone()).unwrap();
+        ud.set_error(&Fact::new(2, vec![v]), half.clone()).unwrap();
+    }
+    ud
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::absolute::is_absolutely_reliable;
+    use qrel_eval::FoQuery;
+    use qrel_logic::Fragment;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn reduction_says_colourable(g: &Graph) -> bool {
+        let ud = reduce(g);
+        let q = FoQuery::new(lemma_query());
+        // G 4-colourable ⟺ 𝔇 ∉ AR_ψ.
+        !is_absolutely_reliable(&ud, &q).unwrap()
+    }
+
+    #[test]
+    fn query_is_existential() {
+        assert_eq!(lemma_query().fragment(), Fragment::Existential);
+    }
+
+    #[test]
+    fn colouring_oracle_classics() {
+        assert!(Graph::complete(4).is_k_colourable(4));
+        assert!(!Graph::complete(5).is_k_colourable(4));
+        assert!(Graph::cycle(5).is_k_colourable(3));
+        assert!(!Graph::cycle(5).is_k_colourable(2));
+        assert!(Graph::cycle(6).is_k_colourable(2));
+    }
+
+    #[test]
+    fn k4_is_four_colourable_via_reduction() {
+        assert!(reduction_says_colourable(&Graph::complete(4)));
+    }
+
+    #[test]
+    fn k5_is_not_four_colourable_via_reduction() {
+        assert!(!reduction_says_colourable(&Graph::complete(5)));
+    }
+
+    #[test]
+    fn random_graphs_match_oracle() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..6 {
+            let n = rng.gen_range(4..7usize);
+            let mut edges = Vec::new();
+            for a in 0..n as u32 {
+                for b in (a + 1)..n as u32 {
+                    if rng.gen_bool(0.6) {
+                        edges.push((a, b));
+                    }
+                }
+            }
+            if edges.is_empty() {
+                edges.push((0, 1)); // footnote 2: E ≠ ∅
+            }
+            let g = Graph::new(n, edges);
+            assert_eq!(
+                reduction_says_colourable(&g),
+                g.is_k_colourable(4),
+                "graph {g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn k5_plus_isolated_vertices_still_uncolourable() {
+        let mut edges = Graph::complete(5).edges().to_vec();
+        edges.push((5, 6));
+        let g = Graph::new(7, edges);
+        assert!(!g.is_k_colourable(4));
+        assert!(!reduction_says_colourable(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loops_rejected() {
+        Graph::new(3, vec![(1, 1)]);
+    }
+}

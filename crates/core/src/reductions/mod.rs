@@ -1,0 +1,16 @@
+//! Executable hardness reductions.
+//!
+//! The paper's lower bounds are reductions; implementing them makes the
+//! hardness claims mechanically checkable: for every instance, the
+//! quantity computed through the reliability machinery must equal the
+//! quantity computed by an independent combinatorial oracle.
+//!
+//! * [`mon2sat`] — Proposition 3.2: #MONOTONE-2SAT reduces to computing
+//!   the expected error of the fixed conjunctive query
+//!   `∃x∃y∃z (Lxy ∧ Rxz ∧ Sy ∧ Sz)`;
+//! * [`four_col`] — Lemma 5.9: graph 4-colourability reduces to the
+//!   complement of the absolute reliability problem of the fixed
+//!   existential query `∃x∃y (Exy ∧ (R₁x ↔ R₁y) ∧ (R₂x ↔ R₂y))`.
+
+pub mod four_col;
+pub mod mon2sat;

@@ -1,0 +1,195 @@
+//! The Proposition 3.2 reduction: #MONOTONE-2SAT ≤ computing `H_ψ` for a
+//! fixed conjunctive query.
+//!
+//! A monotone 2-CNF `⋀ᵢ (Yᵢ ∨ Zᵢ)` is modeled as a structure
+//! `(A, L, R, S)`: the universe is the disjoint union of clauses and
+//! variables, `L(u,v)`/`R(u,v)` say that `v` is the left/right variable
+//! of clause `u`, and `S` holds the variables assigned *false*. The
+//! observed database sets `S` = all variables (the all-false assignment)
+//! and gives exactly the `S`-facts on variables error probability `1/2`,
+//! so `Ω(𝔇)` is uniform over assignments. The conjunctive query
+//!
+//! ```text
+//! ψ = ∃x∃y∃z (Lxy ∧ Rxz ∧ Sy ∧ Sz)
+//! ```
+//!
+//! holds iff some clause has both variables false, i.e. iff the
+//! assignment *falsifies* the formula; hence
+//! `H_ψ(𝔇) = #SAT / 2^m`. Note the reduction assigns positive `μ` only
+//! to facts that are *positive* in the observed database, so it applies
+//! verbatim in de Rougemont's restricted model (Remark, Section 3).
+
+use qrel_arith::{BigInt, BigRational, BigUint};
+use qrel_db::{Database, DatabaseBuilder, Fact};
+use qrel_logic::mon2sat::Monotone2Sat;
+use qrel_logic::parser::parse_formula;
+use qrel_logic::Formula;
+use qrel_prob::{ErrorModel, UnreliableDatabase};
+
+/// The fixed conjunctive query of Proposition 3.2.
+pub fn proposition_query() -> Formula {
+    parse_formula("exists x y z. L(x,y) & R(x,z) & S(y) & S(z)").expect("fixed query parses")
+}
+
+/// The constructed instance.
+#[derive(Debug)]
+pub struct Mon2SatInstance {
+    /// The unreliable database `(𝔄, μ)`.
+    pub ud: UnreliableDatabase,
+    /// The query `ψ`.
+    pub query: Formula,
+    /// Number of propositional variables `m` (so assignments = `2^m`).
+    pub num_vars: u32,
+    /// Whether the observed database satisfies `ψ` (true whenever the
+    /// formula has at least one clause).
+    pub observed_value: bool,
+}
+
+/// Build the unreliable database for a monotone 2-CNF instance.
+pub fn reduce(f: &Monotone2Sat) -> Mon2SatInstance {
+    let n_clauses = f.num_clauses();
+    let m = f.num_vars() as usize;
+    let db: Database = {
+        let mut b = DatabaseBuilder::new()
+            .universe_size(n_clauses + m)
+            .relation("L", 2)
+            .relation("R", 2)
+            .relation("S", 1);
+        let l_tuples: Vec<Vec<u32>> = f
+            .clauses()
+            .iter()
+            .enumerate()
+            .map(|(i, &(y, _))| vec![i as u32, (n_clauses + y as usize) as u32])
+            .collect();
+        let r_tuples: Vec<Vec<u32>> = f
+            .clauses()
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, z))| vec![i as u32, (n_clauses + z as usize) as u32])
+            .collect();
+        let s_tuples: Vec<Vec<u32>> = (0..m).map(|v| vec![(n_clauses + v) as u32]).collect();
+        b = b
+            .tuples("L", l_tuples)
+            .tuples("R", r_tuples)
+            .tuples("S", s_tuples);
+        b.build()
+    };
+    let mut ud = UnreliableDatabase::reliable(db)
+        .with_model(ErrorModel::PositiveOnly)
+        .expect("fresh database has no errors");
+    let s_index = 2; // vocabulary order: L, R, S
+    let half = BigRational::from_ratio(1, 2);
+    for v in 0..m {
+        ud.set_error(
+            &Fact::new(s_index, vec![(n_clauses + v) as u32]),
+            half.clone(),
+        )
+        .expect("S-facts are positive in the observed database");
+    }
+    Mon2SatInstance {
+        ud,
+        query: proposition_query(),
+        num_vars: f.num_vars(),
+        observed_value: n_clauses > 0,
+    }
+}
+
+/// Recover `#SAT` from the exact expected error `H_ψ(𝔇)`.
+///
+/// With at least one clause, `H = #SAT/2^m`; for the empty formula the
+/// observed value flips and `H = 1 − #SAT/2^m = 0`.
+pub fn recover_count(instance: &Mon2SatInstance, h: &BigRational) -> BigUint {
+    let two_m = BigRational::new(
+        BigInt::from_biguint(BigUint::one().shl_bits(instance.num_vars as u64)),
+        BigInt::one(),
+    );
+    let frac = if instance.observed_value {
+        h.clone()
+    } else {
+        h.one_minus()
+    };
+    let count = frac.mul_ref(&two_m);
+    assert!(count.is_integer(), "H·2^m must be integral, got {count}");
+    count.numer().magnitude().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_reliability;
+    use qrel_count::count_mon2sat;
+    use qrel_eval::FoQuery;
+    use qrel_logic::Fragment;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn h_of(instance: &Mon2SatInstance) -> BigRational {
+        let q = FoQuery::new(instance.query.clone());
+        exact_reliability(&instance.ud, &q).unwrap().expected_error
+    }
+
+    #[test]
+    fn query_is_conjunctive() {
+        assert_eq!(proposition_query().fragment(), Fragment::Conjunctive);
+    }
+
+    #[test]
+    fn observed_database_satisfies_query() {
+        let f = Monotone2Sat::new(3, vec![(0, 1), (1, 2)]);
+        let inst = reduce(&f);
+        use qrel_eval::Query as _;
+        let q = FoQuery::new(inst.query.clone());
+        assert!(q.eval_sentence(inst.ud.observed()).unwrap());
+        assert!(inst.observed_value);
+    }
+
+    #[test]
+    fn hand_checked_instance() {
+        // (y0|y1)&(y1|y2): 5 satisfying assignments out of 8.
+        let f = Monotone2Sat::new(3, vec![(0, 1), (1, 2)]);
+        let inst = reduce(&f);
+        let h = h_of(&inst);
+        assert_eq!(h, BigRational::from_ratio(5, 8));
+        assert_eq!(recover_count(&inst, &h).to_u64(), Some(5));
+    }
+
+    #[test]
+    fn random_instances_match_sharp_sat_oracle() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..8 {
+            let f = Monotone2Sat::random(5, 6, &mut rng);
+            let inst = reduce(&f);
+            let h = h_of(&inst);
+            let via_reliability = recover_count(&inst, &h).to_u64().unwrap();
+            let via_oracle = count_mon2sat(&f);
+            assert_eq!(via_reliability, via_oracle, "formula {f}");
+        }
+    }
+
+    #[test]
+    fn duplicate_clause_variables_handled() {
+        // Clause endpoints are distinct by construction, but clauses may
+        // repeat: (y0|y1)&(y0|y1).
+        let f = Monotone2Sat::new(2, vec![(0, 1), (0, 1)]);
+        let inst = reduce(&f);
+        let h = h_of(&inst);
+        assert_eq!(recover_count(&inst, &h).to_u64(), Some(count_mon2sat(&f)));
+    }
+
+    #[test]
+    fn empty_formula() {
+        let f = Monotone2Sat::new(2, vec![]);
+        let inst = reduce(&f);
+        assert!(!inst.observed_value);
+        let h = h_of(&inst);
+        assert_eq!(h, BigRational::zero());
+        assert_eq!(recover_count(&inst, &h).to_u64(), Some(4)); // 2^2 models
+    }
+
+    #[test]
+    fn reduction_respects_positive_only_model() {
+        let f = Monotone2Sat::new(3, vec![(0, 2)]);
+        let inst = reduce(&f);
+        assert_eq!(inst.ud.model(), ErrorModel::PositiveOnly);
+    }
+}

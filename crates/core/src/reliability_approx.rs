@@ -1,0 +1,208 @@
+//! Absolute-error approximation of reliability for existential and
+//! universal queries (Corollary 5.5).
+//!
+//! For a Boolean existential `ψ`: `H_ψ = ν(ψ)` or `1 − ν(ψ)` depending on
+//! whether the observed database satisfies `ψ`, so the Theorem 5.4 FPTRAS
+//! for `ν(ψ)` directly yields an absolute-(ε, δ) estimate of `R_ψ`
+//! (relative error on a `[0,1]` quantity implies absolute error).
+//! Universal queries go through their existential negation:
+//! `ν(ψ) = 1 − ν(¬ψ)`.
+//!
+//! For k-ary queries the corollary splits the budget: estimate each
+//! per-tuple error `H_{ψ(ā)}` to within `ε/n^k` at confidence
+//! `1 − δ/n^k`, sum, and a union bound gives `|R̂ − R_ψ| ≤ ε` with
+//! probability `≥ 1 − δ`.
+
+use crate::existential::{
+    estimate_grounding, ground_with_probabilities, ExistentialError, Route, DEFAULT_MAX_TERMS,
+};
+use qrel_eval::eval_formula;
+use qrel_eval::GroundError;
+use qrel_logic::{Formula, Fragment};
+use qrel_prob::UnreliableDatabase;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Result of the Corollary 5.5 estimator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApproxReport {
+    /// Estimated expected error `Ĥ_ψ`.
+    pub expected_error: f64,
+    /// Estimated reliability `R̂_ψ = 1 − Ĥ_ψ/n^k`.
+    pub reliability: f64,
+    /// Number of per-tuple estimations performed (`n^k`).
+    pub tuples: usize,
+}
+
+/// Estimate the reliability of an existential **or universal** query with
+/// absolute error `ε` at confidence `1 − δ`.
+///
+/// `free_vars` fixes the tuple order for k-ary queries (pass `&[]` for
+/// sentences).
+pub fn approximate_reliability<R: Rng>(
+    ud: &UnreliableDatabase,
+    formula: &Formula,
+    free_vars: &[String],
+    eps: f64,
+    delta: f64,
+    route: Route,
+    rng: &mut R,
+) -> Result<ApproxReport, ExistentialError> {
+    {
+        let mut sorted = free_vars.to_vec();
+        sorted.sort();
+        assert_eq!(sorted, formula.free_vars(), "free-variable order mismatch");
+    }
+    // Universal queries: estimate via the existential negation.
+    let (work_formula, flipped) = match formula.fragment() {
+        Fragment::Universal => (Formula::not(formula.clone()).to_nnf(), true),
+        _ => (formula.clone(), false),
+    };
+
+    let db = ud.observed();
+    let k = free_vars.len();
+    let tuples: Vec<Vec<u32>> = db.universe().tuples(k).collect();
+    let nk = tuples.len().max(1);
+    let per_eps = eps / nk as f64;
+    let per_delta = (delta / nk as f64).min(0.5);
+
+    let mut h = 0.0f64;
+    for tuple in &tuples {
+        let bindings: HashMap<String, u32> = free_vars
+            .iter()
+            .cloned()
+            .zip(tuple.iter().copied())
+            .collect();
+        // ν̂(ψ(ā)) for the (possibly negated) existential formula.
+        let (grounding, probs) =
+            ground_with_probabilities(ud, &work_formula, &bindings, DEFAULT_MAX_TERMS)?;
+        let nu_hat =
+            estimate_grounding(&grounding, &probs, per_eps.max(1e-9), per_delta, route, rng)?;
+        // Truth on the observed database, for the H = ν vs 1−ν split.
+        let eval_bindings = bindings.clone();
+        let observed = eval_formula(db, formula, &eval_bindings)
+            .map_err(|e| ExistentialError::Ground(GroundError::Eval(e)))?;
+        // ν̂ refers to work_formula; convert to ν(ψ(ā)).
+        let nu_psi = if flipped { 1.0 - nu_hat } else { nu_hat };
+        let h_tuple = if observed { 1.0 - nu_psi } else { nu_psi };
+        h += h_tuple.clamp(0.0, 1.0);
+    }
+
+    let reliability = 1.0 - h / nk as f64;
+    Ok(ApproxReport {
+        expected_error: h,
+        reliability,
+        tuples: nk,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_reliability;
+    use qrel_arith::BigRational;
+    use qrel_db::DatabaseBuilder;
+    use qrel_eval::FoQuery;
+    use qrel_logic::parser::parse_formula;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn r(n: i64, d: u64) -> BigRational {
+        BigRational::from_ratio(n, d)
+    }
+
+    fn setup() -> UnreliableDatabase {
+        let db = DatabaseBuilder::new()
+            .universe_size(3)
+            .relation("E", 2)
+            .relation("S", 1)
+            .tuples("E", [vec![0, 1], vec![1, 2]])
+            .tuples("S", [vec![0], vec![2]])
+            .build();
+        let mut ud = UnreliableDatabase::reliable(db);
+        ud.set_relation_error("S", r(1, 5)).unwrap();
+        ud.set_relation_error("E", r(1, 10)).unwrap();
+        ud
+    }
+
+    fn check(src: &str, free: &[&str]) {
+        let ud = setup();
+        let f = parse_formula(src).unwrap();
+        let free: Vec<String> = free.iter().map(|s| s.to_string()).collect();
+        let exact =
+            exact_reliability(&ud, &FoQuery::with_free_order(f.clone(), free.clone())).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let approx =
+            approximate_reliability(&ud, &f, &free, 0.05, 0.05, Route::Direct, &mut rng).unwrap();
+        let exact_rel = exact.reliability.to_f64();
+        assert!(
+            (approx.reliability - exact_rel).abs() <= 0.05,
+            "{src}: approx {} vs exact {exact_rel}",
+            approx.reliability
+        );
+    }
+
+    #[test]
+    fn boolean_existential() {
+        check("exists x y. E(x,y) & S(x)", &[]);
+    }
+
+    #[test]
+    fn boolean_universal() {
+        check("forall x y. E(x,y) -> (S(x) | S(y))", &[]);
+        check("forall x y. E(x,y) -> x != y", &[]);
+    }
+
+    #[test]
+    fn mixed_quantifiers_rejected() {
+        // ∀x (S(x) ∨ ∃y E(x,y)) is neither existential nor universal —
+        // the corollary does not apply and the pipeline must say so.
+        let ud = setup();
+        let f = parse_formula("forall x. S(x) | exists y. E(x,y)").unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(approximate_reliability(&ud, &f, &[], 0.1, 0.1, Route::Direct, &mut rng).is_err());
+    }
+
+    #[test]
+    fn unary_existential_query() {
+        check("exists y. E(x,y) & S(y)", &["x"]);
+    }
+
+    #[test]
+    fn binary_query_budget_split() {
+        let ud = setup();
+        let f = parse_formula("exists z. E(x,z) & E(z,y)").unwrap();
+        let free = vec!["x".to_string(), "y".to_string()];
+        let mut rng = StdRng::seed_from_u64(3);
+        let rep =
+            approximate_reliability(&ud, &f, &free, 0.1, 0.1, Route::Direct, &mut rng).unwrap();
+        assert_eq!(rep.tuples, 9);
+        let exact = exact_reliability(&ud, &FoQuery::with_free_order(f, free)).unwrap();
+        assert!((rep.reliability - exact.reliability.to_f64()).abs() <= 0.1);
+    }
+
+    #[test]
+    fn deterministic_database_gives_exact_answer() {
+        let db = DatabaseBuilder::new()
+            .universe_size(2)
+            .relation("S", 1)
+            .tuples("S", [vec![0]])
+            .build();
+        let ud = UnreliableDatabase::reliable(db);
+        let f = parse_formula("exists x. S(x)").unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let rep =
+            approximate_reliability(&ud, &f, &[], 0.01, 0.01, Route::Direct, &mut rng).unwrap();
+        assert_eq!(rep.reliability, 1.0);
+        assert_eq!(rep.expected_error, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "free-variable order mismatch")]
+    fn free_var_validation() {
+        let ud = setup();
+        let f = parse_formula("exists y. E(x,y)").unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = approximate_reliability(&ud, &f, &[], 0.1, 0.1, Route::Direct, &mut rng);
+    }
+}

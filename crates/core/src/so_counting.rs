@@ -1,0 +1,185 @@
+//! A concrete simulation of the Regan–Schwentick "one bit of a #P
+//! function" argument used in the PH branch of Theorem 4.2.
+//!
+//! For queries beyond P, the proof cannot simply accept at each leaf;
+//! instead each leaf contributes a number whose binary representation is
+//!
+//! ```text
+//! N_𝔅  =  y  0^q  ψ^𝔅  0^q  z        (Theorem 4.1)
+//! ```
+//!
+//! — arbitrary junk `y`, a zero buffer, the one *relevant* bit `ψ^𝔅`,
+//! another zero buffer, and low junk `z` of fixed width `t`. Summing
+//! `ν(𝔅)·g` copies of `N_𝔅` over all worlds, the buffers guarantee that
+//! the junk cannot carry into the window holding `Σ ν(𝔅)·g·ψ^𝔅 =
+//! g·Pr[𝔅 ⊨ ψ]`, because fewer than `2^q` numbers are added.
+//!
+//! This module performs that sum with explicit random junk and extracts
+//! the counter from the bit window — verifying the non-interference
+//! arithmetic that the complexity-theoretic argument relies on. It is a
+//! *demonstration* (we can evaluate `ψ` directly; the point is the bit
+//! algebra), used by tests and the experiment suite.
+
+use qrel_arith::{BigInt, BigRational, BigUint};
+use qrel_eval::{EvalError, Query};
+use qrel_prob::normalizer::sound_g;
+use qrel_prob::UnreliableDatabase;
+use rand::Rng;
+
+/// Outcome of the simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OneBitSimulation {
+    /// The normalizer `g` (number of leaves of the computation tree).
+    pub g: BigUint,
+    /// Zero-buffer width `q` (chosen with `2^q > g`).
+    pub q: u64,
+    /// Low-junk width `t(n)`.
+    pub t: u64,
+    /// The full junk-laden sum `Σ ν(𝔅)·g · N_𝔅`.
+    pub total: BigUint,
+    /// The counter extracted from bits `[t+q, t+2q)` of `total`.
+    pub extracted: BigUint,
+}
+
+/// Run the simulation: per-world random junk `y < 2^8`, `z < 2^t`, the
+/// relevant bit `ψ^𝔅`, weights `ν(𝔅)·g`. Returns the extraction, which
+/// the caller can compare with `g·Pr[𝔅 ⊨ ψ]`.
+pub fn simulate_one_bit_extraction<R: Rng>(
+    ud: &UnreliableDatabase,
+    query: &dyn Query,
+    junk_width: u64,
+    rng: &mut R,
+) -> Result<OneBitSimulation, EvalError> {
+    assert_eq!(query.arity(), 0, "simulation requires a Boolean query");
+    let g = sound_g(ud);
+    // 2^q > g: one more bit than g occupies.
+    let q = g.bit_length() + 1;
+    let t = junk_width;
+    let g_rat = BigRational::new(BigInt::from_biguint(g.clone()), BigInt::one());
+
+    let mut total = BigUint::zero();
+    for (world, prob) in ud.worlds() {
+        // w_𝔅 = ν(𝔅)·g ∈ ℕ (the leaf multiplicity).
+        let scaled = prob.mul_ref(&g_rat);
+        assert!(scaled.is_integer(), "normalizer must clear denominators");
+        let weight = scaled.numer().magnitude().clone();
+        if weight.is_zero() {
+            continue;
+        }
+        let psi = query.eval(&world, &[])?;
+        // N_𝔅 = y·2^{t+2q+1} + ψ·2^{t+q} + z.
+        let y = BigUint::from_u64(rng.gen_range(1..256u64));
+        let z = if t == 0 {
+            BigUint::zero()
+        } else {
+            BigUint::from_u64(rng.gen::<u64>() & ((1u64 << t.min(63)) - 1))
+        };
+        let mut n_b = y.shl_bits(t + 2 * q + 1);
+        if psi {
+            n_b = n_b.add_ref(&BigUint::one().shl_bits(t + q));
+        }
+        n_b = n_b.add_ref(&z);
+        total = total.add_ref(&weight.mul_ref(&n_b));
+    }
+
+    // Extract bits [t+q, t+2q): shift down, mask to q bits.
+    let shifted = total.shr_bits(t + q);
+    let mask = BigUint::one()
+        .shl_bits(q)
+        .checked_sub(&BigUint::one())
+        .unwrap();
+    // Masking = shifted mod 2^q.
+    let (_, extracted) = shifted.div_rem(&mask.add_ref(&BigUint::one()));
+
+    Ok(OneBitSimulation {
+        g,
+        q,
+        t,
+        total,
+        extracted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::counting_certificate;
+    use qrel_arith::BigRational;
+    use qrel_db::{DatabaseBuilder, Fact};
+    use qrel_eval::FoQuery;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn r(n: i64, d: u64) -> BigRational {
+        BigRational::from_ratio(n, d)
+    }
+
+    fn setup() -> UnreliableDatabase {
+        let db = DatabaseBuilder::new()
+            .universe_size(2)
+            .relation("E", 2)
+            .relation("S", 1)
+            .tuples("E", [vec![0, 1]])
+            .tuples("S", [vec![0]])
+            .build();
+        let mut ud = UnreliableDatabase::reliable(db);
+        ud.set_error(&Fact::new(0, vec![0, 1]), r(1, 3)).unwrap();
+        ud.set_error(&Fact::new(0, vec![1, 0]), r(2, 5)).unwrap();
+        ud.set_error(&Fact::new(1, vec![1]), r(5, 12)).unwrap();
+        ud
+    }
+
+    #[test]
+    fn extraction_recovers_certificate() {
+        let ud = setup();
+        let q = FoQuery::parse("exists x y. E(x,y) & S(x)").unwrap();
+        let cert = counting_certificate(&ud, &q).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for junk_width in [0u64, 8, 16, 40] {
+            let sim = simulate_one_bit_extraction(&ud, &q, junk_width, &mut rng).unwrap();
+            assert_eq!(sim.g, cert.g);
+            assert_eq!(
+                sim.extracted, cert.accepting_paths,
+                "junk width {junk_width}: extraction corrupted by junk"
+            );
+        }
+    }
+
+    #[test]
+    fn extraction_is_junk_independent() {
+        // Different random junk, same extraction — the zero buffers work.
+        let ud = setup();
+        let q = FoQuery::parse("exists x. S(x)").unwrap();
+        let mut outs = Vec::new();
+        for seed in 0..5u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let sim = simulate_one_bit_extraction(&ud, &q, 24, &mut rng).unwrap();
+            outs.push(sim.extracted);
+        }
+        assert!(outs.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn totals_differ_but_window_agrees() {
+        let ud = setup();
+        let q = FoQuery::parse("exists x y. E(x,y)").unwrap();
+        let mut rng1 = StdRng::seed_from_u64(10);
+        let mut rng2 = StdRng::seed_from_u64(20);
+        let a = simulate_one_bit_extraction(&ud, &q, 16, &mut rng1).unwrap();
+        let b = simulate_one_bit_extraction(&ud, &q, 16, &mut rng2).unwrap();
+        assert_ne!(a.total, b.total, "junk should differ across seeds");
+        assert_eq!(a.extracted, b.extracted);
+    }
+
+    #[test]
+    fn true_and_false_queries() {
+        let ud = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        let taut = FoQuery::parse("exists x. S(x) | !S(x)").unwrap();
+        let sim = simulate_one_bit_extraction(&ud, &taut, 12, &mut rng).unwrap();
+        assert_eq!(sim.extracted, sim.g, "tautology: all g paths accept");
+        let contra = FoQuery::parse("exists x. S(x) & !S(x)").unwrap();
+        let sim0 = simulate_one_bit_extraction(&ud, &contra, 12, &mut rng).unwrap();
+        assert!(sim0.extracted.is_zero());
+    }
+}

@@ -1,0 +1,452 @@
+//! Reduced ordered binary decision diagrams (ROBDDs) for exact weighted
+//! model counting.
+//!
+//! Shannon expansion (in `exact_dnf`) recomputes shared subproblems;
+//! compiling the formula into an ROBDD shares them structurally:
+//! probability evaluation is then a single linear pass over the DAG
+//!
+//! ```text
+//! P(node) = (1 − p_var)·P(low) + p_var·P(high)
+//! ```
+//!
+//! with skipped variables integrating out to 1. This is the
+//! knowledge-compilation approach used by modern probabilistic database
+//! engines; here it serves as a third independent exact Prob-DNF oracle
+//! (besides Shannon expansion and inclusion–exclusion) and as the "exact
+//! but smarter" contender in the estimator-crossover ablation (E10).
+//!
+//! Implementation: hash-consed node store with the terminals at ids 0/1,
+//! memoized `apply` for ∧/∨ and memoized negation, natural variable
+//! order `0 < 1 < …` (inputs here are machine-generated groundings, so
+//! we do not fight variable-order pathologies).
+
+use qrel_arith::{BigRational, BigUint};
+use qrel_logic::prop::{Dnf, Lit, VarId};
+use std::collections::HashMap;
+
+/// Node identifier; `0` is ⊥, `1` is ⊤.
+pub type NodeId = u32;
+
+/// The ⊥ terminal.
+pub const FALSE: NodeId = 0;
+/// The ⊤ terminal.
+pub const TRUE: NodeId = 1;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Node {
+    var: VarId,
+    low: NodeId,
+    high: NodeId,
+}
+
+/// An ROBDD manager: owns the shared node store.
+#[derive(Debug, Default)]
+pub struct Bdd {
+    nodes: Vec<Node>,
+    unique: HashMap<Node, NodeId>,
+    and_memo: HashMap<(NodeId, NodeId), NodeId>,
+    or_memo: HashMap<(NodeId, NodeId), NodeId>,
+    not_memo: HashMap<NodeId, NodeId>,
+}
+
+impl Bdd {
+    pub fn new() -> Self {
+        // Two placeholder records so ids line up; terminals are special-
+        // cased everywhere and never dereferenced.
+        let sentinel = Node {
+            var: VarId::MAX,
+            low: 0,
+            high: 0,
+        };
+        Bdd {
+            nodes: vec![sentinel, sentinel],
+            unique: HashMap::new(),
+            and_memo: HashMap::new(),
+            or_memo: HashMap::new(),
+            not_memo: HashMap::new(),
+        }
+    }
+
+    fn is_terminal(id: NodeId) -> bool {
+        id <= 1
+    }
+
+    fn var_of(&self, id: NodeId) -> VarId {
+        if Self::is_terminal(id) {
+            VarId::MAX // terminals sort after every variable
+        } else {
+            self.nodes[id as usize].var
+        }
+    }
+
+    /// Hash-consed, reduced constructor.
+    fn mk(&mut self, var: VarId, low: NodeId, high: NodeId) -> NodeId {
+        if low == high {
+            return low;
+        }
+        let node = Node { var, low, high };
+        if let Some(&id) = self.unique.get(&node) {
+            return id;
+        }
+        let id = self.nodes.len() as NodeId;
+        self.nodes.push(node);
+        self.unique.insert(node, id);
+        id
+    }
+
+    /// The single-variable BDD `x_v`.
+    pub fn var(&mut self, v: VarId) -> NodeId {
+        self.mk(v, FALSE, TRUE)
+    }
+
+    /// The literal `x_v` or `¬x_v`.
+    pub fn literal(&mut self, l: Lit) -> NodeId {
+        if l.positive {
+            self.mk(l.var, FALSE, TRUE)
+        } else {
+            self.mk(l.var, TRUE, FALSE)
+        }
+    }
+
+    /// Negation.
+    pub fn not(&mut self, f: NodeId) -> NodeId {
+        match f {
+            FALSE => TRUE,
+            TRUE => FALSE,
+            _ => {
+                if let Some(&r) = self.not_memo.get(&f) {
+                    return r;
+                }
+                let n = self.nodes[f as usize];
+                let low = self.not(n.low);
+                let high = self.not(n.high);
+                let r = self.mk(n.var, low, high);
+                self.not_memo.insert(f, r);
+                r
+            }
+        }
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        match (f, g) {
+            (FALSE, _) | (_, FALSE) => return FALSE,
+            (TRUE, x) | (x, TRUE) => return x,
+            _ if f == g => return f,
+            _ => {}
+        }
+        let key = (f.min(g), f.max(g));
+        if let Some(&r) = self.and_memo.get(&key) {
+            return r;
+        }
+        let r = self.apply_binary(f, g, true);
+        self.and_memo.insert(key, r);
+        r
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        match (f, g) {
+            (TRUE, _) | (_, TRUE) => return TRUE,
+            (FALSE, x) | (x, FALSE) => return x,
+            _ if f == g => return f,
+            _ => {}
+        }
+        let key = (f.min(g), f.max(g));
+        if let Some(&r) = self.or_memo.get(&key) {
+            return r;
+        }
+        let r = self.apply_binary(f, g, false);
+        self.or_memo.insert(key, r);
+        r
+    }
+
+    fn apply_binary(&mut self, f: NodeId, g: NodeId, is_and: bool) -> NodeId {
+        let vf = self.var_of(f);
+        let vg = self.var_of(g);
+        let var = vf.min(vg);
+        let (f_low, f_high) = if vf == var {
+            let n = self.nodes[f as usize];
+            (n.low, n.high)
+        } else {
+            (f, f)
+        };
+        let (g_low, g_high) = if vg == var {
+            let n = self.nodes[g as usize];
+            (n.low, n.high)
+        } else {
+            (g, g)
+        };
+        let low = if is_and {
+            self.and(f_low, g_low)
+        } else {
+            self.or(f_low, g_low)
+        };
+        let high = if is_and {
+            self.and(f_high, g_high)
+        } else {
+            self.or(f_high, g_high)
+        };
+        self.mk(var, low, high)
+    }
+
+    /// Compile a DNF into the manager, returning its root.
+    pub fn from_dnf(&mut self, dnf: &Dnf) -> NodeId {
+        let mut root = FALSE;
+        for term in dnf.terms() {
+            let mut t = TRUE;
+            // Build conjunctions from the highest variable down so each
+            // `and` is with a literal above the current root — linear.
+            for l in term.iter().rev() {
+                let lit = self.literal(*l);
+                t = self.and(lit, t);
+            }
+            root = self.or(root, t);
+        }
+        root
+    }
+
+    /// Number of DAG nodes reachable from `f` (excluding terminals).
+    pub fn size(&self, f: NodeId) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        while let Some(id) = stack.pop() {
+            if Self::is_terminal(id) || !seen.insert(id) {
+                continue;
+            }
+            let n = self.nodes[id as usize];
+            stack.push(n.low);
+            stack.push(n.high);
+        }
+        seen.len()
+    }
+
+    /// Exact probability that the function is true when `x_v` is
+    /// independently true with probability `probs[v]`.
+    pub fn probability(&self, f: NodeId, probs: &[BigRational]) -> BigRational {
+        let mut memo: HashMap<NodeId, BigRational> = HashMap::new();
+        self.prob_rec(f, probs, &mut memo)
+    }
+
+    fn prob_rec(
+        &self,
+        f: NodeId,
+        probs: &[BigRational],
+        memo: &mut HashMap<NodeId, BigRational>,
+    ) -> BigRational {
+        match f {
+            FALSE => BigRational::zero(),
+            TRUE => BigRational::one(),
+            _ => {
+                if let Some(p) = memo.get(&f) {
+                    return p.clone();
+                }
+                let n = self.nodes[f as usize];
+                let pv = &probs[n.var as usize];
+                let low = self.prob_rec(n.low, probs, memo);
+                let high = self.prob_rec(n.high, probs, memo);
+                let p = pv.one_minus().mul_ref(&low).add_ref(&pv.mul_ref(&high));
+                memo.insert(f, p.clone());
+                p
+            }
+        }
+    }
+
+    /// Exact model count over `num_vars` variables.
+    pub fn count_models(&self, f: NodeId, num_vars: usize) -> BigUint {
+        let half = BigRational::from_ratio(1, 2);
+        let probs = vec![half; num_vars];
+        let p = self.probability(f, &probs);
+        let scaled = p.mul_ref(&BigRational::new(
+            qrel_arith::BigInt::from_biguint(BigUint::one().shl_bits(num_vars as u64)),
+            qrel_arith::BigInt::one(),
+        ));
+        assert!(scaled.is_integer(), "count must be integral");
+        scaled.numer().magnitude().clone()
+    }
+
+    /// Evaluate under a total assignment.
+    pub fn eval(&self, f: NodeId, assignment: &[bool]) -> bool {
+        let mut id = f;
+        while !Self::is_terminal(id) {
+            let n = self.nodes[id as usize];
+            id = if assignment[n.var as usize] {
+                n.high
+            } else {
+                n.low
+            };
+        }
+        id == TRUE
+    }
+
+    /// Total nodes allocated in the manager (diagnostic).
+    pub fn allocated(&self) -> usize {
+        self.nodes.len() - 2
+    }
+}
+
+/// Exact Prob-DNF via BDD compilation — the third independent oracle.
+pub fn dnf_probability_bdd(dnf: &Dnf, probs: &[BigRational]) -> BigRational {
+    assert!(
+        dnf.var_bound() <= probs.len(),
+        "probability vector does not cover all variables"
+    );
+    let mut bdd = Bdd::new();
+    let root = bdd.from_dnf(dnf);
+    bdd.probability(root, probs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact_dnf::dnf_probability_shannon;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn r(n: i64, d: u64) -> BigRational {
+        BigRational::from_ratio(n, d)
+    }
+
+    #[test]
+    fn terminals_and_literals() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        assert_ne!(x, FALSE);
+        assert!(b.eval(x, &[true]));
+        assert!(!b.eval(x, &[false]));
+        let nx = b.not(x);
+        assert!(b.eval(nx, &[false]));
+        // Reduction: ¬¬x = x (hash-consed to the same node).
+        assert_eq!(b.not(nx), x);
+    }
+
+    #[test]
+    fn contradiction_and_tautology_collapse() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let nx = b.not(x);
+        assert_eq!(b.and(x, nx), FALSE);
+        assert_eq!(b.or(x, nx), TRUE);
+    }
+
+    #[test]
+    fn sharing_across_terms() {
+        // (x0∧x2) ∨ (x1∧x2) shares the x2 subgraph.
+        let mut b = Bdd::new();
+        let d = Dnf::from_terms([
+            vec![Lit::pos(0), Lit::pos(2)],
+            vec![Lit::pos(1), Lit::pos(2)],
+        ]);
+        let root = b.from_dnf(&d);
+        assert!(b.size(root) <= 3, "size {}", b.size(root));
+    }
+
+    #[test]
+    fn probability_simple() {
+        let mut b = Bdd::new();
+        let d = Dnf::from_terms([vec![Lit::pos(0)], vec![Lit::pos(1)]]);
+        let root = b.from_dnf(&d);
+        // P(x0 ∨ x1) with p = 1/2: 3/4.
+        assert_eq!(b.probability(root, &[r(1, 2), r(1, 2)]), r(3, 4));
+    }
+
+    #[test]
+    fn agrees_with_shannon_on_random_dnf() {
+        let mut rng = StdRng::seed_from_u64(71);
+        for trial in 0..30 {
+            let n = rng.gen_range(2..9usize);
+            let mut d = Dnf::new();
+            for _ in 0..rng.gen_range(1..7) {
+                let len = rng.gen_range(1..4usize);
+                let lits: Vec<Lit> = (0..len)
+                    .map(|_| {
+                        let v = rng.gen_range(0..n) as u32;
+                        if rng.gen() {
+                            Lit::pos(v)
+                        } else {
+                            Lit::neg(v)
+                        }
+                    })
+                    .collect();
+                d.push_term_checked(lits);
+            }
+            let probs: Vec<BigRational> = (0..n).map(|_| r(rng.gen_range(0..=5), 5)).collect();
+            assert_eq!(
+                dnf_probability_bdd(&d, &probs),
+                dnf_probability_shannon(&d, &probs),
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn model_counting_matches_brute_force() {
+        let mut rng = StdRng::seed_from_u64(72);
+        for _ in 0..15 {
+            let n = rng.gen_range(2..10usize);
+            let mut d = Dnf::new();
+            for _ in 0..rng.gen_range(1..6) {
+                let len = rng.gen_range(1..4usize);
+                let lits: Vec<Lit> = (0..len)
+                    .map(|_| {
+                        let v = rng.gen_range(0..n) as u32;
+                        if rng.gen() {
+                            Lit::pos(v)
+                        } else {
+                            Lit::neg(v)
+                        }
+                    })
+                    .collect();
+                d.push_term_checked(lits);
+            }
+            let mut b = Bdd::new();
+            let root = b.from_dnf(&d);
+            assert_eq!(
+                b.count_models(root, n).to_u64(),
+                Some(d.count_models_brute(n))
+            );
+        }
+    }
+
+    #[test]
+    fn eval_agrees_with_dnf_eval() {
+        let d = Dnf::from_terms([vec![Lit::pos(0), Lit::neg(1)], vec![Lit::pos(2)]]);
+        let mut b = Bdd::new();
+        let root = b.from_dnf(&d);
+        for mask in 0u8..8 {
+            let a = [(mask & 1) != 0, (mask & 2) != 0, (mask & 4) != 0];
+            assert_eq!(b.eval(root, &a), d.eval(&a), "mask {mask}");
+        }
+    }
+
+    #[test]
+    fn canonical_equal_functions_same_node() {
+        // (x0 ∨ x1) built two ways lands on the same node id.
+        let mut b = Bdd::new();
+        let x0 = b.var(0);
+        let x1 = b.var(1);
+        let a = b.or(x0, x1);
+        let d = Dnf::from_terms([vec![Lit::pos(0)], vec![Lit::pos(1)]]);
+        let c = b.from_dnf(&d);
+        assert_eq!(a, c);
+        // De Morgan: ¬(¬x0 ∧ ¬x1) == x0 ∨ x1.
+        let nx0 = b.not(x0);
+        let nx1 = b.not(x1);
+        let conj = b.and(nx0, nx1);
+        let dm = b.not(conj);
+        assert_eq!(dm, a);
+    }
+
+    #[test]
+    fn linear_sized_for_disjoint_terms() {
+        // k disjoint positive terms: BDD size linear in total literals.
+        let k = 10;
+        let terms: Vec<Vec<Lit>> = (0..k)
+            .map(|i| vec![Lit::pos(2 * i), Lit::pos(2 * i + 1)])
+            .collect();
+        let d = Dnf::from_terms(terms);
+        let mut b = Bdd::new();
+        let root = b.from_dnf(&d);
+        assert!(b.size(root) <= 3 * k as usize, "size {}", b.size(root));
+    }
+}

@@ -1,0 +1,287 @@
+//! Exact `Prob-DNF`: the probability that a DNF formula is true when each
+//! variable is independently true with a given probability.
+//!
+//! Two independent exact algorithms are provided so each can serve as an
+//! oracle for the other (and both for the randomized schemes):
+//!
+//! * [`dnf_probability_shannon`] — Shannon expansion on variables with
+//!   restriction simplification; worst-case exponential in the variable
+//!   count but fast when terms collapse early;
+//! * [`dnf_probability_ie`] — inclusion–exclusion over terms; exponential
+//!   in the *term* count (use ≤ ~20 terms).
+//!
+//! Model counting for #DNF is the special case `p ≡ 1/2` times `2^n`.
+
+use qrel_arith::{BigInt, BigRational, BigUint};
+use qrel_logic::prop::{Dnf, Lit, VarId};
+
+/// Exact probability by Shannon expansion.
+///
+/// `probs[v]` is `Pr[x_v = true]`; every variable of the formula must be
+/// covered.
+pub fn dnf_probability_shannon(dnf: &Dnf, probs: &[BigRational]) -> BigRational {
+    assert!(
+        dnf.var_bound() <= probs.len(),
+        "probability vector does not cover all variables"
+    );
+    for p in probs {
+        assert!(p.is_probability(), "probability out of range");
+    }
+    let terms: Vec<Vec<Lit>> = dnf.terms().to_vec();
+    shannon(&terms, probs)
+}
+
+fn shannon(terms: &[Vec<Lit>], probs: &[BigRational]) -> BigRational {
+    if terms.is_empty() {
+        return BigRational::zero();
+    }
+    if terms.iter().any(|t| t.is_empty()) {
+        return BigRational::one();
+    }
+    // Branch on the most frequent variable.
+    let mut occurrence = std::collections::HashMap::new();
+    for t in terms {
+        for l in t {
+            *occurrence.entry(l.var).or_insert(0u32) += 1;
+        }
+    }
+    let (&var, _) = occurrence.iter().max_by_key(|(_, &c)| c).unwrap();
+    let p = &probs[var as usize];
+
+    let mut total = BigRational::zero();
+    for value in [true, false] {
+        let weight = if value { p.clone() } else { p.one_minus() };
+        if weight.is_zero() {
+            continue;
+        }
+        let restricted = restrict(terms, var, value);
+        let sub = shannon(&restricted, probs);
+        total = total.add_ref(&weight.mul_ref(&sub));
+    }
+    total
+}
+
+/// Restrict a term list by `x_var := value`, dropping falsified terms and
+/// satisfied literals.
+fn restrict(terms: &[Vec<Lit>], var: VarId, value: bool) -> Vec<Vec<Lit>> {
+    let mut out = Vec::with_capacity(terms.len());
+    'terms: for t in terms {
+        let mut nt = Vec::with_capacity(t.len());
+        for &l in t {
+            if l.var == var {
+                if l.positive != value {
+                    continue 'terms; // literal falsified → term dead
+                }
+                // literal satisfied → drop it
+            } else {
+                nt.push(l);
+            }
+        }
+        if nt.is_empty() {
+            return vec![vec![]]; // a satisfied term → whole DNF true
+        }
+        out.push(nt);
+    }
+    out
+}
+
+/// Exact probability by inclusion–exclusion over terms:
+/// `Pr[⋁ Tᵢ] = Σ_{∅≠S} (−1)^{|S|+1} Pr[⋀_{i∈S} Tᵢ]`.
+///
+/// # Panics
+/// Panics if the formula has more than 25 terms (2^m subsets).
+pub fn dnf_probability_ie(dnf: &Dnf, probs: &[BigRational]) -> BigRational {
+    assert!(
+        dnf.var_bound() <= probs.len(),
+        "probability vector does not cover all variables"
+    );
+    let m = dnf.num_terms();
+    assert!(m <= 25, "inclusion-exclusion limited to 25 terms");
+    let terms = dnf.terms();
+    let mut total = BigRational::zero();
+    for mask in 1u32..(1 << m) {
+        // Conjunction of the selected terms: consistent merge or zero.
+        let mut lits: Vec<Lit> = Vec::new();
+        for (i, t) in terms.iter().enumerate() {
+            if (mask >> i) & 1 == 1 {
+                lits.extend_from_slice(t);
+            }
+        }
+        lits.sort();
+        lits.dedup();
+        let mut consistent = true;
+        for w in lits.windows(2) {
+            if w[0].var == w[1].var {
+                consistent = false;
+                break;
+            }
+        }
+        if !consistent {
+            continue;
+        }
+        let mut p = BigRational::one();
+        for l in &lits {
+            let pv = &probs[l.var as usize];
+            p = p.mul_ref(&if l.positive {
+                pv.clone()
+            } else {
+                pv.one_minus()
+            });
+        }
+        if mask.count_ones() % 2 == 1 {
+            total = total.add_ref(&p);
+        } else {
+            total = total.sub_ref(&p);
+        }
+    }
+    total
+}
+
+/// Exact model count of a DNF over `num_vars` variables, via Shannon
+/// expansion with `p ≡ 1/2`: `#models = 2^n · Pr_{1/2}[φ]`.
+pub fn dnf_count_models(dnf: &Dnf, num_vars: usize) -> BigUint {
+    let half = BigRational::from_ratio(1, 2);
+    let probs = vec![half; num_vars];
+    let p = dnf_probability_shannon(dnf, &probs);
+    let scaled = p.mul_ref(&BigRational::new(
+        BigInt::from_biguint(BigUint::from_u64(1).shl_bits(num_vars as u64)),
+        BigInt::one(),
+    ));
+    assert!(scaled.is_integer(), "count must be integral");
+    scaled.numer().magnitude().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrel_logic::prop::Dnf;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn r(n: i64, d: u64) -> BigRational {
+        BigRational::from_ratio(n, d)
+    }
+
+    fn random_dnf(rng: &mut StdRng, num_vars: usize, num_terms: usize, k: usize) -> Dnf {
+        let mut d = Dnf::new();
+        for _ in 0..num_terms {
+            let len = rng.gen_range(1..=k);
+            let lits: Vec<Lit> = (0..len)
+                .map(|_| {
+                    let v = rng.gen_range(0..num_vars) as u32;
+                    if rng.gen() {
+                        Lit::pos(v)
+                    } else {
+                        Lit::neg(v)
+                    }
+                })
+                .collect();
+            d.push_term_checked(lits);
+        }
+        d
+    }
+
+    /// Brute-force probability oracle.
+    fn brute(dnf: &Dnf, probs: &[BigRational]) -> BigRational {
+        let n = probs.len();
+        let mut total = BigRational::zero();
+        for mask in 0u64..(1 << n) {
+            let assignment: Vec<bool> = (0..n).map(|i| (mask >> i) & 1 == 1).collect();
+            if dnf.eval(&assignment) {
+                let mut p = BigRational::one();
+                for (i, &b) in assignment.iter().enumerate() {
+                    p = p.mul_ref(&if b {
+                        probs[i].clone()
+                    } else {
+                        probs[i].one_minus()
+                    });
+                }
+                total = total.add_ref(&p);
+            }
+        }
+        total
+    }
+
+    #[test]
+    fn trivial_cases() {
+        let probs = vec![r(1, 3); 3];
+        assert_eq!(
+            dnf_probability_shannon(&Dnf::new(), &probs),
+            BigRational::zero()
+        );
+        let mut top = Dnf::new();
+        top.push_term_checked(vec![]);
+        assert_eq!(dnf_probability_shannon(&top, &probs), BigRational::one());
+        assert_eq!(dnf_probability_ie(&top, &probs), BigRational::one());
+    }
+
+    #[test]
+    fn single_term() {
+        // x0 & !x1 with p0=1/3, p1=1/4 → 1/3 · 3/4 = 1/4.
+        let d = Dnf::from_terms([vec![Lit::pos(0), Lit::neg(1)]]);
+        let probs = vec![r(1, 3), r(1, 4)];
+        assert_eq!(dnf_probability_shannon(&d, &probs), r(1, 4));
+        assert_eq!(dnf_probability_ie(&d, &probs), r(1, 4));
+    }
+
+    #[test]
+    fn overlapping_terms() {
+        // x0 | x1 with p=1/2 each → 3/4.
+        let d = Dnf::from_terms([vec![Lit::pos(0)], vec![Lit::pos(1)]]);
+        let probs = vec![r(1, 2), r(1, 2)];
+        assert_eq!(dnf_probability_shannon(&d, &probs), r(3, 4));
+        assert_eq!(dnf_probability_ie(&d, &probs), r(3, 4));
+    }
+
+    #[test]
+    fn shannon_ie_and_brute_agree_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for trial in 0..25 {
+            let n = rng.gen_range(2..8usize);
+            let nt = rng.gen_range(1..6);
+            let d = random_dnf(&mut rng, n, nt, 3);
+            let probs: Vec<BigRational> =
+                (0..n).map(|_| r(rng.gen_range(0..=6), 6).clone()).collect();
+            let s = dnf_probability_shannon(&d, &probs);
+            let ie = dnf_probability_ie(&d, &probs);
+            let b = brute(&d, &probs);
+            assert_eq!(s, b, "shannon vs brute, trial {trial}");
+            assert_eq!(ie, b, "ie vs brute, trial {trial}");
+        }
+    }
+
+    #[test]
+    fn extreme_probabilities() {
+        let d = Dnf::from_terms([vec![Lit::pos(0), Lit::pos(1)]]);
+        assert_eq!(
+            dnf_probability_shannon(&d, &[r(1, 1), r(1, 1)]),
+            BigRational::one()
+        );
+        assert_eq!(
+            dnf_probability_shannon(&d, &[r(0, 1), r(1, 1)]),
+            BigRational::zero()
+        );
+    }
+
+    #[test]
+    fn model_counting_special_case() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..15 {
+            let n = rng.gen_range(2..10usize);
+            let nt = rng.gen_range(1..6);
+            let d = random_dnf(&mut rng, n, nt, 3);
+            assert_eq!(
+                dnf_count_models(&d, n).to_u64().unwrap(),
+                d.count_models_brute(n)
+            );
+        }
+    }
+
+    #[test]
+    fn probability_vector_coverage_enforced() {
+        let d = Dnf::from_terms([vec![Lit::pos(5)]]);
+        let probs = vec![r(1, 2); 3];
+        let result = std::panic::catch_unwind(|| dnf_probability_shannon(&d, &probs));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,344 @@
+//! The Karp–Luby coverage algorithm: an FPTRAS for #DNF (Theorem 5.2)
+//! and its weighted generalization for Prob-DNF.
+//!
+//! Given a DNF `φ = T₁ ∨ … ∨ T_m` over independently-random variables,
+//! the union's probability is estimated by importance sampling on the
+//! *coverage space* `{(i, x) : x ⊨ Tᵢ}`:
+//!
+//! 1. `U = Σᵢ w(Tᵢ)` where `w(Tᵢ) = Pr[x ⊨ Tᵢ]` is a product of literal
+//!    probabilities (computable exactly);
+//! 2. sample a term `i` with probability `w(Tᵢ)/U`, then sample `x`
+//!    conditioned on `x ⊨ Tᵢ` (fix the term's literals, draw the rest);
+//! 3. the indicator `Y = 1[i = min{ j : x ⊨ Tⱼ }]` has
+//!    `E[Y] = Pr[φ]/U ≥ 1/m`,
+//!
+//! so `U · mean(Y)` is an unbiased estimator whose relative error is
+//! controlled with only `O(m · ε⁻² · ln(1/δ))` samples — *independent of
+//! how tiny `Pr[φ]` is*, which is exactly where naive Monte Carlo
+//! collapses. Counting models of a DNF over `n` variables is the special
+//! case `p ≡ 1/2` scaled by `2^n`.
+
+use qrel_arith::BigRational;
+use qrel_logic::prop::{Dnf, Lit};
+use rand::Rng;
+
+use crate::bounds::zero_one_estimator_samples;
+
+/// A prepared Karp–Luby estimator for a fixed DNF and variable
+/// distribution.
+pub struct KarpLuby {
+    /// Terms, each sorted by variable (the [`Dnf`] invariant).
+    terms: Vec<Vec<Lit>>,
+    /// `Pr[x_v = 1]` per variable, as f64 (sampling precision).
+    probs: Vec<f64>,
+    /// Exact term weights `w(Tᵢ)` and their exact sum `U`.
+    weights: Vec<BigRational>,
+    total_weight: BigRational,
+    /// Cumulative weights (f64) for term sampling.
+    cumulative: Vec<f64>,
+}
+
+/// Outcome of a Karp–Luby run.
+#[derive(Debug, Clone)]
+pub struct KarpLubyReport {
+    /// The estimate of `Pr[φ]`.
+    pub estimate: f64,
+    /// Number of samples drawn.
+    pub samples: u64,
+    /// Fraction of samples with `Y = 1` (diagnostic; `≥ 1/m` in
+    /// expectation).
+    pub hit_rate: f64,
+}
+
+impl KarpLuby {
+    /// Prepare for the given DNF and per-variable probabilities.
+    ///
+    /// # Panics
+    /// Panics if the probability vector does not cover all variables or
+    /// contains values outside `[0,1]`.
+    pub fn new(dnf: &Dnf, probs: &[BigRational]) -> Self {
+        assert!(
+            dnf.var_bound() <= probs.len(),
+            "probability vector does not cover all variables"
+        );
+        for p in probs {
+            assert!(p.is_probability(), "probability out of range");
+        }
+        let terms: Vec<Vec<Lit>> = dnf.terms().to_vec();
+        let mut weights = Vec::with_capacity(terms.len());
+        let mut total_weight = BigRational::zero();
+        for t in &terms {
+            let mut w = BigRational::one();
+            for l in t {
+                let pv = &probs[l.var as usize];
+                w = w.mul_ref(&if l.positive {
+                    pv.clone()
+                } else {
+                    pv.one_minus()
+                });
+            }
+            total_weight = total_weight.add_ref(&w);
+            weights.push(w);
+        }
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0f64;
+        for w in &weights {
+            acc += w.to_f64();
+            cumulative.push(acc);
+        }
+        KarpLuby {
+            terms,
+            probs: probs.iter().map(|p| p.to_f64()).collect(),
+            weights,
+            total_weight,
+            cumulative,
+        }
+    }
+
+    /// Uniform variable distribution `p ≡ 1/2` (the #DNF case).
+    pub fn for_counting(dnf: &Dnf, num_vars: usize) -> Self {
+        let half = BigRational::from_ratio(1, 2);
+        let probs = vec![half; num_vars.max(dnf.var_bound())];
+        Self::new(dnf, &probs)
+    }
+
+    /// The exact total term weight `U = Σ w(Tᵢ)` (an upper bound on
+    /// `Pr[φ]`, and the scaling constant of the estimator).
+    pub fn total_weight(&self) -> &BigRational {
+        &self.total_weight
+    }
+
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Number of samples sufficient for relative error `ε` with failure
+    /// probability `δ` (zero-one estimator theorem with `E[Y] ≥ 1/m`).
+    pub fn samples_for(&self, eps: f64, delta: f64) -> u64 {
+        zero_one_estimator_samples(self.terms.len().max(1) as f64, eps, delta)
+    }
+
+    /// Run the estimator with an explicit sample count.
+    ///
+    /// # Panics
+    /// Panics if `samples == 0` (the mean of zero samples is undefined);
+    /// trivial formulas short-circuit before the check.
+    pub fn run_with_samples<R: Rng>(&self, samples: u64, rng: &mut R) -> KarpLubyReport {
+        if self.terms.is_empty() {
+            return KarpLubyReport {
+                estimate: 0.0,
+                samples: 0,
+                hit_rate: 0.0,
+            };
+        }
+        if self.terms.iter().any(|t| t.is_empty()) {
+            // A tautological term: Pr[φ] = 1 exactly.
+            return KarpLubyReport {
+                estimate: 1.0,
+                samples: 0,
+                hit_rate: 1.0,
+            };
+        }
+        assert!(samples > 0, "Karp-Luby needs at least one sample");
+        let u = *self.cumulative.last().unwrap();
+        let mut hits = 0u64;
+        let mut assignment = vec![false; self.probs.len()];
+        for _ in 0..samples {
+            // Sample a term ∝ weight.
+            let x = rng.gen::<f64>() * u;
+            let ti = match self
+                .cumulative
+                .binary_search_by(|c| c.partial_cmp(&x).unwrap())
+            {
+                Ok(i) => (i + 1).min(self.terms.len() - 1),
+                Err(i) => i.min(self.terms.len() - 1),
+            };
+            // Sample an assignment conditioned on satisfying term ti.
+            for (v, slot) in assignment.iter_mut().enumerate() {
+                *slot = rng.gen::<f64>() < self.probs[v];
+            }
+            for l in &self.terms[ti] {
+                assignment[l.var as usize] = l.positive;
+            }
+            // Y = 1 iff ti is the first term satisfied.
+            let first = self
+                .terms
+                .iter()
+                .position(|t| t.iter().all(|l| l.eval(&assignment)))
+                .expect("sampled assignment satisfies term ti");
+            if first == ti {
+                hits += 1;
+            }
+        }
+        let hit_rate = hits as f64 / samples as f64;
+        KarpLubyReport {
+            estimate: self.total_weight.to_f64() * hit_rate,
+            samples,
+            hit_rate,
+        }
+    }
+
+    /// Run with the sample count dictated by `(ε, δ)`.
+    pub fn run<R: Rng>(&self, eps: f64, delta: f64, rng: &mut R) -> KarpLubyReport {
+        let samples = self.samples_for(eps, delta);
+        self.run_with_samples(samples, rng)
+    }
+
+    /// Estimate the model count of a DNF over `num_vars` variables:
+    /// `2^n · estimate` under `p ≡ 1/2`.
+    pub fn estimate_count<R: Rng>(
+        dnf: &Dnf,
+        num_vars: usize,
+        eps: f64,
+        delta: f64,
+        rng: &mut R,
+    ) -> f64 {
+        let kl = Self::for_counting(dnf, num_vars);
+        let report = kl.run(eps, delta, rng);
+        report.estimate * (num_vars as f64).exp2()
+    }
+
+    /// Exact term weights (diagnostics; aligned with the DNF's terms).
+    pub fn weights(&self) -> &[BigRational] {
+        &self.weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact_dnf::dnf_probability_shannon;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn r(n: i64, d: u64) -> BigRational {
+        BigRational::from_ratio(n, d)
+    }
+
+    #[test]
+    fn trivial_formulas() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let probs = vec![r(1, 2); 2];
+        let empty = KarpLuby::new(&Dnf::new(), &probs);
+        assert_eq!(empty.run(0.1, 0.1, &mut rng).estimate, 0.0);
+
+        let mut top = Dnf::new();
+        top.push_term_checked(vec![]);
+        let taut = KarpLuby::new(&top, &probs);
+        assert_eq!(taut.run(0.1, 0.1, &mut rng).estimate, 1.0);
+    }
+
+    #[test]
+    fn matches_exact_on_small_formulas() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for trial in 0..10 {
+            let n = 6usize;
+            let mut d = Dnf::new();
+            for _ in 0..4 {
+                let len = rng.gen_range(1..4usize);
+                let lits: Vec<Lit> = (0..len)
+                    .map(|_| {
+                        let v = rng.gen_range(0..n) as u32;
+                        if rng.gen() {
+                            Lit::pos(v)
+                        } else {
+                            Lit::neg(v)
+                        }
+                    })
+                    .collect();
+                d.push_term_checked(lits);
+            }
+            if d.num_terms() == 0 {
+                continue;
+            }
+            let probs: Vec<BigRational> = (0..n).map(|i| r(1 + (i as i64 % 3), 4)).collect();
+            let exact = dnf_probability_shannon(&d, &probs).to_f64();
+            let kl = KarpLuby::new(&d, &probs);
+            let est = kl.run(0.05, 0.02, &mut rng).estimate;
+            let tol = 0.05 * exact.max(0.01) + 0.01;
+            assert!(
+                (est - exact).abs() <= tol,
+                "trial {trial}: estimate {est} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn low_probability_instance_still_accurate_relative() {
+        // A conjunction-like DNF with tiny probability: single term of 12
+        // positive literals at p = 1/4 → (1/4)^12 ≈ 6e-8. Karp–Luby is
+        // exact here (one term ⇒ Y ≡ 1 ⇒ estimate = U = true probability).
+        let term: Vec<Lit> = (0..12).map(Lit::pos).collect();
+        let d = Dnf::from_terms([term]);
+        let probs = vec![r(1, 4); 12];
+        let exact = dnf_probability_shannon(&d, &probs);
+        let kl = KarpLuby::new(&d, &probs);
+        let mut rng = StdRng::seed_from_u64(3);
+        let report = kl.run_with_samples(100, &mut rng);
+        assert_eq!(report.hit_rate, 1.0);
+        let rel = (report.estimate - exact.to_f64()).abs() / exact.to_f64();
+        assert!(rel < 1e-9, "relative error {rel}");
+    }
+
+    #[test]
+    fn low_probability_multi_term() {
+        // Two disjoint low-probability terms; relative accuracy must hold
+        // with modest samples (this is the regime where naive MC needs
+        // ~1/p ≈ 10^5 samples just to see one hit).
+        let d = Dnf::from_terms([
+            (0..8).map(Lit::pos).collect::<Vec<_>>(),
+            (8..16).map(Lit::pos).collect::<Vec<_>>(),
+        ]);
+        let probs = vec![r(1, 4); 16];
+        let exact = dnf_probability_shannon(&d, &probs).to_f64();
+        let kl = KarpLuby::new(&d, &probs);
+        let mut rng = StdRng::seed_from_u64(4);
+        let est = kl.run(0.05, 0.01, &mut rng).estimate;
+        let rel = (est - exact).abs() / exact;
+        assert!(
+            rel < 0.1,
+            "relative error {rel}: est {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn counting_matches_exact() {
+        let d = Dnf::from_terms([
+            vec![Lit::pos(0), Lit::pos(1)],
+            vec![Lit::neg(2)],
+            vec![Lit::pos(3), Lit::neg(0)],
+        ]);
+        let n = 4;
+        let exact = d.count_models_brute(n) as f64;
+        let mut rng = StdRng::seed_from_u64(5);
+        let est = KarpLuby::estimate_count(&d, n, 0.03, 0.01, &mut rng);
+        assert!(
+            (est - exact).abs() / exact < 0.05,
+            "estimate {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn unbiasedness_via_exact_weights() {
+        // U must equal the exact sum of term probabilities.
+        let d = Dnf::from_terms([vec![Lit::pos(0)], vec![Lit::pos(1), Lit::neg(0)]]);
+        let probs = vec![r(1, 3), r(1, 5)];
+        let kl = KarpLuby::new(&d, &probs);
+        assert_eq!(kl.total_weight(), &r(1, 3).add_ref(&r(2, 15)));
+        assert_eq!(kl.weights().len(), 2);
+    }
+
+    #[test]
+    fn sample_bound_scales_with_terms() {
+        let probs = vec![r(1, 2); 4];
+        let d1 = Dnf::from_terms([vec![Lit::pos(0)]]);
+        let d8 = Dnf::from_terms(
+            (0..4)
+                .map(|i| vec![Lit::pos(i)])
+                .chain((0..4).map(|i| vec![Lit::neg(i)])),
+        );
+        let k1 = KarpLuby::new(&d1, &probs);
+        let k8 = KarpLuby::new(&d8, &probs);
+        assert!(k8.samples_for(0.1, 0.1) > k1.samples_for(0.1, 0.1));
+    }
+}

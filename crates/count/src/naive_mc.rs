@@ -1,0 +1,102 @@
+//! Naive Monte-Carlo estimation of formula probabilities — the baseline
+//! Karp–Luby dominates.
+//!
+//! Sampling assignments from the product distribution and averaging the
+//! indicator gives an *additive* (ε, δ) guarantee with Hoeffding's
+//! `t = ⌈ln(2/δ)/(2ε²)⌉` samples, but its *relative* accuracy collapses
+//! when `Pr[φ]` is small: detecting `p ≈ 0` at relative error ε needs on
+//! the order of `1/p` samples. Experiment E10 measures this crossover.
+
+use qrel_arith::BigRational;
+use qrel_logic::prop::Dnf;
+use rand::Rng;
+
+use crate::bounds::hoeffding_samples;
+
+/// Estimate `Pr[φ]` by naive sampling with an explicit sample count.
+pub fn naive_mc_probability_with_samples<R: Rng>(
+    dnf: &Dnf,
+    probs: &[BigRational],
+    samples: u64,
+    rng: &mut R,
+) -> f64 {
+    assert!(
+        dnf.var_bound() <= probs.len(),
+        "probability vector does not cover all variables"
+    );
+    let pf: Vec<f64> = probs.iter().map(|p| p.to_f64()).collect();
+    let mut hits = 0u64;
+    let mut assignment = vec![false; pf.len()];
+    for _ in 0..samples {
+        for (v, slot) in assignment.iter_mut().enumerate() {
+            *slot = rng.gen::<f64>() < pf[v];
+        }
+        if dnf.eval(&assignment) {
+            hits += 1;
+        }
+    }
+    hits as f64 / samples.max(1) as f64
+}
+
+/// Estimate `Pr[φ]` with the additive-(ε, δ) Hoeffding sample count.
+pub fn naive_mc_probability<R: Rng>(
+    dnf: &Dnf,
+    probs: &[BigRational],
+    eps: f64,
+    delta: f64,
+    rng: &mut R,
+) -> f64 {
+    let samples = hoeffding_samples(eps, delta);
+    naive_mc_probability_with_samples(dnf, probs, samples, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact_dnf::dnf_probability_shannon;
+    use qrel_logic::prop::Lit;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn r(n: i64, d: u64) -> BigRational {
+        BigRational::from_ratio(n, d)
+    }
+
+    #[test]
+    fn additive_accuracy_on_moderate_probability() {
+        let d = Dnf::from_terms([vec![Lit::pos(0)], vec![Lit::pos(1), Lit::neg(2)]]);
+        let probs = vec![r(1, 3), r(1, 2), r(1, 4)];
+        let exact = dnf_probability_shannon(&d, &probs).to_f64();
+        let mut rng = StdRng::seed_from_u64(21);
+        let est = naive_mc_probability(&d, &probs, 0.02, 0.01, &mut rng);
+        assert!((est - exact).abs() < 0.02, "est {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn misses_tiny_probability_with_few_samples() {
+        // Pr[φ] = (1/4)^10 ≈ 1e-6: a few thousand naive samples will
+        // essentially always report exactly 0 — the failure mode that
+        // motivates Karp–Luby.
+        let d = Dnf::from_terms([(0..10).map(Lit::pos).collect::<Vec<_>>()]);
+        let probs = vec![r(1, 4); 10];
+        let mut rng = StdRng::seed_from_u64(22);
+        let est = naive_mc_probability_with_samples(&d, &probs, 2000, &mut rng);
+        assert_eq!(est, 0.0);
+    }
+
+    #[test]
+    fn zero_and_one_formulas() {
+        let probs = vec![r(1, 2); 2];
+        let mut rng = StdRng::seed_from_u64(23);
+        assert_eq!(
+            naive_mc_probability_with_samples(&Dnf::new(), &probs, 100, &mut rng),
+            0.0
+        );
+        let mut top = Dnf::new();
+        top.push_term_checked(vec![]);
+        assert_eq!(
+            naive_mc_probability_with_samples(&top, &probs, 100, &mut rng),
+            1.0
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the counting substrate: the exact oracles
+//! agree with each other and with brute force; the estimators land in
+//! their envelopes.
+
+use proptest::prelude::*;
+use qrel_arith::BigRational;
+use qrel_count::exact_dnf::{dnf_count_models, dnf_probability_ie, dnf_probability_shannon};
+use qrel_count::sharp_sat::count_models;
+use qrel_count::KarpLuby;
+use qrel_logic::prop::{Cnf, Dnf, Lit};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn lit_strategy(num_vars: u32) -> impl Strategy<Value = Lit> {
+    (0..num_vars, any::<bool>()).prop_map(|(v, pos)| Lit {
+        var: v,
+        positive: pos,
+    })
+}
+
+fn dnf_strategy(num_vars: u32) -> impl Strategy<Value = Dnf> {
+    proptest::collection::vec(
+        proptest::collection::vec(lit_strategy(num_vars), 1..4),
+        0..6,
+    )
+    .prop_map(Dnf::from_terms)
+}
+
+fn cnf_strategy(num_vars: u32) -> impl Strategy<Value = Cnf> {
+    proptest::collection::vec(
+        proptest::collection::vec(lit_strategy(num_vars), 1..4),
+        0..8,
+    )
+    .prop_map(Cnf::from_clauses)
+}
+
+fn probs_strategy(n: usize) -> impl Strategy<Value = Vec<BigRational>> {
+    proptest::collection::vec((0i64..=8, 1u64..=4), n).prop_map(|ps| {
+        ps.into_iter()
+            .map(|(num, scale)| {
+                let den = 8 * scale;
+                BigRational::from_ratio(num.min(den as i64), den)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn shannon_equals_inclusion_exclusion(
+        d in dnf_strategy(6),
+        probs in probs_strategy(6),
+    ) {
+        let s = dnf_probability_shannon(&d, &probs);
+        let ie = dnf_probability_ie(&d, &probs);
+        prop_assert_eq!(s, ie);
+    }
+
+    #[test]
+    fn shannon_equals_brute_force_counting(d in dnf_strategy(6)) {
+        prop_assert_eq!(
+            dnf_count_models(&d, 6).to_u64(),
+            Some(d.count_models_brute(6))
+        );
+    }
+
+    #[test]
+    fn dpll_equals_brute_force(c in cnf_strategy(7)) {
+        prop_assert_eq!(count_models(&c, 7), c.count_models_brute(7));
+    }
+
+    #[test]
+    fn probability_in_unit_interval(
+        d in dnf_strategy(6),
+        probs in probs_strategy(6),
+    ) {
+        let p = dnf_probability_shannon(&d, &probs);
+        prop_assert!(p >= BigRational::zero());
+        prop_assert!(p <= BigRational::one());
+    }
+
+    #[test]
+    fn karp_luby_total_weight_bounds_probability(
+        d in dnf_strategy(6),
+        probs in probs_strategy(6),
+    ) {
+        // U = Σ w(Tᵢ) ≥ Pr[φ] (union bound), with equality iff disjoint.
+        let kl = KarpLuby::new(&d, &probs);
+        let exact = dnf_probability_shannon(&d, &probs);
+        prop_assert!(kl.total_weight() >= &exact);
+    }
+
+    #[test]
+    fn karp_luby_estimate_in_envelope(
+        d in dnf_strategy(5),
+        probs in probs_strategy(5),
+        seed in 0u64..1000,
+    ) {
+        // Statistical but tightly controlled: ε = 0.1, δ = 0.01, plus
+        // generous absolute slack; failures would indicate a real bug
+        // (bias), not bad luck.
+        let exact = dnf_probability_shannon(&d, &probs).to_f64();
+        let kl = KarpLuby::new(&d, &probs);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let est = kl.run(0.1, 0.01, &mut rng).estimate;
+        prop_assert!(
+            (est - exact).abs() <= 0.1 * exact + 0.02,
+            "estimate {} vs exact {}", est, exact
+        );
+    }
+
+    #[test]
+    fn monotone_in_probabilities(d in dnf_strategy(5)) {
+        // If every literal in the DNF is positive, raising variable
+        // probabilities cannot lower Pr[φ].
+        let all_pos = d.terms().iter().flatten().all(|l| l.positive);
+        prop_assume!(all_pos && d.num_terms() > 0);
+        let low = vec![BigRational::from_ratio(1, 4); 5];
+        let high = vec![BigRational::from_ratio(3, 4); 5];
+        prop_assert!(
+            dnf_probability_shannon(&d, &low) <= dnf_probability_shannon(&d, &high)
+        );
+    }
+}

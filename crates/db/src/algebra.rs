@@ -1,0 +1,224 @@
+//! Relational algebra over [`Relation`] instances.
+//!
+//! The paper lives in the classical relational model; this module
+//! provides the standard operators (selection, projection, natural join,
+//! rename, union, difference, cartesian product) used by the
+//! conjunctive-query evaluator in `qrel-eval`. Relations here are
+//! *positional* — columns are identified by index; the evaluator keeps
+//! its own column-name bookkeeping.
+
+use crate::relation::Relation;
+use crate::universe::Element;
+
+/// Selection predicates on a single relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Selection {
+    /// Column `col` equals the constant.
+    ColEqConst(usize, Element),
+    /// Column `a` equals column `b`.
+    ColEqCol(usize, usize),
+    /// Column `a` differs from column `b`.
+    ColNeCol(usize, usize),
+}
+
+impl Selection {
+    fn matches(&self, t: &[Element]) -> bool {
+        match *self {
+            Selection::ColEqConst(c, v) => t[c] == v,
+            Selection::ColEqCol(a, b) => t[a] == t[b],
+            Selection::ColNeCol(a, b) => t[a] != t[b],
+        }
+    }
+}
+
+/// σ — keep tuples matching all predicates.
+pub fn select(rel: &Relation, predicates: &[Selection]) -> Relation {
+    Relation::from_tuples(
+        rel.arity(),
+        rel.iter()
+            .filter(|t| predicates.iter().all(|p| p.matches(t)))
+            .cloned(),
+    )
+}
+
+/// π — project onto the given columns (in order; duplicates allowed).
+///
+/// # Panics
+/// Panics if a column index is out of range.
+pub fn project(rel: &Relation, columns: &[usize]) -> Relation {
+    for &c in columns {
+        assert!(c < rel.arity(), "projection column {c} out of range");
+    }
+    Relation::from_tuples(
+        columns.len(),
+        rel.iter().map(|t| columns.iter().map(|&c| t[c]).collect()),
+    )
+}
+
+/// × — cartesian product.
+pub fn product(a: &Relation, b: &Relation) -> Relation {
+    let mut out = Relation::new(a.arity() + b.arity());
+    for ta in a.iter() {
+        for tb in b.iter() {
+            let mut t = ta.clone();
+            t.extend_from_slice(tb);
+            out.insert(t);
+        }
+    }
+    out
+}
+
+/// ⋈ — equi-join on the given column pairs `(left col, right col)`.
+/// Output schema: all of `a`'s columns followed by all of `b`'s columns
+/// (join columns are *not* deduplicated; project afterwards if desired).
+///
+/// Implemented as a hash join on the key columns.
+pub fn join(a: &Relation, b: &Relation, on: &[(usize, usize)]) -> Relation {
+    for &(la, rb) in on {
+        assert!(la < a.arity() && rb < b.arity(), "join column out of range");
+    }
+    // Build side: index b by its key columns.
+    let mut index: std::collections::HashMap<Vec<Element>, Vec<&Vec<Element>>> =
+        std::collections::HashMap::new();
+    for tb in b.iter() {
+        let key: Vec<Element> = on.iter().map(|&(_, rb)| tb[rb]).collect();
+        index.entry(key).or_default().push(tb);
+    }
+    let mut out = Relation::new(a.arity() + b.arity());
+    for ta in a.iter() {
+        let key: Vec<Element> = on.iter().map(|&(la, _)| ta[la]).collect();
+        if let Some(matches) = index.get(&key) {
+            for tb in matches {
+                let mut t = ta.clone();
+                t.extend_from_slice(tb);
+                out.insert(t);
+            }
+        }
+    }
+    out
+}
+
+/// ∪ — union (same arity).
+pub fn union(a: &Relation, b: &Relation) -> Relation {
+    let mut out = a.clone();
+    out.union_with(b);
+    out
+}
+
+/// − — difference (same arity).
+pub fn difference(a: &Relation, b: &Relation) -> Relation {
+    a.difference(b)
+}
+
+/// Semi-join: tuples of `a` with at least one join partner in `b`.
+pub fn semi_join(a: &Relation, b: &Relation, on: &[(usize, usize)]) -> Relation {
+    let keys: std::collections::HashSet<Vec<Element>> = b
+        .iter()
+        .map(|tb| on.iter().map(|&(_, rb)| tb[rb]).collect())
+        .collect();
+    Relation::from_tuples(
+        a.arity(),
+        a.iter()
+            .filter(|ta| {
+                let key: Vec<Element> = on.iter().map(|&(la, _)| ta[la]).collect();
+                keys.contains(&key)
+            })
+            .cloned(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(arity: usize, tuples: &[&[Element]]) -> Relation {
+        Relation::from_tuples(arity, tuples.iter().map(|t| t.to_vec()))
+    }
+
+    #[test]
+    fn selection() {
+        let r = rel(2, &[&[0, 1], &[1, 1], &[2, 0]]);
+        assert_eq!(select(&r, &[Selection::ColEqCol(0, 1)]), rel(2, &[&[1, 1]]));
+        assert_eq!(
+            select(&r, &[Selection::ColEqConst(1, 1)]),
+            rel(2, &[&[0, 1], &[1, 1]])
+        );
+        assert_eq!(
+            select(
+                &r,
+                &[Selection::ColNeCol(0, 1), Selection::ColEqConst(1, 0)]
+            ),
+            rel(2, &[&[2, 0]])
+        );
+    }
+
+    #[test]
+    fn projection_with_duplicates_and_reorder() {
+        let r = rel(2, &[&[0, 1], &[2, 3]]);
+        assert_eq!(project(&r, &[1, 0]), rel(2, &[&[1, 0], &[3, 2]]));
+        assert_eq!(project(&r, &[0, 0]), rel(2, &[&[0, 0], &[2, 2]]));
+        assert_eq!(project(&r, &[1]), rel(1, &[&[1], &[3]]));
+        // Projection can merge tuples.
+        let s = rel(2, &[&[0, 1], &[0, 2]]);
+        assert_eq!(project(&s, &[0]).len(), 1);
+    }
+
+    #[test]
+    fn joins() {
+        let e = rel(2, &[&[0, 1], &[1, 2], &[2, 3]]);
+        // Length-2 paths: E ⋈_{right=left} E.
+        let paths = join(&e, &e, &[(1, 0)]);
+        assert_eq!(paths.arity(), 4);
+        assert!(paths.contains(&[0, 1, 1, 2]));
+        assert!(paths.contains(&[1, 2, 2, 3]));
+        assert_eq!(paths.len(), 2);
+        // Endpoints only.
+        let endpoints = project(&paths, &[0, 3]);
+        assert_eq!(endpoints, rel(2, &[&[0, 2], &[1, 3]]));
+    }
+
+    #[test]
+    fn join_multi_column() {
+        let a = rel(2, &[&[0, 1], &[1, 2]]);
+        let b = rel(2, &[&[0, 1], &[2, 2]]);
+        // Join on both columns: only (0,1) matches.
+        let j = join(&a, &b, &[(0, 0), (1, 1)]);
+        assert_eq!(j.len(), 1);
+        assert!(j.contains(&[0, 1, 0, 1]));
+    }
+
+    #[test]
+    fn join_equals_filtered_product() {
+        let a = rel(2, &[&[0, 1], &[1, 2], &[2, 0]]);
+        let b = rel(1, &[&[1], &[2]]);
+        let via_join = join(&a, &b, &[(1, 0)]);
+        let via_product = select(&product(&a, &b), &[Selection::ColEqCol(1, 2)]);
+        assert_eq!(via_join, via_product);
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = rel(1, &[&[0], &[1]]);
+        let b = rel(1, &[&[1], &[2]]);
+        assert_eq!(union(&a, &b), rel(1, &[&[0], &[1], &[2]]));
+        assert_eq!(difference(&a, &b), rel(1, &[&[0]]));
+    }
+
+    #[test]
+    fn semi_join_filters() {
+        let a = rel(2, &[&[0, 1], &[1, 2], &[2, 3]]);
+        let b = rel(1, &[&[2], &[3]]);
+        let s = semi_join(&a, &b, &[(1, 0)]);
+        assert_eq!(s, rel(2, &[&[1, 2], &[2, 3]]));
+    }
+
+    #[test]
+    fn empty_relations() {
+        let a = rel(2, &[]);
+        let b = rel(2, &[&[0, 0]]);
+        assert!(join(&a, &b, &[(0, 0)]).is_empty());
+        assert!(product(&a, &b).is_empty());
+        assert_eq!(union(&a, &b), b);
+        assert!(select(&a, &[]).is_empty());
+    }
+}

@@ -1,0 +1,636 @@
+//! Stratified Datalog with semi-naive evaluation.
+//!
+//! The paper singles out Datalog and fixed-point queries as
+//! polynomial-time evaluable query languages whose reliability is in
+//! FP^#P (Section 4) and whose reliability can be estimated with absolute
+//! error by the Theorem 5.12 Monte-Carlo scheme. This module provides the
+//! substrate: a stratified-negation Datalog engine over [`Database`]s.
+//!
+//! ```
+//! use qrel_db::{DatabaseBuilder};
+//! use qrel_db::datalog::{DatalogProgram, rule};
+//! let db = DatabaseBuilder::new()
+//!     .universe_size(4)
+//!     .relation("E", 2)
+//!     .tuples("E", [vec![0, 1], vec![1, 2], vec![2, 3]])
+//!     .build();
+//! // Transitive closure.
+//! let prog = DatalogProgram::parse(
+//!     "T(x,y) :- E(x,y). T(x,z) :- T(x,y), E(y,z).").unwrap();
+//! let out = prog.evaluate(&db).unwrap();
+//! assert!(out["T"].contains(&[0, 3]));
+//! assert!(!out["T"].contains(&[3, 0]));
+//! ```
+
+use crate::database::Database;
+use crate::relation::Relation;
+use crate::universe::Element;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+/// Term in a Datalog atom: a variable or an element constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DlTerm {
+    Var(String),
+    Const(Element),
+}
+
+/// A Datalog atom `R(t₁, …, t_k)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DlAtom {
+    pub rel: String,
+    pub args: Vec<DlTerm>,
+}
+
+/// A body literal: an atom, possibly negated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DlLiteral {
+    pub atom: DlAtom,
+    pub negated: bool,
+}
+
+/// A Datalog rule `head :- body₁, …, body_m.`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DlRule {
+    pub head: DlAtom,
+    pub body: Vec<DlLiteral>,
+}
+
+/// Convenience constructor for rules in code (tests, examples).
+pub fn rule(head: DlAtom, body: Vec<DlLiteral>) -> DlRule {
+    DlRule { head, body }
+}
+
+/// Errors from program validation or evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatalogError {
+    Parse(String),
+    /// A head or negated variable not bound by a positive body literal.
+    Unsafe(String),
+    /// Negation through a recursive cycle.
+    NotStratifiable(String),
+    /// Inconsistent arity usage for a predicate.
+    ArityMismatch(String),
+    /// Rule head uses an EDB relation.
+    HeadIsEdb(String),
+    /// Body references a predicate that is neither EDB nor any rule's head.
+    UnknownPredicate(String),
+}
+
+impl fmt::Display for DatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatalogError::Parse(m) => write!(f, "datalog parse error: {m}"),
+            DatalogError::Unsafe(m) => write!(f, "unsafe rule: {m}"),
+            DatalogError::NotStratifiable(m) => write!(f, "not stratifiable: {m}"),
+            DatalogError::ArityMismatch(m) => write!(f, "arity mismatch: {m}"),
+            DatalogError::HeadIsEdb(m) => write!(f, "rule head is an EDB relation: {m}"),
+            DatalogError::UnknownPredicate(m) => write!(f, "unknown predicate: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DatalogError {}
+
+/// A Datalog program: a list of rules.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DatalogProgram {
+    pub rules: Vec<DlRule>,
+}
+
+impl DatalogProgram {
+    pub fn new(rules: Vec<DlRule>) -> Self {
+        DatalogProgram { rules }
+    }
+
+    /// Parse a program in the concrete syntax
+    /// `Head(x,y) :- Body1(x,z), !Body2(z), y = 3.` — one or more rules,
+    /// each terminated by `.`. Constants are element indices (numbers).
+    /// (No equality atoms; use constants in atom positions instead.)
+    pub fn parse(src: &str) -> Result<Self, DatalogError> {
+        let mut rules = Vec::new();
+        for raw_rule in src.split('.') {
+            let raw = raw_rule.trim();
+            if raw.is_empty() {
+                continue;
+            }
+            let (head_src, body_src) = match raw.split_once(":-") {
+                Some((h, b)) => (h.trim(), Some(b.trim())),
+                None => (raw, None),
+            };
+            let head = parse_atom(head_src)?;
+            let mut body = Vec::new();
+            if let Some(bs) = body_src {
+                for lit_src in split_top_level(bs) {
+                    let lit_src = lit_src.trim();
+                    let (negated, atom_src) = match lit_src.strip_prefix('!') {
+                        Some(rest) => (true, rest.trim()),
+                        None => (false, lit_src),
+                    };
+                    body.push(DlLiteral {
+                        atom: parse_atom(atom_src)?,
+                        negated,
+                    });
+                }
+            }
+            rules.push(DlRule { head, body });
+        }
+        if rules.is_empty() {
+            return Err(DatalogError::Parse("empty program".into()));
+        }
+        Ok(DatalogProgram { rules })
+    }
+
+    /// Head predicates (the IDB), in first-occurrence order.
+    pub fn idb_predicates(&self) -> Vec<String> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for r in &self.rules {
+            if seen.insert(r.head.rel.clone()) {
+                out.push(r.head.rel.clone());
+            }
+        }
+        out
+    }
+
+    /// Validate safety, arities and stratifiability against an EDB schema.
+    /// Returns the strata: IDB predicates grouped by evaluation order.
+    pub fn validate(&self, edb: &Database) -> Result<Vec<Vec<String>>, DatalogError> {
+        let idb: HashSet<String> = self.idb_predicates().into_iter().collect();
+
+        // Arity consistency across all occurrences.
+        let mut arity: HashMap<&str, usize> = HashMap::new();
+        for sym in edb.vocabulary().symbols() {
+            arity.insert(sym.name(), sym.arity());
+        }
+        fn check(arity: &HashMap<&str, usize>, rel: &str, len: usize) -> Result<(), DatalogError> {
+            match arity.get(rel) {
+                Some(&a) if a != len => Err(DatalogError::ArityMismatch(format!(
+                    "{rel} used with arity {len}, expected {a}"
+                ))),
+                Some(_) => Ok(()),
+                None => Err(DatalogError::UnknownPredicate(rel.to_string())),
+            }
+        }
+        // Seed IDB arities from heads (first occurrence wins).
+        for r in &self.rules {
+            if edb.vocabulary().get(&r.head.rel).is_some() {
+                return Err(DatalogError::HeadIsEdb(r.head.rel.clone()));
+            }
+            arity
+                .entry(r.head.rel.as_str())
+                .or_insert(r.head.args.len());
+        }
+        for r in &self.rules {
+            check(&arity, &r.head.rel, r.head.args.len())?;
+            for l in &r.body {
+                check(&arity, &l.atom.rel, l.atom.args.len())?;
+            }
+        }
+
+        // Safety: every head variable and every variable in a negated
+        // literal must occur in some positive body literal.
+        for r in &self.rules {
+            let mut positive_vars = HashSet::new();
+            for l in &r.body {
+                if !l.negated {
+                    for t in &l.atom.args {
+                        if let DlTerm::Var(v) = t {
+                            positive_vars.insert(v.clone());
+                        }
+                    }
+                }
+            }
+            let mut need: Vec<&DlTerm> = r.head.args.iter().collect();
+            for l in &r.body {
+                if l.negated {
+                    need.extend(l.atom.args.iter());
+                }
+            }
+            for t in need {
+                if let DlTerm::Var(v) = t {
+                    if !positive_vars.contains(v) {
+                        return Err(DatalogError::Unsafe(format!(
+                            "variable {v} in rule for {} is not positively bound",
+                            r.head.rel
+                        )));
+                    }
+                }
+            }
+        }
+
+        // Stratification: longest-path layering; negation edges must
+        // strictly increase the stratum. Iterate to fixpoint; a stratum
+        // exceeding the predicate count witnesses a negative cycle.
+        let preds: Vec<String> = idb.iter().cloned().collect();
+        let mut stratum: HashMap<&str, usize> = preds.iter().map(|p| (p.as_str(), 0)).collect();
+        let limit = preds.len() + 1;
+        loop {
+            let mut changed = false;
+            for r in &self.rules {
+                let head_s = stratum[r.head.rel.as_str()];
+                for l in &r.body {
+                    if !idb.contains(&l.atom.rel) {
+                        continue;
+                    }
+                    let body_s = stratum[l.atom.rel.as_str()];
+                    let required = if l.negated { body_s + 1 } else { body_s };
+                    if head_s < required {
+                        *stratum.get_mut(r.head.rel.as_str()).unwrap() = required;
+                        if required > limit {
+                            return Err(DatalogError::NotStratifiable(format!(
+                                "negation cycle through {}",
+                                r.head.rel
+                            )));
+                        }
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let max_s = stratum.values().copied().max().unwrap_or(0);
+        let mut strata: Vec<Vec<String>> = vec![Vec::new(); max_s + 1];
+        // Deterministic order within a stratum.
+        let mut sorted_preds: Vec<&String> = preds.iter().collect();
+        sorted_preds.sort();
+        for p in sorted_preds {
+            strata[stratum[p.as_str()]].push(p.clone());
+        }
+        Ok(strata)
+    }
+
+    /// Evaluate against an EDB database, returning the IDB relations.
+    pub fn evaluate(&self, edb: &Database) -> Result<BTreeMap<String, Relation>, DatalogError> {
+        let strata = self.validate(edb)?;
+        let mut idb: BTreeMap<String, Relation> = BTreeMap::new();
+        for r in &self.rules {
+            idb.entry(r.head.rel.clone())
+                .or_insert_with(|| Relation::new(r.head.args.len()));
+        }
+
+        for stratum_preds in &strata {
+            let in_stratum: HashSet<&str> = stratum_preds.iter().map(|s| s.as_str()).collect();
+            let rules: Vec<&DlRule> = self
+                .rules
+                .iter()
+                .filter(|r| in_stratum.contains(r.head.rel.as_str()))
+                .collect();
+
+            // Naive first round to seed deltas, then semi-naive iteration.
+            let mut delta: BTreeMap<String, Relation> = BTreeMap::new();
+            for p in stratum_preds {
+                delta.insert(p.clone(), Relation::new(idb[p].arity()));
+            }
+            for r in &rules {
+                let derived = derive(r, edb, &idb, None, &in_stratum);
+                for t in derived.iter() {
+                    if !idb[&r.head.rel].contains(t) {
+                        delta.get_mut(&r.head.rel).unwrap().insert(t.clone());
+                    }
+                }
+            }
+            for p in stratum_preds {
+                let d = delta[p].clone();
+                idb.get_mut(p).unwrap().union_with(&d);
+            }
+
+            loop {
+                let mut new_delta: BTreeMap<String, Relation> = BTreeMap::new();
+                for p in stratum_preds {
+                    new_delta.insert(p.clone(), Relation::new(idb[p].arity()));
+                }
+                let mut any = false;
+                for r in &rules {
+                    // Semi-naive: one positive in-stratum literal restricted
+                    // to the delta, per occurrence.
+                    for (i, l) in r.body.iter().enumerate() {
+                        if l.negated || !in_stratum.contains(l.atom.rel.as_str()) {
+                            continue;
+                        }
+                        let derived = derive(r, edb, &idb, Some((i, &delta)), &in_stratum);
+                        for t in derived.iter() {
+                            if !idb[&r.head.rel].contains(t)
+                                && new_delta.get_mut(&r.head.rel).unwrap().insert(t.clone())
+                            {
+                                any = true;
+                            }
+                        }
+                    }
+                }
+                if !any {
+                    break;
+                }
+                for p in stratum_preds {
+                    let d = new_delta[p].clone();
+                    idb.get_mut(p).unwrap().union_with(&d);
+                }
+                delta = new_delta;
+            }
+        }
+        Ok(idb)
+    }
+}
+
+/// Evaluate one rule, optionally restricting body literal `delta_at.0` to
+/// the delta relations. Negated literals are checked against the full IDB
+/// (sound because they refer to lower strata only).
+fn derive(
+    rule: &DlRule,
+    edb: &Database,
+    idb: &BTreeMap<String, Relation>,
+    delta_at: Option<(usize, &BTreeMap<String, Relation>)>,
+    _in_stratum: &HashSet<&str>,
+) -> Relation {
+    let mut out = Relation::new(rule.head.args.len());
+    let mut env: HashMap<&str, Element> = HashMap::new();
+    eval_body(rule, 0, edb, idb, delta_at, &mut env, &mut out);
+    out
+}
+
+fn eval_body<'r>(
+    rule: &'r DlRule,
+    pos: usize,
+    edb: &Database,
+    idb: &BTreeMap<String, Relation>,
+    delta_at: Option<(usize, &BTreeMap<String, Relation>)>,
+    env: &mut HashMap<&'r str, Element>,
+    out: &mut Relation,
+) {
+    if pos == rule.body.len() {
+        let tuple: Vec<Element> = rule
+            .head
+            .args
+            .iter()
+            .map(|t| match t {
+                DlTerm::Const(c) => *c,
+                DlTerm::Var(v) => *env.get(v.as_str()).expect("unsafe rule slipped through"),
+            })
+            .collect();
+        out.insert(tuple);
+        return;
+    }
+    let lit = &rule.body[pos];
+    let source: &Relation = match (&delta_at, idb.get(&lit.atom.rel)) {
+        (Some((i, deltas)), _) if *i == pos => &deltas[&lit.atom.rel],
+        (_, Some(r)) => r,
+        (_, None) => edb.relation_by_name(&lit.atom.rel).expect("validated"),
+    };
+    if lit.negated {
+        // All variables are bound (safety); just test membership.
+        let tuple: Vec<Element> = lit
+            .atom
+            .args
+            .iter()
+            .map(|t| match t {
+                DlTerm::Const(c) => *c,
+                DlTerm::Var(v) => *env.get(v.as_str()).expect("unsafe rule slipped through"),
+            })
+            .collect();
+        if !source.contains(&tuple) {
+            eval_body(rule, pos + 1, edb, idb, delta_at, env, out);
+        }
+        return;
+    }
+    'tuples: for t in source.iter() {
+        let mut bound_here: Vec<&str> = Vec::new();
+        for (arg, &e) in lit.atom.args.iter().zip(t.iter()) {
+            match arg {
+                DlTerm::Const(c) => {
+                    if *c != e {
+                        for v in bound_here.drain(..) {
+                            env.remove(v);
+                        }
+                        continue 'tuples;
+                    }
+                }
+                DlTerm::Var(v) => match env.get(v.as_str()) {
+                    Some(&prev) => {
+                        if prev != e {
+                            for v in bound_here.drain(..) {
+                                env.remove(v);
+                            }
+                            continue 'tuples;
+                        }
+                    }
+                    None => {
+                        env.insert(v.as_str(), e);
+                        bound_here.push(v.as_str());
+                    }
+                },
+            }
+        }
+        eval_body(rule, pos + 1, edb, idb, delta_at, env, out);
+        for v in bound_here {
+            env.remove(v);
+        }
+    }
+}
+
+fn parse_atom(src: &str) -> Result<DlAtom, DatalogError> {
+    let src = src.trim();
+    let open = src
+        .find('(')
+        .ok_or_else(|| DatalogError::Parse(format!("expected '(' in atom {src:?}")))?;
+    if !src.ends_with(')') {
+        return Err(DatalogError::Parse(format!(
+            "expected ')' at end of atom {src:?}"
+        )));
+    }
+    let rel = src[..open].trim();
+    if rel.is_empty() || !rel.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return Err(DatalogError::Parse(format!("bad relation name {rel:?}")));
+    }
+    let inner = &src[open + 1..src.len() - 1];
+    let mut args = Vec::new();
+    if !inner.trim().is_empty() {
+        for a in inner.split(',') {
+            let a = a.trim();
+            if a.is_empty() {
+                return Err(DatalogError::Parse(format!("empty argument in {src:?}")));
+            }
+            if a.chars().all(|c| c.is_ascii_digit()) {
+                args.push(DlTerm::Const(a.parse().map_err(|_| {
+                    DatalogError::Parse(format!("bad constant {a:?}"))
+                })?));
+            } else if a.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                args.push(DlTerm::Var(a.to_string()));
+            } else {
+                return Err(DatalogError::Parse(format!("bad term {a:?}")));
+            }
+        }
+    }
+    Ok(DlAtom {
+        rel: rel.to_string(),
+        args,
+    })
+}
+
+/// Split a rule body on commas that are not inside parentheses.
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&s[start..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::DatabaseBuilder;
+
+    fn path_db() -> Database {
+        DatabaseBuilder::new()
+            .universe_size(5)
+            .relation("E", 2)
+            .tuples("E", [vec![0, 1], vec![1, 2], vec![2, 3]])
+            .build()
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let prog = DatalogProgram::parse("T(x,y) :- E(x,y). T(x,z) :- T(x,y), E(y,z).").unwrap();
+        let out = prog.evaluate(&path_db()).unwrap();
+        let t = &out["T"];
+        assert_eq!(t.len(), 6); // (0,1)(0,2)(0,3)(1,2)(1,3)(2,3)
+        assert!(t.contains(&[0, 3]));
+        assert!(!t.contains(&[1, 0]));
+        assert!(!t.contains(&[4, 4]));
+    }
+
+    #[test]
+    fn cyclic_graph_closure_terminates() {
+        let db = DatabaseBuilder::new()
+            .universe_size(3)
+            .relation("E", 2)
+            .tuples("E", [vec![0, 1], vec![1, 2], vec![2, 0]])
+            .build();
+        let prog = DatalogProgram::parse("T(x,y) :- E(x,y). T(x,z) :- T(x,y), E(y,z).").unwrap();
+        let out = prog.evaluate(&db).unwrap();
+        assert_eq!(out["T"].len(), 9); // complete
+    }
+
+    #[test]
+    fn stratified_negation() {
+        // Unreachable-from-0 nodes: reach(x) via edges from 0; unreach = node & !reach.
+        let db = DatabaseBuilder::new()
+            .universe_size(4)
+            .relation("E", 2)
+            .relation("N", 1)
+            .tuples("E", [vec![0, 1], vec![1, 2]])
+            .tuples("N", [vec![0], vec![1], vec![2], vec![3]])
+            .build();
+        let prog = DatalogProgram::parse(
+            "Reach(x) :- N(x), Zero(x).
+             Zero(0) :- N(0).
+             Reach(y) :- Reach(x), E(x,y).
+             Unreach(x) :- N(x), !Reach(x).",
+        )
+        .unwrap();
+        let out = prog.evaluate(&db).unwrap();
+        assert!(out["Reach"].contains(&[2]));
+        assert!(!out["Reach"].contains(&[3]));
+        assert_eq!(out["Unreach"].len(), 1);
+        assert!(out["Unreach"].contains(&[3]));
+    }
+
+    #[test]
+    fn unsafe_rule_rejected() {
+        let prog = DatalogProgram::parse("P(x,y) :- E(x,x).").unwrap();
+        assert!(matches!(
+            prog.evaluate(&path_db()),
+            Err(DatalogError::Unsafe(_))
+        ));
+        let prog2 = DatalogProgram::parse("P(x) :- E(x,y), !Q(z). Q(x) :- E(x,y).").unwrap();
+        assert!(matches!(
+            prog2.evaluate(&path_db()),
+            Err(DatalogError::Unsafe(_))
+        ));
+    }
+
+    #[test]
+    fn unstratifiable_rejected() {
+        let prog = DatalogProgram::parse("P(x) :- E(x,y), !Q(x). Q(x) :- E(x,y), !P(x).").unwrap();
+        assert!(matches!(
+            prog.evaluate(&path_db()),
+            Err(DatalogError::NotStratifiable(_))
+        ));
+    }
+
+    #[test]
+    fn head_is_edb_rejected() {
+        let prog = DatalogProgram::parse("E(x,y) :- E(y,x).").unwrap();
+        assert!(matches!(
+            prog.evaluate(&path_db()),
+            Err(DatalogError::HeadIsEdb(_))
+        ));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let prog = DatalogProgram::parse("P(x) :- E(x,y). Q(x) :- P(x, y), E(y, x).").unwrap();
+        assert!(matches!(
+            prog.evaluate(&path_db()),
+            Err(DatalogError::ArityMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_predicate_rejected() {
+        let prog = DatalogProgram::parse("P(x) :- Missing(x).").unwrap();
+        assert!(matches!(
+            prog.evaluate(&path_db()),
+            Err(DatalogError::UnknownPredicate(_))
+        ));
+    }
+
+    #[test]
+    fn constants_in_rules() {
+        let prog = DatalogProgram::parse("P(y) :- E(0, y).").unwrap();
+        let out = prog.evaluate(&path_db()).unwrap();
+        assert_eq!(out["P"].len(), 1);
+        assert!(out["P"].contains(&[1]));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(DatalogProgram::parse("").is_err());
+        assert!(DatalogProgram::parse("P(x :- E(x,y).").is_err());
+        assert!(DatalogProgram::parse("P(x) :- E(x,).").is_err());
+        assert!(DatalogProgram::parse("P(x) :- E(x,y$).").is_err());
+    }
+
+    #[test]
+    fn same_generation_classic() {
+        // sg(x,y): same generation in a tree. 0 -> 1,2 ; 1 -> 3 ; 2 -> 4.
+        let db = DatabaseBuilder::new()
+            .universe_size(5)
+            .relation("Par", 2)
+            .tuples("Par", [vec![0, 1], vec![0, 2], vec![1, 3], vec![2, 4]])
+            .build();
+        let prog = DatalogProgram::parse(
+            "Sg(x,x) :- Par(y,x).
+             Sg(x,y) :- Par(px,x), Sg(px,py), Par(py,y).
+             Sg(x,x) :- Par(x,y).",
+        )
+        .unwrap();
+        let out = prog.evaluate(&db).unwrap();
+        assert!(out["Sg"].contains(&[1, 2]));
+        assert!(out["Sg"].contains(&[3, 4]));
+        assert!(!out["Sg"].contains(&[1, 3]));
+    }
+}

@@ -1,0 +1,436 @@
+//! First-order (and bounded second-order) model checking.
+
+use qrel_db::{Database, Element, Relation};
+use qrel_logic::{Formula, Term};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors raised during evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A relational atom refers to a symbol neither in the vocabulary nor
+    /// bound by a second-order quantifier.
+    UnknownRelation(String),
+    /// Atom arity disagrees with the vocabulary/quantifier declaration.
+    ArityMismatch {
+        rel: String,
+        expected: usize,
+        got: usize,
+    },
+    /// A constant name that is neither a universe element name nor a
+    /// numeric element index.
+    UnknownConstant(String),
+    /// A free variable was encountered without a binding.
+    UnboundVariable(String),
+    /// Second-order quantification whose search space exceeds the guard.
+    SecondOrderTooLarge {
+        rel: String,
+        arity: usize,
+        universe: usize,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownRelation(r) => write!(f, "unknown relation {r:?}"),
+            EvalError::ArityMismatch { rel, expected, got } => {
+                write!(
+                    f,
+                    "relation {rel:?} expects {expected} arguments, got {got}"
+                )
+            }
+            EvalError::UnknownConstant(c) => write!(f, "unknown constant {c:?}"),
+            EvalError::UnboundVariable(v) => write!(f, "unbound variable {v:?}"),
+            EvalError::SecondOrderTooLarge {
+                rel,
+                arity,
+                universe,
+            } => write!(
+                f,
+                "second-order quantifier over {rel:?}/{arity} on a universe of {universe} \
+                 elements exceeds the enumeration guard"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Guard: a second-order quantifier enumerates `2^(n^arity)` relations;
+/// refuse beyond this many candidate tuples (i.e. `n^arity > guard`).
+const SO_GUARD_TUPLES: usize = 20;
+
+/// Resolve a constant name to an element: first as a universe element
+/// name, then as a numeric index.
+fn resolve_const(db: &Database, name: &str) -> Result<Element, EvalError> {
+    if let Some(e) = db.universe().lookup(name) {
+        return Ok(e);
+    }
+    if let Ok(i) = name.parse::<u32>() {
+        if (i as usize) < db.size() {
+            return Ok(i);
+        }
+    }
+    Err(EvalError::UnknownConstant(name.to_string()))
+}
+
+struct Evaluator<'a> {
+    db: &'a Database,
+    /// First-order environment.
+    env: HashMap<String, Element>,
+    /// Second-order environment: relation variables bound by ∃X/∀X.
+    rel_env: HashMap<String, Relation>,
+}
+
+impl<'a> Evaluator<'a> {
+    fn term(&self, t: &Term) -> Result<Element, EvalError> {
+        match t {
+            Term::Var(v) => self
+                .env
+                .get(v)
+                .copied()
+                .ok_or_else(|| EvalError::UnboundVariable(v.clone())),
+            Term::Const(c) => resolve_const(self.db, c),
+        }
+    }
+
+    fn eval(&mut self, f: &Formula) -> Result<bool, EvalError> {
+        match f {
+            Formula::True => Ok(true),
+            Formula::False => Ok(false),
+            Formula::Eq(a, b) => Ok(self.term(a)? == self.term(b)?),
+            Formula::Atom { rel, args } => {
+                let tuple: Vec<Element> = args
+                    .iter()
+                    .map(|t| self.term(t))
+                    .collect::<Result<_, _>>()?;
+                if let Some(r) = self.rel_env.get(rel) {
+                    if r.arity() != tuple.len() {
+                        return Err(EvalError::ArityMismatch {
+                            rel: rel.clone(),
+                            expected: r.arity(),
+                            got: tuple.len(),
+                        });
+                    }
+                    return Ok(r.contains(&tuple));
+                }
+                match self.db.vocabulary().index_of(rel) {
+                    Some(i) => {
+                        let r = self.db.relation(i);
+                        if r.arity() != tuple.len() {
+                            return Err(EvalError::ArityMismatch {
+                                rel: rel.clone(),
+                                expected: r.arity(),
+                                got: tuple.len(),
+                            });
+                        }
+                        Ok(r.contains(&tuple))
+                    }
+                    None => Err(EvalError::UnknownRelation(rel.clone())),
+                }
+            }
+            Formula::Not(g) => Ok(!self.eval(g)?),
+            Formula::And(gs) => {
+                for g in gs {
+                    if !self.eval(g)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Formula::Or(gs) => {
+                for g in gs {
+                    if self.eval(g)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            Formula::Exists(vars, body) => self.eval_fo_quant(vars, body, true),
+            Formula::Forall(vars, body) => self.eval_fo_quant(vars, body, false),
+            Formula::ExistsRel(x, k, body) => self.eval_so_quant(x, *k, body, true),
+            Formula::ForallRel(x, k, body) => self.eval_so_quant(x, *k, body, false),
+        }
+    }
+
+    /// Quantifier over element tuples: short-circuiting search.
+    fn eval_fo_quant(
+        &mut self,
+        vars: &[String],
+        body: &Formula,
+        existential: bool,
+    ) -> Result<bool, EvalError> {
+        let shadowed: Vec<(String, Option<Element>)> = vars
+            .iter()
+            .map(|v| (v.clone(), self.env.get(v).copied()))
+            .collect();
+        let mut result = !existential;
+        for tuple in self.db.universe().tuples(vars.len()) {
+            for (v, e) in vars.iter().zip(tuple.iter()) {
+                self.env.insert(v.clone(), *e);
+            }
+            let b = self.eval(body)?;
+            if b == existential {
+                result = existential;
+                break;
+            }
+        }
+        for (v, old) in shadowed {
+            match old {
+                Some(e) => {
+                    self.env.insert(v, e);
+                }
+                None => {
+                    self.env.remove(&v);
+                }
+            }
+        }
+        Ok(result)
+    }
+
+    /// Second-order quantifier: enumerate all relations of the arity.
+    fn eval_so_quant(
+        &mut self,
+        x: &str,
+        arity: usize,
+        body: &Formula,
+        existential: bool,
+    ) -> Result<bool, EvalError> {
+        let n = self.db.size();
+        let tuples: Vec<Vec<Element>> = self.db.universe().tuples(arity).collect();
+        if tuples.len() > SO_GUARD_TUPLES {
+            return Err(EvalError::SecondOrderTooLarge {
+                rel: x.to_string(),
+                arity,
+                universe: n,
+            });
+        }
+        let old = self.rel_env.remove(x);
+        let mut result = !existential;
+        for mask in 0u64..(1u64 << tuples.len()) {
+            let rel = Relation::from_tuples(
+                arity,
+                tuples
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| (mask >> i) & 1 == 1)
+                    .map(|(_, t)| t.clone()),
+            );
+            self.rel_env.insert(x.to_string(), rel);
+            let b = self.eval(body)?;
+            if b == existential {
+                result = existential;
+                break;
+            }
+        }
+        match old {
+            Some(r) => {
+                self.rel_env.insert(x.to_string(), r);
+            }
+            None => {
+                self.rel_env.remove(x);
+            }
+        }
+        Ok(result)
+    }
+}
+
+/// Evaluate a formula under an explicit variable binding.
+pub fn eval_formula(
+    db: &Database,
+    formula: &Formula,
+    bindings: &HashMap<String, Element>,
+) -> Result<bool, EvalError> {
+    let mut ev = Evaluator {
+        db,
+        env: bindings.clone(),
+        rel_env: HashMap::new(),
+    };
+    ev.eval(formula)
+}
+
+/// Evaluate a sentence (no free variables).
+pub fn eval_sentence(db: &Database, sentence: &Formula) -> Result<bool, EvalError> {
+    eval_formula(db, sentence, &HashMap::new())
+}
+
+/// Compute the answer set `ψ^𝔄 = {ā ∈ A^k : 𝔄 ⊨ ψ(ā)}` where the free
+/// variables are taken in the given order (the query's tuple order).
+pub fn query_answers(
+    db: &Database,
+    formula: &Formula,
+    free_vars: &[String],
+) -> Result<Relation, EvalError> {
+    let mut out = Relation::new(free_vars.len());
+    let mut bindings = HashMap::new();
+    for tuple in db.universe().tuples(free_vars.len()) {
+        bindings.clear();
+        for (v, e) in free_vars.iter().zip(tuple.iter()) {
+            bindings.insert(v.clone(), *e);
+        }
+        if eval_formula(db, formula, &bindings)? {
+            out.insert(tuple);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrel_db::DatabaseBuilder;
+    use qrel_logic::parser::parse_formula;
+
+    fn graph() -> Database {
+        // Path 0 -> 1 -> 2, node 3 isolated; S = {0, 2}.
+        DatabaseBuilder::new()
+            .universe_size(4)
+            .relation("E", 2)
+            .relation("S", 1)
+            .tuples("E", [vec![0, 1], vec![1, 2]])
+            .tuples("S", [vec![0], vec![2]])
+            .build()
+    }
+
+    fn holds(src: &str) -> bool {
+        eval_sentence(&graph(), &parse_formula(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn sentences() {
+        assert!(holds("exists x y. E(x,y)"));
+        assert!(!holds("forall x. S(x)"));
+        assert!(holds("exists x. S(x) & !E(x,x)"));
+        assert!(holds("forall x y. E(x,y) -> !E(y,x)"));
+        assert!(holds("exists x y. E(x,y) & S(x) & !S(y)"));
+        // Every edge source is in S or has an incoming edge.
+        assert!(holds(
+            "forall x. (exists y. E(x,y)) -> (S(x) | exists z. E(z,x))"
+        ));
+    }
+
+    #[test]
+    fn equality_and_constants() {
+        assert!(holds("exists x. x = 'e3' & !S(x)"));
+        assert!(holds("exists x. x = 2 & S(x)"));
+        assert!(!holds("exists x. x = 1 & S(x)"));
+        assert!(holds("forall x y. E(x,y) -> x != y"));
+    }
+
+    #[test]
+    fn answer_sets() {
+        let f = parse_formula("exists y. E(x, y)").unwrap();
+        let ans = query_answers(&graph(), &f, &["x".to_string()]).unwrap();
+        assert_eq!(ans.len(), 2);
+        assert!(ans.contains(&[0]) && ans.contains(&[1]));
+
+        // Binary query: pairs at distance exactly 2.
+        let f2 = parse_formula("exists z. E(x, z) & E(z, y)").unwrap();
+        let ans2 = query_answers(&graph(), &f2, &["x".to_string(), "y".to_string()]).unwrap();
+        assert_eq!(ans2.len(), 1);
+        assert!(ans2.contains(&[0, 2]));
+    }
+
+    #[test]
+    fn nullary_answer_set() {
+        let f = parse_formula("exists x. S(x)").unwrap();
+        let ans = query_answers(&graph(), &f, &[]).unwrap();
+        assert_eq!(ans.len(), 1); // the empty tuple: sentence holds
+        let f2 = parse_formula("forall x. S(x)").unwrap();
+        let ans2 = query_answers(&graph(), &f2, &[]).unwrap();
+        assert!(ans2.is_empty());
+    }
+
+    #[test]
+    fn errors() {
+        let db = graph();
+        assert!(matches!(
+            eval_sentence(&db, &parse_formula("exists x. T(x)").unwrap()),
+            Err(EvalError::UnknownRelation(_))
+        ));
+        assert!(matches!(
+            eval_sentence(&db, &parse_formula("exists x. E(x)").unwrap()),
+            Err(EvalError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            eval_sentence(&db, &parse_formula("exists x. x = 'nobody'").unwrap()),
+            Err(EvalError::UnknownConstant(_))
+        ));
+        assert!(matches!(
+            eval_formula(&db, &parse_formula("S(x)").unwrap(), &HashMap::new()),
+            Err(EvalError::UnboundVariable(_))
+        ));
+    }
+
+    #[test]
+    fn second_order_quantification() {
+        // ∃X ∀x (X(x) ↔ S(x)) — trivially true (take X = S).
+        let db = graph();
+        let f = Formula::ExistsRel(
+            "X".into(),
+            1,
+            Box::new(parse_formula("forall x. (X(x) -> S(x)) & (S(x) -> X(x))").unwrap()),
+        );
+        assert!(eval_sentence(&db, &f).unwrap());
+
+        // ∃X: X is a proper nonempty subset closed under E-successors.
+        // For our path graph {2} works (2 has no successors).
+        let g = Formula::ExistsRel(
+            "X".into(),
+            1,
+            Box::new(
+                parse_formula(
+                    "(exists x. X(x)) & (exists x. !X(x)) & \
+                     (forall x y. X(x) & E(x,y) -> X(y))",
+                )
+                .unwrap(),
+            ),
+        );
+        assert!(eval_sentence(&db, &g).unwrap());
+
+        // ∀X (∃x X(x)) is false (take X = ∅).
+        let h = Formula::ForallRel(
+            "X".into(),
+            1,
+            Box::new(parse_formula("exists x. X(x)").unwrap()),
+        );
+        assert!(!eval_sentence(&db, &h).unwrap());
+    }
+
+    #[test]
+    fn second_order_guard() {
+        let db = DatabaseBuilder::new()
+            .universe_size(6)
+            .relation("E", 2)
+            .build();
+        let f = Formula::ExistsRel(
+            "X".into(),
+            2,
+            Box::new(parse_formula("exists x y. X(x,y)").unwrap()),
+        );
+        assert!(matches!(
+            eval_sentence(&db, &f),
+            Err(EvalError::SecondOrderTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn quantifier_shadowing_restores_env() {
+        // After evaluating ∃x inside, the outer binding of x must be intact.
+        let f = parse_formula("S(x) & (exists x. !S(x)) & S(x)").unwrap();
+        let mut b = HashMap::new();
+        b.insert("x".to_string(), 0);
+        assert!(eval_formula(&graph(), &f, &b).unwrap());
+    }
+
+    #[test]
+    fn empty_universe_quantifiers() {
+        let db = DatabaseBuilder::new()
+            .universe_size(0)
+            .relation("S", 1)
+            .build();
+        assert!(!eval_sentence(&db, &parse_formula("exists x. S(x)").unwrap()).unwrap());
+        assert!(eval_sentence(&db, &parse_formula("forall x. S(x)").unwrap()).unwrap());
+    }
+}

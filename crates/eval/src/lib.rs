@@ -1,0 +1,23 @@
+//! Query evaluation over finite relational structures.
+//!
+//! * [`fo`] — model checking for first-order formulas (with bounded
+//!   second-order quantification by relation enumeration), and answer-set
+//!   computation `ψ^𝔄 = {ā : 𝔄 ⊨ ψ(ā)}`;
+//! * [`ground`] — the propositionalization step of Theorem 5.4: an
+//!   existential sentence over a database becomes a kDNF formula whose
+//!   variables are atomic facts;
+//! * [`query`] — the [`query::Query`] trait unifying first-order queries,
+//!   Datalog queries and arbitrary polynomial-time evaluable predicates
+//!   (the generality Theorem 5.12 needs);
+//! * [`cq`] — a conjunctive-query planner compiling to σ/π/⋈ plans with
+//!   greedy join ordering over `qrel_db::algebra`.
+
+pub mod cq;
+pub mod fo;
+pub mod ground;
+pub mod query;
+
+pub use cq::ConjunctiveQuery;
+pub use fo::{eval_formula, eval_sentence, query_answers, EvalError};
+pub use ground::{ground_existential, GroundError, Grounding};
+pub use query::{BoxedQuery, CqQuery, DatalogQuery, FnQuery, FoQuery, Query};

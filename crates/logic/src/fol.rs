@@ -1,0 +1,648 @@
+//! First-order (and second-order) formulas over relational vocabularies.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A first-order term: a variable or a named constant.
+///
+/// Constants are resolved to domain elements by the evaluator; keeping them
+/// symbolic here keeps the logic crate independent of the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Term {
+    Var(String),
+    Const(String),
+}
+
+impl Term {
+    pub fn var(name: impl Into<String>) -> Term {
+        Term::Var(name.into())
+    }
+
+    pub fn cnst(name: impl Into<String>) -> Term {
+        Term::Const(name.into())
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "'{c}'"),
+        }
+    }
+}
+
+/// A formula of relational first-order logic, extended with second-order
+/// quantification over relation variables (Section 4 of the paper covers
+/// all second-order queries).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Formula {
+    /// The constant ⊤.
+    True,
+    /// The constant ⊥.
+    False,
+    /// `R(t₁, …, t_k)`. The relation may be a vocabulary symbol or a
+    /// second-order variable bound by an enclosing [`Formula::ExistsRel`].
+    Atom {
+        rel: String,
+        args: Vec<Term>,
+    },
+    /// `t₁ = t₂`.
+    Eq(Term, Term),
+    Not(Box<Formula>),
+    /// N-ary conjunction (empty = ⊤).
+    And(Vec<Formula>),
+    /// N-ary disjunction (empty = ⊥).
+    Or(Vec<Formula>),
+    /// `∃x₁…x_m φ`.
+    Exists(Vec<String>, Box<Formula>),
+    /// `∀x₁…x_m φ`.
+    Forall(Vec<String>, Box<Formula>),
+    /// Second-order `∃X φ` where `X` is a relation variable of given arity.
+    ExistsRel(String, usize, Box<Formula>),
+    /// Second-order `∀X φ`.
+    ForallRel(String, usize, Box<Formula>),
+}
+
+/// Syntactic fragments with distinct reliability complexity in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Fragment {
+    /// No quantifiers at all — reliability in PTIME (Prop 3.1).
+    QuantifierFree,
+    /// `∃x̄ (α₁ ∧ … ∧ α_ℓ)`, αᵢ atomic — reliability already #P-hard
+    /// (Prop 3.2), probability admits an FPTRAS (Thm 5.4).
+    Conjunctive,
+    /// Existential: in NNF, only ∃ quantifiers — FPTRAS for ν(ψ) (Thm 5.4).
+    Existential,
+    /// Universal: in NNF, only ∀ quantifiers — dual of existential (Cor 5.5).
+    Universal,
+    /// General first-order — FP^#P (Thm 4.2).
+    FirstOrder,
+    /// Second-order — still FP^#P (Thm 4.2).
+    SecondOrder,
+}
+
+impl Formula {
+    // ---- constructors -------------------------------------------------
+
+    pub fn atom<S: Into<String>>(rel: S, args: impl IntoIterator<Item = Term>) -> Formula {
+        Formula::Atom {
+            rel: rel.into(),
+            args: args.into_iter().collect(),
+        }
+    }
+
+    pub fn eq(a: Term, b: Term) -> Formula {
+        Formula::Eq(a, b)
+    }
+
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(f: Formula) -> Formula {
+        Formula::Not(Box::new(f))
+    }
+
+    pub fn and(fs: impl IntoIterator<Item = Formula>) -> Formula {
+        let v: Vec<_> = fs.into_iter().collect();
+        match v.len() {
+            0 => Formula::True,
+            1 => v.into_iter().next().unwrap(),
+            _ => Formula::And(v),
+        }
+    }
+
+    pub fn or(fs: impl IntoIterator<Item = Formula>) -> Formula {
+        let v: Vec<_> = fs.into_iter().collect();
+        match v.len() {
+            0 => Formula::False,
+            1 => v.into_iter().next().unwrap(),
+            _ => Formula::Or(v),
+        }
+    }
+
+    pub fn implies(a: Formula, b: Formula) -> Formula {
+        Formula::or([Formula::not(a), b])
+    }
+
+    pub fn iff(a: Formula, b: Formula) -> Formula {
+        Formula::or([
+            Formula::and([a.clone(), b.clone()]),
+            Formula::and([Formula::not(a), Formula::not(b)]),
+        ])
+    }
+
+    pub fn exists<S: Into<String>>(vars: impl IntoIterator<Item = S>, f: Formula) -> Formula {
+        let vs: Vec<String> = vars.into_iter().map(Into::into).collect();
+        if vs.is_empty() {
+            f
+        } else {
+            Formula::Exists(vs, Box::new(f))
+        }
+    }
+
+    pub fn forall<S: Into<String>>(vars: impl IntoIterator<Item = S>, f: Formula) -> Formula {
+        let vs: Vec<String> = vars.into_iter().map(Into::into).collect();
+        if vs.is_empty() {
+            f
+        } else {
+            Formula::Forall(vs, Box::new(f))
+        }
+    }
+
+    // ---- analysis ------------------------------------------------------
+
+    /// Free first-order variables, in sorted order (deterministic).
+    pub fn free_vars(&self) -> Vec<String> {
+        let mut out = BTreeSet::new();
+        self.collect_free_vars(&mut Vec::new(), &mut out);
+        out.into_iter().collect()
+    }
+
+    fn collect_free_vars(&self, bound: &mut Vec<String>, out: &mut BTreeSet<String>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Atom { args, .. } => {
+                for t in args {
+                    if let Term::Var(v) = t {
+                        if !bound.contains(v) {
+                            out.insert(v.clone());
+                        }
+                    }
+                }
+            }
+            Formula::Eq(a, b) => {
+                for t in [a, b] {
+                    if let Term::Var(v) = t {
+                        if !bound.contains(v) {
+                            out.insert(v.clone());
+                        }
+                    }
+                }
+            }
+            Formula::Not(f) => f.collect_free_vars(bound, out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_free_vars(bound, out);
+                }
+            }
+            Formula::Exists(vs, f) | Formula::Forall(vs, f) => {
+                let depth = bound.len();
+                bound.extend(vs.iter().cloned());
+                f.collect_free_vars(bound, out);
+                bound.truncate(depth);
+            }
+            Formula::ExistsRel(_, _, f) | Formula::ForallRel(_, _, f) => {
+                f.collect_free_vars(bound, out);
+            }
+        }
+    }
+
+    /// Relation symbols used, excluding bound second-order variables.
+    pub fn relation_symbols(&self) -> Vec<(String, usize)> {
+        let mut out = BTreeSet::new();
+        self.collect_rels(&mut Vec::new(), &mut out);
+        out.into_iter().collect()
+    }
+
+    fn collect_rels(&self, bound: &mut Vec<String>, out: &mut BTreeSet<(String, usize)>) {
+        match self {
+            Formula::Atom { rel, args } if !bound.contains(rel) => {
+                out.insert((rel.clone(), args.len()));
+            }
+            Formula::Not(f) => f.collect_rels(bound, out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_rels(bound, out);
+                }
+            }
+            Formula::Exists(_, f) | Formula::Forall(_, f) => f.collect_rels(bound, out),
+            Formula::ExistsRel(x, _, f) | Formula::ForallRel(x, _, f) => {
+                bound.push(x.clone());
+                f.collect_rels(bound, out);
+                bound.pop();
+            }
+            _ => {}
+        }
+    }
+
+    /// True iff the formula contains no quantifiers (first- or second-order).
+    pub fn is_quantifier_free(&self) -> bool {
+        match self {
+            Formula::True | Formula::False | Formula::Atom { .. } | Formula::Eq(..) => true,
+            Formula::Not(f) => f.is_quantifier_free(),
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().all(|f| f.is_quantifier_free()),
+            _ => false,
+        }
+    }
+
+    /// True iff the formula is second-order (uses relation quantifiers).
+    pub fn is_second_order(&self) -> bool {
+        match self {
+            Formula::ExistsRel(..) | Formula::ForallRel(..) => true,
+            Formula::Not(f) => f.is_second_order(),
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().any(|f| f.is_second_order()),
+            Formula::Exists(_, f) | Formula::Forall(_, f) => f.is_second_order(),
+            _ => false,
+        }
+    }
+
+    /// True iff the formula has the shape `∃x̄ (α₁ ∧ … ∧ α_ℓ)` with each
+    /// `αᵢ` a relational atom or equality (the paper's conjunctive queries).
+    pub fn is_conjunctive(&self) -> bool {
+        fn matrix_is_conj_of_atoms(f: &Formula) -> bool {
+            match f {
+                Formula::Atom { .. } | Formula::Eq(..) | Formula::True => true,
+                Formula::And(fs) => fs.iter().all(matrix_is_conj_of_atoms),
+                _ => false,
+            }
+        }
+        let mut cur = self;
+        while let Formula::Exists(_, inner) = cur {
+            cur = inner;
+        }
+        matrix_is_conj_of_atoms(cur)
+    }
+
+    /// Classify into the finest matching [`Fragment`].
+    pub fn fragment(&self) -> Fragment {
+        if self.is_second_order() {
+            return Fragment::SecondOrder;
+        }
+        if self.is_quantifier_free() {
+            return Fragment::QuantifierFree;
+        }
+        if self.is_conjunctive() {
+            return Fragment::Conjunctive;
+        }
+        let nnf = self.to_nnf();
+        let (has_e, has_a) = nnf.quantifier_kinds();
+        match (has_e, has_a) {
+            (true, false) => Fragment::Existential,
+            (false, true) => Fragment::Universal,
+            _ => Fragment::FirstOrder,
+        }
+    }
+
+    fn quantifier_kinds(&self) -> (bool, bool) {
+        match self {
+            Formula::Exists(_, f) => {
+                let (e, a) = f.quantifier_kinds();
+                (true | e, a)
+            }
+            Formula::Forall(_, f) => {
+                let (e, a) = f.quantifier_kinds();
+                (e, true | a)
+            }
+            Formula::Not(f) => f.quantifier_kinds(),
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().fold((false, false), |(e, a), f| {
+                let (e2, a2) = f.quantifier_kinds();
+                (e || e2, a || a2)
+            }),
+            Formula::ExistsRel(_, _, f) | Formula::ForallRel(_, _, f) => f.quantifier_kinds(),
+            _ => (false, false),
+        }
+    }
+
+    // ---- transformations ------------------------------------------------
+
+    /// Negation normal form: negation only on atoms, equalities and ⊤/⊥
+    /// are rewritten away.
+    pub fn to_nnf(&self) -> Formula {
+        self.nnf_inner(false)
+    }
+
+    fn nnf_inner(&self, negate: bool) -> Formula {
+        match self {
+            Formula::True => {
+                if negate {
+                    Formula::False
+                } else {
+                    Formula::True
+                }
+            }
+            Formula::False => {
+                if negate {
+                    Formula::True
+                } else {
+                    Formula::False
+                }
+            }
+            Formula::Atom { .. } | Formula::Eq(..) => {
+                if negate {
+                    Formula::not(self.clone())
+                } else {
+                    self.clone()
+                }
+            }
+            Formula::Not(f) => f.nnf_inner(!negate),
+            Formula::And(fs) => {
+                let inner: Vec<_> = fs.iter().map(|f| f.nnf_inner(negate)).collect();
+                if negate {
+                    Formula::or(inner)
+                } else {
+                    Formula::and(inner)
+                }
+            }
+            Formula::Or(fs) => {
+                let inner: Vec<_> = fs.iter().map(|f| f.nnf_inner(negate)).collect();
+                if negate {
+                    Formula::and(inner)
+                } else {
+                    Formula::or(inner)
+                }
+            }
+            Formula::Exists(vs, f) => {
+                let inner = f.nnf_inner(negate);
+                if negate {
+                    Formula::Forall(vs.clone(), Box::new(inner))
+                } else {
+                    Formula::Exists(vs.clone(), Box::new(inner))
+                }
+            }
+            Formula::Forall(vs, f) => {
+                let inner = f.nnf_inner(negate);
+                if negate {
+                    Formula::Exists(vs.clone(), Box::new(inner))
+                } else {
+                    Formula::Forall(vs.clone(), Box::new(inner))
+                }
+            }
+            Formula::ExistsRel(x, k, f) => {
+                let inner = f.nnf_inner(negate);
+                if negate {
+                    Formula::ForallRel(x.clone(), *k, Box::new(inner))
+                } else {
+                    Formula::ExistsRel(x.clone(), *k, Box::new(inner))
+                }
+            }
+            Formula::ForallRel(x, k, f) => {
+                let inner = f.nnf_inner(negate);
+                if negate {
+                    Formula::ExistsRel(x.clone(), *k, Box::new(inner))
+                } else {
+                    Formula::ForallRel(x.clone(), *k, Box::new(inner))
+                }
+            }
+        }
+    }
+
+    /// Substitute free occurrences of variable `var` by `replacement`.
+    /// Quantifiers binding `var` shadow it (no capture handling is needed
+    /// because replacements in this codebase are always constants).
+    pub fn substitute(&self, var: &str, replacement: &Term) -> Formula {
+        debug_assert!(
+            !matches!(replacement, Term::Var(_)),
+            "substitute only supports constant replacements (no capture-avoidance)"
+        );
+        let sub_term = |t: &Term| -> Term {
+            match t {
+                Term::Var(v) if v == var => replacement.clone(),
+                other => other.clone(),
+            }
+        };
+        match self {
+            Formula::True | Formula::False => self.clone(),
+            Formula::Atom { rel, args } => Formula::Atom {
+                rel: rel.clone(),
+                args: args.iter().map(sub_term).collect(),
+            },
+            Formula::Eq(a, b) => Formula::Eq(sub_term(a), sub_term(b)),
+            Formula::Not(f) => Formula::not(f.substitute(var, replacement)),
+            Formula::And(fs) => {
+                Formula::And(fs.iter().map(|f| f.substitute(var, replacement)).collect())
+            }
+            Formula::Or(fs) => {
+                Formula::Or(fs.iter().map(|f| f.substitute(var, replacement)).collect())
+            }
+            Formula::Exists(vs, f) => {
+                if vs.iter().any(|v| v == var) {
+                    self.clone()
+                } else {
+                    Formula::Exists(vs.clone(), Box::new(f.substitute(var, replacement)))
+                }
+            }
+            Formula::Forall(vs, f) => {
+                if vs.iter().any(|v| v == var) {
+                    self.clone()
+                } else {
+                    Formula::Forall(vs.clone(), Box::new(f.substitute(var, replacement)))
+                }
+            }
+            Formula::ExistsRel(x, k, f) => {
+                Formula::ExistsRel(x.clone(), *k, Box::new(f.substitute(var, replacement)))
+            }
+            Formula::ForallRel(x, k, f) => {
+                Formula::ForallRel(x.clone(), *k, Box::new(f.substitute(var, replacement)))
+            }
+        }
+    }
+
+    /// True iff the formula has no free first-order variables.
+    pub fn is_sentence(&self) -> bool {
+        self.free_vars().is_empty()
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Atom { rel, args } => {
+                write!(f, "{rel}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Eq(a, b) => write!(f, "{a} = {b}"),
+            Formula::Not(inner) => write!(f, "!({inner})"),
+            Formula::And(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " & ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            // Always parenthesized: a quantifier's body extends as far
+            // right as possible in the grammar, so a bare quantified
+            // formula printed as an operand of ∧/∨ would capture its
+            // siblings on reparse.
+            Formula::Exists(vs, inner) => write!(f, "(exists {}. {inner})", vs.join(" ")),
+            Formula::Forall(vs, inner) => write!(f, "(forall {}. {inner})", vs.join(" ")),
+            Formula::ExistsRel(x, k, inner) => write!(f, "existsrel {x}/{k}. {inner}"),
+            Formula::ForallRel(x, k, inner) => write!(f, "forallrel {x}/{k}. {inner}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Term {
+        Term::var(s)
+    }
+
+    /// The paper's Prop 3.2 query: ∃x∃y∃z (Lxy ∧ Rxz ∧ Sy ∧ Sz).
+    fn mon2sat_query() -> Formula {
+        Formula::exists(
+            ["x", "y", "z"],
+            Formula::and([
+                Formula::atom("L", [v("x"), v("y")]),
+                Formula::atom("R", [v("x"), v("z")]),
+                Formula::atom("S", [v("y")]),
+                Formula::atom("S", [v("z")]),
+            ]),
+        )
+    }
+
+    #[test]
+    fn free_vars() {
+        let f = Formula::exists(
+            ["x"],
+            Formula::and([
+                Formula::atom("E", [v("x"), v("y")]),
+                Formula::eq(v("z"), Term::cnst("a")),
+            ]),
+        );
+        assert_eq!(f.free_vars(), vec!["y".to_string(), "z".to_string()]);
+        assert!(!f.is_sentence());
+        assert!(mon2sat_query().is_sentence());
+    }
+
+    #[test]
+    fn fragments() {
+        let qf = Formula::and([
+            Formula::atom("S", [v("x")]),
+            Formula::not(Formula::atom("T", [v("x")])),
+        ]);
+        assert_eq!(qf.fragment(), Fragment::QuantifierFree);
+
+        assert_eq!(mon2sat_query().fragment(), Fragment::Conjunctive);
+
+        let ex = Formula::exists(
+            ["x"],
+            Formula::or([
+                Formula::atom("S", [v("x")]),
+                Formula::not(Formula::atom("T", [v("x")])),
+            ]),
+        );
+        assert_eq!(ex.fragment(), Fragment::Existential);
+
+        // Negated existential is universal.
+        assert_eq!(Formula::not(ex.clone()).fragment(), Fragment::Universal);
+
+        let mixed = Formula::forall(
+            ["x"],
+            Formula::exists(["y"], Formula::atom("E", [v("x"), v("y")])),
+        );
+        assert_eq!(mixed.fragment(), Fragment::FirstOrder);
+
+        let so = Formula::ExistsRel(
+            "X".into(),
+            1,
+            Box::new(Formula::forall(["x"], Formula::atom("X", [v("x")]))),
+        );
+        assert_eq!(so.fragment(), Fragment::SecondOrder);
+    }
+
+    #[test]
+    fn conjunctive_rejects_disjunction() {
+        let f = Formula::exists(
+            ["x"],
+            Formula::or([Formula::atom("S", [v("x")]), Formula::atom("T", [v("x")])]),
+        );
+        assert!(!f.is_conjunctive());
+        assert_eq!(f.fragment(), Fragment::Existential);
+    }
+
+    #[test]
+    fn nnf_pushes_negation() {
+        let f = Formula::not(Formula::exists(
+            ["x"],
+            Formula::and([
+                Formula::atom("S", [v("x")]),
+                Formula::not(Formula::atom("T", [v("x")])),
+            ]),
+        ));
+        let nnf = f.to_nnf();
+        assert_eq!(
+            nnf,
+            Formula::forall(
+                ["x"],
+                Formula::or([
+                    Formula::not(Formula::atom("S", [v("x")])),
+                    Formula::atom("T", [v("x")]),
+                ])
+            )
+        );
+        // Double negation cancels.
+        assert_eq!(
+            Formula::not(Formula::not(Formula::atom("S", [v("x")]))).to_nnf(),
+            Formula::atom("S", [v("x")])
+        );
+    }
+
+    #[test]
+    fn substitution_respects_shadowing() {
+        let f = Formula::and([
+            Formula::atom("S", [v("x")]),
+            Formula::exists(["x"], Formula::atom("T", [v("x")])),
+        ]);
+        let g = f.substitute("x", &Term::cnst("a"));
+        assert_eq!(
+            g,
+            Formula::And(vec![
+                Formula::atom("S", [Term::cnst("a")]),
+                Formula::exists(["x"], Formula::atom("T", [v("x")])),
+            ])
+        );
+    }
+
+    #[test]
+    fn relation_symbols_skip_bound_so_vars() {
+        let so = Formula::ExistsRel(
+            "X".into(),
+            1,
+            Box::new(Formula::and([
+                Formula::atom("X", [v("x")]),
+                Formula::atom("E", [v("x"), v("y")]),
+            ])),
+        );
+        assert_eq!(so.relation_symbols(), vec![("E".to_string(), 2)]);
+    }
+
+    #[test]
+    fn smart_constructors_collapse() {
+        assert_eq!(Formula::and(Vec::<Formula>::new()), Formula::True);
+        assert_eq!(Formula::or(Vec::<Formula>::new()), Formula::False);
+        let a = Formula::atom("S", [v("x")]);
+        assert_eq!(Formula::and([a.clone()]), a);
+        assert_eq!(Formula::exists(Vec::<String>::new(), a.clone()), a);
+    }
+
+    #[test]
+    fn display_roundtrips_shape() {
+        let q = mon2sat_query();
+        let s = q.to_string();
+        assert!(s.contains("exists x y z"));
+        assert!(s.contains("L(x, y)"));
+    }
+}

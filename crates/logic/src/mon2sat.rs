@@ -1,0 +1,166 @@
+//! Monotone 2-CNF formulas — the #P-complete counting substrate of
+//! Proposition 3.2.
+//!
+//! An instance is `⋀_{i=1}^{n} (Y_i ∨ Z_i)` with `Y_i`, `Z_i` positive
+//! variables. Valiant proved counting its satisfying assignments
+//! (#MONOTONE-2SAT) #P-complete; the paper reduces it to the expected
+//! error of the fixed conjunctive query `∃x∃y∃z (Lxy ∧ Rxz ∧ Sy ∧ Sz)`.
+
+use crate::prop::{Cnf, Lit};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A monotone 2-CNF formula over variables `0..num_vars`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Monotone2Sat {
+    num_vars: u32,
+    clauses: Vec<(u32, u32)>,
+}
+
+impl Monotone2Sat {
+    /// Build an instance.
+    ///
+    /// # Panics
+    /// Panics if a clause mentions a variable `≥ num_vars`.
+    pub fn new(num_vars: u32, clauses: Vec<(u32, u32)>) -> Self {
+        for &(a, b) in &clauses {
+            assert!(a < num_vars && b < num_vars, "clause variable out of range");
+        }
+        Monotone2Sat { num_vars, clauses }
+    }
+
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    pub fn clauses(&self) -> &[(u32, u32)] {
+        &self.clauses
+    }
+
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Evaluate under an assignment (`true` = variable set to true).
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses
+            .iter()
+            .all(|&(a, b)| assignment[a as usize] || assignment[b as usize])
+    }
+
+    /// View as a general [`Cnf`] (all literals positive).
+    pub fn to_cnf(&self) -> Cnf {
+        Cnf::from_clauses(
+            self.clauses
+                .iter()
+                .map(|&(a, b)| vec![Lit::pos(a), Lit::pos(b)]),
+        )
+    }
+
+    /// Exact satisfying-assignment count by brute force. Testing oracle;
+    /// O(2^num_vars).
+    pub fn count_models_brute(&self) -> u64 {
+        assert!(
+            self.num_vars <= 26,
+            "brute-force counting limited to 26 vars"
+        );
+        let mut count = 0u64;
+        let n = self.num_vars as usize;
+        let mut assignment = vec![false; n];
+        for mask in 0u64..(1 << n) {
+            for (i, slot) in assignment.iter_mut().enumerate() {
+                *slot = (mask >> i) & 1 == 1;
+            }
+            if self.eval(&assignment) {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Generate a random instance with `num_vars` variables and
+    /// `num_clauses` clauses (distinct endpoints per clause, duplicates
+    /// across clauses allowed — as in random 2-SAT models).
+    pub fn random<R: rand::Rng>(num_vars: u32, num_clauses: usize, rng: &mut R) -> Self {
+        assert!(num_vars >= 2, "need at least two variables");
+        let mut clauses = Vec::with_capacity(num_clauses);
+        for _ in 0..num_clauses {
+            let a = rng.gen_range(0..num_vars);
+            let mut b = rng.gen_range(0..num_vars);
+            while b == a {
+                b = rng.gen_range(0..num_vars);
+            }
+            clauses.push((a.min(b), a.max(b)));
+        }
+        Monotone2Sat { num_vars, clauses }
+    }
+}
+
+impl fmt::Display for Monotone2Sat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.clauses.is_empty() {
+            return write!(f, "true");
+        }
+        for (i, (a, b)) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " & ")?;
+            }
+            write!(f, "(y{a} | y{b})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn eval_and_count() {
+        // (y0 | y1) & (y1 | y2): satisfying assignments over 3 vars.
+        let f = Monotone2Sat::new(3, vec![(0, 1), (1, 2)]);
+        assert!(f.eval(&[false, true, false]));
+        assert!(!f.eval(&[true, false, false]));
+        // y1=1: 4 assignments; y1=0 needs y0=1,y2=1: 1. Total 5.
+        assert_eq!(f.count_models_brute(), 5);
+    }
+
+    #[test]
+    fn empty_formula_all_models() {
+        let f = Monotone2Sat::new(4, vec![]);
+        assert_eq!(f.count_models_brute(), 16);
+    }
+
+    #[test]
+    fn cnf_view_agrees() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10 {
+            let f = Monotone2Sat::random(6, 7, &mut rng);
+            assert_eq!(f.count_models_brute(), f.to_cnf().count_models_brute(6));
+        }
+    }
+
+    #[test]
+    fn random_clauses_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let f = Monotone2Sat::random(10, 50, &mut rng);
+        assert_eq!(f.num_clauses(), 50);
+        for &(a, b) in f.clauses() {
+            assert!(a < 10 && b < 10 && a != b && a < b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        Monotone2Sat::new(2, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn display() {
+        let f = Monotone2Sat::new(3, vec![(0, 1), (1, 2)]);
+        assert_eq!(f.to_string(), "(y0 | y1) & (y1 | y2)");
+    }
+}

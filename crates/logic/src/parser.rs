@@ -1,0 +1,578 @@
+//! Recursive-descent parser for a concrete first-order query syntax.
+//!
+//! Grammar (precedence low → high):
+//!
+//! ```text
+//! formula   := quantified
+//! quantified:= ("exists" | "forall") ident+ "." quantified | iff
+//! iff       := implies ("<->" implies)*
+//! implies   := or ("->" or)*          (right-associative)
+//! or        := and ("|" and)*
+//! and       := unary ("&" unary)*
+//! unary     := "!" unary | atom
+//! atom      := "true" | "false" | "(" formula ")"
+//!            | IDENT "(" term ("," term)* ")" | IDENT "(" ")"
+//!            | term ("=" | "!=") term
+//! term      := IDENT            (variable)
+//!            | "'" IDENT "'"    (constant)
+//!            | NUMBER           (constant)
+//! ```
+//!
+//! Examples:
+//!
+//! ```
+//! use qrel_logic::parser::parse_formula;
+//! // The paper's Prop 3.2 query:
+//! let q = parse_formula("exists x y z. L(x,y) & R(x,z) & S(y) & S(z)").unwrap();
+//! assert!(q.is_conjunctive());
+//! // The non-4-colouring query of Lemma 5.9:
+//! let c = parse_formula(
+//!     "exists x y. E(x,y) & (R1(x) <-> R1(y)) & (R2(x) <-> R2(y))").unwrap();
+//! assert!(c.is_sentence());
+//! ```
+
+use crate::fol::{Formula, Term};
+use std::fmt;
+
+/// Error produced by [`parse_formula`], with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(String),
+    QuotedIdent(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Amp,
+    Pipe,
+    Bang,
+    Eq,
+    Neq,
+    Arrow,
+    DArrow,
+    Exists,
+    Forall,
+    True,
+    False,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn tokenize(src: &'a str) -> Result<Vec<(usize, Token)>, ParseError> {
+        let mut lx = Lexer { src, pos: 0 };
+        let mut out = Vec::new();
+        while let Some((off, tok)) = lx.next_token()? {
+            out.push((off, tok));
+        }
+        Ok(out)
+    }
+
+    fn peek_char(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek_char()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn next_token(&mut self) -> Result<Option<(usize, Token)>, ParseError> {
+        while let Some(c) = self.peek_char() {
+            if c.is_whitespace() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let start = self.pos;
+        let Some(c) = self.peek_char() else {
+            return Ok(None);
+        };
+        let tok = match c {
+            '(' => {
+                self.bump();
+                Token::LParen
+            }
+            ')' => {
+                self.bump();
+                Token::RParen
+            }
+            ',' => {
+                self.bump();
+                Token::Comma
+            }
+            '.' => {
+                self.bump();
+                Token::Dot
+            }
+            '&' => {
+                self.bump();
+                Token::Amp
+            }
+            '|' => {
+                self.bump();
+                Token::Pipe
+            }
+            '!' => {
+                self.bump();
+                if self.peek_char() == Some('=') {
+                    self.bump();
+                    Token::Neq
+                } else {
+                    Token::Bang
+                }
+            }
+            '=' => {
+                self.bump();
+                Token::Eq
+            }
+            '-' => {
+                self.bump();
+                if self.bump() == Some('>') {
+                    Token::Arrow
+                } else {
+                    return Err(ParseError {
+                        offset: start,
+                        message: "expected '->'".into(),
+                    });
+                }
+            }
+            '<' => {
+                self.bump();
+                if self.bump() == Some('-') && self.bump() == Some('>') {
+                    Token::DArrow
+                } else {
+                    return Err(ParseError {
+                        offset: start,
+                        message: "expected '<->'".into(),
+                    });
+                }
+            }
+            '\'' => {
+                self.bump();
+                let mut name = String::new();
+                loop {
+                    match self.bump() {
+                        Some('\'') => break,
+                        Some(ch) => name.push(ch),
+                        None => {
+                            return Err(ParseError {
+                                offset: start,
+                                message: "unterminated quoted constant".into(),
+                            })
+                        }
+                    }
+                }
+                Token::QuotedIdent(name)
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                while let Some(ch) = self.peek_char() {
+                    if ch.is_ascii_digit() {
+                        s.push(ch);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Token::Number(s)
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(ch) = self.peek_char() {
+                    if ch.is_alphanumeric() || ch == '_' {
+                        s.push(ch);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                match s.as_str() {
+                    "exists" => Token::Exists,
+                    "forall" => Token::Forall,
+                    "true" => Token::True,
+                    "false" => Token::False,
+                    _ => Token::Ident(s),
+                }
+            }
+            other => {
+                return Err(ParseError {
+                    offset: start,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        };
+        Ok(Some((start, tok)))
+    }
+}
+
+struct Parser {
+    tokens: Vec<(usize, Token)>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|(o, _)| *o)
+            .unwrap_or(self.input_len)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: &Token, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    fn err(&self, message: String) -> ParseError {
+        ParseError {
+            offset: self.offset(),
+            message,
+        }
+    }
+
+    fn formula(&mut self) -> Result<Formula, ParseError> {
+        self.quantified()
+    }
+
+    fn quantified(&mut self) -> Result<Formula, ParseError> {
+        match self.peek() {
+            Some(Token::Exists) | Some(Token::Forall) => {
+                let is_exists = matches!(self.bump(), Some(Token::Exists));
+                let mut vars = Vec::new();
+                while let Some(Token::Ident(_)) = self.peek() {
+                    if let Some(Token::Ident(v)) = self.bump() {
+                        vars.push(v);
+                    }
+                }
+                if vars.is_empty() {
+                    return Err(self.err("expected at least one variable after quantifier".into()));
+                }
+                self.expect(&Token::Dot, "'.' after quantified variables")?;
+                let body = self.quantified()?;
+                Ok(if is_exists {
+                    Formula::exists(vars, body)
+                } else {
+                    Formula::forall(vars, body)
+                })
+            }
+            _ => self.iff(),
+        }
+    }
+
+    fn iff(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.implies()?;
+        while self.peek() == Some(&Token::DArrow) {
+            self.bump();
+            let rhs = self.implies()?;
+            lhs = Formula::iff(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn implies(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.or()?;
+        if self.peek() == Some(&Token::Arrow) {
+            self.bump();
+            let rhs = self.implies()?; // right-assoc
+            Ok(Formula::implies(lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn or(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.and()?];
+        while self.peek() == Some(&Token::Pipe) {
+            self.bump();
+            parts.push(self.and()?);
+        }
+        Ok(Formula::or(parts))
+    }
+
+    fn and(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.unary()?];
+        while self.peek() == Some(&Token::Amp) {
+            self.bump();
+            parts.push(self.unary()?);
+        }
+        Ok(Formula::and(parts))
+    }
+
+    fn unary(&mut self) -> Result<Formula, ParseError> {
+        match self.peek() {
+            Some(Token::Bang) => {
+                self.bump();
+                Ok(Formula::not(self.unary()?))
+            }
+            // A quantifier may start a conjunct/disjunct directly; its body
+            // extends as far right as possible.
+            Some(Token::Exists) | Some(Token::Forall) => self.quantified(),
+            _ => self.atom(),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Formula, ParseError> {
+        match self.peek().cloned() {
+            Some(Token::True) => {
+                self.bump();
+                Ok(Formula::True)
+            }
+            Some(Token::False) => {
+                self.bump();
+                Ok(Formula::False)
+            }
+            Some(Token::LParen) => {
+                self.bump();
+                let f = self.formula()?;
+                self.expect(&Token::RParen, "')'")?;
+                Ok(f)
+            }
+            Some(Token::Ident(name)) => {
+                self.bump();
+                if self.peek() == Some(&Token::LParen) {
+                    // Relational atom.
+                    self.bump();
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Token::RParen) {
+                        loop {
+                            args.push(self.term()?);
+                            if self.peek() == Some(&Token::Comma) {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Token::RParen, "')' closing atom")?;
+                    Ok(Formula::Atom { rel: name, args })
+                } else {
+                    // Bare identifier must start an (in)equality.
+                    self.equality_tail(Term::Var(name))
+                }
+            }
+            Some(Token::Number(n)) => {
+                self.bump();
+                self.equality_tail(Term::Const(n))
+            }
+            Some(Token::QuotedIdent(n)) => {
+                self.bump();
+                self.equality_tail(Term::Const(n))
+            }
+            _ => Err(self.err("expected a formula".into())),
+        }
+    }
+
+    fn equality_tail(&mut self, lhs: Term) -> Result<Formula, ParseError> {
+        match self.peek() {
+            Some(Token::Eq) => {
+                self.bump();
+                let rhs = self.term()?;
+                Ok(Formula::Eq(lhs, rhs))
+            }
+            Some(Token::Neq) => {
+                self.bump();
+                let rhs = self.term()?;
+                Ok(Formula::not(Formula::Eq(lhs, rhs)))
+            }
+            _ => Err(self.err("expected '=' or '!=' after term".into())),
+        }
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        match self.bump() {
+            Some(Token::Ident(v)) => Ok(Term::Var(v)),
+            Some(Token::Number(n)) => Ok(Term::Const(n)),
+            Some(Token::QuotedIdent(n)) => Ok(Term::Const(n)),
+            _ => Err(self.err("expected a term".into())),
+        }
+    }
+}
+
+/// Parse a formula from the concrete syntax; see the module docs for the
+/// grammar.
+pub fn parse_formula(src: &str) -> Result<Formula, ParseError> {
+    let tokens = Lexer::tokenize(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        input_len: src.len(),
+    };
+    let f = p.formula()?;
+    if p.peek().is_some() {
+        return Err(p.err("trailing input after formula".into()));
+    }
+    Ok(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fol::Fragment;
+
+    #[test]
+    fn parses_paper_queries() {
+        let q = parse_formula("exists x y z. L(x,y) & R(x,z) & S(y) & S(z)").unwrap();
+        assert_eq!(q.fragment(), Fragment::Conjunctive);
+        assert!(q.is_sentence());
+
+        let c =
+            parse_formula("exists x y. E(x,y) & (R1(x) <-> R1(y)) & (R2(x) <-> R2(y))").unwrap();
+        assert_eq!(c.fragment(), Fragment::Existential);
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter_than_or() {
+        let f = parse_formula("S(x) | T(x) & U(x)").unwrap();
+        assert_eq!(
+            f,
+            Formula::or([
+                Formula::atom("S", [Term::var("x")]),
+                Formula::and([
+                    Formula::atom("T", [Term::var("x")]),
+                    Formula::atom("U", [Term::var("x")]),
+                ]),
+            ])
+        );
+    }
+
+    #[test]
+    fn negation_and_equality() {
+        let f = parse_formula("!S(x) & x != y & x = 'a'").unwrap();
+        assert_eq!(
+            f,
+            Formula::and([
+                Formula::not(Formula::atom("S", [Term::var("x")])),
+                Formula::not(Formula::eq(Term::var("x"), Term::var("y"))),
+                Formula::eq(Term::var("x"), Term::cnst("a")),
+            ])
+        );
+    }
+
+    #[test]
+    fn implication_right_assoc() {
+        let f = parse_formula("S(x) -> T(x) -> U(x)").unwrap();
+        // S -> (T -> U)
+        assert_eq!(
+            f,
+            Formula::implies(
+                Formula::atom("S", [Term::var("x")]),
+                Formula::implies(
+                    Formula::atom("T", [Term::var("x")]),
+                    Formula::atom("U", [Term::var("x")]),
+                ),
+            )
+        );
+    }
+
+    #[test]
+    fn quantifier_nesting() {
+        let f = parse_formula("forall x. exists y. E(x,y)").unwrap();
+        assert_eq!(
+            f,
+            Formula::forall(
+                ["x"],
+                Formula::exists(["y"], Formula::atom("E", [Term::var("x"), Term::var("y")]))
+            )
+        );
+        assert_eq!(f.fragment(), Fragment::FirstOrder);
+    }
+
+    #[test]
+    fn multi_var_quantifier() {
+        let f = parse_formula("exists x y. E(x,y)").unwrap();
+        assert_eq!(
+            f,
+            Formula::exists(
+                ["x", "y"],
+                Formula::atom("E", [Term::var("x"), Term::var("y")])
+            )
+        );
+    }
+
+    #[test]
+    fn numbers_and_nullary_atoms() {
+        let f = parse_formula("P() & x = 3").unwrap();
+        assert_eq!(
+            f,
+            Formula::and([
+                Formula::atom("P", []),
+                Formula::eq(Term::var("x"), Term::cnst("3")),
+            ])
+        );
+    }
+
+    #[test]
+    fn constants_true_false() {
+        assert_eq!(parse_formula("true").unwrap(), Formula::True);
+        assert_eq!(
+            parse_formula("false | true").unwrap(),
+            Formula::Or(vec![Formula::False, Formula::True])
+        );
+    }
+
+    #[test]
+    fn error_reporting() {
+        let e = parse_formula("exists . S(x)").unwrap_err();
+        assert!(e.message.contains("variable"));
+        let e = parse_formula("S(x) S(y)").unwrap_err();
+        assert!(e.message.contains("trailing"));
+        let e = parse_formula("S(x").unwrap_err();
+        assert!(e.message.contains(")"));
+        assert!(parse_formula("").is_err());
+        assert!(parse_formula("x").is_err());
+        assert!(parse_formula("'abc").is_err());
+        assert!(parse_formula("S(x) @ T(y)").is_err());
+    }
+
+    #[test]
+    fn display_reparse_roundtrip() {
+        for src in [
+            "exists x y z. L(x,y) & R(x,z) & S(y) & S(z)",
+            "forall x. S(x) | !T(x)",
+            "exists x. x = 'a' & !(S(x) & T(x))",
+        ] {
+            let f = parse_formula(src).unwrap();
+            let f2 = parse_formula(&f.to_string()).unwrap();
+            // Display inserts explicit grouping; semantics (and NNF) agree.
+            assert_eq!(f.to_nnf(), f2.to_nnf(), "roundtrip failed for {src}");
+        }
+    }
+}

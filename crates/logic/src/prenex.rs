@@ -1,0 +1,336 @@
+//! Prenex normal form.
+//!
+//! The paper's query classes are prenex-shaped: conjunctive queries are
+//! `∃x̄ (α₁ ∧ … ∧ α_ℓ)` and Theorem 5.4's proof starts from
+//! `ψ = ∃ȳ φ(ȳ)` with a quantifier-free matrix. This module pulls all
+//! first-order quantifiers of an arbitrary formula to the front
+//! (renaming bound variables apart to avoid capture), so non-prenex
+//! inputs can be normalized into the shapes the fragment checkers and
+//! the grounding pipeline expect.
+
+use crate::fol::{Formula, Term};
+use std::collections::HashMap;
+
+/// A prenex quantifier: `(is_existential, variable)`.
+pub type PrenexQuantifier = (bool, String);
+
+/// The result of prenexing: a quantifier prefix (outermost first) over a
+/// quantifier-free matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrenexForm {
+    pub prefix: Vec<PrenexQuantifier>,
+    pub matrix: Formula,
+}
+
+impl PrenexForm {
+    /// Reassemble into a single [`Formula`].
+    pub fn to_formula(&self) -> Formula {
+        let mut f = self.matrix.clone();
+        for (is_exists, v) in self.prefix.iter().rev() {
+            f = if *is_exists {
+                Formula::exists([v.clone()], f)
+            } else {
+                Formula::forall([v.clone()], f)
+            };
+        }
+        f
+    }
+
+    /// True iff every prefix quantifier is existential.
+    pub fn is_existential(&self) -> bool {
+        self.prefix.iter().all(|(e, _)| *e)
+    }
+
+    /// Number of quantifier alternations in the prefix.
+    pub fn alternations(&self) -> usize {
+        self.prefix.windows(2).filter(|w| w[0].0 != w[1].0).count()
+    }
+}
+
+/// Errors from prenexing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrenexError {
+    /// Second-order quantifiers cannot be prenexed by this routine.
+    SecondOrder,
+}
+
+impl std::fmt::Display for PrenexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrenexError::SecondOrder => {
+                write!(f, "prenexing is implemented for first-order formulas only")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PrenexError {}
+
+/// Convert to prenex normal form. The input is first brought to NNF
+/// (so quantifier polarity is explicit), then quantifiers are hoisted
+/// left-to-right with bound variables renamed apart (`v` becomes `v`,
+/// `v_1`, `v_2`, … as needed).
+pub fn to_prenex(formula: &Formula) -> Result<PrenexForm, PrenexError> {
+    if formula.is_second_order() {
+        return Err(PrenexError::SecondOrder);
+    }
+    let nnf = formula.to_nnf();
+    let mut state = Renamer {
+        used: formula.free_vars().into_iter().collect(),
+        counters: HashMap::new(),
+    };
+    let mut prefix = Vec::new();
+    let matrix = hoist(&nnf, &mut HashMap::new(), &mut state, &mut prefix);
+    Ok(PrenexForm { prefix, matrix })
+}
+
+struct Renamer {
+    used: std::collections::HashSet<String>,
+    counters: HashMap<String, u32>,
+}
+
+impl Renamer {
+    /// A fresh name based on `v`, registered as used.
+    fn fresh(&mut self, v: &str) -> String {
+        if self.used.insert(v.to_string()) {
+            return v.to_string();
+        }
+        loop {
+            let c = self.counters.entry(v.to_string()).or_insert(0);
+            *c += 1;
+            let candidate = format!("{v}_{c}");
+            if self.used.insert(candidate.clone()) {
+                return candidate;
+            }
+        }
+    }
+}
+
+/// Walk an NNF formula, stripping quantifiers into `prefix` and applying
+/// the variable renaming `sub` to the matrix.
+fn hoist(
+    f: &Formula,
+    sub: &mut HashMap<String, String>,
+    state: &mut Renamer,
+    prefix: &mut Vec<PrenexQuantifier>,
+) -> Formula {
+    let rename_term = |t: &Term, sub: &HashMap<String, String>| -> Term {
+        match t {
+            Term::Var(v) => Term::Var(sub.get(v).cloned().unwrap_or_else(|| v.clone())),
+            c => c.clone(),
+        }
+    };
+    match f {
+        Formula::True | Formula::False => f.clone(),
+        Formula::Atom { rel, args } => Formula::Atom {
+            rel: rel.clone(),
+            args: args.iter().map(|t| rename_term(t, sub)).collect(),
+        },
+        Formula::Eq(a, b) => Formula::Eq(rename_term(a, sub), rename_term(b, sub)),
+        Formula::Not(inner) => Formula::not(hoist(inner, sub, state, prefix)),
+        Formula::And(fs) => Formula::And(fs.iter().map(|g| hoist(g, sub, state, prefix)).collect()),
+        Formula::Or(fs) => Formula::Or(fs.iter().map(|g| hoist(g, sub, state, prefix)).collect()),
+        Formula::Exists(vs, body) | Formula::Forall(vs, body) => {
+            let is_exists = matches!(f, Formula::Exists(..));
+            let saved: Vec<(String, Option<String>)> = vs
+                .iter()
+                .map(|v| (v.clone(), sub.get(v).cloned()))
+                .collect();
+            for v in vs {
+                let fresh = state.fresh(v);
+                prefix.push((is_exists, fresh.clone()));
+                sub.insert(v.clone(), fresh);
+            }
+            let out = hoist(body, sub, state, prefix);
+            for (v, old) in saved {
+                match old {
+                    Some(o) => {
+                        sub.insert(v, o);
+                    }
+                    None => {
+                        sub.remove(&v);
+                    }
+                }
+            }
+            out
+        }
+        Formula::ExistsRel(..) | Formula::ForallRel(..) => {
+            unreachable!("second-order rejected by to_prenex")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_formula;
+
+    fn prenex(src: &str) -> PrenexForm {
+        to_prenex(&parse_formula(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn already_prenex_is_preserved() {
+        let p = prenex("exists x y. E(x,y) & S(x)");
+        assert_eq!(
+            p.prefix,
+            vec![(true, "x".to_string()), (true, "y".to_string())]
+        );
+        assert!(p.matrix.is_quantifier_free());
+        assert!(p.is_existential());
+        assert_eq!(p.alternations(), 0);
+    }
+
+    #[test]
+    fn nested_quantifiers_hoist() {
+        // (∃x S(x)) ∧ (∃x T(x)): the second x must be renamed apart.
+        let p = prenex("(exists x. S(x)) & (exists x. T(x))");
+        assert_eq!(p.prefix.len(), 2);
+        assert_ne!(p.prefix[0].1, p.prefix[1].1);
+        assert!(p.matrix.is_quantifier_free());
+        assert!(p.is_existential());
+    }
+
+    #[test]
+    fn negation_flips_inside_nnf_before_hoisting() {
+        // ¬∃x S(x) ≡ ∀x ¬S(x).
+        let p = prenex("!(exists x. S(x))");
+        assert_eq!(p.prefix, vec![(false, "x".to_string())]);
+        assert_eq!(p.matrix, parse_formula("!S(x)").unwrap());
+    }
+
+    #[test]
+    fn alternation_counting() {
+        let p = prenex("forall x. exists y. forall z. E(x,y) & E(y,z)");
+        assert_eq!(p.alternations(), 2);
+        assert!(!p.is_existential());
+    }
+
+    #[test]
+    fn capture_avoided_against_free_variables() {
+        // Free x outside, bound x inside: the bound one must rename.
+        let p = prenex("S(x) & (exists x. T(x))");
+        assert_eq!(p.prefix.len(), 1);
+        assert_ne!(p.prefix[0].1, "x");
+        // The matrix keeps the free x intact and uses the fresh name in T.
+        let shown = p.matrix.to_string();
+        assert!(shown.contains("S(x)"));
+        assert!(!shown.contains("T(x)"));
+    }
+
+    #[test]
+    fn semantics_preserved_on_database() {
+        use qrel_test_eval::holds;
+        for src in [
+            "(exists x. S(x)) & (exists x. !S(x))",
+            "(forall x. S(x) | E(x,x)) | (exists y. E(y,y))",
+            "S(z) & (exists z. E(z,z))",
+            "!(forall x. exists y. E(x,y))",
+        ] {
+            let f = parse_formula(src).unwrap();
+            let p = to_prenex(&f).unwrap();
+            let g = p.to_formula();
+            assert_eq!(f.free_vars(), g.free_vars(), "{src}");
+            holds(&f, &g);
+        }
+    }
+
+    /// Minimal in-crate semantic check: enumerate all structures with
+    /// {E/2, S/1} over a 2-element universe and compare truth values of
+    /// the original and prenexed formulas under all variable bindings.
+    mod qrel_test_eval {
+        use super::super::*;
+        use std::collections::HashMap as Map;
+
+        struct Tiny {
+            e: [[bool; 2]; 2],
+            s: [bool; 2],
+        }
+
+        fn eval(f: &Formula, st: &Tiny, env: &Map<String, usize>) -> bool {
+            match f {
+                Formula::True => true,
+                Formula::False => false,
+                Formula::Atom { rel, args } => {
+                    let v = |t: &Term| -> usize {
+                        match t {
+                            Term::Var(x) => env[x],
+                            Term::Const(c) => c.parse().unwrap(),
+                        }
+                    };
+                    match rel.as_str() {
+                        "E" => st.e[v(&args[0])][v(&args[1])],
+                        "S" => st.s[v(&args[0])],
+                        _ => panic!("unknown relation"),
+                    }
+                }
+                Formula::Eq(a, b) => {
+                    let v = |t: &Term| -> usize {
+                        match t {
+                            Term::Var(x) => env[x],
+                            Term::Const(c) => c.parse().unwrap(),
+                        }
+                    };
+                    v(a) == v(b)
+                }
+                Formula::Not(g) => !eval(g, st, env),
+                Formula::And(gs) => gs.iter().all(|g| eval(g, st, env)),
+                Formula::Or(gs) => gs.iter().any(|g| eval(g, st, env)),
+                Formula::Exists(vs, g) => assign(vs, g, st, env, true),
+                Formula::Forall(vs, g) => assign(vs, g, st, env, false),
+                _ => panic!("second-order"),
+            }
+        }
+
+        fn assign(
+            vs: &[String],
+            g: &Formula,
+            st: &Tiny,
+            env: &Map<String, usize>,
+            existential: bool,
+        ) -> bool {
+            let k = vs.len();
+            for mask in 0..(1usize << k) {
+                let mut e2 = env.clone();
+                for (i, v) in vs.iter().enumerate() {
+                    e2.insert(v.clone(), (mask >> i) & 1);
+                }
+                let r = eval(g, st, &e2);
+                if existential && r {
+                    return true;
+                }
+                if !existential && !r {
+                    return false;
+                }
+            }
+            !existential
+        }
+
+        pub fn holds(f: &Formula, g: &Formula) {
+            let free = f.free_vars();
+            for e_mask in 0..16u32 {
+                for s_mask in 0..4u32 {
+                    let st = Tiny {
+                        e: [
+                            [(e_mask & 1) != 0, (e_mask & 2) != 0],
+                            [(e_mask & 4) != 0, (e_mask & 8) != 0],
+                        ],
+                        s: [(s_mask & 1) != 0, (s_mask & 2) != 0],
+                    };
+                    for b_mask in 0..(1usize << free.len()) {
+                        let mut env = Map::new();
+                        for (i, v) in free.iter().enumerate() {
+                            env.insert(v.clone(), (b_mask >> i) & 1);
+                        }
+                        assert_eq!(
+                            eval(f, &st, &env),
+                            eval(g, &st, &env),
+                            "structure E={e_mask:04b} S={s_mask:02b} env {env:?}\n\
+                             original: {f}\nprenexed: {g}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,712 @@
+//! Propositional formulas and normal forms.
+//!
+//! Grounding an existential query over an unreliable database produces a
+//! propositional kDNF formula whose variables are atomic facts
+//! (Theorem 5.4); the counting and estimation algorithms of the paper all
+//! operate on this layer. Variables are `u32` indices into an
+//! [`AtomTable`] so formulas stay compact and hashable.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// Propositional variable identifier.
+pub type VarId = u32;
+
+/// Interning table mapping human-readable atom names (e.g. ground facts
+/// like `S(3)`) to dense [`VarId`]s.
+#[derive(Debug, Clone, Default)]
+pub struct AtomTable {
+    names: Vec<String>,
+    index: HashMap<String, VarId>,
+}
+
+impl AtomTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning its id (stable across repeated calls).
+    pub fn intern(&mut self, name: impl Into<String>) -> VarId {
+        let name = name.into();
+        if let Some(&id) = self.index.get(&name) {
+            return id;
+        }
+        let id = self.names.len() as VarId;
+        self.index.insert(name.clone(), id);
+        self.names.push(name);
+        id
+    }
+
+    /// Allocate a fresh variable with a unique generated name (never
+    /// aliases an already-interned atom, even one that happens to look
+    /// like `prefix#k`).
+    pub fn fresh(&mut self, prefix: &str) -> VarId {
+        let mut i = self.names.len();
+        loop {
+            let name = format!("{prefix}#{i}");
+            if self.lookup(&name).is_none() {
+                return self.intern(name);
+            }
+            i += 1;
+        }
+    }
+
+    pub fn lookup(&self, name: &str) -> Option<VarId> {
+        self.index.get(name).copied()
+    }
+
+    pub fn name(&self, id: VarId) -> &str {
+        &self.names[id as usize]
+    }
+
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// A propositional literal: a variable with a polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Lit {
+    pub var: VarId,
+    pub positive: bool,
+}
+
+impl Lit {
+    pub fn pos(var: VarId) -> Lit {
+        Lit {
+            var,
+            positive: true,
+        }
+    }
+
+    pub fn neg(var: VarId) -> Lit {
+        Lit {
+            var,
+            positive: false,
+        }
+    }
+
+    pub fn negated(self) -> Lit {
+        Lit {
+            var: self.var,
+            positive: !self.positive,
+        }
+    }
+
+    pub fn eval(self, assignment: &[bool]) -> bool {
+        assignment[self.var as usize] == self.positive
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "x{}", self.var)
+        } else {
+            write!(f, "!x{}", self.var)
+        }
+    }
+}
+
+/// An arbitrary propositional formula.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PropFormula {
+    Const(bool),
+    Var(VarId),
+    Not(Box<PropFormula>),
+    And(Vec<PropFormula>),
+    Or(Vec<PropFormula>),
+}
+
+impl PropFormula {
+    pub fn var(v: VarId) -> PropFormula {
+        PropFormula::Var(v)
+    }
+
+    pub fn lit(l: Lit) -> PropFormula {
+        if l.positive {
+            PropFormula::Var(l.var)
+        } else {
+            PropFormula::Not(Box::new(PropFormula::Var(l.var)))
+        }
+    }
+
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(f: PropFormula) -> PropFormula {
+        PropFormula::Not(Box::new(f))
+    }
+
+    pub fn and(fs: impl IntoIterator<Item = PropFormula>) -> PropFormula {
+        let v: Vec<_> = fs.into_iter().collect();
+        match v.len() {
+            0 => PropFormula::Const(true),
+            1 => v.into_iter().next().unwrap(),
+            _ => PropFormula::And(v),
+        }
+    }
+
+    pub fn or(fs: impl IntoIterator<Item = PropFormula>) -> PropFormula {
+        let v: Vec<_> = fs.into_iter().collect();
+        match v.len() {
+            0 => PropFormula::Const(false),
+            1 => v.into_iter().next().unwrap(),
+            _ => PropFormula::Or(v),
+        }
+    }
+
+    /// Evaluate under a total assignment (indexed by `VarId`).
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        match self {
+            PropFormula::Const(b) => *b,
+            PropFormula::Var(v) => assignment[*v as usize],
+            PropFormula::Not(f) => !f.eval(assignment),
+            PropFormula::And(fs) => fs.iter().all(|f| f.eval(assignment)),
+            PropFormula::Or(fs) => fs.iter().any(|f| f.eval(assignment)),
+        }
+    }
+
+    /// The set of variables occurring in the formula.
+    pub fn vars(&self) -> BTreeSet<VarId> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<VarId>) {
+        match self {
+            PropFormula::Const(_) => {}
+            PropFormula::Var(v) => {
+                out.insert(*v);
+            }
+            PropFormula::Not(f) => f.collect_vars(out),
+            PropFormula::And(fs) | PropFormula::Or(fs) => {
+                for f in fs {
+                    f.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// Convert to DNF by distribution, failing if the result would exceed
+    /// `max_terms` terms (distribution is worst-case exponential).
+    pub fn to_dnf(&self, max_terms: usize) -> Option<Dnf> {
+        let nnf = self.nnf(false);
+        let terms = nnf.dnf_terms(max_terms)?;
+        let mut dnf = Dnf::new();
+        for t in terms {
+            dnf.push_term_checked(t);
+        }
+        Some(dnf)
+    }
+
+    fn nnf(&self, neg: bool) -> PropFormula {
+        match self {
+            PropFormula::Const(b) => PropFormula::Const(*b != neg),
+            PropFormula::Var(v) => {
+                if neg {
+                    PropFormula::not(PropFormula::Var(*v))
+                } else {
+                    PropFormula::Var(*v)
+                }
+            }
+            PropFormula::Not(f) => f.nnf(!neg),
+            PropFormula::And(fs) => {
+                let inner: Vec<_> = fs.iter().map(|f| f.nnf(neg)).collect();
+                if neg {
+                    PropFormula::or(inner)
+                } else {
+                    PropFormula::and(inner)
+                }
+            }
+            PropFormula::Or(fs) => {
+                let inner: Vec<_> = fs.iter().map(|f| f.nnf(neg)).collect();
+                if neg {
+                    PropFormula::and(inner)
+                } else {
+                    PropFormula::or(inner)
+                }
+            }
+        }
+    }
+
+    /// Terms of the DNF of an NNF formula (None if `max_terms` exceeded).
+    /// Inconsistent terms are dropped.
+    fn dnf_terms(&self, max_terms: usize) -> Option<Vec<Vec<Lit>>> {
+        match self {
+            PropFormula::Const(true) => Some(vec![vec![]]),
+            PropFormula::Const(false) => Some(vec![]),
+            PropFormula::Var(v) => Some(vec![vec![Lit::pos(*v)]]),
+            PropFormula::Not(f) => match f.as_ref() {
+                PropFormula::Var(v) => Some(vec![vec![Lit::neg(*v)]]),
+                _ => unreachable!("formula not in NNF"),
+            },
+            PropFormula::Or(fs) => {
+                let mut out = Vec::new();
+                for f in fs {
+                    out.extend(f.dnf_terms(max_terms)?);
+                    if out.len() > max_terms {
+                        return None;
+                    }
+                }
+                Some(out)
+            }
+            PropFormula::And(fs) => {
+                let mut acc: Vec<Vec<Lit>> = vec![vec![]];
+                for f in fs {
+                    let ts = f.dnf_terms(max_terms)?;
+                    let mut next = Vec::new();
+                    for a in &acc {
+                        for t in &ts {
+                            if let Some(merged) = merge_consistent(a, t) {
+                                next.push(merged);
+                                if next.len() > max_terms {
+                                    return None;
+                                }
+                            }
+                        }
+                    }
+                    acc = next;
+                }
+                Some(acc)
+            }
+        }
+    }
+}
+
+/// Merge two literal sets if consistent (no complementary pair), keeping
+/// the result sorted and duplicate-free.
+fn merge_consistent(a: &[Lit], b: &[Lit]) -> Option<Vec<Lit>> {
+    let mut out: Vec<Lit> = a.to_vec();
+    out.extend_from_slice(b);
+    out.sort();
+    out.dedup();
+    for w in out.windows(2) {
+        if w[0].var == w[1].var {
+            return None; // complementary pair
+        }
+    }
+    Some(out)
+}
+
+/// A formula in disjunctive normal form: a disjunction of terms, each term
+/// a conjunction of literals.
+///
+/// Invariants: each term is sorted by variable, mentions each variable at
+/// most once (consistent), and the empty DNF denotes ⊥ while a DNF
+/// containing the empty term denotes ⊤.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(from = "RawDnf")]
+pub struct Dnf {
+    terms: Vec<Vec<Lit>>,
+}
+
+/// Deserialization shadow: re-normalizes every term through
+/// [`Dnf::push_term_checked`] so the sorted/consistent invariant cannot
+/// be bypassed through serde.
+#[derive(Deserialize)]
+struct RawDnf {
+    terms: Vec<Vec<Lit>>,
+}
+
+impl From<RawDnf> for Dnf {
+    fn from(raw: RawDnf) -> Self {
+        Dnf::from_terms(raw.terms)
+    }
+}
+
+impl Dnf {
+    pub fn new() -> Self {
+        Dnf { terms: Vec::new() }
+    }
+
+    /// Build from raw terms, normalizing each and dropping inconsistent ones.
+    pub fn from_terms<I, T>(terms: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: IntoIterator<Item = Lit>,
+    {
+        let mut d = Dnf::new();
+        for t in terms {
+            d.push_term_checked(t.into_iter().collect());
+        }
+        d
+    }
+
+    /// Push a term after normalization; silently drops inconsistent terms.
+    pub fn push_term_checked(&mut self, mut lits: Vec<Lit>) {
+        lits.sort();
+        lits.dedup();
+        for w in lits.windows(2) {
+            if w[0].var == w[1].var {
+                return; // x ∧ ¬x — term is unsatisfiable
+            }
+        }
+        self.terms.push(lits);
+    }
+
+    pub fn terms(&self) -> &[Vec<Lit>] {
+        &self.terms
+    }
+
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    pub fn is_false(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    pub fn is_trivially_true(&self) -> bool {
+        self.terms.iter().any(|t| t.is_empty())
+    }
+
+    /// Width: the maximum number of literals in a term (the `k` of kDNF).
+    pub fn width(&self) -> usize {
+        self.terms.iter().map(|t| t.len()).max().unwrap_or(0)
+    }
+
+    /// All variables mentioned.
+    pub fn vars(&self) -> BTreeSet<VarId> {
+        self.terms.iter().flatten().map(|l| l.var).collect()
+    }
+
+    /// Largest variable id + 1 (convenient array dimension), 0 if no vars.
+    pub fn var_bound(&self) -> usize {
+        self.terms
+            .iter()
+            .flatten()
+            .map(|l| l.var as usize + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.terms
+            .iter()
+            .any(|t| t.iter().all(|l| l.eval(assignment)))
+    }
+
+    /// Remove duplicate terms and terms subsumed by a shorter term.
+    pub fn simplify(&mut self) {
+        self.terms.sort_by_key(|t| t.len());
+        let mut kept: Vec<Vec<Lit>> = Vec::new();
+        'outer: for t in self.terms.drain(..) {
+            for k in &kept {
+                if k.iter().all(|l| t.binary_search(l).is_ok()) {
+                    continue 'outer; // t subsumed by k
+                }
+            }
+            kept.push(t);
+        }
+        self.terms = kept;
+    }
+
+    /// Exact model count over `num_vars` variables by brute-force
+    /// enumeration. Testing oracle only — O(2^num_vars).
+    pub fn count_models_brute(&self, num_vars: usize) -> u64 {
+        assert!(num_vars <= 26, "brute-force counting limited to 26 vars");
+        let mut count = 0u64;
+        let mut assignment = vec![false; num_vars];
+        for mask in 0u64..(1 << num_vars) {
+            for (i, slot) in assignment.iter_mut().enumerate() {
+                *slot = (mask >> i) & 1 == 1;
+            }
+            if self.eval(&assignment) {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Disjunction of two DNFs.
+    pub fn or_with(&mut self, other: &Dnf) {
+        self.terms.extend(other.terms.iter().cloned());
+    }
+}
+
+impl fmt::Display for Dnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_normal_form(f, &self.terms, "|", "&", "false", "true")
+    }
+}
+
+/// Shared pretty-printer for DNF terms / CNF clauses.
+fn fmt_normal_form(
+    f: &mut fmt::Formatter<'_>,
+    groups: &[Vec<Lit>],
+    outer: &str,
+    inner: &str,
+    empty: &str,
+    unit: &str,
+) -> fmt::Result {
+    if groups.is_empty() {
+        return write!(f, "{empty}");
+    }
+    for (i, g) in groups.iter().enumerate() {
+        if i > 0 {
+            write!(f, " {outer} ")?;
+        }
+        if g.is_empty() {
+            write!(f, "{unit}")?;
+        } else {
+            write!(f, "(")?;
+            for (j, l) in g.iter().enumerate() {
+                if j > 0 {
+                    write!(f, " {inner} ")?;
+                }
+                write!(f, "{l}")?;
+            }
+            write!(f, ")")?;
+        }
+    }
+    Ok(())
+}
+
+/// A formula in conjunctive normal form (used by the exact #SAT oracle).
+///
+/// The empty CNF denotes ⊤; a CNF containing an empty clause denotes ⊥.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(from = "RawCnf")]
+pub struct Cnf {
+    clauses: Vec<Vec<Lit>>,
+}
+
+/// Deserialization shadow: re-normalizes every clause through
+/// [`Cnf::push_clause`].
+#[derive(Deserialize)]
+struct RawCnf {
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl From<RawCnf> for Cnf {
+    fn from(raw: RawCnf) -> Self {
+        Cnf::from_clauses(raw.clauses)
+    }
+}
+
+impl Cnf {
+    pub fn new() -> Self {
+        Cnf {
+            clauses: Vec::new(),
+        }
+    }
+
+    pub fn from_clauses<I, C>(clauses: I) -> Self
+    where
+        I: IntoIterator<Item = C>,
+        C: IntoIterator<Item = Lit>,
+    {
+        let mut cnf = Cnf::new();
+        for c in clauses {
+            cnf.push_clause(c.into_iter().collect());
+        }
+        cnf
+    }
+
+    /// Push a clause after normalization; tautological clauses (x ∨ ¬x)
+    /// are dropped.
+    pub fn push_clause(&mut self, mut lits: Vec<Lit>) {
+        lits.sort();
+        lits.dedup();
+        for w in lits.windows(2) {
+            if w[0].var == w[1].var {
+                return; // tautology
+            }
+        }
+        self.clauses.push(lits);
+    }
+
+    pub fn clauses(&self) -> &[Vec<Lit>] {
+        &self.clauses
+    }
+
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses
+            .iter()
+            .all(|c| c.iter().any(|l| l.eval(assignment)))
+    }
+
+    pub fn vars(&self) -> BTreeSet<VarId> {
+        self.clauses.iter().flatten().map(|l| l.var).collect()
+    }
+
+    pub fn var_bound(&self) -> usize {
+        self.clauses
+            .iter()
+            .flatten()
+            .map(|l| l.var as usize + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Exact model count by brute force (testing oracle only).
+    pub fn count_models_brute(&self, num_vars: usize) -> u64 {
+        assert!(num_vars <= 26, "brute-force counting limited to 26 vars");
+        let mut count = 0u64;
+        let mut assignment = vec![false; num_vars];
+        for mask in 0u64..(1 << num_vars) {
+            for (i, slot) in assignment.iter_mut().enumerate() {
+                *slot = (mask >> i) & 1 == 1;
+            }
+            if self.eval(&assignment) {
+                count += 1;
+            }
+        }
+        count
+    }
+}
+
+impl fmt::Display for Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_normal_form(f, &self.clauses, "&", "|", "true", "false")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atom_table_interning() {
+        let mut t = AtomTable::new();
+        let a = t.intern("S(1)");
+        let b = t.intern("S(2)");
+        let a2 = t.intern("S(1)");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.name(a), "S(1)");
+        assert_eq!(t.lookup("S(2)"), Some(b));
+        assert_eq!(t.lookup("S(3)"), None);
+        let f1 = t.fresh("Y");
+        let f2 = t.fresh("Y");
+        assert_ne!(f1, f2);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn prop_eval() {
+        // (x0 & !x1) | x2
+        let f = PropFormula::or([
+            PropFormula::and([PropFormula::var(0), PropFormula::not(PropFormula::var(1))]),
+            PropFormula::var(2),
+        ]);
+        assert!(f.eval(&[true, false, false]));
+        assert!(!f.eval(&[true, true, false]));
+        assert!(f.eval(&[false, true, true]));
+        assert_eq!(f.vars().len(), 3);
+    }
+
+    #[test]
+    fn dnf_conversion_matches_semantics() {
+        // !(x0 & (x1 | !x2))
+        let f = PropFormula::not(PropFormula::and([
+            PropFormula::var(0),
+            PropFormula::or([PropFormula::var(1), PropFormula::not(PropFormula::var(2))]),
+        ]));
+        let dnf = f.to_dnf(100).unwrap();
+        for mask in 0u8..8 {
+            let a = [(mask & 1) != 0, (mask & 2) != 0, (mask & 4) != 0];
+            assert_eq!(dnf.eval(&a), f.eval(&a), "mask {mask}");
+        }
+    }
+
+    #[test]
+    fn dnf_conversion_respects_limit() {
+        // CNF with n clauses of 2 vars each → 2^n DNF terms.
+        let n = 12;
+        let f = PropFormula::and(
+            (0..n).map(|i| PropFormula::or([PropFormula::var(2 * i), PropFormula::var(2 * i + 1)])),
+        );
+        assert!(f.to_dnf(100).is_none());
+        assert!(f.to_dnf(1 << n).is_some());
+    }
+
+    #[test]
+    fn inconsistent_terms_dropped() {
+        let mut d = Dnf::new();
+        d.push_term_checked(vec![Lit::pos(0), Lit::neg(0)]);
+        assert!(d.is_false());
+        d.push_term_checked(vec![Lit::pos(1), Lit::pos(1)]);
+        assert_eq!(d.terms()[0], vec![Lit::pos(1)]);
+    }
+
+    #[test]
+    fn dnf_width_and_count() {
+        let d = Dnf::from_terms([vec![Lit::pos(0), Lit::pos(1)], vec![Lit::neg(2)]]);
+        assert_eq!(d.width(), 2);
+        // Models over 3 vars: (x0&x1): 2, (!x2): 4, overlap (x0&x1&!x2): 1 → 5
+        assert_eq!(d.count_models_brute(3), 5);
+    }
+
+    #[test]
+    fn dnf_simplify_subsumption() {
+        let mut d = Dnf::from_terms([
+            vec![Lit::pos(0), Lit::pos(1)],
+            vec![Lit::pos(0)],
+            vec![Lit::pos(0), Lit::pos(1)],
+        ]);
+        d.simplify();
+        assert_eq!(d.num_terms(), 1);
+        assert_eq!(d.terms()[0], vec![Lit::pos(0)]);
+    }
+
+    #[test]
+    fn empty_forms() {
+        let d = Dnf::new();
+        assert!(d.is_false());
+        assert!(!d.eval(&[true; 4]));
+        let mut d2 = Dnf::new();
+        d2.push_term_checked(vec![]);
+        assert!(d2.is_trivially_true());
+        assert!(d2.eval(&[false; 4]));
+
+        let c = Cnf::new();
+        assert!(c.eval(&[false; 4]));
+        let mut c2 = Cnf::new();
+        c2.push_clause(vec![]);
+        assert!(!c2.eval(&[true; 4]));
+    }
+
+    #[test]
+    fn cnf_tautology_dropped() {
+        let mut c = Cnf::new();
+        c.push_clause(vec![Lit::pos(0), Lit::neg(0)]);
+        assert_eq!(c.num_clauses(), 0);
+    }
+
+    #[test]
+    fn cnf_count_models() {
+        // (x0 | x1) & (!x0 | x2) over 3 vars.
+        let c = Cnf::from_clauses([
+            vec![Lit::pos(0), Lit::pos(1)],
+            vec![Lit::neg(0), Lit::pos(2)],
+        ]);
+        let mut expected = 0;
+        for mask in 0u8..8 {
+            let a = [(mask & 1) != 0, (mask & 2) != 0, (mask & 4) != 0];
+            if (a[0] || a[1]) && (!a[0] || a[2]) {
+                expected += 1;
+            }
+        }
+        assert_eq!(c.count_models_brute(3), expected);
+    }
+
+    #[test]
+    fn display_shapes() {
+        let d = Dnf::from_terms([vec![Lit::pos(0), Lit::neg(1)]]);
+        assert_eq!(d.to_string(), "(x0 & !x1)");
+        let c = Cnf::from_clauses([vec![Lit::pos(0), Lit::neg(1)]]);
+        assert_eq!(c.to_string(), "(x0 | !x1)");
+        assert_eq!(Dnf::new().to_string(), "false");
+        assert_eq!(Cnf::new().to_string(), "true");
+    }
+}

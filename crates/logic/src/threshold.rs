@@ -1,0 +1,203 @@
+//! DNF threshold encodings over binary counters (Theorem 5.3).
+//!
+//! Given fresh propositional variables `Ȳ = Y_{ℓ-1} … Y_0` read as an
+//! ℓ-bit binary number `val(Ȳ)`, the paper's reduction from Prob-kDNF to
+//! #DNF needs DNF formulas for the comparisons `val(Ȳ) < b` and
+//! `val(Ȳ) ≥ b`. Both have O(ℓ) terms of O(ℓ) literals, i.e. size O(ℓ²),
+//! exactly as claimed in the proof of Theorem 5.3:
+//!
+//! ```text
+//! val(Ȳ) < b   ≡   ⋁_{i<ℓ, bᵢ=1} ( ¬Yᵢ ∧ ⋀_{i<j<ℓ, bⱼ=0} ¬Yⱼ )
+//! ```
+//!
+//! (For positions `j > i` with `bⱼ = 1` no constraint is needed: `Yⱼ ≤ bⱼ`
+//! holds vacuously, and any strict drop at such `j` also witnesses `<`.)
+
+use crate::prop::{Dnf, Lit, VarId};
+
+/// The counter `Ȳ`: `vars[0]` is the most significant bit `Y_{ℓ-1}`.
+#[derive(Debug, Clone)]
+pub struct BitCounter {
+    vars: Vec<VarId>,
+}
+
+impl BitCounter {
+    /// Wrap `vars` (MSB first) as a counter.
+    pub fn new(vars: Vec<VarId>) -> Self {
+        assert!(!vars.is_empty(), "counter needs at least one bit");
+        BitCounter { vars }
+    }
+
+    /// Number of bits ℓ.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false // by construction
+    }
+
+    /// The underlying variables, MSB first.
+    pub fn vars(&self) -> &[VarId] {
+        &self.vars
+    }
+
+    /// Bit `b_i` of `b` where `i` indexes from the MSB side of this
+    /// counter: position 0 is bit `ℓ-1` of `b`.
+    fn bound_bit(&self, b: u64, msb_pos: usize) -> bool {
+        let bit_index = self.vars.len() - 1 - msb_pos;
+        (b >> bit_index) & 1 == 1
+    }
+
+    /// Evaluate `val(Ȳ)` under an assignment.
+    pub fn value(&self, assignment: &[bool]) -> u64 {
+        let mut v = 0u64;
+        for &var in &self.vars {
+            v = (v << 1) | assignment[var as usize] as u64;
+        }
+        v
+    }
+
+    /// DNF for `val(Ȳ) < b`. Requires `b < 2^ℓ` (so the formula is
+    /// nontrivial) — `b = 0` yields the empty (false) DNF.
+    pub fn less_than(&self, b: u64) -> Dnf {
+        let ell = self.vars.len();
+        assert!(
+            ell == 64 || b < (1u64 << ell),
+            "bound does not fit in counter"
+        );
+        let mut dnf = Dnf::new();
+        for i in 0..ell {
+            if !self.bound_bit(b, i) {
+                continue; // need b_i = 1 to witness a strict drop here
+            }
+            let mut term = vec![Lit::neg(self.vars[i])];
+            // Positions strictly more significant than i with b_j = 0 must
+            // have Y_j = 0 too (otherwise val(Ȳ) would already exceed b).
+            for j in 0..i {
+                if !self.bound_bit(b, j) {
+                    term.push(Lit::neg(self.vars[j]));
+                }
+            }
+            dnf.push_term_checked(term);
+        }
+        dnf
+    }
+
+    /// DNF for `val(Ȳ) ≥ b`.
+    pub fn at_least(&self, b: u64) -> Dnf {
+        let ell = self.vars.len();
+        assert!(
+            ell == 64 || b < (1u64 << ell),
+            "bound does not fit in counter"
+        );
+        let mut dnf = Dnf::new();
+        // Disjunct 0: Y_j = 1 wherever b_j = 1 (then val(Ȳ) ≥ b bitwise).
+        let all_ones: Vec<Lit> = (0..ell)
+            .filter(|&j| self.bound_bit(b, j))
+            .map(|j| Lit::pos(self.vars[j]))
+            .collect();
+        dnf.push_term_checked(all_ones);
+        // Disjunct per position i with b_i = 0: a strict rise at i while
+        // matching b's ones above it.
+        for i in 0..ell {
+            if self.bound_bit(b, i) {
+                continue;
+            }
+            let mut term = vec![Lit::pos(self.vars[i])];
+            for j in 0..i {
+                if self.bound_bit(b, j) {
+                    term.push(Lit::pos(self.vars[j]));
+                }
+            }
+            dnf.push_term_checked(term);
+        }
+        dnf
+    }
+}
+
+/// Number of bits in the shortest binary representation of `q` (len(q) in
+/// the paper's notation); `len(0) = 1` by convention.
+pub fn bit_len(q: u64) -> usize {
+    (64 - q.leading_zeros()).max(1) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exhaustive_check(ell: usize, b: u64) {
+        let counter = BitCounter::new((0..ell as VarId).collect());
+        let lt = counter.less_than(b);
+        let ge = counter.at_least(b);
+        for mask in 0u64..(1 << ell) {
+            let mut a = vec![false; ell];
+            for (i, slot) in a.iter_mut().enumerate() {
+                // vars[0] is the MSB: wire bit (ell-1-i) of mask to vars[i].
+                *slot = (mask >> (ell - 1 - i)) & 1 == 1;
+            }
+            assert_eq!(counter.value(&a), mask);
+            assert_eq!(lt.eval(&a), mask < b, "lt ℓ={ell} b={b} mask={mask}");
+            assert_eq!(ge.eval(&a), mask >= b, "ge ℓ={ell} b={b} mask={mask}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_small() {
+        for ell in 1..=5 {
+            for b in 0..(1u64 << ell) {
+                exhaustive_check(ell, b);
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_are_quadratic() {
+        let ell = 32;
+        let counter = BitCounter::new((0..ell as VarId).collect());
+        let b = 0xAAAA_AAAA & ((1u64 << ell) - 1);
+        let lt = counter.less_than(b);
+        assert!(lt.num_terms() <= ell);
+        assert!(lt.width() <= ell);
+        let ge = counter.at_least(b);
+        assert!(ge.num_terms() <= ell + 1);
+        assert!(ge.width() <= ell);
+    }
+
+    #[test]
+    fn boundary_cases() {
+        let counter = BitCounter::new(vec![0, 1, 2]);
+        // val < 0 is unsatisfiable.
+        assert!(counter.less_than(0).is_false());
+        // val >= 0 is a tautology (the "all ones of b" disjunct is empty).
+        assert!(counter.at_least(0).is_trivially_true());
+        // val < 2^ℓ − 1 excludes exactly the all-ones assignment.
+        let lt = counter.less_than(7);
+        assert!(!lt.eval(&[true, true, true]));
+        assert!(lt.eval(&[true, true, false]));
+    }
+
+    #[test]
+    fn bit_len_matches() {
+        assert_eq!(bit_len(0), 1);
+        assert_eq!(bit_len(1), 1);
+        assert_eq!(bit_len(2), 2);
+        assert_eq!(bit_len(3), 2);
+        assert_eq!(bit_len(4), 3);
+        assert_eq!(bit_len(255), 8);
+        assert_eq!(bit_len(256), 9);
+    }
+
+    #[test]
+    fn counter_counts_per_paper() {
+        // For probability p/q with ℓ = len(q): exactly p assignments satisfy
+        // val < p, and 2^ℓ − p satisfy val ≥ p (the proof of Thm 5.3).
+        let (p, q) = (5u64, 12u64);
+        let ell = bit_len(q);
+        let counter = BitCounter::new((0..ell as VarId).collect());
+        assert_eq!(counter.less_than(p).count_models_brute(ell), p);
+        assert_eq!(counter.at_least(p).count_models_brute(ell), (1 << ell) - p);
+        // Legal assignments are those with val < q: exactly q of them.
+        assert_eq!(counter.less_than(q).count_models_brute(ell), q);
+    }
+}

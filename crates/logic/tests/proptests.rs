@@ -1,0 +1,152 @@
+//! Property-based tests for the logic substrate: random formula trees and
+//! random propositional formulas.
+
+use proptest::prelude::*;
+use qrel_logic::parser::parse_formula;
+use qrel_logic::prop::{Dnf, Lit, PropFormula};
+use qrel_logic::{Formula, Term};
+
+/// Strategy for random first-order formulas over {E/2, S/1}, variables
+/// x, y, z.
+fn formula_strategy() -> impl Strategy<Value = Formula> {
+    let var = prop_oneof![Just("x"), Just("y"), Just("z")];
+    let atom = prop_oneof![
+        (var.clone(), var.clone())
+            .prop_map(|(a, b)| Formula::atom("E", [Term::var(a), Term::var(b)])),
+        var.clone().prop_map(|a| Formula::atom("S", [Term::var(a)])),
+        (var.clone(), var.clone()).prop_map(|(a, b)| Formula::eq(Term::var(a), Term::var(b))),
+        Just(Formula::True),
+        Just(Formula::False),
+    ];
+    atom.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Formula::not),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Formula::and),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Formula::or),
+            (prop_oneof![Just("x"), Just("y"), Just("z")], inner.clone())
+                .prop_map(|(v, f)| Formula::exists([v], f)),
+            (prop_oneof![Just("x"), Just("y"), Just("z")], inner)
+                .prop_map(|(v, f)| Formula::forall([v], f)),
+        ]
+    })
+}
+
+/// Strategy for random propositional formulas over up to 6 variables.
+fn prop_strategy() -> impl Strategy<Value = PropFormula> {
+    let leaf = prop_oneof![
+        (0u32..6).prop_map(PropFormula::Var),
+        any::<bool>().prop_map(PropFormula::Const),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(PropFormula::not),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(PropFormula::and),
+            proptest::collection::vec(inner, 2..4).prop_map(PropFormula::or),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn display_reparse_preserves_nnf(f in formula_strategy()) {
+        let printed = f.to_string();
+        let reparsed = parse_formula(&printed).unwrap();
+        prop_assert_eq!(f.to_nnf(), reparsed.to_nnf(), "printed: {}", printed);
+    }
+
+    #[test]
+    fn nnf_has_negation_only_on_atoms(f in formula_strategy()) {
+        fn check(f: &Formula) -> bool {
+            match f {
+                Formula::Not(inner) => {
+                    matches!(**inner, Formula::Atom { .. } | Formula::Eq(..))
+                }
+                Formula::And(fs) | Formula::Or(fs) => fs.iter().all(check),
+                Formula::Exists(_, g) | Formula::Forall(_, g) => check(g),
+                Formula::ExistsRel(_, _, g) | Formula::ForallRel(_, _, g) => check(g),
+                _ => true,
+            }
+        }
+        prop_assert!(check(&f.to_nnf()));
+    }
+
+    #[test]
+    fn nnf_is_idempotent(f in formula_strategy()) {
+        let once = f.to_nnf();
+        prop_assert_eq!(once.to_nnf(), once);
+    }
+
+    #[test]
+    fn double_negation_nnf_equals_nnf(f in formula_strategy()) {
+        let double_neg = Formula::not(Formula::not(f.clone()));
+        prop_assert_eq!(double_neg.to_nnf(), f.to_nnf());
+    }
+
+    #[test]
+    fn free_vars_invariant_under_nnf(f in formula_strategy()) {
+        prop_assert_eq!(f.free_vars(), f.to_nnf().free_vars());
+    }
+
+    #[test]
+    fn prop_nnf_dnf_preserves_semantics(f in prop_strategy()) {
+        if let Some(dnf) = f.to_dnf(4096) {
+            for mask in 0u64..(1 << 6) {
+                let a: Vec<bool> = (0..6).map(|i| (mask >> i) & 1 == 1).collect();
+                prop_assert_eq!(dnf.eval(&a), f.eval(&a), "mask {}", mask);
+            }
+        }
+    }
+
+    #[test]
+    fn dnf_simplify_preserves_semantics(terms in proptest::collection::vec(
+        proptest::collection::vec((0u32..5, any::<bool>()), 1..4), 0..6)) {
+        let mut d = Dnf::new();
+        for t in &terms {
+            d.push_term_checked(
+                t.iter().map(|&(v, pos)| Lit { var: v, positive: pos }).collect(),
+            );
+        }
+        let mut simplified = d.clone();
+        simplified.simplify();
+        prop_assert!(simplified.num_terms() <= d.num_terms());
+        for mask in 0u64..(1 << 5) {
+            let a: Vec<bool> = (0..5).map(|i| (mask >> i) & 1 == 1).collect();
+            prop_assert_eq!(simplified.eval(&a), d.eval(&a));
+        }
+    }
+
+    #[test]
+    fn fragment_classification_is_stable_under_nnf_for_quantifier_free(
+        f in formula_strategy()
+    ) {
+        use qrel_logic::Fragment;
+        if f.fragment() == Fragment::QuantifierFree {
+            prop_assert!(matches!(
+                f.to_nnf().fragment(),
+                Fragment::QuantifierFree | Fragment::Conjunctive
+            ));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The FO parser never panics on arbitrary input — it either parses
+    /// or returns a structured error.
+    #[test]
+    fn parser_total_on_arbitrary_strings(s in "[ -~]{0,40}") {
+        let _ = parse_formula(&s);
+    }
+
+    /// Parser is total on strings drawn from the query alphabet
+    /// specifically (more likely to reach deep parse states).
+    #[test]
+    fn parser_total_on_query_like_strings(
+        s in "(exists |forall |[a-z]\\(|[xyz]|[(),.&|!=<>' -]){0,30}"
+    ) {
+        let _ = parse_formula(&s);
+    }
+}

@@ -1,0 +1,461 @@
+//! Definability of reliability (the closing remark of Section 6).
+//!
+//! The paper notes (citing Grädel–Gurevich, *Metafinite Model Theory*)
+//! that the **reliability of a quantifier-free relational query is
+//! itself a first-order metafinite query**: encode the unreliable
+//! relational database `(𝔄, μ)` as a functional database carrying, per
+//! relation `R`, the characteristic function `χ_R : A^k → {0,1}` of the
+//! observed relation and the probability function `ν_R : A^k → ℚ`;
+//! then `H_ψ` is expressed by a fixed term using `Σ` and arithmetic.
+//!
+//! This module implements that translation *constructively*:
+//! [`encode_relational`] builds the functional database, and
+//! [`expected_error_term`] compiles a quantifier-free relational formula
+//! `ψ(x̄)` into a metafinite term `T` with `T^{enc(𝔇)} = H_ψ(𝔇)` exactly
+//! — verified against the Proposition 3.1 engine in the tests.
+//!
+//! The subtlety is atom coincidence: two syntactic atoms of `ψ(ā)` may
+//! denote the *same* fact for some tuples `ā` (e.g. `S(x) ∧ S(y)` at
+//! `x = y`), and then their truth values are not independent. The
+//! compiled term enumerates the finitely many *coincidence patterns*
+//! (partitions of same-relation atoms), guards each with characteristic
+//! functions of the defining (in)equalities, and within a pattern treats
+//! each class as one fact — exactly how the definability proof handles
+//! it.
+
+use crate::fdb::FunctionalDatabase;
+use crate::term::{MTerm, MultisetOp, ROp};
+use qrel_arith::BigRational;
+use qrel_db::Database;
+use qrel_logic::{Formula, Term};
+use qrel_prob::UnreliableDatabase;
+
+/// Encode `(𝔄, μ)` as a functional database with `chi_R` and `nu_R`
+/// functions per relation symbol `R`.
+pub fn encode_relational(ud: &UnreliableDatabase) -> FunctionalDatabase {
+    let db: &Database = ud.observed();
+    let n = db.size();
+    let mut out = FunctionalDatabase::new(n);
+    for (rel_ix, sym) in db.vocabulary().symbols().iter().enumerate() {
+        let arity = sym.arity();
+        let mut chi = Vec::with_capacity(n.pow(arity as u32));
+        let mut nu = Vec::with_capacity(n.pow(arity as u32));
+        for tuple in db.universe().tuples(arity) {
+            let fact = qrel_db::Fact::new(rel_ix, tuple);
+            chi.push(if db.holds(&fact) {
+                BigRational::one()
+            } else {
+                BigRational::zero()
+            });
+            nu.push(ud.nu(&fact));
+        }
+        out.add_function_values(&format!("chi_{}", sym.name()), arity, chi);
+        out.add_function_values(&format!("nu_{}", sym.name()), arity, nu);
+    }
+    out
+}
+
+/// A syntactic atom of the quantifier-free formula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct AtomRef {
+    rel: String,
+    args: Vec<Term>,
+}
+
+/// Collect the distinct syntactic atoms (relation + argument terms).
+fn collect_atoms(f: &Formula, out: &mut Vec<AtomRef>) {
+    match f {
+        Formula::Atom { rel, args } => {
+            let a = AtomRef {
+                rel: rel.clone(),
+                args: args.clone(),
+            };
+            if !out.contains(&a) {
+                out.push(a);
+            }
+        }
+        Formula::Not(g) => collect_atoms(g, out),
+        Formula::And(gs) | Formula::Or(gs) => {
+            for g in gs {
+                collect_atoms(g, out);
+            }
+        }
+        Formula::True | Formula::False | Formula::Eq(..) => {}
+        _ => panic!("expected_error_term requires a quantifier-free formula"),
+    }
+}
+
+/// Numeric term for a variable-or-constant argument: variables stay
+/// variables (they index functions); constants are not supported in this
+/// translation (the paper's setting has pure relational queries).
+fn arg_var(t: &Term) -> &str {
+    match t {
+        Term::Var(v) => v,
+        Term::Const(_) => {
+            panic!("definability translation supports variable arguments only")
+        }
+    }
+}
+
+/// χ[args of a = args of b] as a product of per-position CharEq over a
+/// helper identity function `id : A → ℚ` (included by the encoder? No —
+/// equality of *elements* is expressed through any injective function;
+/// we use the guaranteed-present `idx` function added by the encoder).
+fn args_equal_term(a: &AtomRef, b: &AtomRef) -> MTerm {
+    debug_assert_eq!(a.args.len(), b.args.len());
+    let mut factors = Vec::new();
+    for (ta, tb) in a.args.iter().zip(&b.args) {
+        factors.push(MTerm::apply(
+            ROp::CharEq,
+            [
+                MTerm::Func {
+                    name: "idx".into(),
+                    args: vec![arg_var(ta).to_string()],
+                },
+                MTerm::Func {
+                    name: "idx".into(),
+                    args: vec![arg_var(tb).to_string()],
+                },
+            ],
+        ));
+    }
+    product(factors)
+}
+
+fn product(mut factors: Vec<MTerm>) -> MTerm {
+    match factors.len() {
+        0 => MTerm::constant(1, 1),
+        1 => factors.pop().unwrap(),
+        _ => {
+            let mut acc = factors.pop().unwrap();
+            while let Some(f) = factors.pop() {
+                acc = MTerm::apply(ROp::Mul, [f, acc]);
+            }
+            acc
+        }
+    }
+}
+
+fn one_minus(t: MTerm) -> MTerm {
+    MTerm::apply(ROp::Sub, [MTerm::constant(1, 1), t])
+}
+
+/// The Boolean value of `ψ` (0/1 term) when atom `i` takes the value of
+/// term `values[i]` (each values[i] is a 0/1-valued term).
+fn formula_value(f: &Formula, atoms: &[AtomRef], values: &[MTerm]) -> MTerm {
+    match f {
+        Formula::True => MTerm::constant(1, 1),
+        Formula::False => MTerm::constant(0, 1),
+        Formula::Eq(a, b) => MTerm::apply(
+            ROp::CharEq,
+            [
+                MTerm::Func {
+                    name: "idx".into(),
+                    args: vec![arg_var(a).to_string()],
+                },
+                MTerm::Func {
+                    name: "idx".into(),
+                    args: vec![arg_var(b).to_string()],
+                },
+            ],
+        ),
+        Formula::Atom { rel, args } => {
+            let a = AtomRef {
+                rel: rel.clone(),
+                args: args.clone(),
+            };
+            let i = atoms.iter().position(|x| x == &a).expect("collected atom");
+            values[i].clone()
+        }
+        Formula::Not(g) => one_minus(formula_value(g, atoms, values)),
+        Formula::And(gs) => product(gs.iter().map(|g| formula_value(g, atoms, values)).collect()),
+        Formula::Or(gs) => {
+            // a ∨ b = 1 − (1−a)(1−b), n-ary.
+            one_minus(product(
+                gs.iter()
+                    .map(|g| one_minus(formula_value(g, atoms, values)))
+                    .collect(),
+            ))
+        }
+        _ => unreachable!("quantifier-free checked earlier"),
+    }
+}
+
+/// Enumerate partitions of `0..m` where `i` and `j` may share a block
+/// only if `compatible(i, j)`.
+fn partitions(m: usize, compatible: &dyn Fn(usize, usize) -> bool) -> Vec<Vec<Vec<usize>>> {
+    let mut out = Vec::new();
+    let mut current: Vec<Vec<usize>> = Vec::new();
+    fn go(
+        i: usize,
+        m: usize,
+        compatible: &dyn Fn(usize, usize) -> bool,
+        current: &mut Vec<Vec<usize>>,
+        out: &mut Vec<Vec<Vec<usize>>>,
+    ) {
+        if i == m {
+            out.push(current.clone());
+            return;
+        }
+        for b in 0..current.len() {
+            if current[b].iter().all(|&j| compatible(i, j)) {
+                current[b].push(i);
+                go(i + 1, m, compatible, current, out);
+                current[b].pop();
+            }
+        }
+        current.push(vec![i]);
+        go(i + 1, m, compatible, current, out);
+        current.pop();
+    }
+    go(0, m, compatible, &mut current, &mut out);
+    out
+}
+
+/// Compile a quantifier-free relational formula into a metafinite term
+/// computing `H_ψ` on [`encode_relational`]'s output (plus the `idx`
+/// identity function, which [`encode_with_idx`] adds).
+///
+/// # Panics
+/// Panics if the formula is not quantifier-free, uses constants, or
+/// `free_vars` does not cover its free variables.
+pub fn expected_error_term(formula: &Formula, free_vars: &[String]) -> MTerm {
+    assert!(
+        formula.is_quantifier_free(),
+        "formula must be quantifier-free"
+    );
+    {
+        let mut sorted = free_vars.to_vec();
+        sorted.sort();
+        assert_eq!(sorted, formula.free_vars(), "free-variable order mismatch");
+    }
+    let mut atoms = Vec::new();
+    collect_atoms(formula, &mut atoms);
+    let m = atoms.len();
+
+    // Observed truth values: χ_R(args) per atom.
+    let observed: Vec<MTerm> = atoms
+        .iter()
+        .map(|a| MTerm::Func {
+            name: format!("chi_{}", a.rel),
+            args: a.args.iter().map(|t| arg_var(t).to_string()).collect(),
+        })
+        .collect();
+    let observed_value = formula_value(formula, &atoms, &observed);
+
+    // Coincidence patterns: same-relation atoms may collapse.
+    let compat = |i: usize, j: usize| atoms[i].rel == atoms[j].rel;
+    let all_partitions = partitions(m, &compat);
+
+    let mut pattern_terms: Vec<MTerm> = Vec::new();
+    for part in &all_partitions {
+        // Guard: within a block all argument tuples equal; across blocks
+        // of the same relation, argument tuples differ.
+        let mut guard_factors: Vec<MTerm> = Vec::new();
+        for block in part {
+            for w in block.windows(2) {
+                guard_factors.push(args_equal_term(&atoms[w[0]], &atoms[w[1]]));
+            }
+        }
+        for (bi, block_i) in part.iter().enumerate() {
+            for block_j in part.iter().skip(bi + 1) {
+                let (i, j) = (block_i[0], block_j[0]);
+                if atoms[i].rel == atoms[j].rel {
+                    guard_factors.push(one_minus(args_equal_term(&atoms[i], &atoms[j])));
+                }
+            }
+        }
+        let guard = product(guard_factors);
+
+        // Error probability under this pattern: sum over truth
+        // assignments to the blocks.
+        let num_blocks = part.len();
+        let mut err_sum: Vec<MTerm> = Vec::new();
+        for mask in 0u32..(1 << num_blocks) {
+            // Atom values induced by the block assignment.
+            let mut values = vec![MTerm::constant(0, 1); m];
+            for (b, block) in part.iter().enumerate() {
+                let v = (mask >> b) & 1 == 1;
+                for &i in block {
+                    values[i] = MTerm::constant(v as i64, 1);
+                }
+            }
+            let actual_value = formula_value(formula, &atoms, &values);
+            // |actual − observed| for 0/1 quantities:
+            // actual·(1−obs) + (1−actual)·obs.
+            let disagree = MTerm::apply(
+                ROp::Add,
+                [
+                    MTerm::apply(
+                        ROp::Mul,
+                        [actual_value.clone(), one_minus(observed_value.clone())],
+                    ),
+                    MTerm::apply(ROp::Mul, [one_minus(actual_value), observed_value.clone()]),
+                ],
+            );
+            // Probability of the block assignment: ∏ ν or (1−ν) on block
+            // representatives.
+            let mut prob_factors = Vec::new();
+            for (b, block) in part.iter().enumerate() {
+                let rep = &atoms[block[0]];
+                let nu = MTerm::Func {
+                    name: format!("nu_{}", rep.rel),
+                    args: rep.args.iter().map(|t| arg_var(t).to_string()).collect(),
+                };
+                prob_factors.push(if (mask >> b) & 1 == 1 {
+                    nu
+                } else {
+                    one_minus(nu)
+                });
+            }
+            err_sum.push(MTerm::apply(ROp::Mul, [disagree, product(prob_factors)]));
+        }
+        let err = err_sum
+            .into_iter()
+            .reduce(|a, b| MTerm::apply(ROp::Add, [a, b]))
+            .unwrap_or(MTerm::constant(0, 1));
+        pattern_terms.push(MTerm::apply(ROp::Mul, [guard, err]));
+    }
+
+    let per_tuple = pattern_terms
+        .into_iter()
+        .reduce(|a, b| MTerm::apply(ROp::Add, [a, b]))
+        .unwrap_or(MTerm::constant(0, 1));
+
+    // H = Σ_{x̄} per_tuple — a single multiset Sum over the free vars.
+    if free_vars.is_empty() {
+        per_tuple
+    } else {
+        MTerm::Multiset {
+            op: MultisetOp::Sum,
+            vars: free_vars.to_vec(),
+            body: Box::new(per_tuple),
+        }
+    }
+}
+
+/// Encode and add the `idx : A → ℚ` identity function (element `i ↦ i`)
+/// used by the equality guards.
+pub fn encode_with_idx(ud: &UnreliableDatabase) -> FunctionalDatabase {
+    let mut out = encode_relational(ud);
+    let n = out.size();
+    out.add_function_values(
+        "idx",
+        1,
+        (0..n).map(|i| BigRational::from_int(i as i64)).collect(),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrel_core::quantifier_free::qf_reliability;
+    use qrel_db::{DatabaseBuilder, Fact};
+    use qrel_logic::parser::parse_formula;
+    use std::collections::HashMap;
+
+    fn r(n: i64, d: u64) -> BigRational {
+        BigRational::from_ratio(n, d)
+    }
+
+    fn setup() -> UnreliableDatabase {
+        let db = DatabaseBuilder::new()
+            .universe_size(3)
+            .relation("E", 2)
+            .relation("S", 1)
+            .tuples("E", [vec![0, 1], vec![1, 2]])
+            .tuples("S", [vec![0], vec![2]])
+            .build();
+        let mut ud = UnreliableDatabase::reliable(db);
+        ud.set_error(&Fact::new(0, vec![0, 1]), r(1, 4)).unwrap();
+        ud.set_error(&Fact::new(0, vec![2, 2]), r(1, 3)).unwrap();
+        ud.set_error(&Fact::new(1, vec![0]), r(1, 5)).unwrap();
+        ud.set_error(&Fact::new(1, vec![1]), r(2, 7)).unwrap();
+        ud
+    }
+
+    fn check(src: &str, free: &[&str]) {
+        let ud = setup();
+        let f = parse_formula(src).unwrap();
+        let free: Vec<String> = free.iter().map(|s| s.to_string()).collect();
+        // Reference: the Prop 3.1 engine.
+        let reference = qf_reliability(&ud, &f, &free).unwrap().expected_error;
+        // Definability route: compile to a metafinite term, evaluate on
+        // the encoded functional database.
+        let term = expected_error_term(&f, &free);
+        let fdb = encode_with_idx(&ud);
+        let via_term = term.eval(&fdb, &HashMap::new()).unwrap();
+        assert_eq!(via_term, reference, "query {src}");
+    }
+
+    #[test]
+    fn single_atom() {
+        check("S(x)", &["x"]);
+        check("E(x,y)", &["x", "y"]);
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        check("S(x) & E(x,y)", &["x", "y"]);
+        check("S(x) | !S(y)", &["x", "y"]);
+        check("!(S(x) & E(x,x))", &["x"]);
+    }
+
+    #[test]
+    fn coincidence_patterns_matter() {
+        // S(x) ∧ S(y): at x = y the two atoms are the SAME fact — a naive
+        // independent-product term would get this wrong; the pattern
+        // guards must handle it.
+        check("S(x) & S(y)", &["x", "y"]);
+        check("S(x) | S(y)", &["x", "y"]);
+        check("E(x,y) & E(y,x)", &["x", "y"]);
+    }
+
+    #[test]
+    fn equalities_in_formula() {
+        check("S(x) & x = y", &["x", "y"]);
+        check("E(x,y) & x != y", &["x", "y"]);
+    }
+
+    #[test]
+    fn encoder_shape() {
+        let ud = setup();
+        let fdb = encode_with_idx(&ud);
+        assert_eq!(fdb.size(), 3);
+        // chi_E, nu_E, chi_S, nu_S, idx.
+        assert_eq!(fdb.function_names().count(), 5);
+        assert_eq!(fdb.value("chi_E", &[0, 1]), &BigRational::one());
+        assert_eq!(fdb.value("chi_E", &[1, 0]), &BigRational::zero());
+        assert_eq!(fdb.value("nu_E", &[0, 1]), &r(3, 4));
+        assert_eq!(fdb.value("nu_E", &[2, 2]), &r(1, 3));
+        assert_eq!(fdb.value("idx", &[2]), &r(2, 1));
+    }
+
+    #[test]
+    fn partition_enumeration() {
+        // 3 mutually compatible atoms: Bell(3) = 5 partitions.
+        let parts = partitions(3, &|_, _| true);
+        assert_eq!(parts.len(), 5);
+        // No compatibility: only the discrete partition.
+        let parts2 = partitions(3, &|_, _| false);
+        assert_eq!(parts2.len(), 1);
+        assert_eq!(parts2[0].len(), 3);
+    }
+
+    #[test]
+    fn term_is_first_order_metafinite() {
+        // The compiled term uses only Σ over free variables — i.e. it is
+        // a first-order metafinite query, as the paper's remark states.
+        let f = parse_formula("S(x) & E(x,y)").unwrap();
+        let t = expected_error_term(&f, &["x".to_string(), "y".to_string()]);
+        match &t {
+            MTerm::Multiset { op, vars, .. } => {
+                assert_eq!(*op, MultisetOp::Sum);
+                assert_eq!(vars.len(), 2);
+            }
+            _ => panic!("expected a top-level Σ"),
+        }
+        assert!(t.free_vars().is_empty());
+    }
+}

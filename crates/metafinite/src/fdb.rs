@@ -1,0 +1,237 @@
+//! Functional databases `(A, ℱ)`.
+
+use qrel_arith::BigRational;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A function `f : A^k → ℚ`, stored as a dense table in lexicographic
+/// tuple order (mixed-radix rank, universe size `n`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionTable {
+    arity: usize,
+    /// `n^arity` values.
+    values: Vec<BigRational>,
+}
+
+impl FunctionTable {
+    /// Constant-zero table.
+    pub fn zeros(n: usize, arity: usize) -> Self {
+        FunctionTable {
+            arity,
+            values: vec![BigRational::zero(); n.pow(arity as u32)],
+        }
+    }
+
+    /// Build from values in lexicographic tuple order.
+    ///
+    /// # Panics
+    /// Panics if `values.len() != n^arity`.
+    pub fn from_values(n: usize, arity: usize, values: Vec<BigRational>) -> Self {
+        assert_eq!(values.len(), n.pow(arity as u32), "table size mismatch");
+        FunctionTable { arity, values }
+    }
+
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Mixed-radix rank of a tuple.
+    pub fn rank(&self, n: usize, tuple: &[u32]) -> usize {
+        debug_assert_eq!(tuple.len(), self.arity);
+        let mut r = 0usize;
+        for &e in tuple {
+            debug_assert!((e as usize) < n);
+            r = r * n + e as usize;
+        }
+        r
+    }
+
+    pub fn get(&self, n: usize, tuple: &[u32]) -> &BigRational {
+        &self.values[self.rank(n, tuple)]
+    }
+
+    pub fn set(&mut self, n: usize, tuple: &[u32], v: BigRational) {
+        let r = self.rank(n, tuple);
+        self.values[r] = v;
+    }
+
+    pub fn get_at(&self, index: usize) -> &BigRational {
+        &self.values[index]
+    }
+
+    pub fn set_at(&mut self, index: usize, v: BigRational) {
+        self.values[index] = v;
+    }
+}
+
+/// A functional database `𝔄 = (A, ℱ)` over the rationals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionalDatabase {
+    n: usize,
+    functions: BTreeMap<String, FunctionTable>,
+}
+
+impl FunctionalDatabase {
+    /// Empty database over a universe of `n` elements.
+    pub fn new(n: usize) -> Self {
+        FunctionalDatabase {
+            n,
+            functions: BTreeMap::new(),
+        }
+    }
+
+    /// Universe size.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Declare a function initialized to zero.
+    ///
+    /// # Panics
+    /// Panics on duplicate names.
+    pub fn add_function(&mut self, name: &str, arity: usize) {
+        let prev = self
+            .functions
+            .insert(name.to_string(), FunctionTable::zeros(self.n, arity));
+        assert!(prev.is_none(), "duplicate function {name:?}");
+    }
+
+    /// Declare a function with explicit values (lexicographic order).
+    pub fn add_function_values(&mut self, name: &str, arity: usize, values: Vec<BigRational>) {
+        let prev = self.functions.insert(
+            name.to_string(),
+            FunctionTable::from_values(self.n, arity, values),
+        );
+        assert!(prev.is_none(), "duplicate function {name:?}");
+    }
+
+    pub fn function(&self, name: &str) -> Option<&FunctionTable> {
+        self.functions.get(name)
+    }
+
+    pub fn function_mut(&mut self, name: &str) -> Option<&mut FunctionTable> {
+        self.functions.get_mut(name)
+    }
+
+    /// Function names in sorted order.
+    pub fn function_names(&self) -> impl Iterator<Item = &str> {
+        self.functions.keys().map(|s| s.as_str())
+    }
+
+    /// Value `f(ā)`.
+    ///
+    /// # Panics
+    /// Panics for unknown functions or arity mismatches.
+    pub fn value(&self, name: &str, tuple: &[u32]) -> &BigRational {
+        let f = self
+            .functions
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown function {name:?}"));
+        assert_eq!(f.arity(), tuple.len(), "arity mismatch for {name:?}");
+        f.get(self.n, tuple)
+    }
+
+    /// Total number of function entries (the dimension of the world space).
+    pub fn entry_count(&self) -> usize {
+        self.functions.values().map(|f| f.len()).sum()
+    }
+
+    /// Entries in a canonical order: functions sorted by name, tuples by
+    /// rank. Returns `(function name, rank)` pairs.
+    pub fn entries(&self) -> Vec<(String, usize)> {
+        let mut out = Vec::with_capacity(self.entry_count());
+        for (name, table) in &self.functions {
+            for r in 0..table.len() {
+                out.push((name.clone(), r));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for FunctionalDatabase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "universe size: {}", self.n)?;
+        for (name, table) in &self.functions {
+            write!(f, "{name}/{} = [", table.arity())?;
+            for i in 0..table.len() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", table.get_at(i))?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: u64) -> BigRational {
+        BigRational::from_ratio(n, d)
+    }
+
+    #[test]
+    fn build_and_access() {
+        let mut db = FunctionalDatabase::new(3);
+        db.add_function("salary", 1);
+        db.function_mut("salary").unwrap().set(3, &[1], r(1000, 1));
+        assert_eq!(db.value("salary", &[1]), &r(1000, 1));
+        assert_eq!(db.value("salary", &[0]), &BigRational::zero());
+    }
+
+    #[test]
+    fn binary_function_rank_order() {
+        let mut db = FunctionalDatabase::new(2);
+        db.add_function_values("dist", 2, vec![r(0, 1), r(1, 1), r(2, 1), r(3, 1)]);
+        // Lexicographic: (0,0)→0, (0,1)→1, (1,0)→2, (1,1)→3.
+        assert_eq!(db.value("dist", &[0, 1]), &r(1, 1));
+        assert_eq!(db.value("dist", &[1, 0]), &r(2, 1));
+    }
+
+    #[test]
+    fn nullary_function_is_a_constant() {
+        let mut db = FunctionalDatabase::new(5);
+        db.add_function_values("threshold", 0, vec![r(7, 2)]);
+        assert_eq!(db.value("threshold", &[]), &r(7, 2));
+        assert_eq!(db.function("threshold").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn entry_enumeration() {
+        let mut db = FunctionalDatabase::new(2);
+        db.add_function("f", 1);
+        db.add_function("g", 0);
+        assert_eq!(db.entry_count(), 3);
+        let entries = db.entries();
+        assert_eq!(entries.len(), 3);
+        // Sorted by name: f's two entries then g's one.
+        assert_eq!(entries[0], ("f".to_string(), 0));
+        assert_eq!(entries[2], ("g".to_string(), 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate function")]
+    fn duplicate_function_rejected() {
+        let mut db = FunctionalDatabase::new(2);
+        db.add_function("f", 1);
+        db.add_function("f", 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "table size mismatch")]
+    fn wrong_table_size_rejected() {
+        FunctionTable::from_values(3, 1, vec![BigRational::zero()]);
+    }
+}

@@ -1,0 +1,33 @@
+//! Metafinite (functional) databases with aggregates — Section 6 of the
+//! paper.
+//!
+//! A functional database over an interpreted structure `ℜ` is a pair
+//! `𝔄 = (A, ℱ)`: a finite set `A` and finitely many functions
+//! `f : A^k → R`. Queries are terms built from the database functions,
+//! the interpreted operations of `ℜ`, and *multiset operations*
+//! (`Σ`, `Π`, `min`, `max`, …) binding first-order variables — the
+//! formalization of SQL-style aggregates. Here `ℜ` is the field of
+//! rationals (exact `BigRational` arithmetic) with the comparison
+//! characteristic functions and the multiset operations
+//! `Σ, Π, min, max, count, avg`.
+//!
+//! An *unreliable functional database* (Definition 6.1) assigns to every
+//! entry `f(ā)` a finite-support probability distribution over values
+//! (consistency `Σ_r ν(f(ā) = r) = 1` is enforced). The reliability
+//! results of Theorem 6.2 are implemented in [`reliability`]:
+//! quantifier-free terms in polynomial time, first-order (aggregate)
+//! terms by exact weighted world enumeration, plus Monte-Carlo
+//! estimation.
+
+pub mod definability;
+pub mod fdb;
+pub mod parser;
+pub mod reliability;
+pub mod second_order;
+pub mod term;
+pub mod unreliable;
+
+pub use fdb::{FunctionTable, FunctionalDatabase};
+pub use second_order::SoTerm;
+pub use term::{MTerm, MultisetOp, ROp};
+pub use unreliable::{EntryDistribution, UnreliableFunctionalDatabase};

@@ -1,0 +1,450 @@
+//! A concrete syntax for metafinite terms.
+//!
+//! ```text
+//! term     := additive
+//! additive := mult (("+" | "-") mult)*
+//! mult     := unary ("*" unary)*
+//! unary    := "-" unary | primary
+//! primary  := NUMBER [ "/" NUMBER ]                  rational constant
+//!           | IDENT "(" [ VAR { "," VAR } ] ")"      database function
+//!           | "(" term ")"
+//!           | AGG VAR+ "." term                      multiset operation
+//!           | "eq" "(" term "," term ")"             χ[=]
+//!           | "lt" "(" term "," term ")"             χ[<]
+//!           | "le" "(" term "," term ")"             χ[≤]
+//!           | "min" "(" term "," term ")"            binary min/max
+//!           | "max" "(" term "," term ")"
+//! AGG      := "sum" | "prod" | "min" | "max" | "count" | "avg"
+//! ```
+//!
+//! `min`/`max` are aggregates when followed by variables and a dot
+//! (`min x. salary(x)`), binary operations when followed by `(`.
+//!
+//! ```
+//! use qrel_metafinite::parser::parse_term;
+//! // SQL: SELECT SUM(salary) WHERE dept = 2
+//! let t = parse_term("sum x. salary(x) * eq(dept(x), 2)").unwrap();
+//! assert!(t.free_vars().is_empty());
+//! ```
+
+use crate::term::{MTerm, MultisetOp, ROp};
+use qrel_arith::BigRational;
+use std::fmt;
+
+/// Parse error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TermParseError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for TermParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "term parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for TermParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+}
+
+fn tokenize(src: &str) -> Result<Vec<(usize, Tok)>, TermParseError> {
+    let mut out = Vec::new();
+    let mut it = src.char_indices().peekable();
+    while let Some(&(i, c)) = it.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                it.next();
+            }
+            '(' => {
+                it.next();
+                out.push((i, Tok::LParen));
+            }
+            ')' => {
+                it.next();
+                out.push((i, Tok::RParen));
+            }
+            ',' => {
+                it.next();
+                out.push((i, Tok::Comma));
+            }
+            '.' => {
+                it.next();
+                out.push((i, Tok::Dot));
+            }
+            '+' => {
+                it.next();
+                out.push((i, Tok::Plus));
+            }
+            '-' => {
+                it.next();
+                out.push((i, Tok::Minus));
+            }
+            '*' => {
+                it.next();
+                out.push((i, Tok::Star));
+            }
+            '/' => {
+                it.next();
+                out.push((i, Tok::Slash));
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                while let Some(&(_, d)) = it.peek() {
+                    if d.is_ascii_digit() {
+                        s.push(d);
+                        it.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push((i, Tok::Number(s)));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&(_, d)) = it.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        s.push(d);
+                        it.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push((i, Tok::Ident(s)));
+            }
+            other => {
+                return Err(TermParseError {
+                    offset: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct P {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+    len: usize,
+}
+
+impl P {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|(_, t)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks.get(self.pos).map(|(o, _)| *o).unwrap_or(self.len)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> TermParseError {
+        TermParseError {
+            offset: self.offset(),
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<(), TermParseError> {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    fn term(&mut self) -> Result<MTerm, TermParseError> {
+        let mut acc = self.mult()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Plus) => {
+                    self.bump();
+                    let rhs = self.mult()?;
+                    acc = MTerm::apply(ROp::Add, [acc, rhs]);
+                }
+                Some(Tok::Minus) => {
+                    self.bump();
+                    let rhs = self.mult()?;
+                    acc = MTerm::apply(ROp::Sub, [acc, rhs]);
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn mult(&mut self) -> Result<MTerm, TermParseError> {
+        let mut acc = self.unary()?;
+        while self.peek() == Some(&Tok::Star) {
+            self.bump();
+            let rhs = self.unary()?;
+            acc = MTerm::apply(ROp::Mul, [acc, rhs]);
+        }
+        Ok(acc)
+    }
+
+    fn unary(&mut self) -> Result<MTerm, TermParseError> {
+        if self.peek() == Some(&Tok::Minus) {
+            self.bump();
+            let inner = self.unary()?;
+            Ok(MTerm::apply(ROp::Neg, [inner]))
+        } else {
+            self.primary()
+        }
+    }
+
+    fn rational(&mut self, neg_allowed: bool) -> Result<BigRational, TermParseError> {
+        let _ = neg_allowed;
+        let Some(Tok::Number(n)) = self.bump() else {
+            return Err(self.err("expected a number"));
+        };
+        let numer: i64 = n.parse().map_err(|_| self.err("number too large"))?;
+        if self.peek() == Some(&Tok::Slash) {
+            self.bump();
+            let Some(Tok::Number(d)) = self.bump() else {
+                return Err(self.err("expected a denominator"));
+            };
+            let denom: u64 = d.parse().map_err(|_| self.err("number too large"))?;
+            if denom == 0 {
+                return Err(self.err("zero denominator"));
+            }
+            Ok(BigRational::from_ratio(numer, denom))
+        } else {
+            Ok(BigRational::from_int(numer))
+        }
+    }
+
+    fn primary(&mut self) -> Result<MTerm, TermParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Number(_)) => Ok(MTerm::Const(self.rational(false)?)),
+            Some(Tok::LParen) => {
+                self.bump();
+                let t = self.term()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(t)
+            }
+            Some(Tok::Ident(name)) => {
+                // Aggregates and binary interpreted functions.
+                let agg = match name.as_str() {
+                    "sum" => Some(MultisetOp::Sum),
+                    "prod" => Some(MultisetOp::Prod),
+                    "count" => Some(MultisetOp::Count),
+                    "avg" => Some(MultisetOp::Avg),
+                    "min" => Some(MultisetOp::Min),
+                    "max" => Some(MultisetOp::Max),
+                    _ => None,
+                };
+                let is_aggregate_form =
+                    agg.is_some() && matches!(self.peek2(), Some(Tok::Ident(_)));
+                if is_aggregate_form {
+                    self.bump(); // the aggregate keyword
+                    let mut vars = Vec::new();
+                    while let Some(Tok::Ident(v)) = self.peek() {
+                        vars.push(v.clone());
+                        self.bump();
+                    }
+                    self.expect(&Tok::Dot, "'.' after aggregate variables")?;
+                    let body = self.term()?;
+                    return Ok(MTerm::Multiset {
+                        op: agg.unwrap(),
+                        vars,
+                        body: Box::new(body),
+                    });
+                }
+                // Binary interpreted functions.
+                let binop = match name.as_str() {
+                    "eq" => Some(ROp::CharEq),
+                    "lt" => Some(ROp::CharLt),
+                    "le" => Some(ROp::CharLe),
+                    "min" => Some(ROp::Min),
+                    "max" => Some(ROp::Max),
+                    _ => None,
+                };
+                if let Some(op) = binop {
+                    self.bump();
+                    self.expect(&Tok::LParen, "'('")?;
+                    let a = self.term()?;
+                    self.expect(&Tok::Comma, "','")?;
+                    let b = self.term()?;
+                    self.expect(&Tok::RParen, "')'")?;
+                    return Ok(MTerm::apply(op, [a, b]));
+                }
+                // Database function application.
+                self.bump();
+                self.expect(&Tok::LParen, "'(' after function name")?;
+                let mut args = Vec::new();
+                if self.peek() != Some(&Tok::RParen) {
+                    loop {
+                        match self.bump() {
+                            Some(Tok::Ident(v)) => args.push(v),
+                            _ => return Err(self.err("expected a variable argument")),
+                        }
+                        if self.peek() == Some(&Tok::Comma) {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Tok::RParen, "')' closing arguments")?;
+                Ok(MTerm::Func { name, args })
+            }
+            _ => Err(self.err("expected a term")),
+        }
+    }
+}
+
+/// Parse a metafinite term; see the module docs for the grammar.
+pub fn parse_term(src: &str) -> Result<MTerm, TermParseError> {
+    let toks = tokenize(src)?;
+    let mut p = P {
+        toks,
+        pos: 0,
+        len: src.len(),
+    };
+    let t = p.term()?;
+    if p.peek().is_some() {
+        return Err(p.err("trailing input after term"));
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fdb::FunctionalDatabase;
+    use std::collections::HashMap;
+
+    fn r(n: i64, d: u64) -> BigRational {
+        BigRational::from_ratio(n, d)
+    }
+
+    fn db() -> FunctionalDatabase {
+        let mut db = FunctionalDatabase::new(3);
+        db.add_function_values("f", 1, vec![r(1, 1), r(2, 1), r(3, 1)]);
+        db.add_function_values("g", 1, vec![r(1, 1), r(1, 1), r(2, 1)]);
+        db
+    }
+
+    fn eval(src: &str) -> BigRational {
+        parse_term(src)
+            .unwrap()
+            .eval(&db(), &HashMap::new())
+            .unwrap()
+    }
+
+    #[test]
+    fn constants_and_arithmetic() {
+        assert_eq!(eval("1 + 2 * 3"), r(7, 1));
+        assert_eq!(eval("(1 + 2) * 3"), r(9, 1));
+        assert_eq!(eval("1/2 + 1/3"), r(5, 6));
+        assert_eq!(eval("-2 + 5"), r(3, 1));
+        assert_eq!(eval("2 - 3 - 1"), r(-2, 1)); // left associative
+    }
+
+    #[test]
+    fn aggregates() {
+        assert_eq!(eval("sum x. f(x)"), r(6, 1));
+        assert_eq!(eval("prod x. f(x)"), r(6, 1));
+        assert_eq!(eval("max x. f(x)"), r(3, 1));
+        assert_eq!(eval("min x. f(x)"), r(1, 1));
+        assert_eq!(eval("avg x. f(x)"), r(2, 1));
+        assert_eq!(eval("count x. 1"), r(3, 1));
+        assert_eq!(eval("sum x y. 1"), r(9, 1));
+    }
+
+    #[test]
+    fn characteristic_functions_and_binary_min_max() {
+        assert_eq!(eval("eq(1, 1)"), r(1, 1));
+        assert_eq!(eval("lt(1, 2)"), r(1, 1));
+        assert_eq!(eval("le(2, 2)"), r(1, 1));
+        assert_eq!(eval("min(3, 5)"), r(3, 1));
+        assert_eq!(eval("max(3, 5)"), r(5, 1));
+        // Filtered sum: entries with g = 1 → f(0) + f(1) = 3.
+        assert_eq!(eval("sum x. f(x) * eq(g(x), 1)"), r(3, 1));
+    }
+
+    #[test]
+    fn min_disambiguation() {
+        // Aggregate form vs binary form of min.
+        assert_eq!(eval("min x. f(x) + 10"), r(11, 1)); // body extends right
+        assert_eq!(eval("min(2, 1) + 10"), r(11, 1));
+    }
+
+    #[test]
+    fn nested_aggregates() {
+        // max_x Σ_y χ[g(x) = g(y)] = size of largest g-class = 2.
+        assert_eq!(eval("max x. sum y. eq(g(x), g(y))"), r(2, 1));
+    }
+
+    #[test]
+    fn free_variables() {
+        let t = parse_term("f(x) + sum y. f(y)").unwrap();
+        assert_eq!(t.free_vars(), vec!["x".to_string()]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_term("").is_err());
+        assert!(parse_term("f(").is_err());
+        assert!(parse_term("1 +").is_err());
+        assert!(parse_term("sum . f(x)").is_err());
+        assert!(parse_term("f(x) f(y)").is_err());
+        assert!(parse_term("1/0").is_err());
+        assert!(
+            parse_term("f(1)").is_err(),
+            "function args must be variables"
+        );
+        assert!(parse_term("eq(1)").is_err());
+        assert!(parse_term("@").is_err());
+    }
+
+    #[test]
+    fn roundtrip_against_builders() {
+        use crate::term::{MTerm, MultisetOp, ROp};
+        let parsed = parse_term("sum x. f(x) * eq(g(x), 2)").unwrap();
+        let built = MTerm::multiset(
+            MultisetOp::Sum,
+            ["x"],
+            MTerm::apply(
+                ROp::Mul,
+                [
+                    MTerm::func("f", ["x"]),
+                    MTerm::apply(
+                        ROp::CharEq,
+                        [MTerm::func("g", ["x"]), MTerm::constant(2, 1)],
+                    ),
+                ],
+            ),
+        );
+        assert_eq!(parsed, built);
+    }
+}

@@ -1,0 +1,436 @@
+//! Reliability of metafinite queries (Theorem 6.2).
+//!
+//! For a k-ary term query `F` the error notion carries over verbatim:
+//! the expected number of tuples `ā` where `F^𝔄(ā) ≠ F^𝔅(ā)`, normalized
+//! by `n^k`. Three algorithms:
+//!
+//! * [`qf_reliability`] — Theorem 6.2(i): for quantifier-free terms,
+//!   each instantiated `F(ā)` reads a fixed number of entries, so the
+//!   per-tuple error is computed exactly by enumerating the product of
+//!   their (finite) supports — polynomial time;
+//! * [`exact_reliability`] — Theorem 6.2(ii)'s algorithm executed
+//!   literally: enumerate all possible databases with probabilities,
+//!   evaluate, compare (exponential, the FP^#P simulation);
+//! * [`mc_reliability`] — Monte-Carlo estimation with the additive
+//!   Hoeffding budget (the Theorem 5.12 transfer noted in Section 6).
+
+use crate::fdb::FunctionalDatabase;
+use crate::term::{MTerm, TermError};
+use crate::unreliable::UnreliableFunctionalDatabase;
+use qrel_arith::BigRational;
+use qrel_count::bounds::hoeffding_samples;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Exact reliability result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetaReport {
+    /// Expected number of tuples on which observed and actual values
+    /// differ.
+    pub expected_error: BigRational,
+    /// `1 − H/n^k`.
+    pub reliability: BigRational,
+}
+
+/// Enumerate all tuples `A^k`.
+fn tuples(n: usize, k: usize) -> Vec<Vec<u32>> {
+    let mut out = Vec::with_capacity(n.pow(k as u32));
+    let mut t = vec![0u32; k];
+    loop {
+        if n > 0 || k == 0 {
+            out.push(t.clone());
+        }
+        if k == 0 || n == 0 {
+            return out;
+        }
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if (t[i] as usize) + 1 < n {
+                t[i] += 1;
+                for s in t.iter_mut().skip(i + 1) {
+                    *s = 0;
+                }
+                break;
+            }
+        }
+    }
+}
+
+fn finish(h: BigRational, total: usize) -> MetaReport {
+    let reliability = if total == 0 {
+        BigRational::one()
+    } else {
+        h.div_ref(&BigRational::from_int(total as i64)).one_minus()
+    };
+    MetaReport {
+        expected_error: h,
+        reliability,
+    }
+}
+
+/// Theorem 6.2(i): exact reliability of a quantifier-free term in
+/// polynomial time.
+///
+/// # Panics
+/// Panics if the term uses multiset operations or `free_vars` does not
+/// cover its free variables.
+pub fn qf_reliability(
+    ud: &UnreliableFunctionalDatabase,
+    term: &MTerm,
+    free_vars: &[String],
+) -> Result<MetaReport, TermError> {
+    assert!(term.is_quantifier_free(), "term uses multiset operations");
+    {
+        let mut sorted = free_vars.to_vec();
+        sorted.sort();
+        assert_eq!(sorted, term.free_vars(), "free-variable order mismatch");
+    }
+    let n = ud.observed().size();
+    let k = free_vars.len();
+    let mut h = BigRational::zero();
+
+    for tuple in tuples(n, k) {
+        let env: HashMap<String, u32> = free_vars
+            .iter()
+            .cloned()
+            .zip(tuple.iter().copied())
+            .collect();
+        let observed_value = term.eval(ud.observed(), &env)?;
+
+        // The entries this instantiation reads: evaluate symbolically by
+        // walking the term and collecting (function, rank) pairs.
+        let mut entries: Vec<(String, usize)> = Vec::new();
+        collect_entries(ud.observed(), term, &env, &mut entries)?;
+        // Keep only genuinely uncertain ones.
+        type UncertainEntry = (String, usize, Vec<(BigRational, BigRational)>);
+        let uncertain: Vec<UncertainEntry> = entries
+            .iter()
+            .filter_map(|(f, r)| {
+                ud.uncertain_entries()
+                    .into_iter()
+                    .find(|(f2, r2, _)| f2 == f && r2 == r)
+                    .map(|(_, _, d)| (f.clone(), *r, d.support().to_vec()))
+            })
+            .collect();
+
+        // Product over the supports of the mentioned uncertain entries —
+        // constant size for a fixed query.
+        let mut err = BigRational::zero();
+        let mut choice = vec![0usize; uncertain.len()];
+        'outer: loop {
+            let mut world = ud.observed().clone();
+            let mut prob = BigRational::one();
+            for (i, (f, r, support)) in uncertain.iter().enumerate() {
+                let (v, p) = &support[choice[i]];
+                world.function_mut(f).unwrap().set_at(*r, v.clone());
+                prob = prob.mul_ref(p);
+            }
+            let actual = term.eval(&world, &env)?;
+            if actual != observed_value {
+                err = err.add_ref(&prob);
+            }
+            let mut i = uncertain.len();
+            loop {
+                if i == 0 {
+                    break 'outer;
+                }
+                i -= 1;
+                if choice[i] + 1 < uncertain[i].2.len() {
+                    choice[i] += 1;
+                    for c in choice.iter_mut().skip(i + 1) {
+                        *c = 0;
+                    }
+                    break;
+                }
+            }
+        }
+        h = h.add_ref(&err);
+    }
+    Ok(finish(h, n.pow(k as u32)))
+}
+
+fn collect_entries(
+    db: &FunctionalDatabase,
+    term: &MTerm,
+    env: &HashMap<String, u32>,
+    out: &mut Vec<(String, usize)>,
+) -> Result<(), TermError> {
+    match term {
+        MTerm::Const(_) => Ok(()),
+        MTerm::Func { name, args } => {
+            let table = db
+                .function(name)
+                .ok_or_else(|| TermError::UnknownFunction(name.clone()))?;
+            if table.arity() != args.len() {
+                return Err(TermError::ArityMismatch {
+                    function: name.clone(),
+                    expected: table.arity(),
+                    got: args.len(),
+                });
+            }
+            let tuple: Vec<u32> = args
+                .iter()
+                .map(|a| {
+                    env.get(a)
+                        .copied()
+                        .ok_or_else(|| TermError::UnboundVariable(a.clone()))
+                })
+                .collect::<Result<_, _>>()?;
+            let rank = table.rank(db.size(), &tuple);
+            let key = (name.clone(), rank);
+            if !out.contains(&key) {
+                out.push(key);
+            }
+            Ok(())
+        }
+        MTerm::Apply(_, ts) => {
+            for t in ts {
+                collect_entries(db, t, env, out)?;
+            }
+            Ok(())
+        }
+        MTerm::Multiset { .. } => unreachable!("quantifier-free checked by caller"),
+    }
+}
+
+/// Theorem 6.2(ii) executed literally: exact reliability of an arbitrary
+/// term by enumerating all possible databases. Exponential.
+pub fn exact_reliability(
+    ud: &UnreliableFunctionalDatabase,
+    term: &MTerm,
+    free_vars: &[String],
+) -> Result<MetaReport, TermError> {
+    {
+        let mut sorted = free_vars.to_vec();
+        sorted.sort();
+        assert_eq!(sorted, term.free_vars(), "free-variable order mismatch");
+    }
+    let n = ud.observed().size();
+    let k = free_vars.len();
+    let all_tuples = tuples(n, k);
+
+    // Observed answers.
+    let mut observed_values = Vec::with_capacity(all_tuples.len());
+    for t in &all_tuples {
+        let env: HashMap<String, u32> = free_vars.iter().cloned().zip(t.iter().copied()).collect();
+        observed_values.push(term.eval(ud.observed(), &env)?);
+    }
+
+    let mut h = BigRational::zero();
+    for (world, prob) in ud.worlds() {
+        let mut diff = 0u64;
+        for (t, obs) in all_tuples.iter().zip(&observed_values) {
+            let env: HashMap<String, u32> =
+                free_vars.iter().cloned().zip(t.iter().copied()).collect();
+            if &term.eval(&world, &env)? != obs {
+                diff += 1;
+            }
+        }
+        if diff > 0 {
+            h = h.add_ref(&prob.mul_ref(&BigRational::from_int(diff as i64)));
+        }
+    }
+    Ok(finish(h, n.pow(k as u32)))
+}
+
+/// Monte-Carlo reliability estimation with absolute-(ε, δ) guarantees per
+/// tuple (Hoeffding budget split as in Corollary 5.5).
+pub fn mc_reliability<R: Rng>(
+    ud: &UnreliableFunctionalDatabase,
+    term: &MTerm,
+    free_vars: &[String],
+    eps: f64,
+    delta: f64,
+    rng: &mut R,
+) -> Result<f64, TermError> {
+    let n = ud.observed().size();
+    let k = free_vars.len();
+    let all_tuples = tuples(n, k);
+    let nk = all_tuples.len().max(1);
+    let t = hoeffding_samples((eps / nk as f64).max(1e-9), (delta / nk as f64).min(0.5));
+
+    let mut h = 0.0f64;
+    for tup in &all_tuples {
+        let env: HashMap<String, u32> =
+            free_vars.iter().cloned().zip(tup.iter().copied()).collect();
+        let observed = term.eval(ud.observed(), &env)?;
+        let mut wrong = 0u64;
+        for _ in 0..t {
+            let world = ud.sample(rng);
+            if term.eval(&world, &env)? != observed {
+                wrong += 1;
+            }
+        }
+        h += wrong as f64 / t as f64;
+    }
+    Ok(1.0 - h / nk as f64)
+}
+
+/// Exact expected value `E[F^𝔅]` of a Boolean-free numeric sentence (a
+/// 0-ary term) — a convenience beyond the paper's reliability notion,
+/// natural for aggregates ("expected total salary").
+pub fn expected_value(
+    ud: &UnreliableFunctionalDatabase,
+    term: &MTerm,
+) -> Result<BigRational, TermError> {
+    assert!(
+        term.free_vars().is_empty(),
+        "expected_value requires a sentence"
+    );
+    let env = HashMap::new();
+    let mut e = BigRational::zero();
+    for (world, prob) in ud.worlds() {
+        e = e.add_ref(&prob.mul_ref(&term.eval(&world, &env)?));
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{MultisetOp, ROp};
+    use crate::unreliable::EntryDistribution;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn r(n: i64, d: u64) -> BigRational {
+        BigRational::from_ratio(n, d)
+    }
+
+    fn dist(pairs: &[(i64, u64, i64, u64)]) -> EntryDistribution {
+        EntryDistribution::new(
+            pairs
+                .iter()
+                .map(|&(vn, vd, pn, pd)| (r(vn, vd), r(pn, pd)))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn setup() -> UnreliableFunctionalDatabase {
+        let mut db = FunctionalDatabase::new(3);
+        db.add_function_values("salary", 1, vec![r(100, 1), r(200, 1), r(300, 1)]);
+        let mut ud = UnreliableFunctionalDatabase::reliable(db);
+        // salary(0): 100 w.p. 1/2, 150 w.p. 1/2. salary(2): 300 w.p. 3/4, 0 w.p. 1/4.
+        ud.set_distribution("salary", &[0], dist(&[(100, 1, 1, 2), (150, 1, 1, 2)]));
+        ud.set_distribution("salary", &[2], dist(&[(300, 1, 3, 4), (0, 1, 1, 4)]));
+        ud
+    }
+
+    #[test]
+    fn qf_reliability_single_function() {
+        // F(x) = salary(x): error at 0 w.p. 1/2, at 2 w.p. 1/4, at 1 never.
+        let ud = setup();
+        let t = MTerm::func("salary", ["x"]);
+        let rep = qf_reliability(&ud, &t, &["x".to_string()]).unwrap();
+        assert_eq!(rep.expected_error, r(3, 4));
+        assert_eq!(rep.reliability, r(3, 4).div_ref(&r(3, 1)).one_minus());
+    }
+
+    #[test]
+    fn qf_matches_exhaustive_engine() {
+        let ud = setup();
+        // F(x) = salary(x) + χ[salary(x) ≤ 150]·7 — nontrivial QF term.
+        let t = MTerm::apply(
+            ROp::Add,
+            [
+                MTerm::func("salary", ["x"]),
+                MTerm::apply(
+                    ROp::Mul,
+                    [
+                        MTerm::apply(
+                            ROp::CharLe,
+                            [MTerm::func("salary", ["x"]), MTerm::constant(150, 1)],
+                        ),
+                        MTerm::constant(7, 1),
+                    ],
+                ),
+            ],
+        );
+        let fast = qf_reliability(&ud, &t, &["x".to_string()]).unwrap();
+        let slow = exact_reliability(&ud, &t, &["x".to_string()]).unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn qf_value_changes_can_cancel() {
+        // F(x) = χ[salary(x) ≤ 200]: the flip 100→150 does NOT change the
+        // characteristic value, so tuple 0 contributes no error; the flip
+        // 300→0 changes it, so tuple 2 contributes 1/4.
+        let ud = setup();
+        let t = MTerm::apply(
+            ROp::CharLe,
+            [MTerm::func("salary", ["x"]), MTerm::constant(200, 1)],
+        );
+        let rep = qf_reliability(&ud, &t, &["x".to_string()]).unwrap();
+        assert_eq!(rep.expected_error, r(1, 4));
+    }
+
+    #[test]
+    fn aggregate_reliability_exact() {
+        // F = Σ_x salary(x): observed 600; changes whenever any uncertain
+        // entry deviates: 1 − (1/2)(3/4) = 5/8.
+        let ud = setup();
+        let t = MTerm::multiset(MultisetOp::Sum, ["x"], MTerm::func("salary", ["x"]));
+        let rep = exact_reliability(&ud, &t, &[]).unwrap();
+        assert_eq!(rep.expected_error, r(5, 8));
+        assert_eq!(rep.reliability, r(3, 8));
+    }
+
+    #[test]
+    fn max_aggregate_can_absorb_changes() {
+        // F = max_x salary(x) = 300 observed; the salary(0) flip never
+        // affects the max; error iff salary(2) drops to 0 (then max = 200):
+        // H = 1/4.
+        let ud = setup();
+        let t = MTerm::multiset(MultisetOp::Max, ["x"], MTerm::func("salary", ["x"]));
+        let rep = exact_reliability(&ud, &t, &[]).unwrap();
+        assert_eq!(rep.expected_error, r(1, 4));
+    }
+
+    #[test]
+    fn expected_value_of_sum() {
+        // E[Σ salary] = E[s0] + s1 + E[s2] = 125 + 200 + 225 = 550.
+        let ud = setup();
+        let t = MTerm::multiset(MultisetOp::Sum, ["x"], MTerm::func("salary", ["x"]));
+        assert_eq!(expected_value(&ud, &t).unwrap(), r(550, 1));
+    }
+
+    #[test]
+    fn mc_estimate_close_to_exact() {
+        let ud = setup();
+        let t = MTerm::multiset(MultisetOp::Sum, ["x"], MTerm::func("salary", ["x"]));
+        let exact = exact_reliability(&ud, &t, &[])
+            .unwrap()
+            .reliability
+            .to_f64();
+        let mut rng = StdRng::seed_from_u64(61);
+        let est = mc_reliability(&ud, &t, &[], 0.05, 0.05, &mut rng).unwrap();
+        assert!((est - exact).abs() <= 0.05, "est {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn fully_reliable_database() {
+        let mut db = FunctionalDatabase::new(2);
+        db.add_function_values("f", 1, vec![r(1, 1), r(2, 1)]);
+        let ud = UnreliableFunctionalDatabase::reliable(db);
+        let t = MTerm::func("f", ["x"]);
+        let rep = qf_reliability(&ud, &t, &["x".to_string()]).unwrap();
+        assert_eq!(rep.reliability, BigRational::one());
+        let agg = MTerm::multiset(MultisetOp::Avg, ["x"], MTerm::func("f", ["x"]));
+        let rep2 = exact_reliability(&ud, &agg, &[]).unwrap();
+        assert_eq!(rep2.reliability, BigRational::one());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiset operations")]
+    fn qf_rejects_aggregates() {
+        let ud = setup();
+        let t = MTerm::multiset(MultisetOp::Sum, ["x"], MTerm::func("salary", ["x"]));
+        let _ = qf_reliability(&ud, &t, &[]);
+    }
+}

@@ -1,0 +1,327 @@
+//! Second-order metafinite terms (Theorem 6.2(iii)).
+//!
+//! The paper extends first-order metafinite queries "by multiset
+//! operations over relations (rather than tuples)": given a term
+//! `F(S, x̄)` with a free second-order variable `S`, one builds
+//! `Σ_S F(S, x̄)` ranging over all relations of the given arity. With
+//! `Σ, max, min` over relations the expressive power sits between #P
+//! and PSPACE (inside Wagner's counting hierarchy CH), and the
+//! reliability of every second-order query is in `FP^CH` by the same
+//! enumerate-worlds-and-evaluate algorithm.
+//!
+//! We model second-order variables as 0/1-valued *function variables*
+//! `S : A^k → {0, 1}` (the characteristic function — consistent with how
+//! the encoder of [`crate::definability`] represents relations).
+//! Evaluation enumerates all `2^(n^k)` tables, so this is exact and
+//! deliberately exponential (the class is above #P); a size guard keeps
+//! it honest.
+
+use crate::fdb::FunctionalDatabase;
+use crate::term::{MTerm, MultisetOp, TermError};
+use crate::unreliable::UnreliableFunctionalDatabase;
+use qrel_arith::BigRational;
+use std::collections::HashMap;
+
+/// A second-order metafinite term: first-order [`MTerm`]s extended by
+/// multiset operations binding a function variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SoTerm {
+    /// Embed a first-order term (which may mention bound function
+    /// variables as ordinary functions).
+    First(MTerm),
+    /// `Op_{S : A^arity → {0,1}} body` — multiset operation over all
+    /// relations of the arity.
+    MultisetRel {
+        op: MultisetOp,
+        var: String,
+        arity: usize,
+        body: Box<SoTerm>,
+    },
+    /// Interpreted operation over subterms (so SO quantifiers can nest
+    /// inside arithmetic).
+    Apply(crate::term::ROp, Vec<SoTerm>),
+}
+
+/// Guard: a second-order binder enumerates `2^(n^arity)` tables; refuse
+/// beyond this many *entries* per table.
+const SO_GUARD_ENTRIES: usize = 20;
+
+impl SoTerm {
+    /// Evaluate on a functional database.
+    ///
+    /// Bound function variables are installed as temporary functions in a
+    /// scratch copy of the database (shadowing is rejected to keep
+    /// semantics obvious).
+    pub fn eval(
+        &self,
+        db: &FunctionalDatabase,
+        env: &HashMap<String, u32>,
+    ) -> Result<BigRational, TermError> {
+        match self {
+            SoTerm::First(t) => t.eval(db, env),
+            SoTerm::Apply(op, ts) => {
+                let args: Vec<BigRational> = ts
+                    .iter()
+                    .map(|t| t.eval(db, env))
+                    .collect::<Result<_, _>>()?;
+                assert_eq!(args.len(), op.arity(), "operator arity mismatch");
+                Ok(op.apply(&args))
+            }
+            SoTerm::MultisetRel {
+                op,
+                var,
+                arity,
+                body,
+            } => {
+                let n = db.size();
+                let entries = n.pow(*arity as u32);
+                assert!(
+                    entries <= SO_GUARD_ENTRIES,
+                    "second-order enumeration over {entries} entries exceeds the guard"
+                );
+                assert!(
+                    db.function(var).is_none(),
+                    "second-order variable {var:?} shadows an existing function"
+                );
+                let mut values = Vec::with_capacity(1usize << entries);
+                let mut scratch = db.clone();
+                scratch.add_function(var, *arity);
+                for mask in 0u64..(1u64 << entries) {
+                    {
+                        let table = scratch.function_mut(var).expect("just added");
+                        for e in 0..entries {
+                            table.set_at(
+                                e,
+                                if (mask >> e) & 1 == 1 {
+                                    BigRational::one()
+                                } else {
+                                    BigRational::zero()
+                                },
+                            );
+                        }
+                    }
+                    values.push(body.eval(&scratch, env)?);
+                }
+                reduce(*op, values)
+            }
+        }
+    }
+
+    /// Free first-order variables.
+    pub fn free_vars(&self) -> Vec<String> {
+        match self {
+            SoTerm::First(t) => t.free_vars(),
+            SoTerm::Apply(_, ts) => {
+                let mut out: Vec<String> = ts.iter().flat_map(|t| t.free_vars()).collect();
+                out.sort();
+                out.dedup();
+                out
+            }
+            SoTerm::MultisetRel { body, .. } => body.free_vars(),
+        }
+    }
+}
+
+fn reduce(op: MultisetOp, values: Vec<BigRational>) -> Result<BigRational, TermError> {
+    match op {
+        MultisetOp::Sum => Ok(values
+            .iter()
+            .fold(BigRational::zero(), |acc, v| acc.add_ref(v))),
+        MultisetOp::Prod => Ok(values
+            .iter()
+            .fold(BigRational::one(), |acc, v| acc.mul_ref(v))),
+        MultisetOp::Count => Ok(BigRational::from_int(values.len() as i64)),
+        MultisetOp::Min => values.into_iter().min().ok_or(TermError::EmptyMultiset),
+        MultisetOp::Max => values.into_iter().max().ok_or(TermError::EmptyMultiset),
+        MultisetOp::Avg => {
+            if values.is_empty() {
+                return Err(TermError::EmptyMultiset);
+            }
+            let count = BigRational::from_int(values.len() as i64);
+            let sum = values
+                .iter()
+                .fold(BigRational::zero(), |acc, v| acc.add_ref(v));
+            Ok(sum.div_ref(&count))
+        }
+    }
+}
+
+/// Exact reliability of a second-order Boolean-valued term query by full
+/// world enumeration — the `FP^CH` algorithm of Theorem 6.2(iii)
+/// executed literally: "on each branch of the computation tree one of
+/// the finitely many possible databases is guessed; … finally the query
+/// is evaluated and the result compared against the result on the
+/// observed database."
+pub fn so_reliability(
+    ud: &UnreliableFunctionalDatabase,
+    term: &SoTerm,
+) -> Result<crate::reliability::MetaReport, TermError> {
+    assert!(
+        term.free_vars().is_empty(),
+        "so_reliability requires a sentence"
+    );
+    let env = HashMap::new();
+    let observed = term.eval(ud.observed(), &env)?;
+    let mut h = BigRational::zero();
+    for (world, prob) in ud.worlds() {
+        if term.eval(&world, &env)? != observed {
+            h = h.add_ref(&prob);
+        }
+    }
+    Ok(crate::reliability::MetaReport {
+        expected_error: h.clone(),
+        reliability: h.one_minus(),
+    })
+}
+
+/// Convenience: count the number of tables (of given arity) for which a
+/// 0/1-valued body evaluates to 1 — a second-order counting quantifier,
+/// the basic operation of Wagner's counting hierarchy.
+pub fn count_relations(
+    db: &FunctionalDatabase,
+    var: &str,
+    arity: usize,
+    body: &SoTerm,
+) -> Result<BigRational, TermError> {
+    SoTerm::MultisetRel {
+        op: MultisetOp::Sum,
+        var: var.to_string(),
+        arity,
+        body: Box::new(body.clone()),
+    }
+    .eval(db, &HashMap::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::ROp;
+    use crate::unreliable::EntryDistribution;
+
+    fn r(n: i64, d: u64) -> BigRational {
+        BigRational::from_int(n).div_ref(&BigRational::from_int(d as i64))
+    }
+
+    fn db2() -> FunctionalDatabase {
+        let mut db = FunctionalDatabase::new(2);
+        db.add_function_values("f", 1, vec![r(1, 1), r(2, 1)]);
+        db
+    }
+
+    /// Σ_S 1 over unary S on |A| = 2: there are 2² = 4 relations.
+    #[test]
+    fn counting_all_relations() {
+        let t = SoTerm::MultisetRel {
+            op: MultisetOp::Count,
+            var: "S".into(),
+            arity: 1,
+            body: Box::new(SoTerm::First(MTerm::constant(0, 1))),
+        };
+        assert_eq!(t.eval(&db2(), &HashMap::new()).unwrap(), r(4, 1));
+    }
+
+    /// Σ_S (Σ_x S(x)) = Σ over all subsets of their sizes = n·2^{n−1}.
+    #[test]
+    fn sum_of_subset_sizes() {
+        let t = SoTerm::MultisetRel {
+            op: MultisetOp::Sum,
+            var: "S".into(),
+            arity: 1,
+            body: Box::new(SoTerm::First(MTerm::multiset(
+                MultisetOp::Sum,
+                ["x"],
+                MTerm::func("S", ["x"]),
+            ))),
+        };
+        // n = 2: sizes 0+1+1+2 = 4 = 2·2^1.
+        assert_eq!(t.eval(&db2(), &HashMap::new()).unwrap(), r(4, 1));
+    }
+
+    /// max_S Σ_x S(x)·f(x) — the maximum-weight subset: takes everything
+    /// positive, here f ≥ 0 so the full set: 1 + 2 = 3.
+    #[test]
+    fn max_weight_subset() {
+        let t = SoTerm::MultisetRel {
+            op: MultisetOp::Max,
+            var: "S".into(),
+            arity: 1,
+            body: Box::new(SoTerm::First(MTerm::multiset(
+                MultisetOp::Sum,
+                ["x"],
+                MTerm::apply(ROp::Mul, [MTerm::func("S", ["x"]), MTerm::func("f", ["x"])]),
+            ))),
+        };
+        assert_eq!(t.eval(&db2(), &HashMap::new()).unwrap(), r(3, 1));
+    }
+
+    /// A second-order *counting quantifier*: how many subsets S have
+    /// Σ_x S(x)·f(x) ≥ 2?  Subsets of {f=1, f=2}: {2}, {1,2} → 2.
+    #[test]
+    fn counting_quantifier() {
+        let weight = SoTerm::First(MTerm::multiset(
+            MultisetOp::Sum,
+            ["x"],
+            MTerm::apply(ROp::Mul, [MTerm::func("S", ["x"]), MTerm::func("f", ["x"])]),
+        ));
+        let indicator = SoTerm::Apply(
+            ROp::CharLe,
+            vec![SoTerm::First(MTerm::constant(2, 1)), weight],
+        );
+        let count = count_relations(&db2(), "S", 1, &indicator).unwrap();
+        assert_eq!(count, r(2, 1));
+    }
+
+    #[test]
+    fn so_reliability_of_max_subset_sum() {
+        // f(1) ∈ {2 w.p. 1/2, 0 w.p. 1/2}: the SO query
+        // max_S Σ S(x)f(x) changes (3 → 1) iff the entry flips: H = 1/2.
+        let mut ud = UnreliableFunctionalDatabase::reliable(db2());
+        ud.set_distribution(
+            "f",
+            &[1],
+            EntryDistribution::new(vec![
+                (r(2, 1), BigRational::from_ratio(1, 2)),
+                (r(0, 1), BigRational::from_ratio(1, 2)),
+            ])
+            .unwrap(),
+        );
+        let t = SoTerm::MultisetRel {
+            op: MultisetOp::Max,
+            var: "S".into(),
+            arity: 1,
+            body: Box::new(SoTerm::First(MTerm::multiset(
+                MultisetOp::Sum,
+                ["x"],
+                MTerm::apply(ROp::Mul, [MTerm::func("S", ["x"]), MTerm::func("f", ["x"])]),
+            ))),
+        };
+        let rep = so_reliability(&ud, &t).unwrap();
+        assert_eq!(rep.expected_error, BigRational::from_ratio(1, 2));
+        assert_eq!(rep.reliability, BigRational::from_ratio(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the guard")]
+    fn guard_enforced() {
+        let big = FunctionalDatabase::new(5);
+        let t = SoTerm::MultisetRel {
+            op: MultisetOp::Count,
+            var: "S".into(),
+            arity: 2, // 25 entries > guard
+            body: Box::new(SoTerm::First(MTerm::constant(0, 1))),
+        };
+        let _ = t.eval(&big, &HashMap::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "shadows")]
+    fn shadowing_rejected() {
+        let t = SoTerm::MultisetRel {
+            op: MultisetOp::Count,
+            var: "f".into(), // collides with the database function
+            arity: 1,
+            body: Box::new(SoTerm::First(MTerm::constant(0, 1))),
+        };
+        let _ = t.eval(&db2(), &HashMap::new());
+    }
+}

@@ -1,0 +1,509 @@
+//! The term query language over functional databases.
+//!
+//! Quantifier-free terms are the closure of the database functions
+//! `f(x̄)` and rational constants under the interpreted operations of
+//! `ℜ`; first-order terms additionally close under multiset operations
+//! `Op_y T(x̄, y)` binding first-order variables — the metafinite
+//! generalization of quantifiers (`max`/`min` generalize `∃`/`∀`, as the
+//! paper notes; `Σ` is SQL's `SUM`, etc.).
+
+use crate::fdb::FunctionalDatabase;
+use qrel_arith::BigRational;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Interpreted operations of `ℜ = (ℚ, …)`. Comparisons are
+/// characteristic functions into `{0, 1}` (the paper requires 0, 1 and
+/// the Boolean operations to be available).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ROp {
+    Add,
+    Sub,
+    Mul,
+    Neg,
+    /// Binary minimum.
+    Min,
+    /// Binary maximum.
+    Max,
+    /// Characteristic function of equality: `1` if equal else `0`.
+    CharEq,
+    /// Characteristic function of `<`.
+    CharLt,
+    /// Characteristic function of `≤`.
+    CharLe,
+}
+
+impl ROp {
+    pub fn arity(self) -> usize {
+        match self {
+            ROp::Neg => 1,
+            _ => 2,
+        }
+    }
+
+    pub fn apply(self, args: &[BigRational]) -> BigRational {
+        debug_assert_eq!(args.len(), self.arity());
+        let one = BigRational::one;
+        let zero = BigRational::zero;
+        match self {
+            ROp::Add => args[0].add_ref(&args[1]),
+            ROp::Sub => args[0].sub_ref(&args[1]),
+            ROp::Mul => args[0].mul_ref(&args[1]),
+            ROp::Neg => args[0].neg_ref(),
+            ROp::Min => {
+                if args[0] <= args[1] {
+                    args[0].clone()
+                } else {
+                    args[1].clone()
+                }
+            }
+            ROp::Max => {
+                if args[0] >= args[1] {
+                    args[0].clone()
+                } else {
+                    args[1].clone()
+                }
+            }
+            ROp::CharEq => {
+                if args[0] == args[1] {
+                    one()
+                } else {
+                    zero()
+                }
+            }
+            ROp::CharLt => {
+                if args[0] < args[1] {
+                    one()
+                } else {
+                    zero()
+                }
+            }
+            ROp::CharLe => {
+                if args[0] <= args[1] {
+                    one()
+                } else {
+                    zero()
+                }
+            }
+        }
+    }
+}
+
+/// Multiset operations over `{T(ā, b) : b ∈ A^m}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MultisetOp {
+    Sum,
+    Prod,
+    Min,
+    Max,
+    /// Number of elements (= `Σ 1`, provided for convenience).
+    Count,
+    /// Arithmetic mean.
+    Avg,
+}
+
+/// A term of the metafinite query language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MTerm {
+    /// A rational constant.
+    Const(BigRational),
+    /// A first-order variable used as… no: variables only index
+    /// functions; a bare variable is not a term (they range over `A`,
+    /// not `R`). Use `Func` to read values.
+    /// Database function application `f(x̄)` (arguments are variables).
+    Func { name: String, args: Vec<String> },
+    /// Interpreted operation application.
+    Apply(ROp, Vec<MTerm>),
+    /// `Op_{ȳ} T` — multiset operation binding the listed variables.
+    Multiset {
+        op: MultisetOp,
+        vars: Vec<String>,
+        body: Box<MTerm>,
+    },
+}
+
+/// Evaluation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TermError {
+    UnknownFunction(String),
+    ArityMismatch {
+        function: String,
+        expected: usize,
+        got: usize,
+    },
+    UnboundVariable(String),
+    /// `min`/`max`/`avg` over an empty multiset (empty universe).
+    EmptyMultiset,
+}
+
+impl fmt::Display for TermError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TermError::UnknownFunction(n) => write!(f, "unknown function {n:?}"),
+            TermError::ArityMismatch {
+                function,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "function {function:?} expects {expected} arguments, got {got}"
+                )
+            }
+            TermError::UnboundVariable(v) => write!(f, "unbound variable {v:?}"),
+            TermError::EmptyMultiset => write!(f, "min/max/avg over an empty multiset"),
+        }
+    }
+}
+
+impl std::error::Error for TermError {}
+
+impl MTerm {
+    pub fn constant(n: i64, d: u64) -> MTerm {
+        MTerm::Const(BigRational::from_ratio(n, d))
+    }
+
+    pub fn func(name: &str, args: impl IntoIterator<Item = &'static str>) -> MTerm {
+        MTerm::Func {
+            name: name.to_string(),
+            args: args.into_iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    pub fn apply(op: ROp, args: impl IntoIterator<Item = MTerm>) -> MTerm {
+        MTerm::Apply(op, args.into_iter().collect())
+    }
+
+    pub fn multiset(
+        op: MultisetOp,
+        vars: impl IntoIterator<Item = &'static str>,
+        body: MTerm,
+    ) -> MTerm {
+        MTerm::Multiset {
+            op,
+            vars: vars.into_iter().map(|s| s.to_string()).collect(),
+            body: Box::new(body),
+        }
+    }
+
+    /// Free variables (sorted).
+    pub fn free_vars(&self) -> Vec<String> {
+        let mut out = std::collections::BTreeSet::new();
+        self.collect_free(&mut Vec::new(), &mut out);
+        out.into_iter().collect()
+    }
+
+    fn collect_free(&self, bound: &mut Vec<String>, out: &mut std::collections::BTreeSet<String>) {
+        match self {
+            MTerm::Const(_) => {}
+            MTerm::Func { args, .. } => {
+                for a in args {
+                    if !bound.contains(a) {
+                        out.insert(a.clone());
+                    }
+                }
+            }
+            MTerm::Apply(_, ts) => {
+                for t in ts {
+                    t.collect_free(bound, out);
+                }
+            }
+            MTerm::Multiset { vars, body, .. } => {
+                let depth = bound.len();
+                bound.extend(vars.iter().cloned());
+                body.collect_free(bound, out);
+                bound.truncate(depth);
+            }
+        }
+    }
+
+    /// True iff the term uses no multiset operations (quantifier-free in
+    /// the paper's sense).
+    pub fn is_quantifier_free(&self) -> bool {
+        match self {
+            MTerm::Const(_) | MTerm::Func { .. } => true,
+            MTerm::Apply(_, ts) => ts.iter().all(|t| t.is_quantifier_free()),
+            MTerm::Multiset { .. } => false,
+        }
+    }
+
+    /// Evaluate on a functional database under variable bindings.
+    pub fn eval(
+        &self,
+        db: &FunctionalDatabase,
+        env: &HashMap<String, u32>,
+    ) -> Result<BigRational, TermError> {
+        match self {
+            MTerm::Const(c) => Ok(c.clone()),
+            MTerm::Func { name, args } => {
+                let table = db
+                    .function(name)
+                    .ok_or_else(|| TermError::UnknownFunction(name.clone()))?;
+                if table.arity() != args.len() {
+                    return Err(TermError::ArityMismatch {
+                        function: name.clone(),
+                        expected: table.arity(),
+                        got: args.len(),
+                    });
+                }
+                let tuple: Vec<u32> = args
+                    .iter()
+                    .map(|a| {
+                        env.get(a)
+                            .copied()
+                            .ok_or_else(|| TermError::UnboundVariable(a.clone()))
+                    })
+                    .collect::<Result<_, _>>()?;
+                Ok(db.value(name, &tuple).clone())
+            }
+            MTerm::Apply(op, ts) => {
+                let args: Vec<BigRational> = ts
+                    .iter()
+                    .map(|t| t.eval(db, env))
+                    .collect::<Result<_, _>>()?;
+                assert_eq!(args.len(), op.arity(), "operator arity mismatch");
+                Ok(op.apply(&args))
+            }
+            MTerm::Multiset { op, vars, body } => {
+                let n = db.size() as u32;
+                let m = vars.len();
+                let mut env2 = env.clone();
+                let mut values: Vec<BigRational> = Vec::new();
+                let mut tuple = vec![0u32; m];
+                'outer: loop {
+                    for (v, e) in vars.iter().zip(tuple.iter()) {
+                        env2.insert(v.clone(), *e);
+                    }
+                    if n > 0 || m == 0 {
+                        values.push(body.eval(db, &env2)?);
+                    }
+                    // Increment base-n counter (last fastest); m = 0 runs once.
+                    if m == 0 || n == 0 {
+                        break;
+                    }
+                    let mut i = m;
+                    loop {
+                        if i == 0 {
+                            break 'outer;
+                        }
+                        i -= 1;
+                        if tuple[i] + 1 < n {
+                            tuple[i] += 1;
+                            for t in tuple.iter_mut().skip(i + 1) {
+                                *t = 0;
+                            }
+                            break;
+                        }
+                    }
+                }
+                reduce_multiset(*op, values)
+            }
+        }
+    }
+}
+
+fn reduce_multiset(op: MultisetOp, values: Vec<BigRational>) -> Result<BigRational, TermError> {
+    match op {
+        MultisetOp::Sum => Ok(values
+            .iter()
+            .fold(BigRational::zero(), |acc, v| acc.add_ref(v))),
+        MultisetOp::Prod => Ok(values
+            .iter()
+            .fold(BigRational::one(), |acc, v| acc.mul_ref(v))),
+        MultisetOp::Count => Ok(BigRational::from_int(values.len() as i64)),
+        MultisetOp::Min => values.into_iter().min().ok_or(TermError::EmptyMultiset),
+        MultisetOp::Max => values.into_iter().max().ok_or(TermError::EmptyMultiset),
+        MultisetOp::Avg => {
+            if values.is_empty() {
+                return Err(TermError::EmptyMultiset);
+            }
+            let count = BigRational::from_int(values.len() as i64);
+            let sum = values
+                .iter()
+                .fold(BigRational::zero(), |acc, v| acc.add_ref(v));
+            Ok(sum.div_ref(&count))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: u64) -> BigRational {
+        BigRational::from_ratio(n, d)
+    }
+
+    fn salary_db() -> FunctionalDatabase {
+        let mut db = FunctionalDatabase::new(4);
+        db.add_function_values(
+            "salary",
+            1,
+            vec![r(1000, 1), r(2000, 1), r(1500, 1), r(500, 1)],
+        );
+        db.add_function_values("dept", 1, vec![r(1, 1), r(1, 1), r(2, 1), r(2, 1)]);
+        db
+    }
+
+    fn ev(t: &MTerm) -> BigRational {
+        t.eval(&salary_db(), &HashMap::new()).unwrap()
+    }
+
+    #[test]
+    fn quantifier_free_terms() {
+        let db = salary_db();
+        let mut env = HashMap::new();
+        env.insert("x".to_string(), 1u32);
+        let t = MTerm::apply(
+            ROp::Add,
+            [MTerm::func("salary", ["x"]), MTerm::constant(100, 1)],
+        );
+        assert!(t.is_quantifier_free());
+        assert_eq!(t.eval(&db, &env).unwrap(), r(2100, 1));
+    }
+
+    #[test]
+    fn aggregates() {
+        // Σ_x salary(x) = 5000.
+        let total = MTerm::multiset(MultisetOp::Sum, ["x"], MTerm::func("salary", ["x"]));
+        assert!(!total.is_quantifier_free());
+        assert_eq!(ev(&total), r(5000, 1));
+        // max_x salary(x) = 2000, min = 500, avg = 1250, count = 4.
+        assert_eq!(
+            ev(&MTerm::multiset(
+                MultisetOp::Max,
+                ["x"],
+                MTerm::func("salary", ["x"])
+            )),
+            r(2000, 1)
+        );
+        assert_eq!(
+            ev(&MTerm::multiset(
+                MultisetOp::Min,
+                ["x"],
+                MTerm::func("salary", ["x"])
+            )),
+            r(500, 1)
+        );
+        assert_eq!(
+            ev(&MTerm::multiset(
+                MultisetOp::Avg,
+                ["x"],
+                MTerm::func("salary", ["x"])
+            )),
+            r(1250, 1)
+        );
+        assert_eq!(
+            ev(&MTerm::multiset(
+                MultisetOp::Count,
+                ["x"],
+                MTerm::constant(1, 1)
+            )),
+            r(4, 1)
+        );
+    }
+
+    #[test]
+    fn filtered_aggregate_via_characteristic_function() {
+        // SQL: SELECT SUM(salary) WHERE dept = 2
+        //  ⇒ Σ_x salary(x) · χ[dept(x) = 2] = 1500 + 500.
+        let t = MTerm::multiset(
+            MultisetOp::Sum,
+            ["x"],
+            MTerm::apply(
+                ROp::Mul,
+                [
+                    MTerm::func("salary", ["x"]),
+                    MTerm::apply(
+                        ROp::CharEq,
+                        [MTerm::func("dept", ["x"]), MTerm::constant(2, 1)],
+                    ),
+                ],
+            ),
+        );
+        assert_eq!(ev(&t), r(2000, 1));
+    }
+
+    #[test]
+    fn nested_aggregates() {
+        // max_x Σ_y χ[dept(x) = dept(y)] — size of the largest department.
+        let t = MTerm::multiset(
+            MultisetOp::Max,
+            ["x"],
+            MTerm::multiset(
+                MultisetOp::Sum,
+                ["y"],
+                MTerm::apply(
+                    ROp::CharEq,
+                    [MTerm::func("dept", ["x"]), MTerm::func("dept", ["y"])],
+                ),
+            ),
+        );
+        assert_eq!(ev(&t), r(2, 1));
+    }
+
+    #[test]
+    fn multi_variable_multiset() {
+        // Σ_{x,y} 1 = n² = 16.
+        let t = MTerm::multiset(MultisetOp::Count, ["x", "y"], MTerm::constant(0, 1));
+        assert_eq!(ev(&t), r(16, 1));
+    }
+
+    #[test]
+    fn free_vars_and_shadowing() {
+        let t = MTerm::multiset(
+            MultisetOp::Sum,
+            ["y"],
+            MTerm::apply(
+                ROp::Add,
+                [MTerm::func("salary", ["x"]), MTerm::func("salary", ["y"])],
+            ),
+        );
+        assert_eq!(t.free_vars(), vec!["x".to_string()]);
+    }
+
+    #[test]
+    fn rops() {
+        assert_eq!(ROp::Sub.apply(&[r(1, 2), r(1, 3)]), r(1, 6));
+        assert_eq!(ROp::Neg.apply(&[r(1, 2)]), r(-1, 2));
+        assert_eq!(ROp::Min.apply(&[r(1, 2), r(1, 3)]), r(1, 3));
+        assert_eq!(ROp::Max.apply(&[r(1, 2), r(1, 3)]), r(1, 2));
+        assert_eq!(ROp::CharLt.apply(&[r(1, 3), r(1, 2)]), r(1, 1));
+        assert_eq!(ROp::CharLe.apply(&[r(1, 2), r(1, 2)]), r(1, 1));
+        assert_eq!(ROp::CharEq.apply(&[r(1, 2), r(1, 3)]), r(0, 1));
+    }
+
+    #[test]
+    fn errors() {
+        let db = salary_db();
+        let env = HashMap::new();
+        assert!(matches!(
+            MTerm::func("missing", ["x"]).eval(&db, &env),
+            Err(TermError::UnknownFunction(_))
+        ));
+        assert!(matches!(
+            MTerm::func("salary", ["x"]).eval(&db, &env),
+            Err(TermError::UnboundVariable(_))
+        ));
+        assert!(matches!(
+            MTerm::Func {
+                name: "salary".into(),
+                args: vec![]
+            }
+            .eval(&db, &env),
+            Err(TermError::ArityMismatch { .. })
+        ));
+        let empty = FunctionalDatabase::new(0);
+        assert!(matches!(
+            MTerm::multiset(MultisetOp::Max, ["x"], MTerm::constant(1, 1)).eval(&empty, &env),
+            Err(TermError::EmptyMultiset)
+        ));
+        // Σ over an empty universe is 0, not an error.
+        assert_eq!(
+            MTerm::multiset(MultisetOp::Sum, ["x"], MTerm::constant(1, 1))
+                .eval(&empty, &env)
+                .unwrap(),
+            BigRational::zero()
+        );
+    }
+}

@@ -1,0 +1,374 @@
+//! Unreliable functional databases (Definition 6.1).
+//!
+//! Every entry `f(ā)` carries a finite-support probability distribution
+//! over values: `ν(f(ā) = r)` for finitely many `r`, summing to exactly
+//! 1; entries are independent. This induces finitely many possible
+//! databases (at most `∏` support sizes) with efficiently computable
+//! probabilities — the two properties the paper's Section 6 isolates.
+
+use crate::fdb::FunctionalDatabase;
+use qrel_arith::BigRational;
+use rand::Rng;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A finite-support distribution over values for one entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntryDistribution {
+    /// `(value, probability)` pairs; probabilities positive, sum = 1,
+    /// values distinct.
+    support: Vec<(BigRational, BigRational)>,
+}
+
+/// Validation errors for distributions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistError {
+    /// Probabilities do not sum to 1 (the paper's consistency condition).
+    Inconsistent {
+        sum: String,
+    },
+    NonPositiveProbability,
+    DuplicateValue,
+    EmptySupport,
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::Inconsistent { sum } => {
+                write!(f, "probabilities sum to {sum}, expected 1")
+            }
+            DistError::NonPositiveProbability => write!(f, "probabilities must be positive"),
+            DistError::DuplicateValue => write!(f, "duplicate value in support"),
+            DistError::EmptySupport => write!(f, "support must be nonempty"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+impl EntryDistribution {
+    /// Build and validate.
+    pub fn new(support: Vec<(BigRational, BigRational)>) -> Result<Self, DistError> {
+        if support.is_empty() {
+            return Err(DistError::EmptySupport);
+        }
+        let mut sum = BigRational::zero();
+        for (v, p) in &support {
+            if p.is_zero() || p.is_negative() {
+                return Err(DistError::NonPositiveProbability);
+            }
+            if support.iter().filter(|(v2, _)| v2 == v).count() > 1 {
+                return Err(DistError::DuplicateValue);
+            }
+            sum = sum.add_ref(p);
+        }
+        if !sum.is_one() {
+            return Err(DistError::Inconsistent {
+                sum: sum.to_string(),
+            });
+        }
+        Ok(EntryDistribution { support })
+    }
+
+    /// Point mass at a value.
+    pub fn certain(value: BigRational) -> Self {
+        EntryDistribution {
+            support: vec![(value, BigRational::one())],
+        }
+    }
+
+    pub fn support(&self) -> &[(BigRational, BigRational)] {
+        &self.support
+    }
+
+    /// Number of values with positive probability.
+    pub fn support_size(&self) -> usize {
+        self.support.len()
+    }
+
+    pub fn is_certain(&self) -> bool {
+        self.support.len() == 1
+    }
+
+    /// `ν(f(ā) = r)`.
+    pub fn probability_of(&self, value: &BigRational) -> BigRational {
+        self.support
+            .iter()
+            .find(|(v, _)| v == value)
+            .map(|(_, p)| p.clone())
+            .unwrap_or_else(BigRational::zero)
+    }
+
+    /// Sample a value (exact Bernoulli chain on rational cut points).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> &BigRational {
+        // Sequential conditional draws keep each step an exact Bernoulli.
+        let mut remaining = BigRational::one();
+        for (v, p) in &self.support[..self.support.len() - 1] {
+            let cond = p.div_ref(&remaining);
+            if qrel_prob::sampler::bernoulli(&cond, rng) {
+                return v;
+            }
+            remaining = remaining.sub_ref(p);
+        }
+        &self.support[self.support.len() - 1].0
+    }
+}
+
+/// An unreliable functional database `(𝔄, ν)`.
+#[derive(Debug, Clone)]
+pub struct UnreliableFunctionalDatabase {
+    observed: FunctionalDatabase,
+    /// Distribution per entry, keyed by `(function name, rank)`; entries
+    /// absent from the map are certain at their observed value.
+    dists: BTreeMap<(String, usize), EntryDistribution>,
+}
+
+impl UnreliableFunctionalDatabase {
+    pub fn reliable(observed: FunctionalDatabase) -> Self {
+        UnreliableFunctionalDatabase {
+            observed,
+            dists: BTreeMap::new(),
+        }
+    }
+
+    pub fn observed(&self) -> &FunctionalDatabase {
+        &self.observed
+    }
+
+    /// Attach a distribution to entry `f(ā)`.
+    ///
+    /// # Panics
+    /// Panics for unknown functions or arity mismatches.
+    pub fn set_distribution(&mut self, function: &str, tuple: &[u32], dist: EntryDistribution) {
+        let table = self
+            .observed
+            .function(function)
+            .unwrap_or_else(|| panic!("unknown function {function:?}"));
+        assert_eq!(
+            table.arity(),
+            tuple.len(),
+            "arity mismatch for {function:?}"
+        );
+        let rank = table.rank(self.observed.size(), tuple);
+        if dist.is_certain() && &dist.support()[0].0 == table.get_at(rank) {
+            // Point mass at the observed value: same as no entry.
+            self.dists.remove(&(function.to_string(), rank));
+        } else {
+            self.dists.insert((function.to_string(), rank), dist);
+        }
+    }
+
+    /// Entries with genuinely random values.
+    pub fn uncertain_entries(&self) -> Vec<(&str, usize, &EntryDistribution)> {
+        self.dists
+            .iter()
+            .filter(|(_, d)| !d.is_certain())
+            .map(|((f, r), d)| (f.as_str(), *r, d))
+            .collect()
+    }
+
+    /// Number of possible databases with positive probability.
+    pub fn world_count(&self) -> u64 {
+        self.dists
+            .values()
+            .map(|d| d.support_size() as u64)
+            .product()
+    }
+
+    /// Probability of a concrete database of the same format.
+    pub fn world_probability(&self, world: &FunctionalDatabase) -> BigRational {
+        assert_eq!(world.size(), self.observed.size(), "size mismatch");
+        let mut p = BigRational::one();
+        for (name, rank) in self.observed.entries() {
+            let actual = world
+                .function(&name)
+                .unwrap_or_else(|| panic!("world missing function {name:?}"))
+                .get_at(rank);
+            let prob = match self.dists.get(&(name.clone(), rank)) {
+                Some(d) => d.probability_of(actual),
+                None => {
+                    if actual == self.observed.function(&name).unwrap().get_at(rank) {
+                        BigRational::one()
+                    } else {
+                        BigRational::zero()
+                    }
+                }
+            };
+            if prob.is_zero() {
+                return BigRational::zero();
+            }
+            p = p.mul_ref(&prob);
+        }
+        p
+    }
+
+    /// Enumerate all possible databases with their exact probabilities.
+    ///
+    /// # Panics
+    /// Panics beyond 2^22 worlds.
+    pub fn worlds(&self) -> Vec<(FunctionalDatabase, BigRational)> {
+        let count = self.world_count();
+        assert!(count <= 1 << 22, "world enumeration limited to 2^22 worlds");
+        let entries: Vec<(&(String, usize), &EntryDistribution)> = self.dists.iter().collect();
+        let mut out = Vec::with_capacity(count as usize);
+        let mut choice = vec![0usize; entries.len()];
+        loop {
+            let mut world = self.observed.clone();
+            let mut prob = BigRational::one();
+            for (i, ((name, rank), dist)) in entries.iter().enumerate() {
+                let (v, p) = &dist.support()[choice[i]];
+                world.function_mut(name).unwrap().set_at(*rank, v.clone());
+                prob = prob.mul_ref(p);
+            }
+            out.push((world, prob));
+            // Increment the mixed-radix counter over supports.
+            let mut i = entries.len();
+            loop {
+                if i == 0 {
+                    return out;
+                }
+                i -= 1;
+                if choice[i] + 1 < entries[i].1.support_size() {
+                    choice[i] += 1;
+                    for c in choice.iter_mut().skip(i + 1) {
+                        *c = 0;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Sample a database `𝔅 ~ ν`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> FunctionalDatabase {
+        let mut world = self.observed.clone();
+        for ((name, rank), dist) in &self.dists {
+            let v = dist.sample(rng).clone();
+            world.function_mut(name).unwrap().set_at(*rank, v);
+        }
+        world
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn r(n: i64, d: u64) -> BigRational {
+        BigRational::from_ratio(n, d)
+    }
+
+    fn dist(pairs: &[(i64, u64, i64, u64)]) -> EntryDistribution {
+        EntryDistribution::new(
+            pairs
+                .iter()
+                .map(|&(vn, vd, pn, pd)| (r(vn, vd), r(pn, pd)))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn distribution_validation() {
+        assert!(EntryDistribution::new(vec![]).is_err());
+        assert!(matches!(
+            EntryDistribution::new(vec![(r(1, 1), r(1, 2))]),
+            Err(DistError::Inconsistent { .. })
+        ));
+        assert!(matches!(
+            EntryDistribution::new(vec![(r(1, 1), r(1, 2)), (r(1, 1), r(1, 2))]),
+            Err(DistError::DuplicateValue)
+        ));
+        assert!(matches!(
+            EntryDistribution::new(vec![(r(1, 1), r(3, 2)), (r(2, 1), r(-1, 2))]),
+            Err(DistError::NonPositiveProbability)
+        ));
+        assert!(EntryDistribution::new(vec![(r(5, 1), r(1, 3)), (r(6, 1), r(2, 3))]).is_ok());
+    }
+
+    fn setup() -> UnreliableFunctionalDatabase {
+        let mut db = FunctionalDatabase::new(2);
+        db.add_function_values("f", 1, vec![r(10, 1), r(20, 1)]);
+        let mut ud = UnreliableFunctionalDatabase::reliable(db);
+        // f(0) ∈ {10 w.p. 2/3, 11 w.p. 1/3}; f(1) certain.
+        ud.set_distribution("f", &[0], dist(&[(10, 1, 2, 3), (11, 1, 1, 3)]));
+        ud
+    }
+
+    #[test]
+    fn world_enumeration_sums_to_one() {
+        let ud = setup();
+        assert_eq!(ud.world_count(), 2);
+        let worlds = ud.worlds();
+        let total = worlds
+            .iter()
+            .fold(BigRational::zero(), |acc, (_, p)| acc.add_ref(p));
+        assert_eq!(total, BigRational::one());
+        for (w, p) in &worlds {
+            assert_eq!(&ud.world_probability(w), p);
+        }
+    }
+
+    #[test]
+    fn observed_world_probability() {
+        let ud = setup();
+        assert_eq!(ud.world_probability(ud.observed()), r(2, 3));
+    }
+
+    #[test]
+    fn contradicting_certain_entry_has_probability_zero() {
+        let ud = setup();
+        let mut w = ud.observed().clone();
+        w.function_mut("f").unwrap().set(2, &[1], r(999, 1));
+        assert_eq!(ud.world_probability(&w), BigRational::zero());
+    }
+
+    #[test]
+    fn certain_point_mass_is_removed() {
+        let mut ud = setup();
+        ud.set_distribution("f", &[0], EntryDistribution::certain(r(10, 1)));
+        assert_eq!(ud.world_count(), 1);
+        assert!(ud.uncertain_entries().is_empty());
+    }
+
+    #[test]
+    fn sampling_frequencies() {
+        let ud = setup();
+        let mut rng = StdRng::seed_from_u64(55);
+        let trials = 30_000;
+        let mut hits = 0usize;
+        for _ in 0..trials {
+            let w = ud.sample(&mut rng);
+            if w.value("f", &[0]) == &r(11, 1) {
+                hits += 1;
+            }
+        }
+        let freq = hits as f64 / trials as f64;
+        assert!((freq - 1.0 / 3.0).abs() < 0.02, "freq {freq}");
+    }
+
+    #[test]
+    fn three_point_support() {
+        let mut db = FunctionalDatabase::new(1);
+        db.add_function_values("g", 0, vec![r(0, 1)]);
+        let mut ud = UnreliableFunctionalDatabase::reliable(db);
+        ud.set_distribution("g", &[], dist(&[(0, 1, 1, 2), (1, 1, 1, 4), (2, 1, 1, 4)]));
+        assert_eq!(ud.world_count(), 3);
+        let worlds = ud.worlds();
+        assert_eq!(worlds.len(), 3);
+        let total = worlds
+            .iter()
+            .fold(BigRational::zero(), |acc, (_, p)| acc.add_ref(p));
+        assert_eq!(total, BigRational::one());
+        // Sampling hits all three values.
+        let mut rng = StdRng::seed_from_u64(56);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(ud.sample(&mut rng).value("g", &[]).to_string());
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the metafinite layer.
+
+use proptest::prelude::*;
+use qrel_arith::BigRational;
+use qrel_metafinite::reliability::{exact_reliability, qf_reliability};
+use qrel_metafinite::{
+    EntryDistribution, FunctionalDatabase, MTerm, MultisetOp, ROp, UnreliableFunctionalDatabase,
+};
+
+fn r(n: i64, d: u64) -> BigRational {
+    BigRational::from_ratio(n, d)
+}
+
+/// Random unreliable functional database: one unary function over a
+/// universe of 2–3 elements, entries optionally two-point distributed.
+fn ufd_strategy() -> impl Strategy<Value = UnreliableFunctionalDatabase> {
+    (
+        2usize..4,
+        proptest::collection::vec((0i64..5, proptest::option::of(0i64..5)), 3),
+    )
+        .prop_map(|(n, entries)| {
+            let mut db = FunctionalDatabase::new(n);
+            db.add_function_values("f", 1, (0..n).map(|i| r(entries[i % 3].0, 1)).collect());
+            let mut ud = UnreliableFunctionalDatabase::reliable(db);
+            for i in 0..n {
+                if let Some(alt) = entries[i % 3].1 {
+                    let observed = r(entries[i % 3].0, 1);
+                    let alt = r(alt, 1);
+                    if alt != observed {
+                        ud.set_distribution(
+                            "f",
+                            &[i as u32],
+                            EntryDistribution::new(vec![(observed, r(2, 3)), (alt, r(1, 3))])
+                                .unwrap(),
+                        );
+                    }
+                }
+            }
+            ud
+        })
+}
+
+/// A small pool of QF terms over `f`.
+fn qf_term(ix: usize) -> MTerm {
+    match ix % 4 {
+        0 => MTerm::func("f", ["x"]),
+        1 => MTerm::apply(ROp::Add, [MTerm::func("f", ["x"]), MTerm::constant(1, 1)]),
+        2 => MTerm::apply(
+            ROp::CharLe,
+            [MTerm::func("f", ["x"]), MTerm::constant(2, 1)],
+        ),
+        _ => MTerm::apply(ROp::Mul, [MTerm::func("f", ["x"]), MTerm::func("f", ["x"])]),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn world_probabilities_sum_to_one(ud in ufd_strategy()) {
+        let total = ud
+            .worlds()
+            .into_iter()
+            .fold(BigRational::zero(), |acc, (_, p)| acc.add_ref(&p));
+        prop_assert_eq!(total, BigRational::one());
+    }
+
+    #[test]
+    fn qf_fast_path_equals_enumeration(ud in ufd_strategy(), ix in 0usize..4) {
+        let t = qf_term(ix);
+        let free = vec!["x".to_string()];
+        let fast = qf_reliability(&ud, &t, &free).unwrap();
+        let slow = exact_reliability(&ud, &t, &free).unwrap();
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn reliability_in_unit_interval(ud in ufd_strategy(), ix in 0usize..4) {
+        let t = qf_term(ix);
+        let rep = qf_reliability(&ud, &t, &["x".to_string()]).unwrap();
+        prop_assert!(rep.reliability >= BigRational::zero());
+        prop_assert!(rep.reliability <= BigRational::one());
+    }
+
+    #[test]
+    fn aggregate_of_certain_db_fully_reliable(vals in proptest::collection::vec(0i64..100, 3)) {
+        let mut db = FunctionalDatabase::new(3);
+        db.add_function_values("f", 1, vals.iter().map(|&v| r(v, 1)).collect());
+        let ud = UnreliableFunctionalDatabase::reliable(db);
+        let agg = MTerm::multiset(MultisetOp::Sum, ["x"], MTerm::func("f", ["x"]));
+        let rep = exact_reliability(&ud, &agg, &[]).unwrap();
+        prop_assert_eq!(rep.reliability, BigRational::one());
+    }
+
+    #[test]
+    fn constant_term_immune_to_noise(ud in ufd_strategy()) {
+        // A term that ignores the database entirely has reliability 1.
+        let t = MTerm::apply(
+            ROp::Add,
+            [MTerm::constant(3, 1), MTerm::constant(4, 1)],
+        );
+        let rep = exact_reliability(&ud, &t, &[]).unwrap();
+        prop_assert_eq!(rep.reliability, BigRational::one());
+    }
+}

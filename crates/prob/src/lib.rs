@@ -1,0 +1,36 @@
+//! The probabilistic model of unreliable databases (Section 2 of the
+//! paper).
+//!
+//! An unreliable database is a pair `𝔇 = (𝔄, μ)`: an observed finite
+//! relational structure `𝔄` together with an error probability `μ(Rā)`
+//! for every atomic statement. It induces a probability space `Ω(𝔇)` of
+//! databases of the same format, with
+//!
+//! ```text
+//! ν(Rā) = 1 − μ(Rā)   if 𝔄 ⊨ Rā        (probability the fact holds
+//! ν(Rā) = μ(Rā)       if 𝔄 ⊨ ¬Rā        in the actual database)
+//! ν(𝔅)  = ∏_{φ ∈ Lit(𝔅)} ν(φ)
+//! ```
+//!
+//! This crate implements the model exactly (rational arithmetic
+//! end-to-end):
+//!
+//! * [`UnreliableDatabase`] — the pair `(𝔄, μ)` with validation,
+//!   including de Rougemont's positive-only restricted model;
+//! * [`WorldIter`]/[`world`] — exact enumeration of the possible worlds
+//!   that have nonzero probability, with their exact probabilities;
+//! * [`WorldSampler`] — exact-Bernoulli sampling of worlds (the substrate
+//!   for every Monte-Carlo algorithm in the paper);
+//! * [`normalizer`] — the `g` normalizer from the proof of Theorem 4.2
+//!   that turns world probabilities into integer counts.
+
+pub mod model;
+pub mod normalizer;
+pub mod sampler;
+pub mod spec;
+pub mod world;
+
+pub use model::{ErrorModel, ModelError, UnreliableDatabase};
+pub use sampler::WorldSampler;
+pub use spec::{ErrorSpec, SpecError, UnreliableDatabaseSpec};
+pub use world::WorldIter;

@@ -1,0 +1,179 @@
+//! Sampling random worlds `𝔅 ∈ Ω(𝔇)`.
+//!
+//! Every Monte-Carlo algorithm in the paper (Theorems 5.2, 5.4, 5.12)
+//! draws independent worlds from `ν`. Flips are sampled with *exact*
+//! Bernoulli draws on the rational probabilities wherever the numerator
+//! and denominator fit in `u64` (always, for realistic inputs), falling
+//! back to `f64` only beyond that.
+
+use crate::model::UnreliableDatabase;
+use qrel_arith::BigRational;
+use qrel_db::Database;
+use rand::Rng;
+
+/// Exact Bernoulli draw: returns `true` with probability exactly `p`
+/// (when `p`'s parts fit `u64`; `f64`-approximate otherwise).
+pub fn bernoulli<R: Rng>(p: &BigRational, rng: &mut R) -> bool {
+    debug_assert!(p.is_probability());
+    if p.is_zero() {
+        return false;
+    }
+    match (p.numer().magnitude().to_u64(), p.denom().to_u64()) {
+        (Some(num), Some(den)) => rng.gen_range(0..den) < num,
+        _ => rng.gen::<f64>() < p.to_f64(),
+    }
+}
+
+/// A reusable sampler for worlds of a fixed unreliable database.
+///
+/// Precomputes the uncertain-fact list and their `ν` probabilities once,
+/// so each sample costs one Bernoulli draw per *uncertain* fact (pinned
+/// facts are materialized once in the base world).
+pub struct WorldSampler<'a> {
+    ud: &'a UnreliableDatabase,
+    base: Database,
+    uncertain: Vec<usize>,
+    nu: Vec<BigRational>,
+}
+
+impl<'a> WorldSampler<'a> {
+    pub fn new(ud: &'a UnreliableDatabase) -> Self {
+        let uncertain = ud.uncertain_facts();
+        let nu = uncertain.iter().map(|&i| ud.nu_at(i)).collect();
+        WorldSampler {
+            ud,
+            base: ud.mode_world_base(),
+            uncertain,
+            nu,
+        }
+    }
+
+    /// Number of random fact flips per sample.
+    pub fn dimensions(&self) -> usize {
+        self.uncertain.len()
+    }
+
+    /// Draw one world `𝔅 ~ ν`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Database {
+        let mut world = self.base.clone();
+        for (bit, &fact_ix) in self.uncertain.iter().enumerate() {
+            let fact = self.ud.indexer().fact_at(fact_ix);
+            world.set_fact(&fact, bernoulli(&self.nu[bit], rng));
+        }
+        world
+    }
+
+    /// Draw one world as a raw truth assignment to the uncertain facts
+    /// (cheaper when the consumer evaluates a grounded formula rather
+    /// than a full database).
+    pub fn sample_assignment<R: Rng>(&self, rng: &mut R, out: &mut Vec<bool>) {
+        out.clear();
+        out.extend(self.nu.iter().map(|p| bernoulli(p, rng)));
+    }
+
+    /// The uncertain fact indices, aligned with [`Self::sample_assignment`].
+    pub fn uncertain_facts(&self) -> &[usize] {
+        &self.uncertain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrel_arith::BigRational;
+    use qrel_db::{DatabaseBuilder, Fact};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn r(n: i64, d: u64) -> BigRational {
+        BigRational::from_ratio(n, d)
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            assert!(!bernoulli(&BigRational::zero(), &mut rng));
+            assert!(bernoulli(&BigRational::one(), &mut rng));
+        }
+    }
+
+    #[test]
+    fn bernoulli_frequency_matches() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = r(1, 3);
+        let trials = 60_000;
+        let hits = (0..trials).filter(|_| bernoulli(&p, &mut rng)).count();
+        let freq = hits as f64 / trials as f64;
+        assert!((freq - 1.0 / 3.0).abs() < 0.01, "freq = {freq}");
+    }
+
+    #[test]
+    fn sampler_world_frequencies_match_nu() {
+        let db = DatabaseBuilder::new()
+            .universe_size(2)
+            .relation("S", 1)
+            .tuples("S", [vec![0]])
+            .build();
+        let mut ud = UnreliableDatabase::reliable(db);
+        ud.set_error(&Fact::new(0, vec![0]), r(1, 4)).unwrap();
+        ud.set_error(&Fact::new(0, vec![1]), r(1, 2)).unwrap();
+        let sampler = WorldSampler::new(&ud);
+        assert_eq!(sampler.dimensions(), 2);
+
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 40_000usize;
+        let mut counts = [0usize; 4];
+        for _ in 0..trials {
+            let w = sampler.sample(&mut rng);
+            let b0 = w.holds(&Fact::new(0, vec![0])) as usize;
+            let b1 = w.holds(&Fact::new(0, vec![1])) as usize;
+            counts[b0 | (b1 << 1)] += 1;
+        }
+        // Expected: P(S0=1)=3/4, P(S1=1)=1/2, independent.
+        let expected = [0.25 * 0.5, 0.75 * 0.5, 0.25 * 0.5, 0.75 * 0.5];
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / trials as f64;
+            assert!(
+                (freq - expected[i]).abs() < 0.015,
+                "world {i}: freq {freq} vs expected {}",
+                expected[i]
+            );
+        }
+    }
+
+    #[test]
+    fn sample_assignment_aligns_with_uncertain_facts() {
+        let db = DatabaseBuilder::new()
+            .universe_size(3)
+            .relation("S", 1)
+            .build();
+        let mut ud = UnreliableDatabase::reliable(db);
+        ud.set_error(&Fact::new(0, vec![1]), r(1, 1)).unwrap(); // pinned flip
+        ud.set_error(&Fact::new(0, vec![2]), r(1, 2)).unwrap(); // uncertain
+        let sampler = WorldSampler::new(&ud);
+        assert_eq!(sampler.dimensions(), 1);
+        assert_eq!(
+            sampler.uncertain_facts(),
+            &[ud.indexer().index_of(&Fact::new(0, vec![2]))]
+        );
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut out = Vec::new();
+        sampler.sample_assignment(&mut rng, &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let db = DatabaseBuilder::new()
+            .universe_size(4)
+            .relation("E", 2)
+            .build();
+        let mut ud = UnreliableDatabase::reliable(db);
+        ud.set_uniform_error(r(1, 3)).unwrap();
+        let sampler = WorldSampler::new(&ud);
+        let w1 = sampler.sample(&mut StdRng::seed_from_u64(7));
+        let w2 = sampler.sample(&mut StdRng::seed_from_u64(7));
+        assert_eq!(w1, w2);
+    }
+}

@@ -1,0 +1,292 @@
+//! A serializable interchange format for unreliable databases.
+//!
+//! `UnreliableDatabase` itself is optimized for computation (dense `μ`
+//! vector, fact indexer); this module provides a human-editable
+//! JSON-friendly *spec* — the observed database plus a sparse list of
+//! error assignments with rational probabilities as strings — and the
+//! conversions in both directions. The CLI and the examples use it.
+//!
+//! ```json
+//! {
+//!   "database": { ... qrel_db::Database ... },
+//!   "model": "full",
+//!   "errors": [
+//!     { "relation": "E", "tuple": [0, 1], "mu": "1/10" },
+//!     { "relation": "S", "tuple": [2],    "mu": "1/4"  }
+//!   ]
+//! }
+//! ```
+
+use crate::model::{ErrorModel, ModelError, UnreliableDatabase};
+use qrel_arith::BigRational;
+use qrel_db::{Database, Fact};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One error assignment in the spec.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorSpec {
+    /// Relation name.
+    pub relation: String,
+    /// Element indices.
+    pub tuple: Vec<u32>,
+    /// Error probability as `"p/q"` (or an integer string).
+    pub mu: String,
+}
+
+/// Serializable unreliable-database spec.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnreliableDatabaseSpec {
+    /// The observed database.
+    pub database: Database,
+    /// `"full"` (default) or `"positive-only"`.
+    #[serde(default = "default_model")]
+    pub model: String,
+    /// Sparse error assignments; unmentioned facts have `μ = 0`.
+    #[serde(default)]
+    pub errors: Vec<ErrorSpec>,
+}
+
+fn default_model() -> String {
+    "full".to_string()
+}
+
+/// Errors when converting a spec into a model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    UnknownRelation(String),
+    BadProbability {
+        entry: usize,
+        reason: String,
+    },
+    UnknownModel(String),
+    Model(ModelError),
+    ArityMismatch {
+        relation: String,
+        expected: usize,
+        got: usize,
+    },
+    ElementOutOfRange {
+        relation: String,
+        element: u32,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::UnknownRelation(r) => write!(f, "unknown relation {r:?}"),
+            SpecError::BadProbability { entry, reason } => {
+                write!(f, "error entry {entry}: bad probability ({reason})")
+            }
+            SpecError::UnknownModel(m) => {
+                write!(f, "unknown model {m:?} (use \"full\" or \"positive-only\")")
+            }
+            SpecError::Model(e) => write!(f, "{e}"),
+            SpecError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "relation {relation:?} expects arity {expected}, got {got}"
+                )
+            }
+            SpecError::ElementOutOfRange { relation, element } => {
+                write!(f, "element {element} out of range in a {relation:?} tuple")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<ModelError> for SpecError {
+    fn from(e: ModelError) -> Self {
+        SpecError::Model(e)
+    }
+}
+
+impl UnreliableDatabaseSpec {
+    /// Build the computational model from the spec.
+    pub fn build(&self) -> Result<UnreliableDatabase, SpecError> {
+        let model = match self.model.as_str() {
+            "full" => ErrorModel::Full,
+            "positive-only" => ErrorModel::PositiveOnly,
+            other => return Err(SpecError::UnknownModel(other.to_string())),
+        };
+        let mut ud = UnreliableDatabase::reliable(self.database.clone()).with_model(model)?;
+        for (i, e) in self.errors.iter().enumerate() {
+            let rel_ix = self
+                .database
+                .vocabulary()
+                .index_of(&e.relation)
+                .ok_or_else(|| SpecError::UnknownRelation(e.relation.clone()))?;
+            let expected = self.database.vocabulary().symbols()[rel_ix].arity();
+            if expected != e.tuple.len() {
+                return Err(SpecError::ArityMismatch {
+                    relation: e.relation.clone(),
+                    expected,
+                    got: e.tuple.len(),
+                });
+            }
+            for &el in &e.tuple {
+                if el as usize >= self.database.size() {
+                    return Err(SpecError::ElementOutOfRange {
+                        relation: e.relation.clone(),
+                        element: el,
+                    });
+                }
+            }
+            let mu = BigRational::parse(&e.mu).map_err(|err| SpecError::BadProbability {
+                entry: i,
+                reason: err.to_string(),
+            })?;
+            ud.set_error(&Fact::new(rel_ix, e.tuple.clone()), mu)?;
+        }
+        Ok(ud)
+    }
+
+    /// Extract the spec back out of a model (sparse: only `μ ≠ 0`).
+    pub fn from_model(ud: &UnreliableDatabase) -> Self {
+        let vocab = ud.observed().vocabulary();
+        let indexer = ud.indexer();
+        let mut errors = Vec::new();
+        for i in 0..indexer.total() {
+            let mu = ud.mu_at(i);
+            if !mu.is_zero() {
+                let fact = indexer.fact_at(i);
+                errors.push(ErrorSpec {
+                    relation: vocab.symbols()[fact.relation].name().to_string(),
+                    tuple: fact.tuple.clone(),
+                    mu: mu.to_string(),
+                });
+            }
+        }
+        UnreliableDatabaseSpec {
+            database: ud.observed().clone(),
+            model: match ud.model() {
+                ErrorModel::Full => "full".to_string(),
+                ErrorModel::PositiveOnly => "positive-only".to_string(),
+            },
+            errors,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrel_db::DatabaseBuilder;
+
+    fn sample_spec() -> UnreliableDatabaseSpec {
+        let db = DatabaseBuilder::new()
+            .universe_size(3)
+            .relation("E", 2)
+            .relation("S", 1)
+            .tuples("E", [vec![0, 1]])
+            .tuples("S", [vec![2]])
+            .build();
+        UnreliableDatabaseSpec {
+            database: db,
+            model: "full".into(),
+            errors: vec![
+                ErrorSpec {
+                    relation: "E".into(),
+                    tuple: vec![0, 1],
+                    mu: "1/10".into(),
+                },
+                ErrorSpec {
+                    relation: "S".into(),
+                    tuple: vec![0],
+                    mu: "1/4".into(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn build_and_roundtrip() {
+        let spec = sample_spec();
+        let ud = spec.build().unwrap();
+        assert_eq!(
+            ud.mu(&Fact::new(0, vec![0, 1])),
+            &BigRational::from_ratio(1, 10)
+        );
+        assert_eq!(
+            ud.mu(&Fact::new(1, vec![0])),
+            &BigRational::from_ratio(1, 4)
+        );
+        assert_eq!(ud.uncertain_facts().len(), 2);
+        let back = UnreliableDatabaseSpec::from_model(&ud);
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let spec = sample_spec();
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        let parsed: UnreliableDatabaseSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, spec);
+        assert_eq!(parsed.build().unwrap().uncertain_facts().len(), 2);
+    }
+
+    #[test]
+    fn defaults_in_json() {
+        // model and errors are optional.
+        let db = DatabaseBuilder::new()
+            .universe_size(1)
+            .relation("S", 1)
+            .build();
+        let json = format!("{{\"database\": {}}}", serde_json::to_string(&db).unwrap());
+        let spec: UnreliableDatabaseSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec.model, "full");
+        assert!(spec.errors.is_empty());
+        assert!(spec.build().unwrap().uncertain_facts().is_empty());
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut spec = sample_spec();
+        spec.errors[0].relation = "Z".into();
+        assert!(matches!(spec.build(), Err(SpecError::UnknownRelation(_))));
+
+        let mut spec = sample_spec();
+        spec.errors[0].tuple = vec![0];
+        assert!(matches!(spec.build(), Err(SpecError::ArityMismatch { .. })));
+
+        let mut spec = sample_spec();
+        spec.errors[0].tuple = vec![0, 9];
+        assert!(matches!(
+            spec.build(),
+            Err(SpecError::ElementOutOfRange { .. })
+        ));
+
+        let mut spec = sample_spec();
+        spec.errors[0].mu = "3/2".into();
+        assert!(matches!(spec.build(), Err(SpecError::Model(_))));
+
+        let mut spec = sample_spec();
+        spec.errors[0].mu = "x".into();
+        assert!(matches!(
+            spec.build(),
+            Err(SpecError::BadProbability { .. })
+        ));
+
+        let mut spec = sample_spec();
+        spec.model = "weird".into();
+        assert!(matches!(spec.build(), Err(SpecError::UnknownModel(_))));
+    }
+
+    #[test]
+    fn positive_only_spec() {
+        let mut spec = sample_spec();
+        spec.model = "positive-only".into();
+        // S(0) is not observed — positive-only must reject its error.
+        assert!(spec.build().is_err());
+        spec.errors[1].tuple = vec![2]; // S(2) is observed
+        let ud = spec.build().unwrap();
+        assert_eq!(ud.model(), ErrorModel::PositiveOnly);
+    }
+}

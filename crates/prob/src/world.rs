@@ -1,0 +1,321 @@
+//! Exact enumeration of the possible-world space `Ω(𝔇)`.
+
+use crate::model::UnreliableDatabase;
+use qrel_arith::BigRational;
+use qrel_db::Database;
+
+/// Iterator over all worlds with nonzero probability, with their exact
+/// probabilities. There are `2^u` of them for `u` uncertain facts — this
+/// is the exponential enumeration at the heart of the FP^#P algorithm of
+/// Theorem 4.2, usable in practice for small `u` and as a ground-truth
+/// oracle for the approximation algorithms.
+pub struct WorldIter<'a> {
+    ud: &'a UnreliableDatabase,
+    /// Base world: observed database with `μ = 1` facts pre-flipped.
+    base: Database,
+    uncertain: Vec<usize>,
+    /// For each uncertain fact: (ν, 1−ν) — probability of true / false.
+    nu: Vec<(BigRational, BigRational)>,
+    next_mask: u64,
+    done: bool,
+}
+
+impl<'a> WorldIter<'a> {
+    /// Create the iterator.
+    ///
+    /// # Panics
+    /// Panics if there are more than 63 uncertain facts (the enumeration
+    /// would not terminate in any case).
+    pub fn new(ud: &'a UnreliableDatabase) -> Self {
+        let uncertain = ud.uncertain_facts();
+        assert!(
+            uncertain.len() < 64,
+            "world enumeration limited to 63 uncertain facts (got {})",
+            uncertain.len()
+        );
+        let base = ud.mode_world_base();
+        let nu = uncertain
+            .iter()
+            .map(|&i| {
+                let nu = ud.nu_at(i);
+                let co = nu.one_minus();
+                (nu, co)
+            })
+            .collect();
+        WorldIter {
+            ud,
+            base,
+            uncertain,
+            nu,
+            next_mask: 0,
+            done: false,
+        }
+    }
+
+    /// Number of worlds this iterator will yield.
+    pub fn len(&self) -> u64 {
+        1u64 << self.uncertain.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false // always at least the base world
+    }
+}
+
+impl UnreliableDatabase {
+    /// Observed database with every `μ = 1` fact flipped (the deterministic
+    /// part of each world).
+    pub(crate) fn mode_world_base(&self) -> Database {
+        let mut base = self.observed().clone();
+        let one = BigRational::one();
+        for i in 0..self.indexer().total() {
+            if self.mu_at(i) == &one {
+                let fact = self.indexer().fact_at(i);
+                let observed = self.observed().holds(&fact);
+                base.set_fact(&fact, !observed);
+            }
+        }
+        base
+    }
+
+    /// Iterate all nonzero-probability worlds with exact probabilities.
+    pub fn worlds(&self) -> WorldIter<'_> {
+        WorldIter::new(self)
+    }
+}
+
+impl UnreliableDatabase {
+    /// Visit every nonzero-probability world in Gray-code order: between
+    /// consecutive worlds exactly one fact flips, so the visitor pays one
+    /// `set_fact` and one rational multiply/divide per world instead of
+    /// rebuilding the database — the fast path for the exact engines.
+    ///
+    /// The visitor receives each world by reference with its exact
+    /// probability; returning `false` stops early.
+    ///
+    /// # Panics
+    /// Panics beyond 63 uncertain facts.
+    pub fn visit_worlds<F>(&self, mut visitor: F)
+    where
+        F: FnMut(&Database, &BigRational) -> bool,
+    {
+        let uncertain = self.uncertain_facts();
+        assert!(
+            uncertain.len() < 64,
+            "world enumeration limited to 63 uncertain facts (got {})",
+            uncertain.len()
+        );
+        // Start from the all-false assignment to the uncertain facts.
+        let mut world = self.mode_world_base();
+        let mut prob = BigRational::one();
+        let nu: Vec<(BigRational, BigRational)> = uncertain
+            .iter()
+            .map(|&i| {
+                let nu = self.nu_at(i);
+                (nu.clone(), nu.one_minus())
+            })
+            .collect();
+        for (bit, &fact_ix) in uncertain.iter().enumerate() {
+            let fact = self.indexer().fact_at(fact_ix);
+            world.set_fact(&fact, false);
+            prob = prob.mul_ref(&nu[bit].1);
+        }
+        let mut state = vec![false; uncertain.len()];
+        if !visitor(&world, &prob) {
+            return;
+        }
+        // Standard Gray code: step k flips the bit at trailing_zeros(k).
+        for k in 1u64..(1u64 << uncertain.len()) {
+            let bit = k.trailing_zeros() as usize;
+            let fact = self.indexer().fact_at(uncertain[bit]);
+            let new_value = !state[bit];
+            state[bit] = new_value;
+            world.set_fact(&fact, new_value);
+            let (on, off) = &nu[bit];
+            // Both factors are nonzero for genuinely uncertain facts.
+            prob = if new_value {
+                prob.div_ref(off).mul_ref(on)
+            } else {
+                prob.div_ref(on).mul_ref(off)
+            };
+            if !visitor(&world, &prob) {
+                return;
+            }
+        }
+    }
+}
+
+impl Iterator for WorldIter<'_> {
+    type Item = (Database, BigRational);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let mask = self.next_mask;
+        let mut world = self.base.clone();
+        let mut prob = BigRational::one();
+        for (bit, &fact_ix) in self.uncertain.iter().enumerate() {
+            let fact = self.ud.indexer().fact_at(fact_ix);
+            let set_true = (mask >> bit) & 1 == 1;
+            world.set_fact(&fact, set_true);
+            let (nu, co) = &self.nu[bit];
+            prob = prob.mul_ref(if set_true { nu } else { co });
+        }
+        if mask + 1 == 1u64 << self.uncertain.len() {
+            self.done = true;
+        } else {
+            self.next_mask += 1;
+        }
+        Some((world, prob))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrel_arith::BigRational;
+    use qrel_db::{DatabaseBuilder, Fact};
+
+    fn r(n: i64, d: u64) -> BigRational {
+        BigRational::from_ratio(n, d)
+    }
+
+    fn setup() -> UnreliableDatabase {
+        let db = DatabaseBuilder::new()
+            .universe_size(2)
+            .relation("S", 1)
+            .tuples("S", [vec![0]])
+            .build();
+        let mut ud = UnreliableDatabase::reliable(db);
+        ud.set_error(&Fact::new(0, vec![0]), r(1, 3)).unwrap();
+        ud.set_error(&Fact::new(0, vec![1]), r(1, 4)).unwrap();
+        ud
+    }
+
+    #[test]
+    fn enumerates_all_worlds_with_correct_probabilities() {
+        let ud = setup();
+        let worlds: Vec<_> = ud.worlds().collect();
+        assert_eq!(worlds.len(), 4);
+        // Probabilities sum to exactly 1.
+        let total = worlds
+            .iter()
+            .fold(BigRational::zero(), |acc, (_, p)| acc.add_ref(p));
+        assert_eq!(total, BigRational::one());
+        // Each enumerated probability matches the model's direct formula.
+        for (w, p) in &worlds {
+            assert_eq!(&ud.world_probability(w), p, "world:\n{w}");
+        }
+        // The observed world has probability (2/3)(3/4) = 1/2.
+        let observed = ud.observed().clone();
+        let (_, p_obs) = worlds
+            .iter()
+            .find(|(w, _)| *w == observed)
+            .expect("observed world enumerated");
+        assert_eq!(p_obs, &r(1, 2));
+    }
+
+    #[test]
+    fn worlds_are_distinct() {
+        let ud = setup();
+        let worlds: Vec<_> = ud.worlds().map(|(w, _)| w).collect();
+        for i in 0..worlds.len() {
+            for j in (i + 1)..worlds.len() {
+                assert_ne!(worlds[i], worlds[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_facts_pinned_in_every_world() {
+        let db = DatabaseBuilder::new()
+            .universe_size(2)
+            .relation("S", 1)
+            .relation("T", 1)
+            .tuples("S", [vec![0]])
+            .build();
+        let mut ud = UnreliableDatabase::reliable(db);
+        ud.set_error(&Fact::new(0, vec![1]), r(1, 2)).unwrap(); // S(1) uncertain
+        ud.set_error(&Fact::new(1, vec![0]), r(1, 1)).unwrap(); // T(0) surely flipped
+        for (w, p) in ud.worlds() {
+            assert!(w.holds(&Fact::new(0, vec![0])), "S(0) stays true");
+            assert!(w.holds(&Fact::new(1, vec![0])), "T(0) flipped on");
+            assert!(!w.holds(&Fact::new(1, vec![1])), "T(1) stays false");
+            assert_eq!(p, r(1, 2));
+        }
+        assert_eq!(ud.worlds().count(), 2);
+    }
+
+    #[test]
+    fn fully_reliable_single_world() {
+        let db = DatabaseBuilder::new()
+            .universe_size(3)
+            .relation("E", 2)
+            .build();
+        let ud = UnreliableDatabase::reliable(db.clone());
+        let worlds: Vec<_> = ud.worlds().collect();
+        assert_eq!(worlds.len(), 1);
+        assert_eq!(worlds[0].0, db);
+        assert_eq!(worlds[0].1, BigRational::one());
+    }
+
+    #[test]
+    fn len_matches_count() {
+        let ud = setup();
+        assert_eq!(ud.worlds().len(), 4);
+        assert_eq!(ud.worlds().count(), 4);
+    }
+
+    #[test]
+    fn gray_code_visitor_matches_iterator() {
+        let ud = setup();
+        let mut expected: Vec<(qrel_db::Database, BigRational)> = ud.worlds().collect();
+        let mut visited: Vec<(qrel_db::Database, BigRational)> = Vec::new();
+        ud.visit_worlds(|w, p| {
+            visited.push((w.clone(), p.clone()));
+            true
+        });
+        assert_eq!(visited.len(), expected.len());
+        // Same multiset of (world, probability) pairs, different order.
+        let key = |(w, p): &(qrel_db::Database, BigRational)| (format!("{w}"), p.clone());
+        expected.sort_by_key(key);
+        visited.sort_by_key(key);
+        assert_eq!(expected, visited);
+    }
+
+    #[test]
+    fn gray_code_visitor_early_stop() {
+        let ud = setup();
+        let mut seen = 0;
+        ud.visit_worlds(|_, _| {
+            seen += 1;
+            seen < 2
+        });
+        assert_eq!(seen, 2);
+    }
+
+    #[test]
+    fn gray_code_visitor_pinned_facts() {
+        let db = qrel_db::DatabaseBuilder::new()
+            .universe_size(2)
+            .relation("S", 1)
+            .tuples("S", [vec![0]])
+            .build();
+        let mut ud = UnreliableDatabase::reliable(db);
+        ud.set_error(
+            &qrel_db::Fact::new(0, vec![1]),
+            BigRational::from_ratio(1, 1),
+        )
+        .unwrap(); // pinned flip
+        let mut count = 0;
+        ud.visit_worlds(|w, p| {
+            assert!(w.holds(&qrel_db::Fact::new(0, vec![0])));
+            assert!(w.holds(&qrel_db::Fact::new(0, vec![1])));
+            assert_eq!(p, &BigRational::one());
+            count += 1;
+            true
+        });
+        assert_eq!(count, 1);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the probabilistic model.
+
+use proptest::prelude::*;
+use qrel_arith::BigRational;
+use qrel_db::{DatabaseBuilder, Fact};
+use qrel_prob::{UnreliableDatabase, WorldSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn ud_strategy() -> impl Strategy<Value = UnreliableDatabase> {
+    (
+        1usize..4,
+        proptest::collection::vec((0usize..12, 0i64..=6, 1u64..=6), 0..6),
+    )
+        .prop_map(|(n, errors)| {
+            let db = DatabaseBuilder::new()
+                .universe_size(n)
+                .relation("E", 2)
+                .relation("S", 1)
+                .build();
+            let mut ud = UnreliableDatabase::reliable(db);
+            let indexer = ud.indexer().clone();
+            let total = indexer.total();
+            for (fi, num, den) in errors {
+                let p = BigRational::from_ratio(num.min(den as i64), den);
+                ud.set_error(&indexer.fact_at(fi % total), p).unwrap();
+            }
+            ud
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn world_probabilities_sum_to_one(ud in ud_strategy()) {
+        let total = ud
+            .worlds()
+            .fold(BigRational::zero(), |acc, (_, p)| acc.add_ref(&p));
+        prop_assert_eq!(total, BigRational::one());
+    }
+
+    #[test]
+    fn every_enumerated_world_matches_direct_formula(ud in ud_strategy()) {
+        for (w, p) in ud.worlds() {
+            prop_assert_eq!(ud.world_probability(&w), p);
+        }
+    }
+
+    #[test]
+    fn sampled_worlds_have_positive_probability(ud in ud_strategy(), seed in 0u64..100) {
+        let sampler = WorldSampler::new(&ud);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..5 {
+            let w = sampler.sample(&mut rng);
+            prop_assert!(ud.world_probability(&w) > BigRational::zero());
+        }
+    }
+
+    #[test]
+    fn nu_and_mu_are_complementary_on_observed_truth(ud in ud_strategy()) {
+        let indexer = ud.indexer().clone();
+        for i in 0..indexer.total() {
+            let fact = indexer.fact_at(i);
+            let nu = ud.nu_at(i);
+            let mu = ud.mu_at(i).clone();
+            if ud.observed().holds(&fact) {
+                prop_assert_eq!(nu, mu.one_minus());
+            } else {
+                prop_assert_eq!(nu, mu);
+            }
+        }
+    }
+
+    #[test]
+    fn world_count_matches_enumeration(ud in ud_strategy()) {
+        prop_assert_eq!(ud.worlds().count() as u64, ud.world_count().unwrap());
+    }
+
+    #[test]
+    fn mode_world_is_a_most_probable_world(ud in ud_strategy()) {
+        let mode = ud.mode_world();
+        let p_mode = ud.world_probability(&mode);
+        for (_, p) in ud.worlds() {
+            prop_assert!(p <= p_mode);
+        }
+    }
+
+    #[test]
+    fn sound_g_clears_every_world(ud in ud_strategy()) {
+        use qrel_arith::BigInt;
+        use qrel_prob::normalizer::sound_g;
+        let g = BigRational::new(
+            BigInt::from_biguint(sound_g(&ud)),
+            BigInt::one(),
+        );
+        for (_, p) in ud.worlds() {
+            prop_assert!(p.mul_ref(&g).is_integer());
+        }
+    }
+
+    #[test]
+    fn flipping_observation_flips_nu(n in 1usize..4) {
+        let db = DatabaseBuilder::new().universe_size(n).relation("S", 1).build();
+        let mut with_fact = db.clone();
+        with_fact.set_fact(&Fact::new(0, vec![0]), true);
+        let p = BigRational::from_ratio(1, 3);
+        let mut ud_off = UnreliableDatabase::reliable(db);
+        ud_off.set_error(&Fact::new(0, vec![0]), p.clone()).unwrap();
+        let mut ud_on = UnreliableDatabase::reliable(with_fact);
+        ud_on.set_error(&Fact::new(0, vec![0]), p.clone()).unwrap();
+        prop_assert_eq!(ud_off.nu(&Fact::new(0, vec![0])), p.clone());
+        prop_assert_eq!(ud_on.nu(&Fact::new(0, vec![0])), p.one_minus());
+    }
+}

@@ -1,0 +1,91 @@
+//! Quickstart: build an unreliable database, ask how reliable a query's
+//! answer is, and cross-check the exact engine against the approximation
+//! algorithms.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use qrel::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. An observed database: a small citation graph. Cites(x, y) means
+    //    paper x cites paper y; Retracted(x) flags retracted papers.
+    // ------------------------------------------------------------------
+    let db = DatabaseBuilder::new()
+        .universe_names(["p0", "p1", "p2", "p3"])
+        .relation("Cites", 2)
+        .relation("Retracted", 1)
+        .tuples("Cites", [vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 3]])
+        .tuples("Retracted", [vec![3]])
+        .build();
+    println!("Observed database:\n{db}");
+
+    // ------------------------------------------------------------------
+    // 2. Attach error probabilities: citation extraction is 95% accurate,
+    //    the retraction flag comes from a noisy scrape (80%).
+    // ------------------------------------------------------------------
+    let mut ud = UnreliableDatabase::reliable(db);
+    ud.set_relation_error("Cites", BigRational::from_ratio(1, 20))
+        .unwrap();
+    ud.set_relation_error("Retracted", BigRational::from_ratio(1, 5))
+        .unwrap();
+    println!(
+        "{} uncertain facts -> {} possible worlds\n",
+        ud.uncertain_facts().len(),
+        ud.world_count().unwrap()
+    );
+
+    // ------------------------------------------------------------------
+    // 3. A conjunctive query: "some paper cites a retracted paper".
+    // ------------------------------------------------------------------
+    let query = FoQuery::parse("exists x y. Cites(x,y) & Retracted(y)").unwrap();
+    println!("query ψ = {}", query.formula());
+    println!(
+        "observed answer: {}\n",
+        query.eval_sentence(ud.observed()).unwrap()
+    );
+
+    // Exact reliability by possible-world enumeration (Theorem 4.2).
+    let exact = exact_reliability(&ud, &query).unwrap();
+    println!(
+        "exact:   R_ψ = {}  (≈ {:.6}), H_ψ = {}, {} worlds enumerated",
+        exact.reliability,
+        exact.reliability.to_f64(),
+        exact.expected_error,
+        exact.worlds
+    );
+
+    // The FP^#P counting certificate: g and g·Pr[𝔅 ⊨ ψ] ∈ ℕ.
+    let cert = counting_certificate(&ud, &query).unwrap();
+    println!(
+        "certificate: g = {}, accepting paths g·Pr[ψ] = {}",
+        cert.g, cert.accepting_paths
+    );
+
+    // ------------------------------------------------------------------
+    // 4. The same number by the Theorem 5.4 FPTRAS (grounding to kDNF +
+    //    Karp–Luby), which scales to databases far beyond enumeration.
+    // ------------------------------------------------------------------
+    let mut rng = StdRng::seed_from_u64(2024);
+    let p_exact = exact_probability(&ud, &query).unwrap();
+    let p_est =
+        existential_probability_fptras(&ud, query.formula(), 0.02, 0.01, Route::Direct, &mut rng)
+            .unwrap();
+    println!(
+        "\nPr[𝔅 ⊨ ψ]: exact = {} (≈ {:.6}), Karp–Luby estimate = {:.6}",
+        p_exact,
+        p_exact.to_f64(),
+        p_est
+    );
+
+    // ------------------------------------------------------------------
+    // 5. Absolute reliability: is any world able to change the answer?
+    // ------------------------------------------------------------------
+    let ar = is_absolutely_reliable(&ud, &query).unwrap();
+    println!("\nabsolutely reliable? {ar}");
+    if let Some(w) = find_unreliability_witness(&ud, &query).unwrap() {
+        println!("witnessing world that flips the answer:\n{w}");
+    }
+}

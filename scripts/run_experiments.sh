@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerate every experiment in DESIGN.md §7 and store outputs under
+# target/experiments/. EXPERIMENTS.md records a snapshot of these.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p target/experiments
+experiments=(
+  e1_qf_polytime e2_mon2sat_hardness e3_exact_fp_sharp_p e4_karp_luby
+  e5_prob_kdnf e6_existential_fptras e7_four_colour e8_ptime_estimator
+  e9_metafinite e10_crossover e11_positive_only e12_cq_planner
+  e13_expression_complexity
+)
+for e in "${experiments[@]}"; do
+  echo "== $e =="
+  cargo run --release -q -p qrel-bench --bin "$e" | tee "target/experiments/$e.txt"
+  echo
+done

@@ -1,0 +1,347 @@
+//! `qrel` — command-line interface for query reliability.
+//!
+//! ```text
+//! qrel check       --db spec.json
+//! qrel worlds      --db spec.json [--limit N]
+//! qrel probability --db spec.json --query "exists x. S(x)"
+//!                  [--method exact|fptras|padding] [--eps E] [--delta D] [--seed S]
+//! qrel reliability --db spec.json --query "S(x)" [--free x,y]
+//!                  [--method exact|qf|approx|padding] [--eps E] [--delta D] [--seed S]
+//! qrel example-spec
+//! ```
+//!
+//! The database spec format is documented in `qrel::prob::spec` (see
+//! `qrel example-spec` for a starter file).
+
+use qrel::prelude::*;
+use qrel::prob::UnreliableDatabaseSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run `qrel help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Options {
+    flags: HashMap<String, String>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut flags = HashMap::new();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            let Some(name) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument {a:?}"));
+            };
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            flags.insert(name.to_string(), value.clone());
+            i += 2;
+        }
+        Ok(Options { flags })
+    }
+
+    fn required(&self, name: &str) -> Result<&str, String> {
+        self.flags
+            .get(name)
+            .map(|s| s.as_str())
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(|s| s.as_str())
+    }
+
+    fn get_f64(&self, name: &str, default: f64) -> Result<f64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name} expects a number")),
+        }
+    }
+
+    fn get_u64(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} expects an integer")),
+        }
+    }
+}
+
+fn load_spec(path: &str) -> Result<UnreliableDatabase, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let spec: UnreliableDatabaseSpec =
+        serde_json::from_str(&text).map_err(|e| format!("bad spec JSON: {e}"))?;
+    spec.build().map_err(|e| format!("invalid spec: {e}"))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        print_help();
+        return Ok(());
+    };
+    let opts = Options::parse(&args[1..])?;
+    match command.as_str() {
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        "example-spec" => {
+            print_example_spec();
+            Ok(())
+        }
+        "check" => cmd_check(&opts),
+        "worlds" => cmd_worlds(&opts),
+        "probability" => cmd_probability(&opts),
+        "reliability" => cmd_reliability(&opts),
+        "marginals" => cmd_marginals(&opts),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn print_help() {
+    println!(
+        "qrel — query reliability on unreliable databases \
+         (Grädel/Gurevich/Hirsch, PODS 1998)\n\n\
+         commands:\n\
+         \x20 check        --db spec.json\n\
+         \x20 worlds       --db spec.json [--limit N]\n\
+         \x20 probability  --db spec.json --query Q [--method exact|fptras|padding]\n\
+         \x20              [--eps E] [--delta D] [--seed S]\n\
+         \x20 reliability  --db spec.json --query Q [--free x,y]\n\
+         \x20              [--method exact|qf|approx|padding] [--eps E] [--delta D] [--seed S]\n\
+         \x20 marginals    --db spec.json --query Q [--free x,y]\n\
+         \x20 example-spec\n"
+    );
+}
+
+fn print_example_spec() {
+    let db = DatabaseBuilder::new()
+        .universe_names(["alice", "bob", "carol"])
+        .relation("Knows", 2)
+        .relation("Admin", 1)
+        .tuples("Knows", [vec![0, 1], vec![1, 2]])
+        .tuples("Admin", [vec![0]])
+        .build();
+    let mut ud = UnreliableDatabase::reliable(db);
+    ud.set_error(&Fact::new(0, vec![1, 2]), BigRational::from_ratio(1, 10))
+        .unwrap();
+    ud.set_error(&Fact::new(1, vec![2]), BigRational::from_ratio(1, 4))
+        .unwrap();
+    let spec = UnreliableDatabaseSpec::from_model(&ud);
+    println!("{}", serde_json::to_string_pretty(&spec).unwrap());
+}
+
+fn cmd_check(opts: &Options) -> Result<(), String> {
+    let ud = load_spec(opts.required("db")?)?;
+    println!("spec OK");
+    println!("universe size: {}", ud.size());
+    println!(
+        "relations: {}",
+        ud.observed()
+            .vocabulary()
+            .symbols()
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!("stored tuples: {}", ud.observed().tuple_count());
+    println!("atomic facts: {}", ud.indexer().total());
+    let u = ud.uncertain_facts().len();
+    println!("uncertain facts: {u}");
+    match ud.world_count() {
+        Some(w) => println!("possible worlds: {w}"),
+        None => println!("possible worlds: 2^{u} (beyond u64)"),
+    }
+    Ok(())
+}
+
+fn cmd_worlds(opts: &Options) -> Result<(), String> {
+    let ud = load_spec(opts.required("db")?)?;
+    let limit = opts.get_u64("limit", 16)? as usize;
+    let u = ud.uncertain_facts().len();
+    if u > 20 {
+        return Err(format!(
+            "{u} uncertain facts — enumeration would not fit; ≤ 20 supported"
+        ));
+    }
+    let mut worlds: Vec<_> = ud.worlds().collect();
+    worlds.sort_by(|a, b| b.1.cmp(&a.1));
+    println!(
+        "{} worlds (showing up to {limit}, most probable first):\n",
+        worlds.len()
+    );
+    for (i, (w, p)) in worlds.iter().take(limit).enumerate() {
+        println!("world #{i}: probability {p} (≈ {:.6})", p.to_f64());
+        println!("{w}");
+    }
+    Ok(())
+}
+
+fn parse_query(opts: &Options) -> Result<(Formula, Vec<String>), String> {
+    let src = opts.required("query")?;
+    let f = parse_formula(src).map_err(|e| e.to_string())?;
+    let free = match opts.get("free") {
+        Some(spec) => spec.split(',').map(|s| s.trim().to_string()).collect(),
+        None => f.free_vars(),
+    };
+    {
+        let mut sorted: Vec<String> = free.clone();
+        sorted.sort();
+        if sorted != f.free_vars() {
+            return Err(format!(
+                "--free {:?} does not match the query's free variables {:?}",
+                free,
+                f.free_vars()
+            ));
+        }
+    }
+    Ok((f, free))
+}
+
+fn cmd_probability(opts: &Options) -> Result<(), String> {
+    let ud = load_spec(opts.required("db")?)?;
+    let (f, free) = parse_query(opts)?;
+    if !free.is_empty() {
+        return Err("probability requires a Boolean query (no free variables)".into());
+    }
+    let method = opts.get("method").unwrap_or("exact");
+    if !matches!(method, "exact" | "fptras" | "padding") {
+        return Err(format!("unknown method {method:?}"));
+    }
+    let eps = opts.get_f64("eps", 0.05)?;
+    let delta = opts.get_f64("delta", 0.05)?;
+    let seed = opts.get_u64("seed", 0)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let q = FoQuery::new(f.clone());
+    let observed = q.eval_sentence(ud.observed()).map_err(|e| e.to_string())?;
+    println!("observed answer: {observed}");
+    match method {
+        "exact" => {
+            let p = exact_probability(&ud, &q).map_err(|e| e.to_string())?;
+            println!("Pr[𝔅 ⊨ ψ] = {p} (≈ {:.6})", p.to_f64());
+        }
+        "fptras" => {
+            let est = existential_probability_fptras(&ud, &f, eps, delta, Route::Direct, &mut rng)
+                .map_err(|e| e.to_string())?;
+            println!("Pr[𝔅 ⊨ ψ] ≈ {est:.6}   (FPTRAS, ε = {eps}, δ = {delta})");
+        }
+        "padding" => {
+            let est = PaddingEstimator::default_xi();
+            let rep = est
+                .estimate_probability(&ud, &q, eps, delta, &mut rng)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "Pr[𝔅 ⊨ ψ] ≈ {:.6}   (Thm 5.12 padding, {} samples)",
+                rep.estimate, rep.samples
+            );
+        }
+        other => return Err(format!("unknown method {other:?}")),
+    }
+    Ok(())
+}
+
+fn cmd_marginals(opts: &Options) -> Result<(), String> {
+    let ud = load_spec(opts.required("db")?)?;
+    let (f, free) = parse_query(opts)?;
+    let q = FoQuery::with_free_order(f, free);
+    let marginals = qrel::core::exact::answer_marginals(&ud, &q).map_err(|e| e.to_string())?;
+    let observed = q.answers(ud.observed()).map_err(|e| e.to_string())?;
+    println!("tuple marginals Pr[ā ∈ ψ^𝔅] (exact):");
+    for (t, m) in marginals {
+        if m.is_zero() {
+            continue;
+        }
+        let names: Vec<&str> = t
+            .iter()
+            .map(|&e| ud.observed().universe().name(e))
+            .collect();
+        let mark = if observed.contains(&t) {
+            "∈ ψ^𝔄"
+        } else {
+            "∉ ψ^𝔄"
+        };
+        println!("  ({}) {mark}: {m} (≈ {:.6})", names.join(", "), m.to_f64());
+    }
+    Ok(())
+}
+
+fn cmd_reliability(opts: &Options) -> Result<(), String> {
+    let ud = load_spec(opts.required("db")?)?;
+    let (f, free) = parse_query(opts)?;
+    let method = opts.get("method").unwrap_or("exact");
+    if !matches!(method, "exact" | "qf" | "approx" | "padding") {
+        return Err(format!("unknown method {method:?}"));
+    }
+    let eps = opts.get_f64("eps", 0.05)?;
+    let delta = opts.get_f64("delta", 0.05)?;
+    let seed = opts.get_u64("seed", 0)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    match method {
+        "exact" => {
+            let q = FoQuery::with_free_order(f, free);
+            let rep = exact_reliability(&ud, &q).map_err(|e| e.to_string())?;
+            println!(
+                "H_ψ = {} (≈ {:.6})",
+                rep.expected_error,
+                rep.expected_error.to_f64()
+            );
+            println!(
+                "R_ψ = {} (≈ {:.6})",
+                rep.reliability,
+                rep.reliability.to_f64()
+            );
+            println!("worlds enumerated: {}", rep.worlds);
+        }
+        "qf" => {
+            let rep = qf_reliability(&ud, &f, &free).map_err(|e| e.to_string())?;
+            println!(
+                "H_ψ = {} (≈ {:.6})",
+                rep.expected_error,
+                rep.expected_error.to_f64()
+            );
+            println!(
+                "R_ψ = {} (≈ {:.6})",
+                rep.reliability,
+                rep.reliability.to_f64()
+            );
+            println!("(quantifier-free fast path, Prop 3.1)");
+        }
+        "approx" => {
+            let rep = approximate_reliability(&ud, &f, &free, eps, delta, Route::Direct, &mut rng)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "R_ψ ≈ {:.6}   (Cor 5.5, ε = {eps}, δ = {delta})",
+                rep.reliability
+            );
+        }
+        "padding" => {
+            let q = FoQuery::with_free_order(f, free);
+            let est = PaddingEstimator::default_xi();
+            let rep = est
+                .estimate_reliability(&ud, &q, eps, delta, &mut rng)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "R_ψ ≈ {:.6}   (Thm 5.12 padding, {} samples)",
+                rep.estimate, rep.samples
+            );
+        }
+        other => return Err(format!("unknown method {other:?}")),
+    }
+    Ok(())
+}

@@ -1,0 +1,193 @@
+//! Integration tests for the `qrel` CLI binary.
+
+use std::process::Command;
+
+fn qrel(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_qrel"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn write_example_spec() -> tempfile_path::TempPath {
+    let (ok, spec, _) = qrel(&["example-spec"]);
+    assert!(ok);
+    tempfile_path::write(&spec)
+}
+
+/// Minimal temp-file helper (std only).
+mod tempfile_path {
+    use std::path::PathBuf;
+
+    pub struct TempPath(pub PathBuf);
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    impl TempPath {
+        pub fn as_str(&self) -> &str {
+            self.0.to_str().unwrap()
+        }
+    }
+
+    pub fn write(contents: &str) -> TempPath {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "qrel-cli-test-{}-{:x}.json",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::write(&p, contents).unwrap();
+        TempPath(p)
+    }
+}
+
+#[test]
+fn help_runs() {
+    let (ok, stdout, _) = qrel(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("reliability"));
+    // No args also prints help.
+    let (ok2, stdout2, _) = qrel(&[]);
+    assert!(ok2);
+    assert!(stdout2.contains("commands"));
+}
+
+#[test]
+fn example_spec_is_valid_json_and_checks() {
+    let spec = write_example_spec();
+    let (ok, stdout, _) = qrel(&["check", "--db", spec.as_str()]);
+    assert!(ok);
+    assert!(stdout.contains("spec OK"));
+    assert!(stdout.contains("uncertain facts: 2"));
+}
+
+#[test]
+fn exact_probability_and_reliability() {
+    let spec = write_example_spec();
+    let (ok, stdout, _) = qrel(&[
+        "probability",
+        "--db",
+        spec.as_str(),
+        "--query",
+        "exists x y. Knows(x, y)",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("Pr[𝔅 ⊨ ψ] = 1 "), "{stdout}");
+
+    let (ok, stdout, _) = qrel(&[
+        "reliability",
+        "--db",
+        spec.as_str(),
+        "--query",
+        "Knows(x, y)",
+        "--method",
+        "qf",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("R_ψ ="), "{stdout}");
+}
+
+#[test]
+fn estimators_run_with_seeds() {
+    let spec = write_example_spec();
+    for method in ["fptras", "padding"] {
+        let (ok, stdout, stderr) = qrel(&[
+            "probability",
+            "--db",
+            spec.as_str(),
+            "--query",
+            "exists x. Admin(x)",
+            "--method",
+            method,
+            "--eps",
+            "0.1",
+            "--delta",
+            "0.1",
+            "--seed",
+            "7",
+        ]);
+        assert!(ok, "method {method}: {stderr}");
+        assert!(stdout.contains("≈"), "method {method}: {stdout}");
+    }
+}
+
+#[test]
+fn worlds_listing() {
+    let spec = write_example_spec();
+    let (ok, stdout, _) = qrel(&["worlds", "--db", spec.as_str(), "--limit", "2"]);
+    assert!(ok);
+    assert!(stdout.contains("4 worlds"));
+    assert!(stdout.contains("world #0"));
+    assert!(!stdout.contains("world #2"), "limit respected");
+}
+
+#[test]
+fn error_paths() {
+    // Missing file.
+    let (ok, _, stderr) = qrel(&["check", "--db", "/nonexistent.json"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"));
+    // Unknown command.
+    let (ok, _, stderr) = qrel(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+    // Bad query.
+    let spec = write_example_spec();
+    let (ok, _, stderr) = qrel(&[
+        "probability",
+        "--db",
+        spec.as_str(),
+        "--query",
+        "exists x. (",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("error"));
+    // Free variables rejected for probability.
+    let (ok, _, stderr) = qrel(&["probability", "--db", spec.as_str(), "--query", "Admin(x)"]);
+    assert!(!ok);
+    assert!(stderr.contains("Boolean"));
+    // Bad --free spec.
+    let (ok, _, stderr) = qrel(&[
+        "reliability",
+        "--db",
+        spec.as_str(),
+        "--query",
+        "Admin(x)",
+        "--free",
+        "y",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("free"));
+}
+
+#[test]
+fn deterministic_with_same_seed() {
+    let spec = write_example_spec();
+    let run = || {
+        qrel(&[
+            "probability",
+            "--db",
+            spec.as_str(),
+            "--query",
+            "exists x. Admin(x)",
+            "--method",
+            "padding",
+            "--seed",
+            "42",
+        ])
+        .1
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,232 @@
+//! End-to-end integration tests spanning the whole workspace: every
+//! algorithmic path that computes the same quantity must agree.
+
+use qrel::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+fn r(n: i64, d: u64) -> BigRational {
+    BigRational::from_ratio(n, d)
+}
+
+/// A random unreliable database over a fixed schema, with a bounded
+/// number of uncertain facts so exact enumeration stays feasible.
+fn random_ud(rng: &mut StdRng, n: usize, max_uncertain: usize) -> UnreliableDatabase {
+    let mut edges = Vec::new();
+    for a in 0..n as u32 {
+        for b in 0..n as u32 {
+            if a != b && rng.gen_bool(0.4) {
+                edges.push(vec![a, b]);
+            }
+        }
+    }
+    let marks: Vec<Vec<u32>> = (0..n as u32)
+        .filter(|_| rng.gen_bool(0.5))
+        .map(|v| vec![v])
+        .collect();
+    let db = DatabaseBuilder::new()
+        .universe_size(n)
+        .relation("E", 2)
+        .relation("S", 1)
+        .tuples("E", edges)
+        .tuples("S", marks)
+        .build();
+    let mut ud = UnreliableDatabase::reliable(db);
+    let indexer = ud.indexer().clone();
+    let total = indexer.total();
+    let denominators = [2u64, 3, 4, 5, 8, 12];
+    for _ in 0..max_uncertain {
+        let fi = rng.gen_range(0..total);
+        let d = denominators[rng.gen_range(0..denominators.len())];
+        let num = rng.gen_range(1..d) as i64;
+        ud.set_error(&indexer.fact_at(fi), r(num, d)).unwrap();
+    }
+    ud
+}
+
+#[test]
+fn four_probability_paths_agree() {
+    // Pr[𝔅 ⊨ ψ] computed four ways:
+    //   1. exact world enumeration (Thm 4.2 engine)
+    //   2. exact Prob-DNF on the grounding (Thm 5.4 front half)
+    //   3. exact #DNF via the Thm 5.3 counter reduction
+    //   4. inclusion–exclusion on the grounding
+    let mut rng = StdRng::seed_from_u64(101);
+    let queries = [
+        "exists x y. E(x,y) & S(x)",
+        "exists x. S(x) & !E(x,x)",
+        "exists x y. E(x,y) & E(y,x)",
+    ];
+    for trial in 0..5 {
+        let ud = random_ud(&mut rng, 3, 4);
+        for src in queries {
+            let f = parse_formula(src).unwrap();
+            let q = FoQuery::new(f.clone());
+            let p1 = exact_probability(&ud, &q).unwrap();
+            let p2 = existential_probability_exact(&ud, &f).unwrap();
+            assert_eq!(p1, p2, "worlds vs grounding, trial {trial}, {src}");
+
+            let g = ground_existential(ud.observed(), &f, &HashMap::new(), 100_000).unwrap();
+            let probs: Vec<BigRational> = g.facts.iter().map(|ft| ud.nu(ft)).collect();
+            let red = ProbDnfReduction::new(&g.dnf, &probs).unwrap();
+            assert_eq!(p1, red.exact_probability(), "counter reduction, {src}");
+
+            if g.dnf.num_terms() <= 20 {
+                let p4 = qrel::count::dnf_probability_ie(&g.dnf, &probs);
+                assert_eq!(p1, p4, "inclusion-exclusion, {src}");
+            }
+        }
+    }
+}
+
+#[test]
+fn qf_fast_path_agrees_with_world_enumeration() {
+    let mut rng = StdRng::seed_from_u64(202);
+    let queries: [(&str, &[&str]); 4] = [
+        ("S(x) & !E(x,x)", &["x"]),
+        ("E(x,y) | S(y)", &["x", "y"]),
+        ("E(x,y) & x != y", &["x", "y"]),
+        ("S(x) -> E(x,x)", &["x"]),
+    ];
+    for trial in 0..5 {
+        let ud = random_ud(&mut rng, 3, 5);
+        for (src, free) in queries {
+            let f = parse_formula(src).unwrap();
+            let free: Vec<String> = free.iter().map(|s| s.to_string()).collect();
+            let fast = qf_reliability(&ud, &f, &free).unwrap();
+            let slow = exact_reliability(&ud, &FoQuery::with_free_order(f, free.clone())).unwrap();
+            assert_eq!(
+                fast.expected_error, slow.expected_error,
+                "trial {trial}, query {src}"
+            );
+            assert_eq!(fast.reliability, slow.reliability);
+        }
+    }
+}
+
+#[test]
+fn estimators_land_inside_their_envelopes() {
+    // One seeded run per estimator; tolerances are the requested ε plus
+    // generous slack so the test is deterministic and non-flaky.
+    let mut rng = StdRng::seed_from_u64(303);
+    let ud = random_ud(&mut rng, 3, 6);
+    let f = parse_formula("exists x y. E(x,y) & S(y)").unwrap();
+    let q = FoQuery::new(f.clone());
+    let exact = exact_probability(&ud, &q).unwrap().to_f64();
+
+    for route in [Route::Direct, Route::ViaCounting] {
+        let est = existential_probability_fptras(&ud, &f, 0.05, 0.02, route, &mut rng).unwrap();
+        assert!(
+            (est - exact).abs() <= 0.05 * exact + 0.03,
+            "{route:?}: {est} vs {exact}"
+        );
+    }
+
+    let padding = PaddingEstimator::default_xi();
+    let padded = padding
+        .estimate_probability(&ud, &q, 0.06, 0.05, &mut rng)
+        .unwrap();
+    assert!(
+        (padded.estimate - exact).abs() <= 0.06,
+        "padded {}",
+        padded.estimate
+    );
+
+    let direct = direct_probability(&ud, &q, 0.03, 0.02, &mut rng).unwrap();
+    assert!(
+        (direct.estimate - exact).abs() <= 0.03,
+        "direct {}",
+        direct.estimate
+    );
+}
+
+#[test]
+fn positive_only_model_preserves_all_pipelines() {
+    // de Rougemont's restricted model: positive facts only. All engines
+    // must agree exactly as in the full model.
+    let db = DatabaseBuilder::new()
+        .universe_size(3)
+        .relation("E", 2)
+        .relation("S", 1)
+        .tuples("E", [vec![0, 1], vec![1, 2], vec![2, 0]])
+        .tuples("S", [vec![0], vec![1]])
+        .build();
+    let mut ud = UnreliableDatabase::reliable(db)
+        .with_model(ErrorModel::PositiveOnly)
+        .unwrap();
+    ud.set_error(&Fact::new(0, vec![0, 1]), r(1, 3)).unwrap();
+    ud.set_error(&Fact::new(1, vec![1]), r(1, 4)).unwrap();
+
+    let f = parse_formula("exists x y. E(x,y) & S(y)").unwrap();
+    let q = FoQuery::new(f.clone());
+    let p1 = exact_probability(&ud, &q).unwrap();
+    let p2 = existential_probability_exact(&ud, &f).unwrap();
+    assert_eq!(p1, p2);
+
+    let qf = parse_formula("E(x,y) & S(y)").unwrap();
+    let fast = qf_reliability(&ud, &qf, &["x".to_string(), "y".to_string()]).unwrap();
+    let slow = exact_reliability(
+        &ud,
+        &FoQuery::with_free_order(qf, vec!["x".into(), "y".into()]),
+    )
+    .unwrap();
+    assert_eq!(fast.expected_error, slow.expected_error);
+}
+
+#[test]
+fn counting_certificate_and_probability_sum() {
+    let mut rng = StdRng::seed_from_u64(404);
+    for _ in 0..3 {
+        let ud = random_ud(&mut rng, 3, 5);
+        // Σ over worlds of ν = 1 exactly.
+        let total = ud
+            .worlds()
+            .fold(BigRational::zero(), |acc, (_, p)| acc.add_ref(&p));
+        assert_eq!(total, BigRational::one());
+        // ψ and ¬ψ certificates partition g.
+        let f = parse_formula("exists x. S(x)").unwrap();
+        let q = FoQuery::new(f.clone());
+        let not_q = FoQuery::new(Formula::not(f));
+        let c1 = counting_certificate(&ud, &q).unwrap();
+        let c2 = counting_certificate(&ud, &not_q).unwrap();
+        assert_eq!(c1.g, c2.g);
+        assert_eq!(c1.accepting_paths.add_ref(&c2.accepting_paths), c1.g);
+    }
+}
+
+#[test]
+fn datalog_and_fo_queries_agree_where_expressible() {
+    // Reachability in ≤ 2 hops is FO-expressible; the Datalog engine and
+    // the FO engine must induce identical reliability on a DAG where
+    // longer paths do not exist.
+    let db = DatabaseBuilder::new()
+        .universe_size(3)
+        .relation("E", 2)
+        .tuples("E", [vec![0, 1], vec![1, 2]])
+        .build();
+    let mut ud = UnreliableDatabase::reliable(db);
+    ud.set_error(&Fact::new(0, vec![0, 1]), r(1, 3)).unwrap();
+    ud.set_error(&Fact::new(0, vec![1, 2]), r(1, 5)).unwrap();
+
+    let datalog = DatalogQuery::parse("T(x,y) :- E(x,y). T(x,z) :- T(x,y), E(y,z).", "T").unwrap();
+    let fo = FoQuery::with_free_order(
+        parse_formula("E(x,y) | exists z. E(x,z) & E(z,y)").unwrap(),
+        vec!["x".into(), "y".into()],
+    );
+    let r1 = exact_reliability(&ud, &datalog).unwrap();
+    let r2 = exact_reliability(&ud, &fo).unwrap();
+    assert_eq!(r1.expected_error, r2.expected_error);
+}
+
+#[test]
+fn absolute_reliability_consistent_with_exact() {
+    let mut rng = StdRng::seed_from_u64(505);
+    for _ in 0..5 {
+        let ud = random_ud(&mut rng, 3, 4);
+        let q = FoQuery::new(parse_formula("exists x y. E(x,y) & S(x)").unwrap());
+        let ar = is_absolutely_reliable(&ud, &q).unwrap();
+        let rep = exact_reliability(&ud, &q).unwrap();
+        assert_eq!(ar, rep.reliability == BigRational::one());
+    }
+}

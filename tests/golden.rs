@@ -1,0 +1,150 @@
+//! Golden regression tests: one fixed scenario, exact rational outputs
+//! pinned for every engine. Any semantic drift in the model, the
+//! evaluators, the grounding, or the arithmetic shows up here as a
+//! changed fraction, not a flaky float.
+
+use qrel::prelude::*;
+
+fn r(n: i64, d: u64) -> BigRational {
+    BigRational::from_ratio(n, d)
+}
+
+/// The fixed scenario: a 4-element structure with mixed-denominator
+/// errors on both relations.
+fn scenario() -> UnreliableDatabase {
+    let db = DatabaseBuilder::new()
+        .universe_names(["a", "b", "c", "d"])
+        .relation("E", 2)
+        .relation("S", 1)
+        .tuples("E", [vec![0, 1], vec![1, 2], vec![2, 3]])
+        .tuples("S", [vec![0], vec![2]])
+        .build();
+    let mut ud = UnreliableDatabase::reliable(db);
+    ud.set_error(&Fact::new(0, vec![0, 1]), r(1, 4)).unwrap();
+    ud.set_error(&Fact::new(0, vec![1, 2]), r(1, 3)).unwrap();
+    ud.set_error(&Fact::new(0, vec![3, 0]), r(1, 5)).unwrap();
+    ud.set_error(&Fact::new(1, vec![0]), r(1, 6)).unwrap();
+    ud.set_error(&Fact::new(1, vec![3]), r(2, 7)).unwrap();
+    ud
+}
+
+#[test]
+fn golden_world_space() {
+    let ud = scenario();
+    assert_eq!(ud.uncertain_facts().len(), 5);
+    assert_eq!(ud.world_count(), Some(32));
+    // The observed world's probability: (3/4)(2/3)(4/5)(5/6)(5/7) = 5/21.
+    assert_eq!(ud.world_probability(ud.observed()), r(5, 21));
+}
+
+#[test]
+fn golden_boolean_probability() {
+    let ud = scenario();
+    // ψ = ∃x∃y (E(x,y) ∧ S(x) ∧ S(y)). Candidate support pairs with
+    // nonzero probability: (2,3) needs E23·S2·S3 = 1·1·S3, and (3,0)
+    // needs E30·S3·S0 — both contain S3, and (2,3)'s other factors are
+    // certain, so ψ ≡ S(3) and Pr[ψ] = ν(S3) = 2/7 exactly.
+    let q = FoQuery::parse("exists x y. E(x,y) & S(x) & S(y)").unwrap();
+    let p = exact_probability(&ud, &q).unwrap();
+    assert_eq!(p, r(2, 7));
+    // Grounding route must give the same fraction.
+    let f = parse_formula("exists x y. E(x,y) & S(x) & S(y)").unwrap();
+    assert_eq!(existential_probability_exact(&ud, &f).unwrap(), r(2, 7));
+}
+
+#[test]
+fn golden_reliability_report() {
+    let ud = scenario();
+    let q = FoQuery::parse("exists x y. E(x,y) & S(x) & S(y)").unwrap();
+    let rep = exact_reliability(&ud, &q).unwrap();
+    // Observed answer is false (S(3) is observed off), so H = Pr[ψ] = 2/7.
+    assert_eq!(rep.expected_error, r(2, 7));
+    assert_eq!(rep.reliability, r(5, 7));
+    assert_eq!(rep.worlds, 32);
+}
+
+#[test]
+fn golden_qf_reliability() {
+    let ud = scenario();
+    let f = parse_formula("E(x,y) & S(x)").unwrap();
+    let rep = qf_reliability(&ud, &f, &["x".to_string(), "y".to_string()]).unwrap();
+    // Per-tuple exact expected errors, summed:
+    //   (a,b): observed true; error unless E(a,b) ∧ S(a): 1 − (3/4)(5/6) = 3/8
+    //   (b,c): S(b) is certain-false ⇒ conjunction certainly false,
+    //          observed false: 0
+    //   (c,d): E(c,d), S(c) both certain: 0
+    //   (d,a): observed false; error iff E(d,a) ∧ S(d): (1/5)(2/7) = 2/35
+    //   every other tuple: E pinned false ⇒ certainly false, observed
+    //   false: 0.
+    let expected = r(3, 8).add_ref(&r(2, 35)); // = 121/280
+    assert_eq!(expected, r(121, 280));
+    assert_eq!(rep.expected_error, expected);
+    assert_eq!(rep.reliability, expected.div_ref(&r(16, 1)).one_minus());
+}
+
+#[test]
+fn golden_counting_certificate() {
+    let ud = scenario();
+    let q = FoQuery::parse("exists x. S(x)").unwrap();
+    let cert = qrel::core::exact::counting_certificate(&ud, &q).unwrap();
+    // g = product of ν-denominators = 4·3·5·6·7 = 2520.
+    assert_eq!(cert.g, BigUint::from_u64(2520));
+    // Pr[∃x S(x)] = 1 − Pr[no S]: S(a) off w.p. 1/6, S(c) certain on ⇒ Pr = 1.
+    assert_eq!(cert.accepting_paths, BigUint::from_u64(2520));
+}
+
+#[test]
+fn golden_answer_marginals() {
+    let ud = scenario();
+    let q = FoQuery::with_free_order(parse_formula("exists y. E(x,y)").unwrap(), vec!["x".into()]);
+    let marginals = qrel::core::exact::answer_marginals(&ud, &q).unwrap();
+    let lookup = |i: u32| {
+        marginals
+            .iter()
+            .find(|(t, _)| t == &vec![i])
+            .map(|(_, m)| m.clone())
+            .unwrap()
+    };
+    assert_eq!(lookup(0), r(3, 4)); // only E(a,b), ν = 3/4
+    assert_eq!(lookup(1), r(2, 3)); // only E(b,c), ν = 2/3
+    assert_eq!(lookup(2), BigRational::one()); // E(c,d) certain
+    assert_eq!(lookup(3), r(1, 5)); // only E(d,a), ν = 1/5
+}
+
+#[test]
+fn golden_datalog_reachability() {
+    let ud = scenario();
+    let q = DatalogQuery::parse("T(y) :- E(0,y). T(z) :- T(y), E(y,z).", "T").unwrap();
+    // Pr[d reachable from a] = ν(E01)·ν(E12)·ν(E23) = (3/4)(2/3)(1) = 1/2.
+    let reach_d = FnQuery::boolean(move |db| {
+        DatalogQuery::parse("T(y) :- E(0,y). T(z) :- T(y), E(y,z).", "T")
+            .unwrap()
+            .eval(db, &[3])
+            .unwrap()
+    });
+    assert_eq!(exact_probability(&ud, &reach_d).unwrap(), r(1, 2));
+    let _ = q;
+}
+
+#[test]
+fn golden_absolute_reliability() {
+    let ud = scenario();
+    // S(c) is certain; ∃x S(x) can never flip.
+    let q = FoQuery::parse("exists x. S(x)").unwrap();
+    assert!(is_absolutely_reliable(&ud, &q).unwrap());
+    // ∃xy (E(x,y) ∧ S(x)): the pair (c,d) is supported by two *certain*
+    // facts (E(c,d) and S(c)), so the sentence holds in every world —
+    // absolutely reliable despite five uncertain facts elsewhere.
+    let q2 = FoQuery::parse("exists x y. E(x,y) & S(x)").unwrap();
+    assert!(is_absolutely_reliable(&ud, &q2).unwrap());
+    assert!(exact_reliability(&ud, &q2)
+        .unwrap()
+        .expected_error
+        .is_zero());
+    // The S(y)-variant hinges on the uncertain S(d): not absolutely
+    // reliable, and any witness world must turn S(d) on.
+    let q3 = FoQuery::parse("exists x y. E(x,y) & S(x) & S(y)").unwrap();
+    assert!(!is_absolutely_reliable(&ud, &q3).unwrap());
+    let w = find_unreliability_witness(&ud, &q3).unwrap().unwrap();
+    assert!(w.holds(&Fact::new(1, vec![3])), "witness must turn S(d) on");
+}

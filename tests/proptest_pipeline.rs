@@ -1,0 +1,138 @@
+//! Property-based tests over the full pipeline: random databases, random
+//! error assignments, random small formulas — the cross-engine
+//! agreements must hold on *every* generated instance.
+
+use proptest::prelude::*;
+use qrel::prelude::*;
+use std::collections::HashMap;
+
+fn r(n: i64, d: u64) -> BigRational {
+    BigRational::from_ratio(n, d)
+}
+
+/// Strategy: a database over {E/2, S/1} with n ∈ 2..4 and arbitrary
+/// tuple content, plus error assignments on up to 5 facts.
+fn ud_strategy() -> impl Strategy<Value = UnreliableDatabase> {
+    (
+        2usize..4,
+        proptest::collection::vec(any::<bool>(), 16), // E adjacency (row-major, padded)
+        proptest::collection::vec(any::<bool>(), 4),  // S membership
+        proptest::collection::vec((0usize..20, 1u64..8, 1u64..8), 0..6),
+    )
+        .prop_map(|(n, adj, marks, errors)| {
+            let mut edges = Vec::new();
+            for a in 0..n {
+                for b in 0..n {
+                    if adj[a * n + b] {
+                        edges.push(vec![a as u32, b as u32]);
+                    }
+                }
+            }
+            let s: Vec<Vec<u32>> = (0..n)
+                .filter(|&i| marks[i])
+                .map(|i| vec![i as u32])
+                .collect();
+            let db = DatabaseBuilder::new()
+                .universe_size(n)
+                .relation("E", 2)
+                .relation("S", 1)
+                .tuples("E", edges)
+                .tuples("S", s)
+                .build();
+            let mut ud = UnreliableDatabase::reliable(db);
+            let total = ud.indexer().total();
+            let indexer = ud.indexer().clone();
+            for (fi, num, den) in errors {
+                let p = if num >= den {
+                    r(1, 2)
+                } else {
+                    r(num as i64, den)
+                };
+                ud.set_error(&indexer.fact_at(fi % total), p).unwrap();
+            }
+            ud
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn world_probabilities_form_a_distribution(ud in ud_strategy()) {
+        let total = ud
+            .worlds()
+            .fold(BigRational::zero(), |acc, (_, p)| acc.add_ref(&p));
+        prop_assert_eq!(total, BigRational::one());
+    }
+
+    #[test]
+    fn grounding_equals_world_enumeration(ud in ud_strategy()) {
+        for src in ["exists x y. E(x,y) & S(y)", "exists x. S(x) & !E(x,x)"] {
+            let f = parse_formula(src).unwrap();
+            let via_worlds =
+                exact_probability(&ud, &FoQuery::new(f.clone())).unwrap();
+            let via_ground = existential_probability_exact(&ud, &f).unwrap();
+            prop_assert_eq!(via_worlds, via_ground, "query {}", src);
+        }
+    }
+
+    #[test]
+    fn qf_fast_path_equals_worlds(ud in ud_strategy()) {
+        let f = parse_formula("E(x,y) | !S(x)").unwrap();
+        let free = vec!["x".to_string(), "y".to_string()];
+        let fast = qf_reliability(&ud, &f, &free).unwrap();
+        let slow = exact_reliability(
+            &ud,
+            &FoQuery::with_free_order(f, free),
+        )
+        .unwrap();
+        prop_assert_eq!(fast.expected_error, slow.expected_error);
+    }
+
+    #[test]
+    fn counter_reduction_equals_shannon(ud in ud_strategy()) {
+        let f = parse_formula("exists x y. E(x,y) & S(x)").unwrap();
+        let g = ground_existential(ud.observed(), &f, &HashMap::new(), 100_000).unwrap();
+        let probs: Vec<BigRational> = g.facts.iter().map(|ft| ud.nu(ft)).collect();
+        let direct = dnf_probability_shannon(&g.dnf, &probs);
+        let red = ProbDnfReduction::new(&g.dnf, &probs).unwrap();
+        prop_assert_eq!(red.exact_probability(), direct);
+    }
+
+    #[test]
+    fn reliability_bounds_hold(ud in ud_strategy()) {
+        // 0 ≤ H, R ≤ 1 for Boolean; R = 1 exactly iff AR_ψ.
+        let q = FoQuery::new(parse_formula("exists x y. E(x,y) & S(y)").unwrap());
+        let rep = exact_reliability(&ud, &q).unwrap();
+        prop_assert!(rep.expected_error >= BigRational::zero());
+        prop_assert!(rep.expected_error <= BigRational::one());
+        prop_assert!(rep.reliability >= BigRational::zero());
+        prop_assert!(rep.reliability <= BigRational::one());
+        let ar = is_absolutely_reliable(&ud, &q).unwrap();
+        prop_assert_eq!(ar, rep.reliability == BigRational::one());
+    }
+
+    #[test]
+    fn certificate_integrality(ud in ud_strategy()) {
+        let q = FoQuery::new(parse_formula("exists x. S(x)").unwrap());
+        // counting_certificate asserts integrality internally.
+        let cert = counting_certificate(&ud, &q).unwrap();
+        prop_assert!(cert.accepting_paths <= cert.g);
+    }
+
+    #[test]
+    fn padded_identity_exact(ud in ud_strategy(), xn in 1i64..4) {
+        // ν(ψ') = ξ² + (ξ−ξ²)ν(ψ) as exact rationals, ξ = xn/8 ∈ (0, 1/2).
+        let xi = r(xn, 8);
+        let est = PaddingEstimator::new(xi.clone());
+        let q = FoQuery::new(parse_formula("exists x y. E(x,y)").unwrap());
+        let nu = exact_probability(&ud, &q).unwrap();
+        let padded = est.padded_expectation(&nu);
+        let xi2 = xi.mul_ref(&xi);
+        prop_assert!(padded >= xi2 && padded <= xi);
+        prop_assert_eq!(
+            padded,
+            xi2.add_ref(&xi.sub_ref(&xi2).mul_ref(&nu))
+        );
+    }
+}
