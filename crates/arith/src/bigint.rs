@@ -37,9 +37,15 @@ impl From<RawBigInt> for BigInt {
         if raw.mag.is_zero() {
             BigInt::zero()
         } else if raw.sign == Sign::Zero {
-            BigInt { sign: Sign::Positive, mag: raw.mag }
+            BigInt {
+                sign: Sign::Positive,
+                mag: raw.mag,
+            }
         } else {
-            BigInt { sign: raw.sign, mag: raw.mag }
+            BigInt {
+                sign: raw.sign,
+                mag: raw.mag,
+            }
         }
     }
 }

@@ -209,7 +209,7 @@ impl BigUint {
         Some(BigUint { limbs: out })
     }
 
-    /// `self * other` — schoolbook below [`KARATSUBA_THRESHOLD`] limbs,
+    /// `self * other` — schoolbook below `KARATSUBA_THRESHOLD` limbs,
     /// Karatsuba above it.
     pub fn mul_ref(&self, other: &BigUint) -> BigUint {
         if self.is_zero() || other.is_zero() {

@@ -1,0 +1,463 @@
+//! Cooperative work budgets: wall-clock deadlines, per-resource caps,
+//! and external cancellation.
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How often (in `charge`/`checkpoint` calls) the wall clock is
+/// consulted. Counter and cancellation checks happen on every call;
+/// `Instant::now` is comparatively expensive, so it is throttled. A
+/// world evaluation or a Karp–Luby sample costs far more than a charge,
+/// so the deadline is still observed within a few microseconds.
+const CLOCK_CHECK_PERIOD: u64 = 64;
+
+/// A countable resource tracked by a [`Budget`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// Possible worlds enumerated (exact reliability, Theorem 4.2, and
+    /// the per-tuple assignment enumeration of the quantifier-free fast
+    /// path).
+    Worlds,
+    /// Monte-Carlo samples drawn (Karp–Luby, naive estimators, and the
+    /// padding estimator of Theorem 5.12).
+    Samples,
+    /// Ground DNF terms produced while grounding an existential query
+    /// (Theorem 5.4 reduction).
+    Terms,
+    /// Wall-clock time.
+    WallClock,
+    /// External cancellation via a [`CancelToken`].
+    Cancelled,
+}
+
+impl Resource {
+    fn noun(self) -> &'static str {
+        match self {
+            Resource::Worlds => "worlds",
+            Resource::Samples => "samples",
+            Resource::Terms => "DNF terms",
+            Resource::WallClock => "wall-clock time",
+            Resource::Cancelled => "cancellation",
+        }
+    }
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.noun())
+    }
+}
+
+/// Report of a tripped budget: which resource ran out, how much was
+/// spent, and what the limit was.
+///
+/// For [`Resource::WallClock`] the quantities are milliseconds; for the
+/// work counters they are counts. `limit` is `None` for
+/// [`Resource::Cancelled`], which has no numeric bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exhausted {
+    pub resource: Resource,
+    pub spent: u64,
+    pub limit: Option<u64>,
+}
+
+impl fmt::Display for Exhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.resource {
+            Resource::WallClock => write!(
+                f,
+                "deadline of {}ms exceeded after {}ms",
+                self.limit.unwrap_or(0),
+                self.spent
+            ),
+            Resource::Cancelled => write!(f, "cancelled by caller"),
+            r => write!(
+                f,
+                "budget of {} {} exhausted after {}",
+                self.limit.unwrap_or(0),
+                r,
+                self.spent
+            ),
+        }
+    }
+}
+
+/// Cloneable, thread-safe cancellation flag.
+///
+/// Clones share the flag: cancelling any clone cancels them all. A
+/// [`Budget`] observes its token on every `charge`/`checkpoint`, so a
+/// supervisor thread can stop a long solve by calling
+/// [`CancelToken::cancel`].
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent; cannot be undone.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// A cooperative work budget.
+///
+/// A `Budget` combines an optional wall-clock deadline, optional caps on
+/// each [`Resource`] counter, and a [`CancelToken`]. Hot loops call
+/// [`Budget::charge`] as they do work (or [`Budget::checkpoint`] where
+/// no counter applies); both return `Err(Exhausted)` once any limit is
+/// crossed, and the loop unwinds with whatever partial result it has.
+///
+/// Budgets are deliberately *not* `Sync`: counters are plain [`Cell`]s
+/// so that charging costs a handful of instructions. Cross-thread
+/// control goes through the (thread-safe) token instead.
+///
+/// ```
+/// use qrel_budget::{Budget, Resource};
+///
+/// let budget = Budget::unlimited().with_max_worlds(2);
+/// assert!(budget.charge(Resource::Worlds, 1).is_ok());
+/// assert!(budget.charge(Resource::Worlds, 1).is_ok());
+/// assert!(budget.charge(Resource::Worlds, 1).is_err());
+/// // The tripped charge is still recorded — `spent` counts attempts,
+/// // which keeps parent/child accounting exact when a rung's spend is
+/// // settled back into an enclosing budget.
+/// assert_eq!(budget.spent(Resource::Worlds), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Budget {
+    started: Instant,
+    deadline: Option<Instant>,
+    allowance: Option<Duration>,
+    max_worlds: Option<u64>,
+    max_samples: Option<u64>,
+    max_terms: Option<u64>,
+    cancel: CancelToken,
+    worlds: Cell<u64>,
+    samples: Cell<u64>,
+    terms: Cell<u64>,
+    ticks: Cell<u64>,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+impl Budget {
+    /// A budget with no limits at all; `charge` never fails (unless the
+    /// token is later cancelled).
+    pub fn unlimited() -> Self {
+        Budget {
+            started: Instant::now(),
+            deadline: None,
+            allowance: None,
+            max_worlds: None,
+            max_samples: None,
+            max_terms: None,
+            cancel: CancelToken::new(),
+            worlds: Cell::new(0),
+            samples: Cell::new(0),
+            terms: Cell::new(0),
+            ticks: Cell::new(0),
+        }
+    }
+
+    /// Set a wall-clock deadline of `allowance` from *now*.
+    pub fn with_deadline(mut self, allowance: Duration) -> Self {
+        let now = Instant::now();
+        self.deadline = Some(now + allowance);
+        self.allowance = Some(allowance);
+        self
+    }
+
+    pub fn with_max_worlds(mut self, n: u64) -> Self {
+        self.max_worlds = Some(n);
+        self
+    }
+
+    pub fn with_max_samples(mut self, n: u64) -> Self {
+        self.max_samples = Some(n);
+        self
+    }
+
+    pub fn with_max_terms(mut self, n: u64) -> Self {
+        self.max_terms = Some(n);
+        self
+    }
+
+    /// Attach an externally held cancellation token.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// A clone of this budget's cancellation token, for handing to a
+    /// supervisor.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Charge `n` units of `resource` against the budget, then check
+    /// every limit. Returns `Err` describing the *first* exhausted
+    /// resource (counters before clock before cancellation).
+    pub fn charge(&self, resource: Resource, n: u64) -> Result<(), Exhausted> {
+        let (cell, limit) = match resource {
+            Resource::Worlds => (&self.worlds, self.max_worlds),
+            Resource::Samples => (&self.samples, self.max_samples),
+            Resource::Terms => (&self.terms, self.max_terms),
+            // WallClock/Cancelled are not chargeable counters; treat a
+            // charge against them as a bare checkpoint.
+            Resource::WallClock | Resource::Cancelled => return self.checkpoint(),
+        };
+        let spent = cell.get().saturating_add(n);
+        cell.set(spent);
+        if let Some(limit) = limit {
+            if spent > limit {
+                return Err(Exhausted {
+                    resource,
+                    spent,
+                    limit: Some(limit),
+                });
+            }
+        }
+        self.checkpoint()
+    }
+
+    /// Check the deadline and cancellation flag without charging any
+    /// counter. Call this from loops whose work is not captured by a
+    /// [`Resource`] (e.g. grounding expansion).
+    pub fn checkpoint(&self) -> Result<(), Exhausted> {
+        if self.cancel.is_cancelled() {
+            return Err(Exhausted {
+                resource: Resource::Cancelled,
+                spent: self.elapsed().as_millis() as u64,
+                limit: None,
+            });
+        }
+        if let Some(deadline) = self.deadline {
+            let ticks = self.ticks.get().wrapping_add(1);
+            self.ticks.set(ticks);
+            if ticks.is_multiple_of(CLOCK_CHECK_PERIOD) || ticks == 1 {
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(Exhausted {
+                        resource: Resource::WallClock,
+                        spent: (now - self.started).as_millis() as u64,
+                        limit: self.allowance.map(|d| d.as_millis() as u64),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Units of `resource` spent so far ([`Resource::WallClock`] in
+    /// milliseconds; [`Resource::Cancelled`] is always 0).
+    pub fn spent(&self, resource: Resource) -> u64 {
+        match resource {
+            Resource::Worlds => self.worlds.get(),
+            Resource::Samples => self.samples.get(),
+            Resource::Terms => self.terms.get(),
+            Resource::WallClock => self.elapsed().as_millis() as u64,
+            Resource::Cancelled => 0,
+        }
+    }
+
+    /// Units of `resource` left before the budget trips, or `None` for
+    /// "unlimited".
+    pub fn remaining(&self, resource: Resource) -> Option<u64> {
+        let (spent, limit) = match resource {
+            Resource::Worlds => (self.worlds.get(), self.max_worlds?),
+            Resource::Samples => (self.samples.get(), self.max_samples?),
+            Resource::Terms => (self.terms.get(), self.max_terms?),
+            Resource::WallClock => {
+                let deadline = self.deadline?;
+                return Some(
+                    deadline
+                        .saturating_duration_since(Instant::now())
+                        .as_millis() as u64,
+                );
+            }
+            Resource::Cancelled => return None,
+        };
+        Some(limit.saturating_sub(spent))
+    }
+
+    /// Wall-clock time since the budget was created.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// The total wall-clock allowance, if a deadline was set.
+    pub fn allowance(&self) -> Option<Duration> {
+        self.allowance
+    }
+
+    /// Time left until the deadline (zero if already past), or `None`
+    /// if no deadline was set.
+    pub fn time_left(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// True if any limit has already been crossed (without charging).
+    pub fn is_exhausted(&self) -> bool {
+        self.probe().is_err()
+    }
+
+    /// Like [`Budget::checkpoint`] but never throttled: always consults
+    /// the clock and all counters. Used at phase boundaries (e.g.
+    /// between ladder rungs) where accuracy matters more than speed.
+    pub fn probe(&self) -> Result<(), Exhausted> {
+        if self.cancel.is_cancelled() {
+            return Err(Exhausted {
+                resource: Resource::Cancelled,
+                spent: self.elapsed().as_millis() as u64,
+                limit: None,
+            });
+        }
+        for (resource, spent, limit) in [
+            (Resource::Worlds, self.worlds.get(), self.max_worlds),
+            (Resource::Samples, self.samples.get(), self.max_samples),
+            (Resource::Terms, self.terms.get(), self.max_terms),
+        ] {
+            if let Some(limit) = limit {
+                if spent > limit {
+                    return Err(Exhausted {
+                        resource,
+                        spent,
+                        limit: Some(limit),
+                    });
+                }
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(Exhausted {
+                    resource: Resource::WallClock,
+                    spent: (now - self.started).as_millis() as u64,
+                    limit: self.allowance.map(|d| d.as_millis() as u64),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let b = Budget::unlimited();
+        for _ in 0..10_000 {
+            b.charge(Resource::Worlds, 1).unwrap();
+            b.charge(Resource::Samples, 3).unwrap();
+            b.checkpoint().unwrap();
+        }
+        assert_eq!(b.spent(Resource::Worlds), 10_000);
+        assert_eq!(b.spent(Resource::Samples), 30_000);
+        assert_eq!(b.remaining(Resource::Worlds), None);
+        assert!(!b.is_exhausted());
+    }
+
+    #[test]
+    fn world_cap_trips_at_limit() {
+        let b = Budget::unlimited().with_max_worlds(5);
+        for _ in 0..5 {
+            b.charge(Resource::Worlds, 1).unwrap();
+        }
+        let err = b.charge(Resource::Worlds, 1).unwrap_err();
+        assert_eq!(err.resource, Resource::Worlds);
+        assert_eq!(err.spent, 6);
+        assert_eq!(err.limit, Some(5));
+        // Other resources are unaffected by the worlds cap.
+        assert_eq!(b.remaining(Resource::Samples), None);
+    }
+
+    #[test]
+    fn bulk_charge_saturates_and_trips() {
+        let b = Budget::unlimited().with_max_samples(100);
+        b.charge(Resource::Samples, 90).unwrap();
+        assert_eq!(b.remaining(Resource::Samples), Some(10));
+        let err = b.charge(Resource::Samples, u64::MAX).unwrap_err();
+        assert_eq!(err.resource, Resource::Samples);
+        assert_eq!(err.spent, u64::MAX);
+    }
+
+    #[test]
+    fn deadline_trips() {
+        let b = Budget::unlimited().with_deadline(Duration::from_millis(10));
+        thread::sleep(Duration::from_millis(25));
+        // Many quick checkpoints so the throttled clock check fires.
+        let mut tripped = None;
+        for _ in 0..(CLOCK_CHECK_PERIOD * 2) {
+            if let Err(e) = b.checkpoint() {
+                tripped = Some(e);
+                break;
+            }
+        }
+        let e = tripped.expect("deadline should have tripped");
+        assert_eq!(e.resource, Resource::WallClock);
+        assert!(e.spent >= 10);
+        assert_eq!(e.limit, Some(10));
+        assert!(b.is_exhausted());
+    }
+
+    #[test]
+    fn cancel_token_trips_immediately() {
+        let b = Budget::unlimited();
+        let token = b.cancel_token();
+        b.checkpoint().unwrap();
+        token.cancel();
+        let err = b.checkpoint().unwrap_err();
+        assert_eq!(err.resource, Resource::Cancelled);
+        assert_eq!(format!("{err}"), "cancelled by caller");
+    }
+
+    #[test]
+    fn probe_reports_counter_overrun() {
+        let b = Budget::unlimited().with_max_terms(3);
+        // Charges past the limit report the overrun...
+        assert!(b.charge(Resource::Terms, 4).is_err());
+        // ...and probe keeps reporting it.
+        let err = b.probe().unwrap_err();
+        assert_eq!(err.resource, Resource::Terms);
+        assert_eq!(format!("{err}"), "budget of 3 DNF terms exhausted after 4");
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = Exhausted {
+            resource: Resource::WallClock,
+            spent: 204,
+            limit: Some(200),
+        };
+        assert_eq!(format!("{e}"), "deadline of 200ms exceeded after 204ms");
+        let e = Exhausted {
+            resource: Resource::Worlds,
+            spent: 16385,
+            limit: Some(16384),
+        };
+        assert_eq!(
+            format!("{e}"),
+            "budget of 16384 worlds exhausted after 16385"
+        );
+    }
+}

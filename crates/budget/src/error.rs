@@ -1,0 +1,90 @@
+//! The structured error taxonomy shared across the workspace.
+
+use crate::budget::Exhausted;
+use std::fmt;
+
+/// Workspace-wide error type for solver entry points and the CLI.
+///
+/// Replaces the stringly `Result<_, String>` plumbing so callers can
+/// route on the *kind* of failure: user errors (`Parse`, `Spec`,
+/// `Unsupported`) are terminal, `BudgetExhausted` invites retrying with
+/// a larger budget or a cheaper method, and `Internal` marks a bug
+/// (e.g. a panic caught at a ladder rung) that should never be
+/// swallowed silently.
+///
+/// Conversions from the concrete error types of the solver crates
+/// (`EvalError`, `GroundError`, `SpecError`, ...) live next to those
+/// types; this crate stays dependency-free at the bottom of the
+/// workspace, so the variants carry rendered messages rather than the
+/// source enums.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QrelError {
+    /// The query text could not be parsed.
+    Parse(String),
+    /// The database spec is malformed (unknown relation, bad
+    /// probability, arity mismatch, ...).
+    Spec(String),
+    /// Evaluating a formula against a world failed (free variable,
+    /// arity mismatch, second-order construct in an FO evaluator, ...).
+    Eval(String),
+    /// The requested method cannot handle this query (e.g. the FPTRAS
+    /// asked to run on a universal sentence).
+    Unsupported(String),
+    /// A cooperative budget tripped before any answer — even a degraded
+    /// one — was available.
+    BudgetExhausted(Exhausted),
+    /// Every rung of the degradation ladder failed; the message records
+    /// the per-rung causes.
+    Degraded(String),
+    /// A solver panicked or broke an internal invariant.
+    Internal(String),
+}
+
+impl fmt::Display for QrelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QrelError::Parse(m) => write!(f, "parse error: {m}"),
+            QrelError::Spec(m) => write!(f, "invalid spec: {m}"),
+            QrelError::Eval(m) => write!(f, "evaluation error: {m}"),
+            QrelError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            QrelError::BudgetExhausted(e) => write!(f, "budget exhausted: {e}"),
+            QrelError::Degraded(m) => write!(f, "all methods failed: {m}"),
+            QrelError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QrelError {}
+
+impl From<Exhausted> for QrelError {
+    fn from(e: Exhausted) -> Self {
+        QrelError::BudgetExhausted(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Resource;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = QrelError::Parse("unexpected token `)`".into());
+        assert_eq!(format!("{e}"), "parse error: unexpected token `)`");
+        let e = QrelError::from(Exhausted {
+            resource: Resource::Samples,
+            spent: 1001,
+            limit: Some(1000),
+        });
+        assert_eq!(
+            format!("{e}"),
+            "budget exhausted: budget of 1000 samples exhausted after 1001"
+        );
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(QrelError::Internal("oops".into()));
+        assert!(e.to_string().contains("internal error"));
+    }
+}

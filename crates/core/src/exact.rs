@@ -13,6 +13,7 @@
 //! placement in FP^#P (and Prop 3.2's hardness) says it must be.
 
 use qrel_arith::{BigInt, BigRational, BigUint};
+use qrel_budget::{Budget, Exhausted, Resource};
 use qrel_eval::{EvalError, Query};
 use qrel_prob::normalizer::sound_g;
 use qrel_prob::UnreliableDatabase;
@@ -26,6 +27,30 @@ pub struct ExactReport {
     pub reliability: BigRational,
     /// Number of worlds enumerated (`2^u`).
     pub worlds: u64,
+}
+
+/// Outcome of a budgeted exact computation: either the full answer or
+/// the partial sums accumulated before the budget tripped.
+///
+/// In the `Exhausted` case `partial_expected_error` is an exact *lower*
+/// bound on `H_ψ(𝔇)` (every unvisited world can only add error mass),
+/// and `mass_visited` is the total probability of the worlds already
+/// enumerated — so `H_ψ` is also bounded above by
+/// `partial_expected_error + (1 − mass_visited) · n^k`, which the
+/// runtime uses to report a bracketed degraded answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExactOutcome {
+    Complete(ExactReport),
+    Exhausted {
+        /// Exact error mass over the worlds visited so far.
+        partial_expected_error: BigRational,
+        /// Total probability of the visited worlds (`≤ 1`).
+        mass_visited: BigRational,
+        /// Worlds enumerated before the trip.
+        worlds: u64,
+        /// What tripped.
+        cause: Exhausted,
+    },
 }
 
 /// The Theorem 4.2 counting certificate: a natural number `g` and the
@@ -134,6 +159,68 @@ pub fn exact_reliability(
         reliability,
         worlds,
     })
+}
+
+/// [`exact_reliability`] under a cooperative [`Budget`]: one
+/// [`Resource::Worlds`] is charged per enumerated world, and the
+/// Gray-code traversal stops at the first trip, returning the exact
+/// partial sums instead of discarding the work done.
+pub fn exact_reliability_budgeted(
+    ud: &UnreliableDatabase,
+    query: &dyn Query,
+    budget: &Budget,
+) -> Result<ExactOutcome, EvalError> {
+    let observed_answers = query.answers(ud.observed())?;
+    let k = query.arity();
+    let mut h = BigRational::zero();
+    let mut mass = BigRational::zero();
+    let mut worlds = 0u64;
+    let mut failure: Option<EvalError> = None;
+    let mut cause: Option<Exhausted> = None;
+    ud.visit_worlds(|world, prob| {
+        if let Err(e) = budget.charge(Resource::Worlds, 1) {
+            cause = Some(e);
+            return false;
+        }
+        worlds += 1;
+        match query.answers(world) {
+            Ok(answers) => {
+                let diff = answers.difference(&observed_answers).len()
+                    + observed_answers.difference(&answers).len();
+                if diff > 0 {
+                    h = h.add_ref(&prob.mul_ref(&BigRational::from_int(diff as i64)));
+                }
+                mass = mass.add_ref(prob);
+                true
+            }
+            Err(e) => {
+                failure = Some(e);
+                false
+            }
+        }
+    });
+    if let Some(e) = failure {
+        return Err(e);
+    }
+    if let Some(cause) = cause {
+        return Ok(ExactOutcome::Exhausted {
+            partial_expected_error: h,
+            mass_visited: mass,
+            worlds,
+            cause,
+        });
+    }
+    let total = BigRational::from_int(ud.observed().universe().tuple_count(k) as i64);
+    let reliability = if total.is_zero() {
+        BigRational::one()
+    } else {
+        h.div_ref(&total).one_minus()
+    };
+    Ok(ExactOutcome::Complete(ExactReport {
+        expected_error: h,
+        reliability,
+        worlds,
+    }))
 }
 
 /// Exact per-tuple answer marginals: for every `ā ∈ A^k`, the probability
@@ -339,6 +426,47 @@ mod tests {
         // Marginals are probabilities.
         for (_, m) in marginals {
             assert!(m >= BigRational::zero() && m <= BigRational::one());
+        }
+    }
+
+    #[test]
+    fn budgeted_exact_complete_matches_unbudgeted() {
+        let ud = coin_db((1, 3));
+        let q = FoQuery::parse("exists x. S(x)").unwrap();
+        let full = exact_reliability(&ud, &q).unwrap();
+        let outcome =
+            exact_reliability_budgeted(&ud, &q, &qrel_budget::Budget::unlimited()).unwrap();
+        assert_eq!(outcome, ExactOutcome::Complete(full));
+    }
+
+    #[test]
+    fn budgeted_exact_partial_sums_are_bounds() {
+        let db = DatabaseBuilder::new()
+            .universe_size(2)
+            .relation("S", 1)
+            .build();
+        let mut ud = UnreliableDatabase::reliable(db);
+        ud.set_error(&Fact::new(0, vec![0]), r(1, 3)).unwrap();
+        ud.set_error(&Fact::new(0, vec![1]), r(1, 4)).unwrap();
+        let q = FoQuery::parse("exists x. S(x)").unwrap();
+        let budget = qrel_budget::Budget::unlimited().with_max_worlds(2);
+        let outcome = exact_reliability_budgeted(&ud, &q, &budget).unwrap();
+        match outcome {
+            ExactOutcome::Exhausted {
+                partial_expected_error,
+                mass_visited,
+                worlds,
+                cause,
+            } => {
+                assert_eq!(worlds, 2);
+                assert_eq!(cause.resource, qrel_budget::Resource::Worlds);
+                let full = exact_reliability(&ud, &q).unwrap();
+                // Partial error is a lower bound on the true H.
+                assert!(partial_expected_error <= full.expected_error);
+                assert!(mass_visited < BigRational::one());
+                assert!(mass_visited > BigRational::zero());
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
         }
     }
 

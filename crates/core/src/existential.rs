@@ -15,15 +15,15 @@
 //! An exact (exponential-time) evaluation path is provided as the test
 //! oracle.
 
-use crate::prob_dnf::{ProbDnfReduction, ReductionError};
+use crate::prob_dnf::ProbDnfReduction;
 use qrel_arith::BigRational;
+use qrel_budget::{Budget, Exhausted, QrelError};
 use qrel_count::{dnf_probability_shannon, KarpLuby};
-use qrel_eval::{ground_existential, GroundError, Grounding};
+use qrel_eval::{ground_existential_budgeted, Grounding};
 use qrel_logic::Formula;
 use qrel_prob::UnreliableDatabase;
 use rand::Rng;
 use std::collections::HashMap;
-use std::fmt;
 
 /// Default budget for the grounded DNF size. The grounding of a fixed
 /// existential query has polynomially many terms in `n`; this cap only
@@ -39,36 +39,6 @@ pub enum Route {
     ViaCounting,
 }
 
-/// Errors from the existential pipeline.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ExistentialError {
-    Ground(GroundError),
-    Reduction(ReductionError),
-}
-
-impl fmt::Display for ExistentialError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ExistentialError::Ground(e) => write!(f, "{e}"),
-            ExistentialError::Reduction(e) => write!(f, "{e}"),
-        }
-    }
-}
-
-impl std::error::Error for ExistentialError {}
-
-impl From<GroundError> for ExistentialError {
-    fn from(e: GroundError) -> Self {
-        ExistentialError::Ground(e)
-    }
-}
-
-impl From<ReductionError> for ExistentialError {
-    fn from(e: ReductionError) -> Self {
-        ExistentialError::Reduction(e)
-    }
-}
-
 /// Ground a (possibly non-sentence) existential formula and pair each
 /// propositional variable with its fact probability `ν`.
 pub fn ground_with_probabilities(
@@ -76,8 +46,20 @@ pub fn ground_with_probabilities(
     formula: &Formula,
     bindings: &HashMap<String, u32>,
     max_terms: usize,
-) -> Result<(Grounding, Vec<BigRational>), ExistentialError> {
-    let grounding = ground_existential(ud.observed(), formula, bindings, max_terms)?;
+) -> Result<(Grounding, Vec<BigRational>), QrelError> {
+    ground_with_probabilities_budgeted(ud, formula, bindings, max_terms, &Budget::unlimited())
+}
+
+/// [`ground_with_probabilities`] under a cooperative [`Budget`].
+pub fn ground_with_probabilities_budgeted(
+    ud: &UnreliableDatabase,
+    formula: &Formula,
+    bindings: &HashMap<String, u32>,
+    max_terms: usize,
+    budget: &Budget,
+) -> Result<(Grounding, Vec<BigRational>), QrelError> {
+    let grounding =
+        ground_existential_budgeted(ud.observed(), formula, bindings, max_terms, budget)?;
     let probs = grounding.facts.iter().map(|f| ud.nu(f)).collect();
     Ok((grounding, probs))
 }
@@ -88,7 +70,7 @@ pub fn ground_with_probabilities(
 pub fn existential_probability_exact(
     ud: &UnreliableDatabase,
     formula: &Formula,
-) -> Result<BigRational, ExistentialError> {
+) -> Result<BigRational, QrelError> {
     let (grounding, probs) =
         ground_with_probabilities(ud, formula, &HashMap::new(), DEFAULT_MAX_TERMS)?;
     Ok(dnf_probability_shannon(&grounding.dnf, &probs))
@@ -103,7 +85,7 @@ pub fn existential_probability_fptras<R: Rng>(
     delta: f64,
     route: Route,
     rng: &mut R,
-) -> Result<f64, ExistentialError> {
+) -> Result<f64, QrelError> {
     let (grounding, probs) =
         ground_with_probabilities(ud, formula, &HashMap::new(), DEFAULT_MAX_TERMS)?;
     estimate_grounding(&grounding, &probs, eps, delta, route, rng)
@@ -117,7 +99,7 @@ pub fn estimate_grounding<R: Rng>(
     delta: f64,
     route: Route,
     rng: &mut R,
-) -> Result<f64, ExistentialError> {
+) -> Result<f64, QrelError> {
     match route {
         Route::Direct => {
             let kl = KarpLuby::new(&grounding.dnf, probs);
@@ -128,6 +110,51 @@ pub fn estimate_grounding<R: Rng>(
             Ok(red.estimate(eps, delta, rng))
         }
     }
+}
+
+/// Result of a budgeted FPTRAS run.
+#[derive(Debug, Clone)]
+pub struct FptrasReport {
+    /// The estimate of `ν(ψ)`, clamped to `[0, 1]`.
+    pub estimate: f64,
+    /// Samples actually drawn.
+    pub samples: u64,
+    /// Grounded DNF terms (the `m` of the sample bound).
+    pub terms: usize,
+    /// `Some(cause)` if the budget tripped mid-sampling — the estimate
+    /// then covers fewer samples and carries no `(ε, δ)` guarantee.
+    pub exhausted: Option<Exhausted>,
+}
+
+/// The Theorem 5.4 FPTRAS under a cooperative [`Budget`], always via the
+/// direct weighted Karp–Luby route. Grounding charges
+/// [`qrel_budget::Resource::Terms`] and sampling charges
+/// [`qrel_budget::Resource::Samples`]; a trip during *grounding* is a
+/// hard `Err` (no estimate exists yet), while a trip during *sampling*
+/// degrades to a partial estimate reported in [`FptrasReport`].
+pub fn existential_probability_fptras_budgeted<R: Rng>(
+    ud: &UnreliableDatabase,
+    formula: &Formula,
+    eps: f64,
+    delta: f64,
+    budget: &Budget,
+    rng: &mut R,
+) -> Result<FptrasReport, QrelError> {
+    let (grounding, probs) = ground_with_probabilities_budgeted(
+        ud,
+        formula,
+        &HashMap::new(),
+        DEFAULT_MAX_TERMS,
+        budget,
+    )?;
+    let kl = KarpLuby::new(&grounding.dnf, &probs);
+    let (report, exhausted) = kl.run_budgeted(kl.samples_for(eps, delta), budget, rng);
+    Ok(FptrasReport {
+        estimate: report.estimate.clamp(0.0, 1.0),
+        samples: report.samples,
+        terms: grounding.dnf.num_terms(),
+        exhausted,
+    })
 }
 
 #[cfg(test)]
@@ -232,8 +259,37 @@ mod tests {
         let f = parse_formula("forall x. S(x)").unwrap();
         assert!(matches!(
             existential_probability_exact(&ud, &f),
-            Err(ExistentialError::Ground(GroundError::NotExistential))
+            Err(QrelError::Unsupported(_))
         ));
+    }
+
+    #[test]
+    fn budgeted_fptras_degrades_on_sample_cap() {
+        use qrel_budget::Resource;
+        let ud = setup();
+        let f = parse_formula("exists x y. E(x,y) & S(x)").unwrap();
+        let budget = Budget::unlimited().with_max_samples(20);
+        let mut rng = StdRng::seed_from_u64(41);
+        let rep = existential_probability_fptras_budgeted(&ud, &f, 0.05, 0.02, &budget, &mut rng)
+            .unwrap();
+        let cause = rep.exhausted.expect("sample cap must trip");
+        assert_eq!(cause.resource, Resource::Samples);
+        assert_eq!(rep.samples, 20);
+        assert!((0.0..=1.0).contains(&rep.estimate));
+    }
+
+    #[test]
+    fn budgeted_fptras_hard_error_when_grounding_capped() {
+        use qrel_budget::Resource;
+        let ud = setup();
+        let f = parse_formula("exists x y. E(x,y) & S(x)").unwrap();
+        // One term of grounding budget: trips before any estimate exists.
+        let budget = Budget::unlimited().with_max_terms(1);
+        let mut rng = StdRng::seed_from_u64(42);
+        match existential_probability_fptras_budgeted(&ud, &f, 0.1, 0.1, &budget, &mut rng) {
+            Err(QrelError::BudgetExhausted(e)) => assert_eq!(e.resource, Resource::Terms),
+            other => panic!("expected terms exhaustion, got {other:?}"),
+        }
     }
 
     #[test]

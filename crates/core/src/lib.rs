@@ -34,9 +34,16 @@ pub mod reliability_approx;
 pub mod so_counting;
 
 pub use absolute::is_absolutely_reliable;
-pub use exact::{exact_probability, exact_reliability, ExactReport};
-pub use existential::{existential_probability_exact, existential_probability_fptras, Route};
+pub use exact::{
+    exact_probability, exact_reliability, exact_reliability_budgeted, ExactOutcome, ExactReport,
+};
+pub use existential::{
+    existential_probability_exact, existential_probability_fptras,
+    existential_probability_fptras_budgeted, FptrasReport, Route,
+};
 pub use prob_dnf::ProbDnfReduction;
-pub use ptime_estimator::PaddingEstimator;
-pub use quantifier_free::qf_reliability;
-pub use reliability_approx::approximate_reliability;
+pub use ptime_estimator::{PaddingEstimator, PaddingOutcome, PtimeEstimate};
+pub use quantifier_free::{qf_reliability, qf_reliability_budgeted, QfOutcome};
+pub use reliability_approx::{
+    approximate_reliability, approximate_reliability_budgeted, ApproxOutcome,
+};

@@ -59,6 +59,12 @@ impl fmt::Display for ReductionError {
     }
 }
 
+impl From<ReductionError> for qrel_budget::QrelError {
+    fn from(e: ReductionError) -> Self {
+        qrel_budget::QrelError::Unsupported(e.to_string())
+    }
+}
+
 impl std::error::Error for ReductionError {}
 
 /// `val(Ȳ) < b`, handling the saturated bound `b ≥ 2^ℓ` (tautology).

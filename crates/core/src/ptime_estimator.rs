@@ -23,6 +23,7 @@
 //! the ablation experiment compares the two samplers' budgets.
 
 use qrel_arith::BigRational;
+use qrel_budget::{Budget, Exhausted, Resource};
 use qrel_count::bounds::{hoeffding_samples, karp_luby_t};
 use qrel_eval::{EvalError, Query};
 use qrel_prob::sampler::bernoulli;
@@ -203,7 +204,84 @@ impl PaddingEstimator {
     }
 }
 
+/// Outcome of a budgeted padding estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PaddingOutcome {
+    Complete(PtimeEstimate),
+    /// The budget tripped mid-sampling; `partial_estimate` is the
+    /// de-biased reliability over the worlds drawn so far (guarantee-free
+    /// but bounded in `[0, 1]`).
+    Exhausted {
+        partial_estimate: f64,
+        samples: u64,
+        cause: Exhausted,
+    },
+}
+
 impl PaddingEstimator {
+    /// [`Self::estimate_reliability_shared_worlds`] under a cooperative
+    /// [`Budget`]: each sampled world charges one [`Resource::Samples`],
+    /// and on a trip the partial per-tuple means are de-biased and
+    /// returned instead of being discarded.
+    pub fn estimate_reliability_budgeted<R: Rng>(
+        &self,
+        ud: &UnreliableDatabase,
+        query: &dyn Query,
+        eps: f64,
+        delta: f64,
+        budget: &Budget,
+        rng: &mut R,
+    ) -> Result<PaddingOutcome, EvalError> {
+        let k = query.arity();
+        let db = ud.observed();
+        let tuples: Vec<Vec<u32>> = db.universe().tuples(k).collect();
+        let nk = tuples.len().max(1);
+        let per_eps = (eps / nk as f64).max(1e-9);
+        let per_delta = (delta / nk as f64).min(0.5);
+        let sampler = WorldSampler::new(ud);
+        let t = self.samples_for(per_eps, per_delta);
+
+        let observed = query.answers(db)?;
+        let mut hits = vec![0u64; nk];
+        let mut drawn = 0u64;
+        let mut cause = None;
+        for _ in 0..t {
+            if let Err(e) = budget.charge(Resource::Samples, 1) {
+                cause = Some(e);
+                break;
+            }
+            let answers = query.answers(&sampler.sample(rng))?;
+            for (i, tuple) in tuples.iter().enumerate() {
+                let rc = bernoulli(&self.xi, rng);
+                let rd = bernoulli(&self.xi, rng);
+                let wrong = answers.contains(tuple) != observed.contains(tuple);
+                if rd && (rc || wrong) {
+                    hits[i] += 1;
+                }
+            }
+            drawn += 1;
+        }
+        let xi = self.xi.to_f64();
+        let mut h = 0.0f64;
+        for &count in &hits {
+            let mean = count as f64 / drawn.max(1) as f64;
+            h += ((mean - xi * xi) / (xi - xi * xi)).clamp(0.0, 1.0);
+        }
+        let reliability = (1.0 - h / nk as f64).clamp(0.0, 1.0);
+        match cause {
+            Some(cause) => Ok(PaddingOutcome::Exhausted {
+                partial_estimate: reliability,
+                samples: drawn,
+                cause,
+            }),
+            None => Ok(PaddingOutcome::Complete(PtimeEstimate {
+                estimate: reliability,
+                samples: drawn,
+                padded_mean: f64::NAN,
+            })),
+        }
+    }
+
     /// Batched variant of [`Self::estimate_reliability`]: each sampled
     /// world is evaluated *once* via [`Query::answers`] and reused for
     /// every tuple, instead of drawing fresh worlds per tuple. The
@@ -437,6 +515,55 @@ mod tests {
             "true query estimated {}",
             rep.estimate
         );
+    }
+
+    #[test]
+    fn budgeted_padding_complete_matches_shared_worlds() {
+        let ud = setup();
+        let q = FoQuery::parse("exists x y. E(x,y)").unwrap();
+        let est = PaddingEstimator::default_xi();
+        let mut rng = StdRng::seed_from_u64(21);
+        let plain = est
+            .estimate_reliability_shared_worlds(&ud, &q, 0.15, 0.1, &mut rng)
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let budget = Budget::unlimited();
+        match est
+            .estimate_reliability_budgeted(&ud, &q, 0.15, 0.1, &budget, &mut rng)
+            .unwrap()
+        {
+            // Field-wise: `padded_mean` is the NaN sentinel on both sides
+            // (multi-tuple variants have no single padded mean).
+            PaddingOutcome::Complete(rep) => {
+                assert_eq!(rep.estimate, plain.estimate);
+                assert_eq!(rep.samples, plain.samples);
+            }
+            other => panic!("expected Complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budgeted_padding_trips_with_partial_estimate() {
+        let ud = setup();
+        let q = FoQuery::parse("exists x y. E(x,y)").unwrap();
+        let est = PaddingEstimator::default_xi();
+        let budget = Budget::unlimited().with_max_samples(50);
+        let mut rng = StdRng::seed_from_u64(22);
+        match est
+            .estimate_reliability_budgeted(&ud, &q, 0.05, 0.05, &budget, &mut rng)
+            .unwrap()
+        {
+            PaddingOutcome::Exhausted {
+                partial_estimate,
+                samples,
+                cause,
+            } => {
+                assert_eq!(samples, 50);
+                assert_eq!(cause.resource, Resource::Samples);
+                assert!((0.0..=1.0).contains(&partial_estimate));
+            }
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
     }
 
     #[test]

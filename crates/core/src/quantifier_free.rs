@@ -9,6 +9,7 @@
 //! `ν` — constant work per tuple, `O(n^k)` overall.
 
 use qrel_arith::BigRational;
+use qrel_budget::{Budget, Exhausted, Resource};
 use qrel_db::{Element, Fact};
 use qrel_eval::EvalError;
 use qrel_logic::{Formula, Term};
@@ -27,6 +28,22 @@ pub struct QfReport {
     /// Distinct atomic statements per instantiated tuple, maximized over
     /// tuples (the `n(ψ)` of the proof; drives the `2^{n(ψ)}` constant).
     pub max_atoms_per_tuple: usize,
+}
+
+/// Outcome of a budgeted quantifier-free computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QfOutcome {
+    Complete(QfReport),
+    /// The budget tripped mid-run. `partial_expected_error` is the exact
+    /// error mass over the `tuples_done` fully-processed tuples — a
+    /// lower bound on `H_ψ`, with each unprocessed tuple contributing at
+    /// most 1.
+    Exhausted {
+        partial_expected_error: BigRational,
+        tuples_done: usize,
+        tuples_total: usize,
+        cause: Exhausted,
+    },
 }
 
 /// Compute the exact reliability of a quantifier-free query (free
@@ -65,6 +82,23 @@ pub fn qf_reliability(
     formula: &Formula,
     free_vars: &[String],
 ) -> Result<QfReport, EvalError> {
+    match qf_reliability_budgeted(ud, formula, free_vars, &Budget::unlimited())? {
+        QfOutcome::Complete(report) => Ok(report),
+        QfOutcome::Exhausted { .. } => unreachable!("unlimited budget cannot trip"),
+    }
+}
+
+/// [`qf_reliability`] under a cooperative [`Budget`]: each of the
+/// `2^{n(ψ)}` per-tuple atom assignments charges one
+/// [`Resource::Worlds`] (they are the local possible worlds of the
+/// Proposition 3.1 proof), and the loop stops at the first trip with
+/// exact partial sums.
+pub fn qf_reliability_budgeted(
+    ud: &UnreliableDatabase,
+    formula: &Formula,
+    free_vars: &[String],
+    budget: &Budget,
+) -> Result<QfOutcome, EvalError> {
     assert!(formula.is_quantifier_free(), "query is not quantifier-free");
     {
         let mut sorted = free_vars.to_vec();
@@ -73,6 +107,8 @@ pub fn qf_reliability(
     }
     let db = ud.observed();
     let k = free_vars.len();
+    let tuples_total = db.universe().tuple_count(k);
+    let mut tuples_done = 0usize;
     let mut h = BigRational::zero();
     let mut max_atoms = 0usize;
 
@@ -96,6 +132,14 @@ pub fn qf_reliability(
         let mut err_prob = BigRational::zero();
         let mut assignment = vec![false; facts.len()];
         for mask in 0u64..(1u64 << facts.len()) {
+            if let Err(cause) = budget.charge(Resource::Worlds, 1) {
+                return Ok(QfOutcome::Exhausted {
+                    partial_expected_error: h,
+                    tuples_done,
+                    tuples_total,
+                    cause,
+                });
+            }
             let mut weight = BigRational::one();
             for (i, slot) in assignment.iter_mut().enumerate() {
                 let bit = (mask >> i) & 1 == 1;
@@ -120,20 +164,21 @@ pub fn qf_reliability(
             }
         }
         h = h.add_ref(&err_prob);
+        tuples_done += 1;
     }
 
-    let total_tuples = BigRational::from_int(db.universe().tuple_count(k) as i64);
+    let total_tuples = BigRational::from_int(tuples_total as i64);
     let reliability = if total_tuples.is_zero() {
         BigRational::one()
     } else {
         h.div_ref(&total_tuples).one_minus()
     };
-    Ok(QfReport {
+    Ok(QfOutcome::Complete(QfReport {
         expected_error: h,
         reliability,
         arity: k,
         max_atoms_per_tuple: max_atoms,
-    })
+    }))
 }
 
 /// Collect the distinct ground facts mentioned by a QF formula under the
@@ -380,6 +425,37 @@ mod tests {
             h = h.add_ref(&p.mul_ref(&BigRational::from_int(diff as i64)));
         }
         assert_eq!(rep.expected_error, h);
+    }
+
+    #[test]
+    fn budgeted_qf_trips_and_reports_partial() {
+        let mut ud = simple_ud();
+        ud.set_uniform_error(r(1, 3)).unwrap();
+        let f = parse_formula("S(x) | T(x)").unwrap();
+        // Each tuple enumerates 2² = 4 assignments; cap at 3 so the
+        // budget trips inside the first tuple.
+        let budget = Budget::unlimited().with_max_worlds(3);
+        match qf_reliability_budgeted(&ud, &f, &["x".to_string()], &budget).unwrap() {
+            QfOutcome::Exhausted {
+                tuples_done,
+                tuples_total,
+                cause,
+                partial_expected_error,
+            } => {
+                assert_eq!(tuples_done, 0);
+                assert_eq!(tuples_total, 2);
+                assert_eq!(cause.resource, Resource::Worlds);
+                assert_eq!(partial_expected_error, BigRational::zero());
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+        // And with room to spare, Complete matches the plain entry point.
+        let roomy = Budget::unlimited().with_max_worlds(100);
+        let full = qf_reliability(&ud, &f, &["x".to_string()]).unwrap();
+        assert_eq!(
+            qf_reliability_budgeted(&ud, &f, &["x".to_string()], &roomy).unwrap(),
+            QfOutcome::Complete(full)
+        );
     }
 
     #[test]

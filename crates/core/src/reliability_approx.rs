@@ -14,10 +14,12 @@
 //! probability `≥ 1 − δ`.
 
 use crate::existential::{
-    estimate_grounding, ground_with_probabilities, ExistentialError, Route, DEFAULT_MAX_TERMS,
+    estimate_grounding, ground_with_probabilities, ground_with_probabilities_budgeted, Route,
+    DEFAULT_MAX_TERMS,
 };
+use qrel_budget::{Budget, Exhausted, QrelError};
+use qrel_count::KarpLuby;
 use qrel_eval::eval_formula;
-use qrel_eval::GroundError;
 use qrel_logic::{Formula, Fragment};
 use qrel_prob::UnreliableDatabase;
 use rand::Rng;
@@ -47,7 +49,7 @@ pub fn approximate_reliability<R: Rng>(
     delta: f64,
     route: Route,
     rng: &mut R,
-) -> Result<ApproxReport, ExistentialError> {
+) -> Result<ApproxReport, QrelError> {
     {
         let mut sorted = free_vars.to_vec();
         sorted.sort();
@@ -79,9 +81,7 @@ pub fn approximate_reliability<R: Rng>(
         let nu_hat =
             estimate_grounding(&grounding, &probs, per_eps.max(1e-9), per_delta, route, rng)?;
         // Truth on the observed database, for the H = ν vs 1−ν split.
-        let eval_bindings = bindings.clone();
-        let observed = eval_formula(db, formula, &eval_bindings)
-            .map_err(|e| ExistentialError::Ground(GroundError::Eval(e)))?;
+        let observed = eval_formula(db, formula, &bindings)?;
         // ν̂ refers to work_formula; convert to ν(ψ(ā)).
         let nu_psi = if flipped { 1.0 - nu_hat } else { nu_hat };
         let h_tuple = if observed { 1.0 - nu_psi } else { nu_psi };
@@ -94,6 +94,102 @@ pub fn approximate_reliability<R: Rng>(
         reliability,
         tuples: nk,
     })
+}
+
+/// Outcome of a budgeted Corollary 5.5 estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApproxOutcome {
+    Complete(ApproxReport),
+    /// The budget tripped mid-run. `partial_expected_error` sums the
+    /// fully-estimated tuples plus a guarantee-free partial estimate for
+    /// the tuple in flight; each of the remaining
+    /// `tuples_total − tuples_done − 1` tuples contributes at most 1.
+    Exhausted {
+        partial_expected_error: f64,
+        tuples_done: usize,
+        tuples_total: usize,
+        cause: Exhausted,
+    },
+}
+
+/// [`approximate_reliability`] under a cooperative [`Budget`], always
+/// via the direct Karp–Luby route. Grounding charges
+/// [`qrel_budget::Resource::Terms`], sampling charges
+/// [`qrel_budget::Resource::Samples`]; on a trip the tuples estimated so
+/// far are returned instead of being discarded.
+pub fn approximate_reliability_budgeted<R: Rng>(
+    ud: &UnreliableDatabase,
+    formula: &Formula,
+    free_vars: &[String],
+    eps: f64,
+    delta: f64,
+    budget: &Budget,
+    rng: &mut R,
+) -> Result<ApproxOutcome, QrelError> {
+    {
+        let mut sorted = free_vars.to_vec();
+        sorted.sort();
+        assert_eq!(sorted, formula.free_vars(), "free-variable order mismatch");
+    }
+    let (work_formula, flipped) = match formula.fragment() {
+        Fragment::Universal => (Formula::not(formula.clone()).to_nnf(), true),
+        _ => (formula.clone(), false),
+    };
+
+    let db = ud.observed();
+    let k = free_vars.len();
+    let tuples: Vec<Vec<u32>> = db.universe().tuples(k).collect();
+    let nk = tuples.len().max(1);
+    let per_eps = (eps / nk as f64).max(1e-9);
+    let per_delta = (delta / nk as f64).min(0.5);
+
+    let mut h = 0.0f64;
+    for (done, tuple) in tuples.iter().enumerate() {
+        let bindings: HashMap<String, u32> = free_vars
+            .iter()
+            .cloned()
+            .zip(tuple.iter().copied())
+            .collect();
+        let observed = eval_formula(db, formula, &bindings)?;
+        let (grounding, probs) = match ground_with_probabilities_budgeted(
+            ud,
+            &work_formula,
+            &bindings,
+            DEFAULT_MAX_TERMS,
+            budget,
+        ) {
+            Ok(x) => x,
+            Err(QrelError::BudgetExhausted(cause)) => {
+                return Ok(ApproxOutcome::Exhausted {
+                    partial_expected_error: h,
+                    tuples_done: done,
+                    tuples_total: nk,
+                    cause,
+                });
+            }
+            Err(e) => return Err(e),
+        };
+        let kl = KarpLuby::new(&grounding.dnf, &probs);
+        let (rep, exhausted) = kl.run_budgeted(kl.samples_for(per_eps, per_delta), budget, rng);
+        let nu_hat = rep.estimate.clamp(0.0, 1.0);
+        let nu_psi = if flipped { 1.0 - nu_hat } else { nu_hat };
+        let h_tuple = if observed { 1.0 - nu_psi } else { nu_psi };
+        h += h_tuple.clamp(0.0, 1.0);
+        if let Some(cause) = exhausted {
+            return Ok(ApproxOutcome::Exhausted {
+                partial_expected_error: h,
+                tuples_done: done,
+                tuples_total: nk,
+                cause,
+            });
+        }
+    }
+
+    Ok(ApproxOutcome::Complete(ApproxReport {
+        expected_error: h,
+        reliability: 1.0 - h / nk as f64,
+        tuples: nk,
+    }))
 }
 
 #[cfg(test)]
@@ -195,6 +291,51 @@ mod tests {
             approximate_reliability(&ud, &f, &[], 0.01, 0.01, Route::Direct, &mut rng).unwrap();
         assert_eq!(rep.reliability, 1.0);
         assert_eq!(rep.expected_error, 0.0);
+    }
+
+    #[test]
+    fn budgeted_approx_degrades_gracefully() {
+        let ud = setup();
+        let f = parse_formula("exists y. E(x,y) & S(y)").unwrap();
+        let free = vec!["x".to_string()];
+        // The per-tuple (ε/n, δ/n) split needs thousands of samples; a
+        // 100-sample budget must trip partway with partial sums intact.
+        let budget = Budget::unlimited().with_max_samples(100);
+        let mut rng = StdRng::seed_from_u64(55);
+        match approximate_reliability_budgeted(&ud, &f, &free, 0.05, 0.05, &budget, &mut rng)
+            .unwrap()
+        {
+            ApproxOutcome::Exhausted {
+                partial_expected_error,
+                tuples_done,
+                tuples_total,
+                ..
+            } => {
+                assert!(tuples_done < tuples_total);
+                assert_eq!(tuples_total, 3);
+                assert!((0.0..=tuples_total as f64).contains(&partial_expected_error));
+            }
+            ApproxOutcome::Complete(_) => panic!("sample cap should have tripped"),
+        }
+        // With no caps the budgeted path completes like the plain one.
+        let mut rng = StdRng::seed_from_u64(56);
+        match approximate_reliability_budgeted(
+            &ud,
+            &f,
+            &free,
+            0.1,
+            0.1,
+            &Budget::unlimited(),
+            &mut rng,
+        )
+        .unwrap()
+        {
+            ApproxOutcome::Complete(rep) => {
+                assert!((0.0..=1.0).contains(&rep.reliability));
+                assert_eq!(rep.tuples, 3);
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! case `p ≡ 1/2` scaled by `2^n`.
 
 use qrel_arith::BigRational;
+use qrel_budget::{Budget, Exhausted, Resource};
 use qrel_logic::prop::{Dnf, Lit};
 use rand::Rng;
 
@@ -64,10 +65,17 @@ impl KarpLuby {
         for p in probs {
             assert!(p.is_probability(), "probability out of range");
         }
-        let terms: Vec<Vec<Lit>> = dnf.terms().to_vec();
-        let mut weights = Vec::with_capacity(terms.len());
+        // Terms with weight zero (a literal that is false with
+        // probability 1 under `probs`) contribute nothing to `Pr[φ]` but
+        // would poison the coverage sampler: their cumulative-weight
+        // interval is a point, yet f64 ties can still select them, and
+        // every sample conditioned on one lands on a measure-zero event.
+        // Drop them up front; if nothing survives, `Pr[φ] = 0` exactly
+        // and `run` short-circuits on the empty term list.
+        let mut terms: Vec<Vec<Lit>> = Vec::with_capacity(dnf.num_terms());
+        let mut weights = Vec::with_capacity(dnf.num_terms());
         let mut total_weight = BigRational::zero();
-        for t in &terms {
+        for t in dnf.terms() {
             let mut w = BigRational::one();
             for l in t {
                 let pv = &probs[l.var as usize];
@@ -76,9 +84,16 @@ impl KarpLuby {
                 } else {
                     pv.one_minus()
                 });
+                if w.is_zero() {
+                    break;
+                }
+            }
+            if w.is_zero() {
+                continue;
             }
             total_weight = total_weight.add_ref(&w);
             weights.push(w);
+            terms.push(t.clone());
         }
         let mut cumulative = Vec::with_capacity(weights.len());
         let mut acc = 0f64;
@@ -144,29 +159,7 @@ impl KarpLuby {
         let mut hits = 0u64;
         let mut assignment = vec![false; self.probs.len()];
         for _ in 0..samples {
-            // Sample a term ∝ weight.
-            let x = rng.gen::<f64>() * u;
-            let ti = match self
-                .cumulative
-                .binary_search_by(|c| c.partial_cmp(&x).unwrap())
-            {
-                Ok(i) => (i + 1).min(self.terms.len() - 1),
-                Err(i) => i.min(self.terms.len() - 1),
-            };
-            // Sample an assignment conditioned on satisfying term ti.
-            for (v, slot) in assignment.iter_mut().enumerate() {
-                *slot = rng.gen::<f64>() < self.probs[v];
-            }
-            for l in &self.terms[ti] {
-                assignment[l.var as usize] = l.positive;
-            }
-            // Y = 1 iff ti is the first term satisfied.
-            let first = self
-                .terms
-                .iter()
-                .position(|t| t.iter().all(|l| l.eval(&assignment)))
-                .expect("sampled assignment satisfies term ti");
-            if first == ti {
+            if self.sample_once(u, &mut assignment, rng) {
                 hits += 1;
             }
         }
@@ -176,6 +169,96 @@ impl KarpLuby {
             samples,
             hit_rate,
         }
+    }
+
+    /// One coverage-space sample; returns the indicator `Y`.
+    fn sample_once<R: Rng>(&self, u: f64, assignment: &mut [bool], rng: &mut R) -> bool {
+        // Sample a term ∝ weight. The exact weights are nonzero by
+        // construction, but their f64 images can underflow to a flat
+        // cumulative vector — fall back to a uniform term choice rather
+        // than piling every sample onto term 0.
+        let ti = if u.is_finite() && u > 0.0 {
+            let x = rng.gen::<f64>() * u;
+            match self.cumulative.binary_search_by(|c| c.total_cmp(&x)) {
+                Ok(i) => (i + 1).min(self.terms.len() - 1),
+                Err(i) => i.min(self.terms.len() - 1),
+            }
+        } else {
+            rng.gen_range(0..self.terms.len())
+        };
+        // Sample an assignment conditioned on satisfying term ti.
+        for (v, slot) in assignment.iter_mut().enumerate() {
+            *slot = rng.gen::<f64>() < self.probs[v];
+        }
+        for l in &self.terms[ti] {
+            assignment[l.var as usize] = l.positive;
+        }
+        // Y = 1 iff ti is the first term satisfied. The forced literals
+        // make ti itself satisfied, so the search always succeeds.
+        let first = self
+            .terms
+            .iter()
+            .position(|t| t.iter().all(|l| l.eval(assignment)))
+            .expect("sampled assignment satisfies term ti");
+        first == ti
+    }
+
+    /// Run under a cooperative [`Budget`], charging one
+    /// [`Resource::Samples`] per draw. Never panics on exhaustion:
+    /// returns the report over the samples actually drawn together with
+    /// the trip cause, letting callers use the partial estimate (which
+    /// carries no `(ε, δ)` guarantee) as a degraded answer. A run cut
+    /// off before any sample reports `estimate = 0, samples = 0`.
+    pub fn run_budgeted<R: Rng>(
+        &self,
+        samples: u64,
+        budget: &Budget,
+        rng: &mut R,
+    ) -> (KarpLubyReport, Option<Exhausted>) {
+        if self.terms.is_empty() {
+            return (
+                KarpLubyReport {
+                    estimate: 0.0,
+                    samples: 0,
+                    hit_rate: 0.0,
+                },
+                None,
+            );
+        }
+        if self.terms.iter().any(|t| t.is_empty()) {
+            return (
+                KarpLubyReport {
+                    estimate: 1.0,
+                    samples: 0,
+                    hit_rate: 1.0,
+                },
+                None,
+            );
+        }
+        let u = *self.cumulative.last().unwrap();
+        let mut hits = 0u64;
+        let mut drawn = 0u64;
+        let mut exhausted = None;
+        let mut assignment = vec![false; self.probs.len()];
+        for _ in 0..samples {
+            if let Err(e) = budget.charge(Resource::Samples, 1) {
+                exhausted = Some(e);
+                break;
+            }
+            if self.sample_once(u, &mut assignment, rng) {
+                hits += 1;
+            }
+            drawn += 1;
+        }
+        let hit_rate = hits as f64 / drawn.max(1) as f64;
+        (
+            KarpLubyReport {
+                estimate: self.total_weight.to_f64() * hit_rate,
+                samples: drawn,
+                hit_rate,
+            },
+            exhausted,
+        )
     }
 
     /// Run with the sample count dictated by `(ε, δ)`.
@@ -326,6 +409,81 @@ mod tests {
         let kl = KarpLuby::new(&d, &probs);
         assert_eq!(kl.total_weight(), &r(1, 3).add_ref(&r(2, 15)));
         assert_eq!(kl.weights().len(), 2);
+    }
+
+    #[test]
+    fn zero_weight_terms_filtered_out() {
+        // Term x0 has ν(x0) = 0: it can never hold, so it must not be
+        // sampled (regression: a flat stretch of the f64 cumulative
+        // vector could select it and skew the hit rate).
+        let d = Dnf::from_terms([vec![Lit::pos(0)], vec![Lit::pos(1)]]);
+        let probs = vec![r(0, 1), r(1, 2)];
+        let kl = KarpLuby::new(&d, &probs);
+        assert_eq!(kl.num_terms(), 1);
+        assert_eq!(kl.total_weight(), &r(1, 2));
+        let mut rng = StdRng::seed_from_u64(31);
+        let rep = kl.run(0.05, 0.05, &mut rng);
+        assert!((rep.estimate - 0.5).abs() <= 0.05);
+    }
+
+    #[test]
+    fn negated_certain_literal_is_zero_weight() {
+        // ¬x0 with ν(x0) = 1 is the dual zero-weight shape.
+        let d = Dnf::from_terms([vec![Lit::neg(0)]]);
+        let probs = vec![r(1, 1)];
+        let kl = KarpLuby::new(&d, &probs);
+        assert_eq!(kl.num_terms(), 0);
+        let mut rng = StdRng::seed_from_u64(32);
+        let rep = kl.run(0.1, 0.1, &mut rng);
+        assert_eq!(rep.estimate, 0.0);
+        assert_eq!(rep.hit_rate, 0.0);
+    }
+
+    #[test]
+    fn all_zero_weight_dnf_reports_probability_zero() {
+        // Regression: Pr[φ] = 0 structurally; the run must not divide by
+        // a zero total weight, sample degenerate terms, or report a
+        // misleading nonzero hit rate.
+        let d = Dnf::from_terms([vec![Lit::pos(0)], vec![Lit::pos(1), Lit::neg(2)]]);
+        let probs = vec![r(0, 1), r(0, 1), r(1, 2)];
+        let kl = KarpLuby::new(&d, &probs);
+        assert!(kl.total_weight().is_zero());
+        let mut rng = StdRng::seed_from_u64(33);
+        let rep = kl.run(0.1, 0.1, &mut rng);
+        assert_eq!(rep.estimate, 0.0);
+        assert_eq!(rep.hit_rate, 0.0);
+        assert_eq!(rep.samples, 0);
+    }
+
+    #[test]
+    fn budgeted_run_stops_at_sample_cap_with_partial_estimate() {
+        use qrel_budget::{Budget, Resource};
+        let d = Dnf::from_terms([vec![Lit::pos(0)], vec![Lit::pos(1)]]);
+        let probs = vec![r(1, 3), r(1, 3)];
+        let kl = KarpLuby::new(&d, &probs);
+        let budget = Budget::unlimited().with_max_samples(50);
+        let mut rng = StdRng::seed_from_u64(34);
+        let (rep, exhausted) = kl.run_budgeted(1_000_000, &budget, &mut rng);
+        let e = exhausted.expect("sample budget must trip");
+        assert_eq!(e.resource, Resource::Samples);
+        assert_eq!(rep.samples, 50);
+        // The partial estimate is still a bounded, plausible number.
+        assert!(rep.estimate >= 0.0 && rep.estimate <= kl.total_weight().to_f64());
+    }
+
+    #[test]
+    fn budgeted_run_without_limits_matches_plain_run() {
+        use qrel_budget::Budget;
+        let d = Dnf::from_terms([vec![Lit::pos(0)], vec![Lit::pos(1), Lit::neg(0)]]);
+        let probs = vec![r(1, 3), r(1, 5)];
+        let kl = KarpLuby::new(&d, &probs);
+        let mut rng1 = StdRng::seed_from_u64(35);
+        let mut rng2 = StdRng::seed_from_u64(35);
+        let plain = kl.run_with_samples(500, &mut rng1);
+        let (budgeted, exhausted) = kl.run_budgeted(500, &Budget::unlimited(), &mut rng2);
+        assert!(exhausted.is_none());
+        assert_eq!(plain.estimate, budgeted.estimate);
+        assert_eq!(plain.samples, budgeted.samples);
     }
 
     #[test]

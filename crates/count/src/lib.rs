@@ -26,5 +26,5 @@ pub mod sharp_sat;
 pub use bdd::{dnf_probability_bdd, Bdd};
 pub use exact_dnf::{dnf_probability_ie, dnf_probability_shannon};
 pub use karp_luby::{KarpLuby, KarpLubyReport};
-pub use naive_mc::naive_mc_probability;
+pub use naive_mc::{naive_mc_probability, naive_mc_probability_budgeted};
 pub use sharp_sat::{count_models, count_mon2sat};

@@ -8,6 +8,7 @@
 //! the order of `1/p` samples. Experiment E10 measures this crossover.
 
 use qrel_arith::BigRational;
+use qrel_budget::{Budget, Exhausted, Resource};
 use qrel_logic::prop::Dnf;
 use rand::Rng;
 
@@ -36,6 +37,42 @@ pub fn naive_mc_probability_with_samples<R: Rng>(
         }
     }
     hits as f64 / samples.max(1) as f64
+}
+
+/// Budgeted naive sampling: charges one [`Resource::Samples`] per draw
+/// and stops early when the budget trips, returning the mean over the
+/// samples actually drawn (guarantee-free once exhausted) plus the trip
+/// cause and the draw count.
+pub fn naive_mc_probability_budgeted<R: Rng>(
+    dnf: &Dnf,
+    probs: &[BigRational],
+    samples: u64,
+    budget: &Budget,
+    rng: &mut R,
+) -> (f64, u64, Option<Exhausted>) {
+    assert!(
+        dnf.var_bound() <= probs.len(),
+        "probability vector does not cover all variables"
+    );
+    let pf: Vec<f64> = probs.iter().map(|p| p.to_f64()).collect();
+    let mut hits = 0u64;
+    let mut drawn = 0u64;
+    let mut exhausted = None;
+    let mut assignment = vec![false; pf.len()];
+    for _ in 0..samples {
+        if let Err(e) = budget.charge(Resource::Samples, 1) {
+            exhausted = Some(e);
+            break;
+        }
+        for (v, slot) in assignment.iter_mut().enumerate() {
+            *slot = rng.gen::<f64>() < pf[v];
+        }
+        if dnf.eval(&assignment) {
+            hits += 1;
+        }
+        drawn += 1;
+    }
+    (hits as f64 / drawn.max(1) as f64, drawn, exhausted)
 }
 
 /// Estimate `Pr[φ]` with the additive-(ε, δ) Hoeffding sample count.

@@ -39,7 +39,10 @@ impl TryFrom<RawRelation> for Relation {
                 ));
             }
         }
-        Ok(Relation { arity: raw.arity, tuples: raw.tuples })
+        Ok(Relation {
+            arity: raw.arity,
+            tuples: raw.tuples,
+        })
     }
 }
 

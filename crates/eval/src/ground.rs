@@ -8,6 +8,7 @@
 //! polynomial in `n`, whose probability under `ν` equals the probability
 //! that `ψ` holds in a random actual database.
 
+use qrel_budget::{Budget, Exhausted, Resource};
 use qrel_db::{Database, Fact, FactIndexer};
 use qrel_logic::prop::{AtomTable, Dnf, PropFormula, VarId};
 use qrel_logic::{Formula, Term};
@@ -24,6 +25,8 @@ pub enum GroundError {
     NotExistential,
     /// DNF conversion exceeded the supplied term budget.
     TooLarge { max_terms: usize },
+    /// A cooperative [`Budget`] tripped mid-grounding.
+    Budget(Exhausted),
     /// Underlying evaluation error (unknown relation/constant, arity).
     Eval(EvalError),
 }
@@ -40,6 +43,7 @@ impl fmt::Display for GroundError {
             GroundError::TooLarge { max_terms } => {
                 write!(f, "grounded DNF exceeds {max_terms} terms")
             }
+            GroundError::Budget(e) => write!(f, "grounding interrupted: {e}"),
             GroundError::Eval(e) => write!(f, "{e}"),
         }
     }
@@ -85,6 +89,7 @@ impl Grounding {
 
 struct Grounder<'a> {
     db: &'a Database,
+    budget: &'a Budget,
     indexer: FactIndexer,
     atoms: AtomTable,
     facts: Vec<Fact>,
@@ -129,6 +134,9 @@ impl<'a> Grounder<'a> {
 
     /// Expand an NNF existential formula into a propositional formula.
     fn expand(&mut self, f: &Formula) -> Result<PropFormula, GroundError> {
+        // One checkpoint per node visit covers the n^k tuple loop of the
+        // Exists case — the part of grounding that can run away.
+        self.budget.checkpoint().map_err(GroundError::Budget)?;
         match f {
             Formula::True => Ok(PropFormula::Const(true)),
             Formula::False => Ok(PropFormula::Const(false)),
@@ -216,9 +224,24 @@ pub fn ground_existential(
     bindings: &HashMap<String, u32>,
     max_terms: usize,
 ) -> Result<Grounding, GroundError> {
+    ground_existential_budgeted(db, formula, bindings, max_terms, &Budget::unlimited())
+}
+
+/// [`ground_existential`] under a cooperative [`Budget`]: the expansion
+/// recursion checkpoints the deadline/cancellation on every node, the
+/// DNF size is additionally clamped to the budget's remaining
+/// [`Resource::Terms`], and the produced terms are charged against it.
+pub fn ground_existential_budgeted(
+    db: &Database,
+    formula: &Formula,
+    bindings: &HashMap<String, u32>,
+    max_terms: usize,
+    budget: &Budget,
+) -> Result<Grounding, GroundError> {
     let nnf = formula.to_nnf();
     let mut g = Grounder {
         db,
+        budget,
         indexer: db.fact_indexer(),
         atoms: AtomTable::new(),
         facts: Vec::new(),
@@ -226,10 +249,27 @@ pub fn ground_existential(
         env: bindings.clone(),
     };
     let prop = g.expand(&nnf)?;
-    let mut dnf = prop
-        .to_dnf(max_terms)
-        .ok_or(GroundError::TooLarge { max_terms })?;
+    let effective_max = match budget.remaining(Resource::Terms) {
+        Some(r) => max_terms.min(usize::try_from(r).unwrap_or(usize::MAX)),
+        None => max_terms,
+    };
+    let mut dnf = match prop.to_dnf(effective_max) {
+        Some(d) => d,
+        // Blowup past the caller's cap is `TooLarge`; blowup past the
+        // (tighter) budget cap is a budget trip, recorded by charging
+        // one term past the remainder.
+        None if effective_max < max_terms => {
+            let e = budget
+                .charge(Resource::Terms, effective_max as u64 + 1)
+                .expect_err("terms budget known exhausted");
+            return Err(GroundError::Budget(e));
+        }
+        None => return Err(GroundError::TooLarge { max_terms }),
+    };
     dnf.simplify();
+    budget
+        .charge(Resource::Terms, dnf.num_terms() as u64)
+        .map_err(GroundError::Budget)?;
     // Compact: expansion interns a variable for every atom it *visits*,
     // including ones eliminated by equality constants or simplification.
     // Keep only variables the final DNF mentions, renumbering densely.

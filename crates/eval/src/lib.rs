@@ -19,5 +19,35 @@ pub mod query;
 
 pub use cq::ConjunctiveQuery;
 pub use fo::{eval_formula, eval_sentence, query_answers, EvalError};
-pub use ground::{ground_existential, GroundError, Grounding};
+pub use ground::{ground_existential, ground_existential_budgeted, GroundError, Grounding};
 pub use query::{BoxedQuery, CqQuery, DatalogQuery, FnQuery, FoQuery, Query};
+
+use qrel_budget::{Exhausted, QrelError, Resource};
+
+// The conversions into the workspace error taxonomy live here (next to
+// the error types they consume) because `qrel-budget` sits below this
+// crate and cannot name them.
+impl From<EvalError> for QrelError {
+    fn from(e: EvalError) -> Self {
+        QrelError::Eval(e.to_string())
+    }
+}
+
+impl From<GroundError> for QrelError {
+    fn from(e: GroundError) -> Self {
+        match e {
+            GroundError::NotExistential => QrelError::Unsupported(
+                "formula is not existential (universal or second-order quantifier)".into(),
+            ),
+            // The caller-supplied term cap is a terms budget in all but
+            // name; report it as one so retry logic treats them alike.
+            GroundError::TooLarge { max_terms } => QrelError::BudgetExhausted(Exhausted {
+                resource: Resource::Terms,
+                spent: max_terms as u64,
+                limit: Some(max_terms as u64),
+            }),
+            GroundError::Budget(x) => QrelError::BudgetExhausted(x),
+            GroundError::Eval(e) => QrelError::Eval(e.to_string()),
+        }
+    }
+}

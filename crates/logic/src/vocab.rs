@@ -60,7 +60,9 @@ impl TryFrom<RawVocabulary> for Vocabulary {
         if names.len() != raw.symbols.len() {
             return Err("duplicate relation names in vocabulary".to_string());
         }
-        Ok(Vocabulary { symbols: raw.symbols })
+        Ok(Vocabulary {
+            symbols: raw.symbols,
+        })
     }
 }
 

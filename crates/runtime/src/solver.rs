@@ -1,0 +1,743 @@
+//! The budgeted solver: fragment-based routing plus a graceful
+//! degradation ladder over every reliability method in the workspace.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use qrel_arith::BigRational;
+use qrel_budget::{Budget, Exhausted, QrelError, Resource};
+use qrel_core::{
+    approximate_reliability_budgeted, exact_reliability_budgeted, qf_reliability_budgeted,
+    ApproxOutcome, ExactOutcome, PaddingEstimator, PaddingOutcome, QfOutcome,
+};
+use qrel_count::bounds::hoeffding_samples;
+use qrel_eval::{FoQuery, Query};
+use qrel_logic::Fragment;
+use qrel_prob::{UnreliableDatabase, WorldSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::report::{Confidence, Method, SolveReport, TraceStep};
+
+/// Default cap on `2^u` below which `Method::Auto` runs the exact
+/// enumeration. `2^14` worlds evaluate in well under a second for the
+/// databases in `data/`.
+pub const DEFAULT_MAX_EXACT_WORLDS: u64 = 1 << 14;
+
+/// A candidate answer produced by one ladder rung.
+#[derive(Debug, Clone)]
+struct Answer {
+    estimate: f64,
+    exact: Option<BigRational>,
+    bounds: Option<(f64, f64)>,
+    confidence: Confidence,
+}
+
+/// What a rung did with its budget slice.
+enum Rung {
+    /// Finished with a full-guarantee answer; `String` is the trace note.
+    Done(Answer, String),
+    /// Budget tripped; carries the partial answer (if any estimate was
+    /// accumulated) for the ladder's last-resort report.
+    Degraded(Option<Answer>, Exhausted),
+    /// Method does not apply to this query.
+    Skip(String),
+}
+
+/// The budgeted reliability solver.
+///
+/// Wraps every method in the workspace behind one
+/// [`Solver::solve`] call: routing (for [`Method::Auto`]) follows the
+/// classify-then-solve pattern — quantifier-free queries take the
+/// Prop 3.1 fast path, small world counts take the Thm 4.2 exact
+/// enumeration, existential/universal queries take the Cor 5.5 FPTRAS,
+/// and everything else falls to the Thm 5.12 padding estimator — while
+/// a tripped [`Budget`] degrades to the next-cheaper method instead of
+/// failing, and a panicking rung is caught and skipped.
+#[derive(Debug, Clone)]
+pub struct Solver {
+    method: Method,
+    eps: f64,
+    delta: f64,
+    max_exact_worlds: u64,
+    seed: u64,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver {
+            method: Method::Auto,
+            eps: 0.1,
+            delta: 0.05,
+            max_exact_worlds: DEFAULT_MAX_EXACT_WORLDS,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl Solver {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_method(mut self, method: Method) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Accuracy targets for the sampling rungs.
+    pub fn with_accuracy(mut self, eps: f64, delta: f64) -> Self {
+        assert!(
+            eps > 0.0 && delta > 0.0 && delta < 1.0,
+            "need ε > 0, δ ∈ (0,1)"
+        );
+        self.eps = eps;
+        self.delta = delta;
+        self
+    }
+
+    /// World-count cap under which `Method::Auto` picks the exact
+    /// enumeration.
+    pub fn with_max_exact_worlds(mut self, cap: u64) -> Self {
+        self.max_exact_worlds = cap;
+        self
+    }
+
+    /// Seed for the sampling rungs (deterministic by default).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Solve for the reliability of `query` on `ud` within `budget`.
+    ///
+    /// Returns `Err` only when *no* rung produced even a partial
+    /// estimate — a malformed query, an unsupported fragment for an
+    /// explicitly requested method, or a budget so small nothing ran.
+    /// Every other outcome, including exhaustion, is an `Ok` report
+    /// whose [`Confidence`] says what the number means.
+    pub fn solve(
+        &self,
+        ud: &UnreliableDatabase,
+        query: &FoQuery,
+        budget: &Budget,
+    ) -> Result<SolveReport, QrelError> {
+        let ladder = self.ladder(ud, query, budget);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut trace: Vec<TraceStep> = Vec::new();
+        let mut best_partial: Option<(Answer, Method)> = None;
+        let mut first_error: Option<QrelError> = None;
+
+        for (i, &method) in ladder.iter().enumerate() {
+            let last = i + 1 == ladder.len();
+            let slice = slice_budget(budget, last);
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                self.run_rung(method, ud, query, &slice, &mut rng)
+            }));
+            settle(budget, &slice);
+            match outcome {
+                Ok(Ok(Rung::Done(answer, note))) => {
+                    trace.push(TraceStep { method, note });
+                    return Ok(self.report(answer, method, trace, budget));
+                }
+                Ok(Ok(Rung::Degraded(answer, cause))) => {
+                    trace.push(TraceStep {
+                        method,
+                        note: cause.to_string(),
+                    });
+                    if let Some(mut a) = answer {
+                        a.confidence = Confidence::Partial {
+                            reason: cause.to_string(),
+                        };
+                        best_partial = Some(match best_partial.take() {
+                            Some(b) if width(&b.0) <= width(&a) => b,
+                            _ => (a, method),
+                        });
+                    }
+                }
+                Ok(Ok(Rung::Skip(reason))) => {
+                    trace.push(TraceStep {
+                        method,
+                        note: format!("skipped: {reason}"),
+                    });
+                }
+                Ok(Err(e)) => {
+                    trace.push(TraceStep {
+                        method,
+                        note: format!("failed: {e}"),
+                    });
+                    first_error.get_or_insert(e);
+                }
+                Err(panic) => {
+                    trace.push(TraceStep {
+                        method,
+                        note: format!("panicked: {}", panic_message(&panic)),
+                    });
+                }
+            }
+        }
+
+        match best_partial {
+            Some((answer, method)) => Ok(self.report(answer, method, trace, budget)),
+            None => Err(first_error.unwrap_or_else(|| {
+                QrelError::Degraded(
+                    trace
+                        .iter()
+                        .map(|s| format!("{}: {}", s.method, s.note))
+                        .collect::<Vec<_>>()
+                        .join("; "),
+                )
+            })),
+        }
+    }
+
+    /// Build the rung sequence for this query. Explicit methods get a
+    /// one-rung ladder; `Auto` routes by fragment and world count, then
+    /// appends the universal sampling fallbacks.
+    fn ladder(&self, ud: &UnreliableDatabase, query: &FoQuery, budget: &Budget) -> Vec<Method> {
+        if self.method != Method::Auto {
+            return vec![self.method];
+        }
+        let fragment = query.formula().fragment();
+        let u = ud.uncertain_facts().len();
+        let world_cap = self
+            .max_exact_worlds
+            .min(budget.remaining(Resource::Worlds).unwrap_or(u64::MAX));
+        let fits = u < 64 && (1u64 << u) <= world_cap;
+        let groundable = matches!(
+            fragment,
+            Fragment::QuantifierFree
+                | Fragment::Conjunctive
+                | Fragment::Existential
+                | Fragment::Universal
+        );
+
+        let mut ladder = Vec::new();
+        if fragment == Fragment::QuantifierFree {
+            ladder.push(Method::Qf);
+        } else if fits {
+            ladder.push(Method::Exact);
+        }
+        if groundable && !ladder.contains(&Method::Fptras) {
+            ladder.push(Method::Fptras);
+        }
+        ladder.push(Method::Padding);
+        ladder.push(Method::NaiveMc);
+        ladder
+    }
+
+    fn run_rung(
+        &self,
+        method: Method,
+        ud: &UnreliableDatabase,
+        query: &FoQuery,
+        budget: &Budget,
+        rng: &mut StdRng,
+    ) -> Result<Rung, QrelError> {
+        match method {
+            Method::Auto => unreachable!("Auto expands into concrete rungs"),
+            Method::Qf => self.run_qf(ud, query, budget),
+            Method::Exact => self.run_exact(ud, query, budget),
+            Method::Fptras => self.run_fptras(ud, query, budget, rng),
+            Method::Padding => self.run_padding(ud, query, budget, rng),
+            Method::NaiveMc => self.run_naive_mc(ud, query, budget, rng),
+        }
+    }
+
+    fn run_qf(
+        &self,
+        ud: &UnreliableDatabase,
+        query: &FoQuery,
+        budget: &Budget,
+    ) -> Result<Rung, QrelError> {
+        if !query.formula().is_quantifier_free() {
+            return Ok(Rung::Skip("query is not quantifier-free".into()));
+        }
+        match qf_reliability_budgeted(ud, query.formula(), query.free_vars(), budget)? {
+            QfOutcome::Complete(rep) => {
+                let note = format!(
+                    "completed exactly ({} atoms/tuple)",
+                    rep.max_atoms_per_tuple
+                );
+                Ok(Rung::Done(
+                    Answer {
+                        estimate: rep.reliability.to_f64(),
+                        exact: Some(rep.reliability),
+                        bounds: None,
+                        confidence: Confidence::Exact,
+                    },
+                    note,
+                ))
+            }
+            QfOutcome::Exhausted {
+                partial_expected_error,
+                tuples_done,
+                tuples_total,
+                cause,
+            } => {
+                let nk = tuples_total.max(1) as f64;
+                let lo_h = partial_expected_error.to_f64();
+                let hi_h = lo_h + (tuples_total - tuples_done) as f64;
+                let answer = (tuples_done > 0).then(|| bracketed(lo_h, hi_h, nk));
+                Ok(Rung::Degraded(answer, cause))
+            }
+        }
+    }
+
+    fn run_exact(
+        &self,
+        ud: &UnreliableDatabase,
+        query: &FoQuery,
+        budget: &Budget,
+    ) -> Result<Rung, QrelError> {
+        match exact_reliability_budgeted(ud, query, budget)? {
+            ExactOutcome::Complete(rep) => {
+                let note = format!("completed exactly ({} worlds)", rep.worlds);
+                Ok(Rung::Done(
+                    Answer {
+                        estimate: rep.reliability.to_f64(),
+                        exact: Some(rep.reliability),
+                        bounds: None,
+                        confidence: Confidence::Exact,
+                    },
+                    note,
+                ))
+            }
+            ExactOutcome::Exhausted {
+                partial_expected_error,
+                mass_visited,
+                worlds,
+                cause,
+            } => {
+                let k = query.arity() as i32;
+                let n = ud.observed().size() as f64;
+                let nk = n.powi(k).max(1.0);
+                let lo_h = partial_expected_error.to_f64();
+                let hi_h = lo_h + (1.0 - mass_visited.to_f64()).max(0.0) * nk;
+                let answer = (worlds > 0).then(|| bracketed(lo_h, hi_h, nk));
+                Ok(Rung::Degraded(answer, cause))
+            }
+        }
+    }
+
+    fn run_fptras(
+        &self,
+        ud: &UnreliableDatabase,
+        query: &FoQuery,
+        budget: &Budget,
+        rng: &mut StdRng,
+    ) -> Result<Rung, QrelError> {
+        let outcome = approximate_reliability_budgeted(
+            ud,
+            query.formula(),
+            query.free_vars(),
+            self.eps,
+            self.delta,
+            budget,
+            rng,
+        );
+        match outcome {
+            Ok(ApproxOutcome::Complete(rep)) => {
+                let note = format!(
+                    "completed with (ε={}, δ={}) guarantee ({} tuples)",
+                    self.eps, self.delta, rep.tuples
+                );
+                Ok(Rung::Done(
+                    Answer {
+                        estimate: rep.reliability.clamp(0.0, 1.0),
+                        exact: None,
+                        bounds: None,
+                        confidence: Confidence::Fptras {
+                            eps: self.eps,
+                            delta: self.delta,
+                        },
+                    },
+                    note,
+                ))
+            }
+            Ok(ApproxOutcome::Exhausted {
+                partial_expected_error,
+                tuples_done,
+                tuples_total,
+                cause,
+            }) => {
+                // The in-flight tuple's estimate is guarantee-free, so
+                // these bounds are advisory, not hard — bounds stay None.
+                let nk = tuples_total.max(1) as f64;
+                let hi_h = partial_expected_error + (tuples_total - tuples_done) as f64;
+                let estimate = 1.0 - (partial_expected_error + hi_h) / (2.0 * nk);
+                let answer = (tuples_done > 0 || partial_expected_error > 0.0).then(|| Answer {
+                    estimate: estimate.clamp(0.0, 1.0),
+                    exact: None,
+                    bounds: None,
+                    confidence: Confidence::Exact, // overwritten by the ladder
+                });
+                Ok(Rung::Degraded(answer, cause))
+            }
+            Err(QrelError::Unsupported(reason)) => Ok(Rung::Skip(reason)),
+            Err(QrelError::BudgetExhausted(cause)) => Ok(Rung::Degraded(None, cause)),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn run_padding(
+        &self,
+        ud: &UnreliableDatabase,
+        query: &FoQuery,
+        budget: &Budget,
+        rng: &mut StdRng,
+    ) -> Result<Rung, QrelError> {
+        let est = PaddingEstimator::default_xi();
+        match est.estimate_reliability_budgeted(ud, query, self.eps, self.delta, budget, rng)? {
+            PaddingOutcome::Complete(rep) => {
+                let note = format!(
+                    "completed with (ε={}, δ={}) guarantee ({} worlds)",
+                    self.eps, self.delta, rep.samples
+                );
+                Ok(Rung::Done(
+                    Answer {
+                        estimate: rep.estimate.clamp(0.0, 1.0),
+                        exact: None,
+                        bounds: None,
+                        confidence: Confidence::Fptras {
+                            eps: self.eps,
+                            delta: self.delta,
+                        },
+                    },
+                    note,
+                ))
+            }
+            PaddingOutcome::Exhausted {
+                partial_estimate,
+                samples,
+                cause,
+            } => {
+                let answer = (samples > 0).then(|| Answer {
+                    estimate: partial_estimate.clamp(0.0, 1.0),
+                    exact: None,
+                    bounds: None,
+                    confidence: Confidence::Exact, // overwritten by the ladder
+                });
+                Ok(Rung::Degraded(answer, cause))
+            }
+        }
+    }
+
+    /// Direct Monte-Carlo: sample worlds, count the per-world symmetric
+    /// difference `|ψ^𝔄 Δ ψ^𝔅|/n^k ∈ [0, 1]`, and average. One world
+    /// serves every tuple at once and the per-world statistic is already
+    /// the normalized error, so a single Hoeffding bound on `t` samples
+    /// gives `±ε` on the reliability itself — no per-tuple `ε/n^k`
+    /// split, which is what makes this the cheapest rung.
+    fn run_naive_mc(
+        &self,
+        ud: &UnreliableDatabase,
+        query: &FoQuery,
+        budget: &Budget,
+        rng: &mut StdRng,
+    ) -> Result<Rung, QrelError> {
+        let k = query.arity();
+        let db = ud.observed();
+        let tuples: Vec<Vec<u32>> = db.universe().tuples(k).collect();
+        let nk = tuples.len().max(1);
+        let observed = query.answers(db)?;
+        let sampler = WorldSampler::new(ud);
+        let t = hoeffding_samples(self.eps, self.delta);
+
+        let mut total = 0.0f64;
+        let mut drawn = 0u64;
+        let mut cause = None;
+        for _ in 0..t {
+            if let Err(e) = budget.charge(Resource::Samples, 1) {
+                cause = Some(e);
+                break;
+            }
+            let answers = query.answers(&sampler.sample(rng))?;
+            let diff = tuples
+                .iter()
+                .filter(|tuple| answers.contains(tuple) != observed.contains(tuple))
+                .count();
+            total += diff as f64 / nk as f64;
+            drawn += 1;
+        }
+        let estimate = (1.0 - total / drawn.max(1) as f64).clamp(0.0, 1.0);
+        match cause {
+            None => Ok(Rung::Done(
+                Answer {
+                    estimate,
+                    exact: None,
+                    bounds: None,
+                    confidence: Confidence::Fptras {
+                        eps: self.eps,
+                        delta: self.delta,
+                    },
+                },
+                format!(
+                    "completed with (ε={}, δ={}) Hoeffding guarantee ({drawn} worlds)",
+                    self.eps, self.delta
+                ),
+            )),
+            Some(cause) => {
+                let answer = (drawn > 0).then_some(Answer {
+                    estimate,
+                    exact: None,
+                    bounds: None,
+                    confidence: Confidence::Exact, // overwritten by the ladder
+                });
+                Ok(Rung::Degraded(answer, cause))
+            }
+        }
+    }
+
+    fn report(
+        &self,
+        answer: Answer,
+        method: Method,
+        trace: Vec<TraceStep>,
+        budget: &Budget,
+    ) -> SolveReport {
+        SolveReport {
+            reliability: answer.estimate.clamp(0.0, 1.0),
+            exact: answer.exact,
+            bounds: answer.bounds,
+            confidence: answer.confidence,
+            method,
+            trace,
+            elapsed: budget.elapsed(),
+            worlds: budget.spent(Resource::Worlds),
+            samples: budget.spent(Resource::Samples),
+            terms: budget.spent(Resource::Terms),
+        }
+    }
+}
+
+/// Reliability bracket from hard bounds on the expected error `H`.
+fn bracketed(lo_h: f64, hi_h: f64, nk: f64) -> Answer {
+    let lo = (1.0 - hi_h / nk).clamp(0.0, 1.0);
+    let hi = (1.0 - lo_h / nk).clamp(0.0, 1.0);
+    Answer {
+        estimate: (lo + hi) / 2.0,
+        exact: None,
+        bounds: Some((lo, hi)),
+        confidence: Confidence::Exact, // overwritten by the ladder
+    }
+}
+
+/// Width of a partial answer's bracket (1 when there are no bounds),
+/// used to keep the most informative partial across rungs.
+fn width(a: &Answer) -> f64 {
+    a.bounds.map(|(lo, hi)| hi - lo).unwrap_or(1.0)
+}
+
+/// Derive a rung budget from the parent: half the remaining time and
+/// counters for a non-final rung (so a trip leaves room to degrade),
+/// everything left for the final rung. The cancel token is shared.
+fn slice_budget(parent: &Budget, last: bool) -> Budget {
+    let halve = |n: u64| if last { n } else { n.div_ceil(2) };
+    let mut b = Budget::unlimited().with_cancel_token(parent.cancel_token());
+    if let Some(left) = parent.time_left() {
+        b = b.with_deadline(if last { left } else { left / 2 });
+    }
+    if let Some(n) = parent.remaining(Resource::Worlds) {
+        b = b.with_max_worlds(halve(n));
+    }
+    if let Some(n) = parent.remaining(Resource::Samples) {
+        b = b.with_max_samples(halve(n));
+    }
+    if let Some(n) = parent.remaining(Resource::Terms) {
+        b = b.with_max_terms(halve(n));
+    }
+    b
+}
+
+/// Charge a finished rung's spend back into the parent budget (the
+/// trip, if any, is already recorded — the `Err` here is irrelevant).
+fn settle(parent: &Budget, slice: &Budget) {
+    for r in [Resource::Worlds, Resource::Samples, Resource::Terms] {
+        let _ = parent.charge(r, slice.spent(r));
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrel_budget::CancelToken;
+    use qrel_core::exact_reliability;
+    use qrel_db::{DatabaseBuilder, Fact};
+    use std::time::Duration;
+
+    fn r(n: i64, d: u64) -> BigRational {
+        BigRational::from_ratio(n, d)
+    }
+
+    /// Three uncertain S-facts over a 3-element universe (8 worlds).
+    fn small_ud() -> UnreliableDatabase {
+        let db = DatabaseBuilder::new()
+            .universe_size(3)
+            .relation("S", 1)
+            .tuples("S", [vec![0], vec![2]])
+            .build();
+        let mut ud = UnreliableDatabase::reliable(db);
+        ud.set_relation_error("S", r(1, 4)).unwrap();
+        ud
+    }
+
+    /// Sixteen uncertain facts (65536 worlds) — past the test cap below.
+    fn wide_ud() -> UnreliableDatabase {
+        let db = DatabaseBuilder::new()
+            .universe_size(16)
+            .relation("S", 1)
+            .tuples("S", (0..8).map(|i| vec![i]))
+            .build();
+        let mut ud = UnreliableDatabase::reliable(db);
+        for i in 0..16 {
+            ud.set_error(&Fact::new(0, vec![i]), r(1, 10)).unwrap();
+        }
+        ud
+    }
+
+    #[test]
+    fn auto_routes_qf_and_matches_oracle() {
+        let ud = small_ud();
+        let q = FoQuery::parse("S(x)").unwrap();
+        let report = Solver::new().solve(&ud, &q, &Budget::unlimited()).unwrap();
+        assert_eq!(report.method, Method::Qf);
+        assert_eq!(report.confidence, Confidence::Exact);
+        let oracle = exact_reliability(&ud, &q).unwrap().reliability;
+        assert_eq!(report.exact.unwrap(), oracle);
+    }
+
+    #[test]
+    fn auto_routes_exact_when_worlds_fit() {
+        let ud = small_ud();
+        let q = FoQuery::parse("exists x. S(x)").unwrap();
+        let report = Solver::new().solve(&ud, &q, &Budget::unlimited()).unwrap();
+        assert_eq!(report.method, Method::Exact);
+        let oracle = exact_reliability(&ud, &q).unwrap().reliability;
+        assert_eq!(report.exact.unwrap(), oracle);
+    }
+
+    #[test]
+    fn auto_degrades_to_fptras_when_worlds_capped() {
+        let ud = small_ud();
+        let q = FoQuery::parse("exists x. S(x)").unwrap();
+        let report = Solver::new()
+            .with_max_exact_worlds(4)
+            .solve(&ud, &q, &Budget::unlimited())
+            .unwrap();
+        assert_eq!(report.method, Method::Fptras);
+        assert!(report.confidence.is_guaranteed());
+        let oracle = exact_reliability(&ud, &q).unwrap().reliability.to_f64();
+        assert!(
+            (report.reliability - oracle).abs() <= 0.1,
+            "fptras answer {} vs oracle {oracle}",
+            report.reliability
+        );
+    }
+
+    #[test]
+    fn exhausted_budget_returns_partial_with_trace() {
+        let ud = wide_ud();
+        let q = FoQuery::parse("exists x. S(x)").unwrap();
+        // Worlds run out mid-enumeration, samples run out mid-sampling:
+        // every rung degrades and the best partial survives.
+        let budget = Budget::unlimited()
+            .with_max_worlds(100)
+            .with_max_samples(40);
+        let report = Solver::new().solve(&ud, &q, &budget).unwrap();
+        assert!(report.is_degraded());
+        assert!((0.0..=1.0).contains(&report.reliability));
+        assert!(report.trace.len() >= 2, "trace: {}", report.trace_line());
+        let line = report.trace_line();
+        assert!(line.starts_with("tried "), "trace: {line}");
+        assert!(line.contains("fell back to "), "trace: {line}");
+        if let Some((lo, hi)) = report.bounds {
+            assert!(lo <= report.reliability && report.reliability <= hi);
+        }
+    }
+
+    #[test]
+    fn cancelled_before_start_yields_error_not_panic() {
+        let ud = small_ud();
+        let q = FoQuery::parse("exists x. S(x)").unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = Budget::unlimited().with_cancel_token(token);
+        let err = Solver::new().solve(&ud, &q, &budget).unwrap_err();
+        assert!(
+            matches!(err, QrelError::BudgetExhausted(_) | QrelError::Degraded(_)),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn explicit_exact_without_budget_is_exact() {
+        let ud = wide_ud();
+        let q = FoQuery::parse("exists x. S(x)").unwrap();
+        let report = Solver::new()
+            .with_method(Method::Exact)
+            .solve(&ud, &q, &Budget::unlimited())
+            .unwrap();
+        assert_eq!(report.confidence, Confidence::Exact);
+        assert_eq!(report.worlds, 1 << 16);
+        let oracle = exact_reliability(&ud, &q).unwrap().reliability;
+        assert_eq!(report.exact.unwrap(), oracle);
+    }
+
+    #[test]
+    fn explicit_qf_on_quantified_query_is_unsupported() {
+        let ud = small_ud();
+        let q = FoQuery::parse("exists x. S(x)").unwrap();
+        let err = Solver::new()
+            .with_method(Method::Qf)
+            .solve(&ud, &q, &Budget::unlimited())
+            .unwrap_err();
+        assert!(matches!(err, QrelError::Degraded(_)), "got: {err}");
+    }
+
+    #[test]
+    fn naive_mc_agrees_with_oracle() {
+        let ud = small_ud();
+        let q = FoQuery::parse("exists x. S(x)").unwrap();
+        let report = Solver::new()
+            .with_method(Method::NaiveMc)
+            .with_accuracy(0.05, 0.02)
+            .solve(&ud, &q, &Budget::unlimited())
+            .unwrap();
+        let oracle = exact_reliability(&ud, &q).unwrap().reliability.to_f64();
+        assert!(
+            (report.reliability - oracle).abs() <= 0.05,
+            "mc answer {} vs oracle {oracle}",
+            report.reliability
+        );
+    }
+
+    #[test]
+    fn deadline_is_respected_within_slack() {
+        let ud = wide_ud();
+        let q = FoQuery::parse("exists x. S(x)").unwrap();
+        let budget = Budget::unlimited().with_deadline(Duration::from_millis(200));
+        let started = std::time::Instant::now();
+        let result = Solver::new()
+            .with_max_exact_worlds(1 << 20)
+            .solve(&ud, &q, &budget);
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(1000),
+            "solve took {elapsed:?} against a 200ms deadline"
+        );
+        // Whatever came back, it must be well-formed.
+        if let Ok(report) = result {
+            assert!((0.0..=1.0).contains(&report.reliability));
+        }
+    }
+}

@@ -6,24 +6,38 @@
 //! qrel probability --db spec.json --query "exists x. S(x)"
 //!                  [--method exact|fptras|padding] [--eps E] [--delta D] [--seed S]
 //! qrel reliability --db spec.json --query "S(x)" [--free x,y]
-//!                  [--method exact|qf|approx|padding] [--eps E] [--delta D] [--seed S]
+//!                  [--method auto|exact|qf|fptras|padding|mc]
+//!                  [--timeout-ms T] [--max-worlds N] [--max-samples N] [--max-terms N]
+//!                  [--eps E] [--delta D] [--seed S]
 //! qrel example-spec
 //! ```
 //!
 //! The database spec format is documented in `qrel::prob::spec` (see
 //! `qrel example-spec` for a starter file).
+//!
+//! Exit codes for `reliability`: `0` = the answer carries the strongest
+//! guarantee the requested method offers (exact for `auto`), `2` = the
+//! solver degraded — an approximate or partial answer under `auto`, or a
+//! budget trip — and `1` = hard failure (bad spec, bad query, no method
+//! produced any estimate).
 
 use qrel::prelude::*;
 use qrel::prob::UnreliableDatabaseSpec;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
 use std::process::ExitCode;
+use std::time::Duration;
+
+/// Exit code for a degraded (approximate or partial) answer — distinct
+/// from `1`, which signals hard failure.
+const EXIT_DEGRADED: u8 = 2;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!("run `qrel help` for usage");
@@ -89,26 +103,26 @@ fn load_spec(path: &str) -> Result<UnreliableDatabase, String> {
     spec.build().map_err(|e| format!("invalid spec: {e}"))
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some(command) = args.first() else {
         print_help();
-        return Ok(());
+        return Ok(ExitCode::SUCCESS);
     };
     let opts = Options::parse(&args[1..])?;
     match command.as_str() {
         "help" | "--help" | "-h" => {
             print_help();
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "example-spec" => {
             print_example_spec();
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
-        "check" => cmd_check(&opts),
-        "worlds" => cmd_worlds(&opts),
-        "probability" => cmd_probability(&opts),
+        "check" => cmd_check(&opts).map(|()| ExitCode::SUCCESS),
+        "worlds" => cmd_worlds(&opts).map(|()| ExitCode::SUCCESS),
+        "probability" => cmd_probability(&opts).map(|()| ExitCode::SUCCESS),
         "reliability" => cmd_reliability(&opts),
-        "marginals" => cmd_marginals(&opts),
+        "marginals" => cmd_marginals(&opts).map(|()| ExitCode::SUCCESS),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -123,9 +137,13 @@ fn print_help() {
          \x20 probability  --db spec.json --query Q [--method exact|fptras|padding]\n\
          \x20              [--eps E] [--delta D] [--seed S]\n\
          \x20 reliability  --db spec.json --query Q [--free x,y]\n\
-         \x20              [--method exact|qf|approx|padding] [--eps E] [--delta D] [--seed S]\n\
+         \x20              [--method auto|exact|qf|fptras|padding|mc]\n\
+         \x20              [--timeout-ms T] [--max-worlds N] [--max-samples N] [--max-terms N]\n\
+         \x20              [--eps E] [--delta D] [--seed S]\n\
          \x20 marginals    --db spec.json --query Q [--free x,y]\n\
-         \x20 example-spec\n"
+         \x20 example-spec\n\n\
+         reliability exit codes: 0 = full-guarantee answer, \
+         2 = degraded (approximate/partial), 1 = hard failure\n"
     );
 }
 
@@ -171,6 +189,33 @@ fn cmd_check(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// A world ranked by probability, ordered for the bounded min-heap in
+/// [`cmd_worlds`] (ties broken toward keeping the earliest world).
+struct RankedWorld {
+    p: BigRational,
+    seq: u64,
+    world: Database,
+}
+
+impl PartialEq for RankedWorld {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for RankedWorld {}
+impl PartialOrd for RankedWorld {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for RankedWorld {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Lower probability = "greater" so BinaryHeap pops the weakest
+        // survivor first; among equals, evict the later world.
+        other.p.cmp(&self.p).then(self.seq.cmp(&other.seq))
+    }
+}
+
 fn cmd_worlds(opts: &Options) -> Result<(), String> {
     let ud = load_spec(opts.required("db")?)?;
     let limit = opts.get_u64("limit", 16)? as usize;
@@ -180,15 +225,38 @@ fn cmd_worlds(opts: &Options) -> Result<(), String> {
             "{u} uncertain facts — enumeration would not fit; ≤ 20 supported"
         ));
     }
-    let mut worlds: Vec<_> = ud.worlds().collect();
-    worlds.sort_by(|a, b| b.1.cmp(&a.1));
-    println!(
-        "{} worlds (showing up to {limit}, most probable first):\n",
-        worlds.len()
-    );
-    for (i, (w, p)) in worlds.iter().take(limit).enumerate() {
-        println!("world #{i}: probability {p} (≈ {:.6})", p.to_f64());
-        println!("{w}");
+    // Stream the worlds through a bounded min-heap: memory is O(limit),
+    // not O(2^u), so `--limit 5` on a 20-fact spec never materialises a
+    // million world structs.
+    let mut heap: BinaryHeap<RankedWorld> = BinaryHeap::with_capacity(limit + 1);
+    let mut total = 0u64;
+    for (world, p) in ud.worlds() {
+        let seq = total;
+        total += 1;
+        if heap.len() == limit {
+            // Cheap pre-check: skip the clone when this world cannot
+            // enter the top-`limit`.
+            if let Some(weakest) = heap.peek() {
+                if p <= weakest.p {
+                    continue;
+                }
+            }
+        }
+        heap.push(RankedWorld { p, seq, world });
+        if heap.len() > limit {
+            heap.pop();
+        }
+    }
+    let mut top = heap.into_vec();
+    top.sort_by(|a, b| b.p.cmp(&a.p).then(a.seq.cmp(&b.seq)));
+    println!("{total} worlds (showing up to {limit}, most probable first):\n");
+    for (i, ranked) in top.iter().enumerate() {
+        println!(
+            "world #{i}: probability {} (≈ {:.6})",
+            ranked.p,
+            ranked.p.to_f64()
+        );
+        println!("{}", ranked.world);
     }
     Ok(())
 }
@@ -281,67 +349,90 @@ fn cmd_marginals(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_reliability(opts: &Options) -> Result<(), String> {
+/// Assemble the [`Budget`] from `--timeout-ms` / `--max-worlds` /
+/// `--max-samples` / `--max-terms`.
+fn build_budget(opts: &Options) -> Result<Budget, String> {
+    let mut budget = Budget::unlimited();
+    if let Some(ms) = opts.get("timeout-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| "--timeout-ms expects milliseconds".to_string())?;
+        budget = budget.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(n) = opts.get("max-worlds") {
+        let n: u64 = n
+            .parse()
+            .map_err(|_| "--max-worlds expects an integer".to_string())?;
+        budget = budget.with_max_worlds(n);
+    }
+    if let Some(n) = opts.get("max-samples") {
+        let n: u64 = n
+            .parse()
+            .map_err(|_| "--max-samples expects an integer".to_string())?;
+        budget = budget.with_max_samples(n);
+    }
+    if let Some(n) = opts.get("max-terms") {
+        let n: u64 = n
+            .parse()
+            .map_err(|_| "--max-terms expects an integer".to_string())?;
+        budget = budget.with_max_terms(n);
+    }
+    Ok(budget)
+}
+
+fn cmd_reliability(opts: &Options) -> Result<ExitCode, String> {
     let ud = load_spec(opts.required("db")?)?;
     let (f, free) = parse_query(opts)?;
-    let method = opts.get("method").unwrap_or("exact");
-    if !matches!(method, "exact" | "qf" | "approx" | "padding") {
-        return Err(format!("unknown method {method:?}"));
-    }
+    let method_name = opts.get("method").unwrap_or("auto");
+    let method = Method::parse(method_name).ok_or_else(|| {
+        format!("unknown method {method_name:?} (auto|exact|qf|fptras|padding|mc)")
+    })?;
     let eps = opts.get_f64("eps", 0.05)?;
     let delta = opts.get_f64("delta", 0.05)?;
     let seed = opts.get_u64("seed", 0)?;
-    let mut rng = StdRng::seed_from_u64(seed);
-    match method {
-        "exact" => {
-            let q = FoQuery::with_free_order(f, free);
-            let rep = exact_reliability(&ud, &q).map_err(|e| e.to_string())?;
-            println!(
-                "H_ψ = {} (≈ {:.6})",
-                rep.expected_error,
-                rep.expected_error.to_f64()
-            );
-            println!(
-                "R_ψ = {} (≈ {:.6})",
-                rep.reliability,
-                rep.reliability.to_f64()
-            );
-            println!("worlds enumerated: {}", rep.worlds);
+    let budget = build_budget(opts)?;
+    let solver = Solver::new()
+        .with_method(method)
+        .with_accuracy(eps, delta)
+        .with_seed(seed);
+    let q = FoQuery::with_free_order(f, free);
+    let report = solver.solve(&ud, &q, &budget).map_err(|e| e.to_string())?;
+
+    match (&report.exact, report.bounds) {
+        (Some(r), _) => {
+            println!("R_ψ = {} (≈ {:.6})", r, r.to_f64());
         }
-        "qf" => {
-            let rep = qf_reliability(&ud, &f, &free).map_err(|e| e.to_string())?;
+        (None, Some((lo, hi))) => {
             println!(
-                "H_ψ = {} (≈ {:.6})",
-                rep.expected_error,
-                rep.expected_error.to_f64()
-            );
-            println!(
-                "R_ψ = {} (≈ {:.6})",
-                rep.reliability,
-                rep.reliability.to_f64()
-            );
-            println!("(quantifier-free fast path, Prop 3.1)");
-        }
-        "approx" => {
-            let rep = approximate_reliability(&ud, &f, &free, eps, delta, Route::Direct, &mut rng)
-                .map_err(|e| e.to_string())?;
-            println!(
-                "R_ψ ≈ {:.6}   (Cor 5.5, ε = {eps}, δ = {delta})",
-                rep.reliability
+                "R_ψ ≈ {:.6}   (bounded: {lo:.6} ≤ R_ψ ≤ {hi:.6})",
+                report.reliability
             );
         }
-        "padding" => {
-            let q = FoQuery::with_free_order(f, free);
-            let est = PaddingEstimator::default_xi();
-            let rep = est
-                .estimate_reliability(&ud, &q, eps, delta, &mut rng)
-                .map_err(|e| e.to_string())?;
-            println!(
-                "R_ψ ≈ {:.6}   (Thm 5.12 padding, {} samples)",
-                rep.estimate, rep.samples
-            );
+        (None, None) => {
+            println!("R_ψ ≈ {:.6}", report.reliability);
         }
-        other => return Err(format!("unknown method {other:?}")),
     }
-    Ok(())
+    println!(
+        "method: {}   confidence: {}",
+        report.method, report.confidence
+    );
+    println!("trace: {}", report.trace_line());
+    println!(
+        "spent: {} worlds, {} samples, {} DNF terms, {}ms",
+        report.worlds,
+        report.samples,
+        report.terms,
+        report.elapsed.as_millis()
+    );
+
+    // Under `auto` the strongest possible answer is the exact rational,
+    // so anything approximate counts as degraded; an explicit sampling
+    // method that delivered its (ε, δ) guarantee is what was asked for.
+    let degraded = report.is_degraded()
+        || (method == Method::Auto && !matches!(report.confidence, Confidence::Exact));
+    Ok(if degraded {
+        ExitCode::from(EXIT_DEGRADED)
+    } else {
+        ExitCode::SUCCESS
+    })
 }

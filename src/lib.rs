@@ -21,6 +21,9 @@
 //! * [`prob`] — the `(𝔄, μ)` model, possible worlds, sampling, the `g` normalizer;
 //! * [`count`] — exact #SAT / Prob-DNF oracles, Karp–Luby FPTRAS, sample bounds;
 //! * [`core`] — the paper's reliability algorithms and hardness reductions;
+//! * [`budget`] — cooperative work budgets, cancellation, [`budget::QrelError`];
+//! * [`runtime`] — the budgeted [`runtime::Solver`] with the graceful
+//!   degradation ladder;
 //! * [`metafinite`] — functional databases with aggregates (Section 6).
 //!
 //! ## Quick example
@@ -45,6 +48,7 @@
 //! ```
 
 pub use qrel_arith as arith;
+pub use qrel_budget as budget;
 pub use qrel_core as core;
 pub use qrel_count as count;
 pub use qrel_db as db;
@@ -52,6 +56,7 @@ pub use qrel_eval as eval;
 pub use qrel_logic as logic;
 pub use qrel_metafinite as metafinite;
 pub use qrel_prob as prob;
+pub use qrel_runtime as runtime;
 
 /// One-stop imports for examples and applications.
 pub mod prelude {
@@ -78,4 +83,7 @@ pub mod prelude {
         EntryDistribution, FunctionalDatabase, MTerm, MultisetOp, ROp, UnreliableFunctionalDatabase,
     };
     pub use qrel_prob::{ErrorModel, UnreliableDatabase, WorldSampler};
+    pub use qrel_runtime::{
+        Budget, CancelToken, Confidence, Method, QrelError, Resource, SolveReport, Solver,
+    };
 }

@@ -14,6 +14,21 @@ fn qrel(args: &[&str]) -> (bool, String, String) {
     )
 }
 
+/// Like [`qrel`], but exposes the raw exit code — the reliability
+/// command distinguishes 0 (full guarantee), 2 (degraded), 1 (hard
+/// failure).
+fn qrel_code(args: &[&str]) -> (Option<i32>, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_qrel"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
 fn write_example_spec() -> tempfile_path::TempPath {
     let (ok, spec, _) = qrel(&["example-spec"]);
     assert!(ok);
@@ -170,6 +185,109 @@ fn error_paths() {
     ]);
     assert!(!ok);
     assert!(stderr.contains("free"));
+}
+
+#[test]
+fn auto_method_exact_on_small_spec_exits_zero() {
+    let spec = write_example_spec();
+    let (code, stdout, stderr) = qrel_code(&[
+        "reliability",
+        "--db",
+        spec.as_str(),
+        "--query",
+        "exists x. Admin(x)",
+        "--method",
+        "auto",
+    ]);
+    assert_eq!(code, Some(0), "{stdout}{stderr}");
+    assert!(stdout.contains("R_ψ ="), "{stdout}");
+    assert!(stdout.contains("confidence: exact"), "{stdout}");
+    assert!(stdout.contains("trace: tried "), "{stdout}");
+}
+
+#[test]
+fn tight_budget_degrades_with_trace_and_distinct_exit_code() {
+    // 16 uncertain facts → 2^16 worlds: exact can't fit --max-worlds
+    // 100, and the sampling rungs trip on --max-samples 40, so auto
+    // must fall down the ladder and report a partial answer.
+    let spec = concat!(env!("CARGO_MANIFEST_DIR"), "/data/uncertain16.json");
+    let (code, stdout, stderr) = qrel_code(&[
+        "reliability",
+        "--db",
+        spec,
+        "--query",
+        "exists x. S(x)",
+        "--method",
+        "auto",
+        "--timeout-ms",
+        "200",
+        "--max-worlds",
+        "100",
+        "--max-samples",
+        "40",
+    ]);
+    assert_eq!(code, Some(2), "{stdout}{stderr}");
+    assert!(stdout.contains("R_ψ"), "{stdout}");
+    assert!(stdout.contains("confidence: partial"), "{stdout}");
+    assert!(stdout.contains("trace: tried "), "{stdout}");
+    assert!(stdout.contains("fell back to "), "{stdout}");
+}
+
+#[test]
+fn explicit_exact_method_stays_exact_exit_zero() {
+    let spec = write_example_spec();
+    let (code, stdout, stderr) = qrel_code(&[
+        "reliability",
+        "--db",
+        spec.as_str(),
+        "--query",
+        "exists x y. Knows(x, y)",
+        "--method",
+        "exact",
+    ]);
+    assert_eq!(code, Some(0), "{stdout}{stderr}");
+    assert!(stdout.contains("R_ψ ="), "{stdout}");
+    assert!(stdout.contains("confidence: exact"), "{stdout}");
+}
+
+#[test]
+fn explicit_sampling_method_with_guarantee_exits_zero() {
+    // An explicitly requested sampling method that delivers its (ε, δ)
+    // guarantee is the strongest answer the caller asked for: exit 0.
+    let spec = write_example_spec();
+    let (code, stdout, stderr) = qrel_code(&[
+        "reliability",
+        "--db",
+        spec.as_str(),
+        "--query",
+        "exists x. Admin(x)",
+        "--method",
+        "mc",
+        "--eps",
+        "0.2",
+        "--delta",
+        "0.1",
+        "--seed",
+        "7",
+    ]);
+    assert_eq!(code, Some(0), "{stdout}{stderr}");
+    assert!(stdout.contains("R_ψ ≈"), "{stdout}");
+}
+
+#[test]
+fn bad_method_is_a_hard_failure_exit_one() {
+    let spec = write_example_spec();
+    let (code, _, stderr) = qrel_code(&[
+        "reliability",
+        "--db",
+        spec.as_str(),
+        "--query",
+        "exists x. Admin(x)",
+        "--method",
+        "bogus",
+    ]);
+    assert_eq!(code, Some(1), "{stderr}");
+    assert!(stderr.contains("unknown method"), "{stderr}");
 }
 
 #[test]

@@ -121,6 +121,61 @@ proptest! {
     }
 
     #[test]
+    fn solver_with_tiny_budget_never_panics(
+        ud in ud_strategy(),
+        worlds in 1u64..20,
+        samples in 1u64..50,
+    ) {
+        // Whatever runs out first, solve() must come back with either a
+        // well-formed report or a structured error — never a panic.
+        let q = FoQuery::new(parse_formula("exists x y. E(x,y) & S(y)").unwrap());
+        let budget = Budget::unlimited()
+            .with_max_worlds(worlds)
+            .with_max_samples(samples)
+            .with_max_terms(64);
+        match Solver::new().solve(&ud, &q, &budget) {
+            Ok(report) => {
+                prop_assert!((0.0..=1.0).contains(&report.reliability));
+                prop_assert!(!report.trace.is_empty());
+                if let Some((lo, hi)) = report.bounds {
+                    prop_assert!(lo <= hi);
+                    prop_assert!(lo <= report.reliability && report.reliability <= hi);
+                }
+            }
+            // A hard error (budget too small for any rung to finish a
+            // unit of work) is acceptable; panicking is not.
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn solver_returns_within_twice_deadline(ud in ud_strategy()) {
+        let q = FoQuery::new(parse_formula("exists x y. E(x,y) & S(y)").unwrap());
+        let deadline = std::time::Duration::from_millis(50);
+        let budget = Budget::unlimited().with_deadline(deadline);
+        let started = std::time::Instant::now();
+        let _ = Solver::new().solve(&ud, &q, &budget);
+        let elapsed = started.elapsed();
+        // ~2× the deadline, plus fixed slack for checkpoint granularity.
+        prop_assert!(
+            elapsed <= deadline * 2 + std::time::Duration::from_millis(150),
+            "solve took {elapsed:?} against a {deadline:?} deadline"
+        );
+    }
+
+    #[test]
+    fn solver_exact_confidence_matches_oracle(ud in ud_strategy()) {
+        // These instances have ≤ 2^5 worlds, so auto must route to an
+        // exact method, and Confidence::Exact answers must equal the
+        // Thm 4.2 oracle.
+        let q = FoQuery::new(parse_formula("exists x y. E(x,y) & S(y)").unwrap());
+        let report = Solver::new().solve(&ud, &q, &Budget::unlimited()).unwrap();
+        prop_assert!(matches!(report.confidence, Confidence::Exact));
+        let oracle = exact_reliability(&ud, &q).unwrap().reliability;
+        prop_assert_eq!(report.exact.clone().unwrap(), oracle);
+    }
+
+    #[test]
     fn padded_identity_exact(ud in ud_strategy(), xn in 1i64..4) {
         // ν(ψ') = ξ² + (ξ−ξ²)ν(ψ) as exact rationals, ξ = xn/8 ∈ (0, 1/2).
         let xi = r(xn, 8);

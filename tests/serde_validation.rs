@@ -18,13 +18,11 @@ fn biguint_deserialize_canonicalizes_trailing_zeros() {
 #[test]
 fn bigint_deserialize_renormalizes_zero() {
     // sign Negative with zero magnitude must collapse to canonical zero.
-    let x: BigInt =
-        serde_json::from_str(r#"{"sign":"Negative","mag":{"limbs":[]}}"#).unwrap();
+    let x: BigInt = serde_json::from_str(r#"{"sign":"Negative","mag":{"limbs":[]}}"#).unwrap();
     assert!(x.is_zero());
     assert_eq!(x, BigInt::zero());
     // Zero sign with nonzero magnitude is repaired to positive.
-    let y: BigInt =
-        serde_json::from_str(r#"{"sign":"Zero","mag":{"limbs":[3]}}"#).unwrap();
+    let y: BigInt = serde_json::from_str(r#"{"sign":"Zero","mag":{"limbs":[3]}}"#).unwrap();
     assert_eq!(y, BigInt::from_i64(3));
 }
 
