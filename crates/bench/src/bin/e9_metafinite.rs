@@ -23,7 +23,7 @@ fn r(n: i64, d: u64) -> BigRational {
 fn census(n: usize, uncertain: usize, rng: &mut StdRng) -> UnreliableFunctionalDatabase {
     let mut db = FunctionalDatabase::new(n);
     let salaries: Vec<BigRational> = (0..n)
-        .map(|_| r(rng.gen_range(30..120) * 1000, 1))
+        .map(|_| r(rng.gen_range(30i64..120) * 1000, 1))
         .collect();
     let depts: Vec<BigRational> = (0..n).map(|_| r(rng.gen_range(1..4), 1)).collect();
     db.add_function_values("salary", 1, salaries.clone());

@@ -130,10 +130,12 @@ impl CancelToken {
 /// assert!(budget.charge(Resource::Worlds, 1).is_ok());
 /// assert!(budget.charge(Resource::Worlds, 1).is_ok());
 /// assert!(budget.charge(Resource::Worlds, 1).is_err());
-/// // The tripped charge is still recorded — `spent` counts attempts,
-/// // which keeps parent/child accounting exact when a rung's spend is
-/// // settled back into an enclosing budget.
-/// assert_eq!(budget.spent(Resource::Worlds), 3);
+/// // The rejected charge is NOT recorded — `spent` counts only work
+/// // actually performed, which keeps parent/child accounting exact when
+/// // a shard's spend is settled back into an enclosing budget. The trip
+/// // itself is latched, so `probe` keeps reporting it.
+/// assert_eq!(budget.spent(Resource::Worlds), 2);
+/// assert!(budget.probe().is_err());
 /// ```
 #[derive(Debug, Clone)]
 pub struct Budget {
@@ -148,6 +150,9 @@ pub struct Budget {
     samples: Cell<u64>,
     terms: Cell<u64>,
     ticks: Cell<u64>,
+    /// First counter trip, latched so [`Budget::probe`] keeps reporting
+    /// exhaustion even though rejected charges never commit to a counter.
+    tripped: Cell<Option<Exhausted>>,
 }
 
 impl Default for Budget {
@@ -172,6 +177,7 @@ impl Budget {
             samples: Cell::new(0),
             terms: Cell::new(0),
             ticks: Cell::new(0),
+            tripped: Cell::new(None),
         }
     }
 
@@ -223,16 +229,26 @@ impl Budget {
             Resource::WallClock | Resource::Cancelled => return self.checkpoint(),
         };
         let spent = cell.get().saturating_add(n);
-        cell.set(spent);
         if let Some(limit) = limit {
             if spent > limit {
-                return Err(Exhausted {
+                // The rejected units are NOT committed to the counter:
+                // `spent()` only ever counts work actually performed, so
+                // split-off child budgets settle back into their parent
+                // without over-charging (the `Exhausted` report still
+                // shows the attempted spend). The trip is latched so
+                // `probe` keeps reporting exhaustion afterwards.
+                let err = Exhausted {
                     resource,
                     spent,
                     limit: Some(limit),
-                });
+                };
+                if self.tripped.get().is_none() {
+                    self.tripped.set(Some(err));
+                }
+                return Err(err);
             }
         }
+        cell.set(spent);
         self.checkpoint()
     }
 
@@ -318,6 +334,67 @@ impl Budget {
         self.probe().is_err()
     }
 
+    /// Split the *remaining* allowance into `k` child budgets, one per
+    /// worker shard.
+    ///
+    /// Each child shares this budget's deadline and [`CancelToken`]
+    /// (cancelling the parent cancels every child) and starts with zero
+    /// counters; capped resources divide the parent's remaining units
+    /// evenly, with the remainder going to the earliest children, so the
+    /// children's caps sum exactly to the parent's remaining allowance.
+    /// Budgets are `Send` (not `Sync`): move each child into its worker
+    /// thread, then merge the spend back with [`Budget::settle`] — the
+    /// parent's counters then equal the sum of all shard spends exactly,
+    /// regardless of thread interleaving.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn split(&self, k: usize) -> Vec<Budget> {
+        assert!(k > 0, "cannot split a budget into zero shards");
+        let share = |limit: Option<u64>, spent: u64, i: u64| -> Option<u64> {
+            limit.map(|l| {
+                let rem = l.saturating_sub(spent);
+                rem / k as u64 + u64::from(i < rem % k as u64)
+            })
+        };
+        (0..k as u64)
+            .map(|i| Budget {
+                started: self.started,
+                deadline: self.deadline,
+                allowance: self.allowance,
+                max_worlds: share(self.max_worlds, self.worlds.get(), i),
+                max_samples: share(self.max_samples, self.samples.get(), i),
+                max_terms: share(self.max_terms, self.terms.get(), i),
+                cancel: self.cancel.clone(),
+                worlds: Cell::new(0),
+                samples: Cell::new(0),
+                terms: Cell::new(0),
+                ticks: Cell::new(0),
+                tripped: Cell::new(None),
+            })
+            .collect()
+    }
+
+    /// Merge a child budget's spend (from [`Budget::split`]) back into
+    /// this budget's counters. Call once per child after its worker
+    /// finishes; the accounting is exact — no units are lost or double
+    /// counted.
+    pub fn settle(&self, child: &Budget) {
+        self.worlds
+            .set(self.worlds.get().saturating_add(child.worlds.get()));
+        self.samples
+            .set(self.samples.get().saturating_add(child.samples.get()));
+        self.terms
+            .set(self.terms.get().saturating_add(child.terms.get()));
+        // A tripped child exhausts the parent's share too; settling in
+        // shard order keeps the latched cause deterministic.
+        if self.tripped.get().is_none() {
+            if let Some(err) = child.tripped.get() {
+                self.tripped.set(Some(err));
+            }
+        }
+    }
+
     /// Like [`Budget::checkpoint`] but never throttled: always consults
     /// the clock and all counters. Used at phase boundaries (e.g.
     /// between ladder rungs) where accuracy matters more than speed.
@@ -328,6 +405,9 @@ impl Budget {
                 spent: self.elapsed().as_millis() as u64,
                 limit: None,
             });
+        }
+        if let Some(err) = self.tripped.get() {
+            return Err(err);
         }
         for (resource, spent, limit) in [
             (Resource::Worlds, self.worlds.get(), self.max_worlds),

@@ -15,6 +15,7 @@
 use qrel_arith::{BigInt, BigRational, BigUint};
 use qrel_budget::{Budget, Exhausted, Resource};
 use qrel_eval::{EvalError, Query};
+use qrel_par::{run_shards, run_shards_with, shard_ranges, DEFAULT_SHARDS};
 use qrel_prob::normalizer::sound_g;
 use qrel_prob::UnreliableDatabase;
 
@@ -92,6 +93,52 @@ pub fn exact_probability(
         Some(e) => Err(e),
         None => Ok(p),
     }
+}
+
+/// Parallel [`exact_probability`]: the Gray-code world sequence
+/// `[0, 2^u)` is tiled into [`DEFAULT_SHARDS`] contiguous ranges, each
+/// enumerated by [`UnreliableDatabase::visit_worlds_range`] on its own
+/// worker, and the exact rational partial sums are merged in shard
+/// order. Rational addition is associative and the merge order is
+/// fixed, so the result is *identical* (not just bit-close) to the
+/// serial sweep for every thread count.
+pub fn exact_probability_parallel(
+    ud: &UnreliableDatabase,
+    query: &(dyn Query + Sync),
+    threads: usize,
+) -> Result<BigRational, EvalError> {
+    assert_eq!(
+        query.arity(),
+        0,
+        "exact_probability requires a Boolean query"
+    );
+    let total = 1u64 << ud.uncertain_facts().len();
+    let ranges = shard_ranges(total, DEFAULT_SHARDS);
+    let parts = run_shards(DEFAULT_SHARDS, threads, |s| {
+        let (start, end) = ranges[s];
+        let mut p = BigRational::zero();
+        let mut failure: Option<EvalError> = None;
+        ud.visit_worlds_range(start, end, |world, prob| match query.eval(world, &[]) {
+            Ok(true) => {
+                p = p.add_ref(prob);
+                true
+            }
+            Ok(false) => true,
+            Err(e) => {
+                failure = Some(e);
+                false
+            }
+        });
+        (p, failure)
+    });
+    let mut p = BigRational::zero();
+    for (part, failure) in parts {
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        p = p.add_ref(&part);
+    }
+    Ok(p)
 }
 
 /// Exact expected error and reliability for an arbitrary k-ary query.
@@ -203,6 +250,157 @@ pub fn exact_reliability_budgeted(
         return Err(e);
     }
     if let Some(cause) = cause {
+        return Ok(ExactOutcome::Exhausted {
+            partial_expected_error: h,
+            mass_visited: mass,
+            worlds,
+            cause,
+        });
+    }
+    let total = BigRational::from_int(ud.observed().universe().tuple_count(k) as i64);
+    let reliability = if total.is_zero() {
+        BigRational::one()
+    } else {
+        h.div_ref(&total).one_minus()
+    };
+    Ok(ExactOutcome::Complete(ExactReport {
+        expected_error: h,
+        reliability,
+        worlds,
+    }))
+}
+
+/// Parallel [`exact_reliability`]: shards the Gray-code sequence as
+/// [`exact_probability_parallel`] does and merges the exact per-shard
+/// error masses in shard order — identical to the serial result for
+/// every thread count.
+pub fn exact_reliability_parallel(
+    ud: &UnreliableDatabase,
+    query: &(dyn Query + Sync),
+    threads: usize,
+) -> Result<ExactReport, EvalError> {
+    let observed_answers = query.answers(ud.observed())?;
+    let k = query.arity();
+    let total = 1u64 << ud.uncertain_facts().len();
+    let ranges = shard_ranges(total, DEFAULT_SHARDS);
+    let parts = run_shards(DEFAULT_SHARDS, threads, |s| {
+        let (start, end) = ranges[s];
+        let mut h = BigRational::zero();
+        let mut worlds = 0u64;
+        let mut failure: Option<EvalError> = None;
+        ud.visit_worlds_range(start, end, |world, prob| {
+            worlds += 1;
+            match query.answers(world) {
+                Ok(answers) => {
+                    let diff = answers.difference(&observed_answers).len()
+                        + observed_answers.difference(&answers).len();
+                    if diff > 0 {
+                        h = h.add_ref(&prob.mul_ref(&BigRational::from_int(diff as i64)));
+                    }
+                    true
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    false
+                }
+            }
+        });
+        (h, worlds, failure)
+    });
+    let mut h = BigRational::zero();
+    let mut worlds = 0u64;
+    for (part, w, failure) in parts {
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        h = h.add_ref(&part);
+        worlds += w;
+    }
+    let total = BigRational::from_int(ud.observed().universe().tuple_count(k) as i64);
+    let reliability = if total.is_zero() {
+        BigRational::one()
+    } else {
+        h.div_ref(&total).one_minus()
+    };
+    Ok(ExactReport {
+        expected_error: h,
+        reliability,
+        worlds,
+    })
+}
+
+/// Parallel [`exact_reliability_budgeted`]: the parent budget is
+/// [`Budget::split`] into one child per shard (moved into the worker),
+/// each shard enumerates its Gray-code range until its share trips, and
+/// the exact partial sums plus child spends are settled back in shard
+/// order. Counter caps divide deterministically across shards, so a
+/// world-capped run returns bit-identical partial sums for every thread
+/// count; only wall-clock and cancellation trips remain
+/// scheduling-dependent (exactly as in the serial engine). The first
+/// trip cause *in shard order* is reported.
+pub fn exact_reliability_budgeted_sharded(
+    ud: &UnreliableDatabase,
+    query: &(dyn Query + Sync),
+    budget: &Budget,
+    threads: usize,
+) -> Result<ExactOutcome, EvalError> {
+    let observed_answers = query.answers(ud.observed())?;
+    let k = query.arity();
+    let total = 1u64 << ud.uncertain_facts().len();
+    let ranges = shard_ranges(total, DEFAULT_SHARDS);
+    let children = budget.split(DEFAULT_SHARDS);
+    let parts = run_shards_with(children, threads, |s, child: Budget| {
+        let (start, end) = ranges[s];
+        let mut h = BigRational::zero();
+        let mut mass = BigRational::zero();
+        let mut worlds = 0u64;
+        let mut failure: Option<EvalError> = None;
+        let mut cause: Option<Exhausted> = None;
+        ud.visit_worlds_range(start, end, |world, prob| {
+            if let Err(e) = child.charge(Resource::Worlds, 1) {
+                cause = Some(e);
+                return false;
+            }
+            worlds += 1;
+            match query.answers(world) {
+                Ok(answers) => {
+                    let diff = answers.difference(&observed_answers).len()
+                        + observed_answers.difference(&answers).len();
+                    if diff > 0 {
+                        h = h.add_ref(&prob.mul_ref(&BigRational::from_int(diff as i64)));
+                    }
+                    mass = mass.add_ref(prob);
+                    true
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    false
+                }
+            }
+        });
+        (h, mass, worlds, failure, cause, child)
+    });
+    let mut h = BigRational::zero();
+    let mut mass = BigRational::zero();
+    let mut worlds = 0u64;
+    let mut first_cause: Option<Exhausted> = None;
+    let mut first_failure: Option<EvalError> = None;
+    for (part_h, part_mass, part_worlds, failure, cause, child) in parts {
+        budget.settle(&child);
+        h = h.add_ref(&part_h);
+        mass = mass.add_ref(&part_mass);
+        worlds += part_worlds;
+        if first_failure.is_none() {
+            first_failure = failure;
+        }
+        if first_cause.is_none() {
+            first_cause = cause;
+        }
+    }
+    if let Some(e) = first_failure {
+        return Err(e);
+    }
+    if let Some(cause) = first_cause {
         return Ok(ExactOutcome::Exhausted {
             partial_expected_error: h,
             mass_visited: mass,
@@ -467,6 +665,82 @@ mod tests {
                 assert!(mass_visited > BigRational::zero());
             }
             other => panic!("expected exhaustion, got {other:?}"),
+        }
+    }
+
+    fn four_fact_db() -> UnreliableDatabase {
+        let db = DatabaseBuilder::new()
+            .universe_size(4)
+            .relation("S", 1)
+            .tuples("S", [vec![1]])
+            .build();
+        let mut ud = UnreliableDatabase::reliable(db);
+        ud.set_error(&Fact::new(0, vec![0]), r(1, 3)).unwrap();
+        ud.set_error(&Fact::new(0, vec![1]), r(1, 4)).unwrap();
+        ud.set_error(&Fact::new(0, vec![2]), r(2, 5)).unwrap();
+        ud.set_error(&Fact::new(0, vec![3]), r(1, 7)).unwrap();
+        ud
+    }
+
+    #[test]
+    fn parallel_probability_is_identical_to_serial() {
+        let ud = four_fact_db();
+        let q = FoQuery::parse("exists x. S(x)").unwrap();
+        let serial = exact_probability(&ud, &q).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            assert_eq!(
+                exact_probability_parallel(&ud, &q, threads).unwrap(),
+                serial
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_reliability_is_identical_to_serial() {
+        let ud = four_fact_db();
+        let q = FoQuery::parse("S(x)").unwrap();
+        let serial = exact_reliability(&ud, &q).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            assert_eq!(
+                exact_reliability_parallel(&ud, &q, threads).unwrap(),
+                serial
+            );
+        }
+    }
+
+    #[test]
+    fn budgeted_sharded_complete_matches_serial_and_settles_spend() {
+        let ud = four_fact_db();
+        let q = FoQuery::parse("exists x. S(x)").unwrap();
+        let serial = exact_reliability(&ud, &q).unwrap();
+        for threads in [1usize, 4] {
+            let budget = Budget::unlimited();
+            let outcome = exact_reliability_budgeted_sharded(&ud, &q, &budget, threads).unwrap();
+            assert_eq!(outcome, ExactOutcome::Complete(serial.clone()));
+            assert_eq!(budget.spent(Resource::Worlds), 16);
+        }
+    }
+
+    #[test]
+    fn budgeted_sharded_world_cap_is_thread_count_invariant() {
+        let ud = four_fact_db();
+        let q = FoQuery::parse("exists x. S(x)").unwrap();
+        let run = |threads: usize| {
+            let budget = Budget::unlimited().with_max_worlds(10);
+            let outcome = exact_reliability_budgeted_sharded(&ud, &q, &budget, threads).unwrap();
+            (outcome, budget.spent(Resource::Worlds))
+        };
+        let (base_outcome, base_spent) = run(1);
+        assert_eq!(base_spent, 10);
+        match &base_outcome {
+            ExactOutcome::Exhausted { worlds, cause, .. } => {
+                assert_eq!(*worlds, 10);
+                assert_eq!(cause.resource, Resource::Worlds);
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+        for threads in [2usize, 4, 8] {
+            assert_eq!(run(threads), (base_outcome.clone(), base_spent));
         }
     }
 

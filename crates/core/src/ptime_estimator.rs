@@ -26,9 +26,11 @@ use qrel_arith::BigRational;
 use qrel_budget::{Budget, Exhausted, Resource};
 use qrel_count::bounds::{hoeffding_samples, karp_luby_t};
 use qrel_eval::{EvalError, Query};
+use qrel_par::{run_shards, run_shards_with, shard_counts, split_seed};
 use qrel_prob::sampler::bernoulli;
 use qrel_prob::{UnreliableDatabase, WorldSampler};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Result of a Theorem 5.12 estimation.
 #[derive(Debug, Clone, PartialEq)]
@@ -138,6 +140,57 @@ impl PaddingEstimator {
             if x {
                 hits += 1;
             }
+        }
+        let padded_mean = hits as f64 / t as f64;
+        let xi = self.xi.to_f64();
+        let estimate = ((padded_mean - xi * xi) / (xi - xi * xi)).clamp(0.0, 1.0);
+        Ok(PtimeEstimate {
+            estimate,
+            samples: t,
+            padded_mean,
+        })
+    }
+
+    /// Sharded deterministic [`Self::estimate_probability`]: the Lemma
+    /// 5.11 sample count is cut into `shards` fixed pieces, each drawn on
+    /// an independent seed-split `StdRng` with its own [`WorldSampler`],
+    /// and the integer hit counts are merged exactly — the result depends
+    /// on `(eps, delta, seed, shards)` but never on `threads`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn estimate_probability_sharded(
+        &self,
+        ud: &UnreliableDatabase,
+        query: &(dyn Query + Sync),
+        eps: f64,
+        delta: f64,
+        seed: u64,
+        shards: usize,
+        threads: usize,
+    ) -> Result<PtimeEstimate, EvalError> {
+        assert_eq!(
+            query.arity(),
+            0,
+            "estimate_probability requires a Boolean query"
+        );
+        let t = self.samples_for(eps, delta);
+        let counts = shard_counts(t, shards);
+        let parts = run_shards(shards, threads, |s| {
+            let mut rng = StdRng::seed_from_u64(split_seed(seed, s as u64));
+            let sampler = WorldSampler::new(ud);
+            let mut hits = 0u64;
+            for _ in 0..counts[s] {
+                let rc = bernoulli(&self.xi, &mut rng);
+                let rd = bernoulli(&self.xi, &mut rng);
+                let x = rd && (rc || query.eval(&sampler.sample(&mut rng), &[])?);
+                if x {
+                    hits += 1;
+                }
+            }
+            Ok::<u64, EvalError>(hits)
+        });
+        let mut hits = 0u64;
+        for part in parts {
+            hits += part?;
         }
         let padded_mean = hits as f64 / t as f64;
         let xi = self.xi.to_f64();
@@ -334,6 +387,166 @@ impl PaddingEstimator {
             padded_mean: f64::NAN,
         })
     }
+
+    /// Sharded deterministic [`Self::estimate_reliability_shared_worlds`]:
+    /// each shard draws its fixed slice of the sample count on an
+    /// independent seed-split RNG, accumulating per-tuple integer hit
+    /// vectors that are merged element-wise — the de-biased reliability
+    /// depends on `(eps, delta, seed, shards)` but never on `threads`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn estimate_reliability_sharded(
+        &self,
+        ud: &UnreliableDatabase,
+        query: &(dyn Query + Sync),
+        eps: f64,
+        delta: f64,
+        seed: u64,
+        shards: usize,
+        threads: usize,
+    ) -> Result<PtimeEstimate, EvalError> {
+        let k = query.arity();
+        let db = ud.observed();
+        let tuples: Vec<Vec<u32>> = db.universe().tuples(k).collect();
+        let nk = tuples.len().max(1);
+        let per_eps = (eps / nk as f64).max(1e-9);
+        let per_delta = (delta / nk as f64).min(0.5);
+        let t = self.samples_for(per_eps, per_delta);
+        let counts = shard_counts(t, shards);
+
+        let observed = query.answers(db)?;
+        let parts = run_shards(shards, threads, |s| {
+            let mut rng = StdRng::seed_from_u64(split_seed(seed, s as u64));
+            let sampler = WorldSampler::new(ud);
+            let mut hits = vec![0u64; nk];
+            for _ in 0..counts[s] {
+                let answers = query.answers(&sampler.sample(&mut rng))?;
+                for (i, tuple) in tuples.iter().enumerate() {
+                    let rc = bernoulli(&self.xi, &mut rng);
+                    let rd = bernoulli(&self.xi, &mut rng);
+                    let wrong = answers.contains(tuple) != observed.contains(tuple);
+                    if rd && (rc || wrong) {
+                        hits[i] += 1;
+                    }
+                }
+            }
+            Ok::<Vec<u64>, EvalError>(hits)
+        });
+        let mut hits = vec![0u64; nk];
+        for part in parts {
+            for (slot, shard_hits) in hits.iter_mut().zip(part?) {
+                *slot += shard_hits;
+            }
+        }
+        let xi = self.xi.to_f64();
+        let mut h = 0.0f64;
+        for &count in &hits {
+            let mean = count as f64 / t as f64;
+            h += ((mean - xi * xi) / (xi - xi * xi)).clamp(0.0, 1.0);
+        }
+        Ok(PtimeEstimate {
+            estimate: 1.0 - h / nk as f64,
+            samples: t,
+            padded_mean: f64::NAN,
+        })
+    }
+
+    /// Sharded [`Self::estimate_reliability_budgeted`]: the parent budget
+    /// is [`Budget::split`] across the shards and settled back in shard
+    /// order, so a sample-capped run draws exactly the capped number of
+    /// worlds and returns a bit-identical partial estimate for every
+    /// thread count (wall-clock and cancellation trips remain
+    /// scheduling-dependent, as in the serial engine). The first trip
+    /// cause *in shard order* is reported.
+    #[allow(clippy::too_many_arguments)]
+    pub fn estimate_reliability_budgeted_sharded(
+        &self,
+        ud: &UnreliableDatabase,
+        query: &(dyn Query + Sync),
+        eps: f64,
+        delta: f64,
+        budget: &Budget,
+        seed: u64,
+        shards: usize,
+        threads: usize,
+    ) -> Result<PaddingOutcome, EvalError> {
+        let k = query.arity();
+        let db = ud.observed();
+        let tuples: Vec<Vec<u32>> = db.universe().tuples(k).collect();
+        let nk = tuples.len().max(1);
+        let per_eps = (eps / nk as f64).max(1e-9);
+        let per_delta = (delta / nk as f64).min(0.5);
+        let t = self.samples_for(per_eps, per_delta);
+        let counts = shard_counts(t, shards);
+
+        let observed = query.answers(db)?;
+        let children = budget.split(shards);
+        let parts = run_shards_with(children, threads, |s, child: Budget| {
+            let mut rng = StdRng::seed_from_u64(split_seed(seed, s as u64));
+            let sampler = WorldSampler::new(ud);
+            let mut hits = vec![0u64; nk];
+            let mut drawn = 0u64;
+            let mut cause = None;
+            for _ in 0..counts[s] {
+                if let Err(e) = child.charge(Resource::Samples, 1) {
+                    cause = Some(e);
+                    break;
+                }
+                let answers = match query.answers(&sampler.sample(&mut rng)) {
+                    Ok(a) => a,
+                    Err(e) => return (hits, drawn, cause, Some(e), child),
+                };
+                for (i, tuple) in tuples.iter().enumerate() {
+                    let rc = bernoulli(&self.xi, &mut rng);
+                    let rd = bernoulli(&self.xi, &mut rng);
+                    let wrong = answers.contains(tuple) != observed.contains(tuple);
+                    if rd && (rc || wrong) {
+                        hits[i] += 1;
+                    }
+                }
+                drawn += 1;
+            }
+            (hits, drawn, cause, None, child)
+        });
+        let mut hits = vec![0u64; nk];
+        let mut drawn = 0u64;
+        let mut first_cause: Option<Exhausted> = None;
+        let mut first_failure: Option<EvalError> = None;
+        for (part_hits, part_drawn, cause, failure, child) in parts {
+            budget.settle(&child);
+            for (slot, shard_hits) in hits.iter_mut().zip(part_hits) {
+                *slot += shard_hits;
+            }
+            drawn += part_drawn;
+            if first_cause.is_none() {
+                first_cause = cause;
+            }
+            if first_failure.is_none() {
+                first_failure = failure;
+            }
+        }
+        if let Some(e) = first_failure {
+            return Err(e);
+        }
+        let xi = self.xi.to_f64();
+        let mut h = 0.0f64;
+        for &count in &hits {
+            let mean = count as f64 / drawn.max(1) as f64;
+            h += ((mean - xi * xi) / (xi - xi * xi)).clamp(0.0, 1.0);
+        }
+        let reliability = (1.0 - h / nk as f64).clamp(0.0, 1.0);
+        match first_cause {
+            Some(cause) => Ok(PaddingOutcome::Exhausted {
+                partial_estimate: reliability,
+                samples: drawn,
+                cause,
+            }),
+            None => Ok(PaddingOutcome::Complete(PtimeEstimate {
+                estimate: reliability,
+                samples: drawn,
+                padded_mean: f64::NAN,
+            })),
+        }
+    }
 }
 
 /// Baseline: estimate `ν(ψ)` by direct world sampling with the Hoeffding
@@ -374,6 +587,7 @@ mod tests {
     use crate::exact::{exact_probability, exact_reliability};
     use qrel_db::{DatabaseBuilder, Fact};
     use qrel_eval::{DatalogQuery, FoQuery};
+    use qrel_par::DEFAULT_SHARDS;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -563,6 +777,124 @@ mod tests {
                 assert!((0.0..=1.0).contains(&partial_estimate));
             }
             other => panic!("expected Exhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sharded_probability_is_thread_count_invariant_and_accurate() {
+        let ud = setup();
+        let q = FoQuery::parse("exists x y. E(x,y)").unwrap();
+        let exact = exact_probability(&ud, &q).unwrap().to_f64();
+        let est = PaddingEstimator::default_xi();
+        let serial = est
+            .estimate_probability_sharded(&ud, &q, 0.08, 0.05, 31, DEFAULT_SHARDS, 1)
+            .unwrap();
+        for threads in [2usize, 4, 8] {
+            let par = est
+                .estimate_probability_sharded(&ud, &q, 0.08, 0.05, 31, DEFAULT_SHARDS, threads)
+                .unwrap();
+            assert_eq!(par.estimate.to_bits(), serial.estimate.to_bits());
+            assert_eq!(par.samples, serial.samples);
+        }
+        assert!(
+            (serial.estimate - exact).abs() <= 0.08,
+            "estimate {} vs exact {exact}",
+            serial.estimate
+        );
+    }
+
+    #[test]
+    fn sharded_reliability_is_thread_count_invariant_and_accurate() {
+        // A small k-ary query keeps the per-tuple sample count modest:
+        // invariance is a structural property of the seed-split/merge, so
+        // an expensive query would buy nothing here.
+        let db = DatabaseBuilder::new()
+            .universe_size(2)
+            .relation("E", 2)
+            .tuples("E", [vec![0, 1]])
+            .build();
+        let mut ud = UnreliableDatabase::reliable(db);
+        ud.set_relation_error("E", r(1, 6)).unwrap();
+        let q = FoQuery::parse("E(x,y)").unwrap();
+        let exact = exact_reliability(&ud, &q).unwrap().reliability.to_f64();
+        let est = PaddingEstimator::default_xi();
+        let serial = est
+            .estimate_reliability_sharded(&ud, &q, 0.25, 0.2, 32, DEFAULT_SHARDS, 1)
+            .unwrap();
+        let par = est
+            .estimate_reliability_sharded(&ud, &q, 0.25, 0.2, 32, DEFAULT_SHARDS, 4)
+            .unwrap();
+        assert_eq!(par.estimate.to_bits(), serial.estimate.to_bits());
+        assert!(
+            (serial.estimate - exact).abs() <= 0.25,
+            "estimate {} vs exact {exact}",
+            serial.estimate
+        );
+    }
+
+    #[test]
+    fn budgeted_sharded_conserves_the_sample_cap() {
+        let ud = setup();
+        let q = FoQuery::parse("exists x y. E(x,y)").unwrap();
+        let est = PaddingEstimator::default_xi();
+        let run = |threads: usize| {
+            let budget = Budget::unlimited().with_max_samples(50);
+            let outcome = est
+                .estimate_reliability_budgeted_sharded(
+                    &ud,
+                    &q,
+                    0.05,
+                    0.05,
+                    &budget,
+                    33,
+                    DEFAULT_SHARDS,
+                    threads,
+                )
+                .unwrap();
+            (outcome, budget.spent(Resource::Samples))
+        };
+        let (base, base_spent) = run(1);
+        assert_eq!(base_spent, 50);
+        match &base {
+            PaddingOutcome::Exhausted { samples, cause, .. } => {
+                assert_eq!(*samples, 50);
+                assert_eq!(cause.resource, Resource::Samples);
+            }
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+        for threads in [2usize, 4] {
+            assert_eq!(run(threads), (base.clone(), base_spent));
+        }
+    }
+
+    #[test]
+    fn budgeted_sharded_without_limits_matches_sharded() {
+        let ud = setup();
+        let q = FoQuery::parse("exists x y. E(x,y)").unwrap();
+        let est = PaddingEstimator::default_xi();
+        let plain = est
+            .estimate_reliability_sharded(&ud, &q, 0.15, 0.1, 34, DEFAULT_SHARDS, 4)
+            .unwrap();
+        let budget = Budget::unlimited();
+        match est
+            .estimate_reliability_budgeted_sharded(
+                &ud,
+                &q,
+                0.15,
+                0.1,
+                &budget,
+                34,
+                DEFAULT_SHARDS,
+                4,
+            )
+            .unwrap()
+        {
+            PaddingOutcome::Complete(rep) => {
+                assert_eq!(rep.estimate.to_bits(), plain.estimate.to_bits());
+                assert_eq!(rep.samples, plain.samples);
+                assert_eq!(budget.spent(Resource::Samples), plain.samples);
+            }
+            other => panic!("expected Complete, got {other:?}"),
         }
     }
 

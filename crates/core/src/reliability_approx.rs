@@ -21,6 +21,7 @@ use qrel_budget::{Budget, Exhausted, QrelError};
 use qrel_count::KarpLuby;
 use qrel_eval::eval_formula;
 use qrel_logic::{Formula, Fragment};
+use qrel_par::{split_seed, DEFAULT_SHARDS};
 use qrel_prob::UnreliableDatabase;
 use rand::Rng;
 use std::collections::HashMap;
@@ -192,6 +193,96 @@ pub fn approximate_reliability_budgeted<R: Rng>(
     }))
 }
 
+/// Parallel [`approximate_reliability_budgeted`]: grounding and the
+/// per-tuple loop stay serial (they are cheap relative to sampling), but
+/// each tuple's Karp–Luby run is sharded across `threads` workers via
+/// [`KarpLuby::run_budgeted_sharded`], with the tuple's sampling seed
+/// derived as `split_seed(seed, tuple_index)`. The result therefore
+/// depends only on `(eps, delta, seed)` and the budget's counter caps —
+/// never on the thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn approximate_reliability_budgeted_parallel(
+    ud: &UnreliableDatabase,
+    formula: &Formula,
+    free_vars: &[String],
+    eps: f64,
+    delta: f64,
+    budget: &Budget,
+    seed: u64,
+    threads: usize,
+) -> Result<ApproxOutcome, QrelError> {
+    {
+        let mut sorted = free_vars.to_vec();
+        sorted.sort();
+        assert_eq!(sorted, formula.free_vars(), "free-variable order mismatch");
+    }
+    let (work_formula, flipped) = match formula.fragment() {
+        Fragment::Universal => (Formula::not(formula.clone()).to_nnf(), true),
+        _ => (formula.clone(), false),
+    };
+
+    let db = ud.observed();
+    let k = free_vars.len();
+    let tuples: Vec<Vec<u32>> = db.universe().tuples(k).collect();
+    let nk = tuples.len().max(1);
+    let per_eps = (eps / nk as f64).max(1e-9);
+    let per_delta = (delta / nk as f64).min(0.5);
+
+    let mut h = 0.0f64;
+    for (done, tuple) in tuples.iter().enumerate() {
+        let bindings: HashMap<String, u32> = free_vars
+            .iter()
+            .cloned()
+            .zip(tuple.iter().copied())
+            .collect();
+        let observed = eval_formula(db, formula, &bindings)?;
+        let (grounding, probs) = match ground_with_probabilities_budgeted(
+            ud,
+            &work_formula,
+            &bindings,
+            DEFAULT_MAX_TERMS,
+            budget,
+        ) {
+            Ok(x) => x,
+            Err(QrelError::BudgetExhausted(cause)) => {
+                return Ok(ApproxOutcome::Exhausted {
+                    partial_expected_error: h,
+                    tuples_done: done,
+                    tuples_total: nk,
+                    cause,
+                });
+            }
+            Err(e) => return Err(e),
+        };
+        let kl = KarpLuby::new(&grounding.dnf, &probs);
+        let (rep, exhausted) = kl.run_budgeted_sharded(
+            kl.samples_for(per_eps, per_delta),
+            budget,
+            split_seed(seed, done as u64),
+            DEFAULT_SHARDS,
+            threads,
+        );
+        let nu_hat = rep.estimate.clamp(0.0, 1.0);
+        let nu_psi = if flipped { 1.0 - nu_hat } else { nu_hat };
+        let h_tuple = if observed { 1.0 - nu_psi } else { nu_psi };
+        h += h_tuple.clamp(0.0, 1.0);
+        if let Some(cause) = exhausted {
+            return Ok(ApproxOutcome::Exhausted {
+                partial_expected_error: h,
+                tuples_done: done,
+                tuples_total: nk,
+                cause,
+            });
+        }
+    }
+
+    Ok(ApproxOutcome::Complete(ApproxReport {
+        expected_error: h,
+        reliability: 1.0 - h / nk as f64,
+        tuples: nk,
+    }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -335,6 +426,67 @@ mod tests {
                 assert_eq!(rep.tuples, 3);
             }
             other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_budgeted_is_thread_count_invariant() {
+        let ud = setup();
+        let f = parse_formula("exists y. E(x,y) & S(y)").unwrap();
+        let free = vec!["x".to_string()];
+        let run = |threads: usize| {
+            approximate_reliability_budgeted_parallel(
+                &ud,
+                &f,
+                &free,
+                0.1,
+                0.1,
+                &Budget::unlimited(),
+                77,
+                threads,
+            )
+            .unwrap()
+        };
+        let base = run(1);
+        match &base {
+            ApproxOutcome::Complete(rep) => {
+                assert_eq!(rep.tuples, 3);
+                assert!((0.0..=1.0).contains(&rep.reliability));
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+        for threads in [2usize, 4] {
+            assert_eq!(run(threads), base);
+        }
+    }
+
+    #[test]
+    fn parallel_budgeted_sample_cap_trips_deterministically() {
+        let ud = setup();
+        let f = parse_formula("exists y. E(x,y) & S(y)").unwrap();
+        let free = vec!["x".to_string()];
+        let run = |threads: usize| {
+            let budget = Budget::unlimited().with_max_samples(100);
+            approximate_reliability_budgeted_parallel(
+                &ud, &f, &free, 0.05, 0.05, &budget, 78, threads,
+            )
+            .unwrap()
+        };
+        let base = run(1);
+        match &base {
+            ApproxOutcome::Exhausted {
+                tuples_done,
+                tuples_total,
+                cause,
+                ..
+            } => {
+                assert!(tuples_done < tuples_total);
+                assert_eq!(cause.resource, qrel_budget::Resource::Samples);
+            }
+            other => panic!("sample cap should have tripped, got {other:?}"),
+        }
+        for threads in [2usize, 4] {
+            assert_eq!(run(threads), base);
         }
     }
 

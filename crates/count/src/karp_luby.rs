@@ -21,7 +21,9 @@
 use qrel_arith::BigRational;
 use qrel_budget::{Budget, Exhausted, Resource};
 use qrel_logic::prop::{Dnf, Lit};
-use rand::Rng;
+use qrel_par::{run_shards, run_shards_with, shard_counts, split_seed, DEFAULT_SHARDS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::bounds::zero_one_estimator_samples;
 
@@ -267,6 +269,145 @@ impl KarpLuby {
         self.run_with_samples(samples, rng)
     }
 
+    /// Sharded deterministic run: the sample budget is cut into `shards`
+    /// fixed pieces, shard `s` draws its share on an independent
+    /// `StdRng` seeded with [`split_seed`]`(seed, s)`, and the integer
+    /// hit counts are merged exactly. The result depends on `(samples,
+    /// seed, shards)` only — **never on `threads`** — so any thread
+    /// count reproduces the `threads = 1` run bit for bit.
+    ///
+    /// # Panics
+    /// Panics if `samples == 0` or `shards == 0` (trivial formulas
+    /// short-circuit before the check).
+    pub fn run_sharded(
+        &self,
+        samples: u64,
+        seed: u64,
+        shards: usize,
+        threads: usize,
+    ) -> KarpLubyReport {
+        if self.terms.is_empty() {
+            return KarpLubyReport {
+                estimate: 0.0,
+                samples: 0,
+                hit_rate: 0.0,
+            };
+        }
+        if self.terms.iter().any(|t| t.is_empty()) {
+            return KarpLubyReport {
+                estimate: 1.0,
+                samples: 0,
+                hit_rate: 1.0,
+            };
+        }
+        assert!(samples > 0, "Karp-Luby needs at least one sample");
+        let u = *self.cumulative.last().unwrap();
+        let counts = shard_counts(samples, shards);
+        let shard_hits = run_shards(shards, threads, |s| {
+            let mut rng = StdRng::seed_from_u64(split_seed(seed, s as u64));
+            let mut assignment = vec![false; self.probs.len()];
+            let mut hits = 0u64;
+            for _ in 0..counts[s] {
+                if self.sample_once(u, &mut assignment, &mut rng) {
+                    hits += 1;
+                }
+            }
+            hits
+        });
+        let hits: u64 = shard_hits.iter().sum();
+        let hit_rate = hits as f64 / samples as f64;
+        KarpLubyReport {
+            estimate: self.total_weight.to_f64() * hit_rate,
+            samples,
+            hit_rate,
+        }
+    }
+
+    /// [`Self::run`] with the work spread over `threads` workers at the
+    /// fixed [`DEFAULT_SHARDS`] shard count.
+    pub fn run_parallel(&self, eps: f64, delta: f64, seed: u64, threads: usize) -> KarpLubyReport {
+        self.run_sharded(self.samples_for(eps, delta), seed, DEFAULT_SHARDS, threads)
+    }
+
+    /// Sharded [`Self::run_budgeted`]: the parent budget is
+    /// [`Budget::split`] into one child per shard, each shard charges
+    /// its own child (so the total spend is conserved exactly and
+    /// independent of scheduling), and the children are settled back in
+    /// shard order. Counter-capped runs are as deterministic as the
+    /// unbudgeted sharded run; only wall-clock deadlines and external
+    /// cancellation introduce scheduling-dependent trip points, exactly
+    /// as they do serially. The reported cause is the first tripped
+    /// shard's, by shard index.
+    pub fn run_budgeted_sharded(
+        &self,
+        samples: u64,
+        budget: &Budget,
+        seed: u64,
+        shards: usize,
+        threads: usize,
+    ) -> (KarpLubyReport, Option<Exhausted>) {
+        if self.terms.is_empty() {
+            return (
+                KarpLubyReport {
+                    estimate: 0.0,
+                    samples: 0,
+                    hit_rate: 0.0,
+                },
+                None,
+            );
+        }
+        if self.terms.iter().any(|t| t.is_empty()) {
+            return (
+                KarpLubyReport {
+                    estimate: 1.0,
+                    samples: 0,
+                    hit_rate: 1.0,
+                },
+                None,
+            );
+        }
+        let u = *self.cumulative.last().unwrap();
+        let counts = shard_counts(samples, shards);
+        let results = run_shards_with(budget.split(shards), threads, |s, child: Budget| {
+            let mut rng = StdRng::seed_from_u64(split_seed(seed, s as u64));
+            let mut assignment = vec![false; self.probs.len()];
+            let mut hits = 0u64;
+            let mut drawn = 0u64;
+            let mut exhausted = None;
+            for _ in 0..counts[s] {
+                if let Err(e) = child.charge(Resource::Samples, 1) {
+                    exhausted = Some(e);
+                    break;
+                }
+                if self.sample_once(u, &mut assignment, &mut rng) {
+                    hits += 1;
+                }
+                drawn += 1;
+            }
+            (hits, drawn, exhausted, child)
+        });
+        let mut hits = 0u64;
+        let mut drawn = 0u64;
+        let mut exhausted = None;
+        for (h, d, e, child) in results {
+            budget.settle(&child);
+            hits += h;
+            drawn += d;
+            if exhausted.is_none() {
+                exhausted = e;
+            }
+        }
+        let hit_rate = hits as f64 / drawn.max(1) as f64;
+        (
+            KarpLubyReport {
+                estimate: self.total_weight.to_f64() * hit_rate,
+                samples: drawn,
+                hit_rate,
+            },
+            exhausted,
+        )
+    }
+
     /// Estimate the model count of a DNF over `num_vars` variables:
     /// `2^n · estimate` under `p ≡ 1/2`.
     pub fn estimate_count<R: Rng>(
@@ -484,6 +625,73 @@ mod tests {
         assert!(exhausted.is_none());
         assert_eq!(plain.estimate, budgeted.estimate);
         assert_eq!(plain.samples, budgeted.samples);
+    }
+
+    #[test]
+    fn sharded_run_is_thread_count_invariant() {
+        let d = Dnf::from_terms([
+            vec![Lit::pos(0), Lit::neg(1)],
+            vec![Lit::pos(2)],
+            vec![Lit::neg(0), Lit::pos(3)],
+        ]);
+        let probs = vec![r(1, 3), r(1, 2), r(1, 5), r(2, 7)];
+        let kl = KarpLuby::new(&d, &probs);
+        let serial = kl.run_sharded(10_000, 0xC0FFEE, 16, 1);
+        for threads in [2usize, 4, 8, 16] {
+            let par = kl.run_sharded(10_000, 0xC0FFEE, 16, threads);
+            assert_eq!(par.estimate.to_bits(), serial.estimate.to_bits());
+            assert_eq!(par.hit_rate.to_bits(), serial.hit_rate.to_bits());
+            assert_eq!(par.samples, serial.samples);
+        }
+    }
+
+    #[test]
+    fn sharded_run_matches_exact_probability() {
+        let d = Dnf::from_terms([
+            vec![Lit::pos(0), Lit::pos(1)],
+            vec![Lit::neg(2)],
+            vec![Lit::pos(3), Lit::neg(0)],
+        ]);
+        let probs: Vec<BigRational> = (0..4).map(|i| r(1 + (i as i64 % 3), 4)).collect();
+        let exact = dnf_probability_shannon(&d, &probs).to_f64();
+        let kl = KarpLuby::new(&d, &probs);
+        let est = kl.run_parallel(0.05, 0.02, 99, 4).estimate;
+        assert!(
+            (est - exact).abs() <= 0.05 * exact + 0.01,
+            "estimate {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn budgeted_sharded_conserves_the_sample_cap() {
+        use qrel_budget::{Budget, Resource};
+        let d = Dnf::from_terms([vec![Lit::pos(0)], vec![Lit::pos(1)]]);
+        let probs = vec![r(1, 3), r(1, 3)];
+        let kl = KarpLuby::new(&d, &probs);
+        for threads in [1usize, 4] {
+            let budget = Budget::unlimited().with_max_samples(50);
+            let (rep, exhausted) = kl.run_budgeted_sharded(1_000_000, &budget, 7, 16, threads);
+            let e = exhausted.expect("sample budget must trip");
+            assert_eq!(e.resource, Resource::Samples);
+            // Split-and-settle accounting: exactly the cap was spent.
+            assert_eq!(rep.samples, 50);
+            assert_eq!(budget.spent(Resource::Samples), 50);
+        }
+    }
+
+    #[test]
+    fn budgeted_sharded_without_limits_matches_sharded() {
+        use qrel_budget::Budget;
+        let d = Dnf::from_terms([vec![Lit::pos(0)], vec![Lit::pos(1), Lit::neg(0)]]);
+        let probs = vec![r(1, 3), r(1, 5)];
+        let kl = KarpLuby::new(&d, &probs);
+        let plain = kl.run_sharded(500, 11, 16, 4);
+        let budget = Budget::unlimited();
+        let (budgeted, exhausted) = kl.run_budgeted_sharded(500, &budget, 11, 16, 4);
+        assert!(exhausted.is_none());
+        assert_eq!(plain.estimate.to_bits(), budgeted.estimate.to_bits());
+        assert_eq!(plain.samples, budgeted.samples);
+        assert_eq!(budget.spent(qrel_budget::Resource::Samples), 500);
     }
 
     #[test]

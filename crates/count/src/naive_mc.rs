@@ -10,11 +10,20 @@
 use qrel_arith::BigRational;
 use qrel_budget::{Budget, Exhausted, Resource};
 use qrel_logic::prop::Dnf;
-use rand::Rng;
+use qrel_par::{run_shards, shard_counts, split_seed};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::bounds::hoeffding_samples;
 
 /// Estimate `Pr[φ]` by naive sampling with an explicit sample count.
+///
+/// # Panics
+/// Panics if `samples == 0`: the mean of zero samples is undefined, and
+/// silently reporting `0.0` would be indistinguishable from a genuine
+/// all-miss run (callers that may legitimately run out of samples use
+/// [`naive_mc_probability_budgeted`], which reports the shortfall as an
+/// explicit [`Exhausted`] cause instead).
 pub fn naive_mc_probability_with_samples<R: Rng>(
     dnf: &Dnf,
     probs: &[BigRational],
@@ -25,6 +34,7 @@ pub fn naive_mc_probability_with_samples<R: Rng>(
         dnf.var_bound() <= probs.len(),
         "probability vector does not cover all variables"
     );
+    assert!(samples > 0, "naive MC needs at least one sample");
     let pf: Vec<f64> = probs.iter().map(|p| p.to_f64()).collect();
     let mut hits = 0u64;
     let mut assignment = vec![false; pf.len()];
@@ -36,7 +46,46 @@ pub fn naive_mc_probability_with_samples<R: Rng>(
             hits += 1;
         }
     }
-    hits as f64 / samples.max(1) as f64
+    hits as f64 / samples as f64
+}
+
+/// Sharded deterministic naive MC: the sample budget is cut into
+/// `shards` fixed pieces, each drawn on an independent seed-split
+/// `StdRng`, and integer hit counts are merged exactly — the result
+/// depends on `(samples, seed, shards)` but never on `threads`.
+///
+/// # Panics
+/// Panics if `samples == 0` or `shards == 0`.
+pub fn naive_mc_probability_sharded(
+    dnf: &Dnf,
+    probs: &[BigRational],
+    samples: u64,
+    seed: u64,
+    shards: usize,
+    threads: usize,
+) -> f64 {
+    assert!(
+        dnf.var_bound() <= probs.len(),
+        "probability vector does not cover all variables"
+    );
+    assert!(samples > 0, "naive MC needs at least one sample");
+    let pf: Vec<f64> = probs.iter().map(|p| p.to_f64()).collect();
+    let counts = shard_counts(samples, shards);
+    let shard_hits = run_shards(shards, threads, |s| {
+        let mut rng = StdRng::seed_from_u64(split_seed(seed, s as u64));
+        let mut assignment = vec![false; pf.len()];
+        let mut hits = 0u64;
+        for _ in 0..counts[s] {
+            for (v, slot) in assignment.iter_mut().enumerate() {
+                *slot = rng.gen::<f64>() < pf[v];
+            }
+            if dnf.eval(&assignment) {
+                hits += 1;
+            }
+        }
+        hits
+    });
+    shard_hits.iter().sum::<u64>() as f64 / samples as f64
 }
 
 /// Budgeted naive sampling: charges one [`Resource::Samples`] per draw
@@ -119,6 +168,44 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(22);
         let est = naive_mc_probability_with_samples(&d, &probs, 2000, &mut rng);
         assert_eq!(est, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_is_an_error_not_a_fake_zero() {
+        // Regression: this used to return 0.0 via `samples.max(1)`,
+        // indistinguishable from a genuine all-miss estimate.
+        let d = Dnf::from_terms([vec![Lit::pos(0)]]);
+        let probs = vec![r(1, 2)];
+        let mut rng = StdRng::seed_from_u64(24);
+        naive_mc_probability_with_samples(&d, &probs, 0, &mut rng);
+    }
+
+    #[test]
+    fn budgeted_zero_draws_reports_exhaustion_not_an_estimate() {
+        // The budgeted path is the sanctioned way to end up with zero
+        // samples: the cause says so explicitly.
+        let d = Dnf::from_terms([vec![Lit::pos(0)]]);
+        let probs = vec![r(1, 2)];
+        let budget = Budget::unlimited().with_max_samples(0);
+        let mut rng = StdRng::seed_from_u64(25);
+        let (_, drawn, exhausted) =
+            naive_mc_probability_budgeted(&d, &probs, 100, &budget, &mut rng);
+        assert_eq!(drawn, 0);
+        assert_eq!(exhausted.unwrap().resource, Resource::Samples);
+    }
+
+    #[test]
+    fn sharded_is_thread_count_invariant_and_accurate() {
+        let d = Dnf::from_terms([vec![Lit::pos(0)], vec![Lit::pos(1), Lit::neg(2)]]);
+        let probs = vec![r(1, 3), r(1, 2), r(1, 4)];
+        let exact = dnf_probability_shannon(&d, &probs).to_f64();
+        let serial = naive_mc_probability_sharded(&d, &probs, 40_000, 26, 16, 1);
+        for threads in [2usize, 4, 8] {
+            let par = naive_mc_probability_sharded(&d, &probs, 40_000, 26, 16, threads);
+            assert_eq!(par.to_bits(), serial.to_bits());
+        }
+        assert!((serial - exact).abs() < 0.02, "est {serial} vs {exact}");
     }
 
     #[test]

@@ -95,7 +95,29 @@ impl UnreliableDatabase {
     ///
     /// # Panics
     /// Panics beyond 63 uncertain facts.
-    pub fn visit_worlds<F>(&self, mut visitor: F)
+    pub fn visit_worlds<F>(&self, visitor: F)
+    where
+        F: FnMut(&Database, &BigRational) -> bool,
+    {
+        let u = self.uncertain_facts().len();
+        assert!(
+            u < 64,
+            "world enumeration limited to 63 uncertain facts (got {u})"
+        );
+        self.visit_worlds_range(0, 1u64 << u, visitor);
+    }
+
+    /// Visit the contiguous slice `[start, end)` of the Gray-code world
+    /// sequence of [`Self::visit_worlds`] (world `k` is the Gray code of
+    /// `k`). Partitioning `[0, 2^u)` into ranges therefore visits every
+    /// world exactly once — the basis of the parallel exact engines:
+    /// each shard takes one range and pays `O(u)` rational work to seed
+    /// its starting world, then the usual one flip per step.
+    ///
+    /// # Panics
+    /// Panics beyond 63 uncertain facts or when the range exceeds
+    /// `[0, 2^u]`.
+    pub fn visit_worlds_range<F>(&self, start: u64, end: u64, mut visitor: F)
     where
         F: FnMut(&Database, &BigRational) -> bool,
     {
@@ -105,7 +127,14 @@ impl UnreliableDatabase {
             "world enumeration limited to 63 uncertain facts (got {})",
             uncertain.len()
         );
-        // Start from the all-false assignment to the uncertain facts.
+        let total = 1u64 << uncertain.len();
+        assert!(
+            start <= end && end <= total,
+            "world range [{start}, {end}) out of bounds for {total} worlds"
+        );
+        if start == end {
+            return;
+        }
         let mut world = self.mode_world_base();
         let mut prob = BigRational::one();
         let nu: Vec<(BigRational, BigRational)> = uncertain
@@ -115,17 +144,21 @@ impl UnreliableDatabase {
                 (nu.clone(), nu.one_minus())
             })
             .collect();
-        for (bit, &fact_ix) in uncertain.iter().enumerate() {
-            let fact = self.indexer().fact_at(fact_ix);
-            world.set_fact(&fact, false);
-            prob = prob.mul_ref(&nu[bit].1);
-        }
+        // Seed the state at position `start`: Gray code of the index.
+        let gray = start ^ (start >> 1);
         let mut state = vec![false; uncertain.len()];
+        for (bit, &fact_ix) in uncertain.iter().enumerate() {
+            let on = (gray >> bit) & 1 == 1;
+            state[bit] = on;
+            let fact = self.indexer().fact_at(fact_ix);
+            world.set_fact(&fact, on);
+            prob = prob.mul_ref(if on { &nu[bit].0 } else { &nu[bit].1 });
+        }
         if !visitor(&world, &prob) {
             return;
         }
         // Standard Gray code: step k flips the bit at trailing_zeros(k).
-        for k in 1u64..(1u64 << uncertain.len()) {
+        for k in (start + 1)..end {
             let bit = k.trailing_zeros() as usize;
             let fact = self.indexer().fact_at(uncertain[bit]);
             let new_value = !state[bit];
@@ -293,6 +326,55 @@ mod tests {
             seen < 2
         });
         assert_eq!(seen, 2);
+    }
+
+    #[test]
+    fn range_partition_matches_full_visit() {
+        // Any partition of [0, 2^u) into contiguous ranges must visit
+        // exactly the worlds of the full Gray-code sweep, in order.
+        let db = DatabaseBuilder::new()
+            .universe_size(3)
+            .relation("S", 1)
+            .tuples("S", [vec![0]])
+            .build();
+        let mut ud = UnreliableDatabase::reliable(db);
+        ud.set_error(&Fact::new(0, vec![0]), r(1, 3)).unwrap();
+        ud.set_error(&Fact::new(0, vec![1]), r(1, 4)).unwrap();
+        ud.set_error(&Fact::new(0, vec![2]), r(2, 5)).unwrap();
+        let mut full: Vec<(qrel_db::Database, BigRational)> = Vec::new();
+        ud.visit_worlds(|w, p| {
+            full.push((w.clone(), p.clone()));
+            true
+        });
+        assert_eq!(full.len(), 8);
+        for cuts in [vec![0u64, 8], vec![0, 3, 8], vec![0, 1, 4, 6, 8]] {
+            let mut pieced: Vec<(qrel_db::Database, BigRational)> = Vec::new();
+            for pair in cuts.windows(2) {
+                ud.visit_worlds_range(pair[0], pair[1], |w, p| {
+                    pieced.push((w.clone(), p.clone()));
+                    true
+                });
+            }
+            assert_eq!(pieced, full, "partition {cuts:?}");
+        }
+    }
+
+    #[test]
+    fn empty_range_visits_nothing() {
+        let ud = setup();
+        let mut seen = 0;
+        ud.visit_worlds_range(2, 2, |_, _| {
+            seen += 1;
+            true
+        });
+        assert_eq!(seen, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_range_rejected() {
+        let ud = setup();
+        ud.visit_worlds_range(0, 5, |_, _| true);
     }
 
     #[test]

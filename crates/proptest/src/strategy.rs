@@ -1,0 +1,277 @@
+//! The [`Strategy`] trait and its combinators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::rc::Rc;
+
+/// A generator of values of one type. `generate` draws a single value;
+/// all combinators are pure wrappers around it.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map {
+            source: self,
+            f: Rc::new(f),
+        }
+    }
+
+    /// Build a recursive strategy: `self` generates leaves, `expand`
+    /// wraps an inner strategy into the next layer. `depth` bounds the
+    /// recursion; the remaining upstream tuning knobs are accepted for
+    /// signature compatibility and ignored.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        expand: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S + 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        Recursive {
+            base: self.boxed(),
+            expand: Rc::new(move |inner| expand(inner).boxed()),
+            depth,
+        }
+    }
+
+    /// Type-erase into a cheaply clonable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Type-erased, reference-counted strategy handle.
+pub struct BoxedStrategy<V>(Rc<dyn Strategy<Value = V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut StdRng) -> V {
+        self.0.generate(rng)
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` combinator.
+pub struct Map<S, F> {
+    source: S,
+    f: Rc<F>,
+}
+
+impl<S: Clone, F> Clone for Map<S, F> {
+    fn clone(&self) -> Self {
+        Map {
+            source: self.source.clone(),
+            f: Rc::clone(&self.f),
+        }
+    }
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// Uniform choice among boxed alternatives (`prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Clone for Union<V> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<V> Union<V> {
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut StdRng) -> V {
+        let idx = rng.gen_range(0..self.arms.len());
+        self.arms[idx].generate(rng)
+    }
+}
+
+/// `prop_recursive` combinator: a depth-bounded fixpoint.
+pub struct Recursive<V> {
+    base: BoxedStrategy<V>,
+    #[allow(clippy::type_complexity)]
+    expand: Rc<dyn Fn(BoxedStrategy<V>) -> BoxedStrategy<V>>,
+    depth: u32,
+}
+
+impl<V> Clone for Recursive<V> {
+    fn clone(&self) -> Self {
+        Recursive {
+            base: self.base.clone(),
+            expand: Rc::clone(&self.expand),
+            depth: self.depth,
+        }
+    }
+}
+
+impl<V: 'static> Strategy for Recursive<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut StdRng) -> V {
+        // Draw a leaf a quarter of the time so generated trees vary in
+        // depth; at depth 0 always take the leaf.
+        if self.depth == 0 || rng.gen_range(0..4u32) == 0 {
+            self.base.generate(rng)
+        } else {
+            let deeper = Recursive {
+                base: self.base.clone(),
+                expand: Rc::clone(&self.expand),
+                depth: self.depth - 1,
+            };
+            (self.expand)(deeper.boxed()).generate(rng)
+        }
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for ::std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for ::std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategies!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize);
+
+/// String literals act as regex-shaped string generators.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        crate::string::sample_regex(self, rng)
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident . $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategies! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+    (A.0, B.1, C.2, D.3, E.4, F.5);
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = (0u32..10).prop_map(|x| x * 2);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!(v < 20 && v % 2 == 0);
+        }
+        let u = Union::new(vec![Just(1u8).boxed(), Just(2u8).boxed()]);
+        let mut seen = [false; 3];
+        for _ in 0..50 {
+            seen[u.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+
+    #[test]
+    fn recursion_is_depth_bounded() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf,
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let s = Just(())
+            .prop_map(|_| Tree::Leaf)
+            .prop_recursive(3, 8, 2, |inner| {
+                crate::collection::vec(inner, 1..3).prop_map(Tree::Node)
+            });
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert!(depth(&s.generate(&mut rng)) <= 3);
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! A tiny regex *sampler*: string-literal strategies generate strings
+//! matching the pattern. Supports the constructs the repo's tests use —
+//! literals, `\`-escapes, character classes with ranges, groups,
+//! alternation, and the `{m}` / `{m,n}` / `?` / `*` / `+` repeaters
+//! (unbounded repeaters are capped at 8).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Generate one string matching `pattern`.
+///
+/// # Panics
+/// Panics on syntax this mini-dialect does not support — that is a bug
+/// in the test, not an input condition.
+pub fn sample_regex(pattern: &str, rng: &mut StdRng) -> String {
+    let mut parser = Parser {
+        chars: pattern.chars().collect(),
+        pos: 0,
+    };
+    let node = parser.parse_alternation();
+    assert!(
+        parser.pos == parser.chars.len(),
+        "unsupported regex `{pattern}`: trailing `{}`",
+        parser.chars[parser.pos..].iter().collect::<String>()
+    );
+    let mut out = String::new();
+    emit(&node, rng, &mut out);
+    out
+}
+
+enum Node {
+    /// Concatenation of items.
+    Seq(Vec<Node>),
+    /// `a|b|c` — uniform choice.
+    Alt(Vec<Node>),
+    /// Single literal character.
+    Lit(char),
+    /// Character class: the expanded set of candidate characters.
+    Class(Vec<char>),
+    /// `x{m,n}` — repeat with a count drawn uniformly from `m..=n`.
+    Repeat(Box<Node>, usize, usize),
+}
+
+fn emit(node: &Node, rng: &mut StdRng, out: &mut String) {
+    match node {
+        Node::Seq(items) => {
+            for item in items {
+                emit(item, rng, out);
+            }
+        }
+        Node::Alt(branches) => {
+            let idx = rng.gen_range(0..branches.len());
+            emit(&branches[idx], rng, out);
+        }
+        Node::Lit(c) => out.push(*c),
+        Node::Class(chars) => {
+            let idx = rng.gen_range(0..chars.len());
+            out.push(chars[idx]);
+        }
+        Node::Repeat(inner, min, max) => {
+            let count = rng.gen_range(*min..=*max);
+            for _ in 0..count {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn parse_alternation(&mut self) -> Node {
+        let mut branches = vec![self.parse_sequence()];
+        while self.peek() == Some('|') {
+            self.pos += 1;
+            branches.push(self.parse_sequence());
+        }
+        if branches.len() == 1 {
+            branches.pop().unwrap()
+        } else {
+            Node::Alt(branches)
+        }
+    }
+
+    fn parse_sequence(&mut self) -> Node {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.parse_atom();
+            items.push(self.parse_repeat(atom));
+        }
+        Node::Seq(items)
+    }
+
+    fn parse_atom(&mut self) -> Node {
+        match self
+            .bump()
+            .expect("regex sampler: unexpected end of pattern")
+        {
+            '(' => {
+                let inner = self.parse_alternation();
+                assert_eq!(self.bump(), Some(')'), "regex sampler: unclosed group");
+                inner
+            }
+            '[' => self.parse_class(),
+            '\\' => Node::Lit(
+                self.bump()
+                    .expect("regex sampler: dangling escape at end of pattern"),
+            ),
+            '.' => Node::Class((' '..='~').collect()),
+            c => Node::Lit(c),
+        }
+    }
+
+    fn parse_class(&mut self) -> Node {
+        let mut chars = Vec::new();
+        let negated = if self.peek() == Some('^') {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        let mut members = Vec::new();
+        loop {
+            let c = match self.bump() {
+                Some(']') => break,
+                Some('\\') => self
+                    .bump()
+                    .expect("regex sampler: dangling escape in class"),
+                Some(c) => c,
+                None => panic!("regex sampler: unclosed character class"),
+            };
+            // A `-` between two members denotes a range unless it is the
+            // last character before `]`.
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.pos += 1; // consume '-'
+                let end = match self.bump() {
+                    Some('\\') => self
+                        .bump()
+                        .expect("regex sampler: dangling escape in class"),
+                    Some(e) => e,
+                    None => panic!("regex sampler: unclosed character class"),
+                };
+                assert!(c <= end, "regex sampler: inverted class range");
+                members.extend(c..=end);
+            } else {
+                members.push(c);
+            }
+        }
+        if negated {
+            chars.extend((' '..='~').filter(|c| !members.contains(c)));
+        } else {
+            chars = members;
+        }
+        assert!(!chars.is_empty(), "regex sampler: empty character class");
+        Node::Class(chars)
+    }
+
+    fn parse_repeat(&mut self, atom: Node) -> Node {
+        match self.peek() {
+            Some('{') => {
+                self.pos += 1;
+                let min = self.parse_usize();
+                let max = if self.peek() == Some(',') {
+                    self.pos += 1;
+                    self.parse_usize()
+                } else {
+                    min
+                };
+                assert_eq!(self.bump(), Some('}'), "regex sampler: unclosed repeat");
+                assert!(min <= max, "regex sampler: inverted repeat bounds");
+                Node::Repeat(Box::new(atom), min, max)
+            }
+            Some('?') => {
+                self.pos += 1;
+                Node::Repeat(Box::new(atom), 0, 1)
+            }
+            Some('*') => {
+                self.pos += 1;
+                Node::Repeat(Box::new(atom), 0, 8)
+            }
+            Some('+') => {
+                self.pos += 1;
+                Node::Repeat(Box::new(atom), 1, 8)
+            }
+            _ => atom,
+        }
+    }
+
+    fn parse_usize(&mut self) -> usize {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        self.chars[start..self.pos]
+            .iter()
+            .collect::<String>()
+            .parse()
+            .expect("regex sampler: expected a number in repeat bounds")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn printable_class_with_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = sample_regex("[ -~]{0,40}", &mut rng);
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn alternation_of_groups() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pat = "(exists |forall |[a-z]\\(|[xyz]|[(),.&|!=<>' -]){0,30}";
+        for _ in 0..200 {
+            let s = sample_regex(pat, &mut rng);
+            // Every produced chunk is one of the alternatives; just check
+            // the character inventory stays within the printable set.
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "bad {s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_ranges_and_repeats() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(sample_regex("abc", &mut rng), "abc");
+        let s = sample_regex("a{3}", &mut rng);
+        assert_eq!(s, "aaa");
+        for _ in 0..50 {
+            let s = sample_regex("[0-9]+", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 8);
+            assert!(s.chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+}

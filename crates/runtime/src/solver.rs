@@ -6,12 +6,14 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use qrel_arith::BigRational;
 use qrel_budget::{Budget, Exhausted, QrelError, Resource};
 use qrel_core::{
-    approximate_reliability_budgeted, exact_reliability_budgeted, qf_reliability_budgeted,
-    ApproxOutcome, ExactOutcome, PaddingEstimator, PaddingOutcome, QfOutcome,
+    approximate_reliability_budgeted_parallel, exact_reliability_budgeted_sharded,
+    qf_reliability_budgeted, ApproxOutcome, ExactOutcome, PaddingEstimator, PaddingOutcome,
+    QfOutcome,
 };
 use qrel_count::bounds::hoeffding_samples;
 use qrel_eval::{FoQuery, Query};
 use qrel_logic::Fragment;
+use qrel_par::{resolve_threads, run_shards_with, shard_counts, split_seed, DEFAULT_SHARDS};
 use qrel_prob::{UnreliableDatabase, WorldSampler};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -60,6 +62,7 @@ pub struct Solver {
     delta: f64,
     max_exact_worlds: u64,
     seed: u64,
+    threads: Option<usize>,
 }
 
 impl Default for Solver {
@@ -70,6 +73,7 @@ impl Default for Solver {
             delta: 0.05,
             max_exact_worlds: DEFAULT_MAX_EXACT_WORLDS,
             seed: 0x5EED,
+            threads: None,
         }
     }
 }
@@ -108,6 +112,17 @@ impl Solver {
         self
     }
 
+    /// Worker-thread count for the sharded engines. Unset, the
+    /// `RAYON_NUM_THREADS` environment variable and then the machine's
+    /// available parallelism decide. The answer never depends on this
+    /// knob: every rung runs on a fixed shard count with per-shard
+    /// seed-split RNGs, so any thread count reproduces `threads = 1`
+    /// bit for bit (see `qrel_par`).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
     /// Solve for the reliability of `query` on `ud` within `budget`.
     ///
     /// Returns `Err` only when *no* rung produced even a partial
@@ -122,7 +137,7 @@ impl Solver {
         budget: &Budget,
     ) -> Result<SolveReport, QrelError> {
         let ladder = self.ladder(ud, query, budget);
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let threads = resolve_threads(self.threads);
         let mut trace: Vec<TraceStep> = Vec::new();
         let mut best_partial: Option<(Answer, Method)> = None;
         let mut first_error: Option<QrelError> = None;
@@ -130,8 +145,13 @@ impl Solver {
         for (i, &method) in ladder.iter().enumerate() {
             let last = i + 1 == ladder.len();
             let slice = slice_budget(budget, last);
+            // Every rung gets its own seed stream, so a rung's sampling
+            // never depends on how much earlier rungs drew — the answer
+            // is a function of (query, seed, accuracy) alone, not of
+            // thread count or of which rungs happened to run.
+            let rung_seed = split_seed(self.seed, i as u64);
             let outcome = catch_unwind(AssertUnwindSafe(|| {
-                self.run_rung(method, ud, query, &slice, &mut rng)
+                self.run_rung(method, ud, query, &slice, rung_seed, threads)
             }));
             settle(budget, &slice);
             match outcome {
@@ -231,15 +251,16 @@ impl Solver {
         ud: &UnreliableDatabase,
         query: &FoQuery,
         budget: &Budget,
-        rng: &mut StdRng,
+        seed: u64,
+        threads: usize,
     ) -> Result<Rung, QrelError> {
         match method {
             Method::Auto => unreachable!("Auto expands into concrete rungs"),
             Method::Qf => self.run_qf(ud, query, budget),
-            Method::Exact => self.run_exact(ud, query, budget),
-            Method::Fptras => self.run_fptras(ud, query, budget, rng),
-            Method::Padding => self.run_padding(ud, query, budget, rng),
-            Method::NaiveMc => self.run_naive_mc(ud, query, budget, rng),
+            Method::Exact => self.run_exact(ud, query, budget, threads),
+            Method::Fptras => self.run_fptras(ud, query, budget, seed, threads),
+            Method::Padding => self.run_padding(ud, query, budget, seed, threads),
+            Method::NaiveMc => self.run_naive_mc(ud, query, budget, seed, threads),
         }
     }
 
@@ -288,8 +309,9 @@ impl Solver {
         ud: &UnreliableDatabase,
         query: &FoQuery,
         budget: &Budget,
+        threads: usize,
     ) -> Result<Rung, QrelError> {
-        match exact_reliability_budgeted(ud, query, budget)? {
+        match exact_reliability_budgeted_sharded(ud, query, budget, threads)? {
             ExactOutcome::Complete(rep) => {
                 let note = format!("completed exactly ({} worlds)", rep.worlds);
                 Ok(Rung::Done(
@@ -324,16 +346,18 @@ impl Solver {
         ud: &UnreliableDatabase,
         query: &FoQuery,
         budget: &Budget,
-        rng: &mut StdRng,
+        seed: u64,
+        threads: usize,
     ) -> Result<Rung, QrelError> {
-        let outcome = approximate_reliability_budgeted(
+        let outcome = approximate_reliability_budgeted_parallel(
             ud,
             query.formula(),
             query.free_vars(),
             self.eps,
             self.delta,
             budget,
-            rng,
+            seed,
+            threads,
         );
         match outcome {
             Ok(ApproxOutcome::Complete(rep)) => {
@@ -384,10 +408,20 @@ impl Solver {
         ud: &UnreliableDatabase,
         query: &FoQuery,
         budget: &Budget,
-        rng: &mut StdRng,
+        seed: u64,
+        threads: usize,
     ) -> Result<Rung, QrelError> {
         let est = PaddingEstimator::default_xi();
-        match est.estimate_reliability_budgeted(ud, query, self.eps, self.delta, budget, rng)? {
+        match est.estimate_reliability_budgeted_sharded(
+            ud,
+            query,
+            self.eps,
+            self.delta,
+            budget,
+            seed,
+            DEFAULT_SHARDS,
+            threads,
+        )? {
             PaddingOutcome::Complete(rep) => {
                 let note = format!(
                     "completed with (ε={}, δ={}) guarantee ({} worlds)",
@@ -428,38 +462,71 @@ impl Solver {
     /// the normalized error, so a single Hoeffding bound on `t` samples
     /// gives `±ε` on the reliability itself — no per-tuple `ε/n^k`
     /// split, which is what makes this the cheapest rung.
+    ///
+    /// Sharded like the other sampling rungs: the sample budget splits
+    /// across [`DEFAULT_SHARDS`] seed-split workers and the *integer*
+    /// symmetric-difference totals merge exactly, so the estimate never
+    /// depends on the thread count.
     fn run_naive_mc(
         &self,
         ud: &UnreliableDatabase,
         query: &FoQuery,
         budget: &Budget,
-        rng: &mut StdRng,
+        seed: u64,
+        threads: usize,
     ) -> Result<Rung, QrelError> {
         let k = query.arity();
         let db = ud.observed();
         let tuples: Vec<Vec<u32>> = db.universe().tuples(k).collect();
         let nk = tuples.len().max(1);
         let observed = query.answers(db)?;
-        let sampler = WorldSampler::new(ud);
         let t = hoeffding_samples(self.eps, self.delta);
+        let counts = shard_counts(t, DEFAULT_SHARDS);
 
-        let mut total = 0.0f64;
-        let mut drawn = 0u64;
-        let mut cause = None;
-        for _ in 0..t {
-            if let Err(e) = budget.charge(Resource::Samples, 1) {
-                cause = Some(e);
-                break;
+        let children = budget.split(DEFAULT_SHARDS);
+        let parts = run_shards_with(children, threads, |s, child: Budget| {
+            let mut rng = StdRng::seed_from_u64(split_seed(seed, s as u64));
+            let sampler = WorldSampler::new(ud);
+            let mut diff_total = 0u64;
+            let mut drawn = 0u64;
+            let mut cause = None;
+            for _ in 0..counts[s] {
+                if let Err(e) = child.charge(Resource::Samples, 1) {
+                    cause = Some(e);
+                    break;
+                }
+                let answers = match query.answers(&sampler.sample(&mut rng)) {
+                    Ok(a) => a,
+                    Err(e) => return (diff_total, drawn, cause, Some(e), child),
+                };
+                diff_total += tuples
+                    .iter()
+                    .filter(|tuple| answers.contains(tuple) != observed.contains(tuple))
+                    .count() as u64;
+                drawn += 1;
             }
-            let answers = query.answers(&sampler.sample(rng))?;
-            let diff = tuples
-                .iter()
-                .filter(|tuple| answers.contains(tuple) != observed.contains(tuple))
-                .count();
-            total += diff as f64 / nk as f64;
-            drawn += 1;
+            (diff_total, drawn, cause, None, child)
+        });
+        let mut diff_total = 0u64;
+        let mut drawn = 0u64;
+        let mut cause: Option<Exhausted> = None;
+        let mut failure: Option<qrel_eval::EvalError> = None;
+        for (part_diff, part_drawn, part_cause, part_failure, child) in parts {
+            budget.settle(&child);
+            diff_total += part_diff;
+            drawn += part_drawn;
+            if cause.is_none() {
+                cause = part_cause;
+            }
+            if failure.is_none() {
+                failure = part_failure;
+            }
         }
-        let estimate = (1.0 - total / drawn.max(1) as f64).clamp(0.0, 1.0);
+        if let Some(e) = failure {
+            return Err(e.into());
+        }
+        let mean = diff_total as f64 / nk as f64 / drawn.max(1) as f64;
+        let estimate = (1.0 - mean).clamp(0.0, 1.0);
         match cause {
             None => Ok(Rung::Done(
                 Answer {
@@ -719,6 +786,30 @@ mod tests {
             "mc answer {} vs oracle {oracle}",
             report.reliability
         );
+    }
+
+    #[test]
+    fn answer_is_thread_count_invariant() {
+        // The determinism contract at the solver level: the sampling
+        // rungs run on fixed shard counts with seed-split RNGs, so the
+        // reported reliability is bit-identical for every --threads.
+        let ud = small_ud();
+        let q = FoQuery::parse("exists x. S(x)").unwrap();
+        let solve = |threads: usize| {
+            Solver::new()
+                .with_max_exact_worlds(4) // force the FPTRAS rung
+                .with_threads(threads)
+                .solve(&ud, &q, &Budget::unlimited())
+                .unwrap()
+        };
+        let base = solve(1);
+        assert_eq!(base.method, Method::Fptras);
+        for threads in [2usize, 4, 8] {
+            let rep = solve(threads);
+            assert_eq!(rep.method, base.method);
+            assert_eq!(rep.reliability.to_bits(), base.reliability.to_bits());
+            assert_eq!(rep.samples, base.samples);
+        }
     }
 
     #[test]

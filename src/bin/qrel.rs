@@ -8,7 +8,7 @@
 //! qrel reliability --db spec.json --query "S(x)" [--free x,y]
 //!                  [--method auto|exact|qf|fptras|padding|mc]
 //!                  [--timeout-ms T] [--max-worlds N] [--max-samples N] [--max-terms N]
-//!                  [--eps E] [--delta D] [--seed S]
+//!                  [--eps E] [--delta D] [--seed S] [--threads T]
 //! qrel example-spec
 //! ```
 //!
@@ -139,7 +139,9 @@ fn print_help() {
          \x20 reliability  --db spec.json --query Q [--free x,y]\n\
          \x20              [--method auto|exact|qf|fptras|padding|mc]\n\
          \x20              [--timeout-ms T] [--max-worlds N] [--max-samples N] [--max-terms N]\n\
-         \x20              [--eps E] [--delta D] [--seed S]\n\
+         \x20              [--eps E] [--delta D] [--seed S] [--threads T]\n\
+         \x20              (--threads never changes the answer: fixed shard count,\n\
+         \x20               per-shard seed-split RNGs)\n\
          \x20 marginals    --db spec.json --query Q [--free x,y]\n\
          \x20 example-spec\n\n\
          reliability exit codes: 0 = full-guarantee answer, \
@@ -391,10 +393,18 @@ fn cmd_reliability(opts: &Options) -> Result<ExitCode, String> {
     let delta = opts.get_f64("delta", 0.05)?;
     let seed = opts.get_u64("seed", 0)?;
     let budget = build_budget(opts)?;
-    let solver = Solver::new()
+    let mut solver = Solver::new()
         .with_method(method)
         .with_accuracy(eps, delta)
         .with_seed(seed);
+    if let Some(t) = opts.get("threads") {
+        let t: usize = t
+            .parse()
+            .ok()
+            .filter(|&t| t > 0)
+            .ok_or_else(|| "--threads expects a positive integer".to_string())?;
+        solver = solver.with_threads(t);
+    }
     let q = FoQuery::with_free_order(f, free);
     let report = solver.solve(&ud, &q, &budget).map_err(|e| e.to_string())?;
 
