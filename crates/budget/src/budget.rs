@@ -189,6 +189,15 @@ impl Budget {
         self
     }
 
+    /// A fresh budget whose only limit is a wall-clock deadline of
+    /// `allowance` from *now* — the per-request shape used by callers
+    /// (like `qrel-serve`) that admit work with a deadline but no
+    /// counter caps. Equivalent to
+    /// `Budget::unlimited().with_deadline(allowance)`.
+    pub fn with_deadline_from_now(allowance: Duration) -> Self {
+        Budget::unlimited().with_deadline(allowance)
+    }
+
     pub fn with_max_worlds(mut self, n: u64) -> Self {
         self.max_worlds = Some(n);
         self
@@ -498,6 +507,17 @@ mod tests {
         assert!(e.spent >= 10);
         assert_eq!(e.limit, Some(10));
         assert!(b.is_exhausted());
+    }
+
+    #[test]
+    fn deadline_from_now_is_deadline_only() {
+        let b = Budget::with_deadline_from_now(Duration::from_secs(60));
+        assert!(b.allowance().is_some());
+        assert_eq!(b.remaining(Resource::Worlds), None);
+        assert_eq!(b.remaining(Resource::Samples), None);
+        assert_eq!(b.remaining(Resource::Terms), None);
+        assert!(b.time_left().unwrap() <= Duration::from_secs(60));
+        assert!(!b.is_exhausted());
     }
 
     #[test]

@@ -37,7 +37,8 @@
 //! error by `2^L / Q`. [`ProbDnfReduction::estimate_full_space`] keeps
 //! this literal path for demonstration; the default
 //! [`ProbDnfReduction::estimate`] instead runs the coverage sampler
-//! *restricted to legal assignments* ([`LegalCoverage`]): uniform-over-
+//! *restricted to legal assignments* (the private `LegalCoverage`
+//! sampler): uniform-over-
 //! legal is a product measure (each `X` uniform on `[0, q_X)`), under
 //! which `Pr[φ'] = ν(φ)` exactly, so the zero-one estimator theorem
 //! applies with no amplification. In the dyadic case the two paths

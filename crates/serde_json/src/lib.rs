@@ -45,9 +45,53 @@ impl From<DeError> for Error {
 
 pub type Result<T> = std::result::Result<T, Error>;
 
+/// Default nesting-depth cap applied by [`from_str`]. Deep enough for
+/// any legitimate spec (ours nest ≤ 8 levels), shallow enough that the
+/// recursive-descent parser cannot be driven into a stack overflow by
+/// adversarial input like `[[[[…]]]]`.
+pub const DEFAULT_MAX_DEPTH: usize = 128;
+
+/// Default total-size cap applied by [`from_str`]: 256 MiB. A guard
+/// against pathological allocation, not a tuning knob — network-facing
+/// callers should pass a much smaller [`ParseLimits::max_bytes`].
+pub const DEFAULT_MAX_BYTES: usize = 256 * 1024 * 1024;
+
+/// Resource limits enforced while parsing untrusted JSON text.
+///
+/// `from_str` applies [`ParseLimits::default`]; callers that face raw
+/// network bytes (the `qrel-serve` HTTP server) tighten both knobs via
+/// [`from_str_with_limits`].
+#[derive(Debug, Clone, Copy)]
+pub struct ParseLimits {
+    /// Maximum array/object nesting depth before parsing aborts.
+    pub max_depth: usize,
+    /// Maximum input length in bytes; longer inputs are rejected before
+    /// any parsing work happens.
+    pub max_bytes: usize,
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        ParseLimits {
+            max_depth: DEFAULT_MAX_DEPTH,
+            max_bytes: DEFAULT_MAX_BYTES,
+        }
+    }
+}
+
 /// Parse JSON text into any deserializable type.
+///
+/// Enforces [`ParseLimits::default`] — a [`DEFAULT_MAX_DEPTH`] nesting
+/// cap and a [`DEFAULT_MAX_BYTES`] size cap — so even the trusting
+/// entry point cannot be crashed by deeply nested or enormous input.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
-    let value = parse_value_complete(s)?;
+    from_str_with_limits(s, ParseLimits::default())
+}
+
+/// Parse JSON text under explicit [`ParseLimits`] — the entry point for
+/// adversarial input (HTTP request bodies).
+pub fn from_str_with_limits<T: Deserialize>(s: &str, limits: ParseLimits) -> Result<T> {
+    let value = parse_value_complete(s, limits)?;
     Ok(T::deserialize_value(&value)?)
 }
 
@@ -187,12 +231,24 @@ fn write_escaped(s: &str, out: &mut String) {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current array/object nesting depth (see [`ParseLimits`]).
+    depth: usize,
+    max_depth: usize,
 }
 
-fn parse_value_complete(s: &str) -> Result<Value> {
+fn parse_value_complete(s: &str, limits: ParseLimits) -> Result<Value> {
+    if s.len() > limits.max_bytes {
+        return Err(Error::new(format!(
+            "input of {} bytes exceeds the {}-byte limit",
+            s.len(),
+            limits.max_bytes
+        )));
+    }
     let mut p = Parser {
         bytes: s.as_bytes(),
         pos: 0,
+        depth: 0,
+        max_depth: limits.max_depth,
     };
     p.skip_ws();
     let v = p.parse_value()?;
@@ -274,12 +330,27 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Enter one nesting level, erroring past the depth limit. The
+    /// matching `depth -= 1` lives at each container's exit points.
+    fn enter(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > self.max_depth {
+            return Err(Error::new(format!(
+                "nesting depth exceeds the limit of {}",
+                self.max_depth
+            )));
+        }
+        Ok(())
+    }
+
     fn parse_array(&mut self) -> Result<Value> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Array(items));
         }
         loop {
@@ -290,6 +361,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Array(items));
                 }
                 _ => {
@@ -304,10 +376,12 @@ impl<'a> Parser<'a> {
 
     fn parse_object(&mut self) -> Result<Value> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Object(pairs));
         }
         loop {
@@ -323,6 +397,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Object(pairs));
                 }
                 _ => {
@@ -548,5 +623,59 @@ mod tests {
     fn surrogate_pairs() {
         let v: Value = from_str(r#""😀""#).unwrap();
         assert_eq!(v, Value::Str("😀".to_string()));
+    }
+
+    #[test]
+    fn deep_array_nesting_is_rejected_not_a_crash() {
+        // 100k levels would overflow the stack without the depth guard.
+        let depth = 100_000;
+        let text = "[".repeat(depth) + &"]".repeat(depth);
+        let err = from_str::<Value>(&text).unwrap_err();
+        assert!(err.to_string().contains("nesting depth"), "{err}");
+    }
+
+    #[test]
+    fn deep_object_nesting_is_rejected_not_a_crash() {
+        let depth = 100_000;
+        let text = "{\"a\":".repeat(depth) + "null" + &"}".repeat(depth);
+        let err = from_str::<Value>(&text).unwrap_err();
+        assert!(err.to_string().contains("nesting depth"), "{err}");
+    }
+
+    #[test]
+    fn nesting_exactly_at_the_limit_parses() {
+        let limits = ParseLimits {
+            max_depth: 10,
+            max_bytes: 1024,
+        };
+        let ok = "[".repeat(10) + &"]".repeat(10);
+        assert!(from_str_with_limits::<Value>(&ok, limits).is_ok());
+        let too_deep = "[".repeat(11) + &"]".repeat(11);
+        assert!(from_str_with_limits::<Value>(&too_deep, limits).is_err());
+        // Depth is net nesting, not total containers: wide siblings at
+        // the same level never trip the limit.
+        let wide = format!("[{}]", vec!["[]"; 300].join(","));
+        assert!(from_str_with_limits::<Value>(&wide, limits).is_ok());
+    }
+
+    #[test]
+    fn size_limit_rejects_before_parsing() {
+        let limits = ParseLimits {
+            max_depth: 10,
+            max_bytes: 16,
+        };
+        assert!(from_str_with_limits::<Value>("[1,2,3]", limits).is_ok());
+        let big = format!("[{}]", vec!["0"; 100].join(","));
+        let err = from_str_with_limits::<Value>(&big, limits).unwrap_err();
+        assert!(err.to_string().contains("byte limit"), "{err}");
+    }
+
+    #[test]
+    fn realistic_specs_fit_default_limits() {
+        // The shipped data files must stay parseable under from_str's
+        // built-in caps.
+        let nested = r#"{"database":{"vocab":{"symbols":[{"name":"S","arity":1}]},
+            "universe":{"names":["a"]},"relations":[{"arity":1,"tuples":[[0]]}]}}"#;
+        assert!(from_str::<Value>(nested).is_ok());
     }
 }

@@ -1,0 +1,313 @@
+//! Minimal HTTP/1.1 on raw [`TcpStream`]s: exactly what the service
+//! needs, nothing more.
+//!
+//! One request per connection (`Connection: close`), a read deadline so
+//! a stalled client cannot wedge a worker, and a declared-body-size
+//! guard checked *before* any body byte is read so an oversized upload
+//! is refused for the price of its headers.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Upper bound on the request line + headers. 16 KiB is far beyond any
+/// legitimate client of this API.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed HTTP request: method, path (query string stripped), body.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read. Each variant maps onto one response
+/// status in the worker loop.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Unparseable request line/headers, or a missing/garbled
+    /// `Content-Length` → `400`.
+    BadRequest(String),
+    /// Declared or actual body beyond the configured cap → `413`.
+    PayloadTooLarge { declared: usize, limit: usize },
+    /// The client stalled past the read deadline → `408`.
+    Timeout,
+    /// The socket died; no response is possible.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::BadRequest(m) => write!(f, "bad request: {m}"),
+            HttpError::PayloadTooLarge { declared, limit } => {
+                write!(f, "body of {declared} bytes exceeds the {limit}-byte limit")
+            }
+            HttpError::Timeout => f.write_str("timed out reading the request"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+fn io_error(e: std::io::Error) -> HttpError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => HttpError::Timeout,
+        _ => HttpError::Io(e),
+    }
+}
+
+/// Read and parse one request from `stream`, enforcing the read
+/// deadline and the body-size cap.
+pub fn read_request(
+    stream: &mut TcpStream,
+    max_body: usize,
+    read_timeout: Duration,
+) -> Result<Request, HttpError> {
+    stream
+        .set_read_timeout(Some(read_timeout))
+        .map_err(HttpError::Io)?;
+
+    // Accumulate until the blank line ending the head. Reads are small
+    // and bounded; the deadline covers a byte-at-a-time trickler.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::BadRequest(format!(
+                "request head exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        let n = stream.read(&mut chunk).map_err(io_error)?;
+        if n == 0 {
+            return Err(HttpError::BadRequest(
+                "connection closed before the request head completed".into(),
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::BadRequest("request head is not UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("empty request".into()))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing method".into()))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing request target".into()))?;
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        _ => return Err(HttpError::BadRequest("not an HTTP/1.x request".into())),
+    }
+    // Strip any query string; the API carries everything in the body.
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::BadRequest("unparseable Content-Length".into()))?;
+        }
+    }
+    // The guard: reject a too-large declaration before reading a single
+    // body byte.
+    if content_length > max_body {
+        return Err(HttpError::PayloadTooLarge {
+            declared: content_length,
+            limit: max_body,
+        });
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(io_error)?;
+        if n == 0 {
+            return Err(HttpError::BadRequest("connection closed mid-body".into()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    Ok(Request { method, path, body })
+}
+
+/// Byte offset of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// An HTTP response about to be written. Extra headers ride in
+/// `headers`; `Content-Length` and `Connection: close` are added by
+/// [`write_response`].
+#[derive(Debug)]
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: Vec<u8>,
+    pub headers: Vec<(String, String)>,
+}
+
+impl Response {
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+            headers: Vec::new(),
+        }
+    }
+
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+            headers: Vec::new(),
+        }
+    }
+
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+}
+
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "",
+    }
+}
+
+/// Serialize and send `resp`; errors are swallowed (the client may
+/// already be gone, and there is nobody left to tell).
+pub fn write_response(stream: &mut TcpStream, resp: &Response) {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        resp.status,
+        status_reason(resp.status),
+        resp.content_type,
+        resp.body.len()
+    );
+    for (name, value) in &resp.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(&resp.body);
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Run `read_request` against bytes written from a paired socket.
+    fn parse(raw: &[u8], max_body: usize) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).unwrap();
+            c.write_all(&raw).unwrap();
+            // Keep the socket open briefly so a short read sees EOF
+            // only after all bytes arrived.
+            c.shutdown(std::net::Shutdown::Write).unwrap();
+            let mut sink = Vec::new();
+            let _ = c.read_to_end(&mut sink);
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let out = read_request(&mut conn, max_body, Duration::from_millis(500));
+        drop(conn);
+        writer.join().unwrap();
+        out
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse(
+            b"POST /v1/solve?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nabcd",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/solve");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\nHost: h\r\n\r\n", 1024).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn declared_oversize_is_rejected_without_reading_the_body() {
+        let err = parse(b"POST / HTTP/1.1\r\nContent-Length: 999999\r\n\r\n", 128).unwrap_err();
+        assert!(matches!(
+            err,
+            HttpError::PayloadTooLarge {
+                declared: 999999,
+                limit: 128
+            }
+        ));
+    }
+
+    #[test]
+    fn garbage_is_bad_request() {
+        assert!(matches!(
+            parse(b"NOT-HTTP\r\n\r\n", 128),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: x\r\n\r\n", 128),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn stalled_client_times_out() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).unwrap();
+            // Send half a head, then stall past the deadline.
+            c.write_all(b"GET /healthz HT").unwrap();
+            std::thread::sleep(Duration::from_millis(300));
+            drop(c);
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let err = read_request(&mut conn, 128, Duration::from_millis(50)).unwrap_err();
+        assert!(matches!(err, HttpError::Timeout), "{err}");
+        client.join().unwrap();
+    }
+}

@@ -1,0 +1,45 @@
+//! `qrel-serve`: the query-reliability engine as a networked service.
+//!
+//! A std-only HTTP/1.1 server (no new dependencies — raw
+//! [`std::net::TcpListener`], a fixed worker thread pool) exposing:
+//!
+//! - `POST /v1/solve` — solve a reliability query against an inline
+//!   [`qrel_prob::UnreliableDatabaseSpec`] or a preloaded dataset,
+//!   answered by [`qrel_runtime::Solver`] under a per-request
+//!   [`qrel_budget::Budget`] deadline;
+//! - `GET /healthz` — liveness plus the loaded dataset names;
+//! - `GET /metrics` — Prometheus text: request/status counts, per-rung
+//!   solve counts, latency histogram, cache hits/misses, queue depth,
+//!   backpressure rejections.
+//!
+//! Operational properties, in the same spirit as the solver's
+//! degradation ladder (overload degrades service *predictably* instead
+//! of failing chaotically):
+//!
+//! - **Admission control**: a bounded queue between the acceptor and
+//!   the workers; when it is full new connections get `429` +
+//!   `Retry-After` instead of queueing without bound.
+//! - **Result caching**: a sharded, byte-capped LRU keyed by the
+//!   canonical database hash, canonical query, method, ε/δ bits, and
+//!   seed. Only deterministic reports are cached (wall-clock or
+//!   cancellation trips are machine-dependent), so a cache hit is
+//!   *bit-identical* to the fresh solve it replaces.
+//! - **Input hardening**: connection read deadline, maximum body size
+//!   checked before the body is read, JSON nesting-depth limits.
+//! - **Graceful shutdown**: SIGTERM/ctrl-c stops accepting, drains the
+//!   admitted queue, and — only past the grace period — cancels
+//!   in-flight budgets through the shared
+//!   [`qrel_budget::CancelToken`].
+
+pub mod cache;
+pub mod http;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CacheKey, ResultCache};
+pub use metrics::Metrics;
+pub use protocol::{DbRef, SolveRequest};
+pub use server::{
+    canonical_db_hash, install_shutdown_signals, ServeError, Server, ServerConfig, ServerHandle,
+};

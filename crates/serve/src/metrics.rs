@@ -1,0 +1,233 @@
+//! Service metrics: lock-free atomic counters rendered in the
+//! Prometheus text exposition format.
+//!
+//! Every series the ISSUE asks for is here: request counts by
+//! endpoint/status, per-rung solve counts, a solve-latency histogram,
+//! cache hits/misses, live queue depth, and the rejected-request
+//! (backpressure) count. Label sets are fixed at compile time so the
+//! hot path is a single `fetch_add` — no allocation, no locking.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use qrel_runtime::Method;
+
+/// Endpoints tracked as label values (everything else is `other`).
+pub const ENDPOINTS: [&str; 4] = ["/v1/solve", "/healthz", "/metrics", "other"];
+
+/// Statuses tracked as label values.
+pub const STATUSES: [u16; 10] = [200, 400, 404, 405, 408, 413, 422, 429, 500, 503];
+
+/// Solve rungs tracked as label values, in ladder order.
+pub const RUNGS: [Method; 5] = [
+    Method::Qf,
+    Method::Exact,
+    Method::Fptras,
+    Method::Padding,
+    Method::NaiveMc,
+];
+
+/// Histogram bucket upper bounds, in seconds.
+pub const LATENCY_BUCKETS: [f64; 9] = [0.0005, 0.001, 0.005, 0.025, 0.1, 0.5, 1.0, 5.0, 30.0];
+
+fn endpoint_index(path: &str) -> usize {
+    ENDPOINTS.iter().position(|&e| e == path).unwrap_or(3)
+}
+
+fn status_index(status: u16) -> usize {
+    STATUSES
+        .iter()
+        .position(|&s| s == status)
+        .unwrap_or_else(|| panic!("untracked status {status}"))
+}
+
+/// The metrics registry. One instance per server, shared by reference
+/// across workers; all methods take `&self`.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// `requests[endpoint][status]`.
+    requests: [[AtomicU64; STATUSES.len()]; ENDPOINTS.len()],
+    /// Completed solves by answering rung.
+    solves: [AtomicU64; RUNGS.len()],
+    /// Solve latency histogram: cumulative-style counts are computed at
+    /// render time; these are per-bucket (non-cumulative) counts, with
+    /// one extra slot for `+Inf`.
+    latency_buckets: [AtomicU64; LATENCY_BUCKETS.len() + 1],
+    latency_sum_micros: AtomicU64,
+    latency_count: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    /// Live admission-queue depth (gauge).
+    queue_depth: AtomicU64,
+    /// Requests refused with `429` because the queue was full.
+    rejected: AtomicU64,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record_request(&self, path: &str, status: u16) {
+        self.requests[endpoint_index(path)][status_index(status)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_solve(&self, rung: Method, latency: std::time::Duration) {
+        if let Some(i) = RUNGS.iter().position(|&m| m == rung) {
+            self.solves[i].fetch_add(1, Ordering::Relaxed);
+        }
+        let secs = latency.as_secs_f64();
+        let bucket = LATENCY_BUCKETS
+            .iter()
+            .position(|&ub| secs <= ub)
+            .unwrap_or(LATENCY_BUCKETS.len());
+        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_micros
+            .fetch_add(latency.as_micros() as u64, Ordering::Relaxed);
+        self.latency_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_cache(&self, hit: bool) {
+        if hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn set_queue_depth(&self, depth: usize) {
+        self.queue_depth.store(depth as u64, Ordering::Relaxed);
+    }
+
+    pub fn cache_hit_count(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    pub fn rejected_count(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Render the whole registry in the Prometheus text format.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(4096);
+
+        out.push_str(
+            "# HELP qrel_http_requests_total HTTP requests served, by endpoint and status.\n",
+        );
+        out.push_str("# TYPE qrel_http_requests_total counter\n");
+        for (e, endpoint) in ENDPOINTS.iter().enumerate() {
+            for (s, status) in STATUSES.iter().enumerate() {
+                let n = self.requests[e][s].load(Ordering::Relaxed);
+                if n > 0 {
+                    out.push_str(&format!(
+                        "qrel_http_requests_total{{endpoint=\"{endpoint}\",status=\"{status}\"}} {n}\n"
+                    ));
+                }
+            }
+        }
+
+        out.push_str("# HELP qrel_solve_total Completed solves, by answering ladder rung.\n");
+        out.push_str("# TYPE qrel_solve_total counter\n");
+        for (i, rung) in RUNGS.iter().enumerate() {
+            let n = self.solves[i].load(Ordering::Relaxed);
+            out.push_str(&format!("qrel_solve_total{{method=\"{rung}\"}} {n}\n"));
+        }
+
+        out.push_str("# HELP qrel_solve_latency_seconds Solve latency (cache misses only).\n");
+        out.push_str("# TYPE qrel_solve_latency_seconds histogram\n");
+        let mut cumulative = 0u64;
+        for (i, ub) in LATENCY_BUCKETS.iter().enumerate() {
+            cumulative += self.latency_buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "qrel_solve_latency_seconds_bucket{{le=\"{ub}\"}} {cumulative}\n"
+            ));
+        }
+        cumulative += self.latency_buckets[LATENCY_BUCKETS.len()].load(Ordering::Relaxed);
+        out.push_str(&format!(
+            "qrel_solve_latency_seconds_bucket{{le=\"+Inf\"}} {cumulative}\n"
+        ));
+        out.push_str(&format!(
+            "qrel_solve_latency_seconds_sum {}\n",
+            self.latency_sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+        ));
+        out.push_str(&format!(
+            "qrel_solve_latency_seconds_count {}\n",
+            self.latency_count.load(Ordering::Relaxed)
+        ));
+
+        out.push_str("# HELP qrel_cache_hits_total Result-cache hits.\n");
+        out.push_str("# TYPE qrel_cache_hits_total counter\n");
+        out.push_str(&format!(
+            "qrel_cache_hits_total {}\n",
+            self.cache_hits.load(Ordering::Relaxed)
+        ));
+        out.push_str("# HELP qrel_cache_misses_total Result-cache misses.\n");
+        out.push_str("# TYPE qrel_cache_misses_total counter\n");
+        out.push_str(&format!(
+            "qrel_cache_misses_total {}\n",
+            self.cache_misses.load(Ordering::Relaxed)
+        ));
+
+        out.push_str("# HELP qrel_queue_depth Connections waiting in the admission queue.\n");
+        out.push_str("# TYPE qrel_queue_depth gauge\n");
+        out.push_str(&format!(
+            "qrel_queue_depth {}\n",
+            self.queue_depth.load(Ordering::Relaxed)
+        ));
+
+        out.push_str("# HELP qrel_rejected_total Requests refused with 429 (queue full).\n");
+        out.push_str("# TYPE qrel_rejected_total counter\n");
+        out.push_str(&format!(
+            "qrel_rejected_total {}\n",
+            self.rejected.load(Ordering::Relaxed)
+        ));
+
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn counters_land_in_the_right_series() {
+        let m = Metrics::new();
+        m.record_request("/v1/solve", 200);
+        m.record_request("/v1/solve", 200);
+        m.record_request("/healthz", 200);
+        m.record_request("/nope", 404);
+        m.record_rejected();
+        m.record_cache(true);
+        m.record_cache(false);
+        m.set_queue_depth(3);
+        m.record_solve(Method::Exact, Duration::from_millis(2));
+        let text = m.render();
+        assert!(text.contains("qrel_http_requests_total{endpoint=\"/v1/solve\",status=\"200\"} 2"));
+        assert!(text.contains("qrel_http_requests_total{endpoint=\"other\",status=\"404\"} 1"));
+        assert!(text.contains("qrel_solve_total{method=\"exact\"} 1"));
+        assert!(text.contains("qrel_cache_hits_total 1"));
+        assert!(text.contains("qrel_cache_misses_total 1"));
+        assert!(text.contains("qrel_queue_depth 3"));
+        assert!(text.contains("qrel_rejected_total 1"));
+        assert!(text.contains("qrel_solve_latency_seconds_count 1"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let m = Metrics::new();
+        m.record_solve(Method::Qf, Duration::from_micros(100)); // ≤ 0.0005
+        m.record_solve(Method::Qf, Duration::from_millis(50)); // ≤ 0.1
+        m.record_solve(Method::Qf, Duration::from_secs(60)); // +Inf
+        let text = m.render();
+        assert!(text.contains("qrel_solve_latency_seconds_bucket{le=\"0.0005\"} 1"));
+        assert!(text.contains("qrel_solve_latency_seconds_bucket{le=\"0.1\"} 2"));
+        assert!(text.contains("qrel_solve_latency_seconds_bucket{le=\"30\"} 2"));
+        assert!(text.contains("qrel_solve_latency_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("qrel_solve_latency_seconds_count 3"));
+    }
+}

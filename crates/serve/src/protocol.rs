@@ -1,0 +1,371 @@
+//! The `/v1/solve` wire protocol: request parsing/validation and
+//! deterministic response serialization.
+//!
+//! Request body (JSON object):
+//!
+//! ```json
+//! {
+//!   "dataset": "uncertain16",        // preloaded name … or …
+//!   "db": { …UnreliableDatabaseSpec… },
+//!   "query": "exists x. S(x)",
+//!   "free": ["x", "y"],              // optional, default: sorted free vars
+//!   "method": "auto",                // auto|qf|exact|fptras|padding|mc
+//!   "eps": 0.05, "delta": 0.05,      // sampling accuracy
+//!   "seed": 0,                       // RNG seed (part of the cache key)
+//!   "timeout_ms": 1000               // per-request Budget deadline
+//! }
+//! ```
+//!
+//! The response body is a *deterministic* function of the request when
+//! no wall-clock trip occurred: it carries no timestamps or elapsed
+//! times (those ride in `X-Qrel-Elapsed-Us` / `/metrics`), so a cached
+//! body is bit-identical to what a fresh solve would serialize.
+
+use qrel_prob::UnreliableDatabaseSpec;
+use qrel_runtime::{Method, SolveReport};
+use serde::Value;
+use serde_json::ParseLimits;
+
+/// Which database a request targets.
+#[derive(Debug)]
+pub enum DbRef {
+    /// A dataset preloaded at server start, by name.
+    Named(String),
+    /// An inline spec shipped in the request body.
+    Inline(Box<UnreliableDatabaseSpec>),
+}
+
+/// A validated solve request.
+#[derive(Debug)]
+pub struct SolveRequest {
+    pub db: DbRef,
+    pub query: String,
+    pub free: Option<Vec<String>>,
+    pub method: Method,
+    pub eps: f64,
+    pub delta: f64,
+    pub seed: u64,
+    pub timeout_ms: Option<u64>,
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(x) => Some(*x),
+        _ => None,
+    }
+}
+
+fn as_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::Int(i) => u64::try_from(*i).ok(),
+        _ => None,
+    }
+}
+
+/// Parse and validate a `/v1/solve` body. The error string is shipped
+/// back verbatim in a `400` response.
+pub fn parse_solve_request(body: &[u8], limits: ParseLimits) -> Result<SolveRequest, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let value: Value =
+        serde_json::from_str_with_limits(text, limits).map_err(|e| format!("bad JSON: {e}"))?;
+    let obj = value
+        .as_object()
+        .ok_or_else(|| format!("body must be a JSON object, got {}", value.kind()))?;
+
+    for (key, _) in obj {
+        if !matches!(
+            key.as_str(),
+            "dataset"
+                | "db"
+                | "query"
+                | "free"
+                | "method"
+                | "eps"
+                | "delta"
+                | "seed"
+                | "timeout_ms"
+        ) {
+            return Err(format!("unknown field {key:?}"));
+        }
+    }
+
+    let db = match (value.get("dataset"), value.get("db")) {
+        (Some(_), Some(_)) => {
+            return Err("give either \"dataset\" or \"db\", not both".into());
+        }
+        (Some(name), None) => {
+            let name = name
+                .as_str()
+                .ok_or_else(|| "\"dataset\" must be a string".to_string())?;
+            DbRef::Named(name.to_string())
+        }
+        (None, Some(spec)) => {
+            let spec: UnreliableDatabaseSpec = serde_json::from_value(spec.clone())
+                .map_err(|e| format!("bad \"db\" spec: {e}"))?;
+            DbRef::Inline(Box::new(spec))
+        }
+        (None, None) => return Err("missing \"dataset\" or \"db\"".into()),
+    };
+
+    let query = value
+        .get("query")
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| "missing string field \"query\"".to_string())?
+        .to_string();
+
+    let free = match value.get("free") {
+        None => None,
+        Some(v) => {
+            let items = v
+                .as_array()
+                .ok_or_else(|| "\"free\" must be an array of strings".to_string())?;
+            let mut names = Vec::with_capacity(items.len());
+            for item in items {
+                names.push(
+                    item.as_str()
+                        .ok_or_else(|| "\"free\" must be an array of strings".to_string())?
+                        .to_string(),
+                );
+            }
+            Some(names)
+        }
+    };
+
+    let method_name = value
+        .get("method")
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| "\"method\" must be a string".to_string())
+        })
+        .transpose()?
+        .unwrap_or_else(|| "auto".to_string());
+    let method = Method::parse(&method_name).ok_or_else(|| {
+        format!("unknown method {method_name:?} (auto|qf|exact|fptras|padding|mc)")
+    })?;
+
+    let eps = match value.get("eps") {
+        None => 0.05,
+        Some(v) => as_f64(v).ok_or_else(|| "\"eps\" must be a number".to_string())?,
+    };
+    let delta = match value.get("delta") {
+        None => 0.05,
+        Some(v) => as_f64(v).ok_or_else(|| "\"delta\" must be a number".to_string())?,
+    };
+    if !(eps > 0.0 && eps.is_finite()) {
+        return Err("\"eps\" must be a positive finite number".into());
+    }
+    if !(delta > 0.0 && delta < 1.0) {
+        return Err("\"delta\" must be in (0, 1)".into());
+    }
+
+    let seed = match value.get("seed") {
+        None => 0,
+        Some(v) => {
+            as_u64(v).ok_or_else(|| "\"seed\" must be a non-negative integer".to_string())?
+        }
+    };
+    let timeout_ms = match value.get("timeout_ms") {
+        None => None,
+        Some(v) => Some(
+            as_u64(v).ok_or_else(|| "\"timeout_ms\" must be a non-negative integer".to_string())?,
+        ),
+    };
+
+    Ok(SolveRequest {
+        db,
+        query,
+        free,
+        method,
+        eps,
+        delta,
+        seed,
+        timeout_ms,
+    })
+}
+
+/// True when `report` is a deterministic function of (database, query,
+/// method, ε, δ, seed) — i.e. no rung tripped on wall-clock time or
+/// external cancellation. Counter trips (worlds/samples/terms caps)
+/// happen at exactly the same point on every run and are fine; only
+/// time and cancellation make the degradation path machine-dependent.
+/// The cache stores only deterministic reports.
+pub fn is_deterministic(report: &SolveReport) -> bool {
+    report
+        .trace
+        .iter()
+        .all(|step| !step.note.contains("deadline") && !step.note.contains("cancelled"))
+}
+
+/// Serialize a solve report into the response body. Deliberately
+/// excludes `elapsed` (see the module docs).
+pub fn solve_response_body(report: &SolveReport) -> Vec<u8> {
+    let mut obj: Vec<(String, Value)> = Vec::with_capacity(9);
+    obj.push(("reliability".into(), Value::Float(report.reliability)));
+    obj.push((
+        "exact".into(),
+        match &report.exact {
+            Some(r) => Value::Str(r.to_string()),
+            None => Value::Null,
+        },
+    ));
+    obj.push((
+        "bounds".into(),
+        match report.bounds {
+            Some((lo, hi)) => Value::Array(vec![Value::Float(lo), Value::Float(hi)]),
+            None => Value::Null,
+        },
+    ));
+    obj.push(("method".into(), Value::Str(report.method.to_string())));
+    obj.push((
+        "confidence".into(),
+        Value::Str(report.confidence.to_string()),
+    ));
+    obj.push((
+        "guaranteed".into(),
+        Value::Bool(report.confidence.is_guaranteed()),
+    ));
+    obj.push((
+        "spent".into(),
+        Value::Object(vec![
+            ("worlds".into(), Value::Int(report.worlds as i128)),
+            ("samples".into(), Value::Int(report.samples as i128)),
+            ("terms".into(), Value::Int(report.terms as i128)),
+        ]),
+    ));
+    obj.push(("trace".into(), Value::Str(report.trace_line())));
+    serde_json::to_string(&Value::Object(obj))
+        .expect("value serialization is infallible")
+        .into_bytes()
+}
+
+/// `{"error": "..."}` body for failure responses.
+pub fn error_body(message: &str) -> Vec<u8> {
+    serde_json::to_string(&Value::Object(vec![(
+        "error".into(),
+        Value::Str(message.to_string()),
+    )]))
+    .expect("value serialization is infallible")
+    .into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrel_runtime::{Confidence, TraceStep};
+    use std::time::Duration;
+
+    fn limits() -> ParseLimits {
+        ParseLimits {
+            max_depth: 64,
+            max_bytes: 1 << 20,
+        }
+    }
+
+    #[test]
+    fn minimal_request_defaults() {
+        let req = parse_solve_request(br#"{"dataset":"d16","query":"exists x. S(x)"}"#, limits())
+            .unwrap();
+        assert!(matches!(req.db, DbRef::Named(ref n) if n == "d16"));
+        assert_eq!(req.method, Method::Auto);
+        assert_eq!(req.eps, 0.05);
+        assert_eq!(req.delta, 0.05);
+        assert_eq!(req.seed, 0);
+        assert_eq!(req.timeout_ms, None);
+        assert!(req.free.is_none());
+    }
+
+    #[test]
+    fn full_request_parses() {
+        let req = parse_solve_request(
+            br#"{"dataset":"d","query":"S(x)","free":["x"],"method":"exact",
+                 "eps":0.1,"delta":0.01,"seed":7,"timeout_ms":250}"#,
+            limits(),
+        )
+        .unwrap();
+        assert_eq!(req.method, Method::Exact);
+        assert_eq!(req.free.as_deref(), Some(&["x".to_string()][..]));
+        assert_eq!(req.seed, 7);
+        assert_eq!(req.timeout_ms, Some(250));
+    }
+
+    #[test]
+    fn validation_rejects_bad_requests() {
+        let cases: &[&[u8]] = &[
+            b"not json",
+            br#"[1,2]"#,
+            br#"{"query":"S(x)"}"#,
+            br#"{"dataset":"d","db":{},"query":"q"}"#,
+            br#"{"dataset":"d"}"#,
+            br#"{"dataset":"d","query":"q","method":"quantum"}"#,
+            br#"{"dataset":"d","query":"q","eps":0}"#,
+            br#"{"dataset":"d","query":"q","delta":1.5}"#,
+            br#"{"dataset":"d","query":"q","seed":-1}"#,
+            br#"{"dataset":"d","query":"q","surprise":true}"#,
+        ];
+        for body in cases {
+            assert!(
+                parse_solve_request(body, limits()).is_err(),
+                "accepted {:?}",
+                String::from_utf8_lossy(body)
+            );
+        }
+    }
+
+    fn report(trace_notes: &[&str]) -> SolveReport {
+        SolveReport {
+            reliability: 0.5,
+            exact: None,
+            bounds: None,
+            confidence: Confidence::Fptras {
+                eps: 0.05,
+                delta: 0.05,
+            },
+            method: Method::Fptras,
+            trace: trace_notes
+                .iter()
+                .map(|n| TraceStep {
+                    method: Method::Fptras,
+                    note: n.to_string(),
+                })
+                .collect(),
+            elapsed: Duration::from_millis(3),
+            worlds: 0,
+            samples: 10,
+            terms: 2,
+        }
+    }
+
+    #[test]
+    fn determinism_classifier() {
+        assert!(is_deterministic(&report(&[
+            "completed with (ε=0.05, δ=0.05) guarantee"
+        ])));
+        assert!(is_deterministic(&report(&[
+            "budget of 100 worlds exhausted after 101",
+            "completed",
+        ])));
+        assert!(!is_deterministic(&report(&[
+            "deadline of 200ms exceeded after 204ms",
+            "completed",
+        ])));
+        assert!(!is_deterministic(&report(&["cancelled by caller"])));
+    }
+
+    #[test]
+    fn response_body_is_stable_json() {
+        let body = solve_response_body(&report(&["completed"]));
+        let text = String::from_utf8(body).unwrap();
+        assert!(text.starts_with("{\"reliability\":0.5,"));
+        assert!(text.contains("\"guaranteed\":true"));
+        assert!(text.contains("\"spent\":{\"worlds\":0,\"samples\":10,\"terms\":2}"));
+        // No timing field anywhere: the body must be cacheable.
+        assert!(!text.contains("elapsed"));
+    }
+
+    #[test]
+    fn error_body_shape() {
+        assert_eq!(error_body("nope"), br#"{"error":"nope"}"#.to_vec());
+    }
+}

@@ -1,0 +1,819 @@
+//! The server: accept loop, bounded admission queue, worker pool,
+//! request routing, and graceful shutdown.
+//!
+//! ## Threading model
+//!
+//! One acceptor thread (the caller of [`Server::run`]) plus a fixed
+//! pool of `workers` threads. The acceptor does no parsing: it accepts
+//! a connection and offers it to the bounded admission queue. When the
+//! queue is full it writes a `429 Too Many Requests` (with
+//! `Retry-After`) and closes — backpressure instead of unbounded
+//! buffering. Workers pop connections, read the request under a read
+//! deadline (a stalled client trips `408`, it cannot wedge the worker
+//! forever), route it, and write the response.
+//!
+//! ## Shutdown
+//!
+//! [`ServerHandle::shutdown`] (or SIGTERM/ctrl-c once
+//! [`install_shutdown_signals`] ran) flips a flag the acceptor checks
+//! between accepts: it stops accepting, closes the queue, and workers
+//! drain what was already admitted — nobody is killed mid-solve. If the
+//! drain outlives `shutdown_grace`, the server-wide
+//! [`CancelToken`] wired into every in-flight [`Budget`] is cancelled
+//! and the solves unwind cooperatively through the latched-trip
+//! machinery, still producing (degraded) responses.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use qrel_budget::{Budget, CancelToken};
+use qrel_eval::FoQuery;
+use qrel_prob::{UnreliableDatabase, UnreliableDatabaseSpec};
+use qrel_runtime::Solver;
+use serde::Value;
+use serde_json::ParseLimits;
+
+use crate::cache::{fnv1a, CacheKey, ResultCache};
+use crate::http::{read_request, write_response, HttpError, Request, Response};
+use crate::metrics::Metrics;
+use crate::protocol::{
+    error_body, is_deterministic, parse_solve_request, solve_response_body, DbRef,
+};
+
+/// Server configuration. `Default` gives sane local-service values;
+/// the CLI maps its flags onto the fields it exposes.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` picks an ephemeral port (printed by the
+    /// CLI, exposed via [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Admission-queue capacity; connections beyond it get `429`.
+    pub queue_cap: usize,
+    /// Result-cache capacity in bytes (`0` disables caching).
+    pub cache_bytes: usize,
+    /// Maximum request-body size; larger declarations get `413`.
+    pub max_body_bytes: usize,
+    /// Per-connection read deadline; slower clients get `408`.
+    pub read_timeout: Duration,
+    /// Budget deadline applied when a request carries no `timeout_ms`.
+    pub default_timeout_ms: u64,
+    /// Threads each solve may use. Defaults to 1: under concurrent load
+    /// parallelism comes from the worker pool, not from intra-solve
+    /// sharding (the answer is identical either way — see `qrel_par`).
+    pub solver_threads: usize,
+    /// How long a graceful shutdown waits for in-flight solves before
+    /// cancelling their budgets.
+    pub shutdown_grace: Duration,
+    /// Dataset files (`UnreliableDatabaseSpec` JSON) loaded at startup
+    /// and addressable by file stem in `/v1/solve`.
+    pub preload: Vec<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7878".into(),
+            workers: 4,
+            queue_cap: 64,
+            cache_bytes: 64 * 1024 * 1024,
+            max_body_bytes: 1024 * 1024,
+            read_timeout: Duration::from_secs(5),
+            default_timeout_ms: 30_000,
+            solver_threads: 1,
+            shutdown_grace: Duration::from_secs(30),
+            preload: Vec::new(),
+        }
+    }
+}
+
+/// Errors surfaced while bringing the server up.
+#[derive(Debug)]
+pub enum ServeError {
+    Io(std::io::Error),
+    /// A preload file failed to read, parse, or build.
+    BadDataset {
+        path: PathBuf,
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "{e}"),
+            ServeError::BadDataset { path, reason } => {
+                write!(f, "cannot preload {}: {reason}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// A dataset preloaded at startup: the built model plus its canonical
+/// hash (computed once, shared by every request that names it).
+struct PreparedDb {
+    ud: UnreliableDatabase,
+    hash: u64,
+}
+
+/// Canonical database hash: FNV-1a over the *re-serialized* spec, so
+/// an inline spec and a preloaded dataset describing the same model
+/// share one cache entry regardless of field order or formatting in
+/// the original JSON.
+pub fn canonical_db_hash(ud: &UnreliableDatabase) -> u64 {
+    let spec = UnreliableDatabaseSpec::from_model(ud);
+    let text = serde_json::to_string(&spec).expect("spec serialization is infallible");
+    fnv1a(text.as_bytes())
+}
+
+// ---------------------------------------------------------------------------
+// Admission queue
+
+struct QueueInner {
+    conns: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+/// Bounded MPMC connection queue with close-and-drain semantics.
+struct AdmissionQueue {
+    inner: Mutex<QueueInner>,
+    cv: Condvar,
+    cap: usize,
+}
+
+impl AdmissionQueue {
+    fn new(cap: usize) -> Self {
+        AdmissionQueue {
+            inner: Mutex::new(QueueInner {
+                conns: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Offer a connection; `Err` hands it back when the queue is full
+    /// or closed. `Ok` carries the new depth for the gauge.
+    fn try_push(&self, conn: TcpStream) -> Result<usize, TcpStream> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed || inner.conns.len() >= self.cap {
+            return Err(conn);
+        }
+        inner.conns.push_back(conn);
+        let depth = inner.conns.len();
+        drop(inner);
+        self.cv.notify_one();
+        Ok(depth)
+    }
+
+    /// Block until a connection is available or the queue is closed
+    /// *and* drained. Returns the connection plus the remaining depth.
+    fn pop(&self) -> Option<(TcpStream, usize)> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(conn) = inner.conns.pop_front() {
+                return Some((conn, inner.conns.len()));
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.cv.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Refuse new work; workers drain what is queued, then exit.
+    fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.cv.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared state & handle
+
+struct Shared {
+    config: ServerConfig,
+    datasets: HashMap<String, PreparedDb>,
+    cache: ResultCache,
+    metrics: Metrics,
+    queue: AdmissionQueue,
+    shutdown: AtomicBool,
+    /// Wired into every in-flight request budget; cancelled only when a
+    /// graceful drain outlives `shutdown_grace`.
+    cancel: CancelToken,
+}
+
+/// Cloneable control handle: request shutdown, inspect metrics.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Begin a graceful shutdown: stop accepting, drain, return from
+    /// [`Server::run`].
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+    }
+
+    pub fn is_shutdown(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Cancel every in-flight request budget immediately (the
+    /// escalation a graceful drain falls back to after the grace
+    /// period).
+    pub fn hard_cancel(&self) {
+        self.shared.cancel.cancel();
+    }
+
+    /// Rendered Prometheus metrics (same text `/metrics` serves).
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics.render()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Signal handling (std-only: link directly against libc's `signal`)
+
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Set from the signal handler; polled by the accept loop.
+    static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_sig: i32) {
+        // A store on an atomic is async-signal-safe.
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        // libc's signal(2); std already links libc on unix, so this
+        // adds no dependency.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        // SAFETY: registering an async-signal-safe handler for two
+        // standard termination signals.
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod signals {
+    pub fn install() {}
+    pub fn requested() -> bool {
+        false
+    }
+}
+
+/// Register SIGINT/SIGTERM handlers that trigger a graceful shutdown
+/// of every server whose accept loop is running in this process.
+pub fn install_shutdown_signals() {
+    signals::install();
+}
+
+// ---------------------------------------------------------------------------
+// Server
+
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Bind the listener and preload datasets. The server is not
+    /// serving until [`Server::run`] is called.
+    pub fn bind(config: ServerConfig) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let mut datasets = HashMap::new();
+        for path in &config.preload {
+            let name = path
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| path.display().to_string());
+            let prepared = Self::load_dataset(path).map_err(|reason| ServeError::BadDataset {
+                path: path.clone(),
+                reason,
+            })?;
+            datasets.insert(name, prepared);
+        }
+        let cache = ResultCache::new(config.cache_bytes);
+        let queue = AdmissionQueue::new(config.queue_cap.max(1));
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                config,
+                datasets,
+                cache,
+                metrics: Metrics::new(),
+                queue,
+                shutdown: AtomicBool::new(false),
+                cancel: CancelToken::new(),
+            }),
+        })
+    }
+
+    fn load_dataset(path: &PathBuf) -> Result<PreparedDb, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        let spec: UnreliableDatabaseSpec =
+            serde_json::from_str(&text).map_err(|e| format!("bad spec JSON: {e}"))?;
+        let ud = spec.build().map_err(|e| format!("invalid spec: {e}"))?;
+        let hash = canonical_db_hash(&ud);
+        Ok(PreparedDb { ud, hash })
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener
+            .local_addr()
+            .expect("bound listener has an address")
+    }
+
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Names of the preloaded datasets, sorted.
+    pub fn dataset_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.shared.datasets.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Serve until shutdown is requested, then drain and return.
+    pub fn run(self) -> Result<(), ServeError> {
+        let shared = self.shared;
+        let workers: Vec<_> = (0..shared.config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("qrel-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        // Accept loop. The listener is non-blocking so the shutdown
+        // flag (local or signal-driven) is observed within ~1ms. The
+        // idle poll is the floor on cold-connection latency (E14
+        // measured ~5ms p50 with a 5ms poll — entirely this sleep), so
+        // it is kept tight; 1k wakeups/s when idle is noise.
+        loop {
+            if shared.shutdown.load(Ordering::SeqCst) || signals::requested() {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((conn, _peer)) => match shared.queue.try_push(conn) {
+                    Ok(depth) => shared.metrics.set_queue_depth(depth),
+                    Err(conn) => reject_connection(&shared, conn),
+                },
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(_) => {
+                    // A failed accept (e.g. a reset mid-handshake) is
+                    // the client's problem; keep serving.
+                }
+            }
+        }
+
+        // Drain: refuse new work, let workers finish what was admitted.
+        shared.queue.close();
+        let (drained_tx, drained_rx) = std::sync::mpsc::channel::<()>();
+        let watchdog = {
+            let shared = Arc::clone(&shared);
+            let grace = shared.config.shutdown_grace;
+            std::thread::spawn(move || {
+                if drained_rx.recv_timeout(grace).is_err() {
+                    // The drain is overstaying its welcome: cancel every
+                    // in-flight budget; solves unwind via the latched
+                    // trip cause and still answer (degraded).
+                    shared.cancel.cancel();
+                }
+            })
+        };
+        for w in workers {
+            let _ = w.join();
+        }
+        drop(drained_tx); // disconnects the watchdog's recv — drain done
+        let _ = watchdog.join();
+        Ok(())
+    }
+}
+
+/// Write the backpressure response in the acceptor thread (bounded
+/// work: a fixed ~120-byte write with a short timeout).
+fn reject_connection(shared: &Shared, mut conn: TcpStream) {
+    use std::io::Read;
+    shared.metrics.record_rejected();
+    shared.metrics.record_request("other", 429);
+    let _ = conn.set_write_timeout(Some(Duration::from_millis(200)));
+    let resp = Response::json(429, error_body("admission queue full; retry shortly"))
+        .with_header("Retry-After", "1");
+    write_response(&mut conn, &resp);
+    // Signal end-of-response, then drain what the client already sent:
+    // closing a socket with unread bytes in the receive buffer sends
+    // RST, which can destroy the 429 before the client reads it. Both
+    // the timeout and the iteration count are small so a trickling
+    // client cannot pin the acceptor.
+    let _ = conn.shutdown(std::net::Shutdown::Write);
+    let _ = conn.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut sink = [0u8; 4096];
+    for _ in 0..8 {
+        match conn.read(&mut sink) {
+            Ok(n) if n > 0 => {}
+            _ => break,
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some((mut conn, depth)) = shared.queue.pop() {
+        shared.metrics.set_queue_depth(depth);
+        let req = match read_request(
+            &mut conn,
+            shared.config.max_body_bytes,
+            shared.config.read_timeout,
+        ) {
+            Ok(req) => req,
+            Err(err) => {
+                let (status, message) = match &err {
+                    HttpError::BadRequest(m) => (400, m.clone()),
+                    HttpError::PayloadTooLarge { .. } => (413, err.to_string()),
+                    HttpError::Timeout => (408, err.to_string()),
+                    HttpError::Io(_) => continue, // socket died; nothing to say
+                };
+                shared.metrics.record_request("other", status);
+                write_response(&mut conn, &Response::json(status, error_body(&message)));
+                continue;
+            }
+        };
+        // A panicking route must never take the worker down with it.
+        let path = req.path.clone();
+        let resp = catch_unwind(AssertUnwindSafe(|| route(shared, &req)))
+            .unwrap_or_else(|_| Response::json(500, error_body("internal error")));
+        shared.metrics.record_request(&path, resp.status);
+        write_response(&mut conn, &resp);
+    }
+}
+
+fn route(shared: &Shared, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => healthz(shared),
+        ("GET", "/metrics") => Response::text(200, shared.metrics.render()),
+        ("POST", "/v1/solve") => solve(shared, &req.body),
+        (_, "/healthz") | (_, "/metrics") | (_, "/v1/solve") => {
+            Response::json(405, error_body("method not allowed"))
+        }
+        _ => Response::json(404, error_body("not found")),
+    }
+}
+
+fn healthz(shared: &Shared) -> Response {
+    let mut names: Vec<&String> = shared.datasets.keys().collect();
+    names.sort();
+    let body = Value::Object(vec![
+        ("status".into(), Value::Str("ok".into())),
+        (
+            "datasets".into(),
+            Value::Array(names.into_iter().map(|n| Value::Str(n.clone())).collect()),
+        ),
+        ("workers".into(), Value::Int(shared.config.workers as i128)),
+        (
+            "queue_cap".into(),
+            Value::Int(shared.config.queue_cap as i128),
+        ),
+    ]);
+    Response::json(
+        200,
+        serde_json::to_string(&body)
+            .expect("value serialization is infallible")
+            .into_bytes(),
+    )
+}
+
+fn solve(shared: &Shared, body: &[u8]) -> Response {
+    let limits = ParseLimits {
+        max_depth: 64,
+        max_bytes: shared.config.max_body_bytes,
+    };
+    let req = match parse_solve_request(body, limits) {
+        Ok(r) => r,
+        Err(m) => return Response::json(400, error_body(&m)),
+    };
+
+    // Resolve the database: preloaded (hash already computed) or
+    // inline (built and canonically hashed per request).
+    let (ud, db_hash): (&UnreliableDatabase, u64);
+    let built;
+    match &req.db {
+        DbRef::Named(name) => match shared.datasets.get(name) {
+            Some(p) => {
+                ud = &p.ud;
+                db_hash = p.hash;
+            }
+            None => {
+                let mut known: Vec<&String> = shared.datasets.keys().collect();
+                known.sort();
+                return Response::json(
+                    400,
+                    error_body(&format!("unknown dataset {name:?} (loaded: {known:?})")),
+                );
+            }
+        },
+        DbRef::Inline(spec) => match spec.build() {
+            Ok(b) => {
+                built = b;
+                db_hash = canonical_db_hash(&built);
+                ud = &built;
+            }
+            Err(e) => return Response::json(400, error_body(&format!("invalid spec: {e}"))),
+        },
+    }
+
+    // Canonicalize the query exactly the way the CLI does, so the same
+    // logical query always maps to the same cache key.
+    let formula = match qrel_logic::parser::parse_formula(&req.query) {
+        Ok(f) => f,
+        Err(e) => return Response::json(400, error_body(&format!("bad query: {e}"))),
+    };
+    let free = match &req.free {
+        Some(f) => f.clone(),
+        None => formula.free_vars(),
+    };
+    {
+        let mut sorted = free.clone();
+        sorted.sort();
+        if sorted != formula.free_vars() {
+            return Response::json(
+                400,
+                error_body(&format!(
+                    "\"free\" {:?} does not match the query's free variables {:?}",
+                    free,
+                    formula.free_vars()
+                )),
+            );
+        }
+    }
+    let key = CacheKey {
+        db_hash,
+        query: formula.to_string(),
+        free: free.clone(),
+        method: req.method.to_string(),
+        eps_bits: req.eps.to_bits(),
+        delta_bits: req.delta.to_bits(),
+        seed: req.seed,
+    };
+
+    if let Some(hit) = shared.cache.get(&key) {
+        shared.metrics.record_cache(true);
+        return Response::json(200, hit.as_ref().clone())
+            .with_header("X-Qrel-Cache", "hit")
+            .with_header("X-Qrel-Elapsed-Us", "0");
+    }
+    shared.metrics.record_cache(false);
+
+    let timeout = req.timeout_ms.unwrap_or(shared.config.default_timeout_ms);
+    let budget = Budget::with_deadline_from_now(Duration::from_millis(timeout))
+        .with_cancel_token(shared.cancel.clone());
+    let solver = Solver::new()
+        .with_method(req.method)
+        .with_accuracy(req.eps, req.delta)
+        .with_seed(req.seed)
+        .with_threads(shared.config.solver_threads);
+    let query = FoQuery::with_free_order(formula, free);
+    let started = Instant::now();
+    match solver.solve(ud, &query, &budget) {
+        Ok(report) => {
+            let elapsed = started.elapsed();
+            shared.metrics.record_solve(report.method, elapsed);
+            let bytes = solve_response_body(&report);
+            if is_deterministic(&report) {
+                shared.cache.insert(key, Arc::new(bytes.clone()));
+            }
+            Response::json(200, bytes)
+                .with_header("X-Qrel-Cache", "miss")
+                .with_header("X-Qrel-Elapsed-Us", elapsed.as_micros().to_string())
+        }
+        // The solver errors only when *nothing* produced an estimate —
+        // an unsupported fragment, a hard eval failure, or a budget too
+        // small to start. The request was well-formed JSON, so: 422.
+        Err(e) => Response::json(422, error_body(&e.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    /// Raw one-shot HTTP client against a local server.
+    fn http(
+        addr: SocketAddr,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> (u16, Vec<(String, String)>, String) {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        let req = format!(
+            "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        conn.write_all(req.as_bytes()).unwrap();
+        let mut raw = String::new();
+        conn.read_to_string(&mut raw).unwrap();
+        let (head, body) = raw.split_once("\r\n\r\n").expect("complete response");
+        let mut lines = head.split("\r\n");
+        let status: u16 = lines
+            .next()
+            .unwrap()
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        let headers = lines
+            .filter_map(|l| l.split_once(": "))
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        (status, headers, body.to_string())
+    }
+
+    fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+        headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn boot(config: ServerConfig) -> (SocketAddr, ServerHandle, std::thread::JoinHandle<()>) {
+        let server = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            ..config
+        })
+        .unwrap();
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run().unwrap());
+        (addr, handle, join)
+    }
+
+    fn example_config() -> ServerConfig {
+        ServerConfig {
+            workers: 2,
+            preload: vec![PathBuf::from(concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../data/example.json"
+            ))],
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn healthz_and_metrics_respond() {
+        let (addr, handle, join) = boot(example_config());
+        let (status, _, body) = http(addr, "GET", "/healthz", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        assert!(body.contains("example"), "{body}");
+        let (status, _, text) = http(addr, "GET", "/metrics", "");
+        assert_eq!(status, 200);
+        assert!(text.contains("qrel_http_requests_total"), "{text}");
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn solve_and_cache_round_trip() {
+        let (addr, handle, join) = boot(example_config());
+        let body = r#"{"dataset":"example","query":"exists x. Admin(x)","method":"exact"}"#;
+        let (s1, h1, b1) = http(addr, "POST", "/v1/solve", body);
+        assert_eq!(s1, 200, "{b1}");
+        assert_eq!(header(&h1, "X-Qrel-Cache"), Some("miss"));
+        assert!(b1.contains("\"exact\":"), "{b1}");
+        let (s2, h2, b2) = http(addr, "POST", "/v1/solve", body);
+        assert_eq!(s2, 200);
+        assert_eq!(header(&h2, "X-Qrel-Cache"), Some("hit"));
+        assert_eq!(b1, b2, "cached body must be byte-identical");
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn unknown_paths_and_methods() {
+        let (addr, handle, join) = boot(example_config());
+        assert_eq!(http(addr, "GET", "/nope", "").0, 404);
+        assert_eq!(http(addr, "GET", "/v1/solve", "").0, 405);
+        assert_eq!(http(addr, "POST", "/healthz", "").0, 405);
+        assert_eq!(http(addr, "POST", "/v1/solve", "not json").0, 400);
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    /// A request guaranteed to occupy a worker for ~`timeout_ms`: a
+    /// forced exact enumeration over 2^28 worlds cannot finish, so its
+    /// deadline trips and the ladder answers with a partial (200).
+    fn slow_solve_body(timeout_ms: u64, seed: u64) -> String {
+        let names: Vec<String> = (0..28).map(|i| format!("\"e{i}\"")).collect();
+        let tuples: Vec<String> = (0..28).map(|i| format!("[{i}]")).collect();
+        let errors: Vec<String> = (0..28)
+            .map(|i| format!("{{\"relation\":\"S\",\"tuple\":[{i}],\"mu\":\"1/2\"}}"))
+            .collect();
+        format!(
+            "{{\"db\":{{\"database\":{{\"vocab\":{{\"symbols\":[{{\"name\":\"S\",\"arity\":1}}]}},\
+             \"universe\":{{\"names\":[{}]}},\
+             \"relations\":[{{\"arity\":1,\"tuples\":[{}]}}]}},\
+             \"model\":\"full\",\"errors\":[{}]}},\
+             \"query\":\"exists x. S(x)\",\"method\":\"exact\",\
+             \"timeout_ms\":{timeout_ms},\"seed\":{seed}}}",
+            names.join(","),
+            tuples.join(","),
+            errors.join(",")
+        )
+    }
+
+    #[test]
+    fn graceful_shutdown_drains_in_flight_requests() {
+        // One worker so the in-flight request is unambiguous.
+        let (addr, handle, join) = boot(ServerConfig {
+            workers: 1,
+            ..example_config()
+        });
+        let slow =
+            std::thread::spawn(move || http(addr, "POST", "/v1/solve", &slow_solve_body(400, 0)));
+        std::thread::sleep(Duration::from_millis(100));
+        handle.shutdown();
+        // The in-flight request still completes with an answer.
+        let (status, _, body) = slow.join().unwrap();
+        assert_eq!(status, 200, "{body}");
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn backpressure_rejects_with_429_when_saturated() {
+        let (addr, handle, join) = boot(ServerConfig {
+            workers: 1,
+            queue_cap: 1,
+            ..example_config()
+        });
+        // Six near-simultaneous slow solves against one worker and one
+        // queue slot: at most two are admitted before the first solve's
+        // ~800ms deadline trips, so several must be turned away with
+        // 429 regardless of accept interleaving.
+        let clients: Vec<_> = (0..6)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    http(addr, "POST", "/v1/solve", &slow_solve_body(800, i))
+                })
+            })
+            .collect();
+        let results: Vec<_> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+        let rejected = results.iter().filter(|(s, _, _)| *s == 429).count();
+        let served = results.iter().filter(|(s, _, _)| *s == 200).count();
+        assert!(
+            rejected >= 1,
+            "never saw a 429 under saturation: {results:?}"
+        );
+        assert!(served >= 1, "nothing was served: {results:?}");
+        for (status, headers, _) in &results {
+            if *status == 429 {
+                assert_eq!(header(headers, "Retry-After"), Some("1"));
+            }
+        }
+        handle.shutdown();
+        join.join().unwrap();
+        // The rejection is visible in the metrics text.
+        assert!(handle.metrics_text().contains("qrel_rejected_total"));
+        assert!(handle.shared.metrics.rejected_count() >= 1);
+    }
+}

@@ -9,7 +9,10 @@
 //!                  [--method auto|exact|qf|fptras|padding|mc]
 //!                  [--timeout-ms T] [--max-worlds N] [--max-samples N] [--max-terms N]
 //!                  [--eps E] [--delta D] [--seed S] [--threads T]
+//! qrel serve       [--addr HOST:PORT] [--workers N] [--queue-cap N]
+//!                  [--cache-mb MB] [--preload spec.json,spec2.json]
 //! qrel example-spec
+//! qrel version
 //! ```
 //!
 //! The database spec format is documented in `qrel::prob::spec` (see
@@ -118,6 +121,11 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             print_example_spec();
             Ok(ExitCode::SUCCESS)
         }
+        "version" | "--version" | "-V" => {
+            print_version();
+            Ok(ExitCode::SUCCESS)
+        }
+        "serve" => cmd_serve(&opts).map(|()| ExitCode::SUCCESS),
         "check" => cmd_check(&opts).map(|()| ExitCode::SUCCESS),
         "worlds" => cmd_worlds(&opts).map(|()| ExitCode::SUCCESS),
         "probability" => cmd_probability(&opts).map(|()| ExitCode::SUCCESS),
@@ -143,10 +151,48 @@ fn print_help() {
          \x20              (--threads never changes the answer: fixed shard count,\n\
          \x20               per-shard seed-split RNGs)\n\
          \x20 marginals    --db spec.json --query Q [--free x,y]\n\
-         \x20 example-spec\n\n\
+         \x20 serve        [--addr HOST:PORT] [--workers N] [--queue-cap N]\n\
+         \x20              [--cache-mb MB] [--preload spec.json,spec2.json]\n\
+         \x20 example-spec\n\
+         \x20 version\n\n\
          reliability exit codes: 0 = full-guarantee answer, \
          2 = degraded (approximate/partial), 1 = hard failure\n"
     );
+}
+
+fn print_version() {
+    // The build script is free to inject a hash via QREL_GIT_HASH; a
+    // plain `cargo build` prints only the crate version.
+    match option_env!("QREL_GIT_HASH") {
+        Some(hash) => println!("qrel {} ({hash})", env!("CARGO_PKG_VERSION")),
+        None => println!("qrel {}", env!("CARGO_PKG_VERSION")),
+    }
+}
+
+fn cmd_serve(opts: &Options) -> Result<(), String> {
+    let mut config = qrel::serve::ServerConfig::default();
+    if let Some(addr) = opts.get("addr") {
+        config.addr = addr.to_string();
+    }
+    config.workers = opts.get_u64("workers", config.workers as u64)?.max(1) as usize;
+    config.queue_cap = opts.get_u64("queue-cap", config.queue_cap as u64)?.max(1) as usize;
+    let default_mb = (config.cache_bytes / (1024 * 1024)) as u64;
+    config.cache_bytes = opts.get_u64("cache-mb", default_mb)? as usize * 1024 * 1024;
+    if let Some(list) = opts.get("preload") {
+        config.preload = list
+            .split(',')
+            .map(|p| std::path::PathBuf::from(p.trim()))
+            .collect();
+    }
+    qrel::serve::install_shutdown_signals();
+    let server = qrel::serve::Server::bind(config).map_err(|e| e.to_string())?;
+    println!("qrel-serve listening on http://{}", server.local_addr());
+    let names = server.dataset_names();
+    if !names.is_empty() {
+        println!("preloaded datasets: {}", names.join(", "));
+    }
+    println!("endpoints: POST /v1/solve, GET /healthz, GET /metrics");
+    server.run().map_err(|e| e.to_string())
 }
 
 fn print_example_spec() {

@@ -24,7 +24,9 @@
 //! * [`budget`] — cooperative work budgets, cancellation, [`budget::QrelError`];
 //! * [`runtime`] — the budgeted [`runtime::Solver`] with the graceful
 //!   degradation ladder;
-//! * [`metafinite`] — functional databases with aggregates (Section 6).
+//! * [`metafinite`] — functional databases with aggregates (Section 6);
+//! * [`serve`] — the engine as a networked service: std-only HTTP/1.1
+//!   with admission control, result caching, and Prometheus metrics.
 //!
 //! ## Quick example
 //!
@@ -57,6 +59,7 @@ pub use qrel_logic as logic;
 pub use qrel_metafinite as metafinite;
 pub use qrel_prob as prob;
 pub use qrel_runtime as runtime;
+pub use qrel_serve as serve;
 
 /// One-stop imports for examples and applications.
 pub mod prelude {
