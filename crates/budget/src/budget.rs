@@ -543,6 +543,101 @@ mod tests {
     }
 
     #[test]
+    fn split_with_zero_remaining_yields_zero_cap_children() {
+        // Parent at (not past) its cap: nothing is left to distribute,
+        // so every child must get a hard-zero cap — a single unit
+        // charged anywhere trips instantly instead of silently minting
+        // new allowance.
+        let parent = Budget::unlimited().with_max_worlds(4);
+        parent.charge(Resource::Worlds, 4).unwrap();
+        assert!(parent.probe().is_ok(), "at the cap is not past the cap");
+        for child in parent.split(3) {
+            assert_eq!(child.remaining(Resource::Worlds), Some(0));
+            let err = child.charge(Resource::Worlds, 1).unwrap_err();
+            assert_eq!(err.resource, Resource::Worlds);
+            assert_eq!(err.limit, Some(0));
+        }
+    }
+
+    #[test]
+    fn split_distributes_remainder_to_earliest_children() {
+        let parent = Budget::unlimited().with_max_samples(10);
+        parent.charge(Resource::Samples, 3).unwrap();
+        let caps: Vec<u64> = parent
+            .split(3)
+            .iter()
+            .map(|c| c.remaining(Resource::Samples).unwrap())
+            .collect();
+        // 7 remaining over 3 shards: 3, 2, 2 — earliest-first, exact sum.
+        assert_eq!(caps, vec![3, 2, 2]);
+    }
+
+    #[test]
+    fn settle_after_trip_keeps_the_first_cause_latched() {
+        // Two children trip on different resources; settling in shard
+        // order must latch the first child's cause on the parent and
+        // never overwrite it with a later one.
+        let parent = Budget::unlimited().with_max_worlds(10).with_max_samples(10);
+        let children = parent.split(2);
+        assert!(children[0].charge(Resource::Worlds, 6).is_err());
+        assert!(children[1].charge(Resource::Samples, 6).is_err());
+        parent.settle(&children[0]);
+        parent.settle(&children[1]);
+        let err = parent.probe().unwrap_err();
+        assert_eq!(err.resource, Resource::Worlds, "first settled cause wins");
+        // Settling more healthy children must not clear the latch.
+        let healthy = Budget::unlimited();
+        parent.settle(&healthy);
+        assert_eq!(parent.probe().unwrap_err().resource, Resource::Worlds);
+    }
+
+    #[test]
+    fn parents_own_trip_outranks_a_settled_childs() {
+        let parent = Budget::unlimited().with_max_terms(1);
+        assert!(parent.charge(Resource::Terms, 2).is_err());
+        let child = Budget::unlimited().with_max_samples(1);
+        assert!(child.charge(Resource::Samples, 2).is_err());
+        parent.settle(&child);
+        assert_eq!(parent.probe().unwrap_err().resource, Resource::Terms);
+    }
+
+    #[test]
+    fn rejected_charges_never_commit_under_concurrent_shards() {
+        // Eight shards hammer their caps from real threads, issuing
+        // plenty of charges that must be rejected. After settling, the
+        // parent's counter equals the cap exactly: every admitted unit
+        // counted once, every rejected unit counted zero times,
+        // regardless of interleaving.
+        let parent = Budget::unlimited().with_max_samples(64);
+        let children = parent.split(8);
+        let children: Vec<Budget> = thread::scope(|s| {
+            let handles: Vec<_> = children
+                .into_iter()
+                .map(|child| {
+                    s.spawn(move || {
+                        // 8 admitted, then 8 rejected, per shard.
+                        for _ in 0..16 {
+                            let _ = child.charge(Resource::Samples, 1);
+                        }
+                        child
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for child in &children {
+            assert_eq!(child.spent(Resource::Samples), 8);
+            assert!(child.probe().is_err(), "each shard tripped its cap");
+            parent.settle(child);
+        }
+        assert_eq!(parent.spent(Resource::Samples), 64);
+        assert!(parent.probe().is_err());
+        // The parent sits exactly at its cap — rejected charges did not
+        // leak in, or spent() would exceed the limit.
+        assert_eq!(parent.remaining(Resource::Samples), Some(0));
+    }
+
+    #[test]
     fn display_formats() {
         let e = Exhausted {
             resource: Resource::WallClock,

@@ -1,0 +1,286 @@
+//! The serializable fuzz-case format.
+//!
+//! A [`FuzzCase`] is the unit of work for the differential oracle: either
+//! a *query-reliability* case (an [`UnreliableDatabaseSpec`] plus a query
+//! string) or a *DNF-event* case (a propositional DNF with per-variable
+//! probabilities). Cases serialize to JSON so that every discrepancy the
+//! fuzzer finds can be committed under `tests/corpus/` and replayed
+//! forever as a regression test.
+
+use qrel_arith::BigRational;
+use qrel_logic::prop::{Dnf, Lit};
+use qrel_prob::{UnreliableDatabase, UnreliableDatabaseSpec};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A propositional DNF event with per-variable Bernoulli probabilities —
+/// the instance family the `qrel-count` engines (Shannon expansion,
+/// inclusion–exclusion, ROBDD, Karp–Luby, naive MC) all consume.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DnfEventSpec {
+    /// Number of propositional variables.
+    pub num_vars: usize,
+    /// Terms as DIMACS-style signed 1-based literals: `3` is `x₂`
+    /// positive, `-1` is `¬x₀`.
+    pub terms: Vec<Vec<i64>>,
+    /// `Pr[xᵢ = true]` as `"p/q"` strings, one per variable.
+    pub probs: Vec<String>,
+}
+
+impl DnfEventSpec {
+    /// Decode into the computational form.
+    pub fn build(&self) -> Result<(Dnf, Vec<BigRational>), String> {
+        if self.probs.len() != self.num_vars {
+            return Err(format!(
+                "{} probs for {} vars",
+                self.probs.len(),
+                self.num_vars
+            ));
+        }
+        let mut terms = Vec::with_capacity(self.terms.len());
+        for term in &self.terms {
+            let mut lits = Vec::with_capacity(term.len());
+            for &code in term {
+                if code == 0 {
+                    return Err("literal code 0 is invalid".into());
+                }
+                let var = (code.unsigned_abs() - 1) as u32;
+                if var as usize >= self.num_vars {
+                    return Err(format!("literal {code} exceeds num_vars {}", self.num_vars));
+                }
+                lits.push(if code > 0 {
+                    Lit::pos(var)
+                } else {
+                    Lit::neg(var)
+                });
+            }
+            terms.push(lits);
+        }
+        let mut probs = Vec::with_capacity(self.num_vars);
+        for (i, p) in self.probs.iter().enumerate() {
+            let p = BigRational::parse(p).map_err(|e| format!("probs[{i}]: {e}"))?;
+            if !p.is_probability() {
+                return Err(format!("probs[{i}] = {p} is not in [0,1]"));
+            }
+            probs.push(p);
+        }
+        Ok((Dnf::from_terms(terms), probs))
+    }
+
+    /// Encode from the computational form.
+    pub fn from_parts(dnf: &Dnf, probs: &[BigRational]) -> Self {
+        DnfEventSpec {
+            num_vars: probs.len(),
+            terms: dnf
+                .terms()
+                .iter()
+                .map(|t| {
+                    t.iter()
+                        .map(|l| {
+                            let code = (l.var + 1) as i64;
+                            if l.positive {
+                                code
+                            } else {
+                                -code
+                            }
+                        })
+                        .collect()
+                })
+                .collect(),
+            probs: probs.iter().map(|p| p.to_string()).collect(),
+        }
+    }
+}
+
+/// One fuzz case. Exactly one of `db`+`query` (query-reliability case)
+/// or `dnf` (DNF-event case) is populated.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FuzzCase {
+    /// The generator seed that produced this case (0 for hand-written
+    /// corpus entries).
+    #[serde(default)]
+    pub seed: u64,
+    /// Generator family name (see `gen::Family`); informational.
+    #[serde(default)]
+    pub family: String,
+    /// Free-text provenance note ("found by qrel fuzz vs …",
+    /// "hand-planted regression for …").
+    #[serde(default)]
+    pub note: String,
+    /// The unreliable database, for query cases.
+    #[serde(default)]
+    pub db: Option<UnreliableDatabaseSpec>,
+    /// Query text in the `qrel_logic::parser` syntax, for query cases.
+    #[serde(default)]
+    pub query: Option<String>,
+    /// Free-variable order (defaults to the sorted free variables).
+    #[serde(default)]
+    pub free: Option<Vec<String>>,
+    /// The DNF event, for count-engine cases.
+    #[serde(default)]
+    pub dnf: Option<DnfEventSpec>,
+}
+
+impl FuzzCase {
+    pub fn query_case(
+        seed: u64,
+        family: &str,
+        spec: UnreliableDatabaseSpec,
+        query: String,
+    ) -> Self {
+        FuzzCase {
+            seed,
+            family: family.to_string(),
+            note: String::new(),
+            db: Some(spec),
+            query: Some(query),
+            free: None,
+            dnf: None,
+        }
+    }
+
+    pub fn dnf_case(seed: u64, family: &str, dnf: DnfEventSpec) -> Self {
+        FuzzCase {
+            seed,
+            family: family.to_string(),
+            note: String::new(),
+            db: None,
+            query: None,
+            free: None,
+            dnf: Some(dnf),
+        }
+    }
+
+    /// Basic shape validation plus decode of the database side (query
+    /// parsing happens in the differential runner, which needs the
+    /// formula anyway).
+    pub fn build_db(&self) -> Result<Option<UnreliableDatabase>, String> {
+        match (&self.db, &self.query, &self.dnf) {
+            (Some(spec), Some(_), None) => {
+                Ok(Some(spec.build().map_err(|e| format!("bad spec: {e}"))?))
+            }
+            (None, None, Some(_)) => Ok(None),
+            _ => Err("case must carry either db+query or dnf".into()),
+        }
+    }
+
+    /// Number of *uncertain facts* (query case) or *variables* (DNF
+    /// case) — the size metric the shrinker minimizes and the acceptance
+    /// bar ("≤ 10-fact repro") measures.
+    pub fn size(&self) -> usize {
+        if let Some(spec) = &self.db {
+            spec.errors.len()
+        } else if let Some(d) = &self.dnf {
+            d.num_vars
+        } else {
+            0
+        }
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("case serialization is infallible")
+    }
+
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| format!("bad fuzz case JSON: {e}"))
+    }
+}
+
+impl fmt::Display for FuzzCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.query, &self.dnf) {
+            (Some(q), _) => write!(
+                f,
+                "seed={} family={} query={q:?} ({} error entries)",
+                self.seed,
+                self.family,
+                self.db.as_ref().map_or(0, |s| s.errors.len())
+            ),
+            (None, Some(d)) => write!(
+                f,
+                "seed={} family={} dnf({} vars, {} terms)",
+                self.seed,
+                self.family,
+                d.num_vars,
+                d.terms.len()
+            ),
+            _ => write!(f, "seed={} family={} (malformed)", self.seed, self.family),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrel_db::DatabaseBuilder;
+
+    fn r(n: i64, d: u64) -> BigRational {
+        BigRational::from_ratio(n, d)
+    }
+
+    #[test]
+    fn dnf_spec_round_trips() {
+        let dnf = Dnf::from_terms([vec![Lit::pos(0), Lit::neg(1)], vec![Lit::pos(2)]]);
+        let probs = vec![r(1, 2), r(1, 4), r(1, 64)];
+        let spec = DnfEventSpec::from_parts(&dnf, &probs);
+        assert_eq!(spec.terms, vec![vec![1, -2], vec![3]]);
+        let (dnf2, probs2) = spec.build().unwrap();
+        assert_eq!(dnf2.terms(), dnf.terms());
+        assert_eq!(probs2, probs);
+    }
+
+    #[test]
+    fn dnf_spec_validates() {
+        let bad = DnfEventSpec {
+            num_vars: 2,
+            terms: vec![vec![3]],
+            probs: vec!["1/2".into(), "1/2".into()],
+        };
+        assert!(bad.build().is_err());
+        let bad = DnfEventSpec {
+            num_vars: 1,
+            terms: vec![vec![0]],
+            probs: vec!["1/2".into()],
+        };
+        assert!(bad.build().is_err());
+        let bad = DnfEventSpec {
+            num_vars: 1,
+            terms: vec![vec![1]],
+            probs: vec!["3/2".into()],
+        };
+        assert!(bad.build().is_err());
+    }
+
+    #[test]
+    fn case_json_round_trips() {
+        let db = DatabaseBuilder::new()
+            .universe_size(2)
+            .relation("S", 1)
+            .tuples("S", [vec![0]])
+            .build();
+        let mut ud = UnreliableDatabase::reliable(db);
+        ud.set_error(&qrel_db::Fact::new(0, vec![0]), r(1, 4))
+            .unwrap();
+        let spec = UnreliableDatabaseSpec::from_model(&ud);
+        let case = FuzzCase::query_case(7, "qf", spec, "S(x)".into());
+        let json = case.to_json();
+        let back = FuzzCase::from_json(&json).unwrap();
+        assert_eq!(back, case);
+        assert!(back.build_db().unwrap().is_some());
+        assert_eq!(back.size(), 1);
+    }
+
+    #[test]
+    fn malformed_cases_are_rejected() {
+        let empty = FuzzCase {
+            seed: 0,
+            family: "x".into(),
+            note: String::new(),
+            db: None,
+            query: None,
+            free: None,
+            dnf: None,
+        };
+        assert!(empty.build_db().is_err());
+    }
+}

@@ -1,0 +1,319 @@
+//! Seeded instance generators.
+//!
+//! Every generator is a pure function of `(seed, family)`: the same pair
+//! always yields the same [`FuzzCase`], so a failing seed printed by
+//! `qrel fuzz` reproduces forever. Families deliberately cluster around
+//! the paper's hard/easy boundary — quantifier-free queries (Prop 3.1,
+//! PTIME), self-join-free conjunctive queries, conjunctive queries *with*
+//! self-joins (paths and stars over a binary relation, the shapes that
+//! straddle the dichotomy), existential FO with negated atoms (Thm 5.4
+//! FPTRAS territory), mixed-quantifier FO (only the Thm 4.2 enumerator
+//! and the Thm 5.12 padding estimator apply), and propositional DNF
+//! events including near-zero-probability variants that stress relative
+//! (ε, δ) envelopes.
+
+use crate::case::{DnfEventSpec, FuzzCase};
+use qrel_arith::BigRational;
+use qrel_db::{DatabaseBuilder, Fact};
+use qrel_prob::{UnreliableDatabase, UnreliableDatabaseSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Every generator family, in round-robin order.
+pub const FAMILIES: &[&str] = &[
+    "qf",
+    "sjf-cq",
+    "selfjoin-path",
+    "selfjoin-star",
+    "efo",
+    "universal",
+    "dnf",
+    "dnf-nearzero",
+];
+
+/// Error-probability pool. Mixes dyadic rationals (exact in `f64`),
+/// non-dyadic ones (1/3, 1/10 — catch float-vs-rational confusion),
+/// near-certain and near-zero entries, and the degenerate μ = 1 flip.
+const MU_POOL: &[(i64, u64)] = &[
+    (1, 2),
+    (1, 4),
+    (3, 4),
+    (1, 3),
+    (1, 10),
+    (1, 64),
+    (9, 10),
+    (1, 1024),
+    (1, 1),
+];
+
+/// Maximum uncertain facts per instance: 2⁸ = 256 worlds keeps the exact
+/// enumerator (the oracle every other engine is judged against) cheap.
+const MAX_UNCERTAIN: usize = 8;
+
+fn mu(rng: &mut StdRng) -> BigRational {
+    let (n, d) = MU_POOL[rng.gen_range(0..MU_POOL.len())];
+    BigRational::from_ratio(n, d)
+}
+
+/// Generate the case for `(seed, family)`.
+///
+/// # Panics
+/// Panics on an unknown family name (the CLI validates first).
+pub fn generate(seed: u64, family: &str) -> FuzzCase {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match family {
+        "dnf" => FuzzCase::dnf_case(seed, family, gen_dnf(&mut rng, false)),
+        "dnf-nearzero" => FuzzCase::dnf_case(seed, family, gen_dnf(&mut rng, true)),
+        _ => {
+            let (spec, n) = gen_database(&mut rng);
+            let query = match family {
+                "qf" => gen_qf(&mut rng, n),
+                "sjf-cq" => gen_sjf_cq(&mut rng, n),
+                "selfjoin-path" => gen_path(&mut rng, n),
+                "selfjoin-star" => gen_star(&mut rng),
+                "efo" => gen_efo(&mut rng, n),
+                "universal" => gen_universal(&mut rng),
+                other => panic!("unknown fuzz family {other:?}"),
+            };
+            FuzzCase::query_case(seed, family, spec, query)
+        }
+    }
+}
+
+/// Random unreliable database over vocabulary `{S/1, T/1, E/2}` with a
+/// universe of 2–4 elements and 1–8 uncertain facts.
+fn gen_database(rng: &mut StdRng) -> (UnreliableDatabaseSpec, usize) {
+    let n = rng.gen_range(2usize..=4);
+    let mut builder = DatabaseBuilder::new()
+        .universe_size(n)
+        .relation("S", 1)
+        .relation("T", 1)
+        .relation("E", 2);
+    for name in ["S", "T"] {
+        let tuples: Vec<Vec<u32>> = (0..n as u32)
+            .filter(|_| rng.gen_bool(0.5))
+            .map(|e| vec![e])
+            .collect();
+        builder = builder.tuples(name, tuples);
+    }
+    let mut edges = Vec::new();
+    for a in 0..n as u32 {
+        for b in 0..n as u32 {
+            if rng.gen_bool(0.4) {
+                edges.push(vec![a, b]);
+            }
+        }
+    }
+    builder = builder.tuples("E", edges);
+    let db = builder.build();
+
+    let mut ud = UnreliableDatabase::reliable(db);
+    let total = ud.indexer().total();
+    let k = rng.gen_range(1usize..=MAX_UNCERTAIN.min(total));
+    // Sample k distinct fact indices by rejection (total ≤ 24).
+    let mut picked = Vec::new();
+    while picked.len() < k {
+        let i = rng.gen_range(0..total);
+        if !picked.contains(&i) {
+            picked.push(i);
+        }
+    }
+    for i in picked {
+        let fact: Fact = ud.indexer().fact_at(i);
+        ud.set_error(&fact, mu(rng))
+            .expect("pool probabilities are valid");
+    }
+    (UnreliableDatabaseSpec::from_model(&ud), n)
+}
+
+fn constant(rng: &mut StdRng, n: usize) -> String {
+    format!("'e{}'", rng.gen_range(0..n))
+}
+
+/// Ground atom over the fixed vocabulary.
+fn ground_atom(rng: &mut StdRng, n: usize) -> String {
+    match rng.gen_range(0..3) {
+        0 => format!("S({})", constant(rng, n)),
+        1 => format!("T({})", constant(rng, n)),
+        _ => format!("E({}, {})", constant(rng, n), constant(rng, n)),
+    }
+}
+
+/// Quantifier-free sentence: a small boolean combination of ground atoms.
+fn gen_qf(rng: &mut StdRng, n: usize) -> String {
+    fn go(rng: &mut StdRng, n: usize, depth: usize) -> String {
+        if depth == 0 || rng.gen_bool(0.4) {
+            let atom = ground_atom(rng, n);
+            if rng.gen_bool(0.3) {
+                format!("!{atom}")
+            } else {
+                atom
+            }
+        } else {
+            let op = if rng.gen_bool(0.5) { "&" } else { "|" };
+            let a = go(rng, n, depth - 1);
+            let b = go(rng, n, depth - 1);
+            format!("({a} {op} {b})")
+        }
+    }
+    go(rng, n, 2)
+}
+
+/// Self-join-free conjunctive sentence: each relation appears at most
+/// once, optionally with a constant plugged into one position.
+fn gen_sjf_cq(rng: &mut StdRng, n: usize) -> String {
+    match rng.gen_range(0..4) {
+        0 => "exists x y. (S(x) & E(x, y) & T(y))".to_string(),
+        1 => "exists x. (S(x) & T(x))".to_string(),
+        2 => {
+            let c = constant(rng, n);
+            format!("exists y. (E({c}, y) & T(y))")
+        }
+        _ => "exists x y. (S(x) & E(x, y))".to_string(),
+    }
+}
+
+/// Path-shaped conjunctive sentence with self-joins on `E` — the
+/// boundary-straddling shape from the dichotomy literature.
+fn gen_path(rng: &mut StdRng, n: usize) -> String {
+    match rng.gen_range(0..4) {
+        0 => "exists x y z. (E(x, y) & E(y, z))".to_string(),
+        1 => "exists x y z u. (E(x, y) & E(y, z) & E(z, u))".to_string(),
+        2 => "exists x y z. (S(x) & E(x, y) & E(y, z))".to_string(),
+        _ => {
+            let c = constant(rng, n);
+            format!("exists y z. (E({c}, y) & E(y, z))")
+        }
+    }
+}
+
+/// Star-shaped conjunctive sentence with self-joins on `E`.
+fn gen_star(rng: &mut StdRng) -> String {
+    match rng.gen_range(0..3) {
+        0 => "exists x y z. (E(x, y) & E(x, z))".to_string(),
+        1 => "exists x y z. (S(x) & E(x, y) & E(x, z) & T(y))".to_string(),
+        _ => "exists x y z u. (E(x, y) & E(x, z) & E(x, u))".to_string(),
+    }
+}
+
+/// Existential FO with negated atoms and disjunction.
+fn gen_efo(rng: &mut StdRng, n: usize) -> String {
+    match rng.gen_range(0..4) {
+        0 => "exists x. (S(x) & !T(x))".to_string(),
+        1 => "exists x y. (E(x, y) & !E(y, x))".to_string(),
+        2 => "exists x. ((S(x) | T(x)) & !E(x, x))".to_string(),
+        _ => {
+            let c = constant(rng, n);
+            format!("exists x. (E(x, {c}) & !S(x))")
+        }
+    }
+}
+
+/// Universal / mixed-quantifier sentences: beyond the existential
+/// fragment, so only the Thm 4.2 enumerator and the Thm 5.12 padding
+/// estimator apply.
+fn gen_universal(rng: &mut StdRng) -> String {
+    match rng.gen_range(0..4) {
+        0 => "forall x. (S(x) | T(x))".to_string(),
+        1 => "forall x. (!S(x) | exists y. E(x, y))".to_string(),
+        2 => "forall x y. (!E(x, y) | E(y, x))".to_string(),
+        _ => "forall x. exists y. (E(x, y) | T(y))".to_string(),
+    }
+}
+
+/// Random DNF event: 3–7 variables, 2–5 terms, 1–3 literals per term
+/// (no variable repeated within a term, so no vacuous contradictions).
+/// `near_zero` draws probabilities from the bottom of the pool and makes
+/// terms longer, pushing `Pr[ψ]` toward 0 where relative-error envelopes
+/// are hardest.
+fn gen_dnf(rng: &mut StdRng, near_zero: bool) -> DnfEventSpec {
+    let num_vars = rng.gen_range(3usize..=7);
+    let num_terms = rng.gen_range(2usize..=5);
+    let mut terms = Vec::with_capacity(num_terms);
+    for _ in 0..num_terms {
+        let width_max = if near_zero { num_vars } else { 3.min(num_vars) };
+        let width = rng.gen_range(1usize..=width_max);
+        let mut vars: Vec<i64> = Vec::with_capacity(width);
+        while vars.len() < width {
+            let v = rng.gen_range(1i64..=num_vars as i64);
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        terms.push(
+            vars.into_iter()
+                .map(|v| {
+                    if rng.gen_bool(if near_zero { 0.9 } else { 0.7 }) {
+                        v
+                    } else {
+                        -v
+                    }
+                })
+                .collect(),
+        );
+    }
+    let probs = (0..num_vars)
+        .map(|_| {
+            let (n, d) = if near_zero {
+                let low: [(i64, u64); 3] = [(1, 1024), (1, 64), (1, 10)];
+                low[rng.gen_range(0..3usize)]
+            } else {
+                MU_POOL[rng.gen_range(0..MU_POOL.len())]
+            };
+            BigRational::from_ratio(n, d).to_string()
+        })
+        .collect();
+    DnfEventSpec {
+        num_vars,
+        terms,
+        probs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for family in FAMILIES {
+            let a = generate(42, family);
+            let b = generate(42, family);
+            assert_eq!(a, b, "family {family} not deterministic");
+            let c = generate(43, family);
+            assert!(a == c || a.seed != c.seed, "seeds recorded");
+        }
+    }
+
+    #[test]
+    fn generated_cases_decode() {
+        for family in FAMILIES {
+            for seed in 0..30 {
+                let case = generate(seed, family);
+                let ud = case
+                    .build_db()
+                    .unwrap_or_else(|e| panic!("{family}/{seed}: {e}"));
+                if let Some(ud) = ud {
+                    let worlds = 1u64 << ud.uncertain_facts().len();
+                    assert!(worlds <= 256, "{family}/{seed}: too many worlds");
+                    let q = case.query.as_ref().unwrap();
+                    qrel_eval::FoQuery::parse(q)
+                        .unwrap_or_else(|e| panic!("{family}/{seed}: bad query {q:?}: {e}"));
+                } else {
+                    let spec = case.dnf.as_ref().unwrap();
+                    spec.build()
+                        .unwrap_or_else(|e| panic!("{family}/{seed}: {e}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn json_round_trip_across_families() {
+        for family in FAMILIES {
+            let case = generate(7, family);
+            let back = FuzzCase::from_json(&case.to_json()).unwrap();
+            assert_eq!(back, case);
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! The metamorphic layer: paper identities that must hold *exactly* on
+//! every instance, checked in exact rationals against the Thm 4.2
+//! enumerator.
+//!
+//! | Law | Identity | Source |
+//! |-----|----------|--------|
+//! | `complement` | `ν(¬ψ) = 1 − ν(ψ)` | probability axioms |
+//! | `factorization` | `ν(ψ ∧ χ) = ν(ψ)·ν(χ)` for relation-disjoint `ψ, χ` | fact-wise independence of `Ω(𝔇)` |
+//! | `monotonicity` | `ν` pointwise ↑ ⇒ `ν(ψ)` ↑ for negation-free `ψ` | monotone events |
+//! | `padding` | `ν(ψ') = ξ² + (ξ−ξ²)·ν(ψ)`, `ψ' = (ψ∨Rc)∧Rd` | Thm 5.12 |
+//! | `model-restriction` | positive-only errors ⇒ identical answers under both error models | §3 Remark / experiment E11 |
+//! | `term-drop` | removing a DNF term cannot increase `Pr` | unions are monotone |
+//! | `positive-var` | raising `Pr[x]` for an all-positive variable cannot lower `Pr` | monotone events |
+//!
+//! The padding law is checked *end-to-end*: the harness builds the padded
+//! instance itself — universe extended by two fresh constants, `ψ`
+//! relativized to the original elements through a fully reliable `Orig`
+//! marker, a fresh unary `Pad` relation carrying `μ = ξ` on the two
+//! padding facts — runs the enumerator on it, and compares against
+//! [`PaddingEstimator::padded_expectation`]. A bug in either the
+//! construction or the de-biasing algebra breaks the equality.
+
+use crate::case::FuzzCase;
+use crate::diff::Failure;
+use qrel_arith::BigRational;
+use qrel_core::{exact_probability, exact_reliability, PaddingEstimator};
+use qrel_count::dnf_probability_shannon;
+use qrel_db::{DatabaseBuilder, Fact};
+use qrel_eval::FoQuery;
+use qrel_logic::prop::Dnf;
+use qrel_logic::{Formula, Term};
+use qrel_prob::{ErrorModel, UnreliableDatabase};
+
+/// Run every applicable metamorphic law on `case`.
+pub fn check_metamorphic(case: &FuzzCase) -> Result<Vec<Failure>, String> {
+    let mut failures = Vec::new();
+    if let Some(ud) = case.build_db()? {
+        let text = case.query.as_deref().expect("validated by build_db");
+        let query = FoQuery::parse(text).map_err(|e| format!("bad query {text:?}: {e}"))?;
+        check_query_laws(&ud, &query, &mut failures);
+    } else {
+        let spec = case.dnf.as_ref().expect("validated by build_db");
+        let (dnf, probs) = spec.build()?;
+        check_dnf_laws(&dnf, &probs, &mut failures);
+    }
+    Ok(failures)
+}
+
+fn fail(failures: &mut Vec<Failure>, check: &str, detail: String) {
+    failures.push(Failure {
+        check: check.to_string(),
+        detail,
+    });
+}
+
+fn check_query_laws(ud: &UnreliableDatabase, query: &FoQuery, failures: &mut Vec<Failure>) {
+    let formula = query.formula();
+    let p = match exact_probability(ud, query) {
+        Ok(p) => p,
+        Err(e) => {
+            fail(failures, "meta-oracle", format!("oracle failed: {e}"));
+            return;
+        }
+    };
+
+    // Law: complement.
+    let neg = FoQuery::new(Formula::not(formula.clone()));
+    match exact_probability(ud, &neg) {
+        Ok(q) if q == p.one_minus() => {}
+        Ok(q) => fail(
+            failures,
+            "complement",
+            format!("Pr[!ψ] = {q} but 1 − Pr[ψ] = {}", p.one_minus()),
+        ),
+        Err(e) => fail(failures, "complement", format!("failed: {e}")),
+    }
+
+    // Law: independent-component factorization. Pick a probe sentence
+    // over a relation ψ does not mention; worlds factorize fact-wise, so
+    // the two events are independent.
+    let mut used = Vec::new();
+    collect_relations(formula, &mut used);
+    let probe = ud
+        .observed()
+        .vocabulary()
+        .symbols()
+        .iter()
+        .find(|sym| !used.iter().any(|u| u == sym.name()))
+        .map(|sym| {
+            let vars: Vec<String> = (0..sym.arity()).map(|i| format!("q{i}")).collect();
+            let atom = Formula::atom(sym.name(), vars.iter().map(|v| Term::Var(v.clone())));
+            if vars.is_empty() {
+                atom
+            } else {
+                Formula::exists(vars, atom)
+            }
+        });
+    if let Some(chi) = probe {
+        let chi_q = FoQuery::new(chi.clone());
+        let conj = FoQuery::new(Formula::and([formula.clone(), chi]));
+        match (exact_probability(ud, &chi_q), exact_probability(ud, &conj)) {
+            (Ok(pc), Ok(pb)) => {
+                let prod = p.mul_ref(&pc);
+                if pb != prod {
+                    fail(
+                        failures,
+                        "factorization",
+                        format!("Pr[ψ∧χ] = {pb} but Pr[ψ]·Pr[χ] = {prod}"),
+                    );
+                }
+            }
+            (Err(e), _) | (_, Err(e)) => fail(failures, "factorization", format!("failed: {e}")),
+        }
+    }
+
+    // Law: monotonicity under pointwise ν increase, for negation-free
+    // sentences (all atoms positive ⇒ the event is monotone in facts).
+    if negation_free(formula) {
+        match bump_marginals(ud) {
+            Ok(bumped) => match exact_probability(&bumped, query) {
+                Ok(q) if q >= p => {}
+                Ok(q) => fail(
+                    failures,
+                    "monotonicity",
+                    format!("ν increased pointwise yet Pr[ψ] dropped {p} → {q}"),
+                ),
+                Err(e) => fail(failures, "monotonicity", format!("failed: {e}")),
+            },
+            Err(e) => fail(failures, "monotonicity", format!("bump failed: {e}")),
+        }
+    }
+
+    // Law: Thm 5.12 padding identity, end to end.
+    match build_padded(ud, formula) {
+        Ok((pad_ud, padded)) => match exact_probability(&pad_ud, &FoQuery::new(padded)) {
+            Ok(q) => {
+                let expected = PaddingEstimator::default_xi().padded_expectation(&p);
+                if q != expected {
+                    fail(
+                        failures,
+                        "padding",
+                        format!("Pr[ψ'] = {q} but ξ² + (ξ−ξ²)·Pr[ψ] = {expected}"),
+                    );
+                }
+            }
+            Err(e) => fail(failures, "padding", format!("padded eval failed: {e}")),
+        },
+        Err(e) => fail(failures, "padding", format!("construction failed: {e}")),
+    }
+
+    // Law: model restriction (E11). When every error sits on a positive
+    // observed fact the instance is admissible under de Rougemont's
+    // restricted model, and the engines must not branch on the model tag.
+    if let Ok(restricted) = ud.clone().with_model(ErrorModel::PositiveOnly) {
+        match exact_probability(&restricted, query) {
+            Ok(q) if q == p => {}
+            Ok(q) => fail(
+                failures,
+                "model-restriction",
+                format!("positive-only model changed Pr[ψ]: {p} → {q}"),
+            ),
+            Err(e) => fail(failures, "model-restriction", format!("failed: {e}")),
+        }
+        match (
+            exact_reliability(ud, query),
+            exact_reliability(&restricted, query),
+        ) {
+            (Ok(a), Ok(b)) if a.reliability == b.reliability => {}
+            (Ok(a), Ok(b)) => fail(
+                failures,
+                "model-restriction",
+                format!(
+                    "positive-only model changed R: {} → {}",
+                    a.reliability, b.reliability
+                ),
+            ),
+            (Err(e), _) | (_, Err(e)) => {
+                fail(failures, "model-restriction", format!("failed: {e}"))
+            }
+        }
+    }
+}
+
+fn check_dnf_laws(dnf: &Dnf, probs: &[BigRational], failures: &mut Vec<Failure>) {
+    let p = dnf_probability_shannon(dnf, probs);
+
+    // Law: term drop — a DNF is a union of cylinders.
+    for drop in 0..dnf.terms().len() {
+        let rest: Vec<_> = dnf
+            .terms()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != drop)
+            .map(|(_, t)| t.clone())
+            .collect();
+        let q = dnf_probability_shannon(&Dnf::from_terms(rest), probs);
+        if q > p {
+            fail(
+                failures,
+                "term-drop",
+                format!("dropping term {drop} raised Pr: {p} → {q}"),
+            );
+        }
+    }
+
+    // Law: raising the probability of an all-positive variable cannot
+    // lower Pr (mixed-polarity variables are excluded — no monotone
+    // guarantee exists for them).
+    for v in 0..probs.len() {
+        let occurrences: Vec<bool> = dnf
+            .terms()
+            .iter()
+            .flatten()
+            .filter(|l| l.var as usize == v)
+            .map(|l| l.positive)
+            .collect();
+        if occurrences.is_empty() || occurrences.iter().any(|pos| !pos) {
+            continue;
+        }
+        let mut bumped = probs.to_vec();
+        let half = BigRational::from_ratio(1, 2);
+        bumped[v] = bumped[v].add_ref(&bumped[v].one_minus().mul_ref(&half));
+        let q = dnf_probability_shannon(dnf, &bumped);
+        if q < p {
+            fail(
+                failures,
+                "positive-var",
+                format!("raising Pr[x{v}] lowered Pr: {p} → {q}"),
+            );
+        }
+    }
+}
+
+/// All relation names mentioned in a formula.
+fn collect_relations(f: &Formula, out: &mut Vec<String>) {
+    match f {
+        Formula::Atom { rel, .. } => {
+            if !out.contains(rel) {
+                out.push(rel.clone());
+            }
+        }
+        Formula::Not(g) => collect_relations(g, out),
+        Formula::And(fs) | Formula::Or(fs) => fs.iter().for_each(|g| collect_relations(g, out)),
+        Formula::Exists(_, g)
+        | Formula::Forall(_, g)
+        | Formula::ExistsRel(_, _, g)
+        | Formula::ForallRel(_, _, g) => collect_relations(g, out),
+        Formula::True | Formula::False | Formula::Eq(..) => {}
+    }
+}
+
+/// No `Not` node anywhere ⇒ every atom appears positively ⇒ the event
+/// `𝔅 ⊨ ψ` is monotone in the fact set.
+fn negation_free(f: &Formula) -> bool {
+    match f {
+        Formula::Not(_) => false,
+        Formula::And(fs) | Formula::Or(fs) => fs.iter().all(negation_free),
+        Formula::Exists(_, g)
+        | Formula::Forall(_, g)
+        | Formula::ExistsRel(_, _, g)
+        | Formula::ForallRel(_, _, g) => negation_free(g),
+        Formula::True | Formula::False | Formula::Eq(..) | Formula::Atom { .. } => true,
+    }
+}
+
+/// Raise `ν` on every *uncertain* fact by half the headroom:
+/// `ν ↦ ν + (1−ν)/2`. Certain facts stay certain, so the world count —
+/// and thus the enumerator's cost — is unchanged.
+fn bump_marginals(ud: &UnreliableDatabase) -> Result<UnreliableDatabase, String> {
+    let half = BigRational::from_ratio(1, 2);
+    let mut marginals = Vec::new();
+    for i in 0..ud.indexer().total() {
+        let nu = ud.nu_at(i);
+        if nu.is_zero() {
+            continue;
+        }
+        let bumped = if nu == BigRational::one() {
+            nu
+        } else {
+            nu.add_ref(&nu.one_minus().mul_ref(&half))
+        };
+        marginals.push((ud.indexer().fact_at(i), bumped));
+    }
+    UnreliableDatabase::from_marginals(ud.observed().clone(), marginals).map_err(|e| e.to_string())
+}
+
+/// Names of the two fresh padding elements.
+const PAD_C: &str = "pad_c";
+const PAD_D: &str = "pad_d";
+
+/// Build the Theorem 5.12 padded instance: the universe gains two fresh
+/// elements, every original quantifier is relativized to a reliable
+/// `Orig` marker so `ψ` keeps its meaning, and a fresh unary `Pad`
+/// relation holds the two padding facts with `μ = ξ` each. Returns the
+/// padded database and `ψ' = (ψ ∨ Pad(pad_c)) ∧ Pad(pad_d)`.
+fn build_padded(
+    ud: &UnreliableDatabase,
+    formula: &Formula,
+) -> Result<(UnreliableDatabase, Formula), String> {
+    let db = ud.observed();
+    let n = db.size();
+    let mut names: Vec<String> = db
+        .universe()
+        .elements()
+        .map(|e| db.universe().name(e).to_string())
+        .collect();
+    names.push(PAD_C.to_string());
+    names.push(PAD_D.to_string());
+
+    let mut builder = DatabaseBuilder::new().universe_names(names);
+    for sym in db.vocabulary().symbols() {
+        builder = builder.relation(sym.name(), sym.arity());
+    }
+    builder = builder.relation("Orig", 1).relation("Pad", 1);
+    for (i, sym) in db.vocabulary().symbols().iter().enumerate() {
+        let tuples: Vec<Vec<u32>> = db.relation(i).iter().cloned().collect();
+        builder = builder.tuples(sym.name(), tuples);
+    }
+    builder = builder.tuples("Orig", (0..n as u32).map(|e| vec![e]));
+    let padded_db = builder.build();
+    let orig_rels = db.vocabulary().len();
+
+    let mut pad_ud = UnreliableDatabase::reliable(padded_db);
+    // Original relations were added first, in order, so fact relation
+    // indices carry over unchanged.
+    for i in 0..ud.indexer().total() {
+        let fact = ud.indexer().fact_at(i);
+        let mu = ud.mu(&fact).clone();
+        if !mu.is_zero() {
+            pad_ud.set_error(&fact, mu).map_err(|e| e.to_string())?;
+        }
+    }
+    let xi = PaddingEstimator::default_xi().xi().clone();
+    let pad_rel = orig_rels + 1; // after "Orig"
+    pad_ud
+        .set_error(&Fact::new(pad_rel, vec![n as u32]), xi.clone())
+        .map_err(|e| e.to_string())?;
+    pad_ud
+        .set_error(&Fact::new(pad_rel, vec![n as u32 + 1]), xi)
+        .map_err(|e| e.to_string())?;
+
+    let pad_atom = |name: &str| Formula::atom("Pad", [Term::Const(name.to_string())]);
+    let padded_formula = Formula::and([
+        Formula::or([relativize(formula), pad_atom(PAD_C)]),
+        pad_atom(PAD_D),
+    ]);
+    Ok((pad_ud, padded_formula))
+}
+
+/// Relativize every quantifier to the original universe:
+/// `∃x̄ φ ↦ ∃x̄ (⋀ Orig(xᵢ) ∧ φ)` and `∀x̄ φ ↦ ∀x̄ (⋀ Orig(xᵢ) → φ)`.
+fn relativize(f: &Formula) -> Formula {
+    let guard = |vars: &[String]| {
+        Formula::and(
+            vars.iter()
+                .map(|v| Formula::atom("Orig", [Term::Var(v.clone())])),
+        )
+    };
+    match f {
+        Formula::Exists(vars, body) => {
+            Formula::exists(vars.clone(), Formula::and([guard(vars), relativize(body)]))
+        }
+        Formula::Forall(vars, body) => Formula::forall(
+            vars.clone(),
+            Formula::implies(guard(vars), relativize(body)),
+        ),
+        Formula::Not(g) => Formula::not(relativize(g)),
+        Formula::And(fs) => Formula::and(fs.iter().map(relativize)),
+        Formula::Or(fs) => Formula::or(fs.iter().map(relativize)),
+        Formula::ExistsRel(..) | Formula::ForallRel(..) => {
+            unreachable!("second-order formulas are not generated")
+        }
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn laws_hold_on_every_family() {
+        for family in gen::FAMILIES {
+            for seed in 0..8 {
+                let case = gen::generate(seed, family);
+                let failures =
+                    check_metamorphic(&case).unwrap_or_else(|e| panic!("{family}/{seed}: {e}"));
+                assert!(failures.is_empty(), "{family}/{seed}: {failures:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn padding_identity_on_a_known_instance() {
+        // ψ = ∃x S(x), one uncertain fact μ = 1/2 on S(e0), S otherwise
+        // empty: Pr[ψ] = 1/2 and Pr[ψ'] must equal ξ² + (ξ−ξ²)/2.
+        let db = DatabaseBuilder::new()
+            .universe_size(2)
+            .relation("S", 1)
+            .relation("T", 1)
+            .relation("E", 2)
+            .build();
+        let mut ud = UnreliableDatabase::reliable(db);
+        ud.set_error(&Fact::new(0, vec![0]), BigRational::from_ratio(1, 2))
+            .unwrap();
+        let formula = qrel_logic::parser::parse_formula("exists x. S(x)").unwrap();
+        let (pad_ud, padded) = build_padded(&ud, &formula).unwrap();
+        let lhs = exact_probability(&pad_ud, &FoQuery::new(padded)).unwrap();
+        let p = exact_probability(&ud, &FoQuery::new(formula)).unwrap();
+        assert_eq!(p, BigRational::from_ratio(1, 2));
+        let rhs = PaddingEstimator::default_xi().padded_expectation(&p);
+        assert_eq!(lhs, rhs);
+        // Concretely: 1/16 + (3/16)·(1/2) = 5/32.
+        assert_eq!(rhs, BigRational::from_ratio(5, 32));
+    }
+}

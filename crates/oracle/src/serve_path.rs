@@ -1,0 +1,171 @@
+//! The serve-path mode: round-trip query cases through a real
+//! `POST /v1/solve` over TCP and assert the HTTP response body is
+//! byte-identical to what the library produces for the same request —
+//! the networked service must add *nothing* to the numeric path.
+//!
+//! Method is pinned to `exact`: a single-rung ladder whose answer is a
+//! pure function of the instance, so the server's deadline budget (which
+//! the library mirror replaces with an unlimited one) cannot influence
+//! the report. Each case is sent twice; the second response must hit the
+//! result cache and still carry the identical body.
+
+use crate::case::FuzzCase;
+use crate::diff::Failure;
+use qrel_budget::Budget;
+use qrel_eval::FoQuery;
+use qrel_runtime::{Method, Solver};
+use qrel_serve::{protocol, Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Outcome of a serve round-trip sweep.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Query cases actually round-tripped (DNF cases have no HTTP
+    /// surface and are skipped).
+    pub cases: u64,
+    pub mismatches: Vec<Failure>,
+}
+
+fn post_solve(addr: SocketAddr, body: &str) -> Result<(u16, String, bool), String> {
+    let raw = format!(
+        "POST /v1/solve HTTP/1.1\r\nHost: fuzz\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let mut conn = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    conn.set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| e.to_string())?;
+    conn.write_all(raw.as_bytes())
+        .map_err(|e| format!("send: {e}"))?;
+    let mut text = String::new();
+    conn.read_to_string(&mut text)
+        .map_err(|e| format!("recv: {e}"))?;
+    let (head, resp_body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("incomplete response: {text:?}"))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line: {head:?}"))?;
+    let cache_hit = head
+        .lines()
+        .any(|l| l.to_ascii_lowercase().starts_with("x-qrel-cache: hit"));
+    Ok((status, resp_body.to_string(), cache_hit))
+}
+
+/// Round-trip every query case in `cases` through an in-process server.
+pub fn serve_round_trip(cases: &[FuzzCase]) -> Result<ServeReport, String> {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .map_err(|e| format!("bind: {e}"))?;
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+
+    let mut report = ServeReport {
+        cases: 0,
+        mismatches: Vec::new(),
+    };
+    for case in cases {
+        let (Some(spec), Some(query)) = (&case.db, &case.query) else {
+            continue;
+        };
+        report.cases += 1;
+
+        // The library mirror of the server's solve path.
+        let expected = (|| -> Result<String, String> {
+            let ud = spec.build().map_err(|e| e.to_string())?;
+            let q = FoQuery::parse(query).map_err(|e| e.to_string())?;
+            let solve = Solver::new()
+                .with_method(Method::Exact)
+                .with_accuracy(0.05, 0.05) // the protocol's eps/delta defaults
+                .with_seed(case.seed)
+                .with_threads(1)
+                .solve(&ud, &q, &Budget::unlimited())
+                .map_err(|e| e.to_string())?;
+            String::from_utf8(protocol::solve_response_body(&solve)).map_err(|e| e.to_string())
+        })();
+        let expected = match expected {
+            Ok(b) => b,
+            Err(e) => {
+                report.mismatches.push(Failure {
+                    check: "serve-local".into(),
+                    detail: format!("{case}: library solve failed: {e}"),
+                });
+                continue;
+            }
+        };
+
+        let body = format!(
+            "{{\"db\":{},\"query\":{},\"method\":\"exact\",\"seed\":{}}}",
+            serde_json::to_string(spec).map_err(|e| e.to_string())?,
+            serde_json::to_string(query).map_err(|e| e.to_string())?,
+            case.seed
+        );
+
+        for round in 0..2 {
+            match post_solve(addr, &body) {
+                Ok((200, got, cache_hit)) => {
+                    if got != expected {
+                        report.mismatches.push(Failure {
+                            check: "serve-bitdiff".into(),
+                            detail: format!(
+                                "{case}: HTTP body (round {round}) != library: {got} vs {expected}"
+                            ),
+                        });
+                        break;
+                    }
+                    if round == 1 && !cache_hit {
+                        report.mismatches.push(Failure {
+                            check: "serve-cache-miss".into(),
+                            detail: format!("{case}: identical repeat request missed the cache"),
+                        });
+                    }
+                }
+                Ok((status, got, _)) => {
+                    report.mismatches.push(Failure {
+                        check: "serve-status".into(),
+                        detail: format!("{case}: HTTP {status}: {got}"),
+                    });
+                    break;
+                }
+                Err(e) => {
+                    report.mismatches.push(Failure {
+                        check: "serve-transport".into(),
+                        detail: format!("{case}: {e}"),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+
+    handle.shutdown();
+    // Nudge the accept loop so it notices the shutdown flag promptly.
+    let _ = TcpStream::connect(addr);
+    let _ = join.join();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn round_trip_is_bit_identical() {
+        let cases: Vec<FuzzCase> = ["qf", "sjf-cq", "efo", "universal"]
+            .iter()
+            .enumerate()
+            .map(|(i, f)| gen::generate(200 + i as u64, f))
+            .collect();
+        let report = serve_round_trip(&cases).unwrap();
+        assert_eq!(report.cases, 4);
+        assert!(report.mismatches.is_empty(), "{:#?}", report.mismatches);
+    }
+}

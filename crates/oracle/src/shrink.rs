@@ -1,0 +1,212 @@
+//! Greedy delta-debugging shrinker.
+//!
+//! Given a failing case and a predicate that re-runs the failing check,
+//! repeatedly try structure-removing edits — drop an error entry, drop a
+//! tuple, drop a DNF term or literal, simplify a probability to 1/2 —
+//! keeping any edit under which the case still fails, until a full pass
+//! makes no progress. Greedy one-at-a-time removal (ddmin with Δ = 1) is
+//! enough here because cases start small (≤ 8 uncertain facts) and every
+//! probe is a cheap exact evaluation.
+
+use crate::case::FuzzCase;
+
+/// Upper bound on predicate evaluations per shrink, so a pathological
+/// predicate cannot stall the fuzz loop.
+const MAX_PROBES: usize = 2_000;
+
+/// Shrink `case` while `fails` keeps returning `true`. The returned
+/// case still fails and is locally minimal under the edit set.
+pub fn shrink(case: &FuzzCase, fails: &dyn Fn(&FuzzCase) -> bool) -> FuzzCase {
+    let mut best = case.clone();
+    let mut probes = 0usize;
+    let try_candidate = |best: &mut FuzzCase, cand: FuzzCase, probes: &mut usize| -> bool {
+        if *probes >= MAX_PROBES {
+            return false;
+        }
+        *probes += 1;
+        if fails(&cand) {
+            *best = cand;
+            true
+        } else {
+            false
+        }
+    };
+
+    loop {
+        let mut progress = false;
+
+        // Pass 1: drop error entries (query cases) — the primary size
+        // metric, each drop halves the world count.
+        loop {
+            let count = best.db.as_ref().map_or(0, |s| s.errors.len());
+            let mut dropped = false;
+            for i in 0..count {
+                let mut cand = best.clone();
+                cand.db.as_mut().unwrap().errors.remove(i);
+                if try_candidate(&mut best, cand, &mut probes) {
+                    dropped = true;
+                    progress = true;
+                    break;
+                }
+            }
+            if !dropped {
+                break;
+            }
+        }
+
+        // Pass 2: drop observed tuples.
+        if let Some(spec) = best.db.clone() {
+            for r in 0..spec.database.vocabulary().len() {
+                for tuple in spec.database.relation(r).iter() {
+                    let mut cand = best.clone();
+                    cand.db
+                        .as_mut()
+                        .unwrap()
+                        .database
+                        .relation_mut(r)
+                        .remove(tuple);
+                    if try_candidate(&mut best, cand, &mut probes) {
+                        progress = true;
+                    }
+                }
+            }
+        }
+
+        // Pass 3: simplify error probabilities to 1/2.
+        {
+            let count = best.db.as_ref().map_or(0, |s| s.errors.len());
+            for i in 0..count {
+                if best.db.as_ref().unwrap().errors[i].mu == "1/2" {
+                    continue;
+                }
+                let mut cand = best.clone();
+                cand.db.as_mut().unwrap().errors[i].mu = "1/2".to_string();
+                if try_candidate(&mut best, cand, &mut probes) {
+                    progress = true;
+                }
+            }
+        }
+
+        // Pass 4: drop DNF terms.
+        loop {
+            let count = best.dnf.as_ref().map_or(0, |d| d.terms.len());
+            let mut dropped = false;
+            for i in 0..count {
+                if count == 1 {
+                    break;
+                }
+                let mut cand = best.clone();
+                cand.dnf.as_mut().unwrap().terms.remove(i);
+                if try_candidate(&mut best, cand, &mut probes) {
+                    dropped = true;
+                    progress = true;
+                    break;
+                }
+            }
+            if !dropped {
+                break;
+            }
+        }
+
+        // Pass 5: drop literals within DNF terms.
+        if let Some(spec) = best.dnf.clone() {
+            for (t, term) in spec.terms.iter().enumerate() {
+                if term.len() <= 1 {
+                    continue;
+                }
+                for l in 0..term.len() {
+                    let mut cand = best.clone();
+                    cand.dnf.as_mut().unwrap().terms[t].remove(l);
+                    if try_candidate(&mut best, cand, &mut probes) {
+                        progress = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Pass 6: simplify DNF probabilities to 1/2 and trim unused
+        // trailing variables.
+        if let Some(spec) = best.dnf.clone() {
+            for i in 0..spec.probs.len() {
+                if spec.probs[i] == "1/2" {
+                    continue;
+                }
+                let mut cand = best.clone();
+                cand.dnf.as_mut().unwrap().probs[i] = "1/2".to_string();
+                if try_candidate(&mut best, cand, &mut probes) {
+                    progress = true;
+                }
+            }
+            let used_max = spec
+                .terms
+                .iter()
+                .flatten()
+                .map(|l| l.unsigned_abs() as usize)
+                .max()
+                .unwrap_or(0);
+            if used_max < spec.num_vars {
+                let mut cand = best.clone();
+                let d = cand.dnf.as_mut().unwrap();
+                d.num_vars = used_max.max(1);
+                d.probs.truncate(d.num_vars);
+                if try_candidate(&mut best, cand, &mut probes) {
+                    progress = true;
+                }
+            }
+        }
+
+        if !progress || probes >= MAX_PROBES {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn shrinks_query_case_to_single_error_entry() {
+        // Predicate: "fails whenever the first-listed error entry of the
+        // original case survives" — mimics a bug triggered by one fact.
+        let case = gen::generate(11, "qf");
+        let spec = case.db.as_ref().unwrap();
+        assert!(!spec.errors.is_empty());
+        let keep = (
+            spec.errors[0].relation.clone(),
+            spec.errors[0].tuple.clone(),
+        );
+        let fails = move |c: &FuzzCase| {
+            c.db.as_ref().is_some_and(|s| {
+                s.errors
+                    .iter()
+                    .any(|e| e.relation == keep.0 && e.tuple == keep.1)
+            })
+        };
+        let small = shrink(&case, &fails);
+        assert!(fails(&small));
+        assert_eq!(small.db.as_ref().unwrap().errors.len(), 1);
+        assert_eq!(small.db.as_ref().unwrap().errors[0].mu, "1/2");
+    }
+
+    #[test]
+    fn shrinks_dnf_case_to_single_term() {
+        let case = gen::generate(3, "dnf");
+        let fails = |c: &FuzzCase| c.dnf.as_ref().is_some_and(|d| !d.terms.is_empty());
+        let small = shrink(&case, &fails);
+        let d = small.dnf.as_ref().unwrap();
+        assert_eq!(d.terms.len(), 1);
+        assert_eq!(d.terms[0].len(), 1);
+        assert_eq!(d.num_vars, d.terms[0][0].unsigned_abs() as usize);
+    }
+
+    #[test]
+    fn non_failing_case_is_returned_unchanged() {
+        let case = gen::generate(5, "dnf");
+        let small = shrink(&case, &|_| false);
+        assert_eq!(small, case);
+    }
+}

@@ -36,6 +36,27 @@ pub struct CacheKey {
     pub seed: u64,
 }
 
+/// Canonical bit pattern for a float-valued key component (`ε`, `δ`).
+///
+/// `f64::to_bits` alone is almost the right key — IEEE-754 parsing is
+/// correctly rounded, so `0.05`, `5e-2` and `0.050` already decode to
+/// identical bits — but it leaks the two representational quirks floats
+/// have: `-0.0` and `+0.0` compare equal yet differ in bits, and NaN
+/// carries 2⁵²−1 distinct payloads that all mean "not a number". Both
+/// would split one logical request across several cache entries (or,
+/// for NaN, leak unboundedly many keys). Fold them: `-0.0` maps to
+/// `+0.0`, every NaN maps to the canonical quiet NaN.
+pub fn canonical_f64_bits(x: f64) -> u64 {
+    const CANONICAL_NAN: u64 = 0x7ff8_0000_0000_0000;
+    if x.is_nan() {
+        CANONICAL_NAN
+    } else if x == 0.0 {
+        0 // +0.0 and -0.0 are the same accuracy request
+    } else {
+        x.to_bits()
+    }
+}
+
 /// Stable 64-bit FNV-1a, used for the canonical database hash and for
 /// shard selection (std's `DefaultHasher` is explicitly unspecified
 /// across releases; cache keys must hash identically forever so that
@@ -305,6 +326,49 @@ mod tests {
         let cache = ResultCache::new(CACHE_SHARDS * 256);
         cache.insert(key(0), body(10_000));
         assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn canonical_bits_unify_textual_variants() {
+        // Correctly-rounded parsing means every spelling of the same
+        // decimal already lands on one bit pattern; canonicalization
+        // must preserve that.
+        let spellings = ["0.05", "5e-2", "0.050", "0.0500", "5.0E-2"];
+        let bits: Vec<u64> = spellings
+            .iter()
+            .map(|s| canonical_f64_bits(s.parse::<f64>().unwrap()))
+            .collect();
+        assert!(
+            bits.iter().all(|&b| b == bits[0]),
+            "{spellings:?} -> {bits:?}"
+        );
+        // ...and distinct accuracies stay distinct.
+        assert_ne!(canonical_f64_bits(0.05), canonical_f64_bits(0.1),);
+    }
+
+    #[test]
+    fn canonical_bits_fold_signed_zero_and_nan() {
+        assert_eq!(canonical_f64_bits(-0.0), canonical_f64_bits(0.0));
+        assert_eq!(canonical_f64_bits(0.0), 0);
+        // Every NaN payload — quiet, negative, arbitrary — collapses to
+        // one key instead of 2^52 − 1 of them.
+        let weird_nan = f64::from_bits(0xfff8_dead_beef_0001);
+        assert!(weird_nan.is_nan());
+        assert_eq!(canonical_f64_bits(f64::NAN), canonical_f64_bits(weird_nan));
+        assert_eq!(canonical_f64_bits(f64::NAN), 0x7ff8_0000_0000_0000);
+        // Non-zero, non-NaN values keep their exact bits.
+        assert_eq!(canonical_f64_bits(0.25), 0.25f64.to_bits());
+    }
+
+    #[test]
+    fn keys_differing_only_in_float_spelling_share_an_entry() {
+        let cache = ResultCache::new(1 << 20);
+        let mut a = key(0);
+        a.eps_bits = canonical_f64_bits("5e-2".parse::<f64>().unwrap());
+        let mut b = key(0);
+        b.eps_bits = canonical_f64_bits("0.050".parse::<f64>().unwrap());
+        cache.insert(a, Arc::new(b"shared".to_vec()));
+        assert_eq!(cache.get(&b).unwrap().as_slice(), b"shared");
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod metrics;
 pub mod protocol;
 pub mod server;
 
-pub use cache::{CacheKey, ResultCache};
+pub use cache::{canonical_f64_bits, CacheKey, ResultCache};
 pub use metrics::Metrics;
 pub use protocol::{DbRef, SolveRequest};
 pub use server::{

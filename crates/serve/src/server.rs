@@ -590,8 +590,8 @@ fn solve(shared: &Shared, body: &[u8]) -> Response {
         query: formula.to_string(),
         free: free.clone(),
         method: req.method.to_string(),
-        eps_bits: req.eps.to_bits(),
-        delta_bits: req.delta.to_bits(),
+        eps_bits: crate::cache::canonical_f64_bits(req.eps),
+        delta_bits: crate::cache::canonical_f64_bits(req.delta),
         seed: req.seed,
     };
 

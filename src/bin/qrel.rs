@@ -11,6 +11,9 @@
 //!                  [--eps E] [--delta D] [--seed S] [--threads T]
 //! qrel serve       [--addr HOST:PORT] [--workers N] [--queue-cap N]
 //!                  [--cache-mb MB] [--preload spec.json,spec2.json]
+//! qrel fuzz        [--seeds N] [--budget-ms M] [--start-seed S]
+//!                  [--eps E] [--delta D] [--corpus DIR] [--families f1,f2]
+//!                  [--sample true|false] [--serve true|false]
 //! qrel example-spec
 //! qrel version
 //! ```
@@ -126,6 +129,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
         "serve" => cmd_serve(&opts).map(|()| ExitCode::SUCCESS),
+        "fuzz" => cmd_fuzz(&opts),
         "check" => cmd_check(&opts).map(|()| ExitCode::SUCCESS),
         "worlds" => cmd_worlds(&opts).map(|()| ExitCode::SUCCESS),
         "probability" => cmd_probability(&opts).map(|()| ExitCode::SUCCESS),
@@ -153,6 +157,11 @@ fn print_help() {
          \x20 marginals    --db spec.json --query Q [--free x,y]\n\
          \x20 serve        [--addr HOST:PORT] [--workers N] [--queue-cap N]\n\
          \x20              [--cache-mb MB] [--preload spec.json,spec2.json]\n\
+         \x20 fuzz         [--seeds N] [--budget-ms M] [--start-seed S]\n\
+         \x20              [--eps E] [--delta D] [--corpus DIR] [--families f1,f2]\n\
+         \x20              [--sample true|false] [--serve true|false]\n\
+         \x20              (differential+metamorphic oracle across every engine;\n\
+         \x20               exit 1 + shrunk repro path on any discrepancy)\n\
          \x20 example-spec\n\
          \x20 version\n\n\
          reliability exit codes: 0 = full-guarantee answer, \
@@ -193,6 +202,79 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
     }
     println!("endpoints: POST /v1/solve, GET /healthz, GET /metrics");
     server.run().map_err(|e| e.to_string())
+}
+
+fn parse_bool(opts: &Options, name: &str, default: bool) -> Result<bool, String> {
+    match opts.get(name) {
+        None => Ok(default),
+        Some("true") => Ok(true),
+        Some("false") => Ok(false),
+        Some(other) => Err(format!("--{name} expects true or false, got {other:?}")),
+    }
+}
+
+fn cmd_fuzz(opts: &Options) -> Result<ExitCode, String> {
+    use qrel::oracle::{run_fuzz, serve_round_trip, FuzzConfig, FAMILIES};
+
+    let families: Vec<String> = match opts.get("families") {
+        None => FAMILIES.iter().map(|s| s.to_string()).collect(),
+        Some(list) => {
+            let picked: Vec<String> = list.split(',').map(|s| s.trim().to_string()).collect();
+            for f in &picked {
+                if !FAMILIES.contains(&f.as_str()) {
+                    return Err(format!("unknown family {f:?} (available: {FAMILIES:?})"));
+                }
+            }
+            picked
+        }
+    };
+    let cfg = FuzzConfig {
+        seeds: opts.get_u64("seeds", 200)?,
+        start_seed: opts.get_u64("start-seed", 1)?,
+        budget_ms: opts
+            .get("budget-ms")
+            .map(|_| opts.get_u64("budget-ms", 0))
+            .transpose()?,
+        eps: opts.get_f64("eps", 0.25)?,
+        delta: opts.get_f64("delta", 0.2)?,
+        corpus_dir: Some(std::path::PathBuf::from(
+            opts.get("corpus").unwrap_or("tests/corpus"),
+        )),
+        families,
+        sample: parse_bool(opts, "sample", true)?,
+    };
+    let report = run_fuzz(&cfg);
+    print!("{}", report.summary());
+
+    let mut clean = report.clean();
+    if parse_bool(opts, "serve", false)? {
+        // Round-trip a capped slice of the same seed range through a
+        // live POST /v1/solve and demand HTTP ≡ library bit-equality.
+        let cap = cfg.seeds.min(32);
+        let cases: Vec<qrel::oracle::FuzzCase> = (0..cap)
+            .map(|i| {
+                let family = &cfg.families[(i % cfg.families.len() as u64) as usize];
+                qrel::oracle::generate(cfg.start_seed + i, family)
+            })
+            .filter(|c| c.db.is_some())
+            .collect();
+        let serve = serve_round_trip(&cases)?;
+        println!(
+            "serve round-trip: {} cases, {} mismatches",
+            serve.cases,
+            serve.mismatches.len()
+        );
+        for m in &serve.mismatches {
+            println!("  DISCREPANCY [{}] {}", m.check, m.detail);
+            clean = false;
+        }
+    }
+
+    Ok(if clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
 }
 
 fn print_example_spec() {

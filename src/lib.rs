@@ -57,6 +57,7 @@ pub use qrel_db as db;
 pub use qrel_eval as eval;
 pub use qrel_logic as logic;
 pub use qrel_metafinite as metafinite;
+pub use qrel_oracle as oracle;
 pub use qrel_prob as prob;
 pub use qrel_runtime as runtime;
 pub use qrel_serve as serve;

@@ -1,0 +1,110 @@
+//! Corpus replay: every case under `tests/corpus/` — hand-planted
+//! regressions and shrunk repros committed by `qrel fuzz` — is re-run
+//! through the full differential and metamorphic oracle on every
+//! `cargo test`. A case that once exposed a discrepancy stays green
+//! forever only because the bug stays fixed.
+//!
+//! Replay is deterministic (samplers off): the exact engines must agree
+//! bit-for-bit and every metamorphic law must hold, with no statistical
+//! tolerance to hide behind.
+
+use qrel::oracle::{check_case, check_metamorphic, FuzzCase};
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+/// Every `.json` file in the corpus, sorted for stable output.
+fn corpus_cases() -> Vec<(String, FuzzCase)> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus must exist")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    entries.sort();
+    entries
+        .into_iter()
+        .map(|p| {
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            let text =
+                std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("{name}: unreadable: {e}"));
+            let case = FuzzCase::from_json(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            (name, case)
+        })
+        .collect()
+}
+
+#[test]
+fn corpus_is_nonempty_and_well_formed() {
+    let cases = corpus_cases();
+    assert!(
+        cases.len() >= 3,
+        "corpus must keep its hand-planted regressions"
+    );
+    for (name, case) in &cases {
+        case.build_db()
+            .unwrap_or_else(|e| panic!("{name}: malformed: {e}"));
+        assert!(
+            !case.note.is_empty(),
+            "{name}: every corpus case must say why it exists"
+        );
+    }
+}
+
+#[test]
+fn hand_planted_regressions_are_present() {
+    let names: Vec<String> = corpus_cases().into_iter().map(|(n, _)| n).collect();
+    for required in [
+        "regression-mu-one-flip.json",
+        "regression-nondyadic-thirds.json",
+        "regression-nearzero-dnf.json",
+        "regression-universal-padding.json",
+    ] {
+        assert!(
+            names.iter().any(|n| n == required),
+            "missing hand-planted corpus file {required} (have {names:?})"
+        );
+    }
+}
+
+#[test]
+fn every_corpus_case_replays_clean() {
+    let mut problems = Vec::new();
+    for (name, case) in corpus_cases() {
+        // ε/δ only shape sampler envelopes, which are off here; the
+        // values are irrelevant to the deterministic checks.
+        match check_case(&case, 0.25, 0.2, false) {
+            Ok(out) => {
+                for f in out.failures {
+                    problems.push(format!("{name}: [{}] {}", f.check, f.detail));
+                }
+            }
+            Err(e) => problems.push(format!("{name}: harness: {e}")),
+        }
+        match check_metamorphic(&case) {
+            Ok(fails) => {
+                for f in fails {
+                    problems.push(format!("{name}: [{}] {}", f.check, f.detail));
+                }
+            }
+            Err(e) => problems.push(format!("{name}: harness-meta: {e}")),
+        }
+    }
+    assert!(
+        problems.is_empty(),
+        "corpus replay found {} discrepancies:\n{}",
+        problems.len(),
+        problems.join("\n")
+    );
+}
+
+#[test]
+fn corpus_cases_stay_replayable_after_round_trip() {
+    // Committing a repro must never lose information: serialize each
+    // case back out and verify the round trip is the identity.
+    for (name, case) in corpus_cases() {
+        let back = FuzzCase::from_json(&case.to_json()).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(back, case, "{name}: JSON round trip altered the case");
+    }
+}
