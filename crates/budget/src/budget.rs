@@ -237,6 +237,19 @@ impl Budget {
             // charge against them as a bare checkpoint.
             Resource::WallClock | Resource::Cancelled => return self.checkpoint(),
         };
+        // Chaos hook: reject a charge that should have been admitted.
+        // The spurious trip is NOT latched — unlike a genuine counter
+        // overrun, the next charge proceeds normally, which is what
+        // makes the fault transient.
+        if qrel_faults::armed()
+            && qrel_faults::hit(qrel_faults::points::BUDGET_SPURIOUS_TRIP).is_some()
+        {
+            return Err(Exhausted {
+                resource,
+                spent: cell.get().saturating_add(n),
+                limit,
+            });
+        }
         let spent = cell.get().saturating_add(n);
         if let Some(limit) = limit {
             if spent > limit {
@@ -454,6 +467,8 @@ mod tests {
 
     #[test]
     fn unlimited_never_trips() {
+        // Serialize against fault-armed tests (arming is process-global).
+        let _quiet = qrel_faults::quiesce();
         let b = Budget::unlimited();
         for _ in 0..10_000 {
             b.charge(Resource::Worlds, 1).unwrap();
@@ -468,6 +483,8 @@ mod tests {
 
     #[test]
     fn world_cap_trips_at_limit() {
+        // Serialize against fault-armed tests (arming is process-global).
+        let _quiet = qrel_faults::quiesce();
         let b = Budget::unlimited().with_max_worlds(5);
         for _ in 0..5 {
             b.charge(Resource::Worlds, 1).unwrap();
@@ -482,6 +499,8 @@ mod tests {
 
     #[test]
     fn bulk_charge_saturates_and_trips() {
+        // Serialize against fault-armed tests (arming is process-global).
+        let _quiet = qrel_faults::quiesce();
         let b = Budget::unlimited().with_max_samples(100);
         b.charge(Resource::Samples, 90).unwrap();
         assert_eq!(b.remaining(Resource::Samples), Some(10));
@@ -492,6 +511,8 @@ mod tests {
 
     #[test]
     fn deadline_trips() {
+        // Serialize against fault-armed tests (arming is process-global).
+        let _quiet = qrel_faults::quiesce();
         let b = Budget::unlimited().with_deadline(Duration::from_millis(10));
         thread::sleep(Duration::from_millis(25));
         // Many quick checkpoints so the throttled clock check fires.
@@ -511,6 +532,8 @@ mod tests {
 
     #[test]
     fn deadline_from_now_is_deadline_only() {
+        // Serialize against fault-armed tests (arming is process-global).
+        let _quiet = qrel_faults::quiesce();
         let b = Budget::with_deadline_from_now(Duration::from_secs(60));
         assert!(b.allowance().is_some());
         assert_eq!(b.remaining(Resource::Worlds), None);
@@ -522,6 +545,8 @@ mod tests {
 
     #[test]
     fn cancel_token_trips_immediately() {
+        // Serialize against fault-armed tests (arming is process-global).
+        let _quiet = qrel_faults::quiesce();
         let b = Budget::unlimited();
         let token = b.cancel_token();
         b.checkpoint().unwrap();
@@ -533,6 +558,8 @@ mod tests {
 
     #[test]
     fn probe_reports_counter_overrun() {
+        // Serialize against fault-armed tests (arming is process-global).
+        let _quiet = qrel_faults::quiesce();
         let b = Budget::unlimited().with_max_terms(3);
         // Charges past the limit report the overrun...
         assert!(b.charge(Resource::Terms, 4).is_err());
@@ -544,6 +571,8 @@ mod tests {
 
     #[test]
     fn split_with_zero_remaining_yields_zero_cap_children() {
+        // Serialize against fault-armed tests (arming is process-global).
+        let _quiet = qrel_faults::quiesce();
         // Parent at (not past) its cap: nothing is left to distribute,
         // so every child must get a hard-zero cap — a single unit
         // charged anywhere trips instantly instead of silently minting
@@ -561,6 +590,8 @@ mod tests {
 
     #[test]
     fn split_distributes_remainder_to_earliest_children() {
+        // Serialize against fault-armed tests (arming is process-global).
+        let _quiet = qrel_faults::quiesce();
         let parent = Budget::unlimited().with_max_samples(10);
         parent.charge(Resource::Samples, 3).unwrap();
         let caps: Vec<u64> = parent
@@ -574,6 +605,8 @@ mod tests {
 
     #[test]
     fn settle_after_trip_keeps_the_first_cause_latched() {
+        // Serialize against fault-armed tests (arming is process-global).
+        let _quiet = qrel_faults::quiesce();
         // Two children trip on different resources; settling in shard
         // order must latch the first child's cause on the parent and
         // never overwrite it with a later one.
@@ -593,6 +626,8 @@ mod tests {
 
     #[test]
     fn parents_own_trip_outranks_a_settled_childs() {
+        // Serialize against fault-armed tests (arming is process-global).
+        let _quiet = qrel_faults::quiesce();
         let parent = Budget::unlimited().with_max_terms(1);
         assert!(parent.charge(Resource::Terms, 2).is_err());
         let child = Budget::unlimited().with_max_samples(1);
@@ -603,6 +638,8 @@ mod tests {
 
     #[test]
     fn rejected_charges_never_commit_under_concurrent_shards() {
+        // Serialize against fault-armed tests (arming is process-global).
+        let _quiet = qrel_faults::quiesce();
         // Eight shards hammer their caps from real threads, issuing
         // plenty of charges that must be rejected. After settling, the
         // parent's counter equals the cap exactly: every admitted unit
@@ -654,5 +691,95 @@ mod tests {
             format!("{e}"),
             "budget of 16384 worlds exhausted after 16385"
         );
+    }
+
+    /// A deadline trip and an external cancel must stay distinguishable
+    /// when the budget has been split across worker shards: every shard
+    /// sees the same cause, and routing through `QrelError` yields
+    /// `Timeout` for the one and `Cancelled` for the other.
+    #[test]
+    fn concurrent_shards_report_deadline_and_cancel_distinctly() {
+        // Serialize against fault-armed tests (arming is process-global).
+        let _quiet = qrel_faults::quiesce();
+        use crate::error::QrelError;
+
+        // Deadline: an already-expired allowance trips every shard with
+        // WallClock, concurrently.
+        let parent = Budget::with_deadline_from_now(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(5));
+        let children = parent.split(4);
+        // Budgets are Send but not Sync (plain-Cell counters), so each
+        // shard owns its child outright — exactly how qrel-par does it.
+        let causes: Vec<Resource> = std::thread::scope(|s| {
+            children
+                .into_iter()
+                .map(|child| {
+                    s.spawn(move || {
+                        child
+                            .probe()
+                            .expect_err("expired deadline must trip")
+                            .resource
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for cause in causes {
+            assert_eq!(cause, Resource::WallClock);
+        }
+        let err = QrelError::from(parent.split(1)[0].probe().unwrap_err());
+        assert!(matches!(err, QrelError::Timeout(_)), "got {err}");
+
+        // Cancel: shards blocked mid-work observe the shared token and
+        // report Cancelled — not Timeout — even though a generous
+        // deadline is also armed.
+        let parent = Budget::with_deadline_from_now(Duration::from_secs(3600));
+        let token = parent.cancel_token();
+        let children = parent.split(4);
+        let causes: Vec<Resource> = std::thread::scope(|s| {
+            let handles: Vec<_> = children
+                .into_iter()
+                .map(|child| {
+                    s.spawn(move || loop {
+                        if let Err(e) = child.probe() {
+                            return e.resource;
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    })
+                })
+                .collect();
+            std::thread::sleep(Duration::from_millis(10));
+            token.cancel();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for cause in causes {
+            assert_eq!(cause, Resource::Cancelled);
+        }
+        let err = QrelError::from(parent.probe().unwrap_err());
+        assert!(matches!(err, QrelError::Cancelled(_)), "got {err}");
+    }
+
+    #[test]
+    fn spurious_trip_fault_is_transient_not_latched() {
+        let plan = qrel_faults::FaultPlan::new(11).with_rule(
+            qrel_faults::points::BUDGET_SPURIOUS_TRIP,
+            1.0,
+            0,
+            1, // fire exactly once
+        );
+        let b = Budget::unlimited().with_max_samples(100);
+        let _guard = plan.arm();
+        let err = b
+            .charge(Resource::Samples, 1)
+            .expect_err("armed spurious trip must reject the first charge");
+        assert_eq!(err.resource, Resource::Samples);
+        // Unlike a genuine overrun the trip is not latched: the budget
+        // still admits work and probe() stays clean.
+        b.probe().expect("spurious trip must not latch");
+        b.charge(Resource::Samples, 1)
+            .expect("next charge proceeds normally");
+        assert_eq!(b.spent(Resource::Samples), 1);
     }
 }

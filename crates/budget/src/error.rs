@@ -30,14 +30,71 @@ pub enum QrelError {
     /// The requested method cannot handle this query (e.g. the FPTRAS
     /// asked to run on a universal sentence).
     Unsupported(String),
-    /// A cooperative budget tripped before any answer — even a degraded
-    /// one — was available.
+    /// A cooperative *work* budget (worlds, samples, DNF terms) tripped
+    /// before any answer — even a degraded one — was available. Distinct
+    /// from [`QrelError::Timeout`]: work caps are deterministic, so the
+    /// same request fails the same way again and retrying is pointless
+    /// without a larger budget or cheaper method.
     BudgetExhausted(Exhausted),
+    /// The wall-clock deadline expired (`Resource::WallClock`).
+    Timeout(Exhausted),
+    /// The solve was cancelled from outside via its `CancelToken`
+    /// (`Resource::Cancelled`) — the caller stopped wanting the answer;
+    /// nobody should retry on its behalf.
+    Cancelled(Exhausted),
+    /// A ladder rung panicked and was caught at the rung boundary. The
+    /// message carries the panic payload. This is the one *transient*
+    /// failure class: a panic says nothing about the next attempt, so
+    /// the ladder may retry the rung while deadline remains.
+    RungPanic(String),
     /// Every rung of the degradation ladder failed; the message records
     /// the per-rung causes.
     Degraded(String),
-    /// A solver panicked or broke an internal invariant.
+    /// A solver broke an internal invariant (non-panic bug path).
     Internal(String),
+}
+
+/// Whether a failure invites an immediate retry of the same work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryClass {
+    /// The failure is plausibly one-off (a caught panic); retrying the
+    /// same rung with the remaining budget may succeed.
+    Transient,
+    /// Retrying the identical work cannot help: the input is bad, the
+    /// failure is deterministic, the deadline is gone, or the caller
+    /// cancelled.
+    FailFast,
+}
+
+impl QrelError {
+    /// Classify for the self-healing retry ladder.
+    pub fn retry_class(&self) -> RetryClass {
+        match self {
+            QrelError::RungPanic(_) => RetryClass::Transient,
+            _ => RetryClass::FailFast,
+        }
+    }
+
+    /// True iff [`retry_class`](Self::retry_class) is `Transient`.
+    pub fn is_transient(&self) -> bool {
+        self.retry_class() == RetryClass::Transient
+    }
+
+    /// Stable snake_case tag for metrics and error-taxonomy reporting.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            QrelError::Parse(_) => "parse",
+            QrelError::Spec(_) => "spec",
+            QrelError::Eval(_) => "eval",
+            QrelError::Unsupported(_) => "unsupported",
+            QrelError::BudgetExhausted(_) => "budget_exhausted",
+            QrelError::Timeout(_) => "timeout",
+            QrelError::Cancelled(_) => "cancelled",
+            QrelError::RungPanic(_) => "rung_panic",
+            QrelError::Degraded(_) => "degraded",
+            QrelError::Internal(_) => "internal",
+        }
+    }
 }
 
 impl fmt::Display for QrelError {
@@ -48,6 +105,12 @@ impl fmt::Display for QrelError {
             QrelError::Eval(m) => write!(f, "evaluation error: {m}"),
             QrelError::Unsupported(m) => write!(f, "unsupported: {m}"),
             QrelError::BudgetExhausted(e) => write!(f, "budget exhausted: {e}"),
+            // The Exhausted renderings already carry the load-bearing
+            // words ("deadline of ...", "cancelled by caller") that the
+            // serve-path determinism classifier keys on.
+            QrelError::Timeout(e) => write!(f, "timeout: {e}"),
+            QrelError::Cancelled(e) => write!(f, "{e}"),
+            QrelError::RungPanic(m) => write!(f, "rung panicked: {m}"),
             QrelError::Degraded(m) => write!(f, "all methods failed: {m}"),
             QrelError::Internal(m) => write!(f, "internal error: {m}"),
         }
@@ -57,8 +120,15 @@ impl fmt::Display for QrelError {
 impl std::error::Error for QrelError {}
 
 impl From<Exhausted> for QrelError {
+    /// Route by cause: a deadline trip, an external cancel, and a spent
+    /// work counter are different events with different retry semantics,
+    /// so they become different variants.
     fn from(e: Exhausted) -> Self {
-        QrelError::BudgetExhausted(e)
+        match e.resource {
+            crate::budget::Resource::WallClock => QrelError::Timeout(e),
+            crate::budget::Resource::Cancelled => QrelError::Cancelled(e),
+            _ => QrelError::BudgetExhausted(e),
+        }
     }
 }
 
@@ -86,5 +156,61 @@ mod tests {
     fn error_trait_object() {
         let e: Box<dyn std::error::Error> = Box::new(QrelError::Internal("oops".into()));
         assert!(e.to_string().contains("internal error"));
+    }
+
+    #[test]
+    fn exhausted_routes_by_resource() {
+        let timeout = QrelError::from(Exhausted {
+            resource: Resource::WallClock,
+            spent: 204,
+            limit: Some(200),
+        });
+        assert!(matches!(timeout, QrelError::Timeout(_)));
+        assert_eq!(timeout.kind(), "timeout");
+        assert!(format!("{timeout}").contains("deadline"));
+
+        let cancel = QrelError::from(Exhausted {
+            resource: Resource::Cancelled,
+            spent: 12,
+            limit: None,
+        });
+        assert!(matches!(cancel, QrelError::Cancelled(_)));
+        assert_eq!(cancel.kind(), "cancelled");
+        assert!(format!("{cancel}").contains("cancelled"));
+
+        let work = QrelError::from(Exhausted {
+            resource: Resource::Worlds,
+            spent: 9,
+            limit: Some(8),
+        });
+        assert!(matches!(work, QrelError::BudgetExhausted(_)));
+        assert_eq!(work.kind(), "budget_exhausted");
+    }
+
+    #[test]
+    fn only_rung_panics_are_transient() {
+        assert!(QrelError::RungPanic("boom".into()).is_transient());
+        for e in [
+            QrelError::Parse("x".into()),
+            QrelError::Timeout(Exhausted {
+                resource: Resource::WallClock,
+                spent: 1,
+                limit: Some(1),
+            }),
+            QrelError::Cancelled(Exhausted {
+                resource: Resource::Cancelled,
+                spent: 0,
+                limit: None,
+            }),
+            QrelError::BudgetExhausted(Exhausted {
+                resource: Resource::Samples,
+                spent: 2,
+                limit: Some(1),
+            }),
+            QrelError::Degraded("x".into()),
+            QrelError::Internal("x".into()),
+        ] {
+            assert_eq!(e.retry_class(), RetryClass::FailFast, "{e}");
+        }
     }
 }

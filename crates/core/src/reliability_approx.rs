@@ -160,7 +160,11 @@ pub fn approximate_reliability_budgeted<R: Rng>(
             budget,
         ) {
             Ok(x) => x,
-            Err(QrelError::BudgetExhausted(cause)) => {
+            Err(
+                QrelError::BudgetExhausted(cause)
+                | QrelError::Timeout(cause)
+                | QrelError::Cancelled(cause),
+            ) => {
                 return Ok(ApproxOutcome::Exhausted {
                     partial_expected_error: h,
                     tuples_done: done,
@@ -244,7 +248,11 @@ pub fn approximate_reliability_budgeted_parallel(
             budget,
         ) {
             Ok(x) => x,
-            Err(QrelError::BudgetExhausted(cause)) => {
+            Err(
+                QrelError::BudgetExhausted(cause)
+                | QrelError::Timeout(cause)
+                | QrelError::Cancelled(cause),
+            ) => {
                 return Ok(ApproxOutcome::Exhausted {
                     partial_expected_error: h,
                     tuples_done: done,

@@ -46,7 +46,9 @@ impl From<GroundError> for QrelError {
                 spent: max_terms as u64,
                 limit: Some(max_terms as u64),
             }),
-            GroundError::Budget(x) => QrelError::BudgetExhausted(x),
+            // Route by resource: deadline and cancel trips become
+            // Timeout/Cancelled, counter overruns stay BudgetExhausted.
+            GroundError::Budget(x) => QrelError::from(x),
             GroundError::Eval(e) => QrelError::Eval(e.to_string()),
         }
     }

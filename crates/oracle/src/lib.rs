@@ -23,11 +23,18 @@
 //! * [`runner`] — the fuzz loop gluing the above, serializing shrunk
 //!   repros as JSON for `tests/corpus/`;
 //! * [`serve_path`] — round-trips cases through a live `POST /v1/solve`
-//!   and demands HTTP ≡ library bit-equality.
+//!   and demands HTTP ≡ library bit-equality;
+//! * [`chaos`] — the same round trip with a seeded [`FaultPlan`] armed,
+//!   demanding the fail-closed invariant: answers are bit-identical to
+//!   fault-free or explicitly tagged, errors are explicit, and nothing
+//!   outlives its deadline past the watchdog + injected-stall budget.
+//!
+//! [`FaultPlan`]: qrel_faults::FaultPlan
 //!
 //! [`Solver`]: qrel_runtime::Solver
 
 pub mod case;
+pub mod chaos;
 pub mod diff;
 pub mod gen;
 pub mod meta;
@@ -36,6 +43,7 @@ pub mod serve_path;
 pub mod shrink;
 
 pub use case::{DnfEventSpec, FuzzCase};
+pub use chaos::{run_chaos, sample_plan, ChaosConfig, ChaosReport, ChaosViolation};
 pub use diff::{check_case, CheckOutcome, Failure, SamplerTrial};
 pub use gen::{generate, FAMILIES};
 pub use meta::check_metamorphic;

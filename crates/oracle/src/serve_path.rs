@@ -28,7 +28,7 @@ pub struct ServeReport {
     pub mismatches: Vec<Failure>,
 }
 
-fn post_solve(addr: SocketAddr, body: &str) -> Result<(u16, String, bool), String> {
+pub(crate) fn post_solve(addr: SocketAddr, body: &str) -> Result<(u16, String, bool), String> {
     let raw = format!(
         "POST /v1/solve HTTP/1.1\r\nHost: fuzz\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()

@@ -109,6 +109,15 @@ where
 {
     assert!(shards > 0, "need at least one shard");
     let threads = threads.max(1).min(shards);
+    // Chaos hook: stall individual shards. Keyed by shard index, so the
+    // same (seed, plan) stalls the same shards under any thread count —
+    // a stall delays a shard's identical result, it never changes it.
+    let job = |s: usize| {
+        if qrel_faults::armed() {
+            qrel_faults::stall_at(qrel_faults::points::PAR_SHARD_STALL, s as u64);
+        }
+        job(s)
+    };
     if threads == 1 {
         return (0..shards).map(job).collect();
     }
@@ -153,6 +162,13 @@ where
     let shards = contexts.len();
     assert!(shards > 0, "need at least one shard");
     let threads = threads.max(1).min(shards);
+    // Same shard-indexed stall hook as `run_shards`.
+    let job = |s: usize, c: C| {
+        if qrel_faults::armed() {
+            qrel_faults::stall_at(qrel_faults::points::PAR_SHARD_STALL, s as u64);
+        }
+        job(s, c)
+    };
     if threads == 1 {
         return contexts
             .into_iter()
@@ -268,5 +284,23 @@ mod tests {
     fn resolve_threads_explicit_wins() {
         assert_eq!(resolve_threads(Some(3)), 3);
         assert!(resolve_threads(None) >= 1);
+    }
+
+    #[test]
+    fn stalled_shards_still_merge_thread_invariantly() {
+        // A shard stall delays work but must never change it: results
+        // stay bit-identical to the serial, fault-free run.
+        let job = |s: usize| (s * 7 + 1) as u64;
+        let clean = run_shards(8, 1, job);
+        let plan = qrel_faults::FaultPlan::new(0xABCD).with_rule(
+            qrel_faults::points::PAR_SHARD_STALL,
+            0.5,
+            5,
+            0,
+        );
+        let _guard = plan.arm();
+        for threads in [1, 2, 4, 8] {
+            assert_eq!(run_shards(8, threads, job), clean);
+        }
     }
 }

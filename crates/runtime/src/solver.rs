@@ -2,6 +2,7 @@
 //! degradation ladder over every reliability method in the workspace.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
 
 use qrel_arith::BigRational;
 use qrel_budget::{Budget, Exhausted, QrelError, Resource};
@@ -63,6 +64,7 @@ pub struct Solver {
     max_exact_worlds: u64,
     seed: u64,
     threads: Option<usize>,
+    rung_retries: u32,
 }
 
 impl Default for Solver {
@@ -74,6 +76,7 @@ impl Default for Solver {
             max_exact_worlds: DEFAULT_MAX_EXACT_WORLDS,
             seed: 0x5EED,
             threads: None,
+            rung_retries: MAX_RUNG_RETRIES,
         }
     }
 }
@@ -123,6 +126,14 @@ impl Solver {
         self
     }
 
+    /// Retries per rung after a transient (caught-panic) failure, on
+    /// top of the first attempt. Defaults to [`MAX_RUNG_RETRIES`]; `0`
+    /// disables rung self-healing entirely (the E16 "before" arm).
+    pub fn with_rung_retries(mut self, retries: u32) -> Self {
+        self.rung_retries = retries;
+        self
+    }
+
     /// Solve for the reliability of `query` on `ud` within `budget`.
     ///
     /// Returns `Err` only when *no* rung produced even a partial
@@ -142,56 +153,92 @@ impl Solver {
         let mut best_partial: Option<(Answer, Method)> = None;
         let mut first_error: Option<QrelError> = None;
 
-        for (i, &method) in ladder.iter().enumerate() {
+        'ladder: for (i, &method) in ladder.iter().enumerate() {
             let last = i + 1 == ladder.len();
-            let slice = slice_budget(budget, last);
             // Every rung gets its own seed stream, so a rung's sampling
             // never depends on how much earlier rungs drew — the answer
             // is a function of (query, seed, accuracy) alone, not of
-            // thread count or of which rungs happened to run.
+            // thread count or of which rungs happened to run. Retries
+            // reuse the same rung seed: a retried rung that completes
+            // gives the same answer a first-try completion would.
             let rung_seed = split_seed(self.seed, i as u64);
-            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                self.run_rung(method, ud, query, &slice, rung_seed, threads)
-            }));
-            settle(budget, &slice);
-            match outcome {
-                Ok(Ok(Rung::Done(answer, note))) => {
-                    trace.push(TraceStep { method, note });
-                    return Ok(self.report(answer, method, trace, budget));
-                }
-                Ok(Ok(Rung::Degraded(answer, cause))) => {
-                    trace.push(TraceStep {
-                        method,
-                        note: cause.to_string(),
-                    });
-                    if let Some(mut a) = answer {
-                        a.confidence = Confidence::Partial {
-                            reason: cause.to_string(),
-                        };
-                        best_partial = Some(match best_partial.take() {
-                            Some(b) if width(&b.0) <= width(&a) => b,
-                            _ => (a, method),
-                        });
+            let mut attempt: u32 = 0;
+            loop {
+                let slice = slice_budget(budget, last);
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    self.run_rung(method, ud, query, &slice, rung_seed, threads)
+                }));
+                settle(budget, &slice);
+                match outcome {
+                    Ok(Ok(Rung::Done(answer, note))) => {
+                        trace.push(TraceStep { method, note });
+                        return Ok(self.report(answer, method, trace, budget));
                     }
-                }
-                Ok(Ok(Rung::Skip(reason))) => {
-                    trace.push(TraceStep {
-                        method,
-                        note: format!("skipped: {reason}"),
-                    });
-                }
-                Ok(Err(e)) => {
-                    trace.push(TraceStep {
-                        method,
-                        note: format!("failed: {e}"),
-                    });
-                    first_error.get_or_insert(e);
-                }
-                Err(panic) => {
-                    trace.push(TraceStep {
-                        method,
-                        note: format!("panicked: {}", panic_message(&panic)),
-                    });
+                    Ok(Ok(Rung::Degraded(answer, cause))) => {
+                        trace.push(TraceStep {
+                            method,
+                            note: cause.to_string(),
+                        });
+                        if let Some(mut a) = answer {
+                            a.confidence = Confidence::Partial {
+                                reason: cause.to_string(),
+                            };
+                            best_partial = Some(match best_partial.take() {
+                                Some(b) if width(&b.0) <= width(&a) => b,
+                                _ => (a, method),
+                            });
+                        }
+                        continue 'ladder;
+                    }
+                    Ok(Ok(Rung::Skip(reason))) => {
+                        trace.push(TraceStep {
+                            method,
+                            note: format!("skipped: {reason}"),
+                        });
+                        continue 'ladder;
+                    }
+                    Ok(Err(e)) => {
+                        trace.push(TraceStep {
+                            method,
+                            note: format!("failed: {e}"),
+                        });
+                        first_error.get_or_insert(e);
+                        continue 'ladder;
+                    }
+                    Err(panic) => {
+                        // `&*panic`, not `&panic`: coercing the Box
+                        // itself to `dyn Any` would hide the payload.
+                        let msg = panic_message(&*panic);
+                        trace.push(TraceStep {
+                            method,
+                            note: format!("panicked: {msg}"),
+                        });
+                        let err = QrelError::RungPanic(msg);
+                        // Self-healing: a caught panic is the one
+                        // transient failure class — retry the rung with
+                        // jittered backoff while deadline remains,
+                        // instead of burning the whole rung.
+                        if err.is_transient() && attempt < self.rung_retries {
+                            if let Some(pause) =
+                                retry_backoff(self.seed, i as u64, attempt, budget)
+                            {
+                                trace.push(TraceStep {
+                                    method,
+                                    note: format!(
+                                        "retrying after {}ms (attempt {} of {})",
+                                        pause.as_millis(),
+                                        attempt + 2,
+                                        self.rung_retries + 1
+                                    ),
+                                });
+                                std::thread::sleep(pause);
+                                attempt += 1;
+                                continue;
+                            }
+                        }
+                        first_error.get_or_insert(err);
+                        continue 'ladder;
+                    }
                 }
             }
         }
@@ -254,6 +301,14 @@ impl Solver {
         seed: u64,
         threads: usize,
     ) -> Result<Rung, QrelError> {
+        // Chaos hooks: an armed plan can panic this rung (caught at the
+        // ladder's catch_unwind, classified transient, retried) or stall
+        // it (eating wall-clock so the deadline machinery degrades it).
+        // One relaxed load each when disarmed.
+        if qrel_faults::armed() {
+            qrel_faults::maybe_panic(&qrel_faults::points::rung_panic(method.name()));
+            qrel_faults::maybe_stall(&qrel_faults::points::rung_stall(method.name()));
+        }
         match method {
             Method::Auto => unreachable!("Auto expands into concrete rungs"),
             Method::Qf => self.run_qf(ud, query, budget),
@@ -398,7 +453,11 @@ impl Solver {
                 Ok(Rung::Degraded(answer, cause))
             }
             Err(QrelError::Unsupported(reason)) => Ok(Rung::Skip(reason)),
-            Err(QrelError::BudgetExhausted(cause)) => Ok(Rung::Degraded(None, cause)),
+            Err(
+                QrelError::BudgetExhausted(cause)
+                | QrelError::Timeout(cause)
+                | QrelError::Cancelled(cause),
+            ) => Ok(Rung::Degraded(None, cause)),
             Err(e) => Err(e),
         }
     }
@@ -595,6 +654,33 @@ fn width(a: &Answer) -> f64 {
     a.bounds.map(|(lo, hi)| hi - lo).unwrap_or(1.0)
 }
 
+/// Retries per rung after a transient (caught-panic) failure, on top of
+/// the first attempt.
+pub const MAX_RUNG_RETRIES: u32 = 2;
+
+/// Deadline-aware jittered backoff before retrying a panicked rung.
+///
+/// The pause doubles per attempt from a 4ms base and carries a
+/// deterministic jitter drawn from `split_seed` over (solver seed, rung
+/// index, attempt) — same inputs, same pause, so a replayed chaos run
+/// sleeps identically. Returns `None` (don't retry) when the budget is
+/// already tripped or the pause would eat more than half the remaining
+/// deadline.
+fn retry_backoff(seed: u64, rung: u64, attempt: u32, budget: &Budget) -> Option<Duration> {
+    if budget.probe().is_err() {
+        return None;
+    }
+    let base = 4u64 << attempt.min(6);
+    let jitter = split_seed(split_seed(seed, 0x9A5E ^ rung), attempt as u64) % base;
+    let pause = Duration::from_millis(base + jitter);
+    if let Some(left) = budget.time_left() {
+        if pause > left / 2 {
+            return None;
+        }
+    }
+    Some(pause)
+}
+
 /// Derive a rung budget from the parent: half the remaining time and
 /// counters for a non-final rung (so a trip leaves room to degrade),
 /// everything left for the final rung. The cancel token is shared.
@@ -674,6 +760,8 @@ mod tests {
 
     #[test]
     fn auto_routes_qf_and_matches_oracle() {
+        // Serialize against fault-armed tests (arming is process-global).
+        let _quiet = qrel_faults::quiesce();
         let ud = small_ud();
         let q = FoQuery::parse("S(x)").unwrap();
         let report = Solver::new().solve(&ud, &q, &Budget::unlimited()).unwrap();
@@ -685,6 +773,8 @@ mod tests {
 
     #[test]
     fn auto_routes_exact_when_worlds_fit() {
+        // Serialize against fault-armed tests (arming is process-global).
+        let _quiet = qrel_faults::quiesce();
         let ud = small_ud();
         let q = FoQuery::parse("exists x. S(x)").unwrap();
         let report = Solver::new().solve(&ud, &q, &Budget::unlimited()).unwrap();
@@ -695,6 +785,8 @@ mod tests {
 
     #[test]
     fn auto_degrades_to_fptras_when_worlds_capped() {
+        // Serialize against fault-armed tests (arming is process-global).
+        let _quiet = qrel_faults::quiesce();
         let ud = small_ud();
         let q = FoQuery::parse("exists x. S(x)").unwrap();
         let report = Solver::new()
@@ -713,6 +805,8 @@ mod tests {
 
     #[test]
     fn exhausted_budget_returns_partial_with_trace() {
+        // Serialize against fault-armed tests (arming is process-global).
+        let _quiet = qrel_faults::quiesce();
         let ud = wide_ud();
         let q = FoQuery::parse("exists x. S(x)").unwrap();
         // Worlds run out mid-enumeration, samples run out mid-sampling:
@@ -734,6 +828,8 @@ mod tests {
 
     #[test]
     fn cancelled_before_start_yields_error_not_panic() {
+        // Serialize against fault-armed tests (arming is process-global).
+        let _quiet = qrel_faults::quiesce();
         let ud = small_ud();
         let q = FoQuery::parse("exists x. S(x)").unwrap();
         let token = CancelToken::new();
@@ -741,13 +837,15 @@ mod tests {
         let budget = Budget::unlimited().with_cancel_token(token);
         let err = Solver::new().solve(&ud, &q, &budget).unwrap_err();
         assert!(
-            matches!(err, QrelError::BudgetExhausted(_) | QrelError::Degraded(_)),
+            matches!(err, QrelError::Cancelled(_) | QrelError::Degraded(_)),
             "unexpected error: {err}"
         );
     }
 
     #[test]
     fn explicit_exact_without_budget_is_exact() {
+        // Serialize against fault-armed tests (arming is process-global).
+        let _quiet = qrel_faults::quiesce();
         let ud = wide_ud();
         let q = FoQuery::parse("exists x. S(x)").unwrap();
         let report = Solver::new()
@@ -762,6 +860,8 @@ mod tests {
 
     #[test]
     fn explicit_qf_on_quantified_query_is_unsupported() {
+        // Serialize against fault-armed tests (arming is process-global).
+        let _quiet = qrel_faults::quiesce();
         let ud = small_ud();
         let q = FoQuery::parse("exists x. S(x)").unwrap();
         let err = Solver::new()
@@ -773,6 +873,8 @@ mod tests {
 
     #[test]
     fn naive_mc_agrees_with_oracle() {
+        // Serialize against fault-armed tests (arming is process-global).
+        let _quiet = qrel_faults::quiesce();
         let ud = small_ud();
         let q = FoQuery::parse("exists x. S(x)").unwrap();
         let report = Solver::new()
@@ -790,6 +892,8 @@ mod tests {
 
     #[test]
     fn answer_is_thread_count_invariant() {
+        // Serialize against fault-armed tests (arming is process-global).
+        let _quiet = qrel_faults::quiesce();
         // The determinism contract at the solver level: the sampling
         // rungs run on fixed shard counts with seed-split RNGs, so the
         // reported reliability is bit-identical for every --threads.
@@ -814,6 +918,8 @@ mod tests {
 
     #[test]
     fn deadline_is_respected_within_slack() {
+        // Serialize against fault-armed tests (arming is process-global).
+        let _quiet = qrel_faults::quiesce();
         let ud = wide_ud();
         let q = FoQuery::parse("exists x. S(x)").unwrap();
         let budget = Budget::unlimited().with_deadline(Duration::from_millis(200));
@@ -827,6 +933,84 @@ mod tests {
             "solve took {elapsed:?} against a 200ms deadline"
         );
         // Whatever came back, it must be well-formed.
+        if let Ok(report) = result {
+            assert!((0.0..=1.0).contains(&report.reliability));
+        }
+    }
+
+    #[test]
+    fn injected_rung_panic_is_retried_and_heals() {
+        let ud = small_ud();
+        let q = FoQuery::parse("exists x. S(x)").unwrap();
+        let clean = Solver::new().solve(&ud, &q, &Budget::unlimited()).unwrap();
+        assert_eq!(clean.method, Method::Exact);
+
+        // One injected panic on the exact rung: the ladder must retry
+        // the rung (transient class), then complete with an answer
+        // bit-identical to the fault-free solve.
+        let plan = qrel_faults::FaultPlan::new(3).with_rule(
+            &qrel_faults::points::rung_panic(Method::Exact.name()),
+            1.0,
+            0,
+            1, // fire once, then heal
+        );
+        let _guard = plan.arm();
+        let healed = Solver::new().solve(&ud, &q, &Budget::unlimited()).unwrap();
+        assert_eq!(healed.method, Method::Exact);
+        assert_eq!(healed.reliability.to_bits(), clean.reliability.to_bits());
+        assert_eq!(healed.exact, clean.exact);
+        let notes: Vec<&str> = healed.trace.iter().map(|s| s.note.as_str()).collect();
+        assert!(
+            notes.iter().any(|n| n.contains("injected fault")),
+            "trace must record the caught panic: {notes:?}"
+        );
+        assert!(
+            notes.iter().any(|n| n.contains("retrying after")),
+            "trace must record the retry: {notes:?}"
+        );
+    }
+
+    #[test]
+    fn persistent_rung_panic_falls_through_the_ladder() {
+        let ud = small_ud();
+        let q = FoQuery::parse("exists x. S(x)").unwrap();
+        // The exact rung panics on every attempt; retries exhaust and
+        // the ladder falls through to a sampling rung instead of
+        // failing the whole solve.
+        let plan = qrel_faults::FaultPlan::new(5).with_rule(
+            &qrel_faults::points::rung_panic(Method::Exact.name()),
+            1.0,
+            0,
+            0, // unlimited fires
+        );
+        let _guard = plan.arm();
+        let report = Solver::new().solve(&ud, &q, &Budget::unlimited()).unwrap();
+        assert_ne!(report.method, Method::Exact);
+        assert!((0.0..=1.0).contains(&report.reliability));
+    }
+
+    #[test]
+    fn stalled_rung_degrades_within_the_deadline() {
+        let ud = small_ud();
+        let q = FoQuery::parse("exists x. S(x)").unwrap();
+        let plan = qrel_faults::FaultPlan::new(9).with_rule(
+            &qrel_faults::points::rung_stall(Method::Exact.name()),
+            1.0,
+            300, // stall past the whole deadline
+            0,
+        );
+        let _guard = plan.arm();
+        let budget = Budget::unlimited().with_deadline(Duration::from_millis(150));
+        let started = std::time::Instant::now();
+        let result = Solver::new().solve(&ud, &q, &budget);
+        // The stall eats the exact rung's slice; whatever the outcome,
+        // the solve returns promptly after it (deadline + injected
+        // stall bound) and never hangs.
+        assert!(
+            started.elapsed() < Duration::from_millis(300 * 4 + 1000),
+            "stalled solve took {:?}",
+            started.elapsed()
+        );
         if let Ok(report) = result {
             assert!((0.0..=1.0).contains(&report.reliability));
         }

@@ -102,6 +102,11 @@ impl CacheKey {
 #[derive(Debug)]
 struct Entry {
     body: Arc<Vec<u8>>,
+    /// FNV-1a of `body` taken at insert time. Verified on every hit:
+    /// the cache's contract is that a hit is byte-identical to the
+    /// fresh solve it replaces, so a corrupted entry must surface as a
+    /// miss (recompute), never as a silently wrong reply.
+    checksum: u64,
     /// Tick of the most recent touch; stale queue markers carry older
     /// ticks and are skipped at eviction time.
     tick: u64,
@@ -117,13 +122,19 @@ struct Shard {
 }
 
 impl Shard {
-    fn touch(&mut self, key: &CacheKey) -> Option<Arc<Vec<u8>>> {
+    fn touch(&mut self, key: &CacheKey) -> Option<(Arc<Vec<u8>>, u64)> {
         self.tick += 1;
         let tick = self.tick;
         let entry = self.map.get_mut(key)?;
         entry.tick = tick;
         self.order.push_back((tick, key.clone()));
-        Some(Arc::clone(&entry.body))
+        Some((Arc::clone(&entry.body), entry.checksum))
+    }
+
+    fn remove(&mut self, key: &CacheKey) {
+        if let Some(entry) = self.map.remove(key) {
+            self.bytes -= entry.weight;
+        }
     }
 
     fn insert(&mut self, key: CacheKey, body: Arc<Vec<u8>>, cap: usize) {
@@ -133,7 +144,16 @@ impl Shard {
         }
         self.tick += 1;
         let tick = self.tick;
-        if let Some(old) = self.map.insert(key.clone(), Entry { body, tick, weight }) {
+        let checksum = fnv1a(&body);
+        if let Some(old) = self.map.insert(
+            key.clone(),
+            Entry {
+                body,
+                checksum,
+                tick,
+                weight,
+            },
+        ) {
             self.bytes -= old.weight;
         }
         self.bytes += weight;
@@ -163,6 +183,9 @@ pub struct ResultCache {
     shard_cap: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Hits whose body failed checksum verification: the entry was
+    /// evicted and the lookup reported a miss (fail closed, recompute).
+    poison_detected: AtomicU64,
 }
 
 impl ResultCache {
@@ -177,6 +200,7 @@ impl ResultCache {
             shard_cap: max_bytes / CACHE_SHARDS,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            poison_detected: AtomicU64::new(0),
         }
     }
 
@@ -194,11 +218,36 @@ impl ResultCache {
             .lock()
             .expect("cache shard poisoned")
             .touch(key);
-        match &got {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        let Some((mut body, checksum)) = got else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
         };
-        got
+        // Chaos hook: corrupt the reply we are about to verify, modeling
+        // bit rot / a buggy write between insert and hit.
+        if qrel_faults::armed() {
+            if let Some(_fired) = qrel_faults::hit(qrel_faults::points::CACHE_REPLY_POISON) {
+                let mut corrupted = body.as_ref().clone();
+                if let Some(b) = corrupted.first_mut() {
+                    *b ^= 0x01;
+                }
+                body = Arc::new(corrupted);
+            }
+        }
+        // Verify the checksum taken at insert time. A mismatch means
+        // the bytes in hand are NOT the bytes the solver produced:
+        // evict the entry and fail closed as a miss so the caller
+        // recomputes, instead of serving a silently wrong reply.
+        if fnv1a(&body) != checksum {
+            self.shard(key)
+                .lock()
+                .expect("cache shard poisoned")
+                .remove(key);
+            self.poison_detected.fetch_add(1, Ordering::Relaxed);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(body)
     }
 
     pub fn insert(&self, key: CacheKey, body: Arc<Vec<u8>>) {
@@ -217,6 +266,11 @@ impl ResultCache {
 
     pub fn miss_count(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Hits rejected because the body failed checksum verification.
+    pub fn poison_detected_count(&self) -> u64 {
+        self.poison_detected.load(Ordering::Relaxed)
     }
 
     /// Total entries across all shards (test/diagnostic use).
@@ -369,6 +423,31 @@ mod tests {
         b.eps_bits = canonical_f64_bits("0.050".parse::<f64>().unwrap());
         cache.insert(a, Arc::new(b"shared".to_vec()));
         assert_eq!(cache.get(&b).unwrap().as_slice(), b"shared");
+    }
+
+    #[test]
+    fn poisoned_entry_is_detected_evicted_and_reported_as_miss() {
+        let cache = ResultCache::new(1 << 20);
+        let k = key(0);
+        cache.insert(k.clone(), Arc::new(b"{\"r\":1}".to_vec()));
+        let plan = qrel_faults::FaultPlan::new(2).with_rule(
+            qrel_faults::points::CACHE_REPLY_POISON,
+            1.0,
+            0,
+            1, // poison the first hit only
+        );
+        {
+            let _guard = plan.arm();
+            // The poisoned hit fails verification: miss, entry evicted.
+            assert!(cache.get(&k).is_none(), "poisoned reply must not be served");
+            assert_eq!(cache.poison_detected_count(), 1);
+            assert_eq!(cache.len(), 0, "corrupted entry must be evicted");
+            // Self-healing: recompute-and-reinsert restores clean hits
+            // even while the plan is still armed (its one fire is spent).
+            cache.insert(k.clone(), Arc::new(b"{\"r\":1}".to_vec()));
+            assert_eq!(cache.get(&k).unwrap().as_slice(), b"{\"r\":1}");
+        }
+        assert_eq!(cache.poison_detected_count(), 1);
     }
 
     #[test]

@@ -32,14 +32,17 @@
 //!   [`qrel_budget::CancelToken`].
 
 pub mod cache;
+pub mod health;
 pub mod http;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
 
 pub use cache::{canonical_f64_bits, CacheKey, ResultCache};
+pub use health::{compute_retry_after, Admission, BreakerState, Breakers, HealthState};
 pub use metrics::Metrics;
 pub use protocol::{DbRef, SolveRequest};
 pub use server::{
-    canonical_db_hash, install_shutdown_signals, ServeError, Server, ServerConfig, ServerHandle,
+    canonical_db_hash, install_shutdown_signals, DrainReport, ServeError, Server, ServerConfig,
+    ServerHandle,
 };

@@ -14,8 +14,14 @@ use qrel_runtime::Method;
 /// Endpoints tracked as label values (everything else is `other`).
 pub const ENDPOINTS: [&str; 4] = ["/v1/solve", "/healthz", "/metrics", "other"];
 
-/// Statuses tracked as label values.
+/// Statuses tracked as label values. Anything else lands in a
+/// catch-all `other` column — under fault injection a novel status must
+/// count somewhere, never panic the worker's metrics path.
 pub const STATUSES: [u16; 10] = [200, 400, 404, 405, 408, 413, 422, 429, 500, 503];
+
+/// Column count for the per-status axis: every tracked status plus the
+/// `other` catch-all.
+const STATUS_COLS: usize = STATUSES.len() + 1;
 
 /// Solve rungs tracked as label values, in ladder order.
 pub const RUNGS: [Method; 5] = [
@@ -37,15 +43,15 @@ fn status_index(status: u16) -> usize {
     STATUSES
         .iter()
         .position(|&s| s == status)
-        .unwrap_or_else(|| panic!("untracked status {status}"))
+        .unwrap_or(STATUSES.len())
 }
 
 /// The metrics registry. One instance per server, shared by reference
 /// across workers; all methods take `&self`.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    /// `requests[endpoint][status]`.
-    requests: [[AtomicU64; STATUSES.len()]; ENDPOINTS.len()],
+    /// `requests[endpoint][status]`; the last status column is `other`.
+    requests: [[AtomicU64; STATUS_COLS]; ENDPOINTS.len()],
     /// Completed solves by answering rung.
     solves: [AtomicU64; RUNGS.len()],
     /// Solve latency histogram: cumulative-style counts are computed at
@@ -60,6 +66,8 @@ pub struct Metrics {
     queue_depth: AtomicU64,
     /// Requests refused with `429` because the queue was full.
     rejected: AtomicU64,
+    /// In-flight solves hard-cancelled by the stuck-worker watchdog.
+    watchdog_cancels: AtomicU64,
 }
 
 impl Metrics {
@@ -98,6 +106,14 @@ impl Metrics {
         self.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub fn record_watchdog_cancel(&self) {
+        self.watchdog_cancels.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn watchdog_cancel_count(&self) -> u64 {
+        self.watchdog_cancels.load(Ordering::Relaxed)
+    }
+
     pub fn set_queue_depth(&self, depth: usize) {
         self.queue_depth.store(depth as u64, Ordering::Relaxed);
     }
@@ -119,9 +135,13 @@ impl Metrics {
         );
         out.push_str("# TYPE qrel_http_requests_total counter\n");
         for (e, endpoint) in ENDPOINTS.iter().enumerate() {
-            for (s, status) in STATUSES.iter().enumerate() {
+            for s in 0..STATUS_COLS {
                 let n = self.requests[e][s].load(Ordering::Relaxed);
                 if n > 0 {
+                    let status = STATUSES
+                        .get(s)
+                        .map(|s| s.to_string())
+                        .unwrap_or_else(|| "other".to_string());
                     out.push_str(&format!(
                         "qrel_http_requests_total{{endpoint=\"{endpoint}\",status=\"{status}\"}} {n}\n"
                     ));
@@ -185,6 +205,15 @@ impl Metrics {
             self.rejected.load(Ordering::Relaxed)
         ));
 
+        out.push_str(
+            "# HELP qrel_watchdog_cancels_total Solves hard-cancelled by the stuck-worker watchdog.\n",
+        );
+        out.push_str("# TYPE qrel_watchdog_cancels_total counter\n");
+        out.push_str(&format!(
+            "qrel_watchdog_cancels_total {}\n",
+            self.watchdog_cancels.load(Ordering::Relaxed)
+        ));
+
         out
     }
 }
@@ -215,6 +244,25 @@ mod tests {
         assert!(text.contains("qrel_queue_depth 3"));
         assert!(text.contains("qrel_rejected_total 1"));
         assert!(text.contains("qrel_solve_latency_seconds_count 1"));
+    }
+
+    #[test]
+    fn untracked_status_lands_in_other_bucket_without_panicking() {
+        let m = Metrics::new();
+        // Under fault injection novel statuses appear; the metrics path
+        // must absorb them, not kill the worker.
+        m.record_request("/v1/solve", 418);
+        m.record_request("/v1/solve", 599);
+        m.record_request("/nope", 301);
+        let text = m.render();
+        assert!(
+            text.contains("qrel_http_requests_total{endpoint=\"/v1/solve\",status=\"other\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("qrel_http_requests_total{endpoint=\"other\",status=\"other\"} 1"),
+            "{text}"
+        );
     }
 
     #[test]

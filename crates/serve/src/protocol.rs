@@ -190,12 +190,16 @@ pub fn parse_solve_request(body: &[u8], limits: ParseLimits) -> Result<SolveRequ
 /// external cancellation. Counter trips (worlds/samples/terms caps)
 /// happen at exactly the same point on every run and are fine; only
 /// time and cancellation make the degradation path machine-dependent.
+/// Caught rung panics are excluded too: under fault injection a healed
+/// answer is bit-identical but the *trace* records the panic, and a
+/// cached panic trace would replay a fault to fault-free clients.
 /// The cache stores only deterministic reports.
 pub fn is_deterministic(report: &SolveReport) -> bool {
-    report
-        .trace
-        .iter()
-        .all(|step| !step.note.contains("deadline") && !step.note.contains("cancelled"))
+    report.trace.iter().all(|step| {
+        !step.note.contains("deadline")
+            && !step.note.contains("cancelled")
+            && !step.note.contains("panicked")
+    })
 }
 
 /// Serialize a solve report into the response body. Deliberately
@@ -351,6 +355,11 @@ mod tests {
             "completed",
         ])));
         assert!(!is_deterministic(&report(&["cancelled by caller"])));
+        assert!(!is_deterministic(&report(&[
+            "panicked: injected fault: runtime.rung.exact.panic",
+            "retrying after 4ms (attempt 2 of 3)",
+            "completed",
+        ])));
     }
 
     #[test]

@@ -27,11 +27,11 @@ use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use qrel_budget::{Budget, CancelToken};
+use qrel_budget::{Budget, CancelToken, QrelError};
 use qrel_eval::FoQuery;
 use qrel_prob::{UnreliableDatabase, UnreliableDatabaseSpec};
 use qrel_runtime::Solver;
@@ -39,6 +39,7 @@ use serde::Value;
 use serde_json::ParseLimits;
 
 use crate::cache::{fnv1a, CacheKey, ResultCache};
+use crate::health::{compute_retry_after, Admission, Breakers, HealthState, RateEstimator};
 use crate::http::{read_request, write_response, HttpError, Request, Response};
 use crate::metrics::Metrics;
 use crate::protocol::{
@@ -74,6 +75,17 @@ pub struct ServerConfig {
     /// Dataset files (`UnreliableDatabaseSpec` JSON) loaded at startup
     /// and addressable by file stem in `/v1/solve`.
     pub preload: Vec<PathBuf>,
+    /// Consecutive breaker-relevant failures (rung panics, internal
+    /// errors) that open a method's circuit. `0` disables breakers.
+    pub breaker_threshold: u32,
+    /// How long an open circuit rejects before admitting a probe.
+    pub breaker_cooldown: Duration,
+    /// Scan period of the stuck-worker watchdog; a solve that overstays
+    /// its deadline by more than one period is hard-cancelled.
+    pub watchdog_period: Duration,
+    /// Master switch for the self-healing plane (breakers, watchdog,
+    /// solver rung retries). `false` is the E16 "before" arm.
+    pub self_heal: bool,
 }
 
 impl Default for ServerConfig {
@@ -89,8 +101,25 @@ impl Default for ServerConfig {
             solver_threads: 1,
             shutdown_grace: Duration::from_secs(30),
             preload: Vec::new(),
+            breaker_threshold: 5,
+            breaker_cooldown: Duration::from_secs(2),
+            watchdog_period: Duration::from_millis(250),
+            self_heal: true,
         }
     }
+}
+
+/// How [`Server::run`] ended, for the CLI's exit code: a clean drain
+/// exits 0, a forced one (grace expired or the watchdog had to kill
+/// work) exits 3.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrainReport {
+    /// The drain outlived `shutdown_grace` and in-flight budgets were
+    /// hard-cancelled.
+    pub forced: bool,
+    /// Solves hard-cancelled by the stuck-worker watchdog over the
+    /// server's lifetime.
+    pub watchdog_cancels: u64,
 }
 
 /// Errors surfaced while bringing the server up.
@@ -201,6 +230,88 @@ impl AdmissionQueue {
         self.inner.lock().expect("queue poisoned").closed = true;
         self.cv.notify_all();
     }
+
+    /// Current backlog (for the dynamic `Retry-After`).
+    fn depth(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").conns.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-flight registry (stuck-worker watchdog)
+
+/// One in-flight solve: its private cancel token and the instant past
+/// which the watchdog considers it stuck. The hard deadline is the
+/// request's budget deadline plus one watchdog period of slack — a
+/// solve legitimately degrading *at* its deadline is never shot.
+struct InFlight {
+    token: CancelToken,
+    hard_deadline: Instant,
+}
+
+#[derive(Default)]
+struct InFlightRegistry {
+    entries: Mutex<HashMap<u64, InFlight>>,
+    next_id: AtomicU64,
+}
+
+impl InFlightRegistry {
+    fn register(&self, token: CancelToken, hard_deadline: Instant) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.entries
+            .lock()
+            .expect("inflight registry poisoned")
+            .insert(id, InFlight {
+                token,
+                hard_deadline,
+            });
+        id
+    }
+
+    fn deregister(&self, id: u64) {
+        self.entries
+            .lock()
+            .expect("inflight registry poisoned")
+            .remove(&id);
+    }
+
+    /// Cancel (and forget) every entry whose hard deadline has passed.
+    /// Returns how many were shot.
+    fn cancel_overdue(&self, now: Instant) -> u64 {
+        let mut entries = self.entries.lock().expect("inflight registry poisoned");
+        let overdue: Vec<u64> = entries
+            .iter()
+            .filter(|(_, f)| now >= f.hard_deadline)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &overdue {
+            if let Some(f) = entries.remove(id) {
+                f.token.cancel();
+            }
+        }
+        overdue.len() as u64
+    }
+
+    /// Cancel every entry (the drain-escalation path).
+    fn cancel_all(&self) {
+        let entries = self.entries.lock().expect("inflight registry poisoned");
+        for f in entries.values() {
+            f.token.cancel();
+        }
+    }
+}
+
+/// RAII guard: deregisters the solve when it returns by any path
+/// (including a panic unwinding through `catch_unwind`).
+struct InFlightGuard<'a> {
+    registry: &'a InFlightRegistry,
+    id: u64,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.registry.deregister(self.id);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -213,9 +324,16 @@ struct Shared {
     metrics: Metrics,
     queue: AdmissionQueue,
     shutdown: AtomicBool,
-    /// Wired into every in-flight request budget; cancelled only when a
-    /// graceful drain outlives `shutdown_grace`.
-    cancel: CancelToken,
+    /// Per-method circuit breakers (no-ops when `self_heal` is off).
+    breakers: Breakers,
+    /// Recent connection drain rate, for the dynamic `Retry-After`.
+    drain_rate: RateEstimator,
+    /// Every in-flight solve's private cancel token, scanned by the
+    /// stuck-worker watchdog and swept by the drain escalation.
+    inflight: InFlightRegistry,
+    /// Latched by the drain escalation: solves admitted after it start
+    /// out cancelled instead of burning the remaining grace.
+    hard_cancelled: AtomicBool,
 }
 
 /// Cloneable control handle: request shutdown, inspect metrics.
@@ -238,15 +356,47 @@ impl ServerHandle {
 
     /// Cancel every in-flight request budget immediately (the
     /// escalation a graceful drain falls back to after the grace
-    /// period).
+    /// period). Solves admitted afterwards start out cancelled.
     pub fn hard_cancel(&self) {
-        self.shared.cancel.cancel();
+        self.shared.hard_cancelled.store(true, Ordering::SeqCst);
+        self.shared.inflight.cancel_all();
     }
 
     /// Rendered Prometheus metrics (same text `/metrics` serves).
     pub fn metrics_text(&self) -> String {
-        self.shared.metrics.render()
+        render_metrics(&self.shared)
     }
+
+    /// The current `/healthz` status string: `ok`, `degraded`, or
+    /// `draining`.
+    pub fn health(&self) -> &'static str {
+        HealthState::derive(
+            self.shared.shutdown.load(Ordering::SeqCst),
+            self.shared.breakers.any_open(),
+        )
+        .as_str()
+    }
+
+    /// Solves hard-cancelled by the stuck-worker watchdog so far.
+    pub fn watchdog_cancels(&self) -> u64 {
+        self.shared.metrics.watchdog_cancel_count()
+    }
+}
+
+/// The full `/metrics` text: core registry, breaker series, and the
+/// cache's poison-detection counter.
+fn render_metrics(shared: &Shared) -> String {
+    let mut text = shared.metrics.render();
+    text.push_str(&shared.breakers.render());
+    text.push_str(
+        "# HELP qrel_cache_poison_detected_total Cache replies rejected by checksum.\n",
+    );
+    text.push_str("# TYPE qrel_cache_poison_detected_total counter\n");
+    text.push_str(&format!(
+        "qrel_cache_poison_detected_total {}\n",
+        shared.cache.poison_detected_count()
+    ));
+    text
 }
 
 // ---------------------------------------------------------------------------
@@ -328,6 +478,14 @@ impl Server {
         }
         let cache = ResultCache::new(config.cache_bytes);
         let queue = AdmissionQueue::new(config.queue_cap.max(1));
+        let breakers = Breakers::new(
+            if config.self_heal {
+                config.breaker_threshold
+            } else {
+                0
+            },
+            config.breaker_cooldown,
+        );
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
@@ -337,7 +495,10 @@ impl Server {
                 metrics: Metrics::new(),
                 queue,
                 shutdown: AtomicBool::new(false),
-                cancel: CancelToken::new(),
+                breakers,
+                drain_rate: RateEstimator::new(),
+                inflight: InFlightRegistry::default(),
+                hard_cancelled: AtomicBool::new(false),
             }),
         })
     }
@@ -370,8 +531,9 @@ impl Server {
         names
     }
 
-    /// Serve until shutdown is requested, then drain and return.
-    pub fn run(self) -> Result<(), ServeError> {
+    /// Serve until shutdown is requested, then drain and return a
+    /// [`DrainReport`] saying whether the drain was clean or forced.
+    pub fn run(self) -> Result<DrainReport, ServeError> {
         let shared = self.shared;
         let workers: Vec<_> = (0..shared.config.workers.max(1))
             .map(|i| {
@@ -382,6 +544,35 @@ impl Server {
                     .expect("spawn worker")
             })
             .collect();
+
+        // Stuck-worker watchdog: scans the in-flight registry every
+        // period and hard-cancels any solve past its hard deadline
+        // (budget deadline + one period of slack). Cancellation is
+        // cooperative — the solve unwinds through the budget's latched
+        // trip and still answers — but the watchdog guarantees no
+        // request outlives its deadline by more than ~one period, even
+        // when an injected stall wedges a rung.
+        let stopped = Arc::new(AtomicBool::new(false));
+        let watchdog = if shared.config.self_heal && !shared.config.watchdog_period.is_zero() {
+            let shared = Arc::clone(&shared);
+            let stopped = Arc::clone(&stopped);
+            Some(
+                std::thread::Builder::new()
+                    .name("qrel-watchdog".into())
+                    .spawn(move || {
+                        while !stopped.load(Ordering::SeqCst) {
+                            std::thread::sleep(shared.config.watchdog_period);
+                            let shot = shared.inflight.cancel_overdue(Instant::now());
+                            for _ in 0..shot {
+                                shared.metrics.record_watchdog_cancel();
+                            }
+                        }
+                    })
+                    .expect("spawn watchdog"),
+            )
+        } else {
+            None
+        };
 
         // Accept loop. The listener is non-blocking so the shutdown
         // flag (local or signal-driven) is observed within ~1ms. The
@@ -408,26 +599,50 @@ impl Server {
         }
 
         // Drain: refuse new work, let workers finish what was admitted.
+        shared.shutdown.store(true, Ordering::SeqCst);
         shared.queue.close();
+        let cancels_before_drain = shared.metrics.watchdog_cancel_count();
         let (drained_tx, drained_rx) = std::sync::mpsc::channel::<()>();
-        let watchdog = {
+        let forced = Arc::new(AtomicBool::new(false));
+        let grace_guard = {
             let shared = Arc::clone(&shared);
+            let forced = Arc::clone(&forced);
             let grace = shared.config.shutdown_grace;
             std::thread::spawn(move || {
-                if drained_rx.recv_timeout(grace).is_err() {
+                // Disconnected means the drain finished (the sender is
+                // dropped after the workers join); only an actual
+                // timeout escalates.
+                if matches!(
+                    drained_rx.recv_timeout(grace),
+                    Err(std::sync::mpsc::RecvTimeoutError::Timeout)
+                ) {
                     // The drain is overstaying its welcome: cancel every
                     // in-flight budget; solves unwind via the latched
                     // trip cause and still answer (degraded).
-                    shared.cancel.cancel();
+                    forced.store(true, Ordering::SeqCst);
+                    shared.hard_cancelled.store(true, Ordering::SeqCst);
+                    shared.inflight.cancel_all();
                 }
             })
         };
         for w in workers {
             let _ = w.join();
         }
-        drop(drained_tx); // disconnects the watchdog's recv — drain done
-        let _ = watchdog.join();
-        Ok(())
+        drop(drained_tx); // disconnects the grace guard's recv — drain done
+        let _ = grace_guard.join();
+        stopped.store(true, Ordering::SeqCst);
+        if let Some(w) = watchdog {
+            let _ = w.join();
+        }
+        // "Forced" means the drain itself was not clean: the grace
+        // period expired, or the watchdog had to shoot in-flight work
+        // while draining. Watchdog cancels during normal serving are
+        // routine self-healing and do not taint the exit code.
+        let watchdog_cancels = shared.metrics.watchdog_cancel_count();
+        Ok(DrainReport {
+            forced: forced.load(Ordering::SeqCst) || watchdog_cancels > cancels_before_drain,
+            watchdog_cancels,
+        })
     }
 }
 
@@ -438,8 +653,16 @@ fn reject_connection(shared: &Shared, mut conn: TcpStream) {
     shared.metrics.record_rejected();
     shared.metrics.record_request("other", 429);
     let _ = conn.set_write_timeout(Some(Duration::from_millis(200)));
+    // Retry-After tracks reality: current backlog over the recently
+    // observed drain rate, clamped to 1..=30s — a deep queue behind a
+    // slow drain tells clients to back off longer than a blip does.
+    let retry_after = compute_retry_after(
+        shared.queue.depth() as u64,
+        shared.drain_rate.per_second(),
+        shared.config.workers,
+    );
     let resp = Response::json(429, error_body("admission queue full; retry shortly"))
-        .with_header("Retry-After", "1");
+        .with_header("Retry-After", retry_after.to_string());
     write_response(&mut conn, &resp);
     // Signal end-of-response, then drain what the client already sent:
     // closing a socket with unread bytes in the receive buffer sends
@@ -460,6 +683,13 @@ fn reject_connection(shared: &Shared, mut conn: TcpStream) {
 fn worker_loop(shared: &Shared) {
     while let Some((mut conn, depth)) = shared.queue.pop() {
         shared.metrics.set_queue_depth(depth);
+        shared.drain_rate.record();
+        // Chaos hook: a slow/stalled client connection. Sits in front
+        // of `read_request` so the read deadline machinery is what gets
+        // exercised, exactly as a real trickling client would.
+        if qrel_faults::armed() {
+            qrel_faults::maybe_stall(qrel_faults::points::SERVE_CONN_SLOW_READ);
+        }
         let req = match read_request(
             &mut conn,
             shared.config.max_body_bytes,
@@ -480,8 +710,16 @@ fn worker_loop(shared: &Shared) {
         };
         // A panicking route must never take the worker down with it.
         let path = req.path.clone();
-        let resp = catch_unwind(AssertUnwindSafe(|| route(shared, &req)))
-            .unwrap_or_else(|_| Response::json(500, error_body("internal error")));
+        let resp = catch_unwind(AssertUnwindSafe(|| {
+            // Chaos hook: a worker panicking mid-request. Inside the
+            // catch so the contract under test is "panic becomes a
+            // tagged 500, worker survives".
+            if qrel_faults::armed() {
+                qrel_faults::maybe_panic(qrel_faults::points::SERVE_WORKER_PANIC);
+            }
+            route(shared, &req)
+        }))
+        .unwrap_or_else(|_| Response::json(500, error_body("internal error")));
         shared.metrics.record_request(&path, resp.status);
         write_response(&mut conn, &resp);
     }
@@ -490,7 +728,7 @@ fn worker_loop(shared: &Shared) {
 fn route(shared: &Shared, req: &Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => healthz(shared),
-        ("GET", "/metrics") => Response::text(200, shared.metrics.render()),
+        ("GET", "/metrics") => Response::text(200, render_metrics(shared)),
         ("POST", "/v1/solve") => solve(shared, &req.body),
         (_, "/healthz") | (_, "/metrics") | (_, "/v1/solve") => {
             Response::json(405, error_body("method not allowed"))
@@ -502,8 +740,12 @@ fn route(shared: &Shared, req: &Request) -> Response {
 fn healthz(shared: &Shared) -> Response {
     let mut names: Vec<&String> = shared.datasets.keys().collect();
     names.sort();
+    let state = HealthState::derive(
+        shared.shutdown.load(Ordering::SeqCst),
+        shared.breakers.any_open(),
+    );
     let body = Value::Object(vec![
-        ("status".into(), Value::Str("ok".into())),
+        ("status".into(), Value::Str(state.as_str().into())),
         (
             "datasets".into(),
             Value::Array(names.into_iter().map(|n| Value::Str(n.clone())).collect()),
@@ -603,20 +845,59 @@ fn solve(shared: &Shared, body: &[u8]) -> Response {
     }
     shared.metrics.record_cache(false);
 
+    // Circuit breaker: while this method's rung is known-bad, refuse up
+    // front with 503 instead of burning a worker on it. (Cache hits are
+    // served above regardless — they involve no solve.)
+    if let Admission::Rejected { retry_after_secs } = shared.breakers.admit(req.method) {
+        return Response::json(
+            503,
+            error_body(&format!(
+                "circuit open for method \"{}\"; retry shortly",
+                req.method.name()
+            )),
+        )
+        .with_header("Retry-After", retry_after_secs.to_string());
+    }
+
     let timeout = req.timeout_ms.unwrap_or(shared.config.default_timeout_ms);
+    // Each request gets a private cancel token so the stuck-worker
+    // watchdog (and the drain escalation) can shoot exactly the solves
+    // that are overdue, not everything in flight.
+    let token = CancelToken::new();
+    if shared.hard_cancelled.load(Ordering::SeqCst) {
+        token.cancel();
+    }
     let budget = Budget::with_deadline_from_now(Duration::from_millis(timeout))
-        .with_cancel_token(shared.cancel.clone());
-    let solver = Solver::new()
+        .with_cancel_token(token.clone());
+    let mut solver = Solver::new()
         .with_method(req.method)
         .with_accuracy(req.eps, req.delta)
         .with_seed(req.seed)
         .with_threads(shared.config.solver_threads);
+    if !shared.config.self_heal {
+        solver = solver.with_rung_retries(0);
+    }
     let query = FoQuery::with_free_order(formula, free);
     let started = Instant::now();
+    let hard_deadline =
+        started + Duration::from_millis(timeout) + shared.config.watchdog_period;
+    let inflight_id = shared.inflight.register(token, hard_deadline);
+    let _inflight = InFlightGuard {
+        registry: &shared.inflight,
+        id: inflight_id,
+    };
     match solver.solve(ud, &query, &budget) {
         Ok(report) => {
             let elapsed = started.elapsed();
             shared.metrics.record_solve(report.method, elapsed);
+            // Breaker accounting: a healed rung panic still answers
+            // correctly, but a flapping rung is flapping — it counts
+            // toward opening the circuit.
+            if report.trace.iter().any(|s| s.note.contains("panicked")) {
+                shared.breakers.record_failure(req.method);
+            } else {
+                shared.breakers.record_success(req.method);
+            }
             let bytes = solve_response_body(&report);
             if is_deterministic(&report) {
                 shared.cache.insert(key, Arc::new(bytes.clone()));
@@ -628,7 +909,16 @@ fn solve(shared: &Shared, body: &[u8]) -> Response {
         // The solver errors only when *nothing* produced an estimate —
         // an unsupported fragment, a hard eval failure, or a budget too
         // small to start. The request was well-formed JSON, so: 422.
-        Err(e) => Response::json(422, error_body(&e.to_string())),
+        Err(e) => {
+            if matches!(e, QrelError::RungPanic(_)) {
+                shared.breakers.record_failure(req.method);
+            } else {
+                // Deadline trips, cancellations, and user-fault errors
+                // say nothing about the rung's health.
+                shared.breakers.record_neutral(req.method);
+            }
+            Response::json(422, error_body(&e.to_string()))
+        }
     }
 }
 
@@ -684,6 +974,26 @@ mod tests {
         .unwrap();
         let addr = server.local_addr();
         let handle = server.handle();
+        let join = std::thread::spawn(move || {
+            server.run().unwrap();
+        });
+        (addr, handle, join)
+    }
+
+    fn boot_drain(
+        config: ServerConfig,
+    ) -> (
+        SocketAddr,
+        ServerHandle,
+        std::thread::JoinHandle<DrainReport>,
+    ) {
+        let server = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            ..config
+        })
+        .unwrap();
+        let addr = server.local_addr();
+        let handle = server.handle();
         let join = std::thread::spawn(move || server.run().unwrap());
         (addr, handle, join)
     }
@@ -701,6 +1011,9 @@ mod tests {
 
     #[test]
     fn healthz_and_metrics_respond() {
+        // Hold the fault session so a concurrently running
+        // fault-armed test cannot inject into this server.
+        let _quiet = qrel_faults::quiesce();
         let (addr, handle, join) = boot(example_config());
         let (status, _, body) = http(addr, "GET", "/healthz", "");
         assert_eq!(status, 200);
@@ -715,6 +1028,9 @@ mod tests {
 
     #[test]
     fn solve_and_cache_round_trip() {
+        // Hold the fault session so a concurrently running
+        // fault-armed test cannot inject into this server.
+        let _quiet = qrel_faults::quiesce();
         let (addr, handle, join) = boot(example_config());
         let body = r#"{"dataset":"example","query":"exists x. Admin(x)","method":"exact"}"#;
         let (s1, h1, b1) = http(addr, "POST", "/v1/solve", body);
@@ -731,6 +1047,9 @@ mod tests {
 
     #[test]
     fn unknown_paths_and_methods() {
+        // Hold the fault session so a concurrently running
+        // fault-armed test cannot inject into this server.
+        let _quiet = qrel_faults::quiesce();
         let (addr, handle, join) = boot(example_config());
         assert_eq!(http(addr, "GET", "/nope", "").0, 404);
         assert_eq!(http(addr, "GET", "/v1/solve", "").0, 405);
@@ -764,6 +1083,9 @@ mod tests {
 
     #[test]
     fn graceful_shutdown_drains_in_flight_requests() {
+        // Hold the fault session so a concurrently running
+        // fault-armed test cannot inject into this server.
+        let _quiet = qrel_faults::quiesce();
         // One worker so the in-flight request is unambiguous.
         let (addr, handle, join) = boot(ServerConfig {
             workers: 1,
@@ -781,6 +1103,9 @@ mod tests {
 
     #[test]
     fn backpressure_rejects_with_429_when_saturated() {
+        // Hold the fault session so a concurrently running
+        // fault-armed test cannot inject into this server.
+        let _quiet = qrel_faults::quiesce();
         let (addr, handle, join) = boot(ServerConfig {
             workers: 1,
             queue_cap: 1,
@@ -807,7 +1132,13 @@ mod tests {
         assert!(served >= 1, "nothing was served: {results:?}");
         for (status, headers, _) in &results {
             if *status == 429 {
-                assert_eq!(header(headers, "Retry-After"), Some("1"));
+                // Retry-After is computed from queue depth and drain
+                // rate, not hardcoded; the contract is the clamp range.
+                let secs: u64 = header(headers, "Retry-After")
+                    .expect("429 carries Retry-After")
+                    .parse()
+                    .expect("Retry-After is an integer");
+                assert!((1..=30).contains(&secs), "Retry-After = {secs}");
             }
         }
         handle.shutdown();
@@ -815,5 +1146,154 @@ mod tests {
         // The rejection is visible in the metrics text.
         assert!(handle.metrics_text().contains("qrel_rejected_total"));
         assert!(handle.shared.metrics.rejected_count() >= 1);
+    }
+
+    #[test]
+    fn worker_panic_fault_becomes_tagged_500_and_worker_survives() {
+        let plan = qrel_faults::FaultPlan::new(0xFA17).with_rule(
+            qrel_faults::points::SERVE_WORKER_PANIC,
+            1.0,
+            0,
+            2, // exactly the first two requests panic
+        );
+        let guard = plan.arm();
+        let (addr, handle, join) = boot(ServerConfig {
+            workers: 1,
+            ..example_config()
+        });
+        // Both injected panics come back as explicit 500s...
+        assert_eq!(http(addr, "GET", "/healthz", "").0, 500);
+        assert_eq!(http(addr, "GET", "/healthz", "").0, 500);
+        // ...and the single worker is still alive to serve the third.
+        let (status, _, body) = http(addr, "GET", "/healthz", "");
+        assert_eq!(status, 200, "{body}");
+        drop(guard);
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn persistent_rung_panics_open_the_circuit_and_healthz_degrades() {
+        let plan = qrel_faults::FaultPlan::new(0xB12E)
+            .with_rule(&qrel_faults::points::rung_panic("exact"), 1.0, 0, 0);
+        let _guard = plan.arm();
+        let (addr, handle, join) = boot(ServerConfig {
+            workers: 1,
+            breaker_threshold: 2,
+            breaker_cooldown: Duration::from_secs(60),
+            ..example_config()
+        });
+        // Retries are exhausted by the always-on panic fault, the exact
+        // rung has no fallback under a forced method, so each request
+        // fails; two of them trip the breaker.
+        let body = r#"{"dataset":"example","query":"exists x. Admin(x)","method":"exact"}"#;
+        for want_seed in 0..2u64 {
+            let body = format!(
+                r#"{{"dataset":"example","query":"exists x. Admin(x)","method":"exact","seed":{want_seed}}}"#
+            );
+            let (status, _, resp) = http(addr, "POST", "/v1/solve", &body);
+            assert_eq!(status, 422, "{resp}");
+            assert!(resp.contains("panicked"), "{resp}");
+        }
+        // Circuit open: refused up front with 503 + Retry-After.
+        let (status, headers, resp) = http(addr, "POST", "/v1/solve", body);
+        assert_eq!(status, 503, "{resp}");
+        assert!(header(&headers, "Retry-After").is_some());
+        assert!(resp.contains("circuit open"), "{resp}");
+        // The health surface reflects it.
+        let (_, _, health) = http(addr, "GET", "/healthz", "");
+        assert!(health.contains("\"status\":\"degraded\""), "{health}");
+        assert_eq!(handle.health(), "degraded");
+        // Other methods are unaffected by the exact rung's circuit.
+        let (status, _, resp) = http(
+            addr,
+            "POST",
+            "/v1/solve",
+            r#"{"dataset":"example","query":"exists x. Admin(x)","method":"mc"}"#,
+        );
+        assert_eq!(status, 200, "{resp}");
+        let metrics = handle.metrics_text();
+        assert!(
+            metrics.contains("qrel_circuit_state{method=\"exact\"} 1"),
+            "{metrics}"
+        );
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn watchdog_hard_cancels_a_stuck_solve() {
+        // A 900ms injected stall inside the exact rung wedges the solve
+        // well past its 100ms deadline; the watchdog (50ms period) must
+        // shoot it, and the request still gets an answer instead of
+        // hanging until the stall ends... the stall itself is not
+        // interruptible, but the budget observes the cancellation at
+        // the next probe, so the response arrives right after.
+        let plan = qrel_faults::FaultPlan::new(0x57A1)
+            .with_rule(&qrel_faults::points::rung_stall("exact"), 1.0, 900, 1);
+        let _guard = plan.arm();
+        let (addr, handle, join) = boot_drain(ServerConfig {
+            workers: 1,
+            watchdog_period: Duration::from_millis(50),
+            ..example_config()
+        });
+        let started = Instant::now();
+        let (status, _, body) = http(
+            addr,
+            "POST",
+            "/v1/solve",
+            r#"{"dataset":"example","query":"exists x. Admin(x)","method":"exact","timeout_ms":100}"#,
+        );
+        let elapsed = started.elapsed();
+        // The answer is an explicit outcome (degraded 200 or tagged
+        // 422), never a hang: the stall bounds the response time.
+        assert!(status == 200 || status == 422, "{status}: {body}");
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "request took {elapsed:?}"
+        );
+        assert!(handle.watchdog_cancels() >= 1, "watchdog never fired");
+        handle.shutdown();
+        let report = join.join().unwrap();
+        assert_eq!(report.watchdog_cancels, handle.watchdog_cancels());
+        // The cancel happened during serving, not during the drain.
+        assert!(!report.forced, "{report:?}");
+    }
+
+    #[test]
+    fn clean_drain_reports_unforced() {
+        // Hold the fault session so a concurrently running
+        // fault-armed test cannot inject into this server.
+        let _quiet = qrel_faults::quiesce();
+        let (addr, handle, join) = boot_drain(example_config());
+        assert_eq!(http(addr, "GET", "/healthz", "").0, 200);
+        handle.shutdown();
+        let report = join.join().unwrap();
+        assert!(!report.forced);
+        assert_eq!(report.watchdog_cancels, 0);
+    }
+
+    #[test]
+    fn self_heal_off_disables_breakers_and_watchdog() {
+        let plan = qrel_faults::FaultPlan::new(0x0FF)
+            .with_rule(&qrel_faults::points::rung_panic("exact"), 1.0, 0, 0);
+        let _guard = plan.arm();
+        let (addr, handle, join) = boot(ServerConfig {
+            workers: 1,
+            self_heal: false,
+            breaker_threshold: 1,
+            ..example_config()
+        });
+        // Every request fails (no retries), but the breaker never
+        // opens: the "before" arm keeps failing loudly instead.
+        let body = r#"{"dataset":"example","query":"exists x. Admin(x)","method":"exact"}"#;
+        for _ in 0..3 {
+            let (status, _, resp) = http(addr, "POST", "/v1/solve", body);
+            assert_eq!(status, 422, "{resp}");
+        }
+        let (_, _, health) = http(addr, "GET", "/healthz", "");
+        assert!(health.contains("\"status\":\"ok\""), "{health}");
+        handle.shutdown();
+        join.join().unwrap();
     }
 }

@@ -14,6 +14,7 @@
 //! qrel fuzz        [--seeds N] [--budget-ms M] [--start-seed S]
 //!                  [--eps E] [--delta D] [--corpus DIR] [--families f1,f2]
 //!                  [--sample true|false] [--serve true|false]
+//!                  [--chaos true|false] [--chaos-pairs N] [--chaos-timeout-ms T]
 //! qrel example-spec
 //! qrel version
 //! ```
@@ -128,7 +129,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             print_version();
             Ok(ExitCode::SUCCESS)
         }
-        "serve" => cmd_serve(&opts).map(|()| ExitCode::SUCCESS),
+        "serve" => cmd_serve(&opts),
         "fuzz" => cmd_fuzz(&opts),
         "check" => cmd_check(&opts).map(|()| ExitCode::SUCCESS),
         "worlds" => cmd_worlds(&opts).map(|()| ExitCode::SUCCESS),
@@ -157,10 +158,16 @@ fn print_help() {
          \x20 marginals    --db spec.json --query Q [--free x,y]\n\
          \x20 serve        [--addr HOST:PORT] [--workers N] [--queue-cap N]\n\
          \x20              [--cache-mb MB] [--preload spec.json,spec2.json]\n\
+         \x20              [--shutdown-grace-ms T] [--self-heal true|false]\n\
+         \x20              [--breaker-threshold N] [--watchdog-ms T]\n\
+         \x20              (exit 3 when the shutdown drain had to force-cancel work)\n\
          \x20 fuzz         [--seeds N] [--budget-ms M] [--start-seed S]\n\
          \x20              [--eps E] [--delta D] [--corpus DIR] [--families f1,f2]\n\
          \x20              [--sample true|false] [--serve true|false]\n\
+         \x20              [--chaos true|false] [--chaos-pairs N] [--chaos-timeout-ms T]\n\
          \x20              (differential+metamorphic oracle across every engine;\n\
+         \x20               --chaos round-trips pairs with a seeded fault plan armed\n\
+         \x20               and asserts the fail-closed invariant;\n\
          \x20               exit 1 + shrunk repro path on any discrepancy)\n\
          \x20 example-spec\n\
          \x20 version\n\n\
@@ -178,7 +185,7 @@ fn print_version() {
     }
 }
 
-fn cmd_serve(opts: &Options) -> Result<(), String> {
+fn cmd_serve(opts: &Options) -> Result<ExitCode, String> {
     let mut config = qrel::serve::ServerConfig::default();
     if let Some(addr) = opts.get("addr") {
         config.addr = addr.to_string();
@@ -193,6 +200,16 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
             .map(|p| std::path::PathBuf::from(p.trim()))
             .collect();
     }
+    let grace_ms = opts.get_u64(
+        "shutdown-grace-ms",
+        config.shutdown_grace.as_millis() as u64,
+    )?;
+    config.shutdown_grace = std::time::Duration::from_millis(grace_ms);
+    config.self_heal = parse_bool(opts, "self-heal", config.self_heal)?;
+    config.breaker_threshold =
+        opts.get_u64("breaker-threshold", config.breaker_threshold as u64)? as u32;
+    let watchdog_ms = opts.get_u64("watchdog-ms", config.watchdog_period.as_millis() as u64)?;
+    config.watchdog_period = std::time::Duration::from_millis(watchdog_ms);
     qrel::serve::install_shutdown_signals();
     let server = qrel::serve::Server::bind(config).map_err(|e| e.to_string())?;
     println!("qrel-serve listening on http://{}", server.local_addr());
@@ -201,7 +218,17 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         println!("preloaded datasets: {}", names.join(", "));
     }
     println!("endpoints: POST /v1/solve, GET /healthz, GET /metrics");
-    server.run().map_err(|e| e.to_string())
+    let report = server.run().map_err(|e| e.to_string())?;
+    if report.forced {
+        // Forced drain: grace expired or the watchdog shot in-flight
+        // work while draining. Distinguishable from a clean exit.
+        eprintln!(
+            "drain was forced ({} watchdog cancels)",
+            report.watchdog_cancels
+        );
+        return Ok(ExitCode::from(3));
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn parse_bool(opts: &Options, name: &str, default: bool) -> Result<bool, String> {
@@ -266,6 +293,33 @@ fn cmd_fuzz(opts: &Options) -> Result<ExitCode, String> {
         );
         for m in &serve.mismatches {
             println!("  DISCREPANCY [{}] {}", m.check, m.detail);
+            clean = false;
+        }
+    }
+
+    if parse_bool(opts, "chaos", false)? {
+        // Chaos mode: same round trip, but with a seeded fault plan
+        // armed per pair. The server must stay fail-closed: bit-identical
+        // answers or explicitly tagged degradation/errors, and no request
+        // outliving its deadline past the watchdog + injected stalls.
+        let chaos_cfg = qrel::oracle::ChaosConfig {
+            pairs: opts.get_u64("chaos-pairs", 500)?,
+            start_seed: cfg.start_seed,
+            timeout_ms: opts.get_u64("chaos-timeout-ms", 2_000)?,
+            corpus_dir: cfg.corpus_dir.clone(),
+        };
+        let chaos = qrel::oracle::run_chaos(&chaos_cfg);
+        println!(
+            "chaos: {} (case, plan) pairs, {} violations",
+            chaos.pairs,
+            chaos.violations.len()
+        );
+        for v in &chaos.violations {
+            println!("  VIOLATION [{}] {}", v.kind, v.detail);
+            println!("    plan: {}", v.plan.to_json());
+            if let Some(p) = &v.path {
+                println!("    repro: {}", p.display());
+            }
             clean = false;
         }
     }

@@ -16,11 +16,20 @@ fn corpus_dir() -> PathBuf {
 }
 
 /// Every `.json` file in the corpus, sorted for stable output.
+///
+/// Chaos repros (`chaos-*.json`, written by `qrel fuzz --chaos`) are
+/// skipped: they wrap the case in a `{check, plan, case}` envelope so
+/// the fault plan replays alongside the instance, and are re-run by
+/// the chaos harness rather than the plain differential oracle.
 fn corpus_cases() -> Vec<(String, FuzzCase)> {
     let mut entries: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
         .expect("tests/corpus must exist")
         .map(|e| e.expect("readable dir entry").path())
         .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .filter(|p| {
+            !p.file_name()
+                .is_some_and(|n| n.to_string_lossy().starts_with("chaos-"))
+        })
         .collect();
     entries.sort();
     entries
