@@ -54,6 +54,12 @@ pub mod points {
     pub const CACHE_REPLY_POISON: &str = "cache.reply.poison";
     /// Reject a budget charge that should have been admitted.
     pub const BUDGET_SPURIOUS_TRIP: &str = "budget.charge.spurious_trip";
+    /// Make a scheduler submit report a full queue despite capacity
+    /// remaining (spurious 429 upstream).
+    pub const SCHED_QUEUE_SPURIOUS_FULL: &str = "sched.queue.spurious_full";
+    /// Stall a scheduler worker for `delay_ms` just before it executes
+    /// a job.
+    pub const SCHED_WORKER_STALL: &str = "sched.worker.stall";
 
     /// The full point name for a runtime rung panic.
     pub fn rung_panic(method: &str) -> String {

@@ -112,7 +112,7 @@ pub fn sample_plan(seed: u64) -> FaultPlan {
         s % n
     };
     // (point, is_stall) menu; `exact` is the only rung chaos requests run.
-    let menu: [(String, bool); 7] = [
+    let menu: [(String, bool); 9] = [
         (points::SERVE_WORKER_PANIC.into(), false),
         (points::SERVE_CONN_SLOW_READ.into(), true),
         (points::rung_panic("exact"), false),
@@ -120,12 +120,14 @@ pub fn sample_plan(seed: u64) -> FaultPlan {
         (points::PAR_SHARD_STALL.into(), true),
         (points::CACHE_REPLY_POISON.into(), false),
         (points::BUDGET_SPURIOUS_TRIP.into(), false),
+        (points::SCHED_QUEUE_SPURIOUS_FULL.into(), false),
+        (points::SCHED_WORKER_STALL.into(), true),
     ];
     let mut plan = FaultPlan::new(seed);
     let rules = 1 + draw(3);
-    let mut used = [false; 7];
+    let mut used = [false; 9];
     for _ in 0..rules {
-        let idx = draw(7) as usize;
+        let idx = draw(9) as usize;
         if used[idx] {
             continue;
         }

@@ -29,8 +29,17 @@ pub struct ServeReport {
 }
 
 pub(crate) fn post_solve(addr: SocketAddr, body: &str) -> Result<(u16, String, bool), String> {
+    http_request(addr, "POST", "/v1/solve", body)
+}
+
+pub(crate) fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<(u16, String, bool), String> {
     let raw = format!(
-        "POST /v1/solve HTTP/1.1\r\nHost: fuzz\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: fuzz\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
     );
     let mut conn = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
@@ -53,6 +62,112 @@ pub(crate) fn post_solve(addr: SocketAddr, body: &str) -> Result<(u16, String, b
         .lines()
         .any(|l| l.to_ascii_lowercase().starts_with("x-qrel-cache: hit"));
     Ok((status, resp_body.to_string(), cache_hit))
+}
+
+/// Pull a `"field":<digits>` value out of a flat JSON body.
+fn json_u64(body: &str, field: &str) -> Option<u64> {
+    let needle = format!("\"{field}\":");
+    let at = body.find(&needle)? + needle.len();
+    let digits: String = body[at..].chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// Pull a `"field":"<string>"` value out of a flat JSON body.
+fn json_str(body: &str, field: &str) -> Option<String> {
+    let needle = format!("\"{field}\":\"");
+    let at = body.find(&needle)? + needle.len();
+    Some(body[at..].split('"').next()?.to_string())
+}
+
+/// Submit `body` via `POST /v1/jobs`, poll the job to a terminal state,
+/// then fetch its stored result twice — both fetches must be 200 and
+/// byte-identical to `expected`. Returns the first failure found.
+fn job_round_trip(addr: SocketAddr, body: &str, expected: &str, case: &FuzzCase) -> Option<Failure> {
+    let (status, receipt, _) = match http_request(addr, "POST", "/v1/jobs", body) {
+        Ok(r) => r,
+        Err(e) => {
+            return Some(Failure {
+                check: "serve-transport".into(),
+                detail: format!("{case}: job submit: {e}"),
+            })
+        }
+    };
+    if status != 202 {
+        return Some(Failure {
+            check: "serve-job-status".into(),
+            detail: format!("{case}: job submit got HTTP {status}: {receipt}"),
+        });
+    }
+    let Some(id) = json_u64(&receipt, "job_id") else {
+        return Some(Failure {
+            check: "serve-job-status".into(),
+            detail: format!("{case}: job receipt has no job_id: {receipt}"),
+        });
+    };
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, snap, _) =
+            match http_request(addr, "GET", &format!("/v1/jobs/{id}"), "") {
+                Ok(r) => r,
+                Err(e) => {
+                    return Some(Failure {
+                        check: "serve-transport".into(),
+                        detail: format!("{case}: job poll: {e}"),
+                    })
+                }
+            };
+        if status != 200 {
+            return Some(Failure {
+                check: "serve-job-status".into(),
+                detail: format!("{case}: job poll got HTTP {status}: {snap}"),
+            });
+        }
+        match json_str(&snap, "state").as_deref() {
+            Some("done") => break,
+            Some("failed") | Some("cancelled") => {
+                return Some(Failure {
+                    check: "serve-job-status".into(),
+                    detail: format!("{case}: job ended abnormally: {snap}"),
+                })
+            }
+            _ if std::time::Instant::now() >= deadline => {
+                return Some(Failure {
+                    check: "serve-job-status".into(),
+                    detail: format!("{case}: job did not finish in 30s: {snap}"),
+                })
+            }
+            _ => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+
+    for fetch in 0..2 {
+        match http_request(addr, "GET", &format!("/v1/jobs/{id}/result"), "") {
+            Ok((200, got, _)) => {
+                if got != expected {
+                    return Some(Failure {
+                        check: "serve-job-bitdiff".into(),
+                        detail: format!(
+                            "{case}: job result (fetch {fetch}) != library: {got} vs {expected}"
+                        ),
+                    });
+                }
+            }
+            Ok((status, got, _)) => {
+                return Some(Failure {
+                    check: "serve-job-status".into(),
+                    detail: format!("{case}: job result got HTTP {status}: {got}"),
+                })
+            }
+            Err(e) => {
+                return Some(Failure {
+                    check: "serve-transport".into(),
+                    detail: format!("{case}: job result: {e}"),
+                })
+            }
+        }
+    }
+    None
 }
 
 /// Round-trip every query case in `cases` through an in-process server.
@@ -141,6 +256,24 @@ pub fn serve_round_trip(cases: &[FuzzCase]) -> Result<ServeReport, String> {
                     });
                     break;
                 }
+            }
+        }
+
+        // The asynchronous job path must agree byte-for-byte too. A bumped
+        // seed forces a cache miss (exact reports are seed-independent, so
+        // the library mirror still applies) and therefore a live scheduler
+        // execution; the second pass lands on the stored result and must
+        // replay the same bytes.
+        let job_body = format!(
+            "{{\"db\":{},\"query\":{},\"method\":\"exact\",\"seed\":{}}}",
+            serde_json::to_string(spec).map_err(|e| e.to_string())?,
+            serde_json::to_string(query).map_err(|e| e.to_string())?,
+            case.seed.wrapping_add(1)
+        );
+        for _pass in 0..2 {
+            if let Some(failure) = job_round_trip(addr, &job_body, &expected, case) {
+                report.mismatches.push(failure);
+                break;
             }
         }
     }

@@ -26,6 +26,48 @@ use crate::report::{Confidence, Method, SolveReport, TraceStep};
 /// databases in `data/`.
 pub const DEFAULT_MAX_EXACT_WORLDS: u64 = 1 << 14;
 
+/// A progress event emitted by the ladder while a solve is in flight.
+///
+/// Events fire at the start of every rung attempt and after its
+/// outcome, so an observer (the serve job scheduler, a CLI spinner)
+/// can report where a long solve currently is without polling.
+#[derive(Debug, Clone)]
+pub struct ProgressEvent {
+    /// Zero-based rung index in the ladder.
+    pub rung: usize,
+    /// Ladder length.
+    pub of: usize,
+    pub method: Method,
+    /// 1-based attempt number (retries increment this).
+    pub attempt: u32,
+    /// `None` when the attempt starts; the trace note once it ends.
+    pub note: Option<String>,
+}
+
+/// A shareable observer for [`ProgressEvent`]s.
+///
+/// Wraps the callback in an [`Arc`] so [`Solver`] stays `Clone`, with a
+/// manual `Debug` (closures have none). The hook runs on the solving
+/// thread — keep it cheap.
+#[derive(Clone)]
+pub struct ProgressHook(std::sync::Arc<dyn Fn(ProgressEvent) + Send + Sync>);
+
+impl ProgressHook {
+    pub fn new(f: impl Fn(ProgressEvent) + Send + Sync + 'static) -> Self {
+        ProgressHook(std::sync::Arc::new(f))
+    }
+
+    fn emit(&self, event: ProgressEvent) {
+        (self.0)(event)
+    }
+}
+
+impl std::fmt::Debug for ProgressHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ProgressHook(..)")
+    }
+}
+
 /// A candidate answer produced by one ladder rung.
 #[derive(Debug, Clone)]
 struct Answer {
@@ -65,6 +107,7 @@ pub struct Solver {
     seed: u64,
     threads: Option<usize>,
     rung_retries: u32,
+    progress: Option<ProgressHook>,
 }
 
 impl Default for Solver {
@@ -77,6 +120,7 @@ impl Default for Solver {
             seed: 0x5EED,
             threads: None,
             rung_retries: MAX_RUNG_RETRIES,
+            progress: None,
         }
     }
 }
@@ -134,6 +178,13 @@ impl Solver {
         self
     }
 
+    /// Observe [`ProgressEvent`]s while a solve is in flight (rung
+    /// starts and outcomes). The hook never affects the answer.
+    pub fn with_progress(mut self, hook: ProgressHook) -> Self {
+        self.progress = Some(hook);
+        self
+    }
+
     /// Solve for the reliability of `query` on `ud` within `budget`.
     ///
     /// Returns `Err` only when *no* rung produced even a partial
@@ -164,6 +215,7 @@ impl Solver {
             let rung_seed = split_seed(self.seed, i as u64);
             let mut attempt: u32 = 0;
             loop {
+                self.emit_progress(i, ladder.len(), method, attempt + 1, None);
                 let slice = slice_budget(budget, last);
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     self.run_rung(method, ud, query, &slice, rung_seed, threads)
@@ -171,10 +223,18 @@ impl Solver {
                 settle(budget, &slice);
                 match outcome {
                     Ok(Ok(Rung::Done(answer, note))) => {
+                        self.emit_progress(i, ladder.len(), method, attempt + 1, Some(&note));
                         trace.push(TraceStep { method, note });
                         return Ok(self.report(answer, method, trace, budget));
                     }
                     Ok(Ok(Rung::Degraded(answer, cause))) => {
+                        self.emit_progress(
+                            i,
+                            ladder.len(),
+                            method,
+                            attempt + 1,
+                            Some(&cause.to_string()),
+                        );
                         trace.push(TraceStep {
                             method,
                             note: cause.to_string(),
@@ -209,6 +269,13 @@ impl Solver {
                         // `&*panic`, not `&panic`: coercing the Box
                         // itself to `dyn Any` would hide the payload.
                         let msg = panic_message(&*panic);
+                        self.emit_progress(
+                            i,
+                            ladder.len(),
+                            method,
+                            attempt + 1,
+                            Some(&format!("panicked: {msg}")),
+                        );
                         trace.push(TraceStep {
                             method,
                             note: format!("panicked: {msg}"),
@@ -254,6 +321,25 @@ impl Solver {
                         .join("; "),
                 )
             })),
+        }
+    }
+
+    fn emit_progress(
+        &self,
+        rung: usize,
+        of: usize,
+        method: Method,
+        attempt: u32,
+        note: Option<&str>,
+    ) {
+        if let Some(hook) = &self.progress {
+            hook.emit(ProgressEvent {
+                rung,
+                of,
+                method,
+                attempt,
+                note: note.map(str::to_string),
+            });
         }
     }
 
@@ -936,6 +1022,29 @@ mod tests {
         if let Ok(report) = result {
             assert!((0.0..=1.0).contains(&report.reliability));
         }
+    }
+
+    #[test]
+    fn progress_hook_observes_rung_attempts() {
+        // Serialize against fault-armed tests (arming is process-global).
+        let _quiet = qrel_faults::quiesce();
+        let ud = small_ud();
+        let q = FoQuery::parse("exists x. S(x)").unwrap();
+        let events = std::sync::Arc::new(std::sync::Mutex::new(Vec::<ProgressEvent>::new()));
+        let sink = std::sync::Arc::clone(&events);
+        let report = Solver::new()
+            .with_progress(ProgressHook::new(move |e| sink.lock().unwrap().push(e)))
+            .solve(&ud, &q, &Budget::unlimited())
+            .unwrap();
+        assert_eq!(report.method, Method::Exact);
+        let events = events.lock().unwrap();
+        // One start event (note: None) and one outcome event per rung
+        // attempt; the single exact rung completes on its first try.
+        assert_eq!(events.len(), 2, "events: {events:?}");
+        assert_eq!(events[0].attempt, 1);
+        assert!(events[0].note.is_none());
+        assert_eq!(events[1].method, Method::Exact);
+        assert!(events[1].note.as_deref().unwrap().contains("completed"));
     }
 
     #[test]

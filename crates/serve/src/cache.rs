@@ -71,6 +71,14 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 impl CacheKey {
+    /// Stable 64-bit fingerprint over every field. The scheduler uses
+    /// it as the coalesce key: two requests with the same fingerprint
+    /// are cache-equivalent, so while one is queued or running the
+    /// other can join its job group instead of solving again.
+    pub fn fingerprint(&self) -> u64 {
+        self.stable_hash()
+    }
+
     /// Stable shard/bucket hash over every field.
     fn stable_hash(&self) -> u64 {
         let mut buf = Vec::with_capacity(64 + self.query.len());

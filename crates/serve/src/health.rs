@@ -361,12 +361,20 @@ impl RateEstimator {
     }
 }
 
-/// The `Retry-After` a backpressure rejection should carry: queue depth
-/// over the recent drain rate, floored by assuming at least the worker
-/// pool drains in parallel, clamped to `1..=30` seconds.
-pub fn compute_retry_after(queue_depth: u64, drain_per_sec: f64, workers: usize) -> u64 {
+/// The `Retry-After` a backpressure rejection should carry: total
+/// backlog (connections waiting in the admission queue *plus* jobs
+/// queued or running in the scheduler — both must drain before a
+/// retried request gets a worker) over the recent drain rate, floored
+/// by assuming at least the worker pool drains in parallel, clamped to
+/// `1..=30` seconds.
+pub fn compute_retry_after(
+    queue_depth: u64,
+    sched_backlog: u64,
+    drain_per_sec: f64,
+    workers: usize,
+) -> u64 {
     let rate = drain_per_sec.max(workers.max(1) as f64 * 0.1).max(0.1);
-    let secs = ((queue_depth + 1) as f64 / rate).ceil() as u64;
+    let secs = ((queue_depth + sched_backlog + 1) as f64 / rate).ceil() as u64;
     secs.clamp(1, 30)
 }
 
@@ -455,14 +463,35 @@ mod tests {
     #[test]
     fn retry_after_scales_with_depth_and_rate() {
         // Shallow queue, healthy drain: bottom of the clamp.
-        assert_eq!(compute_retry_after(0, 50.0, 4), 1);
+        assert_eq!(compute_retry_after(0, 0, 50.0, 4), 1);
         // Deep queue, slow drain: grows, but clamps at 30.
-        let deep = compute_retry_after(64, 2.0, 4);
+        let deep = compute_retry_after(64, 0, 2.0, 4);
         assert!((30..=33).contains(&(deep + 0)), "deep = {deep}");
-        assert_eq!(compute_retry_after(10_000, 0.0, 1), 30);
+        assert_eq!(compute_retry_after(10_000, 0, 0.0, 1), 30);
         // Moderate backlog lands strictly between the clamp ends.
-        let mid = compute_retry_after(20, 4.0, 4);
+        let mid = compute_retry_after(20, 0, 4.0, 4);
         assert!((2..=10).contains(&mid), "mid = {mid}");
+    }
+
+    #[test]
+    fn retry_after_folds_scheduler_backlog_and_stays_clamped() {
+        // Same connection backlog, deeper scheduler backlog: the hint
+        // must not shrink, and a heavy backlog must grow it.
+        let base = compute_retry_after(4, 0, 4.0, 4);
+        let loaded = compute_retry_after(4, 40, 4.0, 4);
+        assert!(loaded >= base, "loaded {loaded} < base {base}");
+        assert!(loaded > base, "scheduler backlog had no effect");
+        // Every corner of the input space respects the 1..=30 clamp.
+        for &conn in &[0u64, 1, 64, 10_000] {
+            for &jobs in &[0u64, 1, 100, 1_000_000] {
+                for &rate in &[0.0, 0.5, 50.0] {
+                    for &workers in &[1usize, 4, 32] {
+                        let secs = compute_retry_after(conn, jobs, rate, workers);
+                        assert!((1..=30).contains(&secs), "retry_after = {secs}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

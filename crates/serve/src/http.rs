@@ -14,12 +14,27 @@ use std::time::Duration;
 /// legitimate client of this API.
 const MAX_HEAD_BYTES: usize = 16 * 1024;
 
-/// A parsed HTTP request: method, path (query string stripped), body.
+/// A parsed HTTP request: method, path (query string stripped),
+/// headers (names lowercased), body.
 #[derive(Debug)]
 pub struct Request {
     pub method: String,
     pub path: String,
+    /// `(name, value)` pairs in arrival order, names lowercased and
+    /// values trimmed. Duplicates are kept; [`Request::header`] returns
+    /// the first.
+    pub headers: Vec<(String, String)>,
     pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of the named header (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// Why a request could not be read. Each variant maps onto one response
@@ -112,16 +127,19 @@ pub fn read_request(
     let path = target.split('?').next().unwrap_or(target).to_string();
 
     let mut content_length = 0usize;
+    let mut headers: Vec<(String, String)> = Vec::new();
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
         };
-        if name.trim().eq_ignore_ascii_case("content-length") {
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
             content_length = value
-                .trim()
                 .parse()
                 .map_err(|_| HttpError::BadRequest("unparseable Content-Length".into()))?;
         }
+        headers.push((name, value));
     }
     // The guard: reject a too-large declaration before reading a single
     // body byte.
@@ -142,7 +160,12 @@ pub fn read_request(
     }
     body.truncate(content_length);
 
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
 }
 
 /// Byte offset of the `\r\n\r\n` head terminator, if present.
@@ -189,10 +212,12 @@ impl Response {
 pub fn status_reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        202 => "Accepted",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        409 => "Conflict",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         429 => "Too Many Requests",
@@ -260,6 +285,19 @@ mod tests {
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/v1/solve");
         assert_eq!(req.body, b"abcd");
+        assert_eq!(req.header("host"), Some("h"));
+    }
+
+    #[test]
+    fn headers_are_case_insensitive_and_trimmed() {
+        let req = parse(
+            b"POST /v1/jobs HTTP/1.1\r\nX-Qrel-Tenant:  acme \r\nContent-Length: 0\r\n\r\n",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.header("x-qrel-tenant"), Some("acme"));
+        assert_eq!(req.header("X-Qrel-Tenant"), Some("acme"));
+        assert_eq!(req.header("absent"), None);
     }
 
     #[test]

@@ -3,14 +3,26 @@
 //! A std-only HTTP/1.1 server (no new dependencies — raw
 //! [`std::net::TcpListener`], a fixed worker thread pool) exposing:
 //!
-//! - `POST /v1/solve` — solve a reliability query against an inline
-//!   [`qrel_prob::UnreliableDatabaseSpec`] or a preloaded dataset,
-//!   answered by [`qrel_runtime::Solver`] under a per-request
+//! - `POST /v1/jobs` — enqueue a reliability solve as an asynchronous
+//!   job on the [`qrel_sched`] scheduler (bounded per-tenant queues,
+//!   priorities, coalescing of cache-equivalent requests), answered
+//!   with a `202` receipt carrying the job id;
+//! - `GET /v1/jobs` / `GET /v1/jobs/{id}` / `GET /v1/jobs/{id}/result`
+//!   / `DELETE /v1/jobs/{id}` — tenant-scoped list, status (with live
+//!   progress), stored-result replay, and cancellation;
+//! - `POST /v1/solve` — the synchronous facade over the same
+//!   scheduler: enqueue and block until terminal. Solves run in
+//!   [`qrel_runtime::Solver`] under a per-request
 //!   [`qrel_budget::Budget`] deadline;
 //! - `GET /healthz` — liveness plus the loaded dataset names;
 //! - `GET /metrics` — Prometheus text: request/status counts, per-rung
 //!   solve counts, latency histogram, cache hits/misses, queue depth,
-//!   backpressure rejections.
+//!   scheduler depth/occupancy/transitions, backpressure rejections.
+//!
+//! Every failure, on every endpoint, is one structured envelope:
+//! `{"error":{"code","message","retryable","retry_after_ms"}}` (see
+//! [`protocol::ErrorEnvelope`]), with `retry_after_ms` mirroring the
+//! `Retry-After` header whenever one is sent.
 //!
 //! Operational properties, in the same spirit as the solver's
 //! degradation ladder (overload degrades service *predictably* instead
@@ -40,8 +52,12 @@ pub mod server;
 
 pub use cache::{canonical_f64_bits, CacheKey, ResultCache};
 pub use health::{compute_retry_after, Admission, BreakerState, Breakers, HealthState};
-pub use metrics::Metrics;
-pub use protocol::{DbRef, SolveRequest};
+pub use metrics::{canonical_endpoint, render_sched, Metrics};
+pub use protocol::{
+    error_body, error_code_for_status, job_accepted_body, job_list_body, job_status_body,
+    solve_response_body, status_is_retryable, DbRef, ErrorEnvelope, SolveRequest,
+};
+pub use qrel_sched::Priority;
 pub use server::{
     canonical_db_hash, install_shutdown_signals, DrainReport, ServeError, Server, ServerConfig,
     ServerHandle,

@@ -12,12 +12,21 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use qrel_runtime::Method;
 
 /// Endpoints tracked as label values (everything else is `other`).
-pub const ENDPOINTS: [&str; 4] = ["/v1/solve", "/healthz", "/metrics", "other"];
+/// Job-instance paths are canonicalized to the `/v1/jobs/{id}` label so
+/// the cardinality stays fixed no matter how many jobs exist.
+pub const ENDPOINTS: [&str; 6] = [
+    "/v1/solve",
+    "/v1/jobs",
+    "/v1/jobs/{id}",
+    "/healthz",
+    "/metrics",
+    "other",
+];
 
 /// Statuses tracked as label values. Anything else lands in a
 /// catch-all `other` column — under fault injection a novel status must
 /// count somewhere, never panic the worker's metrics path.
-pub const STATUSES: [u16; 10] = [200, 400, 404, 405, 408, 413, 422, 429, 500, 503];
+pub const STATUSES: [u16; 12] = [200, 202, 400, 404, 405, 408, 409, 413, 422, 429, 500, 503];
 
 /// Column count for the per-status axis: every tracked status plus the
 /// `other` catch-all.
@@ -35,8 +44,25 @@ pub const RUNGS: [Method; 5] = [
 /// Histogram bucket upper bounds, in seconds.
 pub const LATENCY_BUCKETS: [f64; 9] = [0.0005, 0.001, 0.005, 0.025, 0.1, 0.5, 1.0, 5.0, 30.0];
 
+/// Collapse a request path onto its endpoint label: exact matches keep
+/// their own label, any `/v1/jobs/...` instance path becomes
+/// `/v1/jobs/{id}`, everything else is `other`.
+pub fn canonical_endpoint(path: &str) -> &'static str {
+    if let Some(i) = ENDPOINTS.iter().position(|&e| e == path) {
+        return ENDPOINTS[i];
+    }
+    if path.starts_with("/v1/jobs/") {
+        return "/v1/jobs/{id}";
+    }
+    "other"
+}
+
 fn endpoint_index(path: &str) -> usize {
-    ENDPOINTS.iter().position(|&e| e == path).unwrap_or(3)
+    let label = canonical_endpoint(path);
+    ENDPOINTS
+        .iter()
+        .position(|&e| e == label)
+        .unwrap_or(ENDPOINTS.len() - 1)
 }
 
 fn status_index(status: u16) -> usize {
@@ -218,6 +244,69 @@ impl Metrics {
     }
 }
 
+/// Render a scheduler counter snapshot in the Prometheus text format,
+/// appended to the main registry render. Depth gauges, per-tenant
+/// occupancy, coalesce hits, and every job-state transition counter.
+pub fn render_sched(stats: &qrel_sched::SchedStats) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("# HELP qrel_sched_queued_jobs Job records waiting for a worker.\n");
+    out.push_str("# TYPE qrel_sched_queued_jobs gauge\n");
+    out.push_str(&format!("qrel_sched_queued_jobs {}\n", stats.queued_jobs));
+    out.push_str(
+        "# HELP qrel_sched_queued_groups Distinct executions waiting (coalesced jobs share one).\n",
+    );
+    out.push_str("# TYPE qrel_sched_queued_groups gauge\n");
+    out.push_str(&format!(
+        "qrel_sched_queued_groups {}\n",
+        stats.queued_groups
+    ));
+    out.push_str("# HELP qrel_sched_running_jobs Job records currently executing.\n");
+    out.push_str("# TYPE qrel_sched_running_jobs gauge\n");
+    out.push_str(&format!("qrel_sched_running_jobs {}\n", stats.running_jobs));
+    out.push_str(
+        "# HELP qrel_sched_tenant_jobs Non-terminal jobs per tenant (bounded by the tenant cap).\n",
+    );
+    out.push_str("# TYPE qrel_sched_tenant_jobs gauge\n");
+    for (tenant, n) in &stats.per_tenant {
+        out.push_str(&format!(
+            "qrel_sched_tenant_jobs{{tenant=\"{tenant}\"}} {n}\n"
+        ));
+    }
+    out.push_str(
+        "# HELP qrel_sched_coalesce_hits_total Submits absorbed by an equivalent live job.\n",
+    );
+    out.push_str("# TYPE qrel_sched_coalesce_hits_total counter\n");
+    out.push_str(&format!(
+        "qrel_sched_coalesce_hits_total {}\n",
+        stats.coalesce_hits
+    ));
+    out.push_str(
+        "# HELP qrel_sched_rejected_total Submits refused at the per-tenant queue cap.\n",
+    );
+    out.push_str("# TYPE qrel_sched_rejected_total counter\n");
+    out.push_str(&format!(
+        "qrel_sched_rejected_total {}\n",
+        stats.rejected_full
+    ));
+    out.push_str(
+        "# HELP qrel_sched_jobs_total Job-state transitions, by transition.\n",
+    );
+    out.push_str("# TYPE qrel_sched_jobs_total counter\n");
+    for (transition, n) in [
+        ("enqueued", stats.enqueued_total),
+        ("started", stats.started_total),
+        ("done", stats.done_total),
+        ("failed", stats.failed_total),
+        ("cancelled_queued", stats.cancelled_queued_total),
+        ("cancelled_running", stats.cancelled_running_total),
+    ] {
+        out.push_str(&format!(
+            "qrel_sched_jobs_total{{transition=\"{transition}\"}} {n}\n"
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -261,6 +350,66 @@ mod tests {
         );
         assert!(
             text.contains("qrel_http_requests_total{endpoint=\"other\",status=\"other\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn job_paths_canonicalize_onto_fixed_labels() {
+        assert_eq!(canonical_endpoint("/v1/jobs"), "/v1/jobs");
+        assert_eq!(canonical_endpoint("/v1/jobs/17"), "/v1/jobs/{id}");
+        assert_eq!(canonical_endpoint("/v1/jobs/17/result"), "/v1/jobs/{id}");
+        assert_eq!(canonical_endpoint("/v1/solve"), "/v1/solve");
+        assert_eq!(canonical_endpoint("/v1/jobsx"), "other");
+        let m = Metrics::new();
+        m.record_request("/v1/jobs", 202);
+        m.record_request("/v1/jobs/1", 200);
+        m.record_request("/v1/jobs/2", 200);
+        m.record_request("/v1/jobs/2/result", 409);
+        let text = m.render();
+        assert!(
+            text.contains("qrel_http_requests_total{endpoint=\"/v1/jobs\",status=\"202\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("qrel_http_requests_total{endpoint=\"/v1/jobs/{id}\",status=\"200\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("qrel_http_requests_total{endpoint=\"/v1/jobs/{id}\",status=\"409\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn sched_stats_render_every_series() {
+        let stats = qrel_sched::SchedStats {
+            queued_groups: 2,
+            queued_jobs: 3,
+            running_jobs: 1,
+            coalesce_hits: 4,
+            rejected_full: 5,
+            enqueued_total: 9,
+            started_total: 6,
+            done_total: 5,
+            failed_total: 1,
+            cancelled_queued_total: 2,
+            cancelled_running_total: 1,
+            per_tenant: vec![("acme".into(), 3), ("default".into(), 1)],
+        };
+        let text = render_sched(&stats);
+        assert!(text.contains("qrel_sched_queued_jobs 3"), "{text}");
+        assert!(text.contains("qrel_sched_queued_groups 2"), "{text}");
+        assert!(text.contains("qrel_sched_running_jobs 1"), "{text}");
+        assert!(text.contains("qrel_sched_tenant_jobs{tenant=\"acme\"} 3"), "{text}");
+        assert!(text.contains("qrel_sched_coalesce_hits_total 4"), "{text}");
+        assert!(text.contains("qrel_sched_rejected_total 5"), "{text}");
+        assert!(
+            text.contains("qrel_sched_jobs_total{transition=\"enqueued\"} 9"),
+            "{text}"
+        );
+        assert!(
+            text.contains("qrel_sched_jobs_total{transition=\"cancelled_running\"} 1"),
             "{text}"
         );
     }

@@ -23,6 +23,7 @@
 
 use qrel_prob::UnreliableDatabaseSpec;
 use qrel_runtime::{Method, SolveReport};
+use qrel_sched::Priority;
 use serde::Value;
 use serde_json::ParseLimits;
 
@@ -35,7 +36,8 @@ pub enum DbRef {
     Inline(Box<UnreliableDatabaseSpec>),
 }
 
-/// A validated solve request.
+/// A validated solve request — the one envelope shared by
+/// `POST /v1/solve` and `POST /v1/jobs`.
 #[derive(Debug)]
 pub struct SolveRequest {
     pub db: DbRef,
@@ -46,6 +48,11 @@ pub struct SolveRequest {
     pub delta: f64,
     pub seed: u64,
     pub timeout_ms: Option<u64>,
+    /// Tenant the job is accounted against. Body field wins over the
+    /// `X-Qrel-Tenant` header; both absent means `"default"`.
+    pub tenant: Option<String>,
+    /// Scheduler band (`high`/`normal`/`low`), default `normal`.
+    pub priority: Priority,
 }
 
 fn as_f64(v: &Value) -> Option<f64> {
@@ -85,6 +92,8 @@ pub fn parse_solve_request(body: &[u8], limits: ParseLimits) -> Result<SolveRequ
                 | "delta"
                 | "seed"
                 | "timeout_ms"
+                | "tenant"
+                | "priority"
         ) {
             return Err(format!("unknown field {key:?}"));
         }
@@ -173,6 +182,29 @@ pub fn parse_solve_request(body: &[u8], limits: ParseLimits) -> Result<SolveRequ
         ),
     };
 
+    let tenant = match value.get("tenant") {
+        None => None,
+        Some(v) => {
+            let t = v
+                .as_str()
+                .ok_or_else(|| "\"tenant\" must be a string".to_string())?;
+            if t.is_empty() || t.len() > 64 {
+                return Err("\"tenant\" must be 1..=64 characters".into());
+            }
+            Some(t.to_string())
+        }
+    };
+    let priority = match value.get("priority") {
+        None => Priority::Normal,
+        Some(v) => {
+            let p = v
+                .as_str()
+                .ok_or_else(|| "\"priority\" must be a string".to_string())?;
+            Priority::parse(p)
+                .ok_or_else(|| format!("unknown priority {p:?} (high|normal|low)"))?
+        }
+    };
+
     Ok(SolveRequest {
         db,
         query,
@@ -182,6 +214,8 @@ pub fn parse_solve_request(body: &[u8], limits: ParseLimits) -> Result<SolveRequ
         delta,
         seed,
         timeout_ms,
+        tenant,
+        priority,
     })
 }
 
@@ -244,12 +278,191 @@ pub fn solve_response_body(report: &SolveReport) -> Vec<u8> {
         .into_bytes()
 }
 
-/// `{"error": "..."}` body for failure responses.
-pub fn error_body(message: &str) -> Vec<u8> {
-    serde_json::to_string(&Value::Object(vec![(
-        "error".into(),
-        Value::Str(message.to_string()),
-    )]))
+/// The structured error envelope shared by every endpoint (and the CLI
+/// in `--json` mode):
+///
+/// ```json
+/// {"error":{"code":"queue_full","message":"…","retryable":true,"retry_after_ms":2000}}
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorEnvelope {
+    pub code: String,
+    pub message: String,
+    pub retryable: bool,
+    /// Mirrors the `Retry-After` header (which is in whole seconds)
+    /// with millisecond precision; `None` when there is no point
+    /// retrying on a timer.
+    pub retry_after_ms: Option<u64>,
+}
+
+impl ErrorEnvelope {
+    /// Serialize into the wire body.
+    pub fn to_body(&self) -> Vec<u8> {
+        let mut obj: Vec<(String, Value)> = Vec::with_capacity(4);
+        obj.push(("code".into(), Value::Str(self.code.clone())));
+        obj.push(("message".into(), Value::Str(self.message.clone())));
+        obj.push(("retryable".into(), Value::Bool(self.retryable)));
+        obj.push((
+            "retry_after_ms".into(),
+            match self.retry_after_ms {
+                Some(ms) => Value::Int(ms as i128),
+                None => Value::Null,
+            },
+        ));
+        serde_json::to_string(&Value::Object(vec![(
+            "error".into(),
+            Value::Object(obj),
+        )]))
+        .expect("value serialization is infallible")
+        .into_bytes()
+    }
+
+    /// Parse a wire body back into the envelope (round-trip testing and
+    /// client-side use).
+    pub fn from_body(body: &[u8]) -> Result<ErrorEnvelope, String> {
+        let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+        let value: Value = serde_json::from_str(text).map_err(|e| format!("bad JSON: {e}"))?;
+        let inner = value
+            .get("error")
+            .ok_or_else(|| "missing \"error\" object".to_string())?;
+        let code = inner
+            .get("code")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| "missing string field \"error.code\"".to_string())?
+            .to_string();
+        let message = inner
+            .get("message")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| "missing string field \"error.message\"".to_string())?
+            .to_string();
+        let retryable = match inner.get("retryable") {
+            Some(Value::Bool(b)) => *b,
+            _ => return Err("missing bool field \"error.retryable\"".into()),
+        };
+        let retry_after_ms = match inner.get("retry_after_ms") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(as_u64(v).ok_or_else(|| {
+                "\"error.retry_after_ms\" must be a non-negative integer".to_string()
+            })?),
+        };
+        Ok(ErrorEnvelope {
+            code,
+            message,
+            retryable,
+            retry_after_ms,
+        })
+    }
+}
+
+/// The canonical error code for an HTTP status.
+pub fn error_code_for_status(status: u16) -> &'static str {
+    match status {
+        400 => "bad_request",
+        404 => "not_found",
+        405 => "method_not_allowed",
+        408 => "read_timeout",
+        409 => "conflict",
+        413 => "payload_too_large",
+        422 => "unprocessable",
+        429 => "queue_full",
+        500 => "internal",
+        503 => "unavailable",
+        _ => "error",
+    }
+}
+
+/// Whether a retry of the identical request can plausibly succeed.
+pub fn status_is_retryable(status: u16) -> bool {
+    matches!(status, 408 | 429 | 500 | 503)
+}
+
+/// Build the envelope body for a failure status. `retry_after_secs`
+/// should match the `Retry-After` header when one is sent.
+pub fn error_body(status: u16, message: &str, retry_after_secs: Option<u64>) -> Vec<u8> {
+    ErrorEnvelope {
+        code: error_code_for_status(status).to_string(),
+        message: message.to_string(),
+        retryable: status_is_retryable(status),
+        retry_after_ms: retry_after_secs.map(|s| s * 1000),
+    }
+    .to_body()
+}
+
+/// `POST /v1/jobs` acceptance body.
+pub fn job_accepted_body(job_id: u64, coalesced: bool, state: &str) -> Vec<u8> {
+    serde_json::to_string(&Value::Object(vec![
+        ("job_id".into(), Value::Int(job_id as i128)),
+        ("coalesced".into(), Value::Bool(coalesced)),
+        ("state".into(), Value::Str(state.to_string())),
+    ]))
+    .expect("value serialization is infallible")
+    .into_bytes()
+}
+
+/// `GET /v1/jobs/{id}` body. `result` is the terminal solve outcome —
+/// the exact `(status, body)` the synchronous facade would have
+/// returned, spliced verbatim so a job result is bit-identical to a
+/// direct solve (and to every other fetch of the same job). `error`
+/// carries a pre-built [`ErrorEnvelope`] for failed/cancelled jobs.
+pub fn job_status_body(
+    job_id: u64,
+    tenant: &str,
+    state: &str,
+    priority: &str,
+    coalesced: bool,
+    progress: &str,
+    result: Option<(u16, &[u8])>,
+    error: Option<&ErrorEnvelope>,
+) -> Vec<u8> {
+    let js = |s: &str| serde_json::to_string(&Value::Str(s.to_string())).expect("string");
+    let mut out = String::with_capacity(160 + result.map_or(0, |(_, b)| b.len()));
+    out.push_str(&format!(
+        "{{\"job_id\":{job_id},\"tenant\":{},\"state\":{},\"priority\":{},\"coalesced\":{coalesced},\"progress\":{}",
+        js(tenant),
+        js(state),
+        js(priority),
+        js(progress),
+    ));
+    match result {
+        Some((status, body)) => {
+            out.push_str(&format!(",\"result\":{{\"status\":{status},\"body\":"));
+            out.push_str(std::str::from_utf8(body).expect("stored bodies are JSON"));
+            out.push('}');
+        }
+        None => out.push_str(",\"result\":null"),
+    }
+    match error {
+        Some(env) => {
+            let body = env.to_body();
+            let text = std::str::from_utf8(&body).expect("envelope is JSON");
+            // Splice the inner object: {"error":{…}} → {…}.
+            out.push_str(",\"error\":");
+            out.push_str(&text["{\"error\":".len()..text.len() - 1]);
+        }
+        None => out.push_str(",\"error\":null"),
+    }
+    out.push('}');
+    out.into_bytes()
+}
+
+/// `GET /v1/jobs` (tenant-scoped list) body. Items are
+/// `(job_id, state, priority, coalesced)` in submit order.
+pub fn job_list_body(tenant: &str, items: &[(u64, String, String, bool)]) -> Vec<u8> {
+    let jobs = items
+        .iter()
+        .map(|(id, state, priority, coalesced)| {
+            Value::Object(vec![
+                ("job_id".into(), Value::Int(*id as i128)),
+                ("state".into(), Value::Str(state.clone())),
+                ("priority".into(), Value::Str(priority.clone())),
+                ("coalesced".into(), Value::Bool(*coalesced)),
+            ])
+        })
+        .collect();
+    serde_json::to_string(&Value::Object(vec![
+        ("tenant".into(), Value::Str(tenant.to_string())),
+        ("jobs".into(), Value::Array(jobs)),
+    ]))
     .expect("value serialization is infallible")
     .into_bytes()
 }
@@ -374,7 +587,138 @@ mod tests {
     }
 
     #[test]
-    fn error_body_shape() {
-        assert_eq!(error_body("nope"), br#"{"error":"nope"}"#.to_vec());
+    fn tenant_and_priority_parse_and_validate() {
+        let req = parse_solve_request(
+            br#"{"dataset":"d","query":"q","tenant":"acme","priority":"low"}"#,
+            limits(),
+        )
+        .unwrap();
+        assert_eq!(req.tenant.as_deref(), Some("acme"));
+        assert_eq!(req.priority, Priority::Low);
+        // Defaults.
+        let req = parse_solve_request(br#"{"dataset":"d","query":"q"}"#, limits()).unwrap();
+        assert_eq!(req.tenant, None);
+        assert_eq!(req.priority, Priority::Normal);
+        // Rejections.
+        for body in [
+            br#"{"dataset":"d","query":"q","priority":"urgent"}"#.as_slice(),
+            br#"{"dataset":"d","query":"q","tenant":""}"#.as_slice(),
+            br#"{"dataset":"d","query":"q","tenant":7}"#.as_slice(),
+        ] {
+            assert!(
+                parse_solve_request(body, limits()).is_err(),
+                "accepted {:?}",
+                String::from_utf8_lossy(body)
+            );
+        }
+    }
+
+    #[test]
+    fn error_envelope_shape_is_exact() {
+        let body = error_body(429, "queue is full", Some(2));
+        assert_eq!(
+            body,
+            br#"{"error":{"code":"queue_full","message":"queue is full","retryable":true,"retry_after_ms":2000}}"#
+                .to_vec()
+        );
+        let body = error_body(400, "bad \"query\"", None);
+        assert_eq!(
+            body,
+            br#"{"error":{"code":"bad_request","message":"bad \"query\"","retryable":false,"retry_after_ms":null}}"#
+                .to_vec()
+        );
+    }
+
+    #[test]
+    fn error_envelope_round_trips_for_every_status() {
+        // Exhaustive over the full failure surface: serialize → parse
+        // must reproduce every field for each status the server emits.
+        for status in [400u16, 404, 405, 408, 409, 413, 422, 429, 500, 503] {
+            for retry in [None, Some(1), Some(30)] {
+                let env = ErrorEnvelope {
+                    code: error_code_for_status(status).to_string(),
+                    message: format!("message for {status} with \"quotes\" and \\slash"),
+                    retryable: status_is_retryable(status),
+                    retry_after_ms: retry.map(|s: u64| s * 1000),
+                };
+                let parsed = ErrorEnvelope::from_body(&env.to_body()).unwrap();
+                assert_eq!(parsed, env, "status {status}, retry {retry:?}");
+            }
+        }
+        // Codes are distinct per status (the client can dispatch on
+        // them without looking at the HTTP status line).
+        let codes: std::collections::HashSet<&str> = [400u16, 404, 405, 408, 409, 413, 422, 429, 500, 503]
+            .iter()
+            .map(|&s| error_code_for_status(s))
+            .collect();
+        assert_eq!(codes.len(), 10);
+        // Retryable statuses carry retryable: true.
+        assert!(status_is_retryable(429) && status_is_retryable(503));
+        assert!(!status_is_retryable(400) && !status_is_retryable(422));
+    }
+
+    #[test]
+    fn malformed_envelopes_are_rejected() {
+        for body in [
+            br#"{"error":"stringly"}"#.as_slice(),
+            br#"{"error":{"code":"x","retryable":true,"retry_after_ms":null}}"#.as_slice(),
+            br#"{"error":{"code":"x","message":"m","retry_after_ms":null}}"#.as_slice(),
+            br#"{"error":{"code":"x","message":"m","retryable":true,"retry_after_ms":-3}}"#
+                .as_slice(),
+            br#"{"ok":true}"#.as_slice(),
+            b"not json".as_slice(),
+        ] {
+            assert!(
+                ErrorEnvelope::from_body(body).is_err(),
+                "accepted {:?}",
+                String::from_utf8_lossy(body)
+            );
+        }
+    }
+
+    #[test]
+    fn job_bodies_are_stable_json() {
+        assert_eq!(
+            job_accepted_body(7, true, "queued"),
+            br#"{"job_id":7,"coalesced":true,"state":"queued"}"#.to_vec()
+        );
+        // Terminal job with a spliced result: the embedded body bytes
+        // appear verbatim.
+        let result_body = br#"{"reliability":0.5,"method":"exact"}"#;
+        let body = job_status_body(
+            7,
+            "default",
+            "done",
+            "normal",
+            false,
+            "",
+            Some((200, result_body.as_slice())),
+            None,
+        );
+        let text = String::from_utf8(body).unwrap();
+        assert_eq!(
+            text,
+            r#"{"job_id":7,"tenant":"default","state":"done","priority":"normal","coalesced":false,"progress":"","result":{"status":200,"body":{"reliability":0.5,"method":"exact"}},"error":null}"#
+        );
+        // Failed job with an embedded error envelope object.
+        let env = ErrorEnvelope {
+            code: "internal".into(),
+            message: "boom".into(),
+            retryable: true,
+            retry_after_ms: None,
+        };
+        let body = job_status_body(8, "t", "failed", "low", false, "", None, Some(&env));
+        let text = String::from_utf8(body).unwrap();
+        assert!(
+            text.contains(r#""error":{"code":"internal","message":"boom","retryable":true,"retry_after_ms":null}"#),
+            "{text}"
+        );
+        // List body.
+        let items = vec![(1u64, "done".to_string(), "normal".to_string(), false)];
+        assert_eq!(
+            job_list_body("default", &items),
+            br#"{"tenant":"default","jobs":[{"job_id":1,"state":"done","priority":"normal","coalesced":false}]}"#
+                .to_vec()
+        );
     }
 }

@@ -34,16 +34,18 @@ use std::time::{Duration, Instant};
 use qrel_budget::{Budget, CancelToken, QrelError};
 use qrel_eval::FoQuery;
 use qrel_prob::{UnreliableDatabase, UnreliableDatabaseSpec};
-use qrel_runtime::Solver;
+use qrel_runtime::{Method, ProgressHook, Solver};
+use qrel_sched::{CancelOutcome, JobCtx, JobState, Priority, SchedConfig, Scheduler, SubmitError};
 use serde::Value;
 use serde_json::ParseLimits;
 
 use crate::cache::{fnv1a, CacheKey, ResultCache};
 use crate::health::{compute_retry_after, Admission, Breakers, HealthState, RateEstimator};
 use crate::http::{read_request, write_response, HttpError, Request, Response};
-use crate::metrics::Metrics;
+use crate::metrics::{render_sched, Metrics};
 use crate::protocol::{
-    error_body, is_deterministic, parse_solve_request, solve_response_body, DbRef,
+    error_body, is_deterministic, job_accepted_body, job_list_body, job_status_body,
+    parse_solve_request, solve_response_body, DbRef, ErrorEnvelope,
 };
 
 /// Server configuration. `Default` gives sane local-service values;
@@ -86,6 +88,19 @@ pub struct ServerConfig {
     /// Master switch for the self-healing plane (breakers, watchdog,
     /// solver rung retries). `false` is the E16 "before" arm.
     pub self_heal: bool,
+    /// Scheduler worker threads executing solves. `0` means "match
+    /// `workers`", so the synchronous facade can never wait on a job no
+    /// scheduler worker is free to run.
+    pub sched_workers: usize,
+    /// Maximum queued+running jobs one tenant may hold; submits beyond
+    /// it get `429`.
+    pub per_tenant_cap: usize,
+    /// Scheduler workers that skip `low`-priority jobs, so a flood of
+    /// batch work cannot starve short interactive solves.
+    pub reserved_workers: usize,
+    /// Terminal job records retained for `GET /v1/jobs/{id}` replay
+    /// before the oldest are evicted.
+    pub job_retain_cap: usize,
 }
 
 impl Default for ServerConfig {
@@ -105,6 +120,10 @@ impl Default for ServerConfig {
             breaker_cooldown: Duration::from_secs(2),
             watchdog_period: Duration::from_millis(250),
             self_heal: true,
+            sched_workers: 0,
+            per_tenant_cap: 64,
+            reserved_workers: 1,
+            job_retain_cap: 1024,
         }
     }
 }
@@ -155,7 +174,7 @@ impl From<std::io::Error> for ServeError {
 /// A dataset preloaded at startup: the built model plus its canonical
 /// hash (computed once, shared by every request that names it).
 struct PreparedDb {
-    ud: UnreliableDatabase,
+    ud: Arc<UnreliableDatabase>,
     hash: u64,
 }
 
@@ -315,25 +334,150 @@ impl Drop for InFlightGuard<'_> {
 }
 
 // ---------------------------------------------------------------------------
-// Shared state & handle
+// Solve jobs
 
-struct Shared {
-    config: ServerConfig,
-    datasets: HashMap<String, PreparedDb>,
+/// The payload of one scheduled solve: everything [`execute_solve`]
+/// needs, fully resolved at admission time so scheduler workers never
+/// parse or validate anything.
+struct SolveTask {
+    ud: Arc<UnreliableDatabase>,
+    query: FoQuery,
+    method: Method,
+    eps: f64,
+    delta: f64,
+    seed: u64,
+    timeout_ms: u64,
+    cache_key: CacheKey,
+}
+
+/// The terminal outcome of a solve job: the exact HTTP `(status, body)`
+/// the synchronous facade returns, stored once per job group and
+/// replayed verbatim by every result fetch — bit-identical responses by
+/// construction, coalesced duplicates included.
+struct SolveOutcome {
+    status: u16,
+    body: Vec<u8>,
+    /// `X-Qrel-Cache` header value ("hit" or "miss").
+    cache: &'static str,
+    elapsed_us: u64,
+}
+
+/// State the scheduler's executor needs. Kept in its own `Arc`,
+/// separate from [`Shared`] (which owns the scheduler), so the executor
+/// closure does not create an `Arc` cycle through the scheduler it runs
+/// inside.
+struct ExecCtx {
     cache: ResultCache,
     metrics: Metrics,
-    queue: AdmissionQueue,
-    shutdown: AtomicBool,
     /// Per-method circuit breakers (no-ops when `self_heal` is off).
     breakers: Breakers,
-    /// Recent connection drain rate, for the dynamic `Retry-After`.
-    drain_rate: RateEstimator,
     /// Every in-flight solve's private cancel token, scanned by the
     /// stuck-worker watchdog and swept by the drain escalation.
     inflight: InFlightRegistry,
     /// Latched by the drain escalation: solves admitted after it start
     /// out cancelled instead of burning the remaining grace.
     hard_cancelled: AtomicBool,
+    solver_threads: usize,
+    self_heal: bool,
+    watchdog_period: Duration,
+}
+
+/// Run one solve job on a scheduler worker: budget wired to the job
+/// group's cancel token, watchdog registration, breaker accounting, and
+/// result caching — exactly what the old synchronous handler did
+/// inline, so the facade's responses are unchanged.
+fn execute_solve(ctx: &ExecCtx, task: &SolveTask, job: &JobCtx) -> SolveOutcome {
+    let token = job.token().clone();
+    if ctx.hard_cancelled.load(Ordering::SeqCst) {
+        token.cancel();
+    }
+    let budget = Budget::with_deadline_from_now(Duration::from_millis(task.timeout_ms))
+        .with_cancel_token(token.clone());
+    let reporter = job.progress_reporter();
+    let mut solver = Solver::new()
+        .with_method(task.method)
+        .with_accuracy(task.eps, task.delta)
+        .with_seed(task.seed)
+        .with_threads(ctx.solver_threads)
+        .with_progress(ProgressHook::new(move |ev| {
+            reporter(format!(
+                "rung {}/{} {} attempt {}: {}",
+                ev.rung + 1,
+                ev.of,
+                ev.method,
+                ev.attempt,
+                ev.note.as_deref().unwrap_or("started")
+            ))
+        }));
+    if !ctx.self_heal {
+        solver = solver.with_rung_retries(0);
+    }
+    let started = Instant::now();
+    let hard_deadline = started + Duration::from_millis(task.timeout_ms) + ctx.watchdog_period;
+    let inflight_id = ctx.inflight.register(token, hard_deadline);
+    let _inflight = InFlightGuard {
+        registry: &ctx.inflight,
+        id: inflight_id,
+    };
+    match solver.solve(&task.ud, &task.query, &budget) {
+        Ok(report) => {
+            let elapsed = started.elapsed();
+            ctx.metrics.record_solve(report.method, elapsed);
+            // Breaker accounting: a healed rung panic still answers
+            // correctly, but a flapping rung is flapping — it counts
+            // toward opening the circuit.
+            if report.trace.iter().any(|s| s.note.contains("panicked")) {
+                ctx.breakers.record_failure(task.method);
+            } else {
+                ctx.breakers.record_success(task.method);
+            }
+            let bytes = solve_response_body(&report);
+            if is_deterministic(&report) {
+                ctx.cache
+                    .insert(task.cache_key.clone(), Arc::new(bytes.clone()));
+            }
+            SolveOutcome {
+                status: 200,
+                body: bytes,
+                cache: "miss",
+                elapsed_us: elapsed.as_micros() as u64,
+            }
+        }
+        // The solver errors only when *nothing* produced an estimate —
+        // an unsupported fragment, a hard eval failure, or a budget too
+        // small to start. The request was well-formed JSON, so: 422.
+        Err(e) => {
+            if matches!(e, QrelError::RungPanic(_)) {
+                ctx.breakers.record_failure(task.method);
+            } else {
+                // Deadline trips, cancellations, and user-fault errors
+                // say nothing about the rung's health.
+                ctx.breakers.record_neutral(task.method);
+            }
+            SolveOutcome {
+                status: 422,
+                body: error_body(422, &e.to_string(), None),
+                cache: "miss",
+                elapsed_us: started.elapsed().as_micros() as u64,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared state & handle
+
+struct Shared {
+    config: ServerConfig,
+    datasets: HashMap<String, PreparedDb>,
+    queue: AdmissionQueue,
+    shutdown: AtomicBool,
+    /// Recent connection drain rate, for the dynamic `Retry-After`.
+    drain_rate: RateEstimator,
+    exec: Arc<ExecCtx>,
+    /// The job scheduler every solve — synchronous facade or job API —
+    /// runs on.
+    sched: Scheduler<SolveTask, SolveOutcome>,
 }
 
 /// Cloneable control handle: request shutdown, inspect metrics.
@@ -358,8 +502,9 @@ impl ServerHandle {
     /// escalation a graceful drain falls back to after the grace
     /// period). Solves admitted afterwards start out cancelled.
     pub fn hard_cancel(&self) {
-        self.shared.hard_cancelled.store(true, Ordering::SeqCst);
-        self.shared.inflight.cancel_all();
+        self.shared.exec.hard_cancelled.store(true, Ordering::SeqCst);
+        self.shared.exec.inflight.cancel_all();
+        self.shared.sched.abort();
     }
 
     /// Rendered Prometheus metrics (same text `/metrics` serves).
@@ -372,29 +517,30 @@ impl ServerHandle {
     pub fn health(&self) -> &'static str {
         HealthState::derive(
             self.shared.shutdown.load(Ordering::SeqCst),
-            self.shared.breakers.any_open(),
+            self.shared.exec.breakers.any_open(),
         )
         .as_str()
     }
 
     /// Solves hard-cancelled by the stuck-worker watchdog so far.
     pub fn watchdog_cancels(&self) -> u64 {
-        self.shared.metrics.watchdog_cancel_count()
+        self.shared.exec.metrics.watchdog_cancel_count()
     }
 }
 
-/// The full `/metrics` text: core registry, breaker series, and the
-/// cache's poison-detection counter.
+/// The full `/metrics` text: core registry, breaker series, scheduler
+/// series, and the cache's poison-detection counter.
 fn render_metrics(shared: &Shared) -> String {
-    let mut text = shared.metrics.render();
-    text.push_str(&shared.breakers.render());
+    let mut text = shared.exec.metrics.render();
+    text.push_str(&shared.exec.breakers.render());
+    text.push_str(&render_sched(&shared.sched.stats()));
     text.push_str(
         "# HELP qrel_cache_poison_detected_total Cache replies rejected by checksum.\n",
     );
     text.push_str("# TYPE qrel_cache_poison_detected_total counter\n");
     text.push_str(&format!(
         "qrel_cache_poison_detected_total {}\n",
-        shared.cache.poison_detected_count()
+        shared.exec.cache.poison_detected_count()
     ));
     text
 }
@@ -486,19 +632,45 @@ impl Server {
             },
             config.breaker_cooldown,
         );
+        let exec = Arc::new(ExecCtx {
+            cache,
+            metrics: Metrics::new(),
+            breakers,
+            inflight: InFlightRegistry::default(),
+            hard_cancelled: AtomicBool::new(false),
+            solver_threads: config.solver_threads,
+            self_heal: config.self_heal,
+            watchdog_period: config.watchdog_period,
+        });
+        // `sched_workers == 0` mirrors the HTTP pool so a facade worker
+        // always has a scheduler worker to wait on.
+        let sched_workers = if config.sched_workers == 0 {
+            config.workers.max(1)
+        } else {
+            config.sched_workers
+        };
+        let sched = {
+            let exec = Arc::clone(&exec);
+            Scheduler::new(
+                SchedConfig {
+                    workers: sched_workers,
+                    per_tenant_cap: config.per_tenant_cap,
+                    retain_cap: config.job_retain_cap,
+                    reserved_workers: config.reserved_workers,
+                },
+                move |task: &SolveTask, job: &JobCtx| execute_solve(&exec, task, job),
+            )
+        };
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
                 config,
                 datasets,
-                cache,
-                metrics: Metrics::new(),
                 queue,
                 shutdown: AtomicBool::new(false),
-                breakers,
                 drain_rate: RateEstimator::new(),
-                inflight: InFlightRegistry::default(),
-                hard_cancelled: AtomicBool::new(false),
+                exec,
+                sched,
             }),
         })
     }
@@ -509,7 +681,10 @@ impl Server {
             serde_json::from_str(&text).map_err(|e| format!("bad spec JSON: {e}"))?;
         let ud = spec.build().map_err(|e| format!("invalid spec: {e}"))?;
         let hash = canonical_db_hash(&ud);
-        Ok(PreparedDb { ud, hash })
+        Ok(PreparedDb {
+            ud: Arc::new(ud),
+            hash,
+        })
     }
 
     pub fn local_addr(&self) -> SocketAddr {
@@ -562,9 +737,9 @@ impl Server {
                     .spawn(move || {
                         while !stopped.load(Ordering::SeqCst) {
                             std::thread::sleep(shared.config.watchdog_period);
-                            let shot = shared.inflight.cancel_overdue(Instant::now());
+                            let shot = shared.exec.inflight.cancel_overdue(Instant::now());
                             for _ in 0..shot {
-                                shared.metrics.record_watchdog_cancel();
+                                shared.exec.metrics.record_watchdog_cancel();
                             }
                         }
                     })
@@ -585,7 +760,7 @@ impl Server {
             }
             match self.listener.accept() {
                 Ok((conn, _peer)) => match shared.queue.try_push(conn) {
-                    Ok(depth) => shared.metrics.set_queue_depth(depth),
+                    Ok(depth) => shared.exec.metrics.set_queue_depth(depth),
                     Err(conn) => reject_connection(&shared, conn),
                 },
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -601,7 +776,7 @@ impl Server {
         // Drain: refuse new work, let workers finish what was admitted.
         shared.shutdown.store(true, Ordering::SeqCst);
         shared.queue.close();
-        let cancels_before_drain = shared.metrics.watchdog_cancel_count();
+        let cancels_before_drain = shared.exec.metrics.watchdog_cancel_count();
         let (drained_tx, drained_rx) = std::sync::mpsc::channel::<()>();
         let forced = Arc::new(AtomicBool::new(false));
         let grace_guard = {
@@ -617,17 +792,24 @@ impl Server {
                     Err(std::sync::mpsc::RecvTimeoutError::Timeout)
                 ) {
                     // The drain is overstaying its welcome: cancel every
-                    // in-flight budget; solves unwind via the latched
-                    // trip cause and still answer (degraded).
+                    // in-flight budget and abort the scheduler; solves
+                    // unwind via the latched trip cause and still answer
+                    // (degraded).
                     forced.store(true, Ordering::SeqCst);
-                    shared.hard_cancelled.store(true, Ordering::SeqCst);
-                    shared.inflight.cancel_all();
+                    shared.exec.hard_cancelled.store(true, Ordering::SeqCst);
+                    shared.exec.inflight.cancel_all();
+                    shared.sched.abort();
                 }
             })
         };
         for w in workers {
             let _ = w.join();
         }
+        // Facade waiters are gone; drain what the job API enqueued.
+        // Still under the grace guard: an overdue scheduler drain gets
+        // aborted the same way an overdue connection drain does.
+        shared.sched.close();
+        shared.sched.join();
         drop(drained_tx); // disconnects the grace guard's recv — drain done
         let _ = grace_guard.join();
         stopped.store(true, Ordering::SeqCst);
@@ -638,7 +820,7 @@ impl Server {
         // period expired, or the watchdog had to shoot in-flight work
         // while draining. Watchdog cancels during normal serving are
         // routine self-healing and do not taint the exit code.
-        let watchdog_cancels = shared.metrics.watchdog_cancel_count();
+        let watchdog_cancels = shared.exec.metrics.watchdog_cancel_count();
         Ok(DrainReport {
             forced: forced.load(Ordering::SeqCst) || watchdog_cancels > cancels_before_drain,
             watchdog_cancels,
@@ -648,21 +830,30 @@ impl Server {
 
 /// Write the backpressure response in the acceptor thread (bounded
 /// work: a fixed ~120-byte write with a short timeout).
-fn reject_connection(shared: &Shared, mut conn: TcpStream) {
-    use std::io::Read;
-    shared.metrics.record_rejected();
-    shared.metrics.record_request("other", 429);
-    let _ = conn.set_write_timeout(Some(Duration::from_millis(200)));
-    // Retry-After tracks reality: current backlog over the recently
-    // observed drain rate, clamped to 1..=30s — a deep queue behind a
-    // slow drain tells clients to back off longer than a blip does.
-    let retry_after = compute_retry_after(
+/// Dynamic `Retry-After`: connection backlog plus scheduler backlog
+/// over the recently observed drain rate, clamped to 1..=30s — a deep
+/// queue behind a slow drain tells clients to back off longer than a
+/// blip does.
+fn retry_after_hint(shared: &Shared) -> u64 {
+    compute_retry_after(
         shared.queue.depth() as u64,
+        shared.sched.backlog(),
         shared.drain_rate.per_second(),
         shared.config.workers,
-    );
-    let resp = Response::json(429, error_body("admission queue full; retry shortly"))
-        .with_header("Retry-After", retry_after.to_string());
+    )
+}
+
+fn reject_connection(shared: &Shared, mut conn: TcpStream) {
+    use std::io::Read;
+    shared.exec.metrics.record_rejected();
+    shared.exec.metrics.record_request("other", 429);
+    let _ = conn.set_write_timeout(Some(Duration::from_millis(200)));
+    let retry_after = retry_after_hint(shared);
+    let resp = Response::json(
+        429,
+        error_body(429, "admission queue full; retry shortly", Some(retry_after)),
+    )
+    .with_header("Retry-After", retry_after.to_string());
     write_response(&mut conn, &resp);
     // Signal end-of-response, then drain what the client already sent:
     // closing a socket with unread bytes in the receive buffer sends
@@ -682,7 +873,7 @@ fn reject_connection(shared: &Shared, mut conn: TcpStream) {
 
 fn worker_loop(shared: &Shared) {
     while let Some((mut conn, depth)) = shared.queue.pop() {
-        shared.metrics.set_queue_depth(depth);
+        shared.exec.metrics.set_queue_depth(depth);
         shared.drain_rate.record();
         // Chaos hook: a slow/stalled client connection. Sits in front
         // of `read_request` so the read deadline machinery is what gets
@@ -703,8 +894,11 @@ fn worker_loop(shared: &Shared) {
                     HttpError::Timeout => (408, err.to_string()),
                     HttpError::Io(_) => continue, // socket died; nothing to say
                 };
-                shared.metrics.record_request("other", status);
-                write_response(&mut conn, &Response::json(status, error_body(&message)));
+                shared.exec.metrics.record_request("other", status);
+                write_response(
+                    &mut conn,
+                    &Response::json(status, error_body(status, &message, None)),
+                );
                 continue;
             }
         };
@@ -719,8 +913,8 @@ fn worker_loop(shared: &Shared) {
             }
             route(shared, &req)
         }))
-        .unwrap_or_else(|_| Response::json(500, error_body("internal error")));
-        shared.metrics.record_request(&path, resp.status);
+        .unwrap_or_else(|_| Response::json(500, error_body(500, "internal error", None)));
+        shared.exec.metrics.record_request(&path, resp.status);
         write_response(&mut conn, &resp);
     }
 }
@@ -729,11 +923,14 @@ fn route(shared: &Shared, req: &Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => healthz(shared),
         ("GET", "/metrics") => Response::text(200, render_metrics(shared)),
-        ("POST", "/v1/solve") => solve(shared, &req.body),
-        (_, "/healthz") | (_, "/metrics") | (_, "/v1/solve") => {
-            Response::json(405, error_body("method not allowed"))
+        ("POST", "/v1/solve") => solve(shared, req),
+        ("POST", "/v1/jobs") => job_submit(shared, req),
+        ("GET", "/v1/jobs") => job_list(shared, req),
+        (_, path) if path.starts_with("/v1/jobs/") => job_instance(shared, req),
+        (_, "/healthz") | (_, "/metrics") | (_, "/v1/solve") | (_, "/v1/jobs") => {
+            Response::json(405, error_body(405, "method not allowed", None))
         }
-        _ => Response::json(404, error_body("not found")),
+        _ => Response::json(404, error_body(404, "not found", None)),
     }
 }
 
@@ -742,7 +939,7 @@ fn healthz(shared: &Shared) -> Response {
     names.sort();
     let state = HealthState::derive(
         shared.shutdown.load(Ordering::SeqCst),
-        shared.breakers.any_open(),
+        shared.exec.breakers.any_open(),
     );
     let body = Value::Object(vec![
         ("status".into(), Value::Str(state.as_str().into())),
@@ -764,52 +961,96 @@ fn healthz(shared: &Shared) -> Response {
     )
 }
 
-fn solve(shared: &Shared, body: &[u8]) -> Response {
+/// What admission produced for a solve-shaped request: a cache hit
+/// served without touching the scheduler, or a fully resolved task
+/// ready to enqueue (plus its coalesce key).
+enum Admitted {
+    Hit(Arc<Vec<u8>>),
+    Enqueue { task: SolveTask, key: u64 },
+}
+
+struct SolveAdmission {
+    tenant: String,
+    priority: Priority,
+    outcome: Admitted,
+}
+
+/// The shared front half of `POST /v1/solve` and `POST /v1/jobs`:
+/// parse, resolve the database, canonicalize the query, consult the
+/// cache and the breakers. `Err` carries the finished error response.
+fn admit_solve(shared: &Shared, req: &Request) -> Result<SolveAdmission, Response> {
     let limits = ParseLimits {
         max_depth: 64,
         max_bytes: shared.config.max_body_bytes,
     };
-    let req = match parse_solve_request(body, limits) {
+    let sreq = match parse_solve_request(&req.body, limits) {
         Ok(r) => r,
-        Err(m) => return Response::json(400, error_body(&m)),
+        Err(m) => return Err(Response::json(400, error_body(400, &m, None))),
+    };
+
+    // Tenant scoping: the request body wins, then the `X-Qrel-Tenant`
+    // header, then the shared default bucket.
+    let tenant = match sreq
+        .tenant
+        .clone()
+        .or_else(|| req.header("x-qrel-tenant").map(str::to_string))
+    {
+        Some(t) => {
+            if t.is_empty() || t.len() > 64 {
+                return Err(Response::json(
+                    400,
+                    error_body(400, "tenant must be 1..=64 characters", None),
+                ));
+            }
+            t
+        }
+        None => "default".to_string(),
     };
 
     // Resolve the database: preloaded (hash already computed) or
     // inline (built and canonically hashed per request).
-    let (ud, db_hash): (&UnreliableDatabase, u64);
-    let built;
-    match &req.db {
+    let (ud, db_hash): (Arc<UnreliableDatabase>, u64) = match &sreq.db {
         DbRef::Named(name) => match shared.datasets.get(name) {
-            Some(p) => {
-                ud = &p.ud;
-                db_hash = p.hash;
-            }
+            Some(p) => (Arc::clone(&p.ud), p.hash),
             None => {
                 let mut known: Vec<&String> = shared.datasets.keys().collect();
                 known.sort();
-                return Response::json(
+                return Err(Response::json(
                     400,
-                    error_body(&format!("unknown dataset {name:?} (loaded: {known:?})")),
-                );
+                    error_body(
+                        400,
+                        &format!("unknown dataset {name:?} (loaded: {known:?})"),
+                        None,
+                    ),
+                ));
             }
         },
         DbRef::Inline(spec) => match spec.build() {
             Ok(b) => {
-                built = b;
-                db_hash = canonical_db_hash(&built);
-                ud = &built;
+                let hash = canonical_db_hash(&b);
+                (Arc::new(b), hash)
             }
-            Err(e) => return Response::json(400, error_body(&format!("invalid spec: {e}"))),
+            Err(e) => {
+                return Err(Response::json(
+                    400,
+                    error_body(400, &format!("invalid spec: {e}"), None),
+                ))
+            }
         },
-    }
+    };
 
     // Canonicalize the query exactly the way the CLI does, so the same
     // logical query always maps to the same cache key.
-    let formula = match qrel_logic::parser::parse_formula(&req.query) {
+    let formula = match qrel_logic::parser::parse_formula(&sreq.query) {
         Ok(f) => f,
-        Err(e) => return Response::json(400, error_body(&format!("bad query: {e}"))),
+        Err(e) => {
+            return Err(Response::json(
+                400,
+                error_body(400, &format!("bad query: {e}"), None),
+            ))
+        }
     };
-    let free = match &req.free {
+    let free = match &sreq.free {
         Some(f) => f.clone(),
         None => formula.free_vars(),
     };
@@ -817,109 +1058,319 @@ fn solve(shared: &Shared, body: &[u8]) -> Response {
         let mut sorted = free.clone();
         sorted.sort();
         if sorted != formula.free_vars() {
-            return Response::json(
+            return Err(Response::json(
                 400,
-                error_body(&format!(
-                    "\"free\" {:?} does not match the query's free variables {:?}",
-                    free,
-                    formula.free_vars()
-                )),
-            );
+                error_body(
+                    400,
+                    &format!(
+                        "\"free\" {:?} does not match the query's free variables {:?}",
+                        free,
+                        formula.free_vars()
+                    ),
+                    None,
+                ),
+            ));
         }
     }
-    let key = CacheKey {
+    let cache_key = CacheKey {
         db_hash,
         query: formula.to_string(),
         free: free.clone(),
-        method: req.method.to_string(),
-        eps_bits: crate::cache::canonical_f64_bits(req.eps),
-        delta_bits: crate::cache::canonical_f64_bits(req.delta),
-        seed: req.seed,
+        method: sreq.method.to_string(),
+        eps_bits: crate::cache::canonical_f64_bits(sreq.eps),
+        delta_bits: crate::cache::canonical_f64_bits(sreq.delta),
+        seed: sreq.seed,
     };
 
-    if let Some(hit) = shared.cache.get(&key) {
-        shared.metrics.record_cache(true);
-        return Response::json(200, hit.as_ref().clone())
-            .with_header("X-Qrel-Cache", "hit")
-            .with_header("X-Qrel-Elapsed-Us", "0");
+    if let Some(hit) = shared.exec.cache.get(&cache_key) {
+        shared.exec.metrics.record_cache(true);
+        return Ok(SolveAdmission {
+            tenant,
+            priority: sreq.priority,
+            outcome: Admitted::Hit(hit),
+        });
     }
-    shared.metrics.record_cache(false);
+    shared.exec.metrics.record_cache(false);
 
     // Circuit breaker: while this method's rung is known-bad, refuse up
-    // front with 503 instead of burning a worker on it. (Cache hits are
-    // served above regardless — they involve no solve.)
-    if let Admission::Rejected { retry_after_secs } = shared.breakers.admit(req.method) {
-        return Response::json(
+    // front with 503 instead of burning a scheduler slot on it. (Cache
+    // hits are served above regardless — they involve no solve.)
+    if let Admission::Rejected { retry_after_secs } = shared.exec.breakers.admit(sreq.method) {
+        return Err(Response::json(
             503,
-            error_body(&format!(
-                "circuit open for method \"{}\"; retry shortly",
-                req.method.name()
-            )),
+            error_body(
+                503,
+                &format!(
+                    "circuit open for method \"{}\"; retry shortly",
+                    sreq.method.name()
+                ),
+                Some(retry_after_secs),
+            ),
         )
-        .with_header("Retry-After", retry_after_secs.to_string());
+        .with_header("Retry-After", retry_after_secs.to_string()));
     }
 
-    let timeout = req.timeout_ms.unwrap_or(shared.config.default_timeout_ms);
-    // Each request gets a private cancel token so the stuck-worker
-    // watchdog (and the drain escalation) can shoot exactly the solves
-    // that are overdue, not everything in flight.
-    let token = CancelToken::new();
-    if shared.hard_cancelled.load(Ordering::SeqCst) {
-        token.cancel();
+    let timeout_ms = sreq.timeout_ms.unwrap_or(shared.config.default_timeout_ms);
+    // The cache key's stable fingerprint doubles as the coalesce key:
+    // cache-equivalent requests in flight at the same time share one
+    // execution and one stored result.
+    let key = cache_key.fingerprint();
+    Ok(SolveAdmission {
+        tenant,
+        priority: sreq.priority,
+        outcome: Admitted::Enqueue {
+            task: SolveTask {
+                ud,
+                query: FoQuery::with_free_order(formula, free),
+                method: sreq.method,
+                eps: sreq.eps,
+                delta: sreq.delta,
+                seed: sreq.seed,
+                timeout_ms,
+                cache_key,
+            },
+            key,
+        },
+    })
+}
+
+/// Map a scheduler submit rejection onto the wire: per-tenant
+/// saturation is backpressure (429 + dynamic `Retry-After`), a draining
+/// scheduler is 503.
+fn submit_error_response(shared: &Shared, err: &SubmitError) -> Response {
+    match err {
+        SubmitError::QueueFull { .. } => {
+            shared.exec.metrics.record_rejected();
+            let retry_after = retry_after_hint(shared);
+            Response::json(429, error_body(429, &err.to_string(), Some(retry_after)))
+                .with_header("Retry-After", retry_after.to_string())
+        }
+        SubmitError::Closed => Response::json(503, error_body(503, &err.to_string(), Some(1)))
+            .with_header("Retry-After", "1"),
     }
-    let budget = Budget::with_deadline_from_now(Duration::from_millis(timeout))
-        .with_cancel_token(token.clone());
-    let mut solver = Solver::new()
-        .with_method(req.method)
-        .with_accuracy(req.eps, req.delta)
-        .with_seed(req.seed)
-        .with_threads(shared.config.solver_threads);
-    if !shared.config.self_heal {
-        solver = solver.with_rung_retries(0);
-    }
-    let query = FoQuery::with_free_order(formula, free);
-    let started = Instant::now();
-    let hard_deadline =
-        started + Duration::from_millis(timeout) + shared.config.watchdog_period;
-    let inflight_id = shared.inflight.register(token, hard_deadline);
-    let _inflight = InFlightGuard {
-        registry: &shared.inflight,
-        id: inflight_id,
+}
+
+/// Replay a stored [`SolveOutcome`] as the HTTP response (used by the
+/// facade and `GET /v1/jobs/{id}/result`). The body is the stored bytes
+/// verbatim — bit-identical across fetches by construction.
+fn outcome_response(outcome: &SolveOutcome) -> Response {
+    Response::json(outcome.status, outcome.body.clone())
+        .with_header("X-Qrel-Cache", outcome.cache)
+        .with_header("X-Qrel-Elapsed-Us", outcome.elapsed_us.to_string())
+}
+
+/// `POST /v1/solve`: the synchronous facade over the job scheduler —
+/// admit, enqueue (coalescing with any equivalent in-flight job), block
+/// until the job is terminal. Existing clients see exactly the old
+/// contract, bit-identical bodies included.
+fn solve(shared: &Shared, req: &Request) -> Response {
+    let admission = match admit_solve(shared, req) {
+        Ok(a) => a,
+        Err(resp) => return resp,
     };
-    match solver.solve(ud, &query, &budget) {
-        Ok(report) => {
-            let elapsed = started.elapsed();
-            shared.metrics.record_solve(report.method, elapsed);
-            // Breaker accounting: a healed rung panic still answers
-            // correctly, but a flapping rung is flapping — it counts
-            // toward opening the circuit.
-            if report.trace.iter().any(|s| s.note.contains("panicked")) {
-                shared.breakers.record_failure(req.method);
-            } else {
-                shared.breakers.record_success(req.method);
-            }
-            let bytes = solve_response_body(&report);
-            if is_deterministic(&report) {
-                shared.cache.insert(key, Arc::new(bytes.clone()));
-            }
-            Response::json(200, bytes)
-                .with_header("X-Qrel-Cache", "miss")
-                .with_header("X-Qrel-Elapsed-Us", elapsed.as_micros().to_string())
+    let (task, key) = match admission.outcome {
+        Admitted::Hit(hit) => {
+            return Response::json(200, hit.as_ref().clone())
+                .with_header("X-Qrel-Cache", "hit")
+                .with_header("X-Qrel-Elapsed-Us", "0")
         }
-        // The solver errors only when *nothing* produced an estimate —
-        // an unsupported fragment, a hard eval failure, or a budget too
-        // small to start. The request was well-formed JSON, so: 422.
-        Err(e) => {
-            if matches!(e, QrelError::RungPanic(_)) {
-                shared.breakers.record_failure(req.method);
-            } else {
-                // Deadline trips, cancellations, and user-fault errors
-                // say nothing about the rung's health.
-                shared.breakers.record_neutral(req.method);
+        Admitted::Enqueue { task, key } => (task, key),
+    };
+    let sub = match shared
+        .sched
+        .submit(&admission.tenant, admission.priority, Some(key), task)
+    {
+        Ok(s) => s,
+        Err(e) => return submit_error_response(shared, &e),
+    };
+    match shared.sched.wait(&admission.tenant, sub.job_id, None) {
+        Some(snap) => match snap.state {
+            JobState::Done => outcome_response(&snap.result.expect("done job has a result")),
+            JobState::Failed => Response::json(
+                500,
+                error_body(500, snap.error.as_deref().unwrap_or("job failed"), None),
+            ),
+            JobState::Cancelled => Response::json(
+                503,
+                error_body(503, "job cancelled while the server was shutting down", None),
+            ),
+            // `wait(.., None)` only returns on a terminal state.
+            JobState::Queued | JobState::Running => {
+                Response::json(500, error_body(500, "job wait returned early", None))
             }
-            Response::json(422, error_body(&e.to_string()))
+        },
+        None => Response::json(500, error_body(500, "job record lost", None)),
+    }
+}
+
+/// Tenant scoping for job routes without a request body: the
+/// `X-Qrel-Tenant` header or the shared default bucket.
+fn header_tenant(req: &Request) -> String {
+    match req.header("x-qrel-tenant") {
+        Some(t) if !t.is_empty() => t.to_string(),
+        _ => "default".to_string(),
+    }
+}
+
+/// `POST /v1/jobs`: enqueue asynchronously and return a receipt. A
+/// cache hit still creates a job record (born `done`, result stored) so
+/// the client's poll loop is uniform.
+fn job_submit(shared: &Shared, req: &Request) -> Response {
+    let admission = match admit_solve(shared, req) {
+        Ok(a) => a,
+        Err(resp) => return resp,
+    };
+    let submitted = match admission.outcome {
+        Admitted::Hit(hit) => shared.sched.submit_completed(
+            &admission.tenant,
+            admission.priority,
+            Arc::new(SolveOutcome {
+                status: 200,
+                body: hit.as_ref().clone(),
+                cache: "hit",
+                elapsed_us: 0,
+            }),
+        ),
+        Admitted::Enqueue { task, key } => {
+            shared
+                .sched
+                .submit(&admission.tenant, admission.priority, Some(key), task)
+        }
+    };
+    match submitted {
+        Ok(sub) => {
+            let state = shared
+                .sched
+                .status(&admission.tenant, sub.job_id)
+                .map(|s| s.state.name())
+                .unwrap_or("queued");
+            Response::json(202, job_accepted_body(sub.job_id, sub.coalesced, state))
+        }
+        Err(e) => submit_error_response(shared, &e),
+    }
+}
+
+/// `/v1/jobs/{id}` and `/v1/jobs/{id}/result`: parse the id, dispatch
+/// on method and suffix.
+fn job_instance(shared: &Shared, req: &Request) -> Response {
+    let rest = &req.path["/v1/jobs/".len()..];
+    let (id_text, want_result) = match rest.strip_suffix("/result") {
+        Some(id) => (id, true),
+        None => (rest, false),
+    };
+    let id: u64 = match id_text.parse() {
+        Ok(id) => id,
+        Err(_) => {
+            return Response::json(404, error_body(404, &format!("no such job {id_text:?}"), None))
+        }
+    };
+    let tenant = header_tenant(req);
+    match (req.method.as_str(), want_result) {
+        ("GET", false) => job_status(shared, &tenant, id),
+        ("GET", true) => job_result(shared, &tenant, id),
+        ("DELETE", false) => job_cancel(shared, &tenant, id),
+        _ => Response::json(405, error_body(405, "method not allowed", None)),
+    }
+}
+
+/// The envelope embedded in a job-status body for terminal failures.
+fn job_error_envelope(state: JobState, detail: Option<&str>) -> Option<ErrorEnvelope> {
+    match state {
+        JobState::Failed => Some(ErrorEnvelope {
+            code: "internal".into(),
+            message: detail.unwrap_or("job failed").into(),
+            retryable: true,
+            retry_after_ms: None,
+        }),
+        JobState::Cancelled => Some(ErrorEnvelope {
+            code: "cancelled".into(),
+            message: detail.unwrap_or("job cancelled").into(),
+            retryable: false,
+            retry_after_ms: None,
+        }),
+        _ => None,
+    }
+}
+
+fn job_status(shared: &Shared, tenant: &str, id: u64) -> Response {
+    let snap = match shared.sched.status(tenant, id) {
+        Some(s) => s,
+        None => return Response::json(404, error_body(404, &format!("no such job {id}"), None)),
+    };
+    let env = job_error_envelope(snap.state, snap.error.as_deref());
+    let body = job_status_body(
+        snap.id,
+        &snap.tenant,
+        snap.state.name(),
+        snap.priority.name(),
+        snap.coalesced,
+        &snap.progress,
+        snap.result.as_ref().map(|o| (o.status, o.body.as_slice())),
+        env.as_ref(),
+    );
+    Response::json(200, body)
+}
+
+/// `GET /v1/jobs/{id}/result`: replay the stored outcome exactly as the
+/// synchronous facade would have returned it.
+fn job_result(shared: &Shared, tenant: &str, id: u64) -> Response {
+    let snap = match shared.sched.status(tenant, id) {
+        Some(s) => s,
+        None => return Response::json(404, error_body(404, &format!("no such job {id}"), None)),
+    };
+    match snap.state {
+        JobState::Done => outcome_response(&snap.result.expect("done job has a result")),
+        JobState::Failed => Response::json(
+            500,
+            error_body(500, snap.error.as_deref().unwrap_or("job failed"), None),
+        ),
+        JobState::Cancelled => Response::json(
+            409,
+            error_body(409, snap.error.as_deref().unwrap_or("job cancelled"), None),
+        ),
+        JobState::Queued | JobState::Running => Response::json(
+            409,
+            ErrorEnvelope {
+                code: "not_ready".into(),
+                message: format!("job {id} is {}; poll again shortly", snap.state.name()),
+                retryable: true,
+                retry_after_ms: Some(1000),
+            }
+            .to_body(),
+        )
+        .with_header("Retry-After", "1"),
+    }
+}
+
+fn job_cancel(shared: &Shared, tenant: &str, id: u64) -> Response {
+    match shared.sched.cancel(tenant, id) {
+        CancelOutcome::Cancelled => Response::json(200, job_accepted_body(id, false, "cancelled")),
+        CancelOutcome::AlreadyTerminal(state) => Response::json(
+            409,
+            error_body(409, &format!("job {id} already {}", state.name()), None),
+        ),
+        CancelOutcome::NotFound => {
+            Response::json(404, error_body(404, &format!("no such job {id}"), None))
         }
     }
+}
+
+fn job_list(shared: &Shared, req: &Request) -> Response {
+    let tenant = header_tenant(req);
+    let items: Vec<(u64, String, String, bool)> = shared
+        .sched
+        .list(&tenant)
+        .into_iter()
+        .map(|s| {
+            (
+                s.id,
+                s.state.name().to_string(),
+                s.priority.name().to_string(),
+                s.coalesced,
+            )
+        })
+        .collect();
+    Response::json(200, job_list_body(&tenant, &items))
 }
 
 #[cfg(test)]
@@ -934,9 +1385,24 @@ mod tests {
         path: &str,
         body: &str,
     ) -> (u16, Vec<(String, String)>, String) {
+        http_with(addr, method, path, &[], body)
+    }
+
+    /// Like [`http`] but with extra request headers (tenant scoping).
+    fn http_with(
+        addr: SocketAddr,
+        method: &str,
+        path: &str,
+        extra: &[(&str, &str)],
+        body: &str,
+    ) -> (u16, Vec<(String, String)>, String) {
         let mut conn = TcpStream::connect(addr).unwrap();
+        let extra_lines: String = extra
+            .iter()
+            .map(|(k, v)| format!("{k}: {v}\r\n"))
+            .collect();
         let req = format!(
-            "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+            "{method} {path} HTTP/1.1\r\nHost: test\r\n{extra_lines}Content-Length: {}\r\n\r\n{body}",
             body.len()
         );
         conn.write_all(req.as_bytes()).unwrap();
@@ -1006,6 +1472,42 @@ mod tests {
                 "/../../data/example.json"
             ))],
             ..ServerConfig::default()
+        }
+    }
+
+    /// Extract an unsigned integer JSON field from a flat body.
+    fn json_u64(body: &str, field: &str) -> u64 {
+        let tag = format!("\"{field}\":");
+        let at = body
+            .find(&tag)
+            .unwrap_or_else(|| panic!("no {field:?} in {body}"))
+            + tag.len();
+        body[at..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect::<String>()
+            .parse()
+            .unwrap()
+    }
+
+    /// Poll `GET /v1/jobs/{id}` until the job is terminal.
+    fn poll_job(
+        addr: SocketAddr,
+        headers: &[(&str, &str)],
+        id: u64,
+    ) -> (u16, Vec<(String, String)>, String) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let (s, h, b) = http_with(addr, "GET", &format!("/v1/jobs/{id}"), headers, "");
+            assert_eq!(s, 200, "{b}");
+            if ["done", "failed", "cancelled"]
+                .iter()
+                .any(|t| b.contains(&format!("\"state\":\"{t}\"")))
+            {
+                return (s, h, b);
+            }
+            assert!(Instant::now() < deadline, "job {id} never terminal: {b}");
+            std::thread::sleep(Duration::from_millis(20));
         }
     }
 
@@ -1145,7 +1647,7 @@ mod tests {
         join.join().unwrap();
         // The rejection is visible in the metrics text.
         assert!(handle.metrics_text().contains("qrel_rejected_total"));
-        assert!(handle.shared.metrics.rejected_count() >= 1);
+        assert!(handle.shared.exec.metrics.rejected_count() >= 1);
     }
 
     #[test]
@@ -1293,6 +1795,192 @@ mod tests {
         }
         let (_, _, health) = http(addr, "GET", "/healthz", "");
         assert!(health.contains("\"status\":\"ok\""), "{health}");
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn job_round_trip_result_is_bit_identical_and_replayable() {
+        let _quiet = qrel_faults::quiesce();
+        let (addr, handle, join) = boot(example_config());
+        let body = r#"{"dataset":"example","query":"exists x. Admin(x)","method":"exact","seed":7}"#;
+        let (s, _, accepted) = http(addr, "POST", "/v1/jobs", body);
+        assert_eq!(s, 202, "{accepted}");
+        let id = json_u64(&accepted, "job_id");
+        assert!(accepted.contains("\"coalesced\":false"), "{accepted}");
+        let (_, _, status) = poll_job(addr, &[], id);
+        assert!(status.contains("\"state\":\"done\""), "{status}");
+        assert!(status.contains("\"result\":{\"status\":200,"), "{status}");
+        assert!(status.contains("\"error\":null"), "{status}");
+        // The stored result replays bit-identically on every fetch...
+        let (s1, h1, r1) = http(addr, "GET", &format!("/v1/jobs/{id}/result"), "");
+        let (s2, _, r2) = http(addr, "GET", &format!("/v1/jobs/{id}/result"), "");
+        assert_eq!((s1, s2), (200, 200), "{r1}");
+        assert_eq!(r1, r2, "result fetches must be byte-identical");
+        assert!(header(&h1, "X-Qrel-Cache").is_some());
+        // ...and matches what the synchronous facade returns for the
+        // same request (served from cache, as the job already solved).
+        let (s3, h3, facade) = http(addr, "POST", "/v1/solve", body);
+        assert_eq!(s3, 200);
+        assert_eq!(header(&h3, "X-Qrel-Cache"), Some("hit"));
+        assert_eq!(facade, r1, "facade body must equal the job result");
+        // The job shows up in the tenant's list.
+        let (s4, _, list) = http(addr, "GET", "/v1/jobs", "");
+        assert_eq!(s4, 200);
+        assert!(list.contains(&format!("\"job_id\":{id}")), "{list}");
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn job_cancel_before_start_marks_cancelled() {
+        let _quiet = qrel_faults::quiesce();
+        // One scheduler worker, several HTTP workers: occupy the solve
+        // slot so a second job is queued and can be cancelled unstarted.
+        let (addr, handle, join) = boot(ServerConfig {
+            workers: 2,
+            sched_workers: 1,
+            ..example_config()
+        });
+        let occupier =
+            std::thread::spawn(move || http(addr, "POST", "/v1/jobs", &slow_solve_body(600, 0)));
+        std::thread::sleep(Duration::from_millis(100));
+        let (s, _, accepted) = http(addr, "POST", "/v1/jobs", &slow_solve_body(600, 1));
+        assert_eq!(s, 202, "{accepted}");
+        assert!(accepted.contains("\"state\":\"queued\""), "{accepted}");
+        let id = json_u64(&accepted, "job_id");
+        let (s, _, cancelled) = http(addr, "DELETE", &format!("/v1/jobs/{id}"), "");
+        assert_eq!(s, 200, "{cancelled}");
+        assert!(cancelled.contains("\"state\":\"cancelled\""), "{cancelled}");
+        let (_, _, status) = poll_job(addr, &[], id);
+        assert!(status.contains("\"state\":\"cancelled\""), "{status}");
+        assert!(status.contains("\"code\":\"cancelled\""), "{status}");
+        // Its result is refused with a conflict, not invented.
+        let (s, _, result) = http(addr, "GET", &format!("/v1/jobs/{id}/result"), "");
+        assert_eq!(s, 409, "{result}");
+        // Cancelling again reports the terminal state.
+        let (s, _, again) = http(addr, "DELETE", &format!("/v1/jobs/{id}"), "");
+        assert_eq!(s, 409, "{again}");
+        assert!(again.contains("already cancelled"), "{again}");
+        // The occupying job was untouched.
+        let (s, _, first) = occupier.join().unwrap();
+        assert_eq!(s, 202, "{first}");
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn job_cancel_mid_solve_frees_the_worker() {
+        let _quiet = qrel_faults::quiesce();
+        let (addr, handle, join) = boot(ServerConfig {
+            workers: 2,
+            sched_workers: 1,
+            ..example_config()
+        });
+        let (s, _, accepted) = http(addr, "POST", "/v1/jobs", &slow_solve_body(2_000, 2));
+        assert_eq!(s, 202, "{accepted}");
+        let id = json_u64(&accepted, "job_id");
+        std::thread::sleep(Duration::from_millis(100));
+        let started = Instant::now();
+        let (s, _, cancelled) = http(addr, "DELETE", &format!("/v1/jobs/{id}"), "");
+        assert_eq!(s, 200, "{cancelled}");
+        let (_, _, status) = poll_job(addr, &[], id);
+        assert!(status.contains("\"state\":\"cancelled\""), "{status}");
+        // The cancel propagated into the running solve's budget: the
+        // worker frees up well before the job's 2s deadline.
+        let (s, _, quick) = http(
+            addr,
+            "POST",
+            "/v1/solve",
+            r#"{"dataset":"example","query":"exists x. Admin(x)","method":"exact"}"#,
+        );
+        assert_eq!(s, 200, "{quick}");
+        assert!(
+            started.elapsed() < Duration::from_millis(1_900),
+            "cancelled solve pinned the worker for {:?}",
+            started.elapsed()
+        );
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn coalesced_duplicate_survives_cancelling_the_other_member() {
+        let _quiet = qrel_faults::quiesce();
+        let (addr, handle, join) = boot(ServerConfig {
+            workers: 3,
+            sched_workers: 1,
+            ..example_config()
+        });
+        // Occupy the single scheduler worker so the duplicates coalesce
+        // while their shared group is still queued.
+        let occupier =
+            std::thread::spawn(move || http(addr, "POST", "/v1/jobs", &slow_solve_body(500, 8)));
+        std::thread::sleep(Duration::from_millis(100));
+        let body = slow_solve_body(400, 9);
+        let (sa, _, a) = http(addr, "POST", "/v1/jobs", &body);
+        let (sb, _, b) = http(addr, "POST", "/v1/jobs", &body);
+        assert_eq!((sa, sb), (202, 202), "{a} / {b}");
+        assert!(a.contains("\"coalesced\":false"), "{a}");
+        assert!(b.contains("\"coalesced\":true"), "{b}");
+        let (id_a, id_b) = (json_u64(&a, "job_id"), json_u64(&b, "job_id"));
+        assert_ne!(id_a, id_b, "coalesced members keep distinct ids");
+        // Cancelling one member must not take the other down with it.
+        let (s, _, cancelled) = http(addr, "DELETE", &format!("/v1/jobs/{id_a}"), "");
+        assert_eq!(s, 200, "{cancelled}");
+        let (_, _, status_b) = poll_job(addr, &[], id_b);
+        assert!(status_b.contains("\"state\":\"done\""), "{status_b}");
+        let (s1, _, r1) = http(addr, "GET", &format!("/v1/jobs/{id_b}/result"), "");
+        let (s2, _, r2) = http(addr, "GET", &format!("/v1/jobs/{id_b}/result"), "");
+        assert_eq!((s1, s2), (200, 200), "{r1}");
+        assert_eq!(r1, r2, "shared group result must replay identically");
+        let (_, _, status_a) = poll_job(addr, &[], id_a);
+        assert!(status_a.contains("\"state\":\"cancelled\""), "{status_a}");
+        let _ = occupier.join().unwrap();
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn unknown_job_ids_get_envelope_404s() {
+        let _quiet = qrel_faults::quiesce();
+        let (addr, handle, join) = boot(example_config());
+        for path in ["/v1/jobs/999999", "/v1/jobs/999999/result", "/v1/jobs/bogus"] {
+            let (s, _, body) = http(addr, "GET", path, "");
+            assert_eq!(s, 404, "{path}: {body}");
+            let env = crate::protocol::ErrorEnvelope::from_body(body.as_bytes())
+                .unwrap_or_else(|e| panic!("{path}: {e}: {body}"));
+            assert_eq!(env.code, "not_found", "{path}");
+            assert!(!env.retryable, "{path}");
+        }
+        let (s, _, body) = http(addr, "DELETE", "/v1/jobs/999999", "");
+        assert_eq!(s, 404, "{body}");
+        // PATCH on a job id is a method problem, not a missing job.
+        assert_eq!(http(addr, "PATCH", "/v1/jobs/1", "").0, 405);
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn jobs_are_tenant_scoped() {
+        let _quiet = qrel_faults::quiesce();
+        let (addr, handle, join) = boot(example_config());
+        let alice = [("X-Qrel-Tenant", "alice")];
+        let bob = [("X-Qrel-Tenant", "bob")];
+        let body = r#"{"dataset":"example","query":"exists x. Admin(x)","method":"exact"}"#;
+        let (s, _, accepted) = http_with(addr, "POST", "/v1/jobs", &alice, body);
+        assert_eq!(s, 202, "{accepted}");
+        let id = json_u64(&accepted, "job_id");
+        poll_job(addr, &alice, id);
+        // Another tenant can neither see nor cancel it.
+        let (s, _, b) = http_with(addr, "GET", &format!("/v1/jobs/{id}"), &bob, "");
+        assert_eq!(s, 404, "{b}");
+        let (s, _, b) = http_with(addr, "DELETE", &format!("/v1/jobs/{id}"), &bob, "");
+        assert_eq!(s, 404, "{b}");
+        let (_, _, list) = http_with(addr, "GET", "/v1/jobs", &bob, "");
+        assert!(list.contains("\"jobs\":[]"), "{list}");
+        let (_, _, list) = http_with(addr, "GET", "/v1/jobs", &alice, "");
+        assert!(list.contains(&format!("\"job_id\":{id}")), "{list}");
         handle.shutdown();
         join.join().unwrap();
     }

@@ -8,7 +8,8 @@ experiments=(
   e1_qf_polytime e2_mon2sat_hardness e3_exact_fp_sharp_p e4_karp_luby
   e5_prob_kdnf e6_existential_fptras e7_four_colour e8_ptime_estimator
   e9_metafinite e10_crossover e11_positive_only e12_cq_planner
-  e13_expression_complexity e14_serve_throughput e16_fault_storm
+  e13_expression_complexity e14_serve_throughput e15_job_scheduler
+  e16_fault_storm
 )
 for e in "${experiments[@]}"; do
   echo "== $e =="

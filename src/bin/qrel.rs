@@ -152,12 +152,14 @@ fn print_help() {
          \x20 reliability  --db spec.json --query Q [--free x,y]\n\
          \x20              [--method auto|exact|qf|fptras|padding|mc]\n\
          \x20              [--timeout-ms T] [--max-worlds N] [--max-samples N] [--max-terms N]\n\
-         \x20              [--eps E] [--delta D] [--seed S] [--threads T]\n\
+         \x20              [--eps E] [--delta D] [--seed S] [--threads T] [--json true]\n\
          \x20              (--threads never changes the answer: fixed shard count,\n\
-         \x20               per-shard seed-split RNGs)\n\
+         \x20               per-shard seed-split RNGs; --json true prints the exact\n\
+         \x20               wire body POST /v1/solve would return, errors included)\n\
          \x20 marginals    --db spec.json --query Q [--free x,y]\n\
          \x20 serve        [--addr HOST:PORT] [--workers N] [--queue-cap N]\n\
-         \x20              [--cache-mb MB] [--preload spec.json,spec2.json]\n\
+         \x20              [--sched-workers N] [--tenant-cap N] [--reserved-workers N]\n\
+         \x20              [--job-retain N] [--cache-mb MB] [--preload spec.json,spec2.json]\n\
          \x20              [--shutdown-grace-ms T] [--self-heal true|false]\n\
          \x20              [--breaker-threshold N] [--watchdog-ms T]\n\
          \x20              (exit 3 when the shutdown drain had to force-cancel work)\n\
@@ -192,6 +194,15 @@ fn cmd_serve(opts: &Options) -> Result<ExitCode, String> {
     }
     config.workers = opts.get_u64("workers", config.workers as u64)?.max(1) as usize;
     config.queue_cap = opts.get_u64("queue-cap", config.queue_cap as u64)?.max(1) as usize;
+    config.sched_workers = opts.get_u64("sched-workers", config.sched_workers as u64)? as usize;
+    config.per_tenant_cap = opts
+        .get_u64("tenant-cap", config.per_tenant_cap as u64)?
+        .max(1) as usize;
+    config.reserved_workers =
+        opts.get_u64("reserved-workers", config.reserved_workers as u64)? as usize;
+    config.job_retain_cap = opts
+        .get_u64("job-retain", config.job_retain_cap as u64)?
+        .max(1) as usize;
     let default_mb = (config.cache_bytes / (1024 * 1024)) as u64;
     config.cache_bytes = opts.get_u64("cache-mb", default_mb)? as usize * 1024 * 1024;
     if let Some(list) = opts.get("preload") {
@@ -217,7 +228,11 @@ fn cmd_serve(opts: &Options) -> Result<ExitCode, String> {
     if !names.is_empty() {
         println!("preloaded datasets: {}", names.join(", "));
     }
-    println!("endpoints: POST /v1/solve, GET /healthz, GET /metrics");
+    println!(
+        "endpoints: POST /v1/jobs, GET /v1/jobs, GET /v1/jobs/{{id}}, \
+         GET /v1/jobs/{{id}}/result, DELETE /v1/jobs/{{id}}, \
+         POST /v1/solve, GET /healthz, GET /metrics"
+    );
     let report = server.run().map_err(|e| e.to_string())?;
     if report.forced {
         // Forced drain: grace expired or the watchdog shot in-flight
@@ -588,7 +603,35 @@ fn cmd_reliability(opts: &Options) -> Result<ExitCode, String> {
         solver = solver.with_threads(t);
     }
     let q = FoQuery::with_free_order(f, free);
-    let report = solver.solve(&ud, &q, &budget).map_err(|e| e.to_string())?;
+    let json = parse_bool(opts, "json", false)?;
+    let report = match solver.solve(&ud, &q, &budget) {
+        Ok(r) => r,
+        Err(e) => {
+            if json {
+                // Same failure, same wire shape: the envelope the HTTP
+                // solve endpoint would attach to its 422.
+                let body = qrel::serve::error_body(422, &e.to_string(), None);
+                println!("{}", String::from_utf8(body).expect("envelope is UTF-8"));
+                return Ok(ExitCode::FAILURE);
+            }
+            return Err(e.to_string());
+        }
+    };
+
+    if json {
+        // One serializer for every surface: this is byte-for-byte the
+        // body `POST /v1/solve` (and a job result fetch) returns for
+        // the same request, so scripts can switch transports freely.
+        let body = qrel::serve::solve_response_body(&report);
+        println!("{}", String::from_utf8(body).expect("report body is UTF-8"));
+        let degraded = report.is_degraded()
+            || (method == Method::Auto && !matches!(report.confidence, Confidence::Exact));
+        return Ok(if degraded {
+            ExitCode::from(EXIT_DEGRADED)
+        } else {
+            ExitCode::SUCCESS
+        });
+    }
 
     match (&report.exact, report.bounds) {
         (Some(r), _) => {

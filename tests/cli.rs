@@ -309,3 +309,86 @@ fn deterministic_with_same_seed() {
     };
     assert_eq!(run(), run());
 }
+
+/// Satellite of the job-API rearchitecture: the CLI's `--json` output,
+/// the HTTP solve body, and the committed golden file are one wire
+/// schema, byte for byte. A drift in any serializer shows up here.
+#[test]
+fn json_output_matches_http_solve_body_and_golden_file() {
+    use std::io::{Read, Write};
+
+    let db = concat!(env!("CARGO_MANIFEST_DIR"), "/data/example.json");
+    let (code, stdout, stderr) = qrel_code(&[
+        "reliability",
+        "--db",
+        db,
+        "--query",
+        "exists x. Admin(x)",
+        "--method",
+        "exact",
+        "--json",
+        "true",
+    ]);
+    assert_eq!(code, Some(0), "{stdout}{stderr}");
+    let cli_body = stdout
+        .strip_suffix('\n')
+        .expect("--json output ends with one newline");
+
+    // The same request over HTTP.
+    let server = qrel::serve::Server::bind(qrel::serve::ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        preload: vec![std::path::PathBuf::from(db)],
+        ..qrel::serve::ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().unwrap());
+    let body = r#"{"dataset":"example","query":"exists x. Admin(x)","method":"exact"}"#;
+    let mut conn = std::net::TcpStream::connect(addr).unwrap();
+    conn.write_all(
+        format!(
+            "POST /v1/solve HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+    .unwrap();
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw).unwrap();
+    let (head, http_body) = raw.split_once("\r\n\r\n").expect("complete response");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    handle.shutdown();
+    join.join().unwrap();
+
+    assert_eq!(
+        cli_body, http_body,
+        "CLI --json and POST /v1/solve must emit identical bytes"
+    );
+    let golden = include_str!("golden/solve_example_exact.json");
+    assert_eq!(cli_body, golden, "wire schema drifted from the golden file");
+}
+
+/// A solver failure in `--json` mode prints the same structured error
+/// envelope the HTTP endpoints return, on stdout, with exit code 1.
+#[test]
+fn json_output_uses_the_error_envelope_on_failure() {
+    let db = concat!(env!("CARGO_MANIFEST_DIR"), "/data/example.json");
+    let (code, stdout, _) = qrel_code(&[
+        "reliability",
+        "--db",
+        db,
+        "--query",
+        "exists x. Admin(x)",
+        "--method",
+        "qf",
+        "--json",
+        "true",
+    ]);
+    assert_eq!(code, Some(1), "{stdout}");
+    let env =
+        qrel::serve::ErrorEnvelope::from_body(stdout.trim_end().as_bytes()).expect("envelope");
+    assert_eq!(env.code, "unprocessable");
+    assert!(!env.retryable);
+}
