@@ -1,0 +1,314 @@
+//! Fixed-width dyadic probability arithmetic — the fast path under
+//! [`BigRational`].
+//!
+//! The common case in every hot loop of this workload is a *dyadic*
+//! probability: `num / 2^exp` with both parts machine-sized. Per-world
+//! weights are products of per-fact probabilities, and when every fact's
+//! `μ` has a power-of-two denominator the whole computation stays dyadic
+//! — sums and products of dyadics are dyadic. A [`Dyadic`] packs such a
+//! value into a `u128` numerator and a `u32` exponent; every operation
+//! is *checked* and returns `None` on overflow instead of silently
+//! wrapping.
+//!
+//! [`FastProb`] is the promoting wrapper the kernels actually use: it
+//! starts in the dyadic representation and switches to an exact
+//! [`BigRational`] the moment any checked operation overflows (or the
+//! input was never dyadic to begin with). Promotion changes the
+//! *representation*, never the *value* — `to_rational()` of a promoted
+//! chain is bit-identical to running the whole chain in `BigRational`,
+//! a boundary pinned by the proptest suite in
+//! `crates/arith/tests/dyadic_promotion.rs`.
+
+use crate::{BigInt, BigRational, BigUint};
+
+/// A non-negative dyadic rational `num / 2^exp` with `num: u128`.
+///
+/// Invariants: `num == 0` implies `exp == 0`, and otherwise `num` is odd
+/// or `exp == 0` (trailing zero bits are stripped on construction, which
+/// both canonicalizes equality and maximizes overflow headroom).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dyadic {
+    num: u128,
+    exp: u32,
+}
+
+impl Dyadic {
+    /// The value 0.
+    pub fn zero() -> Self {
+        Dyadic { num: 0, exp: 0 }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        Dyadic { num: 1, exp: 0 }
+    }
+
+    /// Canonicalize: strip shared factors of two, collapse zero.
+    fn normalized(num: u128, exp: u32) -> Self {
+        if num == 0 {
+            return Dyadic::zero();
+        }
+        let tz = (num.trailing_zeros()).min(exp);
+        Dyadic {
+            num: num >> tz,
+            exp: exp - tz,
+        }
+    }
+
+    /// Build `num / 2^exp` directly (normalizing).
+    pub fn from_parts(num: u128, exp: u32) -> Self {
+        Dyadic::normalized(num, exp)
+    }
+
+    pub fn num(&self) -> u128 {
+        self.num
+    }
+
+    pub fn exp(&self) -> u32 {
+        self.exp
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Convert an exact rational, if it is a non-negative dyadic whose
+    /// numerator fits in `u128` and whose denominator is at most
+    /// `2^127`. Anything else returns `None` (caller stays in
+    /// `BigRational`).
+    pub fn from_rational(r: &BigRational) -> Option<Dyadic> {
+        if r.is_negative() || !r.is_dyadic() {
+            return None;
+        }
+        let num = r.numer().magnitude().to_u128()?;
+        let denom = r.denom();
+        // `is_dyadic` guarantees a power of two; the exponent is the
+        // bit position.
+        let exp = u32::try_from(denom.bit_length().checked_sub(1)?).ok()?;
+        if exp > 127 {
+            return None;
+        }
+        Some(Dyadic::normalized(num, exp))
+    }
+
+    /// Exact conversion back to a [`BigRational`]. Total — dyadics are a
+    /// subset of the rationals.
+    pub fn to_rational(self) -> BigRational {
+        BigRational::new(
+            BigInt::from_biguint(BigUint::from_u128(self.num)),
+            BigInt::from_biguint(BigUint::from_u64(1).shl_bits(u64::from(self.exp))),
+        )
+    }
+
+    /// Checked addition: `None` iff aligning the exponents or adding the
+    /// numerators overflows `u128`.
+    pub fn checked_add(self, other: Dyadic) -> Option<Dyadic> {
+        let exp = self.exp.max(other.exp);
+        let a = shifted(self.num, exp - self.exp)?;
+        let b = shifted(other.num, exp - other.exp)?;
+        Some(Dyadic::normalized(a.checked_add(b)?, exp))
+    }
+
+    /// Checked multiplication: `None` iff the numerator product
+    /// overflows `u128` (the exponent sum overflowing `u32` is
+    /// impossible before the numerator does for probability workloads,
+    /// but is checked anyway).
+    pub fn checked_mul(self, other: Dyadic) -> Option<Dyadic> {
+        Some(Dyadic::normalized(
+            self.num.checked_mul(other.num)?,
+            self.exp.checked_add(other.exp)?,
+        ))
+    }
+
+    /// Checked `1 - self`: `None` if `self > 1` or the exponent exceeds
+    /// 127 (so `2^exp` no longer fits in the numerator width).
+    pub fn checked_one_minus(self) -> Option<Dyadic> {
+        if self.exp > 127 {
+            return None;
+        }
+        let unit = 1u128 << self.exp;
+        Some(Dyadic::normalized(unit.checked_sub(self.num)?, self.exp))
+    }
+}
+
+/// `num << shift` with a real overflow check (`u128::checked_shl` only
+/// rejects shift counts ≥ 128, not lost bits).
+fn shifted(num: u128, shift: u32) -> Option<u128> {
+    if shift == 0 {
+        return Some(num);
+    }
+    if shift >= 128 || (num >> (128 - shift)) != 0 {
+        return None;
+    }
+    Some(num << shift)
+}
+
+/// An exact probability that lives in [`Dyadic`] while it can and
+/// promotes to [`BigRational`] the moment an operation overflows.
+///
+/// The promotion is one-way per value (a promoted chain stays promoted)
+/// and value-preserving: both representations are exact, so the final
+/// [`FastProb::to_rational`] is bit-identical to an all-`BigRational`
+/// computation.
+#[derive(Debug, Clone)]
+pub enum FastProb {
+    Dyadic(Dyadic),
+    Big(BigRational),
+}
+
+impl FastProb {
+    pub fn zero() -> Self {
+        FastProb::Dyadic(Dyadic::zero())
+    }
+
+    pub fn one() -> Self {
+        FastProb::Dyadic(Dyadic::one())
+    }
+
+    /// Wrap an exact rational, choosing the dyadic representation when
+    /// possible.
+    pub fn from_rational(r: &BigRational) -> Self {
+        match Dyadic::from_rational(r) {
+            Some(d) => FastProb::Dyadic(d),
+            None => FastProb::Big(r.clone()),
+        }
+    }
+
+    /// Whether the value is still on the fixed-width fast path.
+    pub fn is_dyadic(&self) -> bool {
+        matches!(self, FastProb::Dyadic(_))
+    }
+
+    pub fn is_zero(&self) -> bool {
+        match self {
+            FastProb::Dyadic(d) => d.is_zero(),
+            FastProb::Big(b) => b.is_zero(),
+        }
+    }
+
+    /// Exact conversion to [`BigRational`].
+    pub fn to_rational(&self) -> BigRational {
+        match self {
+            FastProb::Dyadic(d) => d.to_rational(),
+            FastProb::Big(b) => b.clone(),
+        }
+    }
+
+    /// Exact addition, promoting on overflow.
+    pub fn add(&self, other: &FastProb) -> FastProb {
+        if let (FastProb::Dyadic(a), FastProb::Dyadic(b)) = (self, other) {
+            if let Some(s) = a.checked_add(*b) {
+                return FastProb::Dyadic(s);
+            }
+        }
+        FastProb::Big(self.to_rational().add_ref(&other.to_rational()))
+    }
+
+    /// Exact multiplication, promoting on overflow.
+    pub fn mul(&self, other: &FastProb) -> FastProb {
+        if let (FastProb::Dyadic(a), FastProb::Dyadic(b)) = (self, other) {
+            if let Some(p) = a.checked_mul(*b) {
+                return FastProb::Dyadic(p);
+            }
+        }
+        FastProb::Big(self.to_rational().mul_ref(&other.to_rational()))
+    }
+
+    /// Exact `1 - self`, promoting on overflow.
+    pub fn one_minus(&self) -> FastProb {
+        if let FastProb::Dyadic(d) = self {
+            if let Some(c) = d.checked_one_minus() {
+                return FastProb::Dyadic(c);
+            }
+        }
+        FastProb::Big(self.to_rational().one_minus())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: u64) -> BigRational {
+        BigRational::from_ratio(n, d)
+    }
+
+    #[test]
+    fn conversion_round_trips() {
+        for (n, d) in [(0i64, 1u64), (1, 1), (1, 2), (3, 8), (7, 64), (255, 256)] {
+            let q = r(n, d);
+            let dy = Dyadic::from_rational(&q).expect("dyadic");
+            assert_eq!(dy.to_rational(), q, "{n}/{d}");
+        }
+    }
+
+    #[test]
+    fn non_dyadic_and_negative_rejected() {
+        assert!(Dyadic::from_rational(&r(1, 3)).is_none());
+        assert!(Dyadic::from_rational(&r(5, 12)).is_none());
+        assert!(Dyadic::from_rational(&r(-1, 2)).is_none());
+        // Denominator 2^128 exceeds the representable exponent.
+        let tiny = BigRational::new(
+            BigInt::one(),
+            BigInt::from_biguint(BigUint::from_u64(1).shl_bits(128)),
+        );
+        assert!(Dyadic::from_rational(&tiny).is_none());
+        let edge = BigRational::new(
+            BigInt::one(),
+            BigInt::from_biguint(BigUint::from_u64(1).shl_bits(127)),
+        );
+        assert!(Dyadic::from_rational(&edge).is_some());
+    }
+
+    #[test]
+    fn checked_ops_match_rationals() {
+        let a = Dyadic::from_rational(&r(3, 8)).unwrap();
+        let b = Dyadic::from_rational(&r(5, 16)).unwrap();
+        assert_eq!(a.checked_add(b).unwrap().to_rational(), r(11, 16));
+        assert_eq!(a.checked_mul(b).unwrap().to_rational(), r(15, 128));
+        assert_eq!(a.checked_one_minus().unwrap().to_rational(), r(5, 8));
+    }
+
+    #[test]
+    fn normalization_strips_trailing_zeros() {
+        let d = Dyadic::from_parts(4, 3); // 4/8 = 1/2
+        assert_eq!(d.num(), 1);
+        assert_eq!(d.exp(), 1);
+        assert_eq!(Dyadic::from_parts(0, 17), Dyadic::zero());
+    }
+
+    #[test]
+    fn add_overflow_detected() {
+        // Aligning 1/1 against 1/2^127 needs a 128-bit shift.
+        let big = Dyadic::from_parts(u128::MAX, 0);
+        let one = Dyadic::one();
+        assert!(big.checked_add(one).is_none());
+        let tiny = Dyadic::from_parts(1, 127);
+        assert!(one.checked_add(tiny).is_some());
+        assert!(big.checked_mul(Dyadic::from_parts(2, 0)).is_none());
+    }
+
+    #[test]
+    fn fastprob_promotes_and_preserves_value() {
+        // (u64::MAX / 2^64)^3 overflows u128 numerators → promotes.
+        let p = r(i64::MAX, 1 << 62);
+        let f = FastProb::from_rational(&p);
+        assert!(f.is_dyadic());
+        let sq = f.mul(&f);
+        let cube = sq.mul(&f);
+        assert!(!cube.is_dyadic(), "third power must promote");
+        assert_eq!(cube.to_rational(), p.mul_ref(&p).mul_ref(&p));
+    }
+
+    #[test]
+    fn fastprob_mixed_ops() {
+        let third = FastProb::from_rational(&r(1, 3));
+        assert!(!third.is_dyadic());
+        let half = FastProb::from_rational(&r(1, 2));
+        assert_eq!(third.add(&half).to_rational(), r(5, 6));
+        assert_eq!(half.mul(&half).to_rational(), r(1, 4));
+        assert_eq!(half.one_minus().to_rational(), r(1, 2));
+        assert!(FastProb::zero().is_zero());
+        assert_eq!(FastProb::one().to_rational(), BigRational::one());
+    }
+}

@@ -16,10 +16,12 @@
 
 mod bigint;
 mod biguint;
+mod dyadic;
 mod rational;
 
 pub use bigint::{BigInt, Sign};
 pub use biguint::BigUint;
+pub use dyadic::{Dyadic, FastProb};
 pub use rational::BigRational;
 
 /// Parse error for the string forms accepted by the numeric types.

@@ -1,0 +1,156 @@
+//! Property tests pinning the dyadic→`BigRational` promotion boundary.
+//!
+//! The contract under test (DESIGN.md §15): a `FastProb` chain may switch
+//! representation from fixed-width [`Dyadic`] to [`BigRational`] at any
+//! point, but the *value* it denotes never changes — the result of any
+//! mixed chain is exactly equal (structural `Eq` on gcd-normalized
+//! rationals) to running the whole chain in `BigRational` from the start.
+//! The generators deliberately park operands near `u128` overflow so a
+//! large fraction of the sampled chains cross the boundary mid-stream.
+
+use proptest::prelude::*;
+use qrel_arith::{BigInt, BigRational, BigUint, Dyadic, FastProb};
+
+/// Mirror of the fast path's ops, run entirely in `BigRational`.
+#[derive(Debug, Clone)]
+enum Op {
+    Add(u128, u32),
+    Mul(u128, u32),
+    OneMinus,
+}
+
+fn dy_rational(num: u128, exp: u32) -> BigRational {
+    BigRational::new(
+        BigInt::from_biguint(BigUint::from_u128(num)),
+        BigInt::from_biguint(BigUint::from_u64(1).shl_bits(u64::from(exp))),
+    )
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u128>(), 0u32..=127).prop_map(|(n, e)| Op::Add(n, e)),
+        (any::<u128>(), 0u32..=127).prop_map(|(n, e)| Op::Mul(n, e)),
+        Just(Op::OneMinus),
+    ]
+}
+
+proptest! {
+    // Round-trip: every representable dyadic converts to a rational and
+    // back without loss, and the rational agrees with num/2^exp.
+    #[test]
+    fn round_trip_is_lossless(num in any::<u128>(), exp in 0u32..=127) {
+        let d = Dyadic::from_parts(num, exp);
+        let q = d.to_rational();
+        prop_assert_eq!(q.clone(), dy_rational(num, exp));
+        prop_assert_eq!(Dyadic::from_rational(&q), Some(d));
+    }
+
+    // Checked ops agree with BigRational whenever they succeed, for
+    // operands spanning the whole u128 range (most additions here
+    // overflow; the ones that don't must be exact).
+    #[test]
+    fn checked_ops_agree_when_defined(
+        an in any::<u128>(), ae in 0u32..=127,
+        bn in any::<u128>(), be in 0u32..=127,
+    ) {
+        let a = Dyadic::from_parts(an, ae);
+        let b = Dyadic::from_parts(bn, be);
+        let (ar, br) = (a.to_rational(), b.to_rational());
+        if let Some(s) = a.checked_add(b) {
+            prop_assert_eq!(s.to_rational(), ar.add_ref(&br));
+        }
+        if let Some(p) = a.checked_mul(b) {
+            prop_assert_eq!(p.to_rational(), ar.mul_ref(&br));
+        }
+        if let Some(c) = a.checked_one_minus() {
+            prop_assert_eq!(c.to_rational(), ar.one_minus());
+        }
+    }
+
+    // Near-overflow μ: numerators in the top half of u128 guarantee the
+    // second multiplication overflows, so every sampled chain promotes —
+    // and the promoted result must equal the always-rational one.
+    #[test]
+    fn forced_promotion_preserves_value(
+        an in (u128::MAX / 2)..=u128::MAX, ae in 120u32..=127,
+        bn in (u128::MAX / 2)..=u128::MAX, be in 120u32..=127,
+    ) {
+        let (aq, bq) = (dy_rational(an, ae), dy_rational(bn, be));
+        let a = FastProb::from_rational(&aq);
+        let b = FastProb::from_rational(&bq);
+        prop_assert!(a.is_dyadic() && b.is_dyadic());
+        let prod = a.mul(&b).mul(&a);
+        prop_assert!(!prod.is_dyadic(), "top-half numerators must overflow");
+        prop_assert_eq!(prod.to_rational(), aq.mul_ref(&bq).mul_ref(&aq));
+        let sum = a.add(&b).add(&a.mul(&b));
+        prop_assert_eq!(
+            sum.to_rational(),
+            aq.add_ref(&bq).add_ref(&aq.mul_ref(&bq))
+        );
+    }
+
+    // Random op chains: apply the same sequence through FastProb and
+    // through BigRational; wherever the fast path lands (still dyadic or
+    // promoted), the final values must be identical.
+    #[test]
+    fn random_chain_matches_rational_mirror(
+        start_n in any::<u128>(), start_e in 0u32..=127,
+        ops in proptest::collection::vec(op_strategy(), 1..12),
+    ) {
+        let mut fast = FastProb::from_rational(&dy_rational(start_n, start_e));
+        let mut exact = dy_rational(start_n, start_e);
+        for op in &ops {
+            match op {
+                Op::Add(n, e) => {
+                    let q = dy_rational(*n, *e);
+                    fast = fast.add(&FastProb::from_rational(&q));
+                    exact = exact.add_ref(&q);
+                }
+                Op::Mul(n, e) => {
+                    let q = dy_rational(*n, *e);
+                    fast = fast.mul(&FastProb::from_rational(&q));
+                    exact = exact.mul_ref(&q);
+                }
+                Op::OneMinus => {
+                    fast = fast.one_minus();
+                    exact = exact.one_minus();
+                }
+            }
+            // one_minus of a promoted value can go negative in the
+            // mirror; FastProb stores it as Big, which is still exact.
+            prop_assert_eq!(fast.to_rational(), exact.clone());
+        }
+    }
+
+    // Non-dyadic inputs never enter the fast representation, and mixing
+    // them into a chain is exact.
+    #[test]
+    fn non_dyadic_inputs_stay_big(n in 1i64..=1_000_000, d in 1u64..=1_000_000) {
+        let q = BigRational::from_ratio(n, d);
+        let f = FastProb::from_rational(&q);
+        prop_assert_eq!(f.is_dyadic(), q.is_dyadic());
+        let half = FastProb::from_rational(&BigRational::from_ratio(1, 2));
+        prop_assert_eq!(
+            f.mul(&half).add(&f).to_rational(),
+            q.mul_ref(&BigRational::from_ratio(1, 2)).add_ref(&q)
+        );
+    }
+}
+
+/// Hand-planted regression: the exact shape that first exposed silent
+/// shift truncation — aligning exponents in `checked_add` must detect
+/// lost high bits, not wrap (u128's `checked_shl` does not do this).
+#[test]
+fn add_alignment_overflow_is_detected_not_truncated() {
+    let wide = Dyadic::from_parts(u128::MAX, 7); // odd numerator, 128 bits
+    let fine = Dyadic::from_parts(1, 127); // forces a 120-bit alignment shift
+    assert_eq!(wide.checked_add(fine), None);
+
+    // Through FastProb the same addition must promote and stay exact.
+    let sum = FastProb::Dyadic(wide).add(&FastProb::Dyadic(fine));
+    assert!(!sum.is_dyadic());
+    assert_eq!(
+        sum.to_rational(),
+        wide.to_rational().add_ref(&fine.to_rational())
+    );
+}

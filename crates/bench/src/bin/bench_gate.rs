@@ -1,0 +1,109 @@
+//! Compare a directory of freshly emitted `BENCH_<exp>.json` reports
+//! against the committed baselines and fail on regression.
+//!
+//! Usage: `bench_gate <baseline_dir> <current_dir> [threshold]`
+//!
+//! Every `BENCH_*.json` in the baseline directory must have a current
+//! counterpart, and every baseline metric must be present and within
+//! `threshold` (default 0.15 = 15%) of its baseline — scores may not
+//! rise past it, values may not fall past it. Exit status 1 on any
+//! regression or missing report, with a per-metric verdict table on
+//! stdout either way.
+
+use qrel_bench::perf::{compare, BenchReport, MetricKind};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn load_reports(dir: &Path) -> Vec<(String, BenchReport)> {
+    let mut out: Vec<(String, BenchReport)> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| {
+            p.file_name().is_some_and(|n| {
+                let n = n.to_string_lossy();
+                n.starts_with("BENCH_") && n.ends_with(".json")
+            })
+        })
+        .map(|p| {
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            let text =
+                std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("{name}: unreadable: {e}"));
+            let report =
+                BenchReport::from_json(&text).unwrap_or_else(|e| panic!("{name}: malformed: {e}"));
+            (name, report)
+        })
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 || args.len() > 4 {
+        eprintln!("usage: bench_gate <baseline_dir> <current_dir> [threshold]");
+        return ExitCode::from(2);
+    }
+    let baseline_dir = Path::new(&args[1]);
+    let current_dir = Path::new(&args[2]);
+    let threshold: f64 = args
+        .get(3)
+        .map(|t| t.parse().expect("threshold must be a number"))
+        .unwrap_or(0.15);
+
+    let baselines = load_reports(baseline_dir);
+    assert!(
+        !baselines.is_empty(),
+        "no BENCH_*.json baselines in {}",
+        baseline_dir.display()
+    );
+    let currents = load_reports(current_dir);
+
+    let mut failures = 0usize;
+    println!(
+        "bench gate: {} baseline report(s), threshold {:.0}%",
+        baselines.len(),
+        threshold * 100.0
+    );
+    for (name, base) in &baselines {
+        let Some((_, cur)) = currents.iter().find(|(n, _)| n == name) else {
+            println!("FAIL {name}: no current report emitted");
+            failures += 1;
+            continue;
+        };
+        println!(
+            "{} (calib base {:.4}s, cur {:.4}s)",
+            name, base.calib_secs, cur.calib_secs
+        );
+        for v in compare(base, cur, threshold) {
+            let kind = base
+                .metrics
+                .iter()
+                .find(|m| m.name == v.metric)
+                .map(|m| m.kind)
+                .unwrap_or(MetricKind::Score);
+            let dir = match kind {
+                MetricKind::Score => "score",
+                MetricKind::Value => "value",
+            };
+            let cur_s = v
+                .current
+                .map(|c| format!("{c:.4}"))
+                .unwrap_or_else(|| "missing".to_string());
+            let status = if v.regressed { "FAIL" } else { "ok  " };
+            println!(
+                "  {status} {dir:<5} {:<28} base {:.4}  cur {cur_s}",
+                v.metric, v.baseline
+            );
+            if v.regressed {
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        println!("bench gate: {failures} regression(s)");
+        ExitCode::FAILURE
+    } else {
+        println!("bench gate: all metrics within threshold");
+        ExitCode::SUCCESS
+    }
+}

@@ -33,7 +33,13 @@ const SHORT_CLIENTS: usize = 2;
 const SHORTS_PER_CLIENT: usize = 30;
 const LONG_CLIENTS: usize = 2;
 
-fn http(addr: SocketAddr, method: &str, path: &str, headers: &[(&str, &str)], body: &str) -> (u16, String) {
+fn http(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &str,
+) -> (u16, String) {
     let mut raw = format!("{method} {path} HTTP/1.1\r\nHost: bench\r\n");
     for (k, v) in headers {
         raw.push_str(&format!("{k}: {v}\r\n"));
@@ -76,7 +82,10 @@ fn long_body(seed: u64, priority: Option<&str>) -> String {
 fn json_u64(body: &str, field: &str) -> Option<u64> {
     let needle = format!("\"{field}\":");
     let at = body.find(&needle)? + needle.len();
-    let digits: String = body[at..].chars().take_while(|c| c.is_ascii_digit()).collect();
+    let digits: String = body[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
     digits.parse().ok()
 }
 
@@ -147,8 +156,13 @@ fn run_arm(arm: Arm) -> (Vec<f64>, u64) {
                                 }
                             }
                             Arm::MixedJobs => {
-                                let (status, receipt) =
-                                    http(addr, "POST", "/v1/jobs", &[], &long_body(seed, Some("low")));
+                                let (status, receipt) = http(
+                                    addr,
+                                    "POST",
+                                    "/v1/jobs",
+                                    &[],
+                                    &long_body(seed, Some("low")),
+                                );
                                 if status != 202 {
                                     continue;
                                 }
@@ -156,13 +170,8 @@ fn run_arm(arm: Arm) -> (Vec<f64>, u64) {
                                 let id = json_u64(&receipt, "job_id").unwrap();
                                 let tenant = [("X-Qrel-Tenant", "batch")];
                                 loop {
-                                    let (_, snap) = http(
-                                        addr,
-                                        "GET",
-                                        &format!("/v1/jobs/{id}"),
-                                        &tenant,
-                                        "",
-                                    );
+                                    let (_, snap) =
+                                        http(addr, "GET", &format!("/v1/jobs/{id}"), &tenant, "");
                                     if snap.contains("\"state\":\"done\"") {
                                         break;
                                     }
@@ -202,10 +211,7 @@ fn run_arm(arm: Arm) -> (Vec<f64>, u64) {
             })
         })
         .collect();
-    let mut latencies: Vec<f64> = shorts
-        .into_iter()
-        .flat_map(|t| t.join().unwrap())
-        .collect();
+    let mut latencies: Vec<f64> = shorts.into_iter().flat_map(|t| t.join().unwrap()).collect();
     stop.store(true, Ordering::Relaxed);
     for t in long_threads {
         t.join().unwrap();
@@ -218,7 +224,9 @@ fn run_arm(arm: Arm) -> (Vec<f64>, u64) {
 }
 
 fn main() {
-    println!("E15 — job-scheduler isolation of short-request latency (infrastructure experiment)\n");
+    println!(
+        "E15 — job-scheduler isolation of short-request latency (infrastructure experiment)\n"
+    );
     println!(
         "workload: {SHORT_CLIENTS} client threads x {SHORTS_PER_CLIENT} short solves \
          (fptras eps=0.2) against {LONG_CLIENTS} background long-solve clients \

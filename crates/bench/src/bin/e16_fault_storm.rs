@@ -164,8 +164,6 @@ fn main() {
         table.row(&run_config(self_heal));
     }
     table.print();
-    println!(
-        "\navailability = 200s / {REQUESTS}; 500 = surfaced panic, 422 = tagged degradation;"
-    );
+    println!("\navailability = 200s / {REQUESTS}; 500 = surfaced panic, 422 = tagged degradation;");
     println!("watchdog / poison-det scraped from /metrics after the storm.");
 }

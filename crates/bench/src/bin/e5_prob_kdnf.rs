@@ -6,9 +6,10 @@
 //! counter blowup must stay polynomial in the probability bit width.
 
 use qrel_arith::BigRational;
-use qrel_bench::{random_kdnf, Table};
+use qrel_bench::perf::BenchReport;
+use qrel_bench::{fmt_secs, random_kdnf, Table};
 use qrel_core::prob_dnf::ProbDnfReduction;
-use qrel_count::dnf_probability_shannon;
+use qrel_count::{dnf_probability_bitslice, dnf_probability_enum, dnf_probability_shannon};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -66,4 +67,70 @@ fn main() {
          threshold formulas; non-dyadic instances add the illegal-assignment \
          correction, and exactness is preserved in all rows."
     );
+
+    println!("\npart 2: bit-parallel kDNF evaluation vs per-world enumeration");
+    let mut report = BenchReport::new("E5");
+    let vars = 20usize;
+    let d = random_kdnf(vars, 24, 3, &mut rng);
+
+    // Dyadic probabilities: the whole run stays on the fixed-width u128
+    // fast path, and the speedup floor is asserted.
+    let dyadic: Vec<BigRational> = (0..vars)
+        .map(|_| {
+            let den = [2u64, 4, 8, 16][rng.gen_range(0..4usize)];
+            BigRational::from_ratio(rng.gen_range(1..den) as i64, den)
+        })
+        .collect();
+    let (enum_p, enum_secs) =
+        report.timed("kdnf_enum_dyadic", 3, || dnf_probability_enum(&d, &dyadic));
+    let (fast_p, fast_secs) = report.timed("kdnf_bitslice_dyadic", 5, || {
+        dnf_probability_bitslice(&d, &dyadic)
+    });
+    assert_eq!(enum_p, fast_p, "bitslice disagreed with enumeration");
+    assert_eq!(
+        fast_p,
+        dnf_probability_shannon(&d, &dyadic),
+        "bitslice disagreed with Shannon"
+    );
+    let speedup = enum_secs / fast_secs;
+    println!(
+        "dyadic, vars = {vars}, terms = 24: enum {} vs bitslice {} — {speedup:.1}x",
+        fmt_secs(enum_secs),
+        fmt_secs(fast_secs)
+    );
+    assert!(
+        speedup >= 8.0,
+        "bit-parallel kernel must beat per-world enumeration by >= 8x on \
+         dyadic instances (got {speedup:.1}x)"
+    );
+    report.value("bitslice_speedup_dyadic", speedup);
+
+    // Non-dyadic probabilities force the dyadic representation to
+    // promote to BigRational lane weights; correctness must survive,
+    // and the speedup is recorded but not floor-asserted.
+    let thirds: Vec<BigRational> = (0..vars)
+        .map(|_| {
+            let den = [3u64, 5, 6, 12][rng.gen_range(0..4usize)];
+            BigRational::from_ratio(rng.gen_range(1..den) as i64, den)
+        })
+        .collect();
+    let (enum_p, enum_secs) = report.timed("kdnf_enum_promoted", 3, || {
+        dnf_probability_enum(&d, &thirds)
+    });
+    let (fast_p, fast_secs) = report.timed("kdnf_bitslice_promoted", 3, || {
+        dnf_probability_bitslice(&d, &thirds)
+    });
+    assert_eq!(
+        enum_p, fast_p,
+        "promoted bitslice disagreed with enumeration"
+    );
+    println!(
+        "promoted (non-dyadic): enum {} vs bitslice {} — {:.1}x, results bit-identical",
+        fmt_secs(enum_secs),
+        fmt_secs(fast_secs),
+        enum_secs / fast_secs
+    );
+    if let Some(path) = report.write_if_requested() {
+        println!("bench report written to {}", path.display());
+    }
 }

@@ -5,6 +5,8 @@
 //! paper's claims. This library provides the common pieces: table
 //! rendering, timing, and workload generators.
 
+pub mod perf;
+
 use qrel_arith::BigRational;
 use qrel_db::{Database, DatabaseBuilder, Fact};
 use qrel_prob::UnreliableDatabase;

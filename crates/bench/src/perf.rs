@@ -1,0 +1,340 @@
+//! The benchmark-gated perf harness: `BENCH_<exp>.json` emission and
+//! baseline comparison.
+//!
+//! Every E-series bin that participates in the perf trajectory builds a
+//! [`BenchReport`], records metrics, and calls
+//! [`BenchReport::write_if_requested`] — which writes
+//! `$QREL_BENCH_DIR/BENCH_<exp>.json` when that environment variable is
+//! set and does nothing otherwise (so plain experiment runs are
+//! unaffected).
+//!
+//! Two metric kinds exist and regress in opposite directions:
+//!
+//! * **score** — a host-normalized time: the min-of-k wall time of the
+//!   measured section divided by the wall time of a fixed
+//!   [`calibration_loop`] run on the same host moments earlier.
+//!   Dividing out the calibration time makes scores comparable across
+//!   machines of different speeds (a score of 2.0 means "twice the
+//!   calibration loop", wherever it runs), and taking the minimum — not
+//!   the median — makes both numbers robust to scheduler noise: the
+//!   workloads are deterministic, so the fastest observation is the one
+//!   closest to the true cost. *Bigger is worse.*
+//! * **value** — a dimensionless quality number (a speedup ratio, a
+//!   throughput). *Smaller is worse.*
+//!
+//! [`compare`] applies the gate: a score metric regresses when
+//! `current > baseline × (1 + threshold)`, a value metric when
+//! `current < baseline × (1 − threshold)`, and a metric missing from the
+//! current report always regresses (silent metric loss must not pass).
+//!
+//! The JSON is hand-rolled in a fixed line-oriented shape (one metric
+//! per line) so the comparator — and a human reading a diff of two
+//! committed baselines — can parse it without a serde dependency.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Iterations of the calibration kernel. Chosen so one pass takes a few
+/// tens of milliseconds on 2020s-era hardware: long enough to be stable
+/// against timer noise, short enough to rerun five times per bin.
+const CALIB_ITERS: u64 = 30_000_000;
+
+/// A fixed, deterministic, allocation-free CPU workload (SplitMix64
+/// scrambling). Its wall time is the unit every score is expressed in.
+pub fn calibration_kernel() -> u64 {
+    let mut z = 0x9E37_79B9_7F4A_7C15u64;
+    let mut acc = 0u64;
+    for _ in 0..CALIB_ITERS {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = z;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        acc ^= x ^ (x >> 31);
+    }
+    acc
+}
+
+/// Minimum wall time over seven calibration passes.
+pub fn calibration_loop() -> f64 {
+    (0..7)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(calibration_kernel());
+            start.elapsed().as_secs_f64()
+        })
+        .min_by(f64::total_cmp)
+        .unwrap()
+}
+
+/// Metric kind — determines the regression direction in [`compare`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Host-normalized time; regresses upward.
+    Score,
+    /// Quality number (speedup, throughput); regresses downward.
+    Value,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Score => "score",
+            MetricKind::Value => "value",
+        }
+    }
+
+    fn parse(s: &str) -> Option<MetricKind> {
+        match s {
+            "score" => Some(MetricKind::Score),
+            "value" => Some(MetricKind::Value),
+            _ => None,
+        }
+    }
+}
+
+/// One recorded metric.
+#[derive(Debug, Clone)]
+pub struct Metric {
+    pub name: String,
+    pub kind: MetricKind,
+    pub value: f64,
+}
+
+/// A perf report for one experiment, serializable to `BENCH_<exp>.json`.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Experiment tag, e.g. `"E3"` — names the output file.
+    pub exp: String,
+    /// Wall time of the calibration loop on the emitting host.
+    pub calib_secs: f64,
+    pub metrics: Vec<Metric>,
+}
+
+impl BenchReport {
+    /// Start a report: runs the calibration loop immediately so later
+    /// scores are normalized against this host's current speed.
+    pub fn new(exp: &str) -> Self {
+        BenchReport {
+            exp: exp.to_string(),
+            calib_secs: calibration_loop(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Measure `f` `k` times, record the fastest run as a
+    /// host-normalized score, and return the last run's output with the
+    /// fastest time in seconds.
+    pub fn timed<T>(&mut self, name: &str, k: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+        assert!(k >= 1);
+        let mut best = f64::INFINITY;
+        let mut out = None;
+        for _ in 0..k {
+            let start = Instant::now();
+            out = Some(black_box(f()));
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            kind: MetricKind::Score,
+            value: best / self.calib_secs,
+        });
+        (out.unwrap(), best)
+    }
+
+    /// Record a quality value (speedup ratio, throughput, …).
+    pub fn value(&mut self, name: &str, v: f64) {
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            kind: MetricKind::Value,
+            value: v,
+        });
+    }
+
+    /// Serialize: fixed line-oriented JSON, one metric per line.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"exp\": \"{}\",\n", self.exp));
+        s.push_str(&format!("  \"calib_secs\": {:.6},\n", self.calib_secs));
+        s.push_str("  \"metrics\": [\n");
+        for (i, m) in self.metrics.iter().enumerate() {
+            let comma = if i + 1 == self.metrics.len() { "" } else { "," };
+            s.push_str(&format!(
+                "    {{ \"name\": \"{}\", \"kind\": \"{}\", \"value\": {:.6} }}{}\n",
+                m.name,
+                m.kind.as_str(),
+                m.value,
+                comma
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parse the shape emitted by [`Self::to_json`].
+    pub fn from_json(text: &str) -> Result<BenchReport, String> {
+        fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+            let pat = format!("\"{key}\":");
+            let at = line.find(&pat)? + pat.len();
+            let rest = line[at..].trim_start();
+            let end = rest.find([',', '}']).unwrap_or(rest.len());
+            Some(rest[..end].trim().trim_matches('"'))
+        }
+        let mut exp = None;
+        let mut calib = None;
+        let mut metrics = Vec::new();
+        for line in text.lines() {
+            let t = line.trim();
+            if t.starts_with("{ \"name\"") || t.starts_with("{\"name\"") {
+                let name = field(t, "name").ok_or("metric missing name")?.to_string();
+                let kind = MetricKind::parse(field(t, "kind").ok_or("metric missing kind")?)
+                    .ok_or_else(|| format!("bad metric kind in {t:?}"))?;
+                let value: f64 = field(t, "value")
+                    .ok_or("metric missing value")?
+                    .parse()
+                    .map_err(|e| format!("bad metric value in {t:?}: {e}"))?;
+                metrics.push(Metric { name, kind, value });
+            } else if t.contains("\"exp\"") {
+                exp = field(t, "exp").map(str::to_string);
+            } else if t.contains("\"calib_secs\"") {
+                calib = field(t, "calib_secs").and_then(|v| v.parse().ok());
+            }
+        }
+        Ok(BenchReport {
+            exp: exp.ok_or("missing exp")?,
+            calib_secs: calib.ok_or("missing calib_secs")?,
+            metrics,
+        })
+    }
+
+    /// If `QREL_BENCH_DIR` is set, write `BENCH_<exp>.json` there.
+    /// Returns the path written, if any.
+    pub fn write_if_requested(&self) -> Option<std::path::PathBuf> {
+        let dir = std::env::var_os("QREL_BENCH_DIR")?;
+        let path = std::path::Path::new(&dir).join(format!("BENCH_{}.json", self.exp));
+        std::fs::create_dir_all(&dir).expect("QREL_BENCH_DIR must be creatable");
+        std::fs::write(&path, self.to_json()).expect("BENCH json must be writable");
+        Some(path)
+    }
+}
+
+/// One comparison verdict.
+#[derive(Debug, Clone)]
+pub struct Verdict {
+    pub metric: String,
+    pub baseline: f64,
+    pub current: Option<f64>,
+    pub regressed: bool,
+}
+
+/// Gate `current` against `baseline` at the given relative `threshold`
+/// (0.15 = fail on >15% regression). Every baseline metric must be
+/// present in the current report; extra current metrics are ignored
+/// (they become part of the gate once the baseline is re-recorded).
+pub fn compare(baseline: &BenchReport, current: &BenchReport, threshold: f64) -> Vec<Verdict> {
+    baseline
+        .metrics
+        .iter()
+        .map(|b| {
+            let cur = current
+                .metrics
+                .iter()
+                .find(|c| c.name == b.name && c.kind == b.kind);
+            let regressed = match cur {
+                None => true,
+                Some(c) => match b.kind {
+                    MetricKind::Score => c.value > b.value * (1.0 + threshold),
+                    MetricKind::Value => c.value < b.value * (1.0 - threshold),
+                },
+            };
+            Verdict {
+                metric: b.name.clone(),
+                baseline: b.value,
+                current: cur.map(|c| c.value),
+                regressed,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> BenchReport {
+        BenchReport {
+            exp: "E99".to_string(),
+            calib_secs: 0.05,
+            metrics: vec![
+                Metric {
+                    name: "total".to_string(),
+                    kind: MetricKind::Score,
+                    value: 2.5,
+                },
+                Metric {
+                    name: "speedup".to_string(),
+                    kind: MetricKind::Value,
+                    value: 10.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = report();
+        let back = BenchReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.exp, r.exp);
+        assert_eq!(back.metrics.len(), 2);
+        assert_eq!(back.metrics[0].name, "total");
+        assert_eq!(back.metrics[0].kind, MetricKind::Score);
+        assert!((back.metrics[0].value - 2.5).abs() < 1e-9);
+        assert_eq!(back.metrics[1].kind, MetricKind::Value);
+    }
+
+    #[test]
+    fn compare_directions() {
+        let base = report();
+        let mut cur = report();
+        // Within threshold both ways: no regression.
+        cur.metrics[0].value = 2.6; // +4% time
+        cur.metrics[1].value = 9.5; // -5% speedup
+        assert!(compare(&base, &cur, 0.15).iter().all(|v| !v.regressed));
+        // Score up 20%: regressed.
+        cur.metrics[0].value = 3.01;
+        assert!(compare(&base, &cur, 0.15)[0].regressed);
+        // Value down 20%: regressed.
+        cur.metrics[0].value = 2.5;
+        cur.metrics[1].value = 8.0;
+        assert!(compare(&base, &cur, 0.15)[1].regressed);
+        // Faster score / higher value: never a regression.
+        cur.metrics[0].value = 0.1;
+        cur.metrics[1].value = 100.0;
+        assert!(compare(&base, &cur, 0.15).iter().all(|v| !v.regressed));
+    }
+
+    #[test]
+    fn missing_metric_regresses() {
+        let base = report();
+        let mut cur = report();
+        cur.metrics.pop();
+        let verdicts = compare(&base, &cur, 0.15);
+        assert!(!verdicts[0].regressed);
+        assert!(verdicts[1].regressed);
+        assert!(verdicts[1].current.is_none());
+    }
+
+    #[test]
+    fn timed_records_scores_and_values() {
+        let mut r = BenchReport::new("E98");
+        assert!(r.calib_secs > 0.0);
+        let ((), secs) = r.timed("noop", 3, || {
+            black_box(0u64);
+        });
+        assert!(secs >= 0.0);
+        r.value("ratio", 4.0);
+        assert_eq!(r.metrics.len(), 2);
+        assert_eq!(r.metrics[0].kind, MetricKind::Score);
+        assert!(r.metrics[0].value >= 0.0);
+    }
+}

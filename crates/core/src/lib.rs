@@ -39,6 +39,7 @@ pub use exact::{
     exact_reliability_budgeted_sharded, exact_reliability_parallel, ExactOutcome, ExactReport,
 };
 pub use existential::{
+    existential_probability_bitslice, existential_probability_bitslice_sharded,
     existential_probability_exact, existential_probability_fptras,
     existential_probability_fptras_budgeted, FptrasReport, Route,
 };

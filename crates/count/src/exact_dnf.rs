@@ -137,6 +137,73 @@ pub fn dnf_probability_ie(dnf: &Dnf, probs: &[BigRational]) -> BigRational {
     total
 }
 
+/// Exact probability by serial per-world enumeration: walk all
+/// `2^var_bound` worlds in Gray-code order, maintaining the world weight
+/// with one rational multiply and one divide per step, and add the
+/// weight of every satisfying world.
+///
+/// This is the honest serial baseline the bit-sliced kernel
+/// (`crate::bitslice`) is measured against in E3/E5: same asymptotics
+/// (`O(2^n)` worlds), one world per iteration instead of 64 per lane
+/// word. Variables with probability 0 or 1 are pinned to their forced
+/// value (so the incremental `p/(1−p)` weight updates never divide by
+/// zero) and only the remaining free variables are enumerated.
+pub fn dnf_probability_enum(dnf: &Dnf, probs: &[BigRational]) -> BigRational {
+    assert!(
+        dnf.var_bound() <= probs.len(),
+        "probability vector does not cover all variables"
+    );
+    for p in probs {
+        assert!(p.is_probability(), "probability out of range");
+    }
+    if dnf.is_false() {
+        return BigRational::zero();
+    }
+    let n = dnf.var_bound();
+    assert!(n < 64, "per-world enumeration limited to 63 variables");
+
+    let mut assignment = vec![false; n];
+    let mut free: Vec<usize> = Vec::with_capacity(n);
+    let mut weight = BigRational::one(); // weight of the all-false start
+    for (v, p) in probs.iter().enumerate().take(n) {
+        if p.is_one() {
+            assignment[v] = true;
+        } else if !p.is_zero() {
+            free.push(v);
+            weight = weight.mul_ref(&p.one_minus());
+        }
+    }
+    // Flip ratios for free vars: ×p/(1−p) when turning on, inverse off.
+    let ratios: Vec<(BigRational, BigRational)> = free
+        .iter()
+        .map(|&v| {
+            let p = &probs[v];
+            let q = p.one_minus();
+            (p.div_ref(&q), q.div_ref(p))
+        })
+        .collect();
+
+    let mut total = BigRational::zero();
+    if dnf.eval(&assignment) {
+        total = total.add_ref(&weight);
+    }
+    for i in 1u64..(1u64 << free.len()) {
+        // Gray-code step: exactly one free variable flips per world.
+        let j = i.trailing_zeros() as usize;
+        let v = free[j];
+        assignment[v] = !assignment[v];
+        weight = weight.mul_ref(if assignment[v] {
+            &ratios[j].0
+        } else {
+            &ratios[j].1
+        });
+        if dnf.eval(&assignment) {
+            total = total.add_ref(&weight);
+        }
+    }
+    total
+}
+
 /// Exact model count of a DNF over `num_vars` variables, via Shannon
 /// expansion with `p ≡ 1/2`: `#models = 2^n · Pr_{1/2}[φ]`.
 pub fn dnf_count_models(dnf: &Dnf, num_vars: usize) -> BigUint {
@@ -275,6 +342,31 @@ mod tests {
                 d.count_models_brute(n)
             );
         }
+    }
+
+    #[test]
+    fn enum_matches_brute_including_pinned_vars() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for trial in 0..20 {
+            let n = rng.gen_range(2..9usize);
+            let nt = rng.gen_range(1..6);
+            let d = random_dnf(&mut rng, n, nt, 3);
+            // Denominator 6 gives a mix of 0, 1, and interior values, so
+            // the pinning path is exercised regularly.
+            let probs: Vec<BigRational> = (0..n).map(|_| r(rng.gen_range(0..=6), 6)).collect();
+            assert_eq!(
+                dnf_probability_enum(&d, &probs),
+                brute(&d, &probs),
+                "trial {trial}"
+            );
+        }
+        assert_eq!(
+            dnf_probability_enum(&Dnf::new(), &[r(1, 2)]),
+            BigRational::zero()
+        );
+        let mut top = Dnf::new();
+        top.push_term_checked(vec![]);
+        assert_eq!(dnf_probability_enum(&top, &[]), BigRational::one());
     }
 
     #[test]

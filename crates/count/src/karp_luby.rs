@@ -20,7 +20,7 @@
 
 use qrel_arith::BigRational;
 use qrel_budget::{Budget, Exhausted, Resource};
-use qrel_logic::prop::{Dnf, Lit};
+use qrel_logic::prop::{Dnf, Lit, PackedDnf};
 use qrel_par::{run_shards, run_shards_with, shard_counts, split_seed, DEFAULT_SHARDS};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -32,6 +32,10 @@ use crate::bounds::zero_one_estimator_samples;
 pub struct KarpLuby {
     /// Terms, each sorted by variable (the [`Dnf`] invariant).
     terms: Vec<Vec<Lit>>,
+    /// The same terms compiled to bit masks: the first-satisfied-term
+    /// scan runs over packed assignments (64 variables per word) instead
+    /// of literal-by-literal branches.
+    packed: PackedDnf,
     /// `Pr[x_v = 1]` per variable, as f64 (sampling precision).
     probs: Vec<f64>,
     /// Exact term weights `w(Tᵢ)` and their exact sum `U`.
@@ -103,8 +107,10 @@ impl KarpLuby {
             acc += w.to_f64();
             cumulative.push(acc);
         }
+        let packed = PackedDnf::from_terms(&terms, probs.len());
         KarpLuby {
             terms,
+            packed,
             probs: probs.iter().map(|p| p.to_f64()).collect(),
             weights,
             total_weight,
@@ -159,7 +165,7 @@ impl KarpLuby {
         assert!(samples > 0, "Karp-Luby needs at least one sample");
         let u = *self.cumulative.last().unwrap();
         let mut hits = 0u64;
-        let mut assignment = vec![false; self.probs.len()];
+        let mut assignment = vec![0u64; self.packed.num_words()];
         for _ in 0..samples {
             if self.sample_once(u, &mut assignment, rng) {
                 hits += 1;
@@ -173,8 +179,12 @@ impl KarpLuby {
         }
     }
 
-    /// One coverage-space sample; returns the indicator `Y`.
-    fn sample_once<R: Rng>(&self, u: f64, assignment: &mut [bool], rng: &mut R) -> bool {
+    /// One coverage-space sample; returns the indicator `Y`. The
+    /// assignment buffer is packed (`PackedDnf` layout, one bit per
+    /// variable); the RNG draw sequence is identical to the historical
+    /// `Vec<bool>` implementation, so estimates are bit-for-bit stable
+    /// across the representation change.
+    fn sample_once<R: Rng>(&self, u: f64, assignment: &mut [u64], rng: &mut R) -> bool {
         // Sample a term ∝ weight. The exact weights are nonzero by
         // construction, but their f64 images can underflow to a flat
         // cumulative vector — fall back to a uniform term choice rather
@@ -189,18 +199,17 @@ impl KarpLuby {
             rng.gen_range(0..self.terms.len())
         };
         // Sample an assignment conditioned on satisfying term ti.
-        for (v, slot) in assignment.iter_mut().enumerate() {
-            *slot = rng.gen::<f64>() < self.probs[v];
+        for (v, p) in self.probs.iter().enumerate() {
+            PackedDnf::set_bit(assignment, v, rng.gen::<f64>() < *p);
         }
         for l in &self.terms[ti] {
-            assignment[l.var as usize] = l.positive;
+            PackedDnf::set_bit(assignment, l.var as usize, l.positive);
         }
         // Y = 1 iff ti is the first term satisfied. The forced literals
         // make ti itself satisfied, so the search always succeeds.
         let first = self
-            .terms
-            .iter()
-            .position(|t| t.iter().all(|l| l.eval(assignment)))
+            .packed
+            .first_satisfied(assignment)
             .expect("sampled assignment satisfies term ti");
         first == ti
     }
@@ -241,7 +250,7 @@ impl KarpLuby {
         let mut hits = 0u64;
         let mut drawn = 0u64;
         let mut exhausted = None;
-        let mut assignment = vec![false; self.probs.len()];
+        let mut assignment = vec![0u64; self.packed.num_words()];
         for _ in 0..samples {
             if let Err(e) = budget.charge(Resource::Samples, 1) {
                 exhausted = Some(e);
@@ -305,7 +314,7 @@ impl KarpLuby {
         let counts = shard_counts(samples, shards);
         let shard_hits = run_shards(shards, threads, |s| {
             let mut rng = StdRng::seed_from_u64(split_seed(seed, s as u64));
-            let mut assignment = vec![false; self.probs.len()];
+            let mut assignment = vec![0u64; self.packed.num_words()];
             let mut hits = 0u64;
             for _ in 0..counts[s] {
                 if self.sample_once(u, &mut assignment, &mut rng) {
@@ -370,7 +379,7 @@ impl KarpLuby {
         let counts = shard_counts(samples, shards);
         let results = run_shards_with(budget.split(shards), threads, |s, child: Budget| {
             let mut rng = StdRng::seed_from_u64(split_seed(seed, s as u64));
-            let mut assignment = vec![false; self.probs.len()];
+            let mut assignment = vec![0u64; self.packed.num_words()];
             let mut hits = 0u64;
             let mut drawn = 0u64;
             let mut exhausted = None;

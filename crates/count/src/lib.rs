@@ -17,6 +17,7 @@
 //!   [`bounds`] including Lemma 5.11's `t(ξ, ε, δ)`.
 
 pub mod bdd;
+pub mod bitslice;
 pub mod bounds;
 pub mod exact_dnf;
 pub mod karp_luby;
@@ -24,7 +25,11 @@ pub mod naive_mc;
 pub mod sharp_sat;
 
 pub use bdd::{dnf_probability_bdd, Bdd};
-pub use exact_dnf::{dnf_probability_ie, dnf_probability_shannon};
+pub use bitslice::{
+    dnf_count_models_bitslice, dnf_probability_bitslice, dnf_probability_bitslice_range,
+    dnf_probability_bitslice_sharded,
+};
+pub use exact_dnf::{dnf_probability_enum, dnf_probability_ie, dnf_probability_shannon};
 pub use karp_luby::{KarpLuby, KarpLubyReport};
 pub use naive_mc::{naive_mc_probability, naive_mc_probability_budgeted};
 pub use sharp_sat::{count_models, count_mon2sat};

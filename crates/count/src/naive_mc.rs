@@ -9,7 +9,7 @@
 
 use qrel_arith::BigRational;
 use qrel_budget::{Budget, Exhausted, Resource};
-use qrel_logic::prop::Dnf;
+use qrel_logic::prop::{Dnf, PackedDnf};
 use qrel_par::{run_shards, shard_counts, split_seed};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -36,13 +36,17 @@ pub fn naive_mc_probability_with_samples<R: Rng>(
     );
     assert!(samples > 0, "naive MC needs at least one sample");
     let pf: Vec<f64> = probs.iter().map(|p| p.to_f64()).collect();
+    // Packed assignments: the term scan is lane-masked (64 vars per
+    // word); the per-variable RNG draw order is unchanged, so estimates
+    // are bit-identical to the historical Vec<bool> path.
+    let packed = PackedDnf::new(dnf, pf.len());
     let mut hits = 0u64;
-    let mut assignment = vec![false; pf.len()];
+    let mut assignment = vec![0u64; packed.num_words()];
     for _ in 0..samples {
-        for (v, slot) in assignment.iter_mut().enumerate() {
-            *slot = rng.gen::<f64>() < pf[v];
+        for (v, p) in pf.iter().enumerate() {
+            PackedDnf::set_bit(&mut assignment, v, rng.gen::<f64>() < *p);
         }
-        if dnf.eval(&assignment) {
+        if packed.eval_words(&assignment) {
             hits += 1;
         }
     }
@@ -70,16 +74,17 @@ pub fn naive_mc_probability_sharded(
     );
     assert!(samples > 0, "naive MC needs at least one sample");
     let pf: Vec<f64> = probs.iter().map(|p| p.to_f64()).collect();
+    let packed = PackedDnf::new(dnf, pf.len());
     let counts = shard_counts(samples, shards);
     let shard_hits = run_shards(shards, threads, |s| {
         let mut rng = StdRng::seed_from_u64(split_seed(seed, s as u64));
-        let mut assignment = vec![false; pf.len()];
+        let mut assignment = vec![0u64; packed.num_words()];
         let mut hits = 0u64;
         for _ in 0..counts[s] {
-            for (v, slot) in assignment.iter_mut().enumerate() {
-                *slot = rng.gen::<f64>() < pf[v];
+            for (v, p) in pf.iter().enumerate() {
+                PackedDnf::set_bit(&mut assignment, v, rng.gen::<f64>() < *p);
             }
-            if dnf.eval(&assignment) {
+            if packed.eval_words(&assignment) {
                 hits += 1;
             }
         }
@@ -104,19 +109,20 @@ pub fn naive_mc_probability_budgeted<R: Rng>(
         "probability vector does not cover all variables"
     );
     let pf: Vec<f64> = probs.iter().map(|p| p.to_f64()).collect();
+    let packed = PackedDnf::new(dnf, pf.len());
     let mut hits = 0u64;
     let mut drawn = 0u64;
     let mut exhausted = None;
-    let mut assignment = vec![false; pf.len()];
+    let mut assignment = vec![0u64; packed.num_words()];
     for _ in 0..samples {
         if let Err(e) = budget.charge(Resource::Samples, 1) {
             exhausted = Some(e);
             break;
         }
-        for (v, slot) in assignment.iter_mut().enumerate() {
-            *slot = rng.gen::<f64>() < pf[v];
+        for (v, p) in pf.iter().enumerate() {
+            PackedDnf::set_bit(&mut assignment, v, rng.gen::<f64>() < *p);
         }
-        if dnf.eval(&assignment) {
+        if packed.eval_words(&assignment) {
             hits += 1;
         }
         drawn += 1;

@@ -10,7 +10,7 @@
 
 use qrel_budget::{Budget, Exhausted, Resource};
 use qrel_db::{Database, Fact, FactIndexer};
-use qrel_logic::prop::{AtomTable, Dnf, PropFormula, VarId};
+use qrel_logic::prop::{AtomTable, Dnf, PackedDnf, PropFormula, VarId};
 use qrel_logic::{Formula, Term};
 use std::collections::HashMap;
 use std::fmt;
@@ -84,6 +84,22 @@ impl Grounding {
     pub fn eval_on(&self, db: &Database) -> bool {
         let assignment: Vec<bool> = self.facts.iter().map(|f| db.holds(f)).collect();
         self.dnf.eval(&assignment)
+    }
+
+    /// Compile the grounded DNF to its bit-mask form (for lane-masked
+    /// evaluation over packed fact assignments).
+    pub fn packed_dnf(&self) -> PackedDnf {
+        PackedDnf::new(&self.dnf, self.num_vars())
+    }
+
+    /// The packed counterpart of [`Self::eval_on`]'s assignment: one bit
+    /// per fact-variable in [`PackedDnf`] layout.
+    pub fn packed_assignment(&self, db: &Database) -> Vec<u64> {
+        let mut packed = vec![0u64; self.num_vars().div_ceil(64).max(1)];
+        for (v, f) in self.facts.iter().enumerate() {
+            PackedDnf::set_bit(&mut packed, v, db.holds(f));
+        }
+        packed
     }
 }
 
@@ -353,6 +369,31 @@ mod tests {
             assert_eq!(
                 g.eval_on(&world),
                 eval_sentence(&world, &f).unwrap(),
+                "world {mask}"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_eval_matches_plain_on_all_small_worlds() {
+        let db = DatabaseBuilder::new()
+            .universe_size(2)
+            .relation("E", 2)
+            .relation("S", 1)
+            .build();
+        let f = parse_formula("exists x y. E(x,y) & S(y) & x != y").unwrap();
+        let g = ground_existential(&db, &f, &HashMap::new(), 10_000).unwrap();
+        let packed = g.packed_dnf();
+        let ix = db.fact_indexer();
+        let total = ix.total();
+        for mask in 0u64..(1 << total) {
+            let mut world = db.clone();
+            for i in 0..total {
+                world.set_fact(&ix.fact_at(i), (mask >> i) & 1 == 1);
+            }
+            assert_eq!(
+                packed.eval_words(&g.packed_assignment(&world)),
+                g.eval_on(&world),
                 "world {mask}"
             );
         }

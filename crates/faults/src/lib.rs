@@ -284,7 +284,10 @@ pub fn hit(point: &str) -> Option<Fired> {
     if !armed() {
         return None;
     }
-    let plan = plan_slot().lock().expect("fault plan slot poisoned").clone()?;
+    let plan = plan_slot()
+        .lock()
+        .expect("fault plan slot poisoned")
+        .clone()?;
     let state = plan.states.iter().find(|s| s.rule.point == point)?;
     let i = state.hits.fetch_add(1, Ordering::Relaxed);
     if !decision(plan.seed, point, i, state.rule.prob) {
@@ -314,7 +317,10 @@ pub fn hit_at(point: &str, index: u64) -> Option<Fired> {
     if !armed() {
         return None;
     }
-    let plan = plan_slot().lock().expect("fault plan slot poisoned").clone()?;
+    let plan = plan_slot()
+        .lock()
+        .expect("fault plan slot poisoned")
+        .clone()?;
     let state = plan.states.iter().find(|s| s.rule.point == point)?;
     if !decision(plan.seed, point, index, state.rule.prob) {
         return None;
@@ -455,7 +461,10 @@ mod tests {
                         })
                     })
                     .collect();
-                handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().unwrap())
+                    .collect()
             });
             assert_eq!(par, serial);
         }

@@ -571,6 +571,106 @@ impl fmt::Display for Cnf {
     }
 }
 
+/// A DNF compiled to per-term bit masks for evaluation over *packed*
+/// assignments: variable `v` lives in bit `v % 64` of word `v / 64`, so a
+/// term check is one masked AND per word instead of one branch per
+/// literal.
+///
+/// This is the sampler-side bit-parallel representation (the samplers
+/// draw one world at a time, so the parallelism is across the *variables*
+/// of that world). The world-parallel layout — 64 worlds per word — lives
+/// in `qrel-count`'s bitslice kernel, which enumerates worlds rather than
+/// sampling them.
+#[derive(Debug, Clone)]
+pub struct PackedDnf {
+    num_vars: usize,
+    words: usize,
+    /// Per term: (positive-literal mask, negative-literal mask), both
+    /// `words` long. Term satisfied on assignment `a` iff for every word
+    /// `w`: `a[w] & pos[w] == pos[w]` and `a[w] & neg[w] == 0`.
+    terms: Vec<(Vec<u64>, Vec<u64>)>,
+}
+
+impl PackedDnf {
+    /// Compile a DNF over `num_vars` variables (must cover
+    /// `dnf.var_bound()`).
+    pub fn new(dnf: &Dnf, num_vars: usize) -> Self {
+        PackedDnf::from_terms(dnf.terms(), num_vars)
+    }
+
+    /// Compile raw terms; each term must be consistent (no `x ∧ ¬x`).
+    pub fn from_terms(terms: &[Vec<Lit>], num_vars: usize) -> Self {
+        let words = num_vars.div_ceil(64).max(1);
+        let packed = terms
+            .iter()
+            .map(|t| {
+                let mut pos = vec![0u64; words];
+                let mut neg = vec![0u64; words];
+                for l in t {
+                    let v = l.var as usize;
+                    assert!(v < num_vars, "literal variable out of range");
+                    let mask = if l.positive { &mut pos } else { &mut neg };
+                    mask[v / 64] |= 1u64 << (v % 64);
+                }
+                (pos, neg)
+            })
+            .collect();
+        PackedDnf {
+            num_vars,
+            words,
+            terms: packed,
+        }
+    }
+
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Words per packed assignment — size the buffer as `vec![0u64; n]`.
+    pub fn num_words(&self) -> usize {
+        self.words
+    }
+
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Set variable `var` in a packed assignment.
+    #[inline]
+    pub fn set_bit(assignment: &mut [u64], var: usize, value: bool) {
+        let bit = 1u64 << (var % 64);
+        if value {
+            assignment[var / 64] |= bit;
+        } else {
+            assignment[var / 64] &= !bit;
+        }
+    }
+
+    /// Read variable `var` from a packed assignment.
+    #[inline]
+    pub fn get_bit(assignment: &[u64], var: usize) -> bool {
+        assignment[var / 64] >> (var % 64) & 1 == 1
+    }
+
+    /// Index of the first satisfied term, mirroring
+    /// `terms.iter().position(|t| t.iter().all(|l| l.eval(a)))` on the
+    /// unpacked form.
+    pub fn first_satisfied(&self, assignment: &[u64]) -> Option<usize> {
+        debug_assert_eq!(assignment.len(), self.words);
+        self.terms.iter().position(|(pos, neg)| {
+            pos.iter()
+                .zip(neg.iter())
+                .zip(assignment.iter())
+                .all(|((&p, &n), &a)| a & p == p && a & n == 0)
+        })
+    }
+
+    /// Whether any term is satisfied.
+    pub fn eval_words(&self, assignment: &[u64]) -> bool {
+        self.first_satisfied(assignment).is_some()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -708,5 +808,49 @@ mod tests {
         assert_eq!(c.to_string(), "(x0 | !x1)");
         assert_eq!(Dnf::new().to_string(), "false");
         assert_eq!(Cnf::new().to_string(), "true");
+    }
+
+    #[test]
+    fn packed_dnf_matches_unpacked_eval() {
+        // Spans a word boundary: variables 0..70.
+        let num_vars = 70;
+        let d = Dnf::from_terms([
+            vec![Lit::pos(0), Lit::neg(63)],
+            vec![Lit::pos(64), Lit::pos(69)],
+            vec![Lit::neg(1), Lit::pos(65), Lit::neg(68)],
+        ]);
+        let p = PackedDnf::new(&d, num_vars);
+        assert_eq!(p.num_words(), 2);
+        // Deterministic pseudo-random sweep over assignments.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for _ in 0..500 {
+            let mut plain = vec![false; num_vars];
+            let mut packed = vec![0u64; p.num_words()];
+            for (v, slot) in plain.iter_mut().enumerate() {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let bit = state >> 63 == 1;
+                *slot = bit;
+                PackedDnf::set_bit(&mut packed, v, bit);
+                assert_eq!(PackedDnf::get_bit(&packed, v), bit);
+            }
+            assert_eq!(p.eval_words(&packed), d.eval(&plain));
+            assert_eq!(
+                p.first_satisfied(&packed),
+                d.terms()
+                    .iter()
+                    .position(|t| t.iter().all(|l| l.eval(&plain)))
+            );
+        }
+    }
+
+    #[test]
+    fn packed_dnf_trivial_shapes() {
+        let empty = PackedDnf::new(&Dnf::new(), 0);
+        assert_eq!(empty.num_words(), 1);
+        assert!(!empty.eval_words(&[0]));
+        let top = PackedDnf::new(&Dnf::from_terms([Vec::<Lit>::new()]), 0);
+        assert_eq!(top.first_satisfied(&[0]), Some(0));
     }
 }

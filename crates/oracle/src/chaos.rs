@@ -384,12 +384,7 @@ pub fn shrink_plan(case: &FuzzCase, plan: &FaultPlan, timeout_ms: u64, kind: &st
     best
 }
 
-fn write_chaos_repro(
-    dir: &Path,
-    kind: &str,
-    case: &FuzzCase,
-    plan: &FaultPlan,
-) -> Option<PathBuf> {
+fn write_chaos_repro(dir: &Path, kind: &str, case: &FuzzCase, plan: &FaultPlan) -> Option<PathBuf> {
     if let Err(e) = std::fs::create_dir_all(dir) {
         eprintln!("warning: cannot create corpus dir {}: {e}", dir.display());
         return None;
@@ -498,10 +493,15 @@ mod tests {
         let quiet = FaultPlan::new(1);
         assert_eq!(latency_bound(&quiet, 1_000), 1_000 + WATCHDOG_MS + SLACK_MS);
         let stall = FaultPlan::new(1).with_rule(&points::rung_stall("exact"), 1.0, 400, 0);
-        assert_eq!(latency_bound(&stall, 1_000), 1_000 + WATCHDOG_MS + SLACK_MS + 400);
+        assert_eq!(
+            latency_bound(&stall, 1_000),
+            1_000 + WATCHDOG_MS + SLACK_MS + 400
+        );
         // A capped rule never exceeds its own max_fires...
         let capped = FaultPlan::new(1).with_rule(&points::rung_stall("exact"), 1.0, 400, 1);
-        let with_panic = capped.clone().with_rule(&points::rung_panic("exact"), 1.0, 0, 0);
+        let with_panic = capped
+            .clone()
+            .with_rule(&points::rung_panic("exact"), 1.0, 0, 0);
         assert_eq!(
             latency_bound(&with_panic, 1_000),
             1_000 + WATCHDOG_MS + SLACK_MS + 400
@@ -526,7 +526,14 @@ mod tests {
             classify(200, wrong, full, 10, 100),
             Some((k, _)) if k == "chaos-bitflip"
         ));
-        assert!(classify(422, r#"{"error":"budget exhausted: deadline"}"#, full, 10, 100).is_none());
+        assert!(classify(
+            422,
+            r#"{"error":"budget exhausted: deadline"}"#,
+            full,
+            10,
+            100
+        )
+        .is_none());
         assert!(matches!(
             classify(500, "oops", full, 10, 100),
             Some((k, _)) if k == "chaos-untagged-error"
@@ -600,7 +607,11 @@ mod tests {
         // can't use `still_fails` (no real violation), so inline the
         // same passes via a local copy of the predicate contract.
         let mut best = plan.clone();
-        let fails = |p: &FaultPlan| p.rules.iter().any(|r| r.point == points::SERVE_WORKER_PANIC);
+        let fails = |p: &FaultPlan| {
+            p.rules
+                .iter()
+                .any(|r| r.point == points::SERVE_WORKER_PANIC)
+        };
         let mut i = 0;
         while i < best.rules.len() {
             if best.rules.len() == 1 {

@@ -3,10 +3,12 @@
 //! Exact engines must agree **bit-for-bit** in exact rationals — the
 //! serial Gray-code enumerator (`exact_probability`, Thm 4.2) is the
 //! oracle, and the parallel enumerator, the budgeted solver's exact
-//! route, the Prop 3.1 quantifier-free fast path, and the Thm 5.4
-//! grounding + Shannon pipeline are all held to exact equality against
-//! it. For DNF events, Shannon expansion is the oracle and
-//! inclusion–exclusion, the ROBDD, and the model counters must match.
+//! route, the Prop 3.1 quantifier-free fast path, the Thm 5.4
+//! grounding + Shannon pipeline, and the bit-sliced world enumerator
+//! (64 worlds per word, dyadic fast-path arithmetic) are all held to
+//! exact equality against it. For DNF events, Shannon expansion is the
+//! oracle and inclusion–exclusion, the ROBDD, the bit-sliced enumerator
+//! (serial and sharded), and the model counters must match.
 //!
 //! Samplers (Karp–Luby, naive MC, the Thm 5.12 padding estimator, the
 //! Cor 5.5 reliability estimator) are *allowed* to miss: each run is one
@@ -21,14 +23,15 @@ use qrel_arith::BigRational;
 use qrel_budget::Budget;
 use qrel_core::{
     exact_probability, exact_probability_parallel, exact_reliability, exact_reliability_parallel,
-    existential_probability_exact, existential_probability_fptras, qf_reliability,
-    PaddingEstimator, Route,
+    existential_probability_bitslice, existential_probability_exact,
+    existential_probability_fptras, qf_reliability, PaddingEstimator, Route,
 };
 use qrel_count::exact_dnf::dnf_count_models;
 use qrel_count::naive_mc::naive_mc_probability_sharded;
 use qrel_count::{
-    bounds::hoeffding_samples, dnf_probability_bdd, dnf_probability_ie, dnf_probability_shannon,
-    Bdd, KarpLuby,
+    bounds::hoeffding_samples, dnf_count_models_bitslice, dnf_probability_bdd,
+    dnf_probability_bitslice, dnf_probability_bitslice_sharded, dnf_probability_ie,
+    dnf_probability_shannon, Bdd, KarpLuby,
 };
 use qrel_eval::{FoQuery, Query};
 use qrel_logic::Fragment;
@@ -239,6 +242,18 @@ fn check_query_case(
             ),
             Err(e) => out.fail("grounding-shannon", format!("failed: {e}")),
         }
+
+        // Grounding + bit-sliced world enumeration: the fixed-width
+        // dyadic fast path with BigRational promotion must be exactly
+        // the Thm 4.2 value, bit for bit.
+        match existential_probability_bitslice(ud, formula) {
+            Ok(q) if q == p => {}
+            Ok(q) => out.fail(
+                "exact-bitslice",
+                format!("bit-sliced enumerator {q} != enumerator {p}"),
+            ),
+            Err(e) => out.fail("exact-bitslice", format!("failed: {e}")),
+        }
     }
 
     if !sample {
@@ -309,6 +324,23 @@ fn check_dnf_case(
         out.fail("dnf-bdd", format!("ROBDD {q} != Shannon {p}"));
     }
 
+    // Bit-sliced world enumeration, serial and sharded (the sharded run
+    // exercises the lane-aligned range splitting and ordered merge).
+    let q = dnf_probability_bitslice(dnf, probs);
+    if q != p {
+        out.fail(
+            "dnf-bitslice",
+            format!("bit-sliced enumerator {q} != Shannon {p}"),
+        );
+    }
+    let q = dnf_probability_bitslice_sharded(dnf, probs, DEFAULT_SHARDS, 2);
+    if q != p {
+        out.fail(
+            "dnf-bitslice-sharded",
+            format!("sharded bit-sliced enumerator {q} != Shannon {p}"),
+        );
+    }
+
     // Model counters: recursive counter vs ROBDD vs brute force.
     let brute = dnf.count_models_brute(num_vars);
     let counted = dnf_count_models(dnf, num_vars);
@@ -326,6 +358,15 @@ fn check_dnf_case(
             "bdd-count",
             format!("BDD model count {via_bdd} != brute force {brute}"),
         );
+    }
+    if num_vars <= 26 {
+        let via_bits = dnf_count_models_bitslice(dnf, num_vars);
+        if via_bits.to_string() != brute.to_string() {
+            out.fail(
+                "dnf-count-bitslice",
+                format!("bit-sliced model count {via_bits} != brute force {brute}"),
+            );
+        }
     }
 
     if !sample {

@@ -68,7 +68,10 @@ pub(crate) fn http_request(
 fn json_u64(body: &str, field: &str) -> Option<u64> {
     let needle = format!("\"{field}\":");
     let at = body.find(&needle)? + needle.len();
-    let digits: String = body[at..].chars().take_while(|c| c.is_ascii_digit()).collect();
+    let digits: String = body[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
     digits.parse().ok()
 }
 
@@ -82,7 +85,12 @@ fn json_str(body: &str, field: &str) -> Option<String> {
 /// Submit `body` via `POST /v1/jobs`, poll the job to a terminal state,
 /// then fetch its stored result twice — both fetches must be 200 and
 /// byte-identical to `expected`. Returns the first failure found.
-fn job_round_trip(addr: SocketAddr, body: &str, expected: &str, case: &FuzzCase) -> Option<Failure> {
+fn job_round_trip(
+    addr: SocketAddr,
+    body: &str,
+    expected: &str,
+    case: &FuzzCase,
+) -> Option<Failure> {
     let (status, receipt, _) = match http_request(addr, "POST", "/v1/jobs", body) {
         Ok(r) => r,
         Err(e) => {
@@ -107,16 +115,15 @@ fn job_round_trip(addr: SocketAddr, body: &str, expected: &str, case: &FuzzCase)
 
     let deadline = std::time::Instant::now() + Duration::from_secs(30);
     loop {
-        let (status, snap, _) =
-            match http_request(addr, "GET", &format!("/v1/jobs/{id}"), "") {
-                Ok(r) => r,
-                Err(e) => {
-                    return Some(Failure {
-                        check: "serve-transport".into(),
-                        detail: format!("{case}: job poll: {e}"),
-                    })
-                }
-            };
+        let (status, snap, _) = match http_request(addr, "GET", &format!("/v1/jobs/{id}"), "") {
+            Ok(r) => r,
+            Err(e) => {
+                return Some(Failure {
+                    check: "serve-transport".into(),
+                    detail: format!("{case}: job poll: {e}"),
+                })
+            }
+        };
         if status != 200 {
             return Some(Failure {
                 check: "serve-job-status".into(),

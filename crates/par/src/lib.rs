@@ -72,6 +72,26 @@ pub fn shard_ranges(total: u64, shards: usize) -> Vec<(u64, u64)> {
         .collect()
 }
 
+/// Split `[0, total)` into `shards` contiguous ranges whose boundaries
+/// fall on multiples of `align` (except the final boundary at `total`).
+///
+/// This is the lane-aware variant of [`shard_ranges`] used by the
+/// bit-parallel kernels: work is distributed in whole `align`-sized
+/// blocks (remainder blocks to the earliest shards) so no 64-world lane
+/// block is ever split across two shards. Trailing shards may be empty
+/// when there are fewer blocks than shards.
+///
+/// # Panics
+/// Panics if `shards == 0` or `align == 0`.
+pub fn shard_ranges_aligned(total: u64, shards: usize, align: u64) -> Vec<(u64, u64)> {
+    assert!(align > 0, "alignment must be positive");
+    let blocks = total.div_ceil(align);
+    shard_ranges(blocks, shards)
+        .into_iter()
+        .map(|(bs, be)| ((bs * align).min(total), (be * align).min(total)))
+        .collect()
+}
+
 /// Resolve the worker-thread count: an explicit request wins, then the
 /// `RAYON_NUM_THREADS` environment variable (the conventional knob for
 /// this layer, honored even though the implementation uses scoped std
@@ -228,6 +248,35 @@ mod tests {
     #[test]
     fn split_seed_is_pure() {
         assert_eq!(split_seed(42, 7), split_seed(42, 7));
+    }
+
+    #[test]
+    fn shard_ranges_aligned_boundaries() {
+        for (total, shards, align) in [
+            (1000u64, 16usize, 64u64),
+            (64, 16, 64),
+            (63, 16, 64),
+            (4096, 3, 64),
+            (130, 4, 64),
+            (0, 4, 64),
+            (7, 3, 1),
+        ] {
+            let ranges = shard_ranges_aligned(total, shards, align);
+            assert_eq!(ranges.len(), shards);
+            let mut cursor = 0u64;
+            for &(s, e) in &ranges {
+                assert_eq!(s, cursor, "ranges must be contiguous");
+                assert!(s <= e);
+                // Interior boundaries sit on block multiples.
+                if e != total {
+                    assert_eq!(e % align, 0, "unaligned cut at {e}");
+                }
+                cursor = e;
+            }
+            assert_eq!(cursor, total, "ranges must cover [0, total)");
+        }
+        // align=1 degenerates to plain shard_ranges.
+        assert_eq!(shard_ranges_aligned(100, 7, 1), shard_ranges(100, 7));
     }
 
     #[test]

@@ -48,6 +48,4 @@ mod solver;
 
 pub use qrel_budget::{Budget, CancelToken, Exhausted, QrelError, Resource};
 pub use report::{Confidence, Method, SolveReport, TraceStep};
-pub use solver::{
-    ProgressEvent, ProgressHook, Solver, DEFAULT_MAX_EXACT_WORLDS, MAX_RUNG_RETRIES,
-};
+pub use solver::{ProgressEvent, ProgressHook, Solver, DEFAULT_MAX_EXACT_WORLDS, MAX_RUNG_RETRIES};

@@ -286,8 +286,7 @@ impl Solver {
                         // jittered backoff while deadline remains,
                         // instead of burning the whole rung.
                         if err.is_transient() && attempt < self.rung_retries {
-                            if let Some(pause) =
-                                retry_backoff(self.seed, i as u64, attempt, budget)
+                            if let Some(pause) = retry_backoff(self.seed, i as u64, attempt, budget)
                             {
                                 trace.push(TraceStep {
                                     method,

@@ -110,7 +110,10 @@ impl JobState {
     }
 
     pub fn is_terminal(self) -> bool {
-        matches!(self, JobState::Done | JobState::Failed | JobState::Cancelled)
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
     }
 }
 
@@ -392,8 +395,8 @@ impl<P: Send + 'static, R: Send + Sync + 'static> Scheduler<P, R> {
             return Err(SubmitError::Closed);
         }
         let cap = self.inner.config.per_tenant_cap as u64;
-        let spurious = qrel_faults::armed()
-            && qrel_faults::hit(points::SCHED_QUEUE_SPURIOUS_FULL).is_some();
+        let spurious =
+            qrel_faults::armed() && qrel_faults::hit(points::SCHED_QUEUE_SPURIOUS_FULL).is_some();
         if spurious || st.tenants.get(tenant).copied().unwrap_or(0) >= cap {
             st.stats.rejected_full += 1;
             return Err(SubmitError::QueueFull {
@@ -787,12 +790,7 @@ fn worker_loop<P: Send + 'static, R: Send + Sync + 'static>(
                 match pick_group(&mut st, reserved) {
                     Some(g) => break Some(g),
                     None if st.closed => break None,
-                    None => {
-                        st = inner
-                            .work_cv
-                            .wait(st)
-                            .expect("scheduler state poisoned")
-                    }
+                    None => st = inner.work_cv.wait(st).expect("scheduler state poisoned"),
                 }
             };
             let Some(g) = picked else {
@@ -932,7 +930,9 @@ mod tests {
         let sched = sleepy(one_worker());
         let sub = sched.submit("t", Priority::Normal, None, 0).unwrap();
         assert!(!sub.coalesced);
-        let snap = sched.wait("t", sub.job_id, Some(Duration::from_secs(5))).unwrap();
+        let snap = sched
+            .wait("t", sub.job_id, Some(Duration::from_secs(5)))
+            .unwrap();
         assert_eq!(snap.state, JobState::Done);
         assert_eq!(*snap.result.unwrap(), 0);
         let stats = sched.stats();
@@ -1010,7 +1010,9 @@ mod tests {
         // The worker must come free promptly (the token interrupted the
         // sleep): a follow-up job completes fast.
         let next = sched.submit("t", Priority::Normal, None, 0).unwrap();
-        let snap = sched.wait("t", next.job_id, Some(Duration::from_secs(5))).unwrap();
+        let snap = sched
+            .wait("t", next.job_id, Some(Duration::from_secs(5)))
+            .unwrap();
         assert_eq!(snap.state, JobState::Done);
         assert_eq!(sched.stats().cancelled_running_total, 1);
     }
@@ -1025,7 +1027,9 @@ mod tests {
         assert!(b.coalesced);
         assert_eq!(sched.cancel("t", a.job_id), CancelOutcome::Cancelled);
         // b still completes with the shared result.
-        let snap = sched.wait("t", b.job_id, Some(Duration::from_secs(5))).unwrap();
+        let snap = sched
+            .wait("t", b.job_id, Some(Duration::from_secs(5)))
+            .unwrap();
         assert_eq!(snap.state, JobState::Done);
         assert_eq!(*snap.result.unwrap(), 10);
         // a stays cancelled even though the execution went on.
@@ -1105,12 +1109,16 @@ mod tests {
             p
         });
         let bad = sched.submit("t", Priority::Normal, None, 13).unwrap();
-        let snap = sched.wait("t", bad.job_id, Some(Duration::from_secs(5))).unwrap();
+        let snap = sched
+            .wait("t", bad.job_id, Some(Duration::from_secs(5)))
+            .unwrap();
         assert_eq!(snap.state, JobState::Failed);
         assert!(snap.error.unwrap().contains("boom"));
         // The worker lives on.
         let ok = sched.submit("t", Priority::Normal, None, 1).unwrap();
-        let snap = sched.wait("t", ok.job_id, Some(Duration::from_secs(5))).unwrap();
+        let snap = sched
+            .wait("t", ok.job_id, Some(Duration::from_secs(5)))
+            .unwrap();
         assert_eq!(snap.state, JobState::Done);
         assert_eq!(sched.stats().failed_total, 1);
     }
@@ -1201,7 +1209,9 @@ mod tests {
             assert!(matches!(err, SubmitError::QueueFull { .. }));
             // The single fire is spent; the next submit goes through.
             let ok = sched.submit("t", Priority::Normal, None, 0).unwrap();
-            let snap = sched.wait("t", ok.job_id, Some(Duration::from_secs(5))).unwrap();
+            let snap = sched
+                .wait("t", ok.job_id, Some(Duration::from_secs(5)))
+                .unwrap();
             assert_eq!(snap.state, JobState::Done);
         }
         assert_eq!(sched.stats().rejected_full, 1);
@@ -1227,7 +1237,9 @@ mod tests {
         // reserved worker must take it immediately.
         let started = Instant::now();
         let hi = sched.submit("t", Priority::High, None, 0).unwrap();
-        let snap = sched.wait("t", hi.job_id, Some(Duration::from_secs(5))).unwrap();
+        let snap = sched
+            .wait("t", hi.job_id, Some(Duration::from_secs(5)))
+            .unwrap();
         assert_eq!(snap.state, JobState::Done);
         assert!(
             started.elapsed() < Duration::from_millis(250),

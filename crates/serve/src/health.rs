@@ -417,7 +417,10 @@ mod tests {
         assert_eq!(b.admit(Method::NaiveMc), Admission::Probe);
         b.record_failure(Method::NaiveMc);
         assert_eq!(b.state(Method::NaiveMc), BreakerState::Open);
-        assert!(matches!(b.admit(Method::NaiveMc), Admission::Rejected { .. }));
+        assert!(matches!(
+            b.admit(Method::NaiveMc),
+            Admission::Rejected { .. }
+        ));
     }
 
     #[test]
@@ -446,8 +449,14 @@ mod tests {
         let b = Breakers::new(1, Duration::from_secs(60));
         b.record_failure(Method::Padding);
         let text = b.render();
-        assert!(text.contains("qrel_circuit_state{method=\"padding\"} 1"), "{text}");
-        assert!(text.contains("qrel_circuit_state{method=\"exact\"} 0"), "{text}");
+        assert!(
+            text.contains("qrel_circuit_state{method=\"padding\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("qrel_circuit_state{method=\"exact\"} 0"),
+            "{text}"
+        );
         assert!(text.contains("qrel_circuit_opens_total 1"), "{text}");
     }
 

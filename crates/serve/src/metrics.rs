@@ -280,17 +280,13 @@ pub fn render_sched(stats: &qrel_sched::SchedStats) -> String {
         "qrel_sched_coalesce_hits_total {}\n",
         stats.coalesce_hits
     ));
-    out.push_str(
-        "# HELP qrel_sched_rejected_total Submits refused at the per-tenant queue cap.\n",
-    );
+    out.push_str("# HELP qrel_sched_rejected_total Submits refused at the per-tenant queue cap.\n");
     out.push_str("# TYPE qrel_sched_rejected_total counter\n");
     out.push_str(&format!(
         "qrel_sched_rejected_total {}\n",
         stats.rejected_full
     ));
-    out.push_str(
-        "# HELP qrel_sched_jobs_total Job-state transitions, by transition.\n",
-    );
+    out.push_str("# HELP qrel_sched_jobs_total Job-state transitions, by transition.\n");
     out.push_str("# TYPE qrel_sched_jobs_total counter\n");
     for (transition, n) in [
         ("enqueued", stats.enqueued_total),
@@ -401,7 +397,10 @@ mod tests {
         assert!(text.contains("qrel_sched_queued_jobs 3"), "{text}");
         assert!(text.contains("qrel_sched_queued_groups 2"), "{text}");
         assert!(text.contains("qrel_sched_running_jobs 1"), "{text}");
-        assert!(text.contains("qrel_sched_tenant_jobs{tenant=\"acme\"} 3"), "{text}");
+        assert!(
+            text.contains("qrel_sched_tenant_jobs{tenant=\"acme\"} 3"),
+            "{text}"
+        );
         assert!(text.contains("qrel_sched_coalesce_hits_total 4"), "{text}");
         assert!(text.contains("qrel_sched_rejected_total 5"), "{text}");
         assert!(

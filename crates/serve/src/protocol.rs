@@ -200,8 +200,7 @@ pub fn parse_solve_request(body: &[u8], limits: ParseLimits) -> Result<SolveRequ
             let p = v
                 .as_str()
                 .ok_or_else(|| "\"priority\" must be a string".to_string())?;
-            Priority::parse(p)
-                .ok_or_else(|| format!("unknown priority {p:?} (high|normal|low)"))?
+            Priority::parse(p).ok_or_else(|| format!("unknown priority {p:?} (high|normal|low)"))?
         }
     };
 
@@ -309,12 +308,9 @@ impl ErrorEnvelope {
                 None => Value::Null,
             },
         ));
-        serde_json::to_string(&Value::Object(vec![(
-            "error".into(),
-            Value::Object(obj),
-        )]))
-        .expect("value serialization is infallible")
-        .into_bytes()
+        serde_json::to_string(&Value::Object(vec![("error".into(), Value::Object(obj))]))
+            .expect("value serialization is infallible")
+            .into_bytes()
     }
 
     /// Parse a wire body back into the envelope (round-trip testing and
@@ -647,10 +643,11 @@ mod tests {
         }
         // Codes are distinct per status (the client can dispatch on
         // them without looking at the HTTP status line).
-        let codes: std::collections::HashSet<&str> = [400u16, 404, 405, 408, 409, 413, 422, 429, 500, 503]
-            .iter()
-            .map(|&s| error_code_for_status(s))
-            .collect();
+        let codes: std::collections::HashSet<&str> =
+            [400u16, 404, 405, 408, 409, 413, 422, 429, 500, 503]
+                .iter()
+                .map(|&s| error_code_for_status(s))
+                .collect();
         assert_eq!(codes.len(), 10);
         // Retryable statuses carry retryable: true.
         assert!(status_is_retryable(429) && status_is_retryable(503));

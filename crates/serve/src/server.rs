@@ -280,10 +280,13 @@ impl InFlightRegistry {
         self.entries
             .lock()
             .expect("inflight registry poisoned")
-            .insert(id, InFlight {
-                token,
-                hard_deadline,
-            });
+            .insert(
+                id,
+                InFlight {
+                    token,
+                    hard_deadline,
+                },
+            );
         id
     }
 
@@ -502,7 +505,10 @@ impl ServerHandle {
     /// escalation a graceful drain falls back to after the grace
     /// period). Solves admitted afterwards start out cancelled.
     pub fn hard_cancel(&self) {
-        self.shared.exec.hard_cancelled.store(true, Ordering::SeqCst);
+        self.shared
+            .exec
+            .hard_cancelled
+            .store(true, Ordering::SeqCst);
         self.shared.exec.inflight.cancel_all();
         self.shared.sched.abort();
     }
@@ -534,9 +540,7 @@ fn render_metrics(shared: &Shared) -> String {
     let mut text = shared.exec.metrics.render();
     text.push_str(&shared.exec.breakers.render());
     text.push_str(&render_sched(&shared.sched.stats()));
-    text.push_str(
-        "# HELP qrel_cache_poison_detected_total Cache replies rejected by checksum.\n",
-    );
+    text.push_str("# HELP qrel_cache_poison_detected_total Cache replies rejected by checksum.\n");
     text.push_str("# TYPE qrel_cache_poison_detected_total counter\n");
     text.push_str(&format!(
         "qrel_cache_poison_detected_total {}\n",
@@ -851,7 +855,11 @@ fn reject_connection(shared: &Shared, mut conn: TcpStream) {
     let retry_after = retry_after_hint(shared);
     let resp = Response::json(
         429,
-        error_body(429, "admission queue full; retry shortly", Some(retry_after)),
+        error_body(
+            429,
+            "admission queue full; retry shortly",
+            Some(retry_after),
+        ),
     )
     .with_header("Retry-After", retry_after.to_string());
     write_response(&mut conn, &resp);
@@ -1192,7 +1200,11 @@ fn solve(shared: &Shared, req: &Request) -> Response {
             ),
             JobState::Cancelled => Response::json(
                 503,
-                error_body(503, "job cancelled while the server was shutting down", None),
+                error_body(
+                    503,
+                    "job cancelled while the server was shutting down",
+                    None,
+                ),
             ),
             // `wait(.., None)` only returns on a terminal state.
             JobState::Queued | JobState::Running => {
@@ -1261,7 +1273,10 @@ fn job_instance(shared: &Shared, req: &Request) -> Response {
     let id: u64 = match id_text.parse() {
         Ok(id) => id,
         Err(_) => {
-            return Response::json(404, error_body(404, &format!("no such job {id_text:?}"), None))
+            return Response::json(
+                404,
+                error_body(404, &format!("no such job {id_text:?}"), None),
+            )
         }
     };
     let tenant = header_tenant(req);
@@ -1397,10 +1412,7 @@ mod tests {
         body: &str,
     ) -> (u16, Vec<(String, String)>, String) {
         let mut conn = TcpStream::connect(addr).unwrap();
-        let extra_lines: String = extra
-            .iter()
-            .map(|(k, v)| format!("{k}: {v}\r\n"))
-            .collect();
+        let extra_lines: String = extra.iter().map(|(k, v)| format!("{k}: {v}\r\n")).collect();
         let req = format!(
             "{method} {path} HTTP/1.1\r\nHost: test\r\n{extra_lines}Content-Length: {}\r\n\r\n{body}",
             body.len()
@@ -1676,8 +1688,12 @@ mod tests {
 
     #[test]
     fn persistent_rung_panics_open_the_circuit_and_healthz_degrades() {
-        let plan = qrel_faults::FaultPlan::new(0xB12E)
-            .with_rule(&qrel_faults::points::rung_panic("exact"), 1.0, 0, 0);
+        let plan = qrel_faults::FaultPlan::new(0xB12E).with_rule(
+            &qrel_faults::points::rung_panic("exact"),
+            1.0,
+            0,
+            0,
+        );
         let _guard = plan.arm();
         let (addr, handle, join) = boot(ServerConfig {
             workers: 1,
@@ -1731,8 +1747,12 @@ mod tests {
         // hanging until the stall ends... the stall itself is not
         // interruptible, but the budget observes the cancellation at
         // the next probe, so the response arrives right after.
-        let plan = qrel_faults::FaultPlan::new(0x57A1)
-            .with_rule(&qrel_faults::points::rung_stall("exact"), 1.0, 900, 1);
+        let plan = qrel_faults::FaultPlan::new(0x57A1).with_rule(
+            &qrel_faults::points::rung_stall("exact"),
+            1.0,
+            900,
+            1,
+        );
         let _guard = plan.arm();
         let (addr, handle, join) = boot_drain(ServerConfig {
             workers: 1,
@@ -1750,10 +1770,7 @@ mod tests {
         // The answer is an explicit outcome (degraded 200 or tagged
         // 422), never a hang: the stall bounds the response time.
         assert!(status == 200 || status == 422, "{status}: {body}");
-        assert!(
-            elapsed < Duration::from_secs(5),
-            "request took {elapsed:?}"
-        );
+        assert!(elapsed < Duration::from_secs(5), "request took {elapsed:?}");
         assert!(handle.watchdog_cancels() >= 1, "watchdog never fired");
         handle.shutdown();
         let report = join.join().unwrap();
@@ -1777,8 +1794,12 @@ mod tests {
 
     #[test]
     fn self_heal_off_disables_breakers_and_watchdog() {
-        let plan = qrel_faults::FaultPlan::new(0x0FF)
-            .with_rule(&qrel_faults::points::rung_panic("exact"), 1.0, 0, 0);
+        let plan = qrel_faults::FaultPlan::new(0x0FF).with_rule(
+            &qrel_faults::points::rung_panic("exact"),
+            1.0,
+            0,
+            0,
+        );
         let _guard = plan.arm();
         let (addr, handle, join) = boot(ServerConfig {
             workers: 1,
@@ -1803,7 +1824,8 @@ mod tests {
     fn job_round_trip_result_is_bit_identical_and_replayable() {
         let _quiet = qrel_faults::quiesce();
         let (addr, handle, join) = boot(example_config());
-        let body = r#"{"dataset":"example","query":"exists x. Admin(x)","method":"exact","seed":7}"#;
+        let body =
+            r#"{"dataset":"example","query":"exists x. Admin(x)","method":"exact","seed":7}"#;
         let (s, _, accepted) = http(addr, "POST", "/v1/jobs", body);
         assert_eq!(s, 202, "{accepted}");
         let id = json_u64(&accepted, "job_id");
@@ -1945,7 +1967,11 @@ mod tests {
     fn unknown_job_ids_get_envelope_404s() {
         let _quiet = qrel_faults::quiesce();
         let (addr, handle, join) = boot(example_config());
-        for path in ["/v1/jobs/999999", "/v1/jobs/999999/result", "/v1/jobs/bogus"] {
+        for path in [
+            "/v1/jobs/999999",
+            "/v1/jobs/999999/result",
+            "/v1/jobs/bogus",
+        ] {
             let (s, _, body) = http(addr, "GET", path, "");
             assert_eq!(s, 404, "{path}: {body}");
             let env = crate::protocol::ErrorEnvelope::from_body(body.as_bytes())

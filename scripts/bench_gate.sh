@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Emit fresh BENCH_<exp>.json reports from the perf-instrumented
+# experiment bins and gate them against the baselines committed at the
+# repo root. Exit 1 on any >threshold regression (see DESIGN.md §15).
+#
+# Usage: scripts/bench_gate.sh [out_dir] [threshold]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+OUT="${1:-target/bench-out}"
+THRESHOLD="${2:-0.15}"
+mkdir -p "$OUT"
+
+for e in e3_exact_fp_sharp_p e5_prob_kdnf e10_crossover; do
+  echo "== $e =="
+  QREL_BENCH_DIR="$OUT" \
+    cargo run --release -q -p qrel-bench --features experiments --bin "$e"
+  echo
+done
+
+cargo run --release -q -p qrel-bench --bin bench_gate -- . "$OUT" "$THRESHOLD"

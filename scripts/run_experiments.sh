@@ -13,6 +13,7 @@ experiments=(
 )
 for e in "${experiments[@]}"; do
   echo "== $e =="
-  cargo run --release -q -p qrel-bench --bin "$e" | tee "target/experiments/$e.txt"
+  cargo run --release -q -p qrel-bench --features experiments --bin "$e" \
+    | tee "target/experiments/$e.txt"
   echo
 done

@@ -69,6 +69,7 @@ fn hand_planted_regressions_are_present() {
         "regression-nondyadic-thirds.json",
         "regression-nearzero-dnf.json",
         "regression-universal-padding.json",
+        "regression-dyadic-overflow.json",
     ] {
         assert!(
             names.iter().any(|n| n == required),

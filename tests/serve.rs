@@ -423,7 +423,8 @@ fn binary_sigterm_during_long_solve_forces_drain_and_exits_3() {
         .unwrap_or_else(|_| panic!("unparseable banner: {banner}"));
 
     // Occupy the single worker with a solve that wants ~5s.
-    let slow = std::thread::spawn(move || http(addr, "POST", "/v1/solve", &slow_solve_body(5000, 0)));
+    let slow =
+        std::thread::spawn(move || http(addr, "POST", "/v1/solve", &slow_solve_body(5000, 0)));
     std::thread::sleep(Duration::from_millis(300));
 
     let term = Command::new("kill")
