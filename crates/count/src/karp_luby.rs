@@ -38,6 +38,10 @@ pub struct KarpLuby {
     packed: PackedDnf,
     /// `Pr[x_v = 1]` per variable, as f64 (sampling precision).
     probs: Vec<f64>,
+    /// Per term: packed `(set, clear)` masks over the assignment words —
+    /// forcing term `i`'s literals is `w = (w & !clear) | set` per word
+    /// instead of a branchy per-literal bit write.
+    term_masks: Vec<(Vec<u64>, Vec<u64>)>,
     /// Exact term weights `w(Tᵢ)` and their exact sum `U`.
     weights: Vec<BigRational>,
     total_weight: BigRational,
@@ -108,9 +112,26 @@ impl KarpLuby {
             cumulative.push(acc);
         }
         let packed = PackedDnf::from_terms(&terms, probs.len());
+        let term_masks = terms
+            .iter()
+            .map(|t| {
+                let mut set = vec![0u64; packed.num_words()];
+                let mut clear = vec![0u64; packed.num_words()];
+                for l in t {
+                    let (word, bit) = (l.var as usize / 64, 1u64 << (l.var % 64));
+                    if l.positive {
+                        set[word] |= bit;
+                    } else {
+                        clear[word] |= bit;
+                    }
+                }
+                (set, clear)
+            })
+            .collect();
         KarpLuby {
             terms,
             packed,
+            term_masks,
             probs: probs.iter().map(|p| p.to_f64()).collect(),
             weights,
             total_weight,
@@ -198,12 +219,28 @@ impl KarpLuby {
         } else {
             rng.gen_range(0..self.terms.len())
         };
-        // Sample an assignment conditioned on satisfying term ti.
+        // Sample an assignment conditioned on satisfying term ti. The
+        // draws happen per variable in index order — the exact sequence
+        // the scalar implementation used, pinned by the determinism
+        // suites — but the bits accumulate branchlessly in a local word
+        // flushed once per 64 variables, and the term's literals are
+        // forced wordwise from its precomputed masks.
+        let mut word = 0u64;
+        let mut wi = 0usize;
         for (v, p) in self.probs.iter().enumerate() {
-            PackedDnf::set_bit(assignment, v, rng.gen::<f64>() < *p);
+            word |= u64::from(rng.gen::<f64>() < *p) << (v % 64);
+            if v % 64 == 63 {
+                assignment[wi] = word;
+                wi += 1;
+                word = 0;
+            }
         }
-        for l in &self.terms[ti] {
-            PackedDnf::set_bit(assignment, l.var as usize, l.positive);
+        if !self.probs.len().is_multiple_of(64) {
+            assignment[wi] = word;
+        }
+        let (set, clear) = &self.term_masks[ti];
+        for ((w, s), c) in assignment.iter_mut().zip(set).zip(clear) {
+            *w = (*w & !c) | s;
         }
         // Y = 1 iff ti is the first term satisfied. The forced literals
         // make ti itself satisfied, so the search always succeeds.
@@ -701,6 +738,50 @@ mod tests {
         assert_eq!(plain.estimate.to_bits(), budgeted.estimate.to_bits());
         assert_eq!(plain.samples, budgeted.samples);
         assert_eq!(budget.spent(qrel_budget::Resource::Samples), 500);
+    }
+
+    #[test]
+    fn vectorized_sampling_matches_scalar_reference_bit_for_bit() {
+        // The wordwise draw/force path must consume the RNG in the same
+        // per-variable order and produce the same indicator as the
+        // historical scalar loop (per-bit `set_bit`, per-literal force).
+        // Any divergence shifts every later draw and breaks the pinned
+        // determinism suites.
+        let d = Dnf::from_terms([
+            vec![Lit::pos(0), Lit::neg(65)],
+            vec![Lit::pos(64), Lit::pos(1)],
+            vec![Lit::neg(3), Lit::pos(130)],
+        ]);
+        // 131 variables: three words, a ragged tail, cross-word terms.
+        let probs: Vec<BigRational> = (0..131).map(|i| r(1 + (i as i64 % 3), 4)).collect();
+        let kl = KarpLuby::new(&d, &probs);
+        let u = *kl.cumulative.last().unwrap();
+        let probs_f64: Vec<f64> = probs.iter().map(|p| p.to_f64()).collect();
+        let mut fast_rng = StdRng::seed_from_u64(77);
+        let mut ref_rng = StdRng::seed_from_u64(77);
+        let mut fast_buf = vec![0u64; kl.packed.num_words()];
+        let mut ref_buf = vec![0u64; kl.packed.num_words()];
+        for round in 0..2_000 {
+            let fast = kl.sample_once(u, &mut fast_buf, &mut fast_rng);
+            // Scalar reference: identical draw sequence, bit-by-bit.
+            let reference = {
+                let rng = &mut ref_rng;
+                let x = rng.gen::<f64>() * u;
+                let ti = match kl.cumulative.binary_search_by(|c| c.total_cmp(&x)) {
+                    Ok(i) => (i + 1).min(kl.terms.len() - 1),
+                    Err(i) => i.min(kl.terms.len() - 1),
+                };
+                for (v, p) in probs_f64.iter().enumerate() {
+                    PackedDnf::set_bit(&mut ref_buf, v, rng.gen::<f64>() < *p);
+                }
+                for l in &kl.terms[ti] {
+                    PackedDnf::set_bit(&mut ref_buf, l.var as usize, l.positive);
+                }
+                kl.packed.first_satisfied(&ref_buf).unwrap() == ti
+            };
+            assert_eq!(fast, reference, "round {round} diverged");
+            assert_eq!(fast_buf, ref_buf, "round {round} assignment diverged");
+        }
     }
 
     #[test]

@@ -60,6 +60,14 @@ pub mod points {
     /// Stall a scheduler worker for `delay_ms` just before it executes
     /// a job.
     pub const SCHED_WORKER_STALL: &str = "sched.worker.stall";
+    /// Tear a store segment write: persist a prefix of the file, then
+    /// fail the write. The commit must abort with the manifest
+    /// untouched — the torn file is never referenced.
+    pub const STORE_SEGMENT_TORN_WRITE: &str = "store.segment.torn_write";
+    /// Crash a store commit after the segment file is published but
+    /// before the manifest is — reopen must recover the previous state
+    /// and garbage-collect the orphan segment.
+    pub const STORE_COMMIT_CRASH: &str = "store.commit.crash";
 
     /// The full point name for a runtime rung panic.
     pub fn rung_panic(method: &str) -> String {

@@ -71,7 +71,7 @@ impl Default for ChaosConfig {
 #[derive(Debug, Clone)]
 pub struct ChaosViolation {
     /// Violation class: `chaos-bitflip`, `chaos-untagged-error`,
-    /// `chaos-hang`, or `chaos-transport`.
+    /// `chaos-hang`, `chaos-transport`, or `chaos-store`.
     pub kind: String,
     pub detail: String,
     pub case: FuzzCase,
@@ -106,13 +106,16 @@ fn splitmix(mut x: u64) -> u64 {
 pub fn sample_plan(seed: u64) -> FaultPlan {
     const PROBS: [f64; 3] = [0.25, 0.5, 1.0];
     const DELAYS: [u64; 3] = [25, 100, 400];
-    let mut s = splitmix(seed ^ 0xc4a0_5_f4a);
+    let mut s = splitmix(seed ^ 0xc4a0_5f4a);
     let mut draw = |n: u64| {
         s = splitmix(s);
         s % n
     };
     // (point, is_stall) menu; `exact` is the only rung chaos requests run.
-    let menu: [(String, bool); 9] = [
+    // The store points never fire on the solve path — they are exercised
+    // by the durability probe [`run_pair`] appends for plans that draw
+    // them.
+    let menu: [(String, bool); 11] = [
         (points::SERVE_WORKER_PANIC.into(), false),
         (points::SERVE_CONN_SLOW_READ.into(), true),
         (points::rung_panic("exact"), false),
@@ -122,12 +125,14 @@ pub fn sample_plan(seed: u64) -> FaultPlan {
         (points::BUDGET_SPURIOUS_TRIP.into(), false),
         (points::SCHED_QUEUE_SPURIOUS_FULL.into(), false),
         (points::SCHED_WORKER_STALL.into(), true),
+        (points::STORE_SEGMENT_TORN_WRITE.into(), false),
+        (points::STORE_COMMIT_CRASH.into(), false),
     ];
     let mut plan = FaultPlan::new(seed);
     let rules = 1 + draw(3);
-    let mut used = [false; 9];
+    let mut used = [false; 11];
     for _ in 0..rules {
-        let idx = draw(9) as usize;
+        let idx = draw(11) as usize;
         if used[idx] {
             continue;
         }
@@ -188,6 +193,73 @@ pub fn latency_bound(plan: &FaultPlan, timeout_ms: u64) -> u64 {
         }
     }
     bound
+}
+
+/// Does this plan contain a rule on a store durability point? Only such
+/// plans run the store probe: the solve path never reaches those points,
+/// so probing under store-free plans would only burn fsyncs.
+fn has_store_rule(plan: &FaultPlan) -> bool {
+    plan.rules.iter().any(|r| r.point.starts_with("store."))
+}
+
+/// Durability probe run while the plan is armed: commit a short batch
+/// sequence into a scratch store and hold it to the crash-safety
+/// contract — every commit either succeeds and passes `verify`, or
+/// aborts with an injected fault leaving the published state bit-
+/// identical; after the sweep a cold reopen must GC the debris and
+/// verify clean. Returns one mark per attempt (`c` committed, `f`
+/// fault-aborted and recovered) or a violation detail.
+fn store_probe(seed: u64) -> Result<String, String> {
+    use qrel_store::{Mutation, Store, StoreError};
+    let dir = std::env::temp_dir().join(format!("qrel-chaos-store-{}-{seed}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut marks = String::new();
+    let mut store = Store::init(&dir).map_err(|e| format!("store init: {e}"))?;
+    store
+        .create_dataset(
+            "probe",
+            (0..4).map(|i| format!("e{i}")).collect(),
+            vec![("S".to_string(), 1)],
+            "full",
+        )
+        .map_err(|e| format!("create_dataset: {e}"))?;
+    for round in 0..3u32 {
+        let batch = [Mutation::set("S", vec![round], true, "1/2")];
+        let before = store.dataset("probe").expect("probe exists").db_hash;
+        match store.commit("probe", &batch) {
+            Ok(_) => {
+                store
+                    .verify("probe")
+                    .map_err(|e| format!("verify after commit {round}: {e}"))?;
+                marks.push('c');
+            }
+            Err(StoreError::Injected(point)) => {
+                // The published state must be exactly what it was before
+                // the aborted commit — reopen from disk to prove it.
+                let reopened =
+                    Store::open(&dir).map_err(|e| format!("reopen after injected {point}: {e}"))?;
+                let after = reopened
+                    .dataset("probe")
+                    .ok_or_else(|| format!("dataset lost after injected {point}"))?
+                    .db_hash;
+                if after != before {
+                    return Err(format!(
+                        "injected {point} mutated published state: \
+                         db-hash {before:016x} -> {after:016x}"
+                    ));
+                }
+                store = reopened;
+                marks.push('f');
+            }
+            Err(e) => return Err(format!("commit {round}: unexpected error: {e}")),
+        }
+    }
+    let reopened = Store::open(&dir).map_err(|e| format!("final reopen: {e}"))?;
+    reopened
+        .verify("probe")
+        .map_err(|e| format!("verify after recovery: {e}"))?;
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(marks)
 }
 
 /// The answer fields of a solve body: everything up to `spent`. Retried
@@ -329,6 +401,20 @@ pub fn run_pair(
                         "chaos-transport".into(),
                         format!("round {round}: transport failure under faults: {e}"),
                     ));
+                }
+            }
+        }
+    }
+    // Durability probe, still under the armed plan, after the HTTP
+    // rounds (fixed hit order keeps the fingerprint replayable).
+    if has_store_rule(plan) {
+        marks.push('|');
+        match store_probe(plan.seed) {
+            Ok(probe_marks) => marks.push_str(&probe_marks),
+            Err(detail) => {
+                marks.push('X');
+                if violation.is_none() {
+                    violation = Some(("chaos-store".into(), detail));
                 }
             }
         }
@@ -590,6 +676,34 @@ mod tests {
             fingerprint.ends_with("=="),
             "poisoned cache changed bytes: {fingerprint}"
         );
+    }
+
+    #[test]
+    fn store_probe_recovers_under_injected_faults() {
+        // Each durability point fires exactly once at full probability:
+        // the first commit aborts fail-closed (`f`), the retries land
+        // (`cc`), and the final cold reopen verifies clean.
+        for (seed, point) in [
+            (1_001, points::STORE_SEGMENT_TORN_WRITE),
+            (1_002, points::STORE_COMMIT_CRASH),
+        ] {
+            let plan = FaultPlan::new(seed).with_rule(point, 1.0, 0, 1);
+            let guard = plan.arm();
+            let marks = store_probe(seed).unwrap();
+            drop(guard);
+            assert_eq!(marks, "fcc", "{point}");
+        }
+    }
+
+    #[test]
+    fn store_rules_trigger_the_probe_in_run_pair() {
+        let case = gen::generate(45, "qf");
+        let plan = FaultPlan::new(11).with_rule(points::STORE_SEGMENT_TORN_WRITE, 1.0, 0, 1);
+        let (fingerprint, verdict) = run_pair(&case, &plan, 2_000).unwrap();
+        assert!(verdict.is_none(), "{verdict:?}");
+        // Two HTTP rounds untouched by store faults, then the probe:
+        // one aborted commit, two clean ones.
+        assert!(fingerprint.ends_with("==|fcc"), "{fingerprint}");
     }
 
     #[test]

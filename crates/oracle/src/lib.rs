@@ -19,7 +19,8 @@
 //! * [`meta`] — metamorphic laws from the paper, checked exactly
 //!   (complement, factorization, monotonicity, the Thm 5.12 padding
 //!   identity built end-to-end, the §3-Remark model restriction);
-//! * [`shrink`] — greedy delta-debugging to a locally minimal repro;
+//! * [`shrink`](mod@shrink) — greedy delta-debugging to a locally
+//!   minimal repro;
 //! * [`runner`] — the fuzz loop gluing the above, serializing shrunk
 //!   repros as JSON for `tests/corpus/`;
 //! * [`serve_path`] — round-trips cases through a live `POST /v1/solve`

@@ -46,7 +46,7 @@ pub struct ProgressEvent {
 
 /// A shareable observer for [`ProgressEvent`]s.
 ///
-/// Wraps the callback in an [`Arc`] so [`Solver`] stays `Clone`, with a
+/// Wraps the callback in an [`Arc`](std::sync::Arc) so [`Solver`] stays `Clone`, with a
 /// manual `Debug` (closures have none). The hook runs on the solving
 /// thread — keep it cheap.
 #[derive(Clone)]

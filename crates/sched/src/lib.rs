@@ -48,9 +48,10 @@ pub mod points {
 }
 
 /// Priority band. FIFO within a band; higher bands always drain first.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Priority {
     High,
+    #[default]
     Normal,
     Low,
 }
@@ -79,12 +80,6 @@ impl Priority {
             Priority::Normal => 1,
             Priority::Low => 2,
         }
-    }
-}
-
-impl Default for Priority {
-    fn default() -> Self {
-        Priority::Normal
     }
 }
 

@@ -475,7 +475,7 @@ mod tests {
         assert_eq!(compute_retry_after(0, 0, 50.0, 4), 1);
         // Deep queue, slow drain: grows, but clamps at 30.
         let deep = compute_retry_after(64, 0, 2.0, 4);
-        assert!((30..=33).contains(&(deep + 0)), "deep = {deep}");
+        assert!((30..=33).contains(&deep), "deep = {deep}");
         assert_eq!(compute_retry_after(10_000, 0, 0.0, 1), 30);
         // Moderate backlog lands strictly between the clamp ends.
         let mid = compute_retry_after(20, 0, 4.0, 4);

@@ -12,12 +12,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use qrel_runtime::Method;
 
 /// Endpoints tracked as label values (everything else is `other`).
-/// Job-instance paths are canonicalized to the `/v1/jobs/{id}` label so
-/// the cardinality stays fixed no matter how many jobs exist.
-pub const ENDPOINTS: [&str; 6] = [
+/// Job-instance paths are canonicalized to the `/v1/jobs/{id}` label and
+/// dataset-instance paths to `/v1/datasets/{name}` so the cardinality
+/// stays fixed no matter how many jobs or datasets exist.
+pub const ENDPOINTS: [&str; 8] = [
     "/v1/solve",
     "/v1/jobs",
     "/v1/jobs/{id}",
+    "/v1/datasets",
+    "/v1/datasets/{name}",
     "/healthz",
     "/metrics",
     "other",
@@ -53,6 +56,9 @@ pub fn canonical_endpoint(path: &str) -> &'static str {
     }
     if path.starts_with("/v1/jobs/") {
         return "/v1/jobs/{id}";
+    }
+    if path.starts_with("/v1/datasets/") {
+        return "/v1/datasets/{name}";
     }
     "other"
 }
@@ -357,6 +363,12 @@ mod tests {
         assert_eq!(canonical_endpoint("/v1/jobs/17/result"), "/v1/jobs/{id}");
         assert_eq!(canonical_endpoint("/v1/solve"), "/v1/solve");
         assert_eq!(canonical_endpoint("/v1/jobsx"), "other");
+        assert_eq!(canonical_endpoint("/v1/datasets"), "/v1/datasets");
+        assert_eq!(
+            canonical_endpoint("/v1/datasets/census/facts"),
+            "/v1/datasets/{name}"
+        );
+        assert_eq!(canonical_endpoint("/v1/datasetsx"), "other");
         let m = Metrics::new();
         m.record_request("/v1/jobs", 202);
         m.record_request("/v1/jobs/1", 200);

@@ -297,17 +297,18 @@ pub struct ErrorEnvelope {
 impl ErrorEnvelope {
     /// Serialize into the wire body.
     pub fn to_body(&self) -> Vec<u8> {
-        let mut obj: Vec<(String, Value)> = Vec::with_capacity(4);
-        obj.push(("code".into(), Value::Str(self.code.clone())));
-        obj.push(("message".into(), Value::Str(self.message.clone())));
-        obj.push(("retryable".into(), Value::Bool(self.retryable)));
-        obj.push((
-            "retry_after_ms".into(),
-            match self.retry_after_ms {
-                Some(ms) => Value::Int(ms as i128),
-                None => Value::Null,
-            },
-        ));
+        let obj: Vec<(String, Value)> = vec![
+            ("code".into(), Value::Str(self.code.clone())),
+            ("message".into(), Value::Str(self.message.clone())),
+            ("retryable".into(), Value::Bool(self.retryable)),
+            (
+                "retry_after_ms".into(),
+                match self.retry_after_ms {
+                    Some(ms) => Value::Int(ms as i128),
+                    None => Value::Null,
+                },
+            ),
+        ];
         serde_json::to_string(&Value::Object(vec![("error".into(), Value::Object(obj))]))
             .expect("value serialization is infallible")
             .into_bytes()
@@ -400,6 +401,7 @@ pub fn job_accepted_body(job_id: u64, coalesced: bool, state: &str) -> Vec<u8> {
 /// returned, spliced verbatim so a job result is bit-identical to a
 /// direct solve (and to every other fetch of the same job). `error`
 /// carries a pre-built [`ErrorEnvelope`] for failed/cancelled jobs.
+#[allow(clippy::too_many_arguments)]
 pub fn job_status_body(
     job_id: u64,
     tenant: &str,

@@ -28,7 +28,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use qrel_budget::{Budget, CancelToken, QrelError};
@@ -36,6 +36,7 @@ use qrel_eval::FoQuery;
 use qrel_prob::{UnreliableDatabase, UnreliableDatabaseSpec};
 use qrel_runtime::{Method, ProgressHook, Solver};
 use qrel_sched::{CancelOutcome, JobCtx, JobState, Priority, SchedConfig, Scheduler, SubmitError};
+use qrel_store::{live_fact_count, Mutation, Store, StoreError};
 use serde::Value;
 use serde_json::ParseLimits;
 
@@ -101,6 +102,10 @@ pub struct ServerConfig {
     /// Terminal job records retained for `GET /v1/jobs/{id}` replay
     /// before the oldest are evicted.
     pub job_retain_cap: usize,
+    /// Directory of a persistent [`qrel_store::Store`]. When set, its
+    /// datasets are served alongside the preloads and the fact-mutation
+    /// endpoints (`POST`/`DELETE /v1/datasets/{name}/facts`) go live.
+    pub store: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -124,6 +129,7 @@ impl Default for ServerConfig {
             per_tenant_cap: 64,
             reserved_workers: 1,
             job_retain_cap: 1024,
+            store: None,
         }
     }
 }
@@ -150,6 +156,12 @@ pub enum ServeError {
         path: PathBuf,
         reason: String,
     },
+    /// The `--store` directory failed to open or a stored dataset
+    /// failed to rebuild.
+    BadStore {
+        path: PathBuf,
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -158,6 +170,9 @@ impl std::fmt::Display for ServeError {
             ServeError::Io(e) => write!(f, "{e}"),
             ServeError::BadDataset { path, reason } => {
                 write!(f, "cannot preload {}: {reason}", path.display())
+            }
+            ServeError::BadStore { path, reason } => {
+                write!(f, "cannot open store {}: {reason}", path.display())
             }
         }
     }
@@ -171,11 +186,19 @@ impl From<std::io::Error> for ServeError {
     }
 }
 
-/// A dataset preloaded at startup: the built model plus its canonical
-/// hash (computed once, shared by every request that names it).
+/// A live dataset: the built model plus its canonical hash (computed
+/// when the dataset is loaded or mutated, shared by every request that
+/// names it) and the live-fact count `/healthz` reports. Preloads keep
+/// the spec-serialization hash; store-backed datasets carry the store's
+/// incrementally maintained db-hash, so a fact mutation moves exactly
+/// this dataset's cache keys and nobody else's.
 struct PreparedDb {
     ud: Arc<UnreliableDatabase>,
     hash: u64,
+    facts: u64,
+    /// `true` when the dataset lives in the persistent store (and is
+    /// therefore mutable via `/v1/datasets/{name}/facts`).
+    stored: bool,
 }
 
 /// Canonical database hash: FNV-1a over the *re-serialized* spec, so
@@ -472,7 +495,13 @@ fn execute_solve(ctx: &ExecCtx, task: &SolveTask, job: &JobCtx) -> SolveOutcome 
 
 struct Shared {
     config: ServerConfig,
-    datasets: HashMap<String, PreparedDb>,
+    /// Live dataset registry. A `RwLock` because fact mutations swap
+    /// entries at runtime; solves only ever take the read side.
+    datasets: RwLock<HashMap<String, PreparedDb>>,
+    /// The persistent store behind the mutable datasets, when `--store`
+    /// was given. Commits serialize on the mutex; reads go through the
+    /// registry and never touch it.
+    store: Option<Mutex<Store>>,
     queue: AdmissionQueue,
     shutdown: AtomicBool,
     /// Recent connection drain rate, for the dynamic `Retry-After`.
@@ -546,6 +575,40 @@ fn render_metrics(shared: &Shared) -> String {
         "qrel_cache_poison_detected_total {}\n",
         shared.exec.cache.poison_detected_count()
     ));
+    if let Some(store) = &shared.store {
+        let store = store.lock().expect("store poisoned");
+        for (name, help, value) in [
+            (
+                "qrel_store_segments",
+                "Segment files referenced by the store manifest.",
+                store.total_segments(),
+            ),
+            (
+                "qrel_store_live_facts",
+                "Facts in a non-default state across all stored datasets.",
+                store.total_live_facts(),
+            ),
+            (
+                "qrel_store_dead_rows",
+                "Shadowed/tombstone segment rows compaction would reclaim.",
+                store.total_dead_rows(),
+            ),
+            (
+                "qrel_store_bytes",
+                "Total bytes of referenced segment files.",
+                store.total_bytes(),
+            ),
+            (
+                "qrel_store_last_commit_ms",
+                "Latency of the most recent store commit, in milliseconds.",
+                store.last_commit_ms(),
+            ),
+        ] {
+            text.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+            ));
+        }
+    }
     text
 }
 
@@ -626,6 +689,38 @@ impl Server {
             })?;
             datasets.insert(name, prepared);
         }
+        // Open (or initialize) the persistent store and register every
+        // dataset it holds. Store-backed entries shadow a preload of the
+        // same name: the durable copy is the source of truth.
+        let store = match &config.store {
+            Some(dir) => {
+                let bad = |reason: String| ServeError::BadStore {
+                    path: dir.clone(),
+                    reason,
+                };
+                let store = if qrel_store::manifest::manifest_path(dir).exists() {
+                    Store::open(dir).map_err(|e| bad(e.to_string()))?
+                } else {
+                    Store::init(dir).map_err(|e| bad(e.to_string()))?
+                };
+                for name in store.dataset_names() {
+                    let mut ds = store.load(&name).map_err(|e| bad(e.to_string()))?;
+                    let ud = ds.build().map_err(|e| bad(e.to_string()))?;
+                    let entry = ds.entry();
+                    datasets.insert(
+                        name,
+                        PreparedDb {
+                            ud: Arc::new(ud),
+                            hash: entry.db_hash,
+                            facts: entry.live_facts,
+                            stored: true,
+                        },
+                    );
+                }
+                Some(Mutex::new(store))
+            }
+            None => None,
+        };
         let cache = ResultCache::new(config.cache_bytes);
         let queue = AdmissionQueue::new(config.queue_cap.max(1));
         let breakers = Breakers::new(
@@ -669,7 +764,8 @@ impl Server {
             listener,
             shared: Arc::new(Shared {
                 config,
-                datasets,
+                datasets: RwLock::new(datasets),
+                store,
                 queue,
                 shutdown: AtomicBool::new(false),
                 drain_rate: RateEstimator::new(),
@@ -685,9 +781,12 @@ impl Server {
             serde_json::from_str(&text).map_err(|e| format!("bad spec JSON: {e}"))?;
         let ud = spec.build().map_err(|e| format!("invalid spec: {e}"))?;
         let hash = canonical_db_hash(&ud);
+        let facts = live_fact_count(&ud);
         Ok(PreparedDb {
             ud: Arc::new(ud),
             hash,
+            facts,
+            stored: false,
         })
     }
 
@@ -703,9 +802,11 @@ impl Server {
         }
     }
 
-    /// Names of the preloaded datasets, sorted.
+    /// Names of the served datasets (preloaded and store-backed),
+    /// sorted.
     pub fn dataset_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.shared.datasets.keys().cloned().collect();
+        let datasets = self.shared.datasets.read().expect("registry poisoned");
+        let mut names: Vec<String> = datasets.keys().cloned().collect();
         names.sort();
         names
     }
@@ -935,16 +1036,24 @@ fn route(shared: &Shared, req: &Request) -> Response {
         ("POST", "/v1/jobs") => job_submit(shared, req),
         ("GET", "/v1/jobs") => job_list(shared, req),
         (_, path) if path.starts_with("/v1/jobs/") => job_instance(shared, req),
-        (_, "/healthz") | (_, "/metrics") | (_, "/v1/solve") | (_, "/v1/jobs") => {
-            Response::json(405, error_body(405, "method not allowed", None))
-        }
+        ("GET", "/v1/datasets") => datasets_list(shared),
+        (_, path) if path.starts_with("/v1/datasets/") => dataset_facts(shared, req),
+        (_, "/healthz")
+        | (_, "/metrics")
+        | (_, "/v1/solve")
+        | (_, "/v1/jobs")
+        | (_, "/v1/datasets") => Response::json(405, error_body(405, "method not allowed", None)),
         _ => Response::json(404, error_body(404, "not found", None)),
     }
 }
 
 fn healthz(shared: &Shared) -> Response {
-    let mut names: Vec<&String> = shared.datasets.keys().collect();
-    names.sort();
+    // The registry, not boot-time config, is the source of truth: a
+    // dataset mutated (or created) after startup reports its live fact
+    // count here.
+    let datasets = shared.datasets.read().expect("registry poisoned");
+    let mut entries: Vec<(&String, &PreparedDb)> = datasets.iter().collect();
+    entries.sort_by_key(|(name, _)| name.as_str());
     let state = HealthState::derive(
         shared.shutdown.load(Ordering::SeqCst),
         shared.exec.breakers.any_open(),
@@ -953,7 +1062,18 @@ fn healthz(shared: &Shared) -> Response {
         ("status".into(), Value::Str(state.as_str().into())),
         (
             "datasets".into(),
-            Value::Array(names.into_iter().map(|n| Value::Str(n.clone())).collect()),
+            Value::Array(
+                entries
+                    .into_iter()
+                    .map(|(name, p)| {
+                        Value::Object(vec![
+                            ("name".into(), Value::Str(name.clone())),
+                            ("facts".into(), Value::Int(p.facts as i128)),
+                            ("stored".into(), Value::Bool(p.stored)),
+                        ])
+                    })
+                    .collect(),
+            ),
         ),
         ("workers".into(), Value::Int(shared.config.workers as i128)),
         (
@@ -972,6 +1092,7 @@ fn healthz(shared: &Shared) -> Response {
 /// What admission produced for a solve-shaped request: a cache hit
 /// served without touching the scheduler, or a fully resolved task
 /// ready to enqueue (plus its coalesce key).
+#[allow(clippy::large_enum_variant)] // short-lived; one per admitted request
 enum Admitted {
     Hit(Arc<Vec<u8>>),
     Enqueue { task: SolveTask, key: u64 },
@@ -1018,21 +1139,24 @@ fn admit_solve(shared: &Shared, req: &Request) -> Result<SolveAdmission, Respons
     // Resolve the database: preloaded (hash already computed) or
     // inline (built and canonically hashed per request).
     let (ud, db_hash): (Arc<UnreliableDatabase>, u64) = match &sreq.db {
-        DbRef::Named(name) => match shared.datasets.get(name) {
-            Some(p) => (Arc::clone(&p.ud), p.hash),
-            None => {
-                let mut known: Vec<&String> = shared.datasets.keys().collect();
-                known.sort();
-                return Err(Response::json(
-                    400,
-                    error_body(
+        DbRef::Named(name) => {
+            let datasets = shared.datasets.read().expect("registry poisoned");
+            match datasets.get(name) {
+                Some(p) => (Arc::clone(&p.ud), p.hash),
+                None => {
+                    let mut known: Vec<&String> = datasets.keys().collect();
+                    known.sort();
+                    return Err(Response::json(
                         400,
-                        &format!("unknown dataset {name:?} (loaded: {known:?})"),
-                        None,
-                    ),
-                ));
+                        error_body(
+                            400,
+                            &format!("unknown dataset {name:?} (loaded: {known:?})"),
+                            None,
+                        ),
+                    ));
+                }
             }
-        },
+        }
         DbRef::Inline(spec) => match spec.build() {
             Ok(b) => {
                 let hash = canonical_db_hash(&b);
@@ -1386,6 +1510,221 @@ fn job_list(shared: &Shared, req: &Request) -> Response {
         })
         .collect();
     Response::json(200, job_list_body(&tenant, &items))
+}
+
+// ---------------------------------------------------------------------------
+// Dataset routes (persistent store)
+
+/// `GET /v1/datasets`: every served dataset with its live aggregates
+/// and db-hash (hex, so clients can watch cache keys move).
+fn datasets_list(shared: &Shared) -> Response {
+    let datasets = shared.datasets.read().expect("registry poisoned");
+    let mut entries: Vec<(&String, &PreparedDb)> = datasets.iter().collect();
+    entries.sort_by_key(|(name, _)| name.as_str());
+    let body = Value::Object(vec![(
+        "datasets".into(),
+        Value::Array(
+            entries
+                .into_iter()
+                .map(|(name, p)| {
+                    Value::Object(vec![
+                        ("name".into(), Value::Str(name.clone())),
+                        ("facts".into(), Value::Int(p.facts as i128)),
+                        ("db_hash".into(), Value::Str(format!("{:016x}", p.hash))),
+                        ("stored".into(), Value::Bool(p.stored)),
+                    ])
+                })
+                .collect(),
+        ),
+    )]);
+    Response::json(
+        200,
+        serde_json::to_string(&body)
+            .expect("value serialization is infallible")
+            .into_bytes(),
+    )
+}
+
+/// Map a store failure onto the wire. Validation problems are the
+/// client's (400), a missing dataset is 404, and I/O, corruption, or an
+/// injected fault is a tagged 500 — retryable, since the commit left
+/// the manifest untouched.
+fn store_error_response(e: &StoreError) -> Response {
+    let status = match e {
+        StoreError::UnknownDataset(_) => 404,
+        StoreError::DatasetExists(_) => 409,
+        StoreError::UnknownRelation { .. }
+        | StoreError::ArityMismatch { .. }
+        | StoreError::ElementOutOfRange { .. }
+        | StoreError::BadProbability { .. }
+        | StoreError::NegativeFactError { .. } => 400,
+        StoreError::Io(_) | StoreError::Corrupt(_) | StoreError::Injected(_) => 500,
+    };
+    Response::json(status, error_body(status, &e.to_string(), None))
+}
+
+/// Parse a fact-mutation batch: `{"facts":[{"relation":…,"tuple":[…],
+/// "present":…,"mu":…}]}`. Deletes (`delete == true`) take only
+/// `relation` and `tuple` and become Reset tombstones.
+fn parse_fact_batch(
+    body: &[u8],
+    limits: ParseLimits,
+    delete: bool,
+) -> Result<Vec<Mutation>, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let value: Value =
+        serde_json::from_str_with_limits(text, limits).map_err(|e| format!("bad JSON: {e}"))?;
+    let obj = value
+        .as_object()
+        .ok_or_else(|| format!("body must be a JSON object, got {}", value.kind()))?;
+    for (key, _) in obj {
+        if key != "facts" {
+            return Err(format!("unknown field {key:?}"));
+        }
+    }
+    let items = value
+        .get("facts")
+        .and_then(|v| v.as_array())
+        .ok_or_else(|| "missing array field \"facts\"".to_string())?;
+    let mut batch = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let fact = item
+            .as_object()
+            .ok_or_else(|| format!("facts[{i}] must be an object"))?;
+        for (key, _) in fact {
+            let known = match key.as_str() {
+                "relation" | "tuple" => true,
+                "present" | "mu" => !delete,
+                _ => false,
+            };
+            if !known {
+                return Err(format!("unknown field {key:?} in facts[{i}]"));
+            }
+        }
+        let relation = item
+            .get("relation")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("facts[{i}] needs a string \"relation\""))?;
+        let raw_tuple = item
+            .get("tuple")
+            .and_then(|v| v.as_array())
+            .ok_or_else(|| format!("facts[{i}] needs an array \"tuple\""))?;
+        let mut tuple = Vec::with_capacity(raw_tuple.len());
+        for v in raw_tuple {
+            let e = match v {
+                Value::Int(n) => u32::try_from(*n).ok(),
+                _ => None,
+            }
+            .ok_or_else(|| {
+                format!("facts[{i}].tuple elements must be small non-negative integers")
+            })?;
+            tuple.push(e);
+        }
+        if delete {
+            batch.push(Mutation::reset(relation, tuple));
+            continue;
+        }
+        let present = match item.get("present") {
+            None => true,
+            Some(Value::Bool(b)) => *b,
+            Some(_) => return Err(format!("facts[{i}].present must be a boolean")),
+        };
+        let mu = match item.get("mu") {
+            None => "0",
+            Some(Value::Str(s)) => s.as_str(),
+            Some(_) => return Err(format!("facts[{i}].mu must be a string")),
+        };
+        batch.push(Mutation::set(relation, tuple, present, mu));
+    }
+    Ok(batch)
+}
+
+/// `POST`/`DELETE /v1/datasets/{name}/facts`: batched fact mutations
+/// against the persistent store. The batch commits atomically (one
+/// segment, one manifest publish); on success the in-memory registry
+/// entry is swapped for a rebuild, so subsequent solves see the new
+/// model under its new db-hash — old cache entries for this dataset
+/// become unreachable, every other dataset's entries are untouched.
+fn dataset_facts(shared: &Shared, req: &Request) -> Response {
+    let rest = &req.path["/v1/datasets/".len()..];
+    let name = match rest.strip_suffix("/facts") {
+        Some(n) if !n.is_empty() && !n.contains('/') => n,
+        _ => return Response::json(404, error_body(404, "not found", None)),
+    };
+    let delete = match req.method.as_str() {
+        "POST" => false,
+        "DELETE" => true,
+        _ => return Response::json(405, error_body(405, "method not allowed", None)),
+    };
+    let store = match &shared.store {
+        Some(s) => s,
+        None => {
+            return Response::json(
+                409,
+                error_body(
+                    409,
+                    "server has no persistent store; start it with --store to mutate facts",
+                    None,
+                ),
+            )
+        }
+    };
+    let limits = ParseLimits {
+        max_depth: 64,
+        max_bytes: shared.config.max_body_bytes,
+    };
+    let batch = match parse_fact_batch(&req.body, limits, delete) {
+        Ok(b) => b,
+        Err(m) => return Response::json(400, error_body(400, &m, None)),
+    };
+    // Commit and rebuild under the store lock so two racing batches
+    // cannot interleave their registry swaps out of commit order.
+    let (stats, ud) = {
+        let mut store = store.lock().expect("store poisoned");
+        let stats = match store.commit(name, &batch) {
+            Ok(s) => s,
+            Err(e) => return store_error_response(&e),
+        };
+        let ud = match store.load(name).and_then(|mut ds| ds.build()) {
+            Ok(ud) => ud,
+            Err(e) => return store_error_response(&e),
+        };
+        (stats, ud)
+    };
+    {
+        let mut datasets = shared.datasets.write().expect("registry poisoned");
+        datasets.insert(
+            name.to_string(),
+            PreparedDb {
+                ud: Arc::new(ud),
+                hash: stats.db_hash,
+                facts: stats.live_facts,
+                stored: true,
+            },
+        );
+    }
+    let body = Value::Object(vec![
+        ("dataset".into(), Value::Str(name.to_string())),
+        ("rows".into(), Value::Int(stats.rows as i128)),
+        ("live_facts".into(), Value::Int(stats.live_facts as i128)),
+        (
+            "db_hash".into(),
+            Value::Str(format!("{:016x}", stats.db_hash)),
+        ),
+        (
+            "segment".into(),
+            match &stats.segment {
+                Some(s) => Value::Str(s.clone()),
+                None => Value::Null,
+            },
+        ),
+    ]);
+    Response::json(
+        200,
+        serde_json::to_string(&body)
+            .expect("value serialization is infallible")
+            .into_bytes(),
+    )
 }
 
 #[cfg(test)]
@@ -1985,6 +2324,169 @@ mod tests {
         assert_eq!(http(addr, "PATCH", "/v1/jobs/1", "").0, 405);
         handle.shutdown();
         join.join().unwrap();
+    }
+
+    /// A two-dataset store on disk for the store-backed server tests.
+    fn build_store(dir: &std::path::Path) {
+        let _ = std::fs::remove_dir_all(dir);
+        let mut store = Store::init(dir).unwrap();
+        let db = qrel_db::DatabaseBuilder::new()
+            .universe_size(3)
+            .relation("Admin", 1)
+            .tuples("Admin", [vec![0u32]])
+            .build();
+        let mut ud = UnreliableDatabase::reliable(db);
+        ud.set_error(
+            &qrel_db::Fact::new(0, vec![0]),
+            qrel_arith::BigRational::from_ratio(1, 10),
+        )
+        .unwrap();
+        let spec = UnreliableDatabaseSpec::from_model(&ud);
+        store.ingest_spec("alpha", &spec).unwrap();
+        // beta gets a different error probability so the two datasets
+        // have distinct content hashes (the cache is content-addressed).
+        ud.set_error(
+            &qrel_db::Fact::new(0, vec![0]),
+            qrel_arith::BigRational::from_ratio(1, 5),
+        )
+        .unwrap();
+        let spec = UnreliableDatabaseSpec::from_model(&ud);
+        store.ingest_spec("beta", &spec).unwrap();
+    }
+
+    #[test]
+    fn store_mutations_update_health_and_invalidate_precisely() {
+        let _quiet = qrel_faults::quiesce();
+        let dir = std::env::temp_dir().join(format!("qrel-serve-store-{}", std::process::id()));
+        build_store(&dir);
+        let (addr, handle, join) = boot(ServerConfig {
+            workers: 2,
+            store: Some(dir.clone()),
+            ..ServerConfig::default()
+        });
+        // `/healthz` reports the stored datasets with live fact counts.
+        let (s, _, health) = http(addr, "GET", "/healthz", "");
+        assert_eq!(s, 200);
+        assert!(
+            health.contains(r#"{"name":"alpha","facts":1,"stored":true}"#),
+            "{health}"
+        );
+        // Warm the cache on both datasets.
+        let alpha = r#"{"dataset":"alpha","query":"exists x. Admin(x)","method":"exact"}"#;
+        let beta = r#"{"dataset":"beta","query":"exists x. Admin(x)","method":"exact"}"#;
+        let (_, h, alpha_before) = http(addr, "POST", "/v1/solve", alpha);
+        assert_eq!(header(&h, "X-Qrel-Cache"), Some("miss"));
+        let (_, h, _) = http(addr, "POST", "/v1/solve", alpha);
+        assert_eq!(header(&h, "X-Qrel-Cache"), Some("hit"));
+        let (_, h, _) = http(addr, "POST", "/v1/solve", beta);
+        assert_eq!(header(&h, "X-Qrel-Cache"), Some("miss"));
+        let (_, h, _) = http(addr, "POST", "/v1/solve", beta);
+        assert_eq!(header(&h, "X-Qrel-Cache"), Some("hit"));
+        // Mutate alpha: a batched upsert lands a new uncertain fact.
+        let (s, _, commit) = http(
+            addr,
+            "POST",
+            "/v1/datasets/alpha/facts",
+            r#"{"facts":[{"relation":"Admin","tuple":[1],"present":true,"mu":"1/4"}]}"#,
+        );
+        assert_eq!(s, 200, "{commit}");
+        assert!(commit.contains("\"rows\":1"), "{commit}");
+        assert!(commit.contains("\"live_facts\":2"), "{commit}");
+        // The health surface reflects the mutation immediately.
+        let (_, _, health) = http(addr, "GET", "/healthz", "");
+        assert!(
+            health.contains(r#"{"name":"alpha","facts":2,"stored":true}"#),
+            "{health}"
+        );
+        // Exactly the mutated dataset's cache entries invalidate: alpha
+        // misses (and answers differently)...
+        let (_, h, alpha_after) = http(addr, "POST", "/v1/solve", alpha);
+        assert_eq!(header(&h, "X-Qrel-Cache"), Some("miss"), "{alpha_after}");
+        assert_ne!(alpha_before, alpha_after);
+        // ...while beta's entry stays hot.
+        let (_, h, _) = http(addr, "POST", "/v1/solve", beta);
+        assert_eq!(header(&h, "X-Qrel-Cache"), Some("hit"));
+        // Deleting the fact restores the original model — and, by the
+        // XOR hash algebra, the original db-hash, so the pre-mutation
+        // cache entry becomes reachable again: an immediate hit with
+        // the original bytes.
+        let (s, _, del) = http(
+            addr,
+            "DELETE",
+            "/v1/datasets/alpha/facts",
+            r#"{"facts":[{"relation":"Admin","tuple":[1]}]}"#,
+        );
+        assert_eq!(s, 200, "{del}");
+        let (_, h, alpha_restored) = http(addr, "POST", "/v1/solve", alpha);
+        assert_eq!(header(&h, "X-Qrel-Cache"), Some("hit"), "{alpha_restored}");
+        assert_eq!(alpha_before, alpha_restored);
+        // `GET /v1/datasets` lists both with their hashes, and the
+        // store gauges render.
+        let (s, _, list) = http(addr, "GET", "/v1/datasets", "");
+        assert_eq!(s, 200);
+        assert!(list.contains("\"name\":\"alpha\""), "{list}");
+        assert!(list.contains("\"db_hash\":\""), "{list}");
+        let metrics = handle.metrics_text();
+        assert!(metrics.contains("qrel_store_segments"), "{metrics}");
+        assert!(metrics.contains("qrel_store_live_facts"), "{metrics}");
+        handle.shutdown();
+        join.join().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn store_mutation_error_paths() {
+        let _quiet = qrel_faults::quiesce();
+        // Without a store, mutations are refused with a conflict.
+        let (addr, handle, join) = boot(example_config());
+        let (s, _, body) = http(
+            addr,
+            "POST",
+            "/v1/datasets/example/facts",
+            r#"{"facts":[]}"#,
+        );
+        assert_eq!(s, 409, "{body}");
+        assert!(body.contains("--store"), "{body}");
+        handle.shutdown();
+        join.join().unwrap();
+        // With a store: 404 for unknown datasets, 400 for bad batches,
+        // 405 for wrong methods.
+        let dir = std::env::temp_dir().join(format!("qrel-serve-store-err-{}", std::process::id()));
+        build_store(&dir);
+        let (addr, handle, join) = boot(ServerConfig {
+            workers: 1,
+            store: Some(dir.clone()),
+            ..ServerConfig::default()
+        });
+        let good = r#"{"facts":[{"relation":"Admin","tuple":[1]}]}"#;
+        assert_eq!(http(addr, "POST", "/v1/datasets/nope/facts", good).0, 404);
+        for bad in [
+            "not json",
+            r#"{"facts":7}"#,
+            r#"{"facts":[{"relation":"Zed","tuple":[0]}]}"#,
+            r#"{"facts":[{"relation":"Admin","tuple":[0,1]}]}"#,
+            r#"{"facts":[{"relation":"Admin","tuple":[99]}]}"#,
+            r#"{"facts":[{"relation":"Admin","tuple":[0],"mu":"3/2"}]}"#,
+            r#"{"facts":[{"relation":"Admin","tuple":[0],"mu":"nope"}]}"#,
+            r#"{"facts":[{"relation":"Admin","tuple":[0],"surprise":1}]}"#,
+        ] {
+            let (s, _, body) = http(addr, "POST", "/v1/datasets/alpha/facts", bad);
+            assert_eq!(s, 400, "accepted {bad}: {body}");
+        }
+        // DELETE items must not carry upsert fields.
+        let (s, _, body) = http(
+            addr,
+            "DELETE",
+            "/v1/datasets/alpha/facts",
+            r#"{"facts":[{"relation":"Admin","tuple":[0],"mu":"1/2"}]}"#,
+        );
+        assert_eq!(s, 400, "{body}");
+        assert_eq!(http(addr, "PATCH", "/v1/datasets/alpha/facts", good).0, 405);
+        assert_eq!(http(addr, "DELETE", "/v1/datasets", "").0, 405);
+        assert_eq!(http(addr, "GET", "/v1/datasets/alpha", "").0, 404);
+        handle.shutdown();
+        join.join().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

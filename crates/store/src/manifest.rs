@@ -1,0 +1,210 @@
+//! The manifest: the store's single, atomically replaced source of
+//! truth.
+//!
+//! `MANIFEST.json` names every dataset and the exact segment files that
+//! constitute it. Publication is the classic crash-safe sequence —
+//! write `MANIFEST.json.tmp`, `fsync` it, `rename` over the real name,
+//! `fsync` the directory — so a reader (or a reopen after a crash)
+//! sees either the previous manifest or the new one in full, never a
+//! torn mixture. Segment files are written and fsynced *before* the
+//! manifest that references them, which is the whole crash-safety
+//! argument: a referenced segment is always complete, and a complete
+//! segment nobody references is just garbage to collect.
+
+use serde::{Deserialize, Serialize};
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Manifest format version.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// File name of the manifest inside the store directory.
+pub const MANIFEST_FILE: &str = "MANIFEST.json";
+
+/// Subdirectory holding segment files.
+pub const SEGMENTS_DIR: &str = "segments";
+
+/// One relation symbol of a dataset.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RelDecl {
+    pub name: String,
+    pub arity: u32,
+}
+
+/// One referenced segment file (relative to `segments/`), with its
+/// exact byte length — a cheap existence/size check on open before any
+/// page checksum runs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentRef {
+    pub file: String,
+    pub bytes: u64,
+}
+
+/// One dataset: shape, error model, segment list, and the incrementally
+/// maintained aggregates (db-hash, live facts, total rows).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetEntry {
+    pub name: String,
+    /// `"full"` or `"positive-only"`.
+    pub model: String,
+    /// Element names, in index order.
+    pub universe: Vec<String>,
+    /// Relation symbols, in vocabulary order.
+    pub relations: Vec<RelDecl>,
+    /// Segments, oldest first; newer rows shadow older ones.
+    pub segments: Vec<SegmentRef>,
+    /// The incremental canonical db-hash (see [`crate::hash`]).
+    pub db_hash: u64,
+    /// Facts currently in a non-default state.
+    pub live_facts: u64,
+    /// Total rows across all segments; `total_rows - live_facts` is the
+    /// dead weight `compact` reclaims.
+    pub total_rows: u64,
+    /// Next segment sequence number.
+    pub next_seq: u64,
+}
+
+/// The whole manifest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Manifest {
+    pub version: u32,
+    pub datasets: Vec<DatasetEntry>,
+}
+
+impl Manifest {
+    pub fn empty() -> Self {
+        Manifest {
+            version: MANIFEST_VERSION,
+            datasets: Vec::new(),
+        }
+    }
+
+    pub fn dataset(&self, name: &str) -> Option<&DatasetEntry> {
+        self.datasets.iter().find(|d| d.name == name)
+    }
+
+    pub fn dataset_mut(&mut self, name: &str) -> Option<&mut DatasetEntry> {
+        self.datasets.iter_mut().find(|d| d.name == name)
+    }
+}
+
+pub fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join(MANIFEST_FILE)
+}
+
+pub fn segments_dir(dir: &Path) -> PathBuf {
+    dir.join(SEGMENTS_DIR)
+}
+
+/// Fsync a directory so a just-renamed entry survives power loss. A
+/// no-op error on platforms that refuse to open directories is ignored
+/// — the rename itself is still atomic with respect to crashes of this
+/// process, which is what the fault-injection tests exercise.
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+/// Read and parse `MANIFEST.json`.
+pub fn read_manifest(dir: &Path) -> Result<Manifest, String> {
+    let path = manifest_path(dir);
+    let text =
+        fs::read_to_string(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let manifest: Manifest =
+        serde_json::from_str(&text).map_err(|e| format!("bad manifest JSON: {e}"))?;
+    if manifest.version != MANIFEST_VERSION {
+        return Err(format!(
+            "unsupported manifest version {} (expected {MANIFEST_VERSION})",
+            manifest.version
+        ));
+    }
+    Ok(manifest)
+}
+
+/// Atomically publish a manifest: temp file, fsync, rename, dir fsync.
+pub fn write_manifest(dir: &Path, manifest: &Manifest) -> Result<(), String> {
+    let text = serde_json::to_string_pretty(manifest)
+        .map_err(|e| format!("manifest serialization failed: {e}"))?;
+    let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
+    let path = manifest_path(dir);
+    {
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)
+            .map_err(|e| format!("cannot create {}: {e}", tmp.display()))?;
+        f.write_all(text.as_bytes())
+            .map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+        f.sync_all()
+            .map_err(|e| format!("cannot fsync {}: {e}", tmp.display()))?;
+    }
+    fs::rename(&tmp, &path).map_err(|e| format!("cannot publish {}: {e}", path.display()))?;
+    sync_dir(dir);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            version: MANIFEST_VERSION,
+            datasets: vec![DatasetEntry {
+                name: "d".into(),
+                model: "full".into(),
+                universe: vec!["e0".into(), "e1".into()],
+                relations: vec![RelDecl {
+                    name: "E".into(),
+                    arity: 2,
+                }],
+                segments: vec![SegmentRef {
+                    file: "d-00000000.seg".into(),
+                    bytes: 64,
+                }],
+                db_hash: 0xdead_beef_cafe_f00d,
+                live_facts: 3,
+                total_rows: 5,
+                next_seq: 1,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let m = sample();
+        let text = serde_json::to_string(&m).unwrap();
+        let back: Manifest = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, m);
+        // u64 aggregates survive the full domain.
+        assert_eq!(back.datasets[0].db_hash, 0xdead_beef_cafe_f00d);
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join(format!("qrel-manifest-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        write_manifest(&dir, &Manifest::empty()).unwrap();
+        assert!(read_manifest(&dir).unwrap().datasets.is_empty());
+        write_manifest(&dir, &sample()).unwrap();
+        assert_eq!(read_manifest(&dir).unwrap(), sample());
+        assert!(!dir.join("MANIFEST.json.tmp").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("qrel-manifest-ver-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let mut m = Manifest::empty();
+        m.version = 99;
+        write_manifest(&dir, &m).unwrap();
+        assert!(read_manifest(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

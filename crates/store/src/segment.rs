@@ -1,0 +1,411 @@
+//! The on-disk segment format.
+//!
+//! A segment is an immutable file of per-relation *blocks*:
+//!
+//! ```text
+//!   file   := MAGIC block*
+//!   block  := len:u32le  crc:u32le  payload[len]
+//!   payload:= name_len:u16le  name  arity:u16le  rows:u32le
+//!             ops[rows]                 -- 1 byte each
+//!             column[0][rows] … column[arity-1][rows]   -- u32le each
+//!             (mu_len:u16le mu)[rows]
+//! ```
+//!
+//! Columns are stored column-major (all first components, then all
+//! second components, …) — the "arity-typed fact columns" of the
+//! design — with the probability strings as a trailing variable-width
+//! column. Each block is an independently checksummed page: the CRC is
+//! verified before a single payload byte is decoded, so a torn write
+//! or bit flip surfaces as [`SegmentError`], never as a silently wrong
+//! fact.
+//!
+//! Ops: `0` resets the fact to its default state (tombstone), `1`
+//! upserts the state `(absent, μ)`, `2` upserts `(present, μ)`. Newer
+//! rows shadow older rows for the same `(relation, tuple)` at merge
+//! time; the format itself is append-only.
+
+use std::fmt;
+
+/// Leading magic + format version byte.
+pub const MAGIC: [u8; 8] = *b"QRELSEG\x01";
+
+/// One fact mutation as stored in a segment row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FactOp {
+    /// Back to the default state `(absent, μ = 0)`.
+    Reset,
+    /// Set the state to `(present, μ)`; `mu` is a canonical rational
+    /// string.
+    Set { present: bool, mu: String },
+}
+
+/// One relation's rows within a segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationBlock {
+    pub relation: String,
+    pub arity: usize,
+    pub rows: Vec<(Vec<u32>, FactOp)>,
+}
+
+/// Decode-side failures: every variant means the file must not be
+/// trusted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentError(pub String);
+
+impl fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "corrupt segment: {}", self.0)
+    }
+}
+
+impl std::error::Error for SegmentError {}
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the same
+/// checksum gzip and PNG use, hand-rolled so the build stays
+/// dependency-free.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        t
+    });
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = table[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+fn encode_block(block: &RelationBlock) -> Vec<u8> {
+    let rows = block.rows.len();
+    let mut p = Vec::with_capacity(16 + block.relation.len() + rows * (1 + 4 * block.arity + 4));
+    p.extend_from_slice(&(block.relation.len() as u16).to_le_bytes());
+    p.extend_from_slice(block.relation.as_bytes());
+    p.extend_from_slice(&(block.arity as u16).to_le_bytes());
+    p.extend_from_slice(&(rows as u32).to_le_bytes());
+    for (_, op) in &block.rows {
+        p.push(match op {
+            FactOp::Reset => 0,
+            FactOp::Set { present: false, .. } => 1,
+            FactOp::Set { present: true, .. } => 2,
+        });
+    }
+    for c in 0..block.arity {
+        for (tuple, _) in &block.rows {
+            p.extend_from_slice(&tuple[c].to_le_bytes());
+        }
+    }
+    for (_, op) in &block.rows {
+        let mu: &str = match op {
+            FactOp::Reset => "",
+            FactOp::Set { mu, .. } => mu,
+        };
+        p.extend_from_slice(&(mu.len() as u16).to_le_bytes());
+        p.extend_from_slice(mu.as_bytes());
+    }
+    p
+}
+
+/// Footer marker: a frame-length field no real block can have (block
+/// payloads are far smaller), announcing the 4-byte whole-file CRC that
+/// follows it.
+const FOOTER_MARK: u32 = 0xFFFF_FFFF;
+
+/// Serialize blocks into a complete segment file image. The image ends
+/// with a footer — `FOOTER_MARK` plus a CRC over everything before it —
+/// so truncation is detected even when the cut lands exactly on a block
+/// boundary (where the per-page CRCs alone would all still pass).
+pub fn encode_segment(blocks: &[RelationBlock]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    for block in blocks {
+        let payload = encode_block(block);
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+    }
+    let file_crc = crc32(&out);
+    out.extend_from_slice(&FOOTER_MARK.to_le_bytes());
+    out.extend_from_slice(&file_crc.to_le_bytes());
+    out
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SegmentError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(SegmentError(format!(
+                "truncated at offset {} (wanted {n} bytes of {})",
+                self.pos,
+                self.bytes.len()
+            )));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u16(&mut self) -> Result<u16, SegmentError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, SegmentError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+}
+
+fn decode_block(payload: &[u8]) -> Result<RelationBlock, SegmentError> {
+    let mut c = Cursor {
+        bytes: payload,
+        pos: 0,
+    };
+    let name_len = c.u16()? as usize;
+    let relation = String::from_utf8(c.take(name_len)?.to_vec())
+        .map_err(|_| SegmentError("relation name is not UTF-8".into()))?;
+    let arity = c.u16()? as usize;
+    let rows = c.u32()? as usize;
+    let ops = c.take(rows)?.to_vec();
+    let mut columns = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        let raw = c.take(4 * rows)?;
+        let col: Vec<u32> = raw
+            .chunks_exact(4)
+            .map(|w| u32::from_le_bytes(w.try_into().unwrap()))
+            .collect();
+        columns.push(col);
+    }
+    let mut decoded = Vec::with_capacity(rows);
+    for (r, &opcode) in ops.iter().enumerate() {
+        let mu_len = c.u16()? as usize;
+        let mu = String::from_utf8(c.take(mu_len)?.to_vec())
+            .map_err(|_| SegmentError("probability string is not UTF-8".into()))?;
+        let tuple: Vec<u32> = columns.iter().map(|col| col[r]).collect();
+        let op = match opcode {
+            0 => FactOp::Reset,
+            1 => FactOp::Set { present: false, mu },
+            2 => FactOp::Set { present: true, mu },
+            other => {
+                return Err(SegmentError(format!(
+                    "unknown op byte {other} in relation {relation:?}"
+                )))
+            }
+        };
+        decoded.push((tuple, op));
+    }
+    if c.pos != payload.len() {
+        return Err(SegmentError(format!(
+            "{} trailing bytes after relation {relation:?}",
+            payload.len() - c.pos
+        )));
+    }
+    Ok(RelationBlock {
+        relation,
+        arity,
+        rows: decoded,
+    })
+}
+
+/// Walk the block frames of a segment, verifying each page CRC, and
+/// hand `(relation_name, payload)` to `visit`. `visit` returning
+/// `false` skips decoding that block's columns — this is what makes
+/// per-relation reads lazy: skipped blocks cost a checksum pass and
+/// nothing else.
+fn walk<'a>(
+    bytes: &'a [u8],
+    mut visit: impl FnMut(&str, &'a [u8]) -> Result<(), SegmentError>,
+) -> Result<(), SegmentError> {
+    if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
+        return Err(SegmentError("bad magic".into()));
+    }
+    let mut pos = MAGIC.len();
+    let mut footer_seen = false;
+    while pos < bytes.len() {
+        if pos + 8 > bytes.len() {
+            return Err(SegmentError("truncated block header".into()));
+        }
+        let len_field = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        if len_field == FOOTER_MARK {
+            let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+            if crc32(&bytes[..pos]) != crc {
+                return Err(SegmentError("file checksum mismatch in footer".into()));
+            }
+            if pos + 8 != bytes.len() {
+                return Err(SegmentError("trailing bytes after footer".into()));
+            }
+            footer_seen = true;
+            break;
+        }
+        let len = len_field as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        pos += 8;
+        if pos + len > bytes.len() {
+            return Err(SegmentError("truncated block payload".into()));
+        }
+        let payload = &bytes[pos..pos + len];
+        if crc32(payload) != crc {
+            return Err(SegmentError(format!(
+                "page checksum mismatch at offset {pos}"
+            )));
+        }
+        // The relation name sits at the front of every payload; peek it
+        // without a full decode.
+        if len < 2 {
+            return Err(SegmentError("block payload too short".into()));
+        }
+        let name_len = u16::from_le_bytes(payload[..2].try_into().unwrap()) as usize;
+        if 2 + name_len > len {
+            return Err(SegmentError("relation name overruns payload".into()));
+        }
+        let name = std::str::from_utf8(&payload[2..2 + name_len])
+            .map_err(|_| SegmentError("relation name is not UTF-8".into()))?;
+        visit(name, payload)?;
+        pos += len;
+    }
+    if !footer_seen {
+        return Err(SegmentError("missing end-of-segment footer".into()));
+    }
+    Ok(())
+}
+
+/// Decode every block of a segment (integrity check + full read).
+pub fn decode_segment(bytes: &[u8]) -> Result<Vec<RelationBlock>, SegmentError> {
+    let mut blocks = Vec::new();
+    walk(bytes, |_, payload| {
+        blocks.push(decode_block(payload)?);
+        Ok(())
+    })?;
+    Ok(blocks)
+}
+
+/// Decode only the blocks of one relation; other blocks are CRC-checked
+/// and skipped.
+pub fn scan_relation(
+    bytes: &[u8],
+    relation: &str,
+) -> Result<Vec<(Vec<u32>, FactOp)>, SegmentError> {
+    let mut rows = Vec::new();
+    walk(bytes, |name, payload| {
+        if name == relation {
+            rows.extend(decode_block(payload)?.rows);
+        }
+        Ok(())
+    })?;
+    Ok(rows)
+}
+
+/// Verify the framing and page checksums of a whole segment without
+/// decoding any columns.
+pub fn verify_pages(bytes: &[u8]) -> Result<(), SegmentError> {
+    walk(bytes, |_, _| Ok(()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_blocks() -> Vec<RelationBlock> {
+        vec![
+            RelationBlock {
+                relation: "E".into(),
+                arity: 2,
+                rows: vec![
+                    (
+                        vec![0, 1],
+                        FactOp::Set {
+                            present: true,
+                            mu: "1/10".into(),
+                        },
+                    ),
+                    (vec![1, 2], FactOp::Reset),
+                    (
+                        vec![2, 0],
+                        FactOp::Set {
+                            present: false,
+                            mu: "1/4".into(),
+                        },
+                    ),
+                ],
+            },
+            RelationBlock {
+                relation: "S".into(),
+                arity: 1,
+                rows: vec![(
+                    vec![2],
+                    FactOp::Set {
+                        present: true,
+                        mu: "0".into(),
+                    },
+                )],
+            },
+        ]
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 test vectors.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let blocks = sample_blocks();
+        let bytes = encode_segment(&blocks);
+        assert_eq!(decode_segment(&bytes).unwrap(), blocks);
+        verify_pages(&bytes).unwrap();
+    }
+
+    #[test]
+    fn scan_relation_is_selective() {
+        let bytes = encode_segment(&sample_blocks());
+        let s = scan_relation(&bytes, "S").unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].0, vec![2]);
+        assert!(scan_relation(&bytes, "Z").unwrap().is_empty());
+    }
+
+    #[test]
+    fn any_flipped_bit_is_detected() {
+        let bytes = encode_segment(&sample_blocks());
+        // Flip one bit in every byte position past the magic: either the
+        // page CRC catches it or (for frame headers) the framing does.
+        for pos in MAGIC.len()..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x10;
+            assert!(
+                decode_segment(&bad).is_err(),
+                "flip at {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = encode_segment(&sample_blocks());
+        for cut in MAGIC.len() + 1..bytes.len() {
+            assert!(decode_segment(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        assert!(decode_segment(b"NOTASEG!").is_err());
+    }
+
+    #[test]
+    fn empty_segment_is_valid() {
+        let bytes = encode_segment(&[]);
+        assert_eq!(decode_segment(&bytes).unwrap(), Vec::new());
+    }
+}

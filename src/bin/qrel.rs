@@ -11,6 +11,11 @@
 //!                  [--eps E] [--delta D] [--seed S] [--threads T]
 //! qrel serve       [--addr HOST:PORT] [--workers N] [--queue-cap N]
 //!                  [--cache-mb MB] [--preload spec.json,spec2.json]
+//!                  [--store DIR]
+//! qrel store       init    --dir DIR
+//!                  ingest  --dir DIR --dataset NAME --db spec.json
+//!                  dump    --dir DIR --dataset NAME
+//!                  compact --dir DIR [--dataset NAME]
 //! qrel fuzz        [--seeds N] [--budget-ms M] [--start-seed S]
 //!                  [--eps E] [--delta D] [--corpus DIR] [--families f1,f2]
 //!                  [--sample true|false] [--serve true|false]
@@ -115,6 +120,11 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         print_help();
         return Ok(ExitCode::SUCCESS);
     };
+    // `store` carries its own action word (`store init --dir …`), so it
+    // dispatches before the flag parser sees the non-flag argument.
+    if command == "store" {
+        return cmd_store(&args[1..]);
+    }
     let opts = Options::parse(&args[1..])?;
     match command.as_str() {
         "help" | "--help" | "-h" => {
@@ -161,8 +171,16 @@ fn print_help() {
          \x20              [--sched-workers N] [--tenant-cap N] [--reserved-workers N]\n\
          \x20              [--job-retain N] [--cache-mb MB] [--preload spec.json,spec2.json]\n\
          \x20              [--shutdown-grace-ms T] [--self-heal true|false]\n\
-         \x20              [--breaker-threshold N] [--watchdog-ms T]\n\
-         \x20              (exit 3 when the shutdown drain had to force-cancel work)\n\
+         \x20              [--breaker-threshold N] [--watchdog-ms T] [--store DIR]\n\
+         \x20              (exit 3 when the shutdown drain had to force-cancel work;\n\
+         \x20               --store serves a persistent store and enables the\n\
+         \x20               /v1/datasets mutation API)\n\
+         \x20 store        init    --dir DIR\n\
+         \x20              ingest  --dir DIR --dataset NAME --db spec.json\n\
+         \x20              dump    --dir DIR --dataset NAME\n\
+         \x20              compact --dir DIR [--dataset NAME]\n\
+         \x20              (durable on-disk datasets: checksummed columnar segments,\n\
+         \x20               crash-safe commits, incremental db-hash)\n\
          \x20 fuzz         [--seeds N] [--budget-ms M] [--start-seed S]\n\
          \x20              [--eps E] [--delta D] [--corpus DIR] [--families f1,f2]\n\
          \x20              [--sample true|false] [--serve true|false]\n\
@@ -211,6 +229,9 @@ fn cmd_serve(opts: &Options) -> Result<ExitCode, String> {
             .map(|p| std::path::PathBuf::from(p.trim()))
             .collect();
     }
+    if let Some(dir) = opts.get("store") {
+        config.store = Some(std::path::PathBuf::from(dir));
+    }
     let grace_ms = opts.get_u64(
         "shutdown-grace-ms",
         config.shutdown_grace.as_millis() as u64,
@@ -231,7 +252,8 @@ fn cmd_serve(opts: &Options) -> Result<ExitCode, String> {
     println!(
         "endpoints: POST /v1/jobs, GET /v1/jobs, GET /v1/jobs/{{id}}, \
          GET /v1/jobs/{{id}}/result, DELETE /v1/jobs/{{id}}, \
-         POST /v1/solve, GET /healthz, GET /metrics"
+         POST /v1/solve, GET /v1/datasets, \
+         POST|DELETE /v1/datasets/{{name}}/facts, GET /healthz, GET /metrics"
     );
     let report = server.run().map_err(|e| e.to_string())?;
     if report.forced {
@@ -242,6 +264,65 @@ fn cmd_serve(opts: &Options) -> Result<ExitCode, String> {
             report.watchdog_cancels
         );
         return Ok(ExitCode::from(3));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_store(args: &[String]) -> Result<ExitCode, String> {
+    use qrel::store::Store;
+    let Some(action) = args.first() else {
+        return Err("store needs an action: init | ingest | dump | compact".into());
+    };
+    let opts = Options::parse(&args[1..])?;
+    let dir = std::path::PathBuf::from(opts.required("dir")?);
+    match action.as_str() {
+        "init" => {
+            Store::init(&dir).map_err(|e| e.to_string())?;
+            println!("initialised empty store at {}", dir.display());
+        }
+        "ingest" => {
+            let mut store = Store::open(&dir).map_err(|e| e.to_string())?;
+            let name = opts.required("dataset")?;
+            let path = opts.required("db")?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+            let spec: UnreliableDatabaseSpec =
+                serde_json::from_str(&text).map_err(|e| format!("bad spec JSON: {e}"))?;
+            let stats = store.ingest_spec(name, &spec).map_err(|e| e.to_string())?;
+            println!(
+                "ingested {name:?}: {} rows, {} live facts, db-hash {:016x} ({}ms)",
+                stats.rows, stats.live_facts, stats.db_hash, stats.elapsed_ms
+            );
+        }
+        "dump" => {
+            let store = Store::open(&dir).map_err(|e| e.to_string())?;
+            let name = opts.required("dataset")?;
+            let mut ds = store.load(name).map_err(|e| e.to_string())?;
+            let spec = ds.dump_spec().map_err(|e| e.to_string())?;
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&spec).expect("spec serializes")
+            );
+        }
+        "compact" => {
+            let mut store = Store::open(&dir).map_err(|e| e.to_string())?;
+            let names = match opts.get("dataset") {
+                Some(one) => vec![one.to_string()],
+                None => store.dataset_names(),
+            };
+            for name in names {
+                let stats = store.compact(&name).map_err(|e| e.to_string())?;
+                println!(
+                    "compacted {name:?}: {} live rows, db-hash {:016x} ({}ms)",
+                    stats.rows, stats.db_hash, stats.elapsed_ms
+                );
+            }
+        }
+        other => {
+            return Err(format!(
+                "unknown store action {other:?} (init | ingest | dump | compact)"
+            ))
+        }
     }
     Ok(ExitCode::SUCCESS)
 }

@@ -61,6 +61,7 @@ pub use qrel_oracle as oracle;
 pub use qrel_prob as prob;
 pub use qrel_runtime as runtime;
 pub use qrel_serve as serve;
+pub use qrel_store as store;
 
 /// One-stop imports for examples and applications.
 pub mod prelude {
