@@ -1,0 +1,201 @@
+//! E18 — safe-plan compilation: exact answers in polynomial time.
+//!
+//! The Dalvi–Suciu safe-plan rung computes the *exact* query probability
+//! from an extensional plan over fact probabilities — no worlds, no
+//! lineage. Part 1 cross-checks the plan against the Gray-code world
+//! enumerator where enumeration is feasible, then races it against the
+//! FPTRAS sampler where it is not: the plan must stay exact and beat the
+//! sampler by well over an order of magnitude. Part 2 drives the serve
+//! layer with a distinct-seed request train and scrapes `/metrics`: one
+//! plan-cache miss (the single compile), everything else hits.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+
+use qrel_bench::{fmt_secs, random_graph_db, timed, with_uniform_error, Table};
+use qrel_core::exact::exact_probability;
+use qrel_core::existential::{existential_probability_fptras, Route};
+use qrel_eval::FoQuery;
+use qrel_logic::parser::parse_formula;
+use qrel_serve::{Server, ServerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const REQUESTS: usize = 40;
+
+fn http_solve(addr: SocketAddr, seed: u64) -> (u16, f64) {
+    let body = format!(
+        "{{\"dataset\":\"uncertain16\",\"query\":\"exists x. S(x)\",\
+         \"method\":\"auto\",\"seed\":{seed}}}"
+    );
+    let raw = format!(
+        "POST /v1/solve HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let started = std::time::Instant::now();
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.write_all(raw.as_bytes()).unwrap();
+    let mut text = String::new();
+    conn.read_to_string(&mut text).unwrap();
+    let elapsed = started.elapsed().as_secs_f64();
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    (status, elapsed)
+}
+
+fn scrape_counter(addr: SocketAddr, name: &str) -> u64 {
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: bench\r\n\r\n")
+        .unwrap();
+    let mut text = String::new();
+    conn.read_to_string(&mut text).unwrap();
+    text.lines()
+        .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+fn main() {
+    println!("E18 — safe-plan compilation (Dalvi–Suciu dichotomy, sjf fragment)\n");
+    let f = parse_formula("exists x y. (S(x) & E(x, y))").unwrap();
+    let plan = qrel_plan::compile(&f).unwrap();
+    println!(
+        "ψ = {f}   (hierarchical: safe plan, {} nodes)\n",
+        plan.node_count()
+    );
+
+    println!("part 1: plan vs world enumeration vs FPTRAS sampling");
+    let mut table = Table::new(&[
+        "n",
+        "facts",
+        "plan ν(ψ)",
+        "plan time",
+        "enum time",
+        "fptras time",
+        "speedup",
+    ]);
+    let mut rng = StdRng::seed_from_u64(18);
+    let mut worst_speedup = f64::INFINITY;
+    for n in [4usize, 6, 16, 32] {
+        let db = random_graph_db(n, 0.3, 0.6, &mut rng);
+        let ud = with_uniform_error(db, 1, 8);
+        let facts = ud.uncertain_facts().len();
+        // Average the plan over a few evaluations — single-shot
+        // microsecond timings are dominated by allocator noise.
+        let (via_plan, t_plan) = {
+            let (p, _) = timed(|| qrel_plan::sentence_probability(&ud, &plan).unwrap());
+            let reps = 5;
+            let (_, t) = timed(|| {
+                for _ in 0..reps {
+                    qrel_plan::sentence_probability(&ud, &plan).unwrap();
+                }
+            });
+            (p, t / reps as f64)
+        };
+        // World enumeration is 2^facts — only run it where that fits.
+        let t_enum = if facts <= 20 {
+            let (via_worlds, t) =
+                timed(|| exact_probability(&ud, &FoQuery::new(f.clone())).unwrap());
+            assert_eq!(
+                via_plan, via_worlds,
+                "plan must be bit-equal to the enumerator"
+            );
+            fmt_secs(t)
+        } else {
+            "—".to_string()
+        };
+        let (est, t_fptras) = timed(|| {
+            existential_probability_fptras(&ud, &f, 0.1, 0.1, Route::Direct, &mut rng).unwrap()
+        });
+        assert!(
+            (est - via_plan.to_f64()).abs() <= 0.1 + 1e-9,
+            "sampler left its envelope"
+        );
+        // The ≥50x gate applies where sampling is the only alternative
+        // (beyond the enumerator's 2^20-world reach); the small rows
+        // exist for the bit-equality cross-check.
+        if facts > 20 {
+            worst_speedup = worst_speedup.min(t_fptras / t_plan);
+        }
+        table.row(&[
+            n.to_string(),
+            facts.to_string(),
+            format!("{:.6}", via_plan.to_f64()),
+            fmt_secs(t_plan),
+            t_enum,
+            fmt_secs(t_fptras),
+            format!("{:.0}x", t_fptras / t_plan),
+        ]);
+    }
+    table.print();
+    assert!(
+        worst_speedup >= 50.0,
+        "plan rung must beat sampling by ≥50x (worst {worst_speedup:.0}x)"
+    );
+
+    println!("\npart 2: serve-layer plan cache under a distinct-seed train");
+    let dataset = PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../data/uncertain16.json"
+    ));
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        preload: vec![dataset],
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().unwrap());
+
+    let mut latencies = Vec::with_capacity(REQUESTS);
+    for seed in 0..REQUESTS as u64 {
+        // Distinct seeds defeat the result memo (seed is part of its
+        // key) so every request reaches the plan cache.
+        let (status, latency) = http_solve(addr, seed);
+        assert_eq!(status, 200, "solve failed");
+        latencies.push(latency);
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let plan_hits = scrape_counter(addr, "qrel_plan_cache_hits_total");
+    let plan_misses = scrape_counter(addr, "qrel_plan_cache_misses_total");
+    let plan_solves = scrape_counter(addr, "qrel_solve_total{method=\"plan\"}");
+    handle.shutdown();
+    join.join().unwrap();
+
+    println!(
+        "  {} solves over 2^16-world dataset: plan cache {} hits / {} misses \
+         ({:.1}% hit rate), qrel_solve_total{{method=\"plan\"}} = {}",
+        REQUESTS,
+        plan_hits,
+        plan_misses,
+        100.0 * plan_hits as f64 / (plan_hits + plan_misses) as f64,
+        plan_solves,
+    );
+    println!(
+        "  p50 end-to-end {} / p99 {}",
+        fmt_secs(latencies[REQUESTS / 2]),
+        fmt_secs(latencies[REQUESTS - 1]),
+    );
+    assert_eq!(
+        plan_misses, 1,
+        "exactly one compile for one (query, schema)"
+    );
+    assert_eq!(plan_hits as usize, REQUESTS - 1);
+
+    println!(
+        "\nexpected shape: the plan evaluates in microseconds and is bit-equal \
+         to the enumerator where 2^facts fits; the sampler pays thousands of \
+         world draws for an ε-estimate, so past the enumerator's reach the \
+         exact plan wins by 50x or more, widening with n. On the serve path \
+         one compile serves the whole train — the plan cache is keyed on \
+         (query, schema), so distinct seeds and even fact mutations never \
+         re-compile."
+    );
+}

@@ -192,6 +192,50 @@ fn check_query_case(
         Err(e) => out.fail("solver-exact", format!("solver failed: {e}")),
     }
 
+    // Safe-plan compiler (the dichotomy's PTIME side). Where the shape
+    // compiles, the extensional plan must match the Thm 4.2 enumerator
+    // bit-for-bit on both quantities; where it declines, the decline
+    // must be legitimate — cross-checked against the *independent*
+    // pairwise hierarchy test, which must never contradict the
+    // compiler on the fragment where it is decisive.
+    match qrel_plan::compile(formula) {
+        Ok(plan) => {
+            match qrel_plan::sentence_probability(ud, &plan) {
+                Ok(q) if q == p => {}
+                Ok(q) => out.fail(
+                    "safe-plan",
+                    format!("plan probability {q} != enumerator {p}"),
+                ),
+                Err(e) => out.fail("safe-plan", format!("plan evaluation failed: {e}")),
+            }
+            match qrel_plan::reliability(ud, &plan, formula, query.free_vars()) {
+                Ok(r) if r.reliability == rel.reliability => {}
+                Ok(r) => out.fail(
+                    "safe-plan-reliability",
+                    format!(
+                        "plan reliability {} != enumerator {}",
+                        r.reliability, rel.reliability
+                    ),
+                ),
+                Err(e) => out.fail("safe-plan-reliability", format!("failed: {e}")),
+            }
+            if qrel_plan::pairwise_hierarchical(formula) == Some(false) {
+                out.fail(
+                    "safe-plan-safety",
+                    "compiler accepted a query the pairwise hierarchy test rejects".to_string(),
+                );
+            }
+        }
+        Err(reason) => {
+            if qrel_plan::pairwise_hierarchical(formula) == Some(true) {
+                out.fail(
+                    "safe-plan-safety",
+                    format!("compiler declined a hierarchical sjf-CQ: {reason}"),
+                );
+            }
+        }
+    }
+
     // Consistency between the two exact quantities for a sentence:
     // H = μ-mass of worlds where the truth value flips, so
     // R = Pr[ψ] if 𝔄 ⊨ ψ, else 1 − Pr[ψ].

@@ -1,0 +1,338 @@
+//! The safe-plan compiler: hierarchical, self-join-free shapes become
+//! exact extensional plans; everything else is declined with a reason.
+//!
+//! The correctness backbone is independence, established syntactically:
+//!
+//! * **Global self-join-freeness.** Each relation symbol appears in at
+//!   most one atom of the whole query. Under a fixed variable
+//!   environment a subformula's truth value depends only on the facts of
+//!   the relations appearing in it, so any two sibling subtrees of a
+//!   conjunction or disjunction are functions of disjoint fact sets —
+//!   independent events — and `∧`/`∨` compile to independent
+//!   join/union.
+//! * **Root variables.** `∃x φ` compiles to an independent project only
+//!   when `x` occurs in *every* relational atom of its connected
+//!   component: then two groundings `φ[x:=a]`, `φ[x:=b]` (`a ≠ b`)
+//!   touch disjoint facts (same atom → tuples differ at an `x`
+//!   position; different atoms → different relations by
+//!   self-join-freeness), so the groundings are independent. This is
+//!   the hierarchy condition of the dichotomy literature, applied one
+//!   quantifier at a time.
+//!
+//! Quantifier blocks are split into connected components by shared
+//! quantified variables first (components are relation-disjoint, hence
+//! an independent join), `∃` distributes over `∨`, `∀x̄ φ` is
+//! `¬∃x̄ ¬φ`, and equalities are deterministic leaves (independent of
+//! everything). When no root variable exists the shape is reported as
+//! non-hierarchical — exactly the queries (like the H₀ pattern
+//! `∃x∃y S(x) ∧ E(x,y) ∧ T(y)`) the dichotomy theorem makes #P-hard.
+
+use crate::ir::Plan;
+use qrel_logic::{Formula, Term};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Why the compiler declined a query: the shape is outside the safe
+/// class (or outside the fragment the compiler understands).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Unsafe {
+    /// Second-order quantification has no extensional plan.
+    SecondOrder,
+    /// A relation appears in more than one atom.
+    SelfJoin { rel: String },
+    /// A quantifier block with no root variable — the provably hard
+    /// hierarchical-condition failure.
+    NonHierarchical { vars: Vec<String> },
+}
+
+impl fmt::Display for Unsafe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Unsafe::SecondOrder => f.write_str("second-order quantification"),
+            Unsafe::SelfJoin { rel } => {
+                write!(
+                    f,
+                    "relation {rel:?} appears in more than one atom (self-join)"
+                )
+            }
+            Unsafe::NonHierarchical { vars } => write!(
+                f,
+                "no root variable among {{{}}} occurs in every atom of its component \
+                 (non-hierarchical)",
+                vars.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Unsafe {}
+
+/// Compile a formula to an exact extensional plan, or report why its
+/// shape is unsafe. Free variables are left symbolic in the plan's
+/// leaves and bound at evaluation time.
+pub fn compile(formula: &Formula) -> Result<Plan, Unsafe> {
+    if formula.is_second_order() {
+        return Err(Unsafe::SecondOrder);
+    }
+    let mut seen = BTreeSet::new();
+    if let Some(rel) = first_repeated_relation(formula, &mut seen) {
+        return Err(Unsafe::SelfJoin { rel });
+    }
+    compile_inner(formula)
+}
+
+/// First relation symbol occurring in two atoms, if any.
+fn first_repeated_relation(f: &Formula, seen: &mut BTreeSet<String>) -> Option<String> {
+    match f {
+        Formula::Atom { rel, .. } => {
+            if !seen.insert(rel.clone()) {
+                Some(rel.clone())
+            } else {
+                None
+            }
+        }
+        Formula::Not(g)
+        | Formula::Exists(_, g)
+        | Formula::Forall(_, g)
+        | Formula::ExistsRel(_, _, g)
+        | Formula::ForallRel(_, _, g) => first_repeated_relation(g, seen),
+        Formula::And(gs) | Formula::Or(gs) => {
+            gs.iter().find_map(|g| first_repeated_relation(g, seen))
+        }
+        Formula::True | Formula::False | Formula::Eq(..) => None,
+    }
+}
+
+fn compile_inner(f: &Formula) -> Result<Plan, Unsafe> {
+    match f {
+        Formula::True => Ok(Plan::Const(true)),
+        Formula::False => Ok(Plan::Const(false)),
+        Formula::Atom { rel, args } => Ok(Plan::Literal {
+            positive: true,
+            rel: rel.clone(),
+            args: args.clone(),
+        }),
+        Formula::Eq(a, b) => Ok(Plan::Equality {
+            positive: true,
+            lhs: a.clone(),
+            rhs: b.clone(),
+        }),
+        Formula::Not(g) => match &**g {
+            Formula::Atom { rel, args } => Ok(Plan::Literal {
+                positive: false,
+                rel: rel.clone(),
+                args: args.clone(),
+            }),
+            Formula::Eq(a, b) => Ok(Plan::Equality {
+                positive: false,
+                lhs: a.clone(),
+                rhs: b.clone(),
+            }),
+            inner => Ok(Plan::Complement(Box::new(compile_inner(inner)?))),
+        },
+        // Children are relation-disjoint (global self-join-freeness), so
+        // under any fixed environment they are independent events.
+        Formula::And(gs) => Ok(Plan::Join(
+            gs.iter().map(compile_inner).collect::<Result<_, _>>()?,
+        )),
+        Formula::Or(gs) => Ok(Plan::Union(
+            gs.iter().map(compile_inner).collect::<Result<_, _>>()?,
+        )),
+        Formula::Exists(vars, body) => compile_exists(vars, body),
+        Formula::Forall(vars, body) => Ok(Plan::Complement(Box::new(compile_exists(
+            vars,
+            &Formula::not((**body).clone()),
+        )?))),
+        Formula::ExistsRel(..) | Formula::ForallRel(..) => Err(Unsafe::SecondOrder),
+    }
+}
+
+/// One atom occurrence with the variables free *at the quantifier-block
+/// level* (inner quantifiers shadow).
+struct AtomOcc {
+    relational: bool,
+    vars: BTreeSet<String>,
+}
+
+fn atom_occurrences(f: &Formula, bound: &mut Vec<String>, out: &mut Vec<AtomOcc>) {
+    let term_vars = |ts: &[&Term], bound: &Vec<String>| -> BTreeSet<String> {
+        ts.iter()
+            .filter_map(|t| match t {
+                Term::Var(v) if !bound.contains(v) => Some(v.clone()),
+                _ => None,
+            })
+            .collect()
+    };
+    match f {
+        Formula::True | Formula::False => {}
+        Formula::Atom { args, .. } => out.push(AtomOcc {
+            relational: true,
+            vars: term_vars(&args.iter().collect::<Vec<_>>(), bound),
+        }),
+        Formula::Eq(a, b) => out.push(AtomOcc {
+            relational: false,
+            vars: term_vars(&[a, b], bound),
+        }),
+        Formula::Not(g) => atom_occurrences(g, bound, out),
+        Formula::And(gs) | Formula::Or(gs) => {
+            for g in gs {
+                atom_occurrences(g, bound, out);
+            }
+        }
+        Formula::Exists(vs, g) | Formula::Forall(vs, g) => {
+            let depth = bound.len();
+            bound.extend(vs.iter().cloned());
+            atom_occurrences(g, bound, out);
+            bound.truncate(depth);
+        }
+        Formula::ExistsRel(_, _, g) | Formula::ForallRel(_, _, g) => {
+            atom_occurrences(g, bound, out)
+        }
+    }
+}
+
+/// Compile `∃ vars. body`.
+fn compile_exists(vars: &[String], body: &Formula) -> Result<Plan, Unsafe> {
+    // Merge directly nested blocks; an inner binder shadows an outer
+    // variable of the same name, so the outer copy is dropped.
+    let mut vars: Vec<String> = vars.to_vec();
+    let mut body = body;
+    while let Formula::Exists(inner_vars, inner) = body {
+        vars.retain(|v| !inner_vars.contains(v));
+        vars.extend(inner_vars.iter().cloned());
+        body = inner;
+    }
+    // ∃ distributes over ∨; the disjuncts stay relation-disjoint.
+    if let Formula::Or(gs) = body {
+        return Ok(Plan::Union(
+            gs.iter()
+                .map(|g| compile_exists(&vars, g))
+                .collect::<Result<_, _>>()?,
+        ));
+    }
+    let mut occ = Vec::new();
+    atom_occurrences(body, &mut Vec::new(), &mut occ);
+    // Vacuous variables (no free occurrence in the body) quantify over
+    // the same event repeatedly — dropping them is sound for |A| ≥ 1.
+    // When *all* variables are vacuous a Guard pins the |A| = 0 case
+    // (∃x̄ φ is false over an empty universe); otherwise the surviving
+    // Project already evaluates to 0 there.
+    let had = vars.len();
+    let remaining: Vec<String> = vars
+        .into_iter()
+        .filter(|v| occ.iter().any(|a| a.vars.contains(v)))
+        .collect();
+    let plan = if remaining.is_empty() {
+        let inner = compile_inner(body)?;
+        return Ok(if had > 0 {
+            Plan::Guard(Box::new(inner))
+        } else {
+            inner
+        });
+    } else if let Formula::And(gs) = body {
+        match split_components(&remaining, gs) {
+            Some(parts) => Plan::Join(
+                parts
+                    .into_iter()
+                    .map(|(vs, conj)| compile_exists(&vs, &Formula::and(conj)))
+                    .collect::<Result<_, _>>()?,
+            ),
+            None => compile_rooted(&remaining, body, &occ)?,
+        }
+    } else {
+        compile_rooted(&remaining, body, &occ)?
+    };
+    Ok(plan)
+}
+
+/// Group the conjuncts of `∃ vars. ∧ gs` into connected components by
+/// shared quantified variables. Components are relation-disjoint
+/// (self-join-freeness) and share no quantified variable, so the block
+/// is an independent join of per-component blocks. Returns `None` when
+/// everything is one component (no split to make).
+fn split_components(
+    vars: &[String],
+    conjuncts: &[Formula],
+) -> Option<Vec<(Vec<String>, Vec<Formula>)>> {
+    let sets: Vec<BTreeSet<String>> = conjuncts
+        .iter()
+        .map(|g| {
+            let mut occ = Vec::new();
+            atom_occurrences(g, &mut Vec::new(), &mut occ);
+            occ.into_iter()
+                .flat_map(|a| a.vars)
+                .filter(|v| vars.contains(v))
+                .collect()
+        })
+        .collect();
+    // Union-find over conjunct indices.
+    let mut group: Vec<usize> = (0..conjuncts.len()).collect();
+    fn root(group: &mut [usize], mut i: usize) -> usize {
+        while group[i] != i {
+            group[i] = group[group[i]];
+            i = group[i];
+        }
+        i
+    }
+    for i in 0..conjuncts.len() {
+        for j in (i + 1)..conjuncts.len() {
+            if !sets[i].is_disjoint(&sets[j]) {
+                let (a, b) = (root(&mut group, i), root(&mut group, j));
+                group[a.max(b)] = a.min(b);
+            }
+        }
+    }
+    // Components in first-conjunct order, each with its variable slice
+    // in the block's original order (deterministic plans).
+    let mut order: Vec<usize> = Vec::new();
+    for i in 0..conjuncts.len() {
+        let r = root(&mut group, i);
+        if !order.contains(&r) {
+            order.push(r);
+        }
+    }
+    if order.len() <= 1 {
+        return None;
+    }
+    Some(
+        order
+            .into_iter()
+            .map(|r| {
+                let members: Vec<usize> = (0..conjuncts.len())
+                    .filter(|&i| root(&mut group, i) == r)
+                    .collect();
+                let comp_vars: Vec<String> = vars
+                    .iter()
+                    .filter(|v| members.iter().any(|&i| sets[i].contains(*v)))
+                    .cloned()
+                    .collect();
+                let comp: Vec<Formula> =
+                    members.into_iter().map(|i| conjuncts[i].clone()).collect();
+                (comp_vars, comp)
+            })
+            .collect(),
+    )
+}
+
+/// Single-component block: find a root variable occurring in every
+/// relational atom and peel one independent project; equalities are
+/// deterministic and exempt.
+fn compile_rooted(vars: &[String], body: &Formula, occ: &[AtomOcc]) -> Result<Plan, Unsafe> {
+    let root = vars.iter().find(|v| {
+        occ.iter()
+            .filter(|a| a.relational)
+            .all(|a| a.vars.contains(*v))
+    });
+    match root {
+        Some(x) => {
+            let rest: Vec<String> = vars.iter().filter(|v| *v != x).cloned().collect();
+            Ok(Plan::Project {
+                var: x.clone(),
+                child: Box::new(compile_exists(&rest, body)?),
+            })
+        }
+        None => Err(Unsafe::NonHierarchical {
+            vars: vars.to_vec(),
+        }),
+    }
+}

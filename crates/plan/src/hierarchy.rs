@@ -1,0 +1,70 @@
+//! The classical pairwise hierarchy test for self-join-free conjunctive
+//! queries — an *independent* implementation of the safety condition,
+//! used by the differential harness and the property tests to
+//! cross-check the compiler's accept/decline decisions.
+
+use qrel_logic::{Formula, Term};
+use std::collections::BTreeSet;
+
+/// For a self-join-free conjunctive query `∃x̄ (α₁ ∧ … ∧ α_ℓ)` of
+/// relational atoms, the syntactic hierarchy condition: for every pair
+/// of quantified variables `x, y`, the atom sets `at(x)` and `at(y)`
+/// are nested or disjoint. The dichotomy literature proves this
+/// condition equivalent to safety, so it must agree with
+/// [`crate::compile()`] on every query in the fragment.
+///
+/// Returns `None` when the formula is outside the fragment (not a
+/// conjunction of relational atoms under an `∃` prefix, or not
+/// self-join-free) — the test then says nothing.
+pub fn pairwise_hierarchical(formula: &Formula) -> Option<bool> {
+    // Strip the ∃ prefix; inner binders shadow outer same-named ones.
+    let mut vars: Vec<String> = Vec::new();
+    let mut body = formula;
+    while let Formula::Exists(vs, inner) = body {
+        vars.retain(|v| !vs.contains(v));
+        vars.extend(vs.iter().cloned());
+        body = inner;
+    }
+    // Flatten the matrix into relational atoms; anything else is
+    // outside the fragment.
+    let mut atoms: Vec<(&String, &Vec<Term>)> = Vec::new();
+    if !collect_atoms(body, &mut atoms) {
+        return None;
+    }
+    let mut rels = BTreeSet::new();
+    if !atoms.iter().all(|(rel, _)| rels.insert(rel.as_str())) {
+        return None; // self-join
+    }
+    // at(v): indices of atoms containing quantified variable v.
+    let at = |v: &String| -> BTreeSet<usize> {
+        atoms
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, args))| args.iter().any(|t| matches!(t, Term::Var(w) if w == v)))
+            .map(|(i, _)| i)
+            .collect()
+    };
+    let sets: Vec<BTreeSet<usize>> = vars.iter().map(at).collect();
+    for (i, a) in sets.iter().enumerate() {
+        for b in sets.iter().skip(i + 1) {
+            let nested = a.is_subset(b) || b.is_subset(a);
+            if !nested && !a.is_disjoint(b) {
+                return Some(false);
+            }
+        }
+    }
+    Some(true)
+}
+
+/// Flatten a conjunction of relational atoms; `true` iff in-fragment.
+fn collect_atoms<'a>(f: &'a Formula, out: &mut Vec<(&'a String, &'a Vec<Term>)>) -> bool {
+    match f {
+        Formula::True => true,
+        Formula::Atom { rel, args } => {
+            out.push((rel, args));
+            true
+        }
+        Formula::And(gs) => gs.iter().all(|g| collect_atoms(g, out)),
+        _ => false,
+    }
+}

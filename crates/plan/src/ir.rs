@@ -1,0 +1,135 @@
+//! The extensional plan algebra.
+//!
+//! A [`Plan`] is a *symbolic*, database-independent expression tree: its
+//! leaves name atoms with their (possibly variable) argument terms, and
+//! its inner nodes are the independence-exploiting operators of the
+//! safe-plan algebra. Evaluation (see [`crate::eval`]) walks the tree
+//! under a variable environment and reads each leaf's marginal
+//! probability `ν` straight off the unreliable database — no worlds, no
+//! lineage.
+
+use qrel_logic::Term;
+use std::fmt;
+
+/// A node of the extensional plan algebra.
+///
+/// Every operator's probability rule is exact *because the compiler only
+/// emits it where independence holds*: the query is globally
+/// self-join-free, so sibling subtrees touch disjoint relations, and a
+/// `Project` root variable occurs in every atom below it, so distinct
+/// groundings touch disjoint facts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Plan {
+    /// `Pr = 1` or `Pr = 0`.
+    Const(bool),
+    /// A single atom `R(t̄)` (or its negation): `Pr = ν(Rt̄)` under the
+    /// current environment, `1 − ν` when negative.
+    Literal {
+        positive: bool,
+        rel: String,
+        args: Vec<Term>,
+    },
+    /// `t₁ = t₂` (or `≠`): deterministic under the environment, so
+    /// `Pr ∈ {0, 1}` — independent of everything.
+    Equality {
+        positive: bool,
+        lhs: Term,
+        rhs: Term,
+    },
+    /// Independent join: `Pr = ∏ᵢ Pr[childᵢ]`.
+    Join(Vec<Plan>),
+    /// Independent union: `Pr = 1 − ∏ᵢ (1 − Pr[childᵢ])`.
+    Union(Vec<Plan>),
+    /// Independent project `∃x`: `Pr = 1 − ∏_{a ∈ A} (1 − Pr[child[x:=a]])`.
+    Project { var: String, child: Box<Plan> },
+    /// Complement: `Pr = 1 − Pr[child]`.
+    Complement(Box<Plan>),
+    /// Nonempty-universe gate: `Pr = 0` when `|A| = 0`, else the child.
+    /// Emitted for `∃x̄ φ` whose variables are all vacuous in `φ`.
+    Guard(Box<Plan>),
+}
+
+impl Plan {
+    /// Total number of nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Plan::Const(_) | Plan::Literal { .. } | Plan::Equality { .. } => 1,
+            Plan::Join(cs) | Plan::Union(cs) => 1 + cs.iter().map(Plan::node_count).sum::<usize>(),
+            Plan::Project { child, .. } | Plan::Complement(child) | Plan::Guard(child) => {
+                1 + child.node_count()
+            }
+        }
+    }
+
+    /// Deterministic multi-line rendering for `qrel explain`: one node
+    /// per line, children indented two spaces. No trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        match self {
+            Plan::Const(b) => out.push_str(&format!("const {b}")),
+            Plan::Literal {
+                positive,
+                rel,
+                args,
+            } => {
+                out.push_str(if *positive { "atom " } else { "neg-atom " });
+                out.push_str(rel);
+                out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&a.to_string());
+                }
+                out.push(')');
+            }
+            Plan::Equality { positive, lhs, rhs } => {
+                out.push_str(&format!(
+                    "{} {lhs} = {rhs}",
+                    if *positive { "eq" } else { "neq" }
+                ));
+            }
+            Plan::Join(cs) => {
+                out.push_str("join");
+                for c in cs {
+                    c.render_into(out, depth + 1);
+                }
+            }
+            Plan::Union(cs) => {
+                out.push_str("union");
+                for c in cs {
+                    c.render_into(out, depth + 1);
+                }
+            }
+            Plan::Project { var, child } => {
+                out.push_str(&format!("project {var}"));
+                child.render_into(out, depth + 1);
+            }
+            Plan::Complement(child) => {
+                out.push_str("complement");
+                child.render_into(out, depth + 1);
+            }
+            Plan::Guard(child) => {
+                out.push_str("guard nonempty-universe");
+                child.render_into(out, depth + 1);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}

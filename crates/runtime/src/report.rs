@@ -11,6 +11,9 @@ use qrel_arith::BigRational;
 pub enum Method {
     /// Route by fragment and world count, degrading on budget trips.
     Auto,
+    /// Safe-plan compiler: hierarchical self-join-free shapes evaluated
+    /// extensionally over fact probabilities (exact, PTIME).
+    Plan,
     /// Prop 3.1 quantifier-free fast path (exact, PTIME).
     Qf,
     /// Thm 4.2 weighted world enumeration (exact, `2^u` worlds).
@@ -29,6 +32,7 @@ impl Method {
     pub fn name(self) -> &'static str {
         match self {
             Method::Auto => "auto",
+            Method::Plan => "plan",
             Method::Qf => "qf",
             Method::Exact => "exact",
             Method::Fptras => "fptras",
@@ -42,6 +46,7 @@ impl Method {
     pub fn parse(s: &str) -> Option<Method> {
         match s {
             "auto" => Some(Method::Auto),
+            "plan" => Some(Method::Plan),
             "qf" => Some(Method::Qf),
             "exact" => Some(Method::Exact),
             "fptras" | "approx" => Some(Method::Fptras),
@@ -155,6 +160,7 @@ mod tests {
     fn method_names_round_trip() {
         for m in [
             Method::Auto,
+            Method::Plan,
             Method::Qf,
             Method::Exact,
             Method::Fptras,

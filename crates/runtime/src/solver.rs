@@ -18,6 +18,7 @@ use qrel_par::{resolve_threads, run_shards_with, shard_counts, split_seed, DEFAU
 use qrel_prob::{UnreliableDatabase, WorldSampler};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 use crate::report::{Confidence, Method, SolveReport, TraceStep};
 
@@ -108,6 +109,7 @@ pub struct Solver {
     threads: Option<usize>,
     rung_retries: u32,
     progress: Option<ProgressHook>,
+    plan_hint: Option<Arc<qrel_plan::Plan>>,
 }
 
 impl Default for Solver {
@@ -121,6 +123,7 @@ impl Default for Solver {
             threads: None,
             rung_retries: MAX_RUNG_RETRIES,
             progress: None,
+            plan_hint: None,
         }
     }
 }
@@ -182,6 +185,14 @@ impl Solver {
     /// starts and outcomes). The hook never affects the answer.
     pub fn with_progress(mut self, hook: ProgressHook) -> Self {
         self.progress = Some(hook);
+        self
+    }
+
+    /// Reuse an already-compiled safe plan for the plan rung instead of
+    /// recompiling (the serve layer's plan cache passes one in). The
+    /// plan must have been compiled from this solve's query.
+    pub fn with_plan_hint(mut self, plan: Arc<qrel_plan::Plan>) -> Self {
+        self.plan_hint = Some(plan);
         self
     }
 
@@ -365,9 +376,17 @@ impl Solver {
 
         let mut ladder = Vec::new();
         if fragment == Fragment::QuantifierFree {
+            // The QF fast path is already exact and PTIME; keep it first.
             ladder.push(Method::Qf);
-        } else if fits {
-            ladder.push(Method::Exact);
+        } else {
+            // Rung 0 for every quantified query: the safe-plan compiler
+            // answers hierarchical self-join-free shapes exactly in
+            // PTIME and skips (cheaply, with the decline reason in the
+            // trace) when the shape is provably unsafe.
+            ladder.push(Method::Plan);
+            if fits {
+                ladder.push(Method::Exact);
+            }
         }
         if groundable && !ladder.contains(&Method::Fptras) {
             ladder.push(Method::Fptras);
@@ -396,12 +415,48 @@ impl Solver {
         }
         match method {
             Method::Auto => unreachable!("Auto expands into concrete rungs"),
+            Method::Plan => self.run_plan(ud, query, budget),
             Method::Qf => self.run_qf(ud, query, budget),
             Method::Exact => self.run_exact(ud, query, budget, threads),
             Method::Fptras => self.run_fptras(ud, query, budget, seed, threads),
             Method::Padding => self.run_padding(ud, query, budget, seed, threads),
             Method::NaiveMc => self.run_naive_mc(ud, query, budget, seed, threads),
         }
+    }
+
+    fn run_plan(
+        &self,
+        ud: &UnreliableDatabase,
+        query: &FoQuery,
+        budget: &Budget,
+    ) -> Result<Rung, QrelError> {
+        // A cancelled/expired budget degrades before any work is done;
+        // past that point the plan evaluates in one uninterruptible
+        // polynomial pass (it enumerates no worlds and draws no
+        // samples, so the world/sample budgets don't apply).
+        if let Err(cause) = budget.probe() {
+            return Ok(Rung::Degraded(None, cause));
+        }
+        let plan = match &self.plan_hint {
+            Some(hint) => Arc::clone(hint),
+            None => match qrel_plan::compile(query.formula()) {
+                Ok(plan) => Arc::new(plan),
+                Err(reason) => {
+                    return Ok(Rung::Skip(format!("no safe plan: {reason}")));
+                }
+            },
+        };
+        let rep = qrel_plan::reliability(ud, &plan, query.formula(), query.free_vars())?;
+        let note = format!("completed exactly (safe plan, {} nodes)", plan.node_count());
+        Ok(Rung::Done(
+            Answer {
+                estimate: rep.reliability.to_f64(),
+                exact: Some(rep.reliability),
+                bounds: None,
+                confidence: Confidence::Exact,
+            },
+            note,
+        ))
     }
 
     fn run_qf(
@@ -857,11 +912,71 @@ mod tests {
     }
 
     #[test]
-    fn auto_routes_exact_when_worlds_fit() {
+    fn auto_routes_plan_for_safe_queries() {
         // Serialize against fault-armed tests (arming is process-global).
         let _quiet = qrel_faults::quiesce();
         let ud = small_ud();
         let q = FoQuery::parse("exists x. S(x)").unwrap();
+        let report = Solver::new().solve(&ud, &q, &Budget::unlimited()).unwrap();
+        assert_eq!(report.method, Method::Plan);
+        assert_eq!(report.confidence, Confidence::Exact);
+        let oracle = exact_reliability(&ud, &q).unwrap().reliability;
+        assert_eq!(report.exact.as_ref().unwrap(), &oracle);
+        assert!(
+            report.trace_line().contains("safe plan"),
+            "trace: {}",
+            report.trace_line()
+        );
+    }
+
+    #[test]
+    fn plan_skips_unsafe_shapes_with_reason_in_trace() {
+        // Serialize against fault-armed tests (arming is process-global).
+        let _quiet = qrel_faults::quiesce();
+        let ud = small_ud();
+        let q = FoQuery::parse("exists x y. (S(x) & S(y))").unwrap();
+        let report = Solver::new().solve(&ud, &q, &Budget::unlimited()).unwrap();
+        assert_eq!(report.method, Method::Exact);
+        let line = report.trace_line();
+        assert!(line.contains("no safe plan"), "trace: {line}");
+        assert!(line.contains("self-join"), "trace: {line}");
+    }
+
+    #[test]
+    fn explicit_plan_on_unsafe_query_is_degraded() {
+        // Serialize against fault-armed tests (arming is process-global).
+        let _quiet = qrel_faults::quiesce();
+        let ud = small_ud();
+        let q = FoQuery::parse("exists x y. (S(x) & E(x, y) & T(y))").unwrap();
+        let err = Solver::new()
+            .with_method(Method::Plan)
+            .solve(&ud, &q, &Budget::unlimited())
+            .unwrap_err();
+        assert!(matches!(err, QrelError::Degraded(_)), "got: {err}");
+    }
+
+    #[test]
+    fn plan_hint_is_honored() {
+        // Serialize against fault-armed tests (arming is process-global).
+        let _quiet = qrel_faults::quiesce();
+        let ud = small_ud();
+        let q = FoQuery::parse("exists x. S(x)").unwrap();
+        let hint = Arc::new(qrel_plan::compile(q.formula()).unwrap());
+        let report = Solver::new()
+            .with_plan_hint(Arc::clone(&hint))
+            .solve(&ud, &q, &Budget::unlimited())
+            .unwrap();
+        assert_eq!(report.method, Method::Plan);
+        let fresh = Solver::new().solve(&ud, &q, &Budget::unlimited()).unwrap();
+        assert_eq!(report.exact, fresh.exact);
+    }
+
+    #[test]
+    fn auto_routes_exact_when_worlds_fit() {
+        // Serialize against fault-armed tests (arming is process-global).
+        let _quiet = qrel_faults::quiesce();
+        let ud = small_ud();
+        let q = FoQuery::parse("exists x y. (S(x) & S(y))").unwrap();
         let report = Solver::new().solve(&ud, &q, &Budget::unlimited()).unwrap();
         assert_eq!(report.method, Method::Exact);
         let oracle = exact_reliability(&ud, &q).unwrap().reliability;
@@ -873,7 +988,7 @@ mod tests {
         // Serialize against fault-armed tests (arming is process-global).
         let _quiet = qrel_faults::quiesce();
         let ud = small_ud();
-        let q = FoQuery::parse("exists x. S(x)").unwrap();
+        let q = FoQuery::parse("exists x y. (S(x) & S(y))").unwrap();
         let report = Solver::new()
             .with_max_exact_worlds(4)
             .solve(&ud, &q, &Budget::unlimited())
@@ -893,7 +1008,7 @@ mod tests {
         // Serialize against fault-armed tests (arming is process-global).
         let _quiet = qrel_faults::quiesce();
         let ud = wide_ud();
-        let q = FoQuery::parse("exists x. S(x)").unwrap();
+        let q = FoQuery::parse("exists x y. (S(x) & S(y))").unwrap();
         // Worlds run out mid-enumeration, samples run out mid-sampling:
         // every rung degrades and the best partial survives.
         let budget = Budget::unlimited()
@@ -983,7 +1098,7 @@ mod tests {
         // rungs run on fixed shard counts with seed-split RNGs, so the
         // reported reliability is bit-identical for every --threads.
         let ud = small_ud();
-        let q = FoQuery::parse("exists x. S(x)").unwrap();
+        let q = FoQuery::parse("exists x y. (S(x) & S(y))").unwrap();
         let solve = |threads: usize| {
             Solver::new()
                 .with_max_exact_worlds(4) // force the FPTRAS rung
@@ -1006,7 +1121,7 @@ mod tests {
         // Serialize against fault-armed tests (arming is process-global).
         let _quiet = qrel_faults::quiesce();
         let ud = wide_ud();
-        let q = FoQuery::parse("exists x. S(x)").unwrap();
+        let q = FoQuery::parse("exists x y. (S(x) & S(y))").unwrap();
         let budget = Budget::unlimited().with_deadline(Duration::from_millis(200));
         let started = std::time::Instant::now();
         let result = Solver::new()
@@ -1035,21 +1150,21 @@ mod tests {
             .with_progress(ProgressHook::new(move |e| sink.lock().unwrap().push(e)))
             .solve(&ud, &q, &Budget::unlimited())
             .unwrap();
-        assert_eq!(report.method, Method::Exact);
+        assert_eq!(report.method, Method::Plan);
         let events = events.lock().unwrap();
         // One start event (note: None) and one outcome event per rung
-        // attempt; the single exact rung completes on its first try.
+        // attempt; the single plan rung completes on its first try.
         assert_eq!(events.len(), 2, "events: {events:?}");
         assert_eq!(events[0].attempt, 1);
         assert!(events[0].note.is_none());
-        assert_eq!(events[1].method, Method::Exact);
+        assert_eq!(events[1].method, Method::Plan);
         assert!(events[1].note.as_deref().unwrap().contains("completed"));
     }
 
     #[test]
     fn injected_rung_panic_is_retried_and_heals() {
         let ud = small_ud();
-        let q = FoQuery::parse("exists x. S(x)").unwrap();
+        let q = FoQuery::parse("exists x y. (S(x) & S(y))").unwrap();
         let clean = Solver::new().solve(&ud, &q, &Budget::unlimited()).unwrap();
         assert_eq!(clean.method, Method::Exact);
 
@@ -1081,7 +1196,7 @@ mod tests {
     #[test]
     fn persistent_rung_panic_falls_through_the_ladder() {
         let ud = small_ud();
-        let q = FoQuery::parse("exists x. S(x)").unwrap();
+        let q = FoQuery::parse("exists x y. (S(x) & S(y))").unwrap();
         // The exact rung panics on every attempt; retries exhaust and
         // the ladder falls through to a sampling rung instead of
         // failing the whole solve.
@@ -1100,7 +1215,7 @@ mod tests {
     #[test]
     fn stalled_rung_degrades_within_the_deadline() {
         let ud = small_ud();
-        let q = FoQuery::parse("exists x. S(x)").unwrap();
+        let q = FoQuery::parse("exists x y. (S(x) & S(y))").unwrap();
         let plan = qrel_faults::FaultPlan::new(9).with_rule(
             &qrel_faults::points::rung_stall(Method::Exact.name()),
             1.0,

@@ -17,6 +17,8 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use qrel_plan::Plan;
+
 /// Number of independent LRU shards. Fixed (like `qrel_par`'s shard
 /// count) so behaviour never depends on the machine.
 pub const CACHE_SHARDS: usize = 8;
@@ -302,6 +304,146 @@ impl ResultCache {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Plan cache
+
+/// Entry cap for [`PlanCache`]. Plans are tiny symbolic trees (a few
+/// hundred bytes), so a count cap is the right bound, not a byte cap.
+pub const PLAN_CACHE_CAP: usize = 4096;
+
+/// Outcome of a plan-cache lookup, surfaced to clients in the
+/// `X-Qrel-Plan` debug header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanStatus {
+    /// A safe plan was served from the cache.
+    Hit,
+    /// A safe plan was compiled fresh (and cached).
+    Miss,
+    /// The query is provably outside the safe class; the decline reason
+    /// is cached too, so repeat offenders skip recompilation.
+    Unsafe,
+}
+
+impl PlanStatus {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PlanStatus::Hit => "hit",
+            PlanStatus::Miss => "miss",
+            PlanStatus::Unsafe => "unsafe",
+        }
+    }
+}
+
+#[derive(Default)]
+struct PlanShard {
+    map: HashMap<(String, String), Result<Arc<Plan>, String>>,
+    order: VecDeque<(String, String)>,
+}
+
+/// Cache of compiled safe plans, keyed by `(canonical query text,
+/// schema fingerprint)`.
+///
+/// Plans are *symbolic* — they mention relation names and variables but
+/// no fact probabilities — so a plan compiled once is valid for every
+/// database over the same schema, forever. In particular a fact
+/// mutation moves the dataset's db-hash (invalidating its
+/// [`ResultCache`] entries precisely) while this cache keeps hitting:
+/// only the *result* depends on ν, never the plan. The schema
+/// fingerprint is part of the key because arity checks happen at eval
+/// time — the same query text over a different schema must not share a
+/// decline verdict.
+///
+/// Declines are cached negatively (the `Unsafe` reason as a string), so
+/// a hot unsafe query costs one hash lookup, not a recompilation.
+#[derive(Default)]
+pub struct PlanCache {
+    shard: Mutex<PlanShard>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    unsafe_total: AtomicU64,
+}
+
+impl PlanCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up the plan for `(query, schema)`, compiling (and caching
+    /// the outcome, success or decline) on a miss.
+    pub fn get_or_compile<F>(
+        &self,
+        query: &str,
+        schema: &str,
+        compile: F,
+    ) -> (Result<Arc<Plan>, String>, PlanStatus)
+    where
+        F: FnOnce() -> Result<Plan, qrel_plan::Unsafe>,
+    {
+        let key = (query.to_string(), schema.to_string());
+        let mut shard = self.shard.lock().expect("plan cache poisoned");
+        if let Some(cached) = shard.map.get(&key) {
+            let status = match cached {
+                Ok(_) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    PlanStatus::Hit
+                }
+                Err(_) => {
+                    self.unsafe_total.fetch_add(1, Ordering::Relaxed);
+                    PlanStatus::Unsafe
+                }
+            };
+            return (cached.clone(), status);
+        }
+        let outcome = match compile() {
+            Ok(plan) => Ok(Arc::new(plan)),
+            Err(reason) => Err(reason.to_string()),
+        };
+        let status = match &outcome {
+            Ok(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                PlanStatus::Miss
+            }
+            Err(_) => {
+                self.unsafe_total.fetch_add(1, Ordering::Relaxed);
+                PlanStatus::Unsafe
+            }
+        };
+        shard.map.insert(key.clone(), outcome.clone());
+        shard.order.push_back(key);
+        while shard.map.len() > PLAN_CACHE_CAP {
+            let Some(oldest) = shard.order.pop_front() else {
+                break;
+            };
+            shard.map.remove(&oldest);
+        }
+        (outcome, status)
+    }
+
+    /// Safe plans served from the cache.
+    pub fn hit_count(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Safe plans compiled fresh.
+    pub fn miss_count(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that resolved to a declined (unsafe) query.
+    pub fn unsafe_count(&self) -> u64 {
+        self.unsafe_total.load(Ordering::Relaxed)
+    }
+
+    /// Cached entries (test/diagnostic use).
+    pub fn len(&self) -> usize {
+        self.shard.lock().expect("plan cache poisoned").map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -464,5 +606,51 @@ mod tests {
         // experiment output, so the function must never change.
         assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
         assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+    }
+
+    #[test]
+    fn plan_cache_hits_after_first_compile_and_counts() {
+        let cache = PlanCache::new();
+        let f = qrel_logic::parser::parse_formula("exists x. S(x)").unwrap();
+        let compiles = std::cell::Cell::new(0);
+        let lookup = || {
+            cache.get_or_compile("(exists x. S(x))", "S/1", || {
+                compiles.set(compiles.get() + 1);
+                qrel_plan::compile(&f)
+            })
+        };
+        let (p1, s1) = lookup();
+        assert!(p1.is_ok());
+        assert_eq!(s1, PlanStatus::Miss);
+        let (p2, s2) = lookup();
+        assert_eq!(s2, PlanStatus::Hit);
+        assert!(Arc::ptr_eq(&p1.unwrap(), &p2.unwrap()), "same cached plan");
+        assert_eq!(compiles.get(), 1, "second lookup must not recompile");
+        assert_eq!((cache.hit_count(), cache.miss_count()), (1, 1));
+    }
+
+    #[test]
+    fn plan_cache_caches_declines_negatively() {
+        let cache = PlanCache::new();
+        let f = qrel_logic::parser::parse_formula("exists x y. (S(x) & E(x, y) & T(y))").unwrap();
+        for _ in 0..2 {
+            let (p, s) = cache.get_or_compile("h0", "E/2,S/1,T/1", || qrel_plan::compile(&f));
+            assert_eq!(s, PlanStatus::Unsafe);
+            assert!(p.unwrap_err().contains("non-hierarchical"));
+        }
+        assert_eq!(cache.unsafe_count(), 2);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn plan_cache_keys_on_schema_too() {
+        // Same query text, different schemas: independent entries.
+        let cache = PlanCache::new();
+        let f = qrel_logic::parser::parse_formula("exists x. S(x)").unwrap();
+        let (first, _) = cache.get_or_compile("(exists x. S(x))", "S/1", || qrel_plan::compile(&f));
+        assert!(first.is_ok());
+        let (_, s) = cache.get_or_compile("(exists x. S(x))", "S/1,T/1", || qrel_plan::compile(&f));
+        assert_eq!(s, PlanStatus::Miss);
+        assert_eq!(cache.len(), 2);
     }
 }

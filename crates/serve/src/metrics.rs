@@ -36,7 +36,8 @@ pub const STATUSES: [u16; 12] = [200, 202, 400, 404, 405, 408, 409, 413, 422, 42
 const STATUS_COLS: usize = STATUSES.len() + 1;
 
 /// Solve rungs tracked as label values, in ladder order.
-pub const RUNGS: [Method; 5] = [
+pub const RUNGS: [Method; 6] = [
+    Method::Plan,
     Method::Qf,
     Method::Exact,
     Method::Fptras,

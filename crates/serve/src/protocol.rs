@@ -9,7 +9,7 @@
 //!   "db": { …UnreliableDatabaseSpec… },
 //!   "query": "exists x. S(x)",
 //!   "free": ["x", "y"],              // optional, default: sorted free vars
-//!   "method": "auto",                // auto|qf|exact|fptras|padding|mc
+//!   "method": "auto",                // auto|plan|qf|exact|fptras|padding|mc
 //!   "eps": 0.05, "delta": 0.05,      // sampling accuracy
 //!   "seed": 0,                       // RNG seed (part of the cache key)
 //!   "timeout_ms": 1000               // per-request Budget deadline
@@ -151,7 +151,7 @@ pub fn parse_solve_request(body: &[u8], limits: ParseLimits) -> Result<SolveRequ
         .transpose()?
         .unwrap_or_else(|| "auto".to_string());
     let method = Method::parse(&method_name).ok_or_else(|| {
-        format!("unknown method {method_name:?} (auto|qf|exact|fptras|padding|mc)")
+        format!("unknown method {method_name:?} (auto|plan|qf|exact|fptras|padding|mc)")
     })?;
 
     let eps = match value.get("eps") {

@@ -40,7 +40,7 @@ use qrel_store::{live_fact_count, Mutation, Store, StoreError};
 use serde::Value;
 use serde_json::ParseLimits;
 
-use crate::cache::{fnv1a, CacheKey, ResultCache};
+use crate::cache::{fnv1a, CacheKey, PlanCache, PlanStatus, ResultCache};
 use crate::health::{compute_retry_after, Admission, Breakers, HealthState, RateEstimator};
 use crate::http::{read_request, write_response, HttpError, Request, Response};
 use crate::metrics::{render_sched, Metrics};
@@ -374,6 +374,9 @@ struct SolveTask {
     seed: u64,
     timeout_ms: u64,
     cache_key: CacheKey,
+    /// The cached safe plan for this query/schema, when the plan cache
+    /// had one. The solver's plan rung uses it instead of recompiling.
+    plan: Option<Arc<qrel_plan::Plan>>,
 }
 
 /// The terminal outcome of a solve job: the exact HTTP `(status, body)`
@@ -394,6 +397,9 @@ struct SolveOutcome {
 /// inside.
 struct ExecCtx {
     cache: ResultCache,
+    /// Compiled safe plans keyed by (query, schema) — db-independent,
+    /// so fact mutations never touch it (unlike the result cache).
+    plan_cache: PlanCache,
     metrics: Metrics,
     /// Per-method circuit breakers (no-ops when `self_heal` is off).
     breakers: Breakers,
@@ -437,6 +443,9 @@ fn execute_solve(ctx: &ExecCtx, task: &SolveTask, job: &JobCtx) -> SolveOutcome 
         }));
     if !ctx.self_heal {
         solver = solver.with_rung_retries(0);
+    }
+    if let Some(plan) = &task.plan {
+        solver = solver.with_plan_hint(Arc::clone(plan));
     }
     let started = Instant::now();
     let hard_deadline = started + Duration::from_millis(task.timeout_ms) + ctx.watchdog_period;
@@ -574,6 +583,26 @@ fn render_metrics(shared: &Shared) -> String {
     text.push_str(&format!(
         "qrel_cache_poison_detected_total {}\n",
         shared.exec.cache.poison_detected_count()
+    ));
+    text.push_str("# HELP qrel_plan_cache_hits_total Safe plans served from the plan cache.\n");
+    text.push_str("# TYPE qrel_plan_cache_hits_total counter\n");
+    text.push_str(&format!(
+        "qrel_plan_cache_hits_total {}\n",
+        shared.exec.plan_cache.hit_count()
+    ));
+    text.push_str("# HELP qrel_plan_cache_misses_total Safe plans compiled fresh.\n");
+    text.push_str("# TYPE qrel_plan_cache_misses_total counter\n");
+    text.push_str(&format!(
+        "qrel_plan_cache_misses_total {}\n",
+        shared.exec.plan_cache.miss_count()
+    ));
+    text.push_str(
+        "# HELP qrel_plan_unsafe_total Plan lookups that resolved to a provably unsafe query.\n",
+    );
+    text.push_str("# TYPE qrel_plan_unsafe_total counter\n");
+    text.push_str(&format!(
+        "qrel_plan_unsafe_total {}\n",
+        shared.exec.plan_cache.unsafe_count()
     ));
     if let Some(store) = &shared.store {
         let store = store.lock().expect("store poisoned");
@@ -733,6 +762,7 @@ impl Server {
         );
         let exec = Arc::new(ExecCtx {
             cache,
+            plan_cache: PlanCache::new(),
             metrics: Metrics::new(),
             breakers,
             inflight: InFlightRegistry::default(),
@@ -1102,6 +1132,23 @@ struct SolveAdmission {
     tenant: String,
     priority: Priority,
     outcome: Admitted,
+    /// Plan-cache consultation outcome, when the method involves the
+    /// plan rung and a solve is actually enqueued (`X-Qrel-Plan`).
+    plan: Option<PlanStatus>,
+}
+
+/// Schema fingerprint for the plan-cache key: relation symbols in
+/// declaration order, e.g. `"S/1,T/1,E/2"`. Declaration order is stable
+/// for a given spec, and two schemas that differ in any name or arity
+/// must not share plan entries (arity errors surface at eval time).
+fn schema_fingerprint(ud: &UnreliableDatabase) -> String {
+    ud.observed()
+        .vocabulary()
+        .symbols()
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 /// The shared front half of `POST /v1/solve` and `POST /v1/jobs`:
@@ -1220,9 +1267,25 @@ fn admit_solve(shared: &Shared, req: &Request) -> Result<SolveAdmission, Respons
             tenant,
             priority: sreq.priority,
             outcome: Admitted::Hit(hit),
+            plan: None,
         });
     }
     shared.exec.metrics.record_cache(false);
+
+    // Consult the plan cache for the methods whose ladder includes the
+    // plan rung. Declines are cached too ("unsafe"); the solver then
+    // skips the rung without recompiling.
+    let (plan, plan_status) = if matches!(sreq.method, Method::Auto | Method::Plan) {
+        let schema = schema_fingerprint(&ud);
+        let (outcome, status) =
+            shared
+                .exec
+                .plan_cache
+                .get_or_compile(&cache_key.query, &schema, || qrel_plan::compile(&formula));
+        (outcome.ok(), Some(status))
+    } else {
+        (None, None)
+    };
 
     // Circuit breaker: while this method's rung is known-bad, refuse up
     // front with 503 instead of burning a scheduler slot on it. (Cache
@@ -1260,9 +1323,11 @@ fn admit_solve(shared: &Shared, req: &Request) -> Result<SolveAdmission, Respons
                 seed: sreq.seed,
                 timeout_ms,
                 cache_key,
+                plan,
             },
             key,
         },
+        plan: plan_status,
     })
 }
 
@@ -1315,9 +1380,15 @@ fn solve(shared: &Shared, req: &Request) -> Response {
         Ok(s) => s,
         Err(e) => return submit_error_response(shared, &e),
     };
+    let with_plan_header = |resp: Response| match admission.plan {
+        Some(status) => resp.with_header("X-Qrel-Plan", status.as_str()),
+        None => resp,
+    };
     match shared.sched.wait(&admission.tenant, sub.job_id, None) {
         Some(snap) => match snap.state {
-            JobState::Done => outcome_response(&snap.result.expect("done job has a result")),
+            JobState::Done => with_plan_header(outcome_response(
+                &snap.result.expect("done job has a result"),
+            )),
             JobState::Failed => Response::json(
                 500,
                 error_body(500, snap.error.as_deref().unwrap_or("job failed"), None),
@@ -2429,6 +2500,92 @@ mod tests {
         let metrics = handle.metrics_text();
         assert!(metrics.contains("qrel_store_segments"), "{metrics}");
         assert!(metrics.contains("qrel_store_live_facts"), "{metrics}");
+        handle.shutdown();
+        join.join().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn plan_cache_survives_fact_mutations_result_memo_does_not() {
+        let _quiet = qrel_faults::quiesce();
+        let dir = std::env::temp_dir().join(format!("qrel-serve-plan-{}", std::process::id()));
+        build_store(&dir);
+        let (addr, handle, join) = boot(ServerConfig {
+            workers: 2,
+            store: Some(dir.clone()),
+            ..ServerConfig::default()
+        });
+        // Cold solve under auto: the safe query routes to the plan rung
+        // — freshly compiled ("miss"), answered exactly.
+        let alpha = r#"{"dataset":"alpha","query":"exists x. Admin(x)","method":"auto"}"#;
+        let beta = r#"{"dataset":"beta","query":"exists x. Admin(x)","method":"auto"}"#;
+        let (s, h, alpha_before) = http(addr, "POST", "/v1/solve", alpha);
+        assert_eq!(s, 200, "{alpha_before}");
+        assert_eq!(header(&h, "X-Qrel-Cache"), Some("miss"));
+        assert_eq!(header(&h, "X-Qrel-Plan"), Some("miss"));
+        assert!(
+            alpha_before.contains("\"method\":\"plan\""),
+            "{alpha_before}"
+        );
+        assert!(
+            alpha_before.contains("\"confidence\":\"exact\""),
+            "{alpha_before}"
+        );
+        // Repeat: served from the result memo; no solve, no plan lookup.
+        let (_, h, b) = http(addr, "POST", "/v1/solve", alpha);
+        assert_eq!(header(&h, "X-Qrel-Cache"), Some("hit"));
+        assert_eq!(header(&h, "X-Qrel-Plan"), None);
+        assert_eq!(alpha_before, b, "memo hit must be byte-identical");
+        // beta shares the query text and schema, so its first solve is
+        // already a *plan* hit even though its result memo misses.
+        let (_, h, _) = http(addr, "POST", "/v1/solve", beta);
+        assert_eq!(header(&h, "X-Qrel-Cache"), Some("miss"));
+        assert_eq!(header(&h, "X-Qrel-Plan"), Some("hit"));
+        // Mutate one fact in alpha. The store's incremental db-hash
+        // moves alpha's memo keys; the plan is db-independent.
+        let (s, _, commit) = http(
+            addr,
+            "POST",
+            "/v1/datasets/alpha/facts",
+            r#"{"facts":[{"relation":"Admin","tuple":[1],"present":true,"mu":"1/4"}]}"#,
+        );
+        assert_eq!(s, 200, "{commit}");
+        // Result memo misses and recomputes; plan cache still hits.
+        let (_, h, alpha_after) = http(addr, "POST", "/v1/solve", alpha);
+        assert_eq!(header(&h, "X-Qrel-Cache"), Some("miss"), "{alpha_after}");
+        assert_eq!(header(&h, "X-Qrel-Plan"), Some("hit"));
+        assert_ne!(alpha_before, alpha_after, "mutation must change the answer");
+        // The re-memoized answer replays the recompute bit-for-bit.
+        let (_, h, b) = http(addr, "POST", "/v1/solve", alpha);
+        assert_eq!(header(&h, "X-Qrel-Cache"), Some("hit"));
+        assert_eq!(alpha_after, b);
+        // Other datasets are untouched: beta's memo entry stays hot.
+        let (_, h, _) = http(addr, "POST", "/v1/solve", beta);
+        assert_eq!(header(&h, "X-Qrel-Cache"), Some("hit"));
+        // An unsafe shape under auto: declined ("unsafe"), answered by
+        // the enumeration ladder instead.
+        let sj =
+            r#"{"dataset":"alpha","query":"exists x y. (Admin(x) & Admin(y))","method":"auto"}"#;
+        let (s, h, body) = http(addr, "POST", "/v1/solve", sj);
+        assert_eq!(s, 200, "{body}");
+        assert_eq!(header(&h, "X-Qrel-Plan"), Some("unsafe"));
+        assert!(body.contains("\"method\":\"exact\""), "{body}");
+        // The /metrics counters saw all of it: one fresh compile, plan
+        // hits from the re-solves, one unsafe lookup.
+        let metrics = handle.metrics_text();
+        assert!(
+            metrics.contains("qrel_plan_cache_misses_total 1"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("qrel_plan_cache_hits_total 2"),
+            "{metrics}"
+        );
+        assert!(metrics.contains("qrel_plan_unsafe_total 1"), "{metrics}");
+        assert!(
+            metrics.contains("qrel_solve_total{method=\"plan\"} 3"),
+            "{metrics}"
+        );
         handle.shutdown();
         join.join().unwrap();
         std::fs::remove_dir_all(&dir).unwrap();

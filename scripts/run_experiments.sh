@@ -9,7 +9,7 @@ experiments=(
   e5_prob_kdnf e6_existential_fptras e7_four_colour e8_ptime_estimator
   e9_metafinite e10_crossover e11_positive_only e12_cq_planner
   e13_expression_complexity e14_serve_throughput e15_job_scheduler
-  e16_fault_storm e17_store_scale
+  e16_fault_storm e17_store_scale e18_safe_plan
 )
 for e in "${experiments[@]}"; do
   echo "== $e =="

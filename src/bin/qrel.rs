@@ -6,9 +6,10 @@
 //! qrel probability --db spec.json --query "exists x. S(x)"
 //!                  [--method exact|fptras|padding] [--eps E] [--delta D] [--seed S]
 //! qrel reliability --db spec.json --query "S(x)" [--free x,y]
-//!                  [--method auto|exact|qf|fptras|padding|mc]
+//!                  [--method auto|plan|exact|qf|fptras|padding|mc]
 //!                  [--timeout-ms T] [--max-worlds N] [--max-samples N] [--max-terms N]
 //!                  [--eps E] [--delta D] [--seed S] [--threads T]
+//! qrel explain     --query "exists x. S(x)" [--free x,y]
 //! qrel serve       [--addr HOST:PORT] [--workers N] [--queue-cap N]
 //!                  [--cache-mb MB] [--preload spec.json,spec2.json]
 //!                  [--store DIR]
@@ -145,6 +146,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "worlds" => cmd_worlds(&opts).map(|()| ExitCode::SUCCESS),
         "probability" => cmd_probability(&opts).map(|()| ExitCode::SUCCESS),
         "reliability" => cmd_reliability(&opts),
+        "explain" => cmd_explain(&opts),
         "marginals" => cmd_marginals(&opts).map(|()| ExitCode::SUCCESS),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -160,13 +162,17 @@ fn print_help() {
          \x20 probability  --db spec.json --query Q [--method exact|fptras|padding]\n\
          \x20              [--eps E] [--delta D] [--seed S]\n\
          \x20 reliability  --db spec.json --query Q [--free x,y]\n\
-         \x20              [--method auto|exact|qf|fptras|padding|mc]\n\
+         \x20              [--method auto|plan|exact|qf|fptras|padding|mc]\n\
          \x20              [--timeout-ms T] [--max-worlds N] [--max-samples N] [--max-terms N]\n\
          \x20              [--eps E] [--delta D] [--seed S] [--threads T] [--json true]\n\
          \x20              (--threads never changes the answer: fixed shard count,\n\
          \x20               per-shard seed-split RNGs; --json true prints the exact\n\
          \x20               wire body POST /v1/solve would return, errors included)\n\
          \x20 marginals    --db spec.json --query Q [--free x,y]\n\
+         \x20 explain      --query Q [--free x,y]\n\
+         \x20              (print the extensional safe plan the compiler would\n\
+         \x20               run, or the reason the query is outside the safe\n\
+         \x20               class; exit 2 when unsafe)\n\
          \x20 serve        [--addr HOST:PORT] [--workers N] [--queue-cap N]\n\
          \x20              [--sched-workers N] [--tenant-cap N] [--reserved-workers N]\n\
          \x20              [--job-retain N] [--cache-mb MB] [--preload spec.json,spec2.json]\n\
@@ -604,6 +610,31 @@ fn cmd_probability(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// `qrel explain`: compile (or decline) the query and print the plan
+/// tree. Purely symbolic — no database needed; the plan depends only on
+/// the query's shape. Exit 0 with the tree when safe, exit 2 with the
+/// decline reason when provably unsafe (mirroring the degraded-answer
+/// code: the query is still solvable, just not extensionally).
+fn cmd_explain(opts: &Options) -> Result<ExitCode, String> {
+    let (f, free) = parse_query(opts)?;
+    match qrel::plan::compile(&f) {
+        Ok(plan) => {
+            println!("safe plan ({} nodes) for {f}", plan.node_count());
+            if !free.is_empty() {
+                println!("free variables: {}", free.join(", "));
+            }
+            println!("{plan}");
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(reason) => {
+            println!("no safe plan for {f}");
+            println!("reason: {reason}");
+            println!("(Method::Auto falls back to the enumeration/sampling ladder)");
+            Ok(ExitCode::from(EXIT_DEGRADED))
+        }
+    }
+}
+
 fn cmd_marginals(opts: &Options) -> Result<(), String> {
     let ud = load_spec(opts.required("db")?)?;
     let (f, free) = parse_query(opts)?;
@@ -665,7 +696,7 @@ fn cmd_reliability(opts: &Options) -> Result<ExitCode, String> {
     let (f, free) = parse_query(opts)?;
     let method_name = opts.get("method").unwrap_or("auto");
     let method = Method::parse(method_name).ok_or_else(|| {
-        format!("unknown method {method_name:?} (auto|exact|qf|fptras|padding|mc)")
+        format!("unknown method {method_name:?} (auto|plan|exact|qf|fptras|padding|mc)")
     })?;
     let eps = opts.get_f64("eps", 0.05)?;
     let delta = opts.get_f64("delta", 0.05)?;

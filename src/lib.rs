@@ -21,6 +21,9 @@
 //! * [`prob`] — the `(𝔄, μ)` model, possible worlds, sampling, the `g` normalizer;
 //! * [`count`] — exact #SAT / Prob-DNF oracles, Karp–Luby FPTRAS, sample bounds;
 //! * [`core`] — the paper's reliability algorithms and hardness reductions;
+//! * [`plan`] — the safe-plan compiler: hierarchical self-join-free
+//!   queries answered exactly in PTIME over fact probabilities, never
+//!   enumerating worlds;
 //! * [`budget`] — cooperative work budgets, cancellation, [`budget::QrelError`];
 //! * [`runtime`] — the budgeted [`runtime::Solver`] with the graceful
 //!   degradation ladder;
@@ -58,6 +61,7 @@ pub use qrel_eval as eval;
 pub use qrel_logic as logic;
 pub use qrel_metafinite as metafinite;
 pub use qrel_oracle as oracle;
+pub use qrel_plan as plan;
 pub use qrel_prob as prob;
 pub use qrel_runtime as runtime;
 pub use qrel_serve as serve;
@@ -87,6 +91,7 @@ pub mod prelude {
     pub use qrel_metafinite::{
         EntryDistribution, FunctionalDatabase, MTerm, MultisetOp, ROp, UnreliableFunctionalDatabase,
     };
+    pub use qrel_plan::{compile as compile_plan, pairwise_hierarchical, Plan};
     pub use qrel_prob::{ErrorModel, UnreliableDatabase, WorldSampler};
     pub use qrel_runtime::{
         Budget, CancelToken, Confidence, Method, QrelError, Resource, SolveReport, Solver,

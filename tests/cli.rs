@@ -207,16 +207,17 @@ fn auto_method_exact_on_small_spec_exits_zero() {
 
 #[test]
 fn tight_budget_degrades_with_trace_and_distinct_exit_code() {
-    // 16 uncertain facts → 2^16 worlds: exact can't fit --max-worlds
-    // 100, and the sampling rungs trip on --max-samples 40, so auto
-    // must fall down the ladder and report a partial answer.
+    // A self-join, so the plan rung declines; 16 uncertain facts →
+    // 2^16 worlds: exact can't fit --max-worlds 100, and the sampling
+    // rungs trip on --max-samples 40, so auto must fall down the
+    // ladder and report a partial answer.
     let spec = concat!(env!("CARGO_MANIFEST_DIR"), "/data/uncertain16.json");
     let (code, stdout, stderr) = qrel_code(&[
         "reliability",
         "--db",
         spec,
         "--query",
-        "exists x. S(x)",
+        "exists x y. (S(x) & S(y))",
         "--method",
         "auto",
         "--timeout-ms",
@@ -368,6 +369,50 @@ fn json_output_matches_http_solve_body_and_golden_file() {
     );
     let golden = include_str!("golden/solve_example_exact.json");
     assert_eq!(cli_body, golden, "wire schema drifted from the golden file");
+}
+
+/// Satellite of the safe-plan compiler: `qrel explain` output for the
+/// canonical query shapes is pinned as golden files. Any change to the
+/// plan algebra, the renderer, or the decline messages shows up here.
+#[test]
+fn explain_plans_match_goldens() {
+    let cases: &[(&str, &str, i32)] = &[
+        (
+            "exists x y. (S(x) & E(x, y))",
+            include_str!("golden/explain_safe_chain.txt"),
+            0,
+        ),
+        (
+            "exists x y z. (E(x, y) & F(x, z))",
+            include_str!("golden/explain_safe_star.txt"),
+            0,
+        ),
+        (
+            "exists x y. (S(x) & E(x, y) & T(y))",
+            include_str!("golden/explain_unsafe_h0.txt"),
+            2,
+        ),
+        (
+            "S(x) & !T(y)",
+            include_str!("golden/explain_qf_free.txt"),
+            0,
+        ),
+        (
+            "forall x. (S(x) | T(x))",
+            include_str!("golden/explain_forall.txt"),
+            0,
+        ),
+        (
+            "exists x y. (S(x) & S(y))",
+            include_str!("golden/explain_self_join.txt"),
+            2,
+        ),
+    ];
+    for (query, golden, want_code) in cases {
+        let (code, stdout, stderr) = qrel_code(&["explain", "--query", query]);
+        assert_eq!(code, Some(*want_code), "{query}: {stdout}{stderr}");
+        assert_eq!(&stdout, golden, "explain output drifted for {query}");
+    }
 }
 
 /// A solver failure in `--json` mode prints the same structured error

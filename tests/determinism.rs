@@ -62,9 +62,10 @@ fn samplers_are_bit_identical_across_thread_counts_and_reruns() {
 #[test]
 fn solver_answer_ignores_the_rayon_num_threads_hint() {
     let ud = small_ud();
-    let q = FoQuery::parse("exists x. S(x)").unwrap();
-    // Cap exact enumeration so the ladder lands on a sampling rung —
-    // the only place thread count could leak into the answer.
+    // A self-join, so the plan rung declines; capping exact enumeration
+    // then lands the ladder on a sampling rung — the only place thread
+    // count could leak into the answer.
+    let q = FoQuery::parse("exists x y. (S(x) & S(y))").unwrap();
     let solve = || {
         Solver::new()
             .with_seed(11)

@@ -1,0 +1,255 @@
+//! Property-based tests for the safe-plan compiler: generated
+//! self-join-free conjunctive queries must round-trip through the
+//! syntactic hierarchy test (the compiler accepts exactly the
+//! hierarchical shapes), and a compiled plan's value must be invariant
+//! under atom reordering and variable renaming — and equal to the
+//! world-enumeration oracle.
+
+use proptest::prelude::*;
+use qrel::prelude::*;
+
+fn r(n: i64, d: u64) -> BigRational {
+    BigRational::from_ratio(n, d)
+}
+
+/// One atom of a generated sjf-CQ over the fixed vocabulary
+/// {S/1, T/1, E/2, F/2} and the variable pool {x, y, z}.
+#[derive(Clone, Debug)]
+struct Atom {
+    rel: &'static str,
+    vars: Vec<&'static str>,
+}
+
+const VARS: [&str; 3] = ["x", "y", "z"];
+
+impl Atom {
+    fn render(&self, rename: &dyn Fn(&str) -> String) -> String {
+        let args: Vec<String> = self.vars.iter().map(|v| rename(v)).collect();
+        format!("{}({})", self.rel, args.join(", "))
+    }
+}
+
+/// Strategy: a self-join-free conjunction of 1..=4 atoms. Each relation
+/// is used at most once (sjf by construction); variable choices are
+/// arbitrary, so the result is sometimes hierarchical and sometimes not.
+fn atoms_strategy() -> impl Strategy<Value = Vec<Atom>> {
+    (
+        proptest::collection::vec(any::<bool>(), 4),
+        proptest::collection::vec(0usize..3, 6),
+    )
+        .prop_map(|(used, picks)| {
+            let mut atoms = Vec::new();
+            if used[0] {
+                atoms.push(Atom {
+                    rel: "S",
+                    vars: vec![VARS[picks[0]]],
+                });
+            }
+            if used[1] {
+                atoms.push(Atom {
+                    rel: "T",
+                    vars: vec![VARS[picks[1]]],
+                });
+            }
+            if used[2] {
+                atoms.push(Atom {
+                    rel: "E",
+                    vars: vec![VARS[picks[2]], VARS[picks[3]]],
+                });
+            }
+            if used[3] {
+                atoms.push(Atom {
+                    rel: "F",
+                    vars: vec![VARS[picks[4]], VARS[picks[5]]],
+                });
+            }
+            if atoms.is_empty() {
+                atoms.push(Atom {
+                    rel: "S",
+                    vars: vec!["x"],
+                });
+            }
+            atoms
+        })
+}
+
+/// Renders the Boolean sentence `exists <vars>. (a1 & a2 & ...)` with an
+/// optional variable renaming and atom order.
+fn sentence(atoms: &[Atom], order: &[usize], rename: &dyn Fn(&str) -> String) -> String {
+    let mut vars: Vec<String> = Vec::new();
+    for a in atoms {
+        for v in &a.vars {
+            let n = rename(v);
+            if !vars.contains(&n) {
+                vars.push(n);
+            }
+        }
+    }
+    let body: Vec<String> = order.iter().map(|&i| atoms[i].render(rename)).collect();
+    format!("exists {}. ({})", vars.join(" "), body.join(" & "))
+}
+
+/// Strategy: a database over {S/1, T/1, E/2, F/2} with n ∈ 2..4,
+/// arbitrary tuple content, and error assignments on up to 6 facts.
+fn ud_strategy() -> impl Strategy<Value = UnreliableDatabase> {
+    (
+        2usize..4,
+        proptest::collection::vec(any::<bool>(), 4),
+        proptest::collection::vec(any::<bool>(), 4),
+        proptest::collection::vec(any::<bool>(), 16),
+        proptest::collection::vec(any::<bool>(), 16),
+        proptest::collection::vec((0usize..24, 1u64..8, 1u64..8), 0..7),
+    )
+        .prop_map(|(n, s, t, e, f, errors)| {
+            let unary = |marks: &[bool]| -> Vec<Vec<u32>> {
+                (0..n)
+                    .filter(|&i| marks[i])
+                    .map(|i| vec![i as u32])
+                    .collect()
+            };
+            let binary = |adj: &[bool]| -> Vec<Vec<u32>> {
+                let mut out = Vec::new();
+                for a in 0..n {
+                    for b in 0..n {
+                        if adj[a * n + b] {
+                            out.push(vec![a as u32, b as u32]);
+                        }
+                    }
+                }
+                out
+            };
+            let db = DatabaseBuilder::new()
+                .universe_size(n)
+                .relation("S", 1)
+                .relation("T", 1)
+                .relation("E", 2)
+                .relation("F", 2)
+                .tuples("S", unary(&s))
+                .tuples("T", unary(&t))
+                .tuples("E", binary(&e))
+                .tuples("F", binary(&f))
+                .build();
+            let mut ud = UnreliableDatabase::reliable(db);
+            let total = ud.indexer().total();
+            let indexer = ud.indexer().clone();
+            for (fi, num, den) in errors {
+                let p = if num >= den {
+                    r(1, 2)
+                } else {
+                    r(num as i64, den)
+                };
+                ud.set_error(&indexer.fact_at(fi % total), p).unwrap();
+            }
+            ud
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The compiler accepts a generated sjf-CQ exactly when the
+    /// independent pairwise hierarchy test says it is hierarchical
+    /// (Dalvi–Suciu dichotomy, restricted to the sjf fragment).
+    #[test]
+    fn compile_accepts_exactly_the_hierarchical_sjf_cqs(atoms in atoms_strategy()) {
+        let order: Vec<usize> = (0..atoms.len()).collect();
+        let src = sentence(&atoms, &order, &|v| v.to_string());
+        let f = parse_formula(&src).unwrap();
+        let hier = qrel::plan::pairwise_hierarchical(&f);
+        prop_assert!(hier.is_some(), "sjf-CQ left the pairwise fragment: {}", src);
+        match qrel::plan::compile(&f) {
+            Ok(_) => prop_assert_eq!(
+                hier, Some(true),
+                "compiler accepted a non-hierarchical query: {}", src
+            ),
+            Err(reason) => prop_assert_eq!(
+                hier, Some(false),
+                "compiler declined a hierarchical sjf-CQ ({}): {}", reason, src
+            ),
+        }
+    }
+
+    /// Where a plan exists, its value equals the Gray-code world
+    /// enumeration oracle on every generated database.
+    #[test]
+    fn plan_probability_matches_world_enumeration(
+        atoms in atoms_strategy(),
+        ud in ud_strategy(),
+    ) {
+        let order: Vec<usize> = (0..atoms.len()).collect();
+        let src = sentence(&atoms, &order, &|v| v.to_string());
+        let f = parse_formula(&src).unwrap();
+        if let Ok(plan) = qrel::plan::compile(&f) {
+            let via_plan = qrel::plan::sentence_probability(&ud, &plan).unwrap();
+            let via_worlds = exact_probability(&ud, &FoQuery::new(f)).unwrap();
+            prop_assert_eq!(via_plan, via_worlds, "query {}", src);
+        }
+    }
+
+    /// The plan's value is invariant under reordering the atoms of the
+    /// conjunction: both orders compile (safety is order-independent)
+    /// and evaluate to the same probability.
+    #[test]
+    fn plan_value_is_invariant_under_atom_reordering(
+        atoms in atoms_strategy(),
+        ud in ud_strategy(),
+        salt in 0usize..24,
+    ) {
+        let forward: Vec<usize> = (0..atoms.len()).collect();
+        let mut shuffled = forward.clone();
+        // A deterministic permutation driven by the generated salt.
+        shuffled.rotate_left(salt % atoms.len().max(1));
+        if salt % 2 == 1 {
+            shuffled.reverse();
+        }
+        let src_a = sentence(&atoms, &forward, &|v| v.to_string());
+        let src_b = sentence(&atoms, &shuffled, &|v| v.to_string());
+        let fa = parse_formula(&src_a).unwrap();
+        let fb = parse_formula(&src_b).unwrap();
+        let (pa, pb) = (qrel::plan::compile(&fa), qrel::plan::compile(&fb));
+        prop_assert_eq!(
+            pa.is_ok(), pb.is_ok(),
+            "safety differed under reordering: {} vs {}", src_a, src_b
+        );
+        if let (Ok(pa), Ok(pb)) = (pa, pb) {
+            prop_assert_eq!(
+                qrel::plan::sentence_probability(&ud, &pa).unwrap(),
+                qrel::plan::sentence_probability(&ud, &pb).unwrap(),
+                "value differed under reordering: {} vs {}", src_a, src_b
+            );
+        }
+    }
+
+    /// The plan's value is invariant under a bijective variable
+    /// renaming x→u, y→v, z→w.
+    #[test]
+    fn plan_value_is_invariant_under_variable_renaming(
+        atoms in atoms_strategy(),
+        ud in ud_strategy(),
+    ) {
+        let order: Vec<usize> = (0..atoms.len()).collect();
+        let rename = |v: &str| -> String {
+            match v {
+                "x" => "u".to_string(),
+                "y" => "v".to_string(),
+                _ => "w".to_string(),
+            }
+        };
+        let src_a = sentence(&atoms, &order, &|v| v.to_string());
+        let src_b = sentence(&atoms, &order, &rename);
+        let fa = parse_formula(&src_a).unwrap();
+        let fb = parse_formula(&src_b).unwrap();
+        let (pa, pb) = (qrel::plan::compile(&fa), qrel::plan::compile(&fb));
+        prop_assert_eq!(
+            pa.is_ok(), pb.is_ok(),
+            "safety differed under renaming: {} vs {}", src_a, src_b
+        );
+        if let (Ok(pa), Ok(pb)) = (pa, pb) {
+            prop_assert_eq!(
+                qrel::plan::sentence_probability(&ud, &pa).unwrap(),
+                qrel::plan::sentence_probability(&ud, &pb).unwrap(),
+                "value differed under renaming: {} vs {}", src_a, src_b
+            );
+        }
+    }
+}
